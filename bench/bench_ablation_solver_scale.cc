@@ -1,0 +1,112 @@
+// Ablation — solver scalability on synthetic storage graphs (RD-style).
+//
+// The paper's RD repositories vary delta ratios, group sizes, and model
+// counts to stress the archival algorithms. This ablation generates
+// storage graphs directly (no training) across those axes and reports
+// solver wall time and storage quality (Cs / MST) at a fixed alpha = 1.6,
+// independent scheme.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "pas/solver.h"
+#include "pas/storage_graph.h"
+
+namespace {
+
+using namespace modelhub;
+
+/// RD-style generator: `num_snapshots` co-usage groups of `group_size`
+/// matrices; materialization edges cost ~100; chain delta edges cost
+/// delta_ratio of that; a fraction of cross-chain edges adds choice.
+MatrixStorageGraph MakeGraph(int num_snapshots, int group_size,
+                             double delta_ratio, uint64_t seed) {
+  MatrixStorageGraph graph;
+  Rng rng(seed);
+  std::vector<std::vector<int>> ids(static_cast<size_t>(num_snapshots));
+  for (int s = 0; s < num_snapshots; ++s) {
+    for (int g = 0; g < group_size; ++g) {
+      const int v = graph.AddVertex("s" + std::to_string(s) + "/m" +
+                                    std::to_string(g));
+      ids[static_cast<size_t>(s)].push_back(v);
+      const double cs = 90 + rng.NextDouble() * 20;
+      MH_CHECK(graph.AddEdge(0, v, cs, cs * 0.5).ok());
+      if (s > 0) {
+        const int prev =
+            ids[static_cast<size_t>(s - 1)][static_cast<size_t>(g)];
+        const double dcs = cs * delta_ratio * (0.8 + 0.4 * rng.NextDouble());
+        MH_CHECK(graph.AddEdge(prev, v, dcs, dcs * 0.5 + 8).ok());
+      }
+      if (s > 1 && rng.Bernoulli(0.3)) {
+        const int far =
+            ids[static_cast<size_t>(s - 2)][static_cast<size_t>(g)];
+        const double dcs =
+            cs * delta_ratio * 1.5 * (0.8 + 0.4 * rng.NextDouble());
+        MH_CHECK(graph.AddEdge(far, v, dcs, dcs * 0.5 + 8).ok());
+      }
+    }
+    MH_CHECK(graph.AddGroup("s" + std::to_string(s),
+                            ids[static_cast<size_t>(s)], 0.0)
+                 .ok());
+  }
+  return graph;
+}
+
+void RunCase(int num_snapshots, int group_size, double delta_ratio) {
+  MatrixStorageGraph graph =
+      MakeGraph(num_snapshots, group_size, delta_ratio, 7);
+  auto spt = SolveSpt(graph);
+  MH_CHECK(spt.ok());
+  auto mst = SolveMst(graph);
+  MH_CHECK(mst.ok());
+  for (auto& group : *graph.mutable_groups()) {
+    group.budget =
+        1.6 * spt->GroupRecreationCost(group, RetrievalScheme::kIndependent);
+  }
+  Stopwatch mt_watch;
+  auto mt = SolvePasMt(graph, RetrievalScheme::kIndependent);
+  const double mt_ms = mt_watch.ElapsedMillis();
+  MH_CHECK(mt.ok());
+  Stopwatch pt_watch;
+  auto pt = SolvePasPt(graph, RetrievalScheme::kIndependent);
+  const double pt_ms = pt_watch.ElapsedMillis();
+  MH_CHECK(pt.ok());
+  std::printf(
+      "%5d %6d %7.2f | %7d %7zu | %8.3f %8.1fms %s | %8.3f %8.1fms %s\n",
+      num_snapshots, group_size, delta_ratio, graph.num_vertices() - 1,
+      graph.edges().size(), mt->TotalStorageCost() / mst->TotalStorageCost(),
+      mt_ms,
+      mt->SatisfiesBudgets(RetrievalScheme::kIndependent) ? "ok " : "VIO",
+      pt->TotalStorageCost() / mst->TotalStorageCost(), pt_ms,
+      pt->SatisfiesBudgets(RetrievalScheme::kIndependent) ? "ok " : "VIO");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("alpha = 1.6, independent scheme; Cs reported as x MST\n");
+  std::printf("%5s %6s %7s | %7s %7s | %20s | %20s\n", "snaps", "group",
+              "dratio", "verts", "edges", "PAS-MT (Cs, time)",
+              "PAS-PT (Cs, time)");
+  // Scale model count.
+  for (int snapshots : {10, 20, 40, 80}) {
+    RunCase(snapshots, 6, 0.15);
+  }
+  // Scale group size.
+  for (int group : {3, 12, 24}) {
+    RunCase(20, group, 0.15);
+  }
+  // Vary delta ratio (how much cheaper deltas are than materialization).
+  for (double ratio : {0.05, 0.3, 0.6, 0.9}) {
+    RunCase(20, 6, ratio);
+  }
+  std::printf(
+      "\nexpected: both solvers stay feasible with Cs close to MST; "
+      "runtime grows polynomially with graph size; high delta ratios "
+      "shrink the MST advantage (deltas barely cheaper than "
+      "materializing).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table I — "Popular CNN Models for Object Recognition".
+//
+// The paper tabulates network architectures as layer regular expressions
+// with their learnable parameter counts |W|. We rebuild each architecture
+// with the zoo factories and count parameters via shape inference; LeNet
+// must reproduce the paper's 4.31e5 exactly, AlexNet its canonical ~61M,
+// VGG-16 its canonical ~138M. (The paper prints 1.96e10 for VGG — that is
+// its flop count, not |W|; EXPERIMENTS.md discusses the discrepancy.)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "nn/network_def.h"
+#include "nn/zoo.h"
+
+namespace {
+
+void PrintRow(const modelhub::NetworkDef& def, const char* expression) {
+  auto count = def.ParameterCount();
+  modelhub::bench::Check(count.status(), def.name().c_str());
+  int convs = 0;
+  int pools = 0;
+  int fulls = 0;
+  for (const auto& node : def.nodes()) {
+    convs += node.kind == modelhub::LayerKind::kConv;
+    pools += node.kind == modelhub::LayerKind::kPool;
+    fulls += node.kind == modelhub::LayerKind::kFull;
+  }
+  std::printf("%-12s %-44s %3d conv %2d pool %2d full  |W| = %.3g (%lld)\n",
+              def.name().c_str(), expression, convs, pools, fulls,
+              static_cast<double>(*count), static_cast<long long>(*count));
+}
+
+}  // namespace
+
+int main() {
+  using namespace modelhub;
+  std::printf("== Table I: architectures and parameter counts ==\n");
+  PrintRow(LeNet(), "(Lconv Lpool){2} Lip{2}");
+  PrintRow(AlexNetStyle(), "(Lconv Lpool){2} (Lconv{2} Lpool){2}? Lip{3}");
+  PrintRow(Vgg16(), "(Lconv{2} Lpool){2} (Lconv{3} Lpool){3} Lip{3}");
+  PrintRow(ResNetStyle(1000, 16, 64), "(Lconv Lpool)(Lconv+skip){32} Lpool Lip");
+  std::printf("\n-- reduced variants used by the experiments --\n");
+  PrintRow(MiniLeNet(), "(Lconv Lpool){2} Lip{2}");
+  PrintRow(MiniVgg(10, 16, 1), "(Lconv Lpool){2} Lip{2}");
+  PrintRow(MiniVgg(10, 16, 4), "(Lconv Lpool){2} Lip{2} (4x width)");
+  PrintRow(MiniResNet(10, 16, 2, 8), "residual: conv (conv conv +skip){2} pool ip");
+  std::printf("\npaper check: LeNet |W| == 431080: %s\n",
+              *LeNet().ParameterCount() == 431080 ? "PASS" : "FAIL");
+  return 0;
+}

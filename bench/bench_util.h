@@ -1,0 +1,111 @@
+#ifndef MODELHUB_BENCH_BENCH_UTIL_H_
+#define MODELHUB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the per-table/figure benchmark binaries. Each binary
+// regenerates one table or figure of the paper's evaluation (Sec. V) at
+// laptop scale; see DESIGN.md section 2 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured notes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "compress/codec.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "pas/segment.h"
+
+namespace modelhub {
+namespace bench {
+
+inline void Check(const Status& status, const char* step) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", step, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Total size of a parameter set in raw float32 bytes.
+inline uint64_t RawBytes(const std::vector<NamedParam>& params) {
+  uint64_t total = 0;
+  for (const auto& param : params) {
+    total += static_cast<uint64_t>(param.value.size()) * 4;
+  }
+  return total;
+}
+
+/// PAS storage footprint of a parameter set: bytewise-segmented, each
+/// plane compressed with `codec`.
+inline uint64_t SegmentedCompressedBytes(
+    const std::vector<NamedParam>& params,
+    CodecType codec = CodecType::kDeflateLite) {
+  uint64_t total = 0;
+  for (const auto& param : params) {
+    const auto planes = SegmentFloats(param.value);
+    for (const auto& plane : planes) {
+      total += CompressedSize(codec, Slice(plane));
+    }
+  }
+  return total;
+}
+
+/// Non-segmented compressed footprint (whole matrix bytes through the
+/// codec) — the "Lossless" rows of Table IV.
+inline uint64_t WholeCompressedBytes(
+    const std::vector<NamedParam>& params,
+    CodecType codec = CodecType::kDeflateLite) {
+  uint64_t total = 0;
+  for (const auto& param : params) {
+    total += CompressedSize(codec, Slice(param.value.ToBytes()));
+  }
+  return total;
+}
+
+/// One trained model: its definition, final accuracy and snapshot series.
+struct TrainedModel {
+  NetworkDef def;
+  double accuracy = 0.0;
+  std::vector<TrainSnapshot> snapshots;
+  std::vector<NamedParam> final_params;
+};
+
+/// Trains a MiniVgg on a glyph task; `warm` (optional) fine-tunes from
+/// existing parameters with a low learning rate.
+inline TrainedModel TrainGlyphModel(
+    const Dataset& data, uint64_t seed, int64_t iterations = 120,
+    int64_t snapshot_every = 40,
+    const std::vector<NamedParam>* warm = nullptr,
+    int64_t width_multiple = 1) {
+  TrainedModel out;
+  out.def = MiniVgg(data.num_classes, data.images.h(), width_multiple);
+  auto net = Network::Create(out.def);
+  Check(net.status(), "create network");
+  Rng rng(seed);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = iterations;
+  options.batch_size = 24;
+  options.snapshot_every = snapshot_every;
+  options.log_every = 0;
+  options.seed = seed;
+  if (warm != nullptr) {
+    Check(net->SetParameters(*warm), "warm start");
+    options.base_learning_rate = 0.01f;
+  }
+  auto trained = TrainNetwork(&*net, data, options);
+  Check(trained.status(), "train");
+  out.accuracy = trained->final_accuracy;
+  out.snapshots = std::move(trained->snapshots);
+  out.final_params = net->GetParameters();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace modelhub
+
+#endif  // MODELHUB_BENCH_BENCH_UTIL_H_

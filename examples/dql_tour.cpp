@@ -1,0 +1,129 @@
+// DQL tour: the paper's four example queries (Queries 1-4, Sec. III-B)
+// adapted to a live repository.
+//
+//   Query 1  select     — filter models by name, time and structure
+//   Query 2  slice      — extract a reusable sub-network
+//   Query 3  construct  — derive new architectures by insertion
+//   Query 4  evaluate   — grid-search hyperparameters, keep the best
+//
+// Run: ./dql_tour [workdir]
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "data/dataset.h"
+#include "dlv/repository.h"
+#include "dql/engine.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace {
+
+void Check(const modelhub::Status& status, const char* step) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", step, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void CommitTrained(modelhub::Repository* repo, const std::string& name,
+                   float lr, uint64_t seed, const modelhub::Dataset& data) {
+  using namespace modelhub;
+  NetworkDef def = MiniVgg(6, 16, 1);
+  def.set_name(name);
+  auto net = Network::Create(def);
+  Check(net.status(), "create");
+  Rng rng(seed);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = 60;
+  options.snapshot_every = 30;
+  options.base_learning_rate = lr;
+  options.seed = seed;
+  auto trained = TrainNetwork(&*net, data, options);
+  Check(trained.status(), "train");
+  CommitRequest request;
+  request.name = name;
+  request.network = def;
+  request.snapshots = trained->snapshots;
+  request.log = trained->log;
+  request.hyperparams = {{"base_lr", std::to_string(lr)}};
+  Check(repo->Commit(request).status(), "commit");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace modelhub;
+  const std::string root = argc > 1 ? argv[1] : "dql_tour_repo";
+  Env* env = Env::Default();
+
+  auto repo = Repository::Init(env, root);
+  Check(repo.status(), "dlv init");
+  const Dataset data = MakeGlyphDataset(
+      {.num_samples = 256, .num_classes = 6, .image_size = 16, .seed = 5});
+  CommitTrained(&*repo, "alexnet_mini_a", 0.1f, 1, data);
+  CommitTrained(&*repo, "alexnet_mini_b", 0.05f, 2, data);
+  CommitTrained(&*repo, "vgg_mini_c", 0.1f, 3, data);
+
+  DqlEngine engine(&*repo);
+  engine.RegisterDataset("default", &data);
+
+  // ---- Query 1: select by name pattern + structure.
+  std::printf("== Query 1: select ==\n");
+  auto q1 = engine.Run(
+      "select m1 where m1.name like \"alexnet_%\" and "
+      "m1[\"conv1_1\"].next has RELU()");
+  Check(q1.status(), "query1");
+  for (const auto& name : q1->model_names) {
+    std::printf("  matched: %s\n", name.c_str());
+  }
+
+  // ---- Query 2: slice a reusable feature extractor.
+  std::printf("\n== Query 2: slice ==\n");
+  auto q2 = engine.Run(
+      "slice m2 from m1 where m1.name like \"alexnet_mini_a%\" "
+      "mutate m2.input = m1[\"conv1_1\"] and m2.output = m1[\"fc1\"]");
+  Check(q2.status(), "query2");
+  for (const auto& def : q2->networks) {
+    std::printf("  sliced %s: %zu nodes (committed back to the repo)\n",
+                def.name().c_str(), def.nodes().size());
+  }
+
+  // ---- Query 3: construct variants (insert dropout after every pool).
+  std::printf("\n== Query 3: construct ==\n");
+  auto q3 = engine.Run(
+      "construct m2 from m1 where m1.name like \"vgg_mini%\" and "
+      "m1[\"conv1_1\"].next has RELU() "
+      "mutate m1[\"pool.*\"].insert = DROPOUT(\"drop_$\")");
+  Check(q3.status(), "query3");
+  for (const auto& def : q3->networks) {
+    std::printf("  constructed %s with nodes:", def.name().c_str());
+    for (const auto& node : def.nodes()) {
+      std::printf(" %s", node.name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // ---- Query 4: evaluate — enumerate configs, keep the best two.
+  std::printf("\n== Query 4: evaluate ==\n");
+  auto q4 = engine.Run(
+      "evaluate m from \"alexnet_mini_a\" with config = default "
+      "vary config.base_lr in [0.1, 0.01, 0.001] and "
+      "     config.batch_size in [16, 32] "
+      "keep top(2, m[\"accuracy\"], 40)");
+  Check(q4.status(), "query4");
+  std::printf("  trained 6 configurations, kept top 2 by accuracy:\n");
+  for (const auto& model : q4->evaluated) {
+    std::printf("  %-28s acc=%.3f loss=%.3f  (", model.name.c_str(),
+                model.accuracy, model.loss);
+    for (const auto& [key, value] : model.config) {
+      std::printf(" %s=%s", key.c_str(), value.c_str());
+    }
+    std::printf(" )\n");
+  }
+
+  std::printf("\nDQL tour complete.\n");
+  return 0;
+}

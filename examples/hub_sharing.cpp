@@ -1,0 +1,124 @@
+// Hub sharing: publish a repository to the (directory-backed) ModelHub
+// service, search across hosted repositories, and pull one to reuse its
+// trained weights for fine-tuning — the collaboration workflow of
+// Sec. III-C.
+//
+// Run: ./hub_sharing [workdir]
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "data/dataset.h"
+#include "dlv/repository.h"
+#include "hub/hub.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace {
+
+void Check(const modelhub::Status& status, const char* step) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", step, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace modelhub;
+  const std::string work = argc > 1 ? argv[1] : "hub_demo";
+  Env* env = Env::Default();
+
+  // Alice trains and publishes a model.
+  auto alice_repo = Repository::Init(env, JoinPath(work, "alice_repo"));
+  Check(alice_repo.status(), "init alice repo");
+  const Dataset data = MakeGlyphDataset(
+      {.num_samples = 256, .num_classes = 6, .image_size = 16, .seed = 21});
+  NetworkDef def = MiniVgg(6, 16, 1);
+  def.set_name("glyphnet_base");
+  auto net = Network::Create(def);
+  Check(net.status(), "create");
+  Rng rng(3);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = 120;
+  options.snapshot_every = 60;
+  auto trained = TrainNetwork(&*net, data, options);
+  Check(trained.status(), "train");
+  CommitRequest commit;
+  commit.name = "glyphnet_base";
+  commit.network = def;
+  commit.snapshots = trained->snapshots;
+  commit.log = trained->log;
+  commit.hyperparams = {{"base_lr", "0.05"}};
+  Check(alice_repo->Commit(commit).status(), "commit");
+  std::printf("alice trained glyphnet_base to %.1f%% accuracy\n",
+              trained->final_accuracy * 100);
+
+  ModelHubService hub(env, JoinPath(work, "hub"));
+  Check(hub.Publish(JoinPath(work, "alice_repo"), "alice", "glyphnets"),
+        "dlv publish");
+  std::printf("published alice/glyphnets\n");
+
+  // Bob discovers it.
+  auto hits = hub.Search("glyph%");
+  Check(hits.status(), "dlv search");
+  std::printf("\n== dlv search \"glyph%%\" ==\n");
+  for (const auto& hit : *hits) {
+    std::printf("  %s/%s :: %s  (acc %.3f, %lld snapshots)\n",
+                hit.user.c_str(), hit.repo_name.c_str(),
+                hit.version_name.c_str(), hit.best_accuracy,
+                static_cast<long long>(hit.num_snapshots));
+  }
+
+  // Bob pulls and fine-tunes on his own (shifted) task.
+  auto bob_repo =
+      hub.Pull("alice", "glyphnets", JoinPath(work, "bob_repo"));
+  Check(bob_repo.status(), "dlv pull");
+  std::printf("\nbob pulled alice/glyphnets\n");
+
+  auto base_params = bob_repo->GetSnapshotParams("glyphnet_base");
+  Check(base_params.status(), "read pulled weights");
+  auto base_def = bob_repo->GetNetwork("glyphnet_base");
+  Check(base_def.status(), "read pulled network");
+
+  const Dataset bob_data = MakeGlyphDataset(
+      {.num_samples = 192, .num_classes = 6, .image_size = 16, .seed = 99});
+  auto finetuned = Network::Create(*base_def);
+  Check(finetuned.status(), "create finetune net");
+  Rng bob_rng(9);
+  finetuned->InitializeWeights(&bob_rng);
+  Check(finetuned->SetParameters(*base_params), "warm start");
+  TrainOptions finetune_options;
+  finetune_options.iterations = 60;
+  finetune_options.base_learning_rate = 0.01f;  // Gentle fine-tune.
+  finetune_options.snapshot_every = 30;
+  auto finetune_run = TrainNetwork(&*finetuned, bob_data, finetune_options);
+  Check(finetune_run.status(), "finetune");
+  std::printf("bob fine-tuned to %.1f%% on his task\n",
+              finetune_run->final_accuracy * 100);
+
+  NetworkDef bob_def = *base_def;
+  bob_def.set_name("glyphnet_bob");
+  CommitRequest bob_commit;
+  bob_commit.name = "glyphnet_bob";
+  bob_commit.network = bob_def;
+  bob_commit.snapshots = finetune_run->snapshots;
+  bob_commit.log = finetune_run->log;
+  bob_commit.parent = "glyphnet_base";
+  bob_commit.message = "fine-tune of alice's base";
+  Check(bob_repo->Commit(bob_commit).status(), "commit finetune");
+
+  // Bob publishes his derived repository back.
+  Check(hub.Publish(JoinPath(work, "bob_repo"), "bob", "glyphnets-ft"),
+        "publish bob");
+  auto all = hub.Search("");
+  Check(all.status(), "search all");
+  std::printf("\nhub now hosts %zu model versions across %s\n", all->size(),
+              "2 repositories");
+  std::printf("hub sharing complete.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Model exploration: a modeling-session lifecycle across many versions.
+//
+// The synthetic modeler (the paper's SD generator) populates a repository
+// with a lineage of trained variants — fine-tunes, hyperparameter
+// re-trainings, architecture mutations. We then run the exploration
+// queries a modeler actually uses: dlv list, lineage, desc, diff, and a
+// couple of DQL selects over metadata and structure.
+//
+// Run: ./model_exploration [workdir]
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "data/synthetic_modeler.h"
+#include "dlv/repository.h"
+#include "dql/engine.h"
+
+namespace {
+
+void Check(const modelhub::Status& status, const char* step) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", step, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace modelhub;
+  const std::string root = argc > 1 ? argv[1] : "exploration_repo";
+  Env* env = Env::Default();
+
+  auto repo = Repository::Init(env, root);
+  Check(repo.status(), "dlv init");
+
+  // Simulate a week of modeling: 6 versions derived from one base.
+  ModelerOptions modeler;
+  modeler.num_versions = 6;
+  modeler.snapshots_per_version = 3;
+  modeler.train_iterations = 60;
+  modeler.num_classes = 6;
+  modeler.image_size = 16;
+  modeler.dataset_samples = 256;
+  auto names = RunSyntheticModeler(&*repo, modeler);
+  Check(names.status(), "synthetic modeler");
+  std::printf("modeler committed %zu versions\n", names->size());
+
+  // dlv list.
+  auto versions = repo->List();
+  Check(versions.status(), "dlv list");
+  std::printf("\n== dlv list ==\n");
+  std::printf("%-12s %-12s %6s %9s\n", "name", "parent", "snaps", "best_acc");
+  for (const auto& info : *versions) {
+    std::printf("%-12s %-12s %6lld %9.3f\n", info.name.c_str(),
+                info.parent.empty() ? "-" : info.parent.c_str(),
+                static_cast<long long>(info.num_snapshots),
+                info.best_accuracy);
+  }
+
+  // Lineage graph.
+  std::printf("\n== lineage ==\n");
+  for (const auto& [base, derived] : repo->GetLineage()) {
+    std::printf("%s -> %s\n", base.c_str(), derived.c_str());
+  }
+
+  // dlv desc of the base model.
+  std::printf("\n== dlv desc model_v0 ==\n");
+  auto description = repo->Describe("model_v0");
+  Check(description.status(), "dlv desc");
+  std::printf("%s", description->c_str());
+
+  // dlv diff: base vs the last variant.
+  std::printf("\n== dlv diff model_v0 %s ==\n", names->back().c_str());
+  auto diff = repo->Diff("model_v0", names->back());
+  Check(diff.status(), "dlv diff");
+  std::printf("%s", diff->c_str());
+
+  // DQL exploration: metadata and structural predicates.
+  DqlEngine engine(&*repo, DqlOptions{.commit_results = false});
+  std::printf("\n== DQL: models with accuracy above the base ==\n");
+  auto info = repo->GetInfo("model_v0");
+  Check(info.status(), "get info");
+  char query[160];
+  std::snprintf(query, sizeof(query),
+                "select m where m.accuracy > %.4f", info->best_accuracy);
+  auto better = engine.Run(query);
+  Check(better.status(), "dql select");
+  for (const auto& name : better->model_names) {
+    std::printf("  %s\n", name.c_str());
+  }
+  if (better->model_names.empty()) std::printf("  (none)\n");
+
+  std::printf("\n== DQL: models with an extra ReLU after pool1 ==\n");
+  auto mutated = engine.Run(
+      "select m where m[\"pool1\"].next has RELU()");
+  Check(mutated.status(), "dql structural select");
+  for (const auto& name : mutated->model_names) {
+    std::printf("  %s\n", name.c_str());
+  }
+  if (mutated->model_names.empty()) std::printf("  (none)\n");
+
+  std::printf("\n== DQL: direct children of model_v0 ==\n");
+  auto children = engine.Run("select m where m.parent = \"model_v0\"");
+  Check(children.status(), "dql children");
+  for (const auto& name : children->model_names) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("\nexploration complete.\n");
+  return 0;
+}

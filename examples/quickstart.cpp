@@ -1,0 +1,124 @@
+// Quickstart: the end-to-end ModelHub loop on one model.
+//
+//   1. dlv init        — create a repository
+//   2. train           — fit a small conv net on a synthetic task
+//   3. dlv commit      — record the version (network, snapshots, log)
+//   4. dlv list/desc   — explore what was stored
+//   5. dlv eval        — run the model on fresh data
+//   6. dlv archive     — compact all snapshots into PAS
+//   7. retrieve        — read parameters back from the archive
+//
+// Run: ./quickstart [workdir]   (default: ./quickstart_repo)
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "data/dataset.h"
+#include "dlv/repository.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace {
+
+// Aborts with a message on error — fine for an example binary.
+void Check(const modelhub::Status& status, const char* step) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", step, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace modelhub;
+  const std::string root = argc > 1 ? argv[1] : "quickstart_repo";
+  Env* env = Env::Default();
+
+  // 1. Initialize a repository (fails if one exists; reuse a fresh dir).
+  auto repo = Repository::Init(env, root);
+  Check(repo.status(), "dlv init");
+  std::printf("initialized repository at %s\n", root.c_str());
+
+  // 2. Train a mini LeNet-style model on a synthetic glyph task (stands in
+  //    for MNIST; see DESIGN.md substitutions).
+  const Dataset train_set = MakeGlyphDataset(
+      {.num_samples = 384, .num_classes = 6, .image_size = 20, .seed = 1});
+  NetworkDef def = MiniLeNet(/*classes=*/6, /*image_size=*/20);
+  def.set_name("glyphnet_v1");
+  auto net = Network::Create(def);
+  Check(net.status(), "create network");
+  Rng rng(42);
+  net->InitializeWeights(&rng);
+
+  TrainOptions options;
+  options.iterations = 150;
+  options.batch_size = 24;
+  options.base_learning_rate = 0.02f;
+  options.snapshot_every = 50;  // Checkpoints at 50, 100, 150.
+  options.log_every = 25;
+  auto trained = TrainNetwork(&*net, train_set, options);
+  Check(trained.status(), "train");
+  std::printf("trained %lld iterations: loss %.3f, accuracy %.1f%%\n",
+              static_cast<long long>(options.iterations),
+              trained->final_loss, trained->final_accuracy * 100);
+
+  // 3. Commit the model version.
+  CommitRequest commit;
+  commit.name = "glyphnet_v1";
+  commit.network = def;
+  commit.snapshots = trained->snapshots;
+  commit.log = trained->log;
+  commit.hyperparams = {{"base_lr", "0.02"}, {"batch_size", "24"}};
+  commit.message = "initial glyph classifier";
+  commit.files = {{"notes.md", "# glyphnet\ntrained by quickstart\n"}};
+  Check(repo->Commit(commit).status(), "dlv commit");
+
+  // 4. Explore.
+  auto versions = repo->List();
+  Check(versions.status(), "dlv list");
+  for (const auto& info : *versions) {
+    std::printf("dlv list: %s  snapshots=%lld  best_acc=%.3f\n",
+                info.name.c_str(),
+                static_cast<long long>(info.num_snapshots),
+                info.best_accuracy);
+  }
+  auto description = repo->Describe("glyphnet_v1");
+  Check(description.status(), "dlv desc");
+  std::printf("%s", description->c_str());
+
+  // 5. Evaluate on held-out data.
+  const Dataset test_set = MakeGlyphDataset(
+      {.num_samples = 64, .num_classes = 6, .image_size = 20, .seed = 2});
+  auto labels = repo->Eval("glyphnet_v1", test_set.images);
+  Check(labels.status(), "dlv eval");
+  int correct = 0;
+  for (size_t i = 0; i < labels->size(); ++i) {
+    if ((*labels)[i] == test_set.labels[i]) ++correct;
+  }
+  std::printf("dlv eval: held-out accuracy %.1f%% (%d/%zu)\n",
+              100.0 * correct / labels->size(), correct, labels->size());
+
+  // 6. Archive the checkpoints into PAS (delta-encoded, segmented).
+  ArchiveOptions archive_options;
+  archive_options.solver = ArchiveSolver::kPasPt;
+  archive_options.budget_alpha = 2.0;
+  auto report = repo->Archive(archive_options);
+  Check(report.status(), "dlv archive");
+  std::printf(
+      "dlv archive: %d matrices, storage %.0f bytes (MST bound %.0f, "
+      "materialized %.0f), budgets %s\n",
+      report->num_vertices, report->storage_cost, report->mst_storage_cost,
+      report->spt_storage_cost,
+      report->budgets_satisfied ? "satisfied" : "violated");
+
+  // 7. Read a checkpoint back from the archive and reuse it.
+  auto params = repo->GetSnapshotParams("glyphnet_v1", /*sequence=*/0);
+  Check(params.status(), "retrieve snapshot");
+  std::printf("retrieved snapshot 0: %zu parameter matrices\n",
+              params->size());
+  std::printf("quickstart complete.\n");
+  return 0;
+}

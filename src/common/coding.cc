@@ -1,0 +1,81 @@
+#include "common/coding.h"
+
+namespace modelhub {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xFF);
+  buf[1] = static_cast<char>((value >> 8) & 0xFF);
+  buf[2] = static_cast<char>((value >> 16) & 0xFF);
+  buf[3] = static_cast<char>((value >> 24) & 0xFF);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  PutFixed32(dst, static_cast<uint32_t>(value & 0xFFFFFFFFu));
+  PutFixed32(dst, static_cast<uint32_t>(value >> 32));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(reinterpret_cast<const char*>(value.data()), value.size());
+}
+
+Status GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) {
+    return Status::Corruption("GetFixed32: input too short");
+  }
+  const uint8_t* p = input->data();
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  input->RemovePrefix(4);
+  return Status::OK();
+}
+
+Status GetFixed64(Slice* input, uint64_t* value) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  Status s = GetFixed32(input, &lo);
+  if (!s.ok()) return s;
+  s = GetFixed32(input, &hi);
+  if (!s.ok()) return s;
+  *value = (static_cast<uint64_t>(hi) << 32) | lo;
+  return Status::OK();
+}
+
+Status GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = (*input)[0];
+    input->RemovePrefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("GetVarint64: truncated or overlong varint");
+}
+
+Status GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len = 0;
+  Status s = GetVarint64(input, &len);
+  if (!s.ok()) return s;
+  if (input->size() < len) {
+    return Status::Corruption("GetLengthPrefixed: input too short");
+  }
+  *value = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return Status::OK();
+}
+
+}  // namespace modelhub

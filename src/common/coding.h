@@ -1,0 +1,34 @@
+#ifndef MODELHUB_COMMON_CODING_H_
+#define MODELHUB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace modelhub {
+
+/// Little-endian fixed-width and varint encoding primitives used by the PAS
+/// chunk store and the DLV catalog file formats.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+/// LEB128-style unsigned varint (7 bits per byte, high bit = continuation).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Length-prefixed (varint) byte string.
+void PutLengthPrefixed(std::string* dst, Slice value);
+
+/// Each Get* consumes bytes from the front of `*input` on success.
+/// On failure the input position is unspecified and a Corruption status is
+/// returned.
+Status GetFixed32(Slice* input, uint32_t* value);
+Status GetFixed64(Slice* input, uint64_t* value);
+Status GetVarint64(Slice* input, uint64_t* value);
+Status GetLengthPrefixed(Slice* input, Slice* value);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_CODING_H_

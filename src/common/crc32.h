@@ -1,0 +1,18 @@
+#ifndef MODELHUB_COMMON_CRC32_H_
+#define MODELHUB_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace modelhub {
+
+/// Computes the CRC-32 (IEEE 802.3 polynomial, reflected) of `data`,
+/// continuing from `seed` (pass 0 for a fresh checksum). Chunk-store pages
+/// carry this checksum so corruption is detected on read.
+uint32_t Crc32(Slice data, uint32_t seed = 0);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_CRC32_H_

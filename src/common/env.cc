@@ -1,0 +1,241 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace modelhub {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Filesystem-backed Env. Writes go through a temp file + rename so readers
+/// never observe a partially written artifact.
+class PosixEnv : public Env {
+ public:
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IOError("cannot open for write: " + tmp);
+    }
+    if (!contents.empty() &&
+        std::fwrite(contents.data(), 1, contents.size(), f) !=
+            contents.size()) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      return Status::IOError("short write: " + tmp);
+    }
+    if (std::fclose(f) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IOError("close failed: " + tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      std::remove(tmp.c_str());
+      return Status::IOError("rename failed: " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("no such file: " + path);
+    std::string out;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.append(buf, n);
+    }
+    const bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err) return Status::IOError("read failed: " + path);
+    return out;
+  }
+
+  Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("no such file: " + path);
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+      std::fclose(f);
+      return Status::IOError("seek failed: " + path);
+    }
+    std::string out(length, '\0');
+    const size_t n = std::fread(out.data(), 1, length, f);
+    const bool err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (err) return Status::IOError("read failed: " + path);
+    out.resize(n);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::is_regular_file(path, ec);
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    const uint64_t size = fs::file_size(path, ec);
+    if (ec) return Status::NotFound("no such file: " + path);
+    return size;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::NotFound("cannot delete: " + path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir failed: " + path);
+    return Status::OK();
+  }
+
+  bool DirExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::is_directory(path, ec);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    fs::directory_iterator it(path, ec);
+    if (ec) return Status::NotFound("no such directory: " + path);
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // Intentionally leaked singleton.
+  return env;
+}
+
+std::vector<std::pair<std::string, MemEnv::Node>>::iterator MemEnv::Find(
+    const std::string& path) {
+  return std::find_if(files_.begin(), files_.end(),
+                      [&](const auto& kv) { return kv.first == path; });
+}
+
+Status MemEnv::WriteFile(const std::string& path,
+                         const std::string& contents) {
+  auto it = Find(path);
+  if (it != files_.end()) {
+    if (it->second.is_dir) {
+      return Status::IOError("is a directory: " + path);
+    }
+    it->second.contents = contents;
+  } else {
+    files_.push_back({path, Node{false, contents}});
+  }
+  return Status::OK();
+}
+
+Result<std::string> MemEnv::ReadFile(const std::string& path) {
+  auto it = Find(path);
+  if (it == files_.end() || it->second.is_dir) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second.contents;
+}
+
+Result<std::string> MemEnv::ReadFileRange(const std::string& path,
+                                          uint64_t offset, uint64_t length) {
+  auto it = Find(path);
+  if (it == files_.end() || it->second.is_dir) {
+    return Status::NotFound("no such file: " + path);
+  }
+  const std::string& c = it->second.contents;
+  if (offset >= c.size()) return std::string();
+  return c.substr(static_cast<size_t>(offset), static_cast<size_t>(length));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  auto it = Find(path);
+  return it != files_.end() && !it->second.is_dir;
+}
+
+Result<uint64_t> MemEnv::FileSize(const std::string& path) {
+  auto it = Find(path);
+  if (it == files_.end() || it->second.is_dir) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return static_cast<uint64_t>(it->second.contents.size());
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  auto it = Find(path);
+  if (it == files_.end() || it->second.is_dir) {
+    return Status::NotFound("cannot delete: " + path);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirs(const std::string& path) {
+  // Record each prefix directory.
+  std::string prefix;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    std::string part = (slash == std::string::npos)
+                           ? path.substr(start)
+                           : path.substr(start, slash - start);
+    if (!part.empty()) {
+      prefix = prefix.empty() ? part : prefix + "/" + part;
+      if (path[0] == '/' && prefix[0] != '/') prefix = "/" + prefix;
+      auto it = Find(prefix);
+      if (it == files_.end()) {
+        files_.push_back({prefix, Node{true, ""}});
+      } else if (!it->second.is_dir) {
+        return Status::IOError("not a directory: " + prefix);
+      }
+    }
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return Status::OK();
+}
+
+bool MemEnv::DirExists(const std::string& path) {
+  auto it = Find(path);
+  return it != files_.end() && it->second.is_dir;
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
+  if (!DirExists(path)) return Status::NotFound("no such directory: " + path);
+  std::vector<std::string> names;
+  const std::string prefix = path + "/";
+  for (const auto& [p, node] : files_) {
+    if (p.size() > prefix.size() && p.compare(0, prefix.size(), prefix) == 0 &&
+        p.find('/', prefix.size()) == std::string::npos) {
+      names.push_back(p.substr(prefix.size()));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string JoinPath(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.back() == '/') return a + b;
+  return a + "/" + b;
+}
+
+}  // namespace modelhub

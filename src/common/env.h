@@ -1,0 +1,84 @@
+#ifndef MODELHUB_COMMON_ENV_H_
+#define MODELHUB_COMMON_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace modelhub {
+
+/// Env abstracts the filesystem so the DLV repository, PAS chunk store and
+/// hub can run against a real directory tree or a deterministic in-memory
+/// tree in tests (the RocksDB Env pattern, trimmed to whole-file
+/// operations — ModelHub artifacts are written once and read many times).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Atomically replaces (creates) `path` with `contents`.
+  virtual Status WriteFile(const std::string& path,
+                           const std::string& contents) = 0;
+
+  /// Reads the entire file into a string.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Reads `length` bytes starting at `offset`. Short reads past EOF return
+  /// the available suffix (possibly empty).
+  virtual Result<std::string> ReadFileRange(const std::string& path,
+                                            uint64_t offset,
+                                            uint64_t length) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Creates the directory (and parents). Idempotent.
+  virtual Status CreateDirs(const std::string& path) = 0;
+  virtual bool DirExists(const std::string& path) = 0;
+
+  /// Lists immediate children (file and directory names, not full paths),
+  /// sorted lexicographically.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  /// Returns the process-wide POSIX filesystem Env (never null, not owned).
+  static Env* Default();
+};
+
+/// An in-memory Env for hermetic tests. Paths are treated as opaque
+/// '/'-separated strings; directories are tracked implicitly.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool DirExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+ private:
+  // Keyed by full path. Directories are entries with is_dir = true.
+  struct Node {
+    bool is_dir = false;
+    std::string contents;
+  };
+  std::vector<std::pair<std::string, Node>>::iterator Find(
+      const std::string& path);
+  std::vector<std::pair<std::string, Node>> files_;
+};
+
+/// Joins two path components with exactly one '/'.
+std::string JoinPath(const std::string& a, const std::string& b);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_ENV_H_

@@ -1,0 +1,39 @@
+#ifndef MODELHUB_COMMON_MACROS_H_
+#define MODELHUB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status from the current function.
+#define MH_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::modelhub::Status _mh_status = (expr);      \
+    if (!_mh_status.ok()) return _mh_status;     \
+  } while (false)
+
+#define MH_CONCAT_IMPL(x, y) x##y
+#define MH_CONCAT(x, y) MH_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define MH_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto MH_CONCAT(_mh_result_, __LINE__) = (rexpr);                  \
+  if (!MH_CONCAT(_mh_result_, __LINE__).ok()) {                     \
+    return MH_CONCAT(_mh_result_, __LINE__).status();               \
+  }                                                                 \
+  lhs = MH_CONCAT(_mh_result_, __LINE__).MoveValue()
+
+/// Fatal invariant check. Used for programmer errors only, never for
+/// user-input validation (which must return Status).
+#define MH_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MH_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // MODELHUB_COMMON_MACROS_H_

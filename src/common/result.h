@@ -1,0 +1,83 @@
+#ifndef MODELHUB_COMMON_RESULT_H_
+#define MODELHUB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace modelhub {
+
+/// Result<T> holds either a value of type T or a non-OK Status. It is the
+/// return type of fallible functions that produce a value, mirroring
+/// arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<FloatMatrix> m = LoadMatrix(path);
+///   if (!m.ok()) return m.status();
+///   Use(*m);
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing a Result from
+  /// an OK status is a programming error and is converted to an Internal
+  /// error so that misuse is observable rather than undefined.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the contained status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Value accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out of the Result. Must only be called when ok().
+  T MoveValue() { return std::get<T>(std::move(value_)); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> value_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_RESULT_H_

@@ -1,0 +1,66 @@
+#ifndef MODELHUB_COMMON_SLICE_H_
+#define MODELHUB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace modelhub {
+
+/// A non-owning view over a contiguous byte range, in the spirit of
+/// rocksdb::Slice. Used by codecs and the chunk store so that encode /
+/// decode paths never force copies. The caller guarantees the underlying
+/// storage outlives the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  /// Views a std::string's bytes.
+  explicit Slice(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns a sub-view [offset, offset + len); clamped to the slice end.
+  Slice SubSlice(size_t offset, size_t len) const {
+    if (offset >= size_) return Slice();
+    const size_t n = (offset + len > size_) ? size_ - offset : len;
+    return Slice(data_ + offset, n);
+  }
+
+  /// Copies the bytes into an owning std::string.
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_SLICE_H_

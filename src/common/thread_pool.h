@@ -1,0 +1,49 @@
+#ifndef MODELHUB_COMMON_THREAD_POOL_H_
+#define MODELHUB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace modelhub {
+
+/// A fixed-size worker pool. PAS's parallel retrieval scheme (Table III:
+/// "accesses all matrices of a snapshot in parallel using multiple
+/// threads") runs per-matrix recreation on this pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_THREAD_POOL_H_

@@ -1,0 +1,67 @@
+#ifndef MODELHUB_COMPRESS_BIT_STREAM_H_
+#define MODELHUB_COMPRESS_BIT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace modelhub {
+
+/// MSB-first bit writer appending to a std::string. Used by the Huffman
+/// coder; codes are at most 15 bits so a 32-bit accumulator suffices.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Appends the low `nbits` bits of `bits`, most significant first.
+  void Write(uint32_t bits, int nbits) {
+    acc_ = (acc_ << nbits) | (bits & ((1u << nbits) - 1));
+    nacc_ += nbits;
+    while (nacc_ >= 8) {
+      nacc_ -= 8;
+      out_->push_back(static_cast<char>((acc_ >> nacc_) & 0xFF));
+    }
+  }
+
+  /// Flushes any partial byte, zero-padding the tail.
+  void Finish() {
+    if (nacc_ > 0) {
+      out_->push_back(static_cast<char>((acc_ << (8 - nacc_)) & 0xFF));
+      nacc_ = 0;
+    }
+    acc_ = 0;
+  }
+
+ private:
+  std::string* out_;
+  uint64_t acc_ = 0;
+  int nacc_ = 0;
+};
+
+/// MSB-first bit reader over a Slice.
+class BitReader {
+ public:
+  explicit BitReader(Slice input) : input_(input) {}
+
+  /// Reads one bit; returns -1 past end of input.
+  int ReadBit() {
+    if (nacc_ == 0) {
+      if (pos_ >= input_.size()) return -1;
+      acc_ = input_[pos_++];
+      nacc_ = 8;
+    }
+    --nacc_;
+    return (acc_ >> nacc_) & 1;
+  }
+
+ private:
+  Slice input_;
+  size_t pos_ = 0;
+  uint32_t acc_ = 0;
+  int nacc_ = 0;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMPRESS_BIT_STREAM_H_

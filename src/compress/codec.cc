@@ -1,0 +1,69 @@
+#include "compress/codec.h"
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "compress/deflate_lite.h"
+#include "compress/huffman.h"
+#include "compress/rle_codec.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Identity codec; frame: varint(raw_size) | raw bytes.
+class NullCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kNull; }
+  std::string name() const override { return "null"; }
+
+  Status Compress(Slice input, std::string* output) const override {
+    output->clear();
+    PutVarint64(output, input.size());
+    output->append(reinterpret_cast<const char*>(input.data()), input.size());
+    return Status::OK();
+  }
+
+  Status Decompress(Slice input, std::string* output) const override {
+    output->clear();
+    uint64_t raw_size = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+    if (raw_size > kMaxDecompressedSize) {
+      return Status::Corruption("decompress: implausible raw size");
+    }
+    if (input.size() != raw_size) {
+      return Status::Corruption("null codec: size mismatch");
+    }
+    output->assign(reinterpret_cast<const char*>(input.data()), input.size());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec* Codec::Get(CodecType type) {
+  // Intentionally leaked singletons; codecs are stateless.
+  static const NullCodec* null_codec = new NullCodec();
+  static const RleCodec* rle_codec = new RleCodec();
+  static const HuffmanCodec* huffman_codec = new HuffmanCodec();
+  static const DeflateLiteCodec* deflate_codec = new DeflateLiteCodec();
+  switch (type) {
+    case CodecType::kNull:
+      return null_codec;
+    case CodecType::kRle:
+      return rle_codec;
+    case CodecType::kHuffman:
+      return huffman_codec;
+    case CodecType::kDeflateLite:
+      return deflate_codec;
+  }
+  return null_codec;
+}
+
+size_t CompressedSize(CodecType type, Slice input) {
+  std::string out;
+  const Status s = Codec::Get(type)->Compress(input, &out);
+  MH_CHECK(s.ok());
+  return out.size();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,41 @@
+#include "compress/deflate_lite.h"
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+
+namespace modelhub {
+
+Status DeflateLiteCodec::Compress(Slice input, std::string* output) const {
+  output->clear();
+  PutVarint64(output, input.size());
+  if (input.empty()) return Status::OK();
+  std::string tokens;
+  lz77::Tokenize(input, &tokens);
+  std::string entropy_coded;
+  HuffmanCodec huffman;
+  MH_RETURN_IF_ERROR(huffman.Compress(Slice(tokens), &entropy_coded));
+  output->append(entropy_coded);
+  return Status::OK();
+}
+
+Status DeflateLiteCodec::Decompress(Slice input, std::string* output) const {
+  output->clear();
+  uint64_t raw_size = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+  if (raw_size > kMaxDecompressedSize) {
+    return Status::Corruption("decompress: implausible raw size");
+  }
+  if (raw_size == 0) return Status::OK();
+  std::string tokens;
+  HuffmanCodec huffman;
+  MH_RETURN_IF_ERROR(huffman.Decompress(input, &tokens));
+  MH_RETURN_IF_ERROR(lz77::Detokenize(Slice(tokens), output));
+  if (output->size() != raw_size) {
+    return Status::Corruption("deflate-lite: size mismatch after decode");
+  }
+  return Status::OK();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,25 @@
+#ifndef MODELHUB_COMPRESS_DEFLATE_LITE_H_
+#define MODELHUB_COMPRESS_DEFLATE_LITE_H_
+
+#include <string>
+
+#include "compress/codec.h"
+
+namespace modelhub {
+
+/// The default PAS codec: LZ77 tokenization followed by order-0 canonical
+/// Huffman coding of the token stream — the same algorithmic family as zlib
+/// (which the paper uses at level 6), built from scratch.
+///
+/// Frame: varint(raw_size) | HuffmanCodec frame of the LZ77 token stream.
+class DeflateLiteCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kDeflateLite; }
+  std::string name() const override { return "deflate-lite"; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMPRESS_DEFLATE_LITE_H_

@@ -1,0 +1,216 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "compress/bit_stream.h"
+
+namespace modelhub {
+
+namespace {
+
+struct TreeNode {
+  uint64_t freq;
+  int symbol;  // -1 for internal nodes.
+  int left = -1;
+  int right = -1;
+};
+
+// Computes the depth of each leaf of the Huffman tree rooted at `root`.
+void CollectDepths(const std::vector<TreeNode>& nodes, int root, int depth,
+                   std::array<uint8_t, 256>* lengths, int* max_depth) {
+  const TreeNode& n = nodes[root];
+  if (n.symbol >= 0) {
+    (*lengths)[n.symbol] = static_cast<uint8_t>(depth == 0 ? 1 : depth);
+    *max_depth = std::max(*max_depth, depth == 0 ? 1 : depth);
+    return;
+  }
+  CollectDepths(nodes, n.left, depth + 1, lengths, max_depth);
+  CollectDepths(nodes, n.right, depth + 1, lengths, max_depth);
+}
+
+}  // namespace
+
+std::array<uint8_t, 256> BuildHuffmanCodeLengths(
+    const std::array<uint64_t, 256>& original_freq) {
+  std::array<uint64_t, 256> freq = original_freq;
+  std::array<uint8_t, 256> lengths{};
+  for (;;) {
+    lengths.fill(0);
+    // Build the tree with a min-heap of node indices ordered by frequency.
+    std::vector<TreeNode> nodes;
+    auto cmp = [&nodes](int a, int b) {
+      if (nodes[a].freq != nodes[b].freq) return nodes[a].freq > nodes[b].freq;
+      return a > b;  // Deterministic tie-break.
+    };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+    for (int s = 0; s < 256; ++s) {
+      if (freq[s] > 0) {
+        nodes.push_back(TreeNode{freq[s], s});
+        heap.push(static_cast<int>(nodes.size()) - 1);
+      }
+    }
+    if (heap.empty()) return lengths;  // No symbols: all lengths zero.
+    while (heap.size() > 1) {
+      const int a = heap.top();
+      heap.pop();
+      const int b = heap.top();
+      heap.pop();
+      nodes.push_back(TreeNode{nodes[a].freq + nodes[b].freq, -1, a, b});
+      heap.push(static_cast<int>(nodes.size()) - 1);
+    }
+    int max_depth = 0;
+    CollectDepths(nodes, heap.top(), 0, &lengths, &max_depth);
+    if (max_depth <= kMaxHuffmanBits) return lengths;
+    // Too deep: flatten the distribution and retry. Halving preserves the
+    // support set, so this terminates (all-equal frequencies give depth 8).
+    for (auto& f : freq) {
+      if (f > 0) f = (f + 1) / 2;
+    }
+  }
+}
+
+std::array<uint16_t, 256> AssignCanonicalCodes(
+    const std::array<uint8_t, 256>& lengths) {
+  std::array<uint16_t, 256> codes{};
+  std::array<uint16_t, kMaxHuffmanBits + 2> count{};
+  for (int s = 0; s < 256; ++s) count[lengths[s]]++;
+  count[0] = 0;
+  uint32_t code = 0;
+  std::array<uint32_t, kMaxHuffmanBits + 2> next_code{};
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) {
+      codes[s] = static_cast<uint16_t>(next_code[lengths[s]]++);
+    }
+  }
+  return codes;
+}
+
+Status HuffmanCodec::Compress(Slice input, std::string* output) const {
+  output->clear();
+  PutVarint64(output, input.size());
+  if (input.empty()) return Status::OK();
+
+  std::array<uint64_t, 256> freq{};
+  for (size_t i = 0; i < input.size(); ++i) freq[input[i]]++;
+  int distinct = 0;
+  int only_symbol = 0;
+  for (int s = 0; s < 256; ++s) {
+    if (freq[s] > 0) {
+      ++distinct;
+      only_symbol = s;
+    }
+  }
+  if (distinct == 1) {
+    // All-zero length table marks the degenerate single-symbol frame.
+    output->append(128, '\0');
+    output->push_back(static_cast<char>(only_symbol));
+    return Status::OK();
+  }
+
+  const std::array<uint8_t, 256> lengths = BuildHuffmanCodeLengths(freq);
+  const std::array<uint16_t, 256> codes = AssignCanonicalCodes(lengths);
+
+  // 4-bit packed code length table.
+  for (int s = 0; s < 256; s += 2) {
+    output->push_back(
+        static_cast<char>((lengths[s] << 4) | (lengths[s + 1] & 0x0F)));
+  }
+
+  BitWriter writer(output);
+  for (size_t i = 0; i < input.size(); ++i) {
+    const uint8_t sym = input[i];
+    writer.Write(codes[sym], lengths[sym]);
+  }
+  writer.Finish();
+  return Status::OK();
+}
+
+Status HuffmanCodec::Decompress(Slice input, std::string* output) const {
+  output->clear();
+  uint64_t raw_size = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+  if (raw_size > kMaxDecompressedSize) {
+    return Status::Corruption("decompress: implausible raw size");
+  }
+  if (raw_size == 0) return Status::OK();
+  if (input.size() < 128) {
+    return Status::Corruption("huffman: truncated length table");
+  }
+  std::array<uint8_t, 256> lengths{};
+  bool all_zero = true;
+  for (int i = 0; i < 128; ++i) {
+    lengths[2 * i] = input[i] >> 4;
+    lengths[2 * i + 1] = input[i] & 0x0F;
+    if (input[i] != 0) all_zero = false;
+  }
+  input.RemovePrefix(128);
+
+  if (all_zero) {
+    if (input.empty()) {
+      return Status::Corruption("huffman: missing repeated symbol");
+    }
+    output->assign(static_cast<size_t>(raw_size),
+                   static_cast<char>(input[0]));
+    return Status::OK();
+  }
+
+  // Canonical decode tables: per length, the first code and the position of
+  // its first symbol in (length, symbol) order.
+  std::array<uint16_t, kMaxHuffmanBits + 1> count{};
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[s] > kMaxHuffmanBits) {
+      return Status::Corruption("huffman: invalid code length");
+    }
+    if (lengths[s] > 0) count[lengths[s]]++;
+  }
+  std::array<uint32_t, kMaxHuffmanBits + 1> first_code{};
+  std::array<uint32_t, kMaxHuffmanBits + 1> first_index{};
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    code <<= 1;
+    first_code[len] = code;
+    first_index[len] = index;
+    code += count[len];
+    index += count[len];
+  }
+  std::vector<uint8_t> symbols_by_code(index);
+  {
+    std::array<uint32_t, kMaxHuffmanBits + 1> pos = first_index;
+    for (int s = 0; s < 256; ++s) {
+      if (lengths[s] > 0) symbols_by_code[pos[lengths[s]]++] = s;
+    }
+  }
+
+  output->reserve(static_cast<size_t>(std::min<uint64_t>(raw_size, 1 << 22)));
+  BitReader reader(input);
+  while (output->size() < raw_size) {
+    uint32_t acc = 0;
+    int len = 0;
+    for (;;) {
+      const int bit = reader.ReadBit();
+      if (bit < 0) return Status::Corruption("huffman: truncated bitstream");
+      acc = (acc << 1) | static_cast<uint32_t>(bit);
+      ++len;
+      if (len > kMaxHuffmanBits) {
+        return Status::Corruption("huffman: invalid code");
+      }
+      if (count[len] > 0 && acc >= first_code[len] &&
+          acc < first_code[len] + count[len]) {
+        output->push_back(static_cast<char>(
+            symbols_by_code[first_index[len] + (acc - first_code[len])]));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,46 @@
+#ifndef MODELHUB_COMPRESS_HUFFMAN_H_
+#define MODELHUB_COMPRESS_HUFFMAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "compress/codec.h"
+
+namespace modelhub {
+
+/// Maximum Huffman code length. 15 matches DEFLATE and keeps decode tables
+/// small; the builder rescales skewed frequency tables until it holds.
+inline constexpr int kMaxHuffmanBits = 15;
+
+/// Computes canonical Huffman code lengths (<= kMaxHuffmanBits) for the 256
+/// byte symbols given their frequencies. Symbols with zero frequency get
+/// length 0. At least one symbol must have non-zero frequency.
+std::array<uint8_t, 256> BuildHuffmanCodeLengths(
+    const std::array<uint64_t, 256>& freq);
+
+/// Assigns canonical codes from lengths: codes are ordered by (length,
+/// symbol) per the DEFLATE convention. codes[s] is valid iff lengths[s] > 0.
+std::array<uint16_t, 256> AssignCanonicalCodes(
+    const std::array<uint8_t, 256>& lengths);
+
+/// Order-0 canonical Huffman codec over bytes.
+///
+/// Frame: varint(raw_size) | 128 bytes of packed 4-bit code lengths |
+/// bitstream. raw_size == 0 frames carry no further payload. Code lengths
+/// above 15 cannot occur; a special all-zero length table means "single
+/// distinct symbol" and is followed by that symbol byte.
+class HuffmanCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kHuffman; }
+  std::string name() const override { return "huffman"; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMPRESS_HUFFMAN_H_

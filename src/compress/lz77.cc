@@ -1,0 +1,126 @@
+#include "compress/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace modelhub {
+namespace lz77 {
+
+namespace {
+
+constexpr uint32_t kHashBits = 15;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainLength = 32;
+
+// Hashes the 4 bytes at p (caller guarantees at least kMinMatch readable).
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(Slice input, size_t start, size_t end, std::string* out) {
+  while (start < end) {
+    const size_t n = std::min<size_t>(128, end - start);
+    out->push_back(static_cast<char>(n - 1));
+    out->append(reinterpret_cast<const char*>(input.data() + start), n);
+    start += n;
+  }
+}
+
+}  // namespace
+
+void Tokenize(Slice input, std::string* out) {
+  out->clear();
+  const size_t n = input.size();
+  const uint8_t* data = input.data();
+
+  // head[h]: most recent position with hash h (+1, 0 = empty).
+  // prev[i % kWindowSize]: previous position in the chain for position i.
+  std::vector<uint32_t> head(kHashSize, 0);
+  std::vector<uint32_t> prev(kWindowSize, 0);
+
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = Hash4(data + i);
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    uint32_t candidate = head[h];
+    int chain = kMaxChainLength;
+    while (candidate != 0 && chain-- > 0) {
+      const size_t pos = candidate - 1;
+      if (i - pos > kWindowSize) break;
+      const size_t limit = std::min(n - i, kMaxMatch);
+      size_t len = 0;
+      while (len < limit && data[pos + len] == data[i + len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        best_dist = i - pos;
+        if (len >= kMaxMatch) break;
+      }
+      candidate = prev[pos % kWindowSize];
+    }
+
+    if (best_len >= kMinMatch) {
+      FlushLiterals(input, literal_start, i, out);
+      out->push_back(static_cast<char>(0x80));
+      PutVarint64(out, best_len - kMinMatch);
+      PutVarint64(out, best_dist - 1);
+      // Insert every covered position so later matches can reference them.
+      const size_t match_end = i + best_len;
+      while (i < match_end && i + kMinMatch <= n) {
+        const uint32_t hh = Hash4(data + i);
+        prev[i % kWindowSize] = head[hh];
+        head[hh] = static_cast<uint32_t>(i + 1);
+        ++i;
+      }
+      i = match_end;
+      literal_start = i;
+    } else {
+      prev[i % kWindowSize] = head[h];
+      head[h] = static_cast<uint32_t>(i + 1);
+      ++i;
+    }
+  }
+  FlushLiterals(input, literal_start, n, out);
+}
+
+Status Detokenize(Slice tokens, std::string* out) {
+  out->clear();
+  while (!tokens.empty()) {
+    const uint8_t op = tokens[0];
+    tokens.RemovePrefix(1);
+    if (op < 0x80) {
+      const size_t count = static_cast<size_t>(op) + 1;
+      if (tokens.size() < count) {
+        return Status::Corruption("lz77: short literal run");
+      }
+      out->append(reinterpret_cast<const char*>(tokens.data()), count);
+      tokens.RemovePrefix(count);
+    } else {
+      uint64_t len_minus = 0;
+      uint64_t dist_minus = 0;
+      MH_RETURN_IF_ERROR(GetVarint64(&tokens, &len_minus));
+      MH_RETURN_IF_ERROR(GetVarint64(&tokens, &dist_minus));
+      const size_t len = static_cast<size_t>(len_minus) + kMinMatch;
+      const size_t dist = static_cast<size_t>(dist_minus) + 1;
+      if (dist > out->size() || dist > kWindowSize || len > kMaxMatch) {
+        return Status::Corruption("lz77: invalid match");
+      }
+      // Byte-by-byte copy: matches may overlap their own output.
+      size_t src = out->size() - dist;
+      for (size_t k = 0; k < len; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lz77
+}  // namespace modelhub

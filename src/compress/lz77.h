@@ -1,0 +1,35 @@
+#ifndef MODELHUB_COMPRESS_LZ77_H_
+#define MODELHUB_COMPRESS_LZ77_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace modelhub {
+
+/// LZ77 tokenizer with a 32 KiB sliding window and hash-chain match finding
+/// (the DEFLATE construction). The token stream is a self-describing byte
+/// sequence consumed by DeflateLiteCodec, which entropy-codes it:
+///
+///   op 0x00..0x7F : literal run of (op + 1) bytes, followed by the bytes;
+///   op 0x80       : match, followed by varint(length - kMinMatch) and
+///                   varint(distance - 1), distance <= 32768.
+namespace lz77 {
+
+inline constexpr size_t kWindowSize = 32 * 1024;
+inline constexpr size_t kMinMatch = 4;
+inline constexpr size_t kMaxMatch = 258;
+
+/// Serializes `input` into the LZ77 token stream, appended to `*out`
+/// (cleared first).
+void Tokenize(Slice input, std::string* out);
+
+/// Reconstructs the original bytes from a token stream.
+Status Detokenize(Slice tokens, std::string* out);
+
+}  // namespace lz77
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMPRESS_LZ77_H_

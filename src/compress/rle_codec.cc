@@ -1,0 +1,83 @@
+#include "compress/rle_codec.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+constexpr size_t kMinRun = 3;
+constexpr size_t kMaxRun = 130;
+constexpr size_t kMaxLiteral = 128;
+}  // namespace
+
+Status RleCodec::Compress(Slice input, std::string* output) const {
+  output->clear();
+  PutVarint64(output, input.size());
+  size_t i = 0;
+  size_t literal_start = 0;
+
+  auto flush_literals = [&](size_t end) {
+    size_t start = literal_start;
+    while (start < end) {
+      const size_t n = std::min(kMaxLiteral, end - start);
+      output->push_back(static_cast<char>(n - 1));
+      output->append(reinterpret_cast<const char*>(input.data() + start), n);
+      start += n;
+    }
+  };
+
+  while (i < input.size()) {
+    // Measure the run starting at i.
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] &&
+           run < kMaxRun) {
+      ++run;
+    }
+    if (run >= kMinRun) {
+      flush_literals(i);
+      output->push_back(static_cast<char>(128 + (run - kMinRun)));
+      output->push_back(static_cast<char>(input[i]));
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(input.size());
+  return Status::OK();
+}
+
+Status RleCodec::Decompress(Slice input, std::string* output) const {
+  output->clear();
+  uint64_t raw_size = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));
+  if (raw_size > kMaxDecompressedSize) {
+    return Status::Corruption("decompress: implausible raw size");
+  }
+  output->reserve(static_cast<size_t>(std::min<uint64_t>(raw_size, 1 << 22)));
+  while (!input.empty()) {
+    const uint8_t c = input[0];
+    input.RemovePrefix(1);
+    if (c < 128) {
+      const size_t n = static_cast<size_t>(c) + 1;
+      if (input.size() < n) return Status::Corruption("rle: short literal");
+      output->append(reinterpret_cast<const char*>(input.data()), n);
+      input.RemovePrefix(n);
+    } else {
+      if (input.empty()) return Status::Corruption("rle: missing run byte");
+      const size_t n = static_cast<size_t>(c) - 128 + kMinRun;
+      output->append(n, static_cast<char>(input[0]));
+      input.RemovePrefix(1);
+    }
+  }
+  if (output->size() != raw_size) {
+    return Status::Corruption("rle: size mismatch after decode");
+  }
+  return Status::OK();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,26 @@
+#ifndef MODELHUB_COMPRESS_RLE_CODEC_H_
+#define MODELHUB_COMPRESS_RLE_CODEC_H_
+
+#include <string>
+
+#include "compress/codec.h"
+
+namespace modelhub {
+
+/// PackBits-style run-length codec. Effective on delta chunks where most
+/// bytes are zero (nearby snapshots differ in few parameters).
+///
+/// Frame: varint(raw_size) | ops. Each op is a control byte c:
+///   c < 128 : copy the next c+1 literal bytes;
+///   c >= 128: repeat the next byte (c - 128 + 3) times (runs of 3..130).
+class RleCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kRle; }
+  std::string name() const override { return "rle"; }
+  Status Compress(Slice input, std::string* output) const override;
+  Status Decompress(Slice input, std::string* output) const override;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMPRESS_RLE_CODEC_H_

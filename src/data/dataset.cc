@@ -1,0 +1,144 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+void Dataset::Gather(const std::vector<int64_t>& indices, Tensor* batch,
+                     std::vector<int>* batch_labels) const {
+  const int64_t c = images.c();
+  const int64_t h = images.h();
+  const int64_t w = images.w();
+  const int64_t sample = images.SampleSize();
+  *batch = Tensor(static_cast<int64_t>(indices.size()), c, h, w);
+  batch_labels->resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t src = indices[i];
+    MH_CHECK(src >= 0 && src < images.n());
+    std::copy(images.data().begin() + src * sample,
+              images.data().begin() + (src + 1) * sample,
+              batch->data().begin() + static_cast<int64_t>(i) * sample);
+    (*batch_labels)[i] = labels[static_cast<size_t>(src)];
+  }
+}
+
+namespace {
+
+/// Draws one stroke into a single-channel image; strokes are selected by
+/// the class id bits so every class has a unique visual signature.
+void DrawStroke(Tensor* img, int64_t n, int stroke, int64_t size, int dx,
+                int dy) {
+  auto put = [&](int64_t y, int64_t x) {
+    y += dy;
+    x += dx;
+    if (y >= 0 && y < size && x >= 0 && x < size) {
+      img->At(n, 0, y, x) = 1.0f;
+    }
+  };
+  const int64_t mid = size / 2;
+  const int64_t lo = size / 5;
+  const int64_t hi = size - 1 - lo;
+  switch (stroke) {
+    case 0:  // Horizontal bar (upper third).
+      for (int64_t x = lo; x <= hi; ++x) put(lo, x);
+      break;
+    case 1:  // Vertical bar (left third).
+      for (int64_t y = lo; y <= hi; ++y) put(y, lo);
+      break;
+    case 2:  // Main diagonal.
+      for (int64_t t = lo; t <= hi; ++t) put(t, t);
+      break;
+    case 3:  // Anti-diagonal.
+      for (int64_t t = lo; t <= hi; ++t) put(t, size - 1 - t);
+      break;
+    case 4:  // Horizontal bar (center).
+      for (int64_t x = lo; x <= hi; ++x) put(mid, x);
+      break;
+    case 5:  // Vertical bar (center).
+      for (int64_t y = lo; y <= hi; ++y) put(y, mid);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Dataset MakeGlyphDataset(const GlyphOptions& options) {
+  MH_CHECK(options.num_classes >= 2 && options.num_classes <= 64);
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.num_classes = options.num_classes;
+  ds.images =
+      Tensor(options.num_samples, 1, options.image_size, options.image_size);
+  ds.labels.resize(static_cast<size_t>(options.num_samples));
+  for (int64_t n = 0; n < options.num_samples; ++n) {
+    const int label = static_cast<int>(rng.Uniform(options.num_classes));
+    ds.labels[static_cast<size_t>(n)] = label;
+    const int jitter = options.max_jitter;
+    const int dx = jitter == 0
+                       ? 0
+                       : static_cast<int>(rng.Uniform(2 * jitter + 1)) - jitter;
+    const int dy = jitter == 0
+                       ? 0
+                       : static_cast<int>(rng.Uniform(2 * jitter + 1)) - jitter;
+    // Strokes: one base stroke by class mod 6 plus extra strokes from the
+    // higher bits, so class identity needs shape composition, not just one
+    // feature.
+    DrawStroke(&ds.images, n, label % 6, options.image_size, dx, dy);
+    int extra = label / 6;
+    int stroke = 0;
+    while (extra > 0) {
+      if (extra & 1) {
+        DrawStroke(&ds.images, n, (stroke + 1) % 6, options.image_size, dx,
+                   dy);
+      }
+      extra >>= 1;
+      ++stroke;
+    }
+    // Pixel noise.
+    for (int64_t y = 0; y < options.image_size; ++y) {
+      for (int64_t x = 0; x < options.image_size; ++x) {
+        float& v = ds.images.At(n, 0, y, x);
+        v += static_cast<float>(rng.NextGaussian()) * options.noise_stddev;
+        v = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset MakeBlobDataset(int64_t num_samples, int num_classes,
+                        int64_t image_size, float noise_stddev,
+                        uint64_t seed) {
+  MH_CHECK(num_classes >= 2);
+  Rng rng(seed);
+  Dataset ds;
+  ds.num_classes = num_classes;
+  ds.images = Tensor(num_samples, 1, image_size, image_size);
+  ds.labels.resize(static_cast<size_t>(num_samples));
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  for (int64_t n = 0; n < num_samples; ++n) {
+    const int label = static_cast<int>(rng.Uniform(num_classes));
+    ds.labels[static_cast<size_t>(n)] = label;
+    // Class centers on a circle.
+    const double angle = two_pi * label / num_classes;
+    const double cx = image_size / 2.0 + std::cos(angle) * image_size / 3.5;
+    const double cy = image_size / 2.0 + std::sin(angle) * image_size / 3.5;
+    const double sigma = image_size / 8.0;
+    for (int64_t y = 0; y < image_size; ++y) {
+      for (int64_t x = 0; x < image_size; ++x) {
+        const double d2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+        float v = static_cast<float>(std::exp(-d2 / (2 * sigma * sigma)));
+        v += static_cast<float>(rng.NextGaussian()) * noise_stddev;
+        ds.images.At(n, 0, y, x) = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace modelhub

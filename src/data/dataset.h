@@ -1,0 +1,53 @@
+#ifndef MODELHUB_DATA_DATASET_H_
+#define MODELHUB_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+namespace modelhub {
+
+/// A labeled image classification dataset. Stands in for MNIST / ILSVRC in
+/// the paper's experiments (DESIGN.md substitution #2): the evaluation only
+/// depends on achieving nontrivial accuracy and realistic trained-weight
+/// distributions, which learnable synthetic tasks provide.
+struct Dataset {
+  Tensor images;            ///< [N, C, H, W], values roughly in [0, 1].
+  std::vector<int> labels;  ///< One label in [0, num_classes) per sample.
+  int num_classes = 0;
+
+  int64_t size() const { return images.n(); }
+
+  /// Copies the samples at `indices` into a batch tensor + label vector.
+  void Gather(const std::vector<int64_t>& indices, Tensor* batch,
+              std::vector<int>* batch_labels) const;
+};
+
+/// Options for the parametric glyph task: each class is a distinct stroke
+/// pattern (bars / diagonals chosen by the bits of the class id), rendered
+/// with per-sample jitter and Gaussian pixel noise. Learnable by a small
+/// conv net to >90% accuracy, yet not linearly separable at high noise.
+struct GlyphOptions {
+  int64_t num_samples = 512;
+  int num_classes = 10;
+  int64_t image_size = 20;
+  float noise_stddev = 0.15f;
+  int max_jitter = 2;  ///< Uniform translation in [-max_jitter, +max_jitter].
+  uint64_t seed = 1;
+};
+
+/// Generates a glyph dataset.
+Dataset MakeGlyphDataset(const GlyphOptions& options);
+
+/// Gaussian-blob task: class c's samples are isotropic blobs centered at a
+/// class-specific location. Nearly linearly separable; used as the "easy"
+/// workload and for quick tests.
+Dataset MakeBlobDataset(int64_t num_samples, int num_classes,
+                        int64_t image_size, float noise_stddev,
+                        uint64_t seed);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DATA_DATASET_H_

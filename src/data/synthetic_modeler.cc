@@ -1,0 +1,143 @@
+#include "data/synthetic_modeler.h"
+
+#include <map>
+#include <string>
+
+#include "common/macros.h"
+#include "data/dataset.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Copies every parameter from `source` whose name and shape match into
+/// `net` — the fine-tuning initialization (mismatched layers keep their
+/// random init, e.g. a re-targeted final layer).
+Status WarmStart(Network* net, const std::vector<NamedParam>& source) {
+  std::vector<NamedParam> matching;
+  const auto current = net->GetParameters();
+  for (const auto& param : source) {
+    for (const auto& existing : current) {
+      if (existing.name == param.name &&
+          existing.value.rows() == param.value.rows() &&
+          existing.value.cols() == param.value.cols()) {
+        matching.push_back(param);
+        break;
+      }
+    }
+  }
+  return net->SetParameters(matching);
+}
+
+std::map<std::string, std::string> HyperparamMap(const TrainOptions& options) {
+  return {
+      {"base_lr", std::to_string(options.base_learning_rate)},
+      {"momentum", std::to_string(options.momentum)},
+      {"batch_size", std::to_string(options.batch_size)},
+      {"iterations", std::to_string(options.iterations)},
+      {"weight_decay", std::to_string(options.weight_decay)},
+  };
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> RunSyntheticModeler(
+    Repository* repo, const ModelerOptions& options) {
+  if (options.num_versions < 1) {
+    return Status::InvalidArgument("need at least one version");
+  }
+  Rng rng(options.seed);
+  const Dataset dataset = MakeGlyphDataset({
+      .num_samples = options.dataset_samples,
+      .num_classes = options.num_classes,
+      .image_size = options.image_size,
+      .seed = options.seed * 7919 + 1,
+  });
+
+  std::vector<std::string> names;
+  // Remember each committed version's def so mutations can build on it.
+  std::vector<NetworkDef> defs;
+
+  for (int v = 0; v < options.num_versions; ++v) {
+    const std::string name = "model_v" + std::to_string(v);
+    NetworkDef def;
+    CommitRequest request;
+    TrainOptions train_options;
+    train_options.iterations = options.train_iterations;
+    train_options.batch_size = 16;
+    train_options.snapshot_every =
+        options.train_iterations / options.snapshots_per_version;
+    train_options.log_every = options.train_iterations / 4;
+    train_options.seed = rng.Next();
+
+    std::vector<NamedParam> warm;
+    if (v == 0) {
+      // Base model, trained from scratch.
+      def = MiniVgg(options.num_classes, options.image_size,
+                    options.width_multiple);
+      train_options.base_learning_rate = 0.1f;
+      request.message = "base model";
+    } else {
+      // Pick a parent and an action, as the paper's state machine does.
+      const size_t parent = rng.Uniform(names.size());
+      request.parent = names[parent];
+      def = defs[parent];
+      const uint64_t action = rng.Uniform(3);
+      if (action == 0) {
+        // Fine-tune: warm start from the parent's latest snapshot, small
+        // learning rate. Produces highly similar parameters (Sec. IV-B).
+        MH_ASSIGN_OR_RETURN(warm,
+                            repo->GetSnapshotParams(request.parent, -1));
+        train_options.base_learning_rate = 0.01f;
+        request.message = "finetune of " + request.parent;
+      } else if (action == 1) {
+        // Hyperparameter variation: retrain from scratch with a different
+        // learning rate / momentum (uncorrelated parameters).
+        train_options.base_learning_rate =
+            rng.Bernoulli(0.5) ? 0.05f : 0.2f;
+        train_options.momentum = rng.Bernoulli(0.5) ? 0.8f : 0.95f;
+        request.message = "hyperparameter variation of " + request.parent;
+      } else {
+        // Architecture mutation: insert a ReLU after the first pool (if
+        // absent) or vary dropout — then warm start where shapes allow.
+        const std::string inserted = "relu_extra_v" + std::to_string(v);
+        if (def.HasNode("pool1") && !def.HasNode(inserted)) {
+          MH_RETURN_IF_ERROR(def.InsertAfter(
+              "pool1", MakeActivation(inserted, LayerKind::kReLU)));
+        }
+        MH_ASSIGN_OR_RETURN(warm,
+                            repo->GetSnapshotParams(request.parent, -1));
+        train_options.base_learning_rate = 0.02f;
+        request.message = "architecture mutation of " + request.parent;
+      }
+    }
+    def.set_name(name);
+
+    MH_ASSIGN_OR_RETURN(Network net, Network::Create(def));
+    Rng init_rng(rng.Next());
+    net.InitializeWeights(&init_rng);
+    if (!warm.empty()) {
+      MH_RETURN_IF_ERROR(WarmStart(&net, warm));
+    }
+    MH_ASSIGN_OR_RETURN(TrainResult trained,
+                        TrainNetwork(&net, dataset, train_options));
+
+    request.name = name;
+    request.network = def;
+    request.snapshots = trained.snapshots;
+    request.log = trained.log;
+    request.hyperparams = HyperparamMap(train_options);
+    request.files = {
+        {"train_config.txt",
+         "lr=" + std::to_string(train_options.base_learning_rate) +
+             "\niters=" + std::to_string(train_options.iterations) + "\n"}};
+    MH_RETURN_IF_ERROR(repo->Commit(request).status());
+    names.push_back(name);
+    defs.push_back(def);
+  }
+  return names;
+}
+
+}  // namespace modelhub

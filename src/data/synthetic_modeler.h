@@ -1,0 +1,41 @@
+#ifndef MODELHUB_DATA_SYNTHETIC_MODELER_H_
+#define MODELHUB_DATA_SYNTHETIC_MODELER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dlv/repository.h"
+
+namespace modelhub {
+
+/// Knobs for the automatic modeler (the paper's SD/RD generator, Sec. V-A:
+/// a state machine that mimics a modeler enumerating models and
+/// hyperparameters for a prediction task, fine-tuning a trained base).
+struct ModelerOptions {
+  /// Total model versions to produce (the paper's SD has 54; scale down
+  /// for unit tests, up for benchmarks).
+  int num_versions = 8;
+  /// Checkpointed snapshots per version (SD uses 10).
+  int64_t snapshots_per_version = 4;
+  int64_t train_iterations = 60;
+  int num_classes = 6;
+  int64_t image_size = 16;
+  int64_t width_multiple = 1;
+  int64_t dataset_samples = 192;
+  uint64_t seed = 1;
+};
+
+/// Runs the modeler against `repo`: commits a trained base model, then a
+/// mix of fine-tuned descendants (similar parameters — good delta
+/// candidates), hyperparameter re-trainings, and small architecture
+/// mutations (new layers). Every version carries its snapshot series,
+/// training log, and hyperparameters. Returns committed version names in
+/// creation order.
+Result<std::vector<std::string>> RunSyntheticModeler(
+    Repository* repo, const ModelerOptions& options);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DATA_SYNTHETIC_MODELER_H_

@@ -1,0 +1,220 @@
+#include "dlv/catalog.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+constexpr char kMagic[] = "MHCAT1\n";
+constexpr size_t kMagicSize = 7;
+}  // namespace
+
+int TableSchema::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Catalog> Catalog::Open(Env* env, const std::string& path) {
+  Catalog catalog;
+  catalog.env_ = env;
+  catalog.path_ = path;
+  if (env->FileExists(path)) {
+    MH_ASSIGN_OR_RETURN(std::string contents, env->ReadFile(path));
+    MH_RETURN_IF_ERROR(catalog.Load(contents));
+  }
+  return catalog;
+}
+
+Catalog::Table* Catalog::FindTable(const std::string& table) {
+  for (auto& t : tables_) {
+    if (t.schema.name == table) return &t;
+  }
+  return nullptr;
+}
+
+const Catalog::Table* Catalog::FindTable(const std::string& table) const {
+  for (const auto& t : tables_) {
+    if (t.schema.name == table) return &t;
+  }
+  return nullptr;
+}
+
+Status Catalog::CreateTable(const TableSchema& schema) {
+  if (schema.name.empty() || schema.columns.empty()) {
+    return Status::InvalidArgument("table needs a name and columns");
+  }
+  if (const Table* existing = FindTable(schema.name)) {
+    if (existing->schema.columns == schema.columns) return Status::OK();
+    return Status::AlreadyExists("table exists with different schema: " +
+                                 schema.name);
+  }
+  tables_.push_back(Table{schema, {}});
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& table) const {
+  return FindTable(table) != nullptr;
+}
+
+Result<TableSchema> Catalog::GetSchema(const std::string& table) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table: " + table);
+  return t->schema;
+}
+
+Result<int64_t> Catalog::Insert(const std::string& table, Row row) {
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table: " + table);
+  if (row.size() != t->schema.columns.size()) {
+    return Status::InvalidArgument("row arity mismatch for " + table);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != t->schema.columns[i].type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     t->schema.columns[i].name);
+    }
+  }
+  t->rows.push_back(std::move(row));
+  return static_cast<int64_t>(t->rows.size()) - 1;
+}
+
+Result<std::vector<Row>> Catalog::Scan(
+    const std::string& table,
+    const std::function<bool(const Row&)>& predicate) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table: " + table);
+  std::vector<Row> out;
+  for (const Row& row : t->rows) {
+    if (!predicate || predicate(row)) out.push_back(row);
+  }
+  return out;
+}
+
+Result<int64_t> Catalog::Update(
+    const std::string& table,
+    const std::function<bool(const Row&)>& predicate,
+    const std::function<void(Row*)>& update) {
+  Table* t = FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table: " + table);
+  int64_t count = 0;
+  for (Row& row : t->rows) {
+    if (!predicate || predicate(row)) {
+      update(&row);
+      ++count;
+    }
+  }
+  return count;
+}
+
+int64_t Catalog::NextSequence() { return sequence_++; }
+
+std::string Catalog::Serialize() const {
+  std::string out(kMagic, kMagicSize);
+  PutVarint64(&out, static_cast<uint64_t>(sequence_));
+  PutVarint64(&out, tables_.size());
+  for (const Table& t : tables_) {
+    PutLengthPrefixed(&out, Slice(t.schema.name));
+    PutVarint64(&out, t.schema.columns.size());
+    for (const ColumnSpec& col : t.schema.columns) {
+      PutLengthPrefixed(&out, Slice(col.name));
+      out.push_back(static_cast<char>(col.type));
+    }
+    PutVarint64(&out, t.rows.size());
+    for (const Row& row : t.rows) {
+      for (const Value& value : row) {
+        switch (value.type()) {
+          case ColumnType::kInt:
+            PutVarint64(&out, static_cast<uint64_t>(value.AsInt()));
+            break;
+          case ColumnType::kReal: {
+            uint64_t bits;
+            const double d = value.AsReal();
+            static_assert(sizeof(bits) == sizeof(d));
+            std::memcpy(&bits, &d, 8);
+            PutFixed64(&out, bits);
+            break;
+          }
+          case ColumnType::kText:
+            PutLengthPrefixed(&out, Slice(value.AsText()));
+            break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status Catalog::Load(const std::string& serialized) {
+  if (serialized.size() < kMagicSize ||
+      serialized.compare(0, kMagicSize, kMagic) != 0) {
+    return Status::Corruption("bad catalog magic");
+  }
+  Slice in(serialized);
+  in.RemovePrefix(kMagicSize);
+  uint64_t sequence = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &sequence));
+  sequence_ = static_cast<int64_t>(sequence);
+  uint64_t num_tables = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &num_tables));
+  tables_.clear();
+  for (uint64_t ti = 0; ti < num_tables; ++ti) {
+    Table t;
+    Slice name;
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &name));
+    t.schema.name = name.ToString();
+    uint64_t num_columns = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &num_columns));
+    for (uint64_t ci = 0; ci < num_columns; ++ci) {
+      ColumnSpec col;
+      Slice col_name;
+      MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &col_name));
+      col.name = col_name.ToString();
+      if (in.empty()) return Status::Corruption("catalog truncated");
+      if (in[0] > 2) return Status::Corruption("bad column type");
+      col.type = static_cast<ColumnType>(in[0]);
+      in.RemovePrefix(1);
+      t.schema.columns.push_back(std::move(col));
+    }
+    uint64_t num_rows = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &num_rows));
+    for (uint64_t ri = 0; ri < num_rows; ++ri) {
+      Row row;
+      for (const ColumnSpec& col : t.schema.columns) {
+        switch (col.type) {
+          case ColumnType::kInt: {
+            uint64_t v = 0;
+            MH_RETURN_IF_ERROR(GetVarint64(&in, &v));
+            row.emplace_back(static_cast<int64_t>(v));
+            break;
+          }
+          case ColumnType::kReal: {
+            uint64_t bits = 0;
+            MH_RETURN_IF_ERROR(GetFixed64(&in, &bits));
+            double d;
+            std::memcpy(&d, &bits, 8);
+            row.emplace_back(d);
+            break;
+          }
+          case ColumnType::kText: {
+            Slice text;
+            MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &text));
+            row.emplace_back(text.ToString());
+            break;
+          }
+        }
+      }
+      t.rows.push_back(std::move(row));
+    }
+    tables_.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Status Catalog::Flush() { return env_->WriteFile(path_, Serialize()); }
+
+}  // namespace modelhub

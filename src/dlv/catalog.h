@@ -1,0 +1,117 @@
+#ifndef MODELHUB_DLV_CATALOG_H_
+#define MODELHUB_DLV_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace modelhub {
+
+/// Column types of the embedded catalog (the from-scratch stand-in for the
+/// sqlite3 backend the paper uses for structured artifacts: network
+/// definitions, training logs, lineage — Sec. III-A).
+enum class ColumnType : uint8_t { kInt = 0, kReal = 1, kText = 2 };
+
+/// A dynamically typed cell value.
+class Value {
+ public:
+  Value() : value_(int64_t{0}) {}
+  Value(int64_t v) : value_(v) {}                  // NOLINT
+  Value(double v) : value_(v) {}                   // NOLINT
+  Value(std::string v) : value_(std::move(v)) {}   // NOLINT
+  Value(const char* v) : value_(std::string(v)) {} // NOLINT
+
+  ColumnType type() const {
+    if (std::holds_alternative<int64_t>(value_)) return ColumnType::kInt;
+    if (std::holds_alternative<double>(value_)) return ColumnType::kReal;
+    return ColumnType::kText;
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsReal() const { return std::get<double>(value_); }
+  const std::string& AsText() const { return std::get<std::string>(value_); }
+
+  bool operator==(const Value& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<int64_t, double, std::string> value_;
+};
+
+using Row = std::vector<Value>;
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type;
+  bool operator==(const ColumnSpec& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+
+  /// Index of a column by name, -1 if absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+/// A tiny embedded relational store: named tables with typed columns,
+/// full-scan queries with arbitrary predicates, single-file persistence.
+/// Deliberately minimal — DLV's catalog workload is inserts plus scans.
+class Catalog {
+ public:
+  /// Opens (or creates) the catalog persisted at `path`.
+  static Result<Catalog> Open(Env* env, const std::string& path);
+
+  /// Creates a table. OK if it already exists with the same schema.
+  Status CreateTable(const TableSchema& schema);
+
+  bool HasTable(const std::string& table) const;
+  Result<TableSchema> GetSchema(const std::string& table) const;
+
+  /// Appends a row (types must match the schema); returns its rowid.
+  Result<int64_t> Insert(const std::string& table, Row row);
+
+  /// Full scan; `predicate` may be null (all rows). The row passed to the
+  /// predicate includes values only (rowid not included).
+  Result<std::vector<Row>> Scan(
+      const std::string& table,
+      const std::function<bool(const Row&)>& predicate = nullptr) const;
+
+  /// In-place update of all rows matching `predicate` via `update`.
+  /// Returns the number of rows updated.
+  Result<int64_t> Update(const std::string& table,
+                         const std::function<bool(const Row&)>& predicate,
+                         const std::function<void(Row*)>& update);
+
+  /// Monotonic sequence numbers (used for ids and logical commit times).
+  int64_t NextSequence();
+
+  /// Persists to the path given at Open (atomic whole-file write).
+  Status Flush();
+
+ private:
+  struct Table {
+    TableSchema schema;
+    std::vector<Row> rows;
+  };
+
+  Table* FindTable(const std::string& table);
+  const Table* FindTable(const std::string& table) const;
+  Status Load(const std::string& serialized);
+  std::string Serialize() const;
+
+  Env* env_ = nullptr;
+  std::string path_;
+  std::vector<Table> tables_;
+  int64_t sequence_ = 1;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DLV_CATALOG_H_

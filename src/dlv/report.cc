@@ -1,0 +1,187 @@
+#include "dlv/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Inline SVG polyline of the loss curve, scaled into a fixed viewbox.
+std::string LossCurveSvg(const std::vector<TrainLogEntry>& log) {
+  if (log.size() < 2) return "";
+  const double width = 320.0;
+  const double height = 90.0;
+  const double pad = 6.0;
+  double min_loss = log[0].loss;
+  double max_loss = log[0].loss;
+  for (const auto& entry : log) {
+    min_loss = std::min(min_loss, entry.loss);
+    max_loss = std::max(max_loss, entry.loss);
+  }
+  if (max_loss - min_loss < 1e-12) max_loss = min_loss + 1e-12;
+  const double min_iter = static_cast<double>(log.front().iteration);
+  const double max_iter = static_cast<double>(log.back().iteration);
+  std::ostringstream out;
+  out << "<svg class=\"loss\" width=\"" << width << "\" height=\"" << height
+      << "\" viewBox=\"0 0 " << width << " " << height << "\">";
+  out << "<polyline fill=\"none\" stroke=\"#2266cc\" stroke-width=\"1.5\" "
+         "points=\"";
+  for (const auto& entry : log) {
+    const double x =
+        pad + (width - 2 * pad) * (static_cast<double>(entry.iteration) -
+                                   min_iter) /
+                  std::max(1.0, max_iter - min_iter);
+    const double y = height - pad -
+                     (height - 2 * pad) * (entry.loss - min_loss) /
+                         (max_loss - min_loss);
+    out << x << "," << y << " ";
+  }
+  out << "\"/></svg>";
+  return out.str();
+}
+
+/// Inline SVG of the lineage DAG: versions as labelled boxes in commit
+/// order, parent -> child edges as elbow connectors.
+std::string LineageSvg(const std::vector<ModelVersionInfo>& versions) {
+  const double row_height = 30.0;
+  const double box_width = 180.0;
+  const double box_height = 22.0;
+  const double left = 160.0;
+  const double height = row_height * versions.size() + 10;
+  std::map<std::string, int> row_of;
+  for (size_t i = 0; i < versions.size(); ++i) {
+    row_of[versions[i].name] = static_cast<int>(i);
+  }
+  std::ostringstream out;
+  out << "<svg class=\"lineage\" width=\"" << (left + box_width + 40)
+      << "\" height=\"" << height << "\">";
+  // Edges first (under the boxes).
+  for (const auto& info : versions) {
+    if (info.parent.empty() || row_of.count(info.parent) == 0) continue;
+    const double y1 =
+        row_of[info.parent] * row_height + 5 + box_height / 2;
+    const double y2 = row_of[info.name] * row_height + 5 + box_height / 2;
+    const double x = left - 12 - 6.0 * ((row_of[info.name] -
+                                          row_of[info.parent]) %
+                                         5);
+    out << "<path fill=\"none\" stroke=\"#999\" d=\"M " << left << " " << y1
+        << " H " << x << " V " << y2 << " H " << left << "\"/>";
+  }
+  for (size_t i = 0; i < versions.size(); ++i) {
+    const double y = i * row_height + 5;
+    out << "<rect x=\"" << left << "\" y=\"" << y << "\" width=\""
+        << box_width << "\" height=\"" << box_height
+        << "\" rx=\"4\" fill=\"#eef4ff\" stroke=\"#2266cc\"/>";
+    out << "<text x=\"" << (left + 8) << "\" y=\"" << (y + 15)
+        << "\" font-size=\"12\">" << HtmlEscape(versions[i].name)
+        << "</text>";
+  }
+  out << "</svg>";
+  return out.str();
+}
+
+}  // namespace
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> RenderHtmlReport(const Repository& repo) {
+  MH_ASSIGN_OR_RETURN(auto versions, repo.List());
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+         "<title>dlv repository report</title>\n<style>\n"
+         "body{font-family:sans-serif;margin:2em;color:#222}\n"
+         "table{border-collapse:collapse;margin:1em 0}\n"
+         "th,td{border:1px solid #ccc;padding:4px 10px;font-size:13px}\n"
+         "th{background:#f0f4fa;text-align:left}\n"
+         "h2{border-bottom:2px solid #2266cc;padding-bottom:4px}\n"
+         ".muted{color:#888}\n"
+         "</style></head><body>\n";
+  out << "<h1>dlv repository report</h1>\n";
+  out << "<p class=\"muted\">" << versions.size()
+      << " model version(s) at " << HtmlEscape(repo.root()) << "</p>\n";
+
+  // dlv list table.
+  out << "<h2>Model versions</h2>\n<table>\n"
+         "<tr><th>name</th><th>parent</th><th>snapshots</th>"
+         "<th>best accuracy</th><th>state</th></tr>\n";
+  for (const auto& info : versions) {
+    out << "<tr><td>" << HtmlEscape(info.name) << "</td><td>"
+        << HtmlEscape(info.parent.empty() ? "-" : info.parent)
+        << "</td><td>" << info.num_snapshots << "</td><td>";
+    if (info.best_accuracy >= 0) {
+      out << std::round(info.best_accuracy * 1000) / 10 << "%";
+    } else {
+      out << "-";
+    }
+    out << "</td><td>" << (info.archived ? "archived" : "staged")
+        << "</td></tr>\n";
+  }
+  out << "</table>\n";
+
+  // Lineage graph.
+  out << "<h2>Lineage</h2>\n" << LineageSvg(versions) << "\n";
+
+  // Per-version details.
+  for (const auto& info : versions) {
+    out << "<h2>" << HtmlEscape(info.name) << "</h2>\n";
+    auto network = repo.GetNetwork(info.name);
+    if (network.ok()) {
+      auto params = network->ParameterCount();
+      out << "<p>network: " << network->nodes().size() << " nodes";
+      if (params.ok()) out << ", " << *params << " parameters";
+      out << "</p>\n";
+    }
+    auto hyperparams = repo.GetHyperparams(info.name);
+    if (hyperparams.ok() && !hyperparams->empty()) {
+      out << "<table><tr><th>hyperparameter</th><th>value</th></tr>\n";
+      for (const auto& [key, value] : *hyperparams) {
+        out << "<tr><td>" << HtmlEscape(key) << "</td><td>"
+            << HtmlEscape(value) << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+    auto log = repo.GetLog(info.name);
+    if (log.ok() && !log->empty()) {
+      out << LossCurveSvg(*log) << "\n";
+      out << "<table><tr><th>iteration</th><th>loss</th>"
+             "<th>train accuracy</th><th>learning rate</th></tr>\n";
+      for (const auto& entry : *log) {
+        out << "<tr><td>" << entry.iteration << "</td><td>" << entry.loss
+            << "</td><td>" << entry.train_accuracy << "</td><td>"
+            << entry.learning_rate << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+  }
+  out << "</body></html>\n";
+  return out.str();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,23 @@
+#ifndef MODELHUB_DLV_REPORT_H_
+#define MODELHUB_DLV_REPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dlv/repository.h"
+
+namespace modelhub {
+
+/// Renders a self-contained HTML report of a repository — the "HTML front
+/// end" of Sec. III-B's exploration queries: the version table (dlv list),
+/// the lineage graph as inline SVG, and per-version training-log tables
+/// with inline SVG loss curves and hyperparameters (dlv desc).
+/// The output embeds no external resources.
+Result<std::string> RenderHtmlReport(const Repository& repo);
+
+/// Escapes &, <, >, " for safe embedding in HTML text and attributes.
+std::string HtmlEscape(const std::string& text);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DLV_REPORT_H_

@@ -1,0 +1,164 @@
+#ifndef MODELHUB_DLV_REPOSITORY_H_
+#define MODELHUB_DLV_REPOSITORY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "dlv/catalog.h"
+#include "nn/network.h"
+#include "nn/network_def.h"
+#include "nn/trainer.h"
+#include "pas/archive.h"
+
+namespace modelhub {
+
+/// Everything one `dlv commit` records for a model version (Sec. III-A:
+/// the tuple (name, id, N, W, M, F)).
+struct CommitRequest {
+  std::string name;                 ///< Human-readable version name.
+  NetworkDef network;               ///< N.
+  std::vector<TrainSnapshot> snapshots;  ///< W: checkpointed parameters.
+  std::vector<TrainLogEntry> log;   ///< M: per-iteration measurements.
+  std::map<std::string, std::string> hyperparams;  ///< M: training config.
+  std::string parent;   ///< Version name this derives from ("" = root).
+  std::string message;  ///< Commit message (lineage annotation).
+  /// F: associated files (scripts, configs) stored content-addressed.
+  std::vector<std::pair<std::string, std::string>> files;
+};
+
+/// Summary row returned by `dlv list`.
+struct ModelVersionInfo {
+  int64_t id = 0;
+  std::string name;
+  int64_t created_at = 0;  ///< Logical commit clock.
+  std::string parent;
+  int64_t num_snapshots = 0;
+  double best_accuracy = -1.0;
+  bool archived = false;
+};
+
+/// A DLV repository: the local model-versioning store of ModelHub. Layout
+/// under the repository root:
+///
+///   catalog.bin   relational catalog (versions, lineage, logs, files)
+///   staging/      raw snapshot parameters awaiting archival
+///   pas/          the PAS archive after `dlv archive`
+///   objects/      content-addressed associated files
+///
+/// Mirrors the dlv command set of Table II: Init/Open (init), Commit
+/// (add+commit), Copy (copy), Archive (archive), List/Describe/Diff
+/// (exploration), Eval (eval).
+class Repository {
+ public:
+  /// `dlv init` — creates a fresh repository at `root`.
+  static Result<Repository> Init(Env* env, const std::string& root);
+
+  /// Opens an existing repository.
+  static Result<Repository> Open(Env* env, const std::string& root);
+
+  const std::string& root() const { return root_; }
+
+  /// `dlv add` + `dlv commit` — records a model version. Snapshot
+  /// parameters go to staging until Archive() is run.
+  Result<int64_t> Commit(const CommitRequest& request);
+
+  /// `dlv copy` — scaffolds a new version from an existing one: copies
+  /// the network and hyperparameters, records lineage, no snapshots.
+  Result<int64_t> Copy(const std::string& source_name,
+                       const std::string& new_name);
+
+  /// `dlv list` — all versions with lineage summary.
+  Result<std::vector<ModelVersionInfo>> List() const;
+
+  /// `dlv desc` — human-readable description of one version.
+  Result<std::string> Describe(const std::string& name) const;
+
+  /// `dlv diff` — side-by-side comparison of two versions: network nodes
+  /// added/removed/changed, hyperparameter differences, accuracy.
+  Result<std::string> Diff(const std::string& a, const std::string& b) const;
+
+  /// Structured accessors (used by DQL and the hub).
+  Result<ModelVersionInfo> GetInfo(const std::string& name) const;
+  Result<NetworkDef> GetNetwork(const std::string& name) const;
+  Result<std::vector<TrainLogEntry>> GetLog(const std::string& name) const;
+  Result<std::map<std::string, std::string>> GetHyperparams(
+      const std::string& name) const;
+  Result<std::string> GetFile(const std::string& name,
+                              const std::string& file_name) const;
+  std::vector<std::pair<std::string, std::string>> GetLineage() const;
+
+  /// Snapshot parameters; `sequence` = -1 means the latest snapshot.
+  /// Reads staging or the PAS archive transparently.
+  Result<std::vector<NamedParam>> GetSnapshotParams(const std::string& name,
+                                                    int64_t sequence = -1) const;
+
+  /// Snapshot count of a version.
+  Result<int64_t> NumSnapshots(const std::string& name) const;
+
+  /// `dlv eval` — runs the latest snapshot of a version on `input`,
+  /// returning predicted labels.
+  Result<std::vector<int>> Eval(const std::string& name,
+                                const Tensor& input) const;
+
+  /// Parameter-level diff between the latest snapshots of two versions
+  /// (Sec. IV-A query (c): "comparing parameters of different models").
+  /// For every parameter name present in both with equal shape, reports
+  /// the L2 norm of the difference and the relative distance
+  /// ||a - b|| / ||a||; shape changes and one-sided parameters are listed.
+  struct ParamDiffEntry {
+    std::string name;
+    double l2_distance = 0.0;
+    double relative_distance = 0.0;
+    bool shape_changed = false;
+    bool only_in_a = false;
+    bool only_in_b = false;
+  };
+  Result<std::vector<ParamDiffEntry>> DiffParameters(
+      const std::string& a, const std::string& b) const;
+
+  /// Runs two versions on the same batch and reports agreement (Sec. IV-A
+  /// query (d): "comparing the results of different models on a dataset").
+  struct ComparisonResult {
+    std::vector<int> labels_a;
+    std::vector<int> labels_b;
+    double agreement = 0.0;  ///< Fraction of samples with equal argmax.
+  };
+  Result<ComparisonResult> CompareOnData(const std::string& a,
+                                         const std::string& b,
+                                         const Tensor& input) const;
+
+  /// `dlv archive` — migrates ALL staged snapshots into a PAS archive
+  /// built with `options` (delta candidates: adjacent snapshots within a
+  /// version, and parent-latest -> child-first across lineage).
+  Result<ArchiveBuildReport> Archive(const ArchiveOptions& options);
+
+  /// Persists catalog state.
+  Status Flush();
+
+  Env* env() const { return env_; }
+
+ private:
+  Repository() = default;
+
+  Status InitSchema();
+  Result<int64_t> VersionId(const std::string& name) const;
+  std::string StagingPath(const std::string& version, int64_t sequence) const;
+
+  Env* env_ = nullptr;
+  std::string root_;
+  std::shared_ptr<Catalog> catalog_;
+  mutable std::shared_ptr<std::optional<ArchiveReader>> archive_;
+};
+
+/// Serializes snapshot parameters to bytes (staging file format) and back.
+std::string SerializeParams(const std::vector<NamedParam>& params);
+Result<std::vector<NamedParam>> ParseParams(Slice bytes);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DLV_REPOSITORY_H_

@@ -1,0 +1,116 @@
+#ifndef MODELHUB_DQL_AST_H_
+#define MODELHUB_DQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace modelhub {
+namespace dql {
+
+/// Comparison operators of DQL predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One atomic predicate of a where-clause. Three forms (mirroring the
+/// paper's Query 1):
+///   attribute comparison   m1.creation_time > "2015-11-22"
+///   LIKE pattern           m1.name like "alexnet_%"
+///   graph traversal        m1["conv[1,3,5]"].next has POOL("MAX")
+struct Predicate {
+  enum class Kind : uint8_t { kCompare, kLike, kSelectorHas };
+  Kind kind = Kind::kCompare;
+  /// Preceded by `not`: the predicate's truth value is inverted.
+  bool negated = false;
+
+  // kCompare / kLike: the model attribute ("name", "creation_time",
+  // "accuracy", "loss", "parent", "num_snapshots").
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  std::string literal;       ///< Raw literal text (string or number).
+  bool literal_is_number = false;
+
+  // kSelectorHas.
+  std::string selector;      ///< Node-name regex inside m["..."].
+  bool direction_next = true;  ///< .next vs .prev.
+  std::string template_name;   ///< Built-in node template, e.g. "POOL".
+  std::string template_arg;    ///< e.g. "MAX"; empty if none.
+};
+
+/// Disjunctive normal form: OR over ANDs of predicates.
+struct Condition {
+  std::vector<std::vector<Predicate>> disjuncts;
+  bool empty() const { return disjuncts.empty(); }
+};
+
+/// select <var> where <cond>
+struct SelectQuery {
+  std::string var;
+  Condition where;
+};
+
+/// slice <new> from <src> [where <cond>]
+/// mutate <new>.input = <src>["sel"] and <new>.output = <src>["sel"]
+struct SliceQuery {
+  std::string new_var;
+  std::string src_var;
+  Condition where;
+  std::string input_selector;
+  std::string output_selector;
+};
+
+/// construct <new> from <src> [where <cond>] mutate <mutations>
+struct ConstructQuery {
+  struct Mutation {
+    std::string selector;
+    bool is_insert = true;       ///< insert vs delete.
+    std::string template_name;   ///< For insert: layer template.
+    std::string template_arg;    ///< Template argument (e.g. "MAX").
+    /// For insert: the new node's name; a '$' expands to the matched
+    /// node's name (our rendering of the paper's "relu$1" capture).
+    std::string new_name;
+  };
+  std::string new_var;
+  std::string src_var;
+  Condition where;
+  std::vector<Mutation> mutations;
+};
+
+/// evaluate <var> from <source> with config = <"default"|name>
+/// [vary <dims>] [keep top(k, <metric>, iterations)]
+struct EvaluateQuery {
+  std::string var;
+  /// Either a nested query in parentheses...
+  std::shared_ptr<struct Query> subquery;
+  /// ...or a LIKE pattern over version names.
+  std::string from_pattern;
+  std::string config;  ///< "default" or a committed version whose
+                       ///< hyperparameters seed the config.
+  struct VaryDim {
+    std::string param;                ///< config.<param>.
+    std::vector<std::string> values;  ///< Literal list; empty if auto.
+    bool is_auto = false;
+  };
+  std::vector<VaryDim> vary;
+  struct KeepRule {
+    int top_k = 1;
+    std::string metric;  ///< "loss" or "accuracy".
+    int64_t iterations = 0;
+  };
+  std::optional<KeepRule> keep;
+};
+
+/// A parsed DQL statement.
+struct Query {
+  enum class Kind : uint8_t { kSelect, kSlice, kConstruct, kEvaluate };
+  Kind kind = Kind::kSelect;
+  SelectQuery select;
+  SliceQuery slice;
+  ConstructQuery construct;
+  EvaluateQuery evaluate;
+};
+
+}  // namespace dql
+}  // namespace modelhub
+
+#endif  // MODELHUB_DQL_AST_H_

@@ -1,0 +1,569 @@
+#include "dql/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "dql/parser.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+
+namespace modelhub {
+
+namespace {
+
+using dql::CompareOp;
+using dql::Condition;
+using dql::ConstructQuery;
+using dql::EvaluateQuery;
+using dql::Predicate;
+using dql::Query;
+using dql::SelectQuery;
+using dql::SliceQuery;
+
+/// Built-in node templates for `has` conditions and insert mutations
+/// (POOL("MAX"), RELU("name"), ...). Returns the kind, or an error for
+/// unknown template names.
+Result<LayerKind> TemplateKind(const std::string& name) {
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "POOL") return LayerKind::kPool;
+  if (upper == "CONV") return LayerKind::kConv;
+  if (upper == "FULL" || upper == "IP" || upper == "FC") {
+    return LayerKind::kFull;
+  }
+  if (upper == "RELU") return LayerKind::kReLU;
+  if (upper == "SIGMOID") return LayerKind::kSigmoid;
+  if (upper == "TANH") return LayerKind::kTanh;
+  if (upper == "SOFTMAX") return LayerKind::kSoftmax;
+  if (upper == "DROPOUT") return LayerKind::kDropout;
+  if (upper == "LRN") return LayerKind::kLRN;
+  if (upper == "FLATTEN") return LayerKind::kFlatten;
+  if (upper == "ADD" || upper == "ELTWISE") return LayerKind::kEltwiseAdd;
+  return Status::InvalidArgument("unknown node template: " + name);
+}
+
+/// Does `node` match template `name(arg)`? The only argued template is
+/// POOL("MAX"/"AVG"); other arguments are ignored for matching.
+Result<bool> NodeMatchesTemplate(const LayerDef& node,
+                                 const std::string& template_name,
+                                 const std::string& arg) {
+  MH_ASSIGN_OR_RETURN(const LayerKind kind, TemplateKind(template_name));
+  if (node.kind != kind) return false;
+  if (kind == LayerKind::kPool && !arg.empty()) {
+    const PoolMode want =
+        (arg == "AVG" || arg == "avg") ? PoolMode::kAvg : PoolMode::kMax;
+    return node.pool_mode == want;
+  }
+  return true;
+}
+
+double ParseNumber(const std::string& text, bool* ok) {
+  try {
+    size_t consumed = 0;
+    const double v = std::stod(text, &consumed);
+    *ok = consumed == text.size();
+    return v;
+  } catch (...) {
+    *ok = false;
+    return 0.0;
+  }
+}
+
+bool CompareDoubles(double a, CompareOp op, double b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+bool CompareStrings(const std::string& a, CompareOp op, const std::string& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Applies one config parameter to TrainOptions. Returns false for
+/// parameters the grid handles elsewhere (input_data).
+Result<bool> ApplyConfigParam(TrainOptions* options, const std::string& key,
+                              const std::string& value) {
+  bool ok = false;
+  const double v = ParseNumber(value, &ok);
+  if (key == "input_data") return false;
+  if (!ok) {
+    return Status::InvalidArgument("config." + key +
+                                   " expects a number, got " + value);
+  }
+  if (key == "base_lr") {
+    options->base_learning_rate = static_cast<float>(v);
+  } else if (key == "momentum") {
+    options->momentum = static_cast<float>(v);
+  } else if (key == "batch_size") {
+    options->batch_size = static_cast<int64_t>(v);
+  } else if (key == "iterations") {
+    options->iterations = static_cast<int64_t>(v);
+  } else if (key == "weight_decay") {
+    options->weight_decay = static_cast<float>(v);
+  } else {
+    return Status::InvalidArgument("unknown config parameter: " + key);
+  }
+  return true;
+}
+
+/// Default grids for `auto` (currently grid search, as in the paper).
+std::vector<std::string> AutoGrid(const std::string& param) {
+  if (param == "base_lr") return {"0.1", "0.01", "0.001"};
+  if (param == "momentum") return {"0.8", "0.9"};
+  if (param == "batch_size") return {"16", "32"};
+  if (param == "weight_decay") return {"0", "0.0005"};
+  return {};
+}
+
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer LIKE matcher with backtracking on '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+void DqlEngine::RegisterDataset(const std::string& name,
+                                const Dataset* dataset) {
+  datasets_[name] = dataset;
+}
+
+Result<DqlResult> DqlEngine::Run(const std::string& query_text) {
+  MH_ASSIGN_OR_RETURN(Query query, dql::Parse(query_text));
+  return Execute(query);
+}
+
+Result<DqlResult> DqlEngine::Execute(const Query& query) {
+  switch (query.kind) {
+    case Query::Kind::kSelect:
+      return ExecuteSelect(query.select);
+    case Query::Kind::kSlice:
+      return ExecuteSlice(query.slice);
+    case Query::Kind::kConstruct:
+      return ExecuteConstruct(query.construct);
+    case Query::Kind::kEvaluate:
+      return ExecuteEvaluate(query.evaluate);
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+Result<bool> DqlEngine::MatchesPredicate(const std::string& version_name,
+                                         const Predicate& predicate) const {
+  if (predicate.kind == Predicate::Kind::kSelectorHas) {
+    MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(version_name));
+    MH_ASSIGN_OR_RETURN(std::vector<std::string> nodes,
+                        def.Select(predicate.selector));
+    for (const std::string& node : nodes) {
+      const std::vector<std::string> neighbors = predicate.direction_next
+                                                     ? def.Next(node)
+                                                     : def.Prev(node);
+      for (const std::string& neighbor : neighbors) {
+        MH_ASSIGN_OR_RETURN(LayerDef neighbor_def, def.GetNode(neighbor));
+        MH_ASSIGN_OR_RETURN(
+            const bool matches,
+            NodeMatchesTemplate(neighbor_def, predicate.template_name,
+                                predicate.template_arg));
+        if (matches) return true;
+      }
+    }
+    return false;
+  }
+
+  MH_ASSIGN_OR_RETURN(ModelVersionInfo info, repo_->GetInfo(version_name));
+  if (predicate.kind == Predicate::Kind::kLike) {
+    std::string value;
+    if (predicate.attribute == "name") {
+      value = info.name;
+    } else if (predicate.attribute == "parent") {
+      value = info.parent;
+    } else {
+      return Status::InvalidArgument("LIKE expects a text attribute, got " +
+                                     predicate.attribute);
+    }
+    return LikeMatch(value, predicate.literal);
+  }
+
+  // Comparison. Numeric attributes compare numerically; text attributes
+  // lexicographically.
+  double numeric_value = 0.0;
+  std::string text_value;
+  bool is_numeric = true;
+  if (predicate.attribute == "creation_time") {
+    numeric_value = static_cast<double>(info.created_at);
+  } else if (predicate.attribute == "num_snapshots") {
+    numeric_value = static_cast<double>(info.num_snapshots);
+  } else if (predicate.attribute == "accuracy") {
+    numeric_value = info.best_accuracy;
+  } else if (predicate.attribute == "loss") {
+    MH_ASSIGN_OR_RETURN(auto log, repo_->GetLog(version_name));
+    numeric_value = log.empty() ? 1e30 : log.back().loss;
+  } else if (predicate.attribute == "name") {
+    text_value = info.name;
+    is_numeric = false;
+  } else if (predicate.attribute == "parent") {
+    text_value = info.parent;
+    is_numeric = false;
+  } else {
+    return Status::InvalidArgument("unknown attribute: " +
+                                   predicate.attribute);
+  }
+  if (is_numeric) {
+    bool ok = false;
+    const double literal = ParseNumber(predicate.literal, &ok);
+    if (!ok) {
+      // Fall back to lexicographic comparison on the printed value, which
+      // covers date-like strings against logical clocks.
+      return CompareStrings(std::to_string(numeric_value), predicate.op,
+                            predicate.literal);
+    }
+    return CompareDoubles(numeric_value, predicate.op, literal);
+  }
+  return CompareStrings(text_value, predicate.op, predicate.literal);
+}
+
+Result<bool> DqlEngine::Matches(const std::string& version_name,
+                                const Condition& condition) const {
+  if (condition.empty()) return true;
+  for (const auto& conjunction : condition.disjuncts) {
+    bool all = true;
+    for (const Predicate& predicate : conjunction) {
+      MH_ASSIGN_OR_RETURN(bool matches,
+                          MatchesPredicate(version_name, predicate));
+      if (predicate.negated) matches = !matches;
+      if (!matches) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+Result<std::vector<std::string>> DqlEngine::MatchingVersions(
+    const Condition& condition) const {
+  MH_ASSIGN_OR_RETURN(auto versions, repo_->List());
+  std::vector<std::string> out;
+  for (const auto& info : versions) {
+    MH_ASSIGN_OR_RETURN(const bool matches, Matches(info.name, condition));
+    if (matches) out.push_back(info.name);
+  }
+  return out;
+}
+
+Result<DqlResult> DqlEngine::ExecuteSelect(const SelectQuery& query) const {
+  DqlResult result;
+  result.kind = Query::Kind::kSelect;
+  MH_ASSIGN_OR_RETURN(result.model_names, MatchingVersions(query.where));
+  return result;
+}
+
+Status DqlEngine::MaybeCommitNetwork(const NetworkDef& def,
+                                     const std::string& parent,
+                                     const std::string& message) {
+  if (!options_.commit_results) return Status::OK();
+  CommitRequest request;
+  request.name = def.name();
+  request.network = def;
+  request.parent = parent;
+  request.message = message;
+  return repo_->Commit(request).status();
+}
+
+Result<DqlResult> DqlEngine::ExecuteSlice(const SliceQuery& query) {
+  DqlResult result;
+  result.kind = Query::Kind::kSlice;
+  MH_ASSIGN_OR_RETURN(auto sources, MatchingVersions(query.where));
+  for (const std::string& source : sources) {
+    MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(source));
+    MH_ASSIGN_OR_RETURN(auto starts, def.Select(query.input_selector));
+    MH_ASSIGN_OR_RETURN(auto ends, def.Select(query.output_selector));
+    if (starts.empty() || ends.empty()) continue;
+    auto sliced = def.Slice(starts.front(), ends.front());
+    if (!sliced.ok()) continue;  // No path in this model: not a candidate.
+    sliced->set_name(query.new_var + "_" + source);
+    MH_RETURN_IF_ERROR(MaybeCommitNetwork(
+        *sliced, source, "slice " + starts.front() + ".." + ends.front()));
+    result.networks.push_back(std::move(*sliced));
+  }
+  return result;
+}
+
+Result<DqlResult> DqlEngine::ExecuteConstruct(const ConstructQuery& query) {
+  DqlResult result;
+  result.kind = Query::Kind::kConstruct;
+  MH_ASSIGN_OR_RETURN(auto sources, MatchingVersions(query.where));
+  for (const std::string& source : sources) {
+    MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(source));
+    bool applied_all = true;
+    for (const auto& mutation : query.mutations) {
+      MH_ASSIGN_OR_RETURN(auto nodes, def.Select(mutation.selector));
+      if (nodes.empty()) {
+        applied_all = false;
+        break;
+      }
+      for (const std::string& node : nodes) {
+        if (mutation.is_insert) {
+          // '$' in the new name expands to the matched node's name.
+          std::string new_name;
+          for (char c : mutation.new_name) {
+            if (c == '$') {
+              new_name += node;
+            } else {
+              new_name.push_back(c);
+            }
+          }
+          MH_ASSIGN_OR_RETURN(const LayerKind kind,
+                              TemplateKind(mutation.template_name));
+          LayerDef layer;
+          if (kind == LayerKind::kPool) {
+            layer = MakePool(new_name,
+                             mutation.template_arg == "AVG" ? PoolMode::kAvg
+                                                            : PoolMode::kMax,
+                             2, 2);
+          } else if (kind == LayerKind::kDropout) {
+            layer = MakeDropout(new_name, 0.5f);
+          } else if (kind == LayerKind::kLRN) {
+            layer = MakeLRN(new_name);
+          } else if (kind == LayerKind::kConv || kind == LayerKind::kFull) {
+            return Status::InvalidArgument(
+                "insert of parametric layers requires explicit "
+                "hyperparameters; use the C++ API");
+          } else {
+            layer = MakeActivation(new_name, kind);
+          }
+          MH_RETURN_IF_ERROR(def.InsertAfter(node, layer));
+        } else {
+          MH_RETURN_IF_ERROR(def.DeleteNode(node));
+        }
+      }
+    }
+    if (!applied_all) continue;
+    def.set_name(query.new_var + "_" + source);
+    MH_RETURN_IF_ERROR(
+        MaybeCommitNetwork(def, source, "construct from " + source));
+    result.networks.push_back(std::move(def));
+  }
+  return result;
+}
+
+Result<std::vector<DqlEngine::Candidate>> DqlEngine::EvaluateCandidates(
+    const EvaluateQuery& query) {
+  std::vector<Candidate> candidates;
+  if (query.subquery != nullptr) {
+    // Nested queries must not commit intermediate results twice; run them
+    // with commit disabled, candidates are committed after evaluation.
+    const bool saved = options_.commit_results;
+    options_.commit_results = false;
+    auto sub = Execute(*query.subquery);
+    options_.commit_results = saved;
+    MH_RETURN_IF_ERROR(sub.status());
+    if (sub->kind == Query::Kind::kSelect) {
+      for (const auto& name : sub->model_names) {
+        MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(name));
+        candidates.push_back({std::move(def), name});
+      }
+    } else {
+      for (auto& def : sub->networks) {
+        // Derived nets record their source version in the name suffix.
+        candidates.push_back({def, ""});
+      }
+    }
+  } else {
+    MH_ASSIGN_OR_RETURN(auto versions, repo_->List());
+    for (const auto& info : versions) {
+      if (LikeMatch(info.name, query.from_pattern)) {
+        MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(info.name));
+        candidates.push_back({std::move(def), info.name});
+      }
+    }
+  }
+  return candidates;
+}
+
+Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
+  DqlResult result;
+  result.kind = Query::Kind::kEvaluate;
+  MH_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
+                      EvaluateCandidates(query));
+  if (candidates.empty()) return result;
+
+  // Base config.
+  TrainOptions base;
+  base.iterations = options_.default_iterations;
+  base.batch_size = options_.default_batch_size;
+  if (query.config != "default") {
+    MH_ASSIGN_OR_RETURN(auto hyperparams, repo_->GetHyperparams(query.config));
+    for (const auto& [key, value] : hyperparams) {
+      MH_RETURN_IF_ERROR(ApplyConfigParam(&base, key, value).status());
+    }
+  }
+  if (query.keep.has_value() && query.keep->iterations > 0) {
+    base.iterations = query.keep->iterations;
+  }
+
+  // Expand the vary grid.
+  struct GridDim {
+    std::string param;
+    std::vector<std::string> values;
+  };
+  std::vector<GridDim> dims;
+  for (const auto& vary : query.vary) {
+    GridDim dim;
+    dim.param = vary.param;
+    dim.values = vary.is_auto ? AutoGrid(vary.param) : vary.values;
+    if (dim.values.empty()) {
+      return Status::InvalidArgument("vary config." + vary.param +
+                                     " has no values");
+    }
+    dims.push_back(std::move(dim));
+  }
+  std::vector<std::map<std::string, std::string>> grid = {{}};
+  for (const auto& dim : dims) {
+    std::vector<std::map<std::string, std::string>> expanded;
+    for (const auto& cell : grid) {
+      for (const auto& value : dim.values) {
+        auto next = cell;
+        next[dim.param] = value;
+        expanded.push_back(std::move(next));
+      }
+    }
+    grid = std::move(expanded);
+  }
+
+  // Resolve the default dataset.
+  const Dataset* default_dataset = nullptr;
+  if (auto it = datasets_.find("default"); it != datasets_.end()) {
+    default_dataset = it->second;
+  } else if (!datasets_.empty()) {
+    default_dataset = datasets_.begin()->second;
+  }
+
+  // Train every candidate x cell.
+  std::vector<std::pair<EvaluatedModel, CommitRequest>> evaluated;
+  Rng rng(options_.seed);
+  for (const auto& candidate : candidates) {
+    for (const auto& cell : grid) {
+      TrainOptions cell_options = base;
+      const Dataset* dataset = default_dataset;
+      for (const auto& [key, value] : cell) {
+        if (key == "input_data") {
+          auto it = datasets_.find(value);
+          if (it == datasets_.end()) {
+            return Status::NotFound("no registered dataset: " + value);
+          }
+          dataset = it->second;
+          continue;
+        }
+        MH_RETURN_IF_ERROR(
+            ApplyConfigParam(&cell_options, key, value).status());
+      }
+      if (dataset == nullptr) {
+        return Status::FailedPrecondition(
+            "evaluate requires a registered dataset");
+      }
+      cell_options.snapshot_every = 0;  // Only the final snapshot.
+      cell_options.log_every = cell_options.iterations;
+      cell_options.seed = rng.Next();
+
+      MH_ASSIGN_OR_RETURN(Network net, Network::Create(candidate.def));
+      Rng init_rng(cell_options.seed);
+      net.InitializeWeights(&init_rng);
+      MH_ASSIGN_OR_RETURN(TrainResult trained,
+                          TrainNetwork(&net, *dataset, cell_options));
+
+      EvaluatedModel model;
+      model.source =
+          candidate.source.empty() ? candidate.def.name() : candidate.source;
+      model.config = cell;
+      model.loss = trained.final_loss;
+      model.accuracy = trained.final_accuracy;
+      model.name = query.var + std::to_string(evaluated.size()) + "_" +
+                   candidate.def.name();
+
+      // Keep the trained artifacts so the keepers (and only the keepers)
+      // can be committed after the keep rule prunes the rest — the early
+      // elimination the paper's keep operator exists for.
+      CommitRequest request;
+      request.name = model.name;
+      NetworkDef named = candidate.def;
+      named.set_name(request.name);
+      request.network = named;
+      request.snapshots = trained.snapshots;
+      request.log = trained.log;
+      for (const auto& [key, value] : cell) {
+        request.hyperparams[key] = value;
+      }
+      request.parent = candidate.source;
+      request.message = "dql evaluate";
+      evaluated.emplace_back(std::move(model), std::move(request));
+    }
+  }
+
+  // Apply the keep rule: sort and truncate, then commit survivors.
+  const bool by_loss = !query.keep.has_value() || query.keep->metric == "loss";
+  std::sort(evaluated.begin(), evaluated.end(),
+            [&](const auto& a, const auto& b) {
+              return by_loss ? a.first.loss < b.first.loss
+                             : a.first.accuracy > b.first.accuracy;
+            });
+  if (query.keep.has_value() &&
+      evaluated.size() > static_cast<size_t>(query.keep->top_k)) {
+    evaluated.resize(static_cast<size_t>(query.keep->top_k));
+  }
+  for (auto& [model, request] : evaluated) {
+    if (options_.commit_results) {
+      MH_RETURN_IF_ERROR(repo_->Commit(request).status());
+    }
+    result.evaluated.push_back(std::move(model));
+  }
+  return result;
+}
+
+}  // namespace modelhub

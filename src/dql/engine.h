@@ -1,0 +1,102 @@
+#ifndef MODELHUB_DQL_ENGINE_H_
+#define MODELHUB_DQL_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "dlv/repository.h"
+#include "dql/ast.h"
+#include "nn/network_def.h"
+
+namespace modelhub {
+
+/// DQL engine knobs.
+struct DqlOptions {
+  /// Commit slice/construct results and kept evaluate models back into the
+  /// repository (as the paper's workflow does).
+  bool commit_results = true;
+  /// Training length when the config does not specify iterations and the
+  /// query has no keep(..., iterations) clause.
+  int64_t default_iterations = 60;
+  int64_t default_batch_size = 16;
+  uint64_t seed = 1;
+};
+
+/// One trained candidate from an evaluate query.
+struct EvaluatedModel {
+  std::string name;  ///< Committed version name (or candidate id).
+  std::string source;  ///< The version / network it derived from.
+  std::map<std::string, std::string> config;
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// The result of running one DQL statement.
+struct DqlResult {
+  dql::Query::Kind kind = dql::Query::Kind::kSelect;
+  /// select: matching version names.
+  std::vector<std::string> model_names;
+  /// slice / construct: derived network definitions (also committed when
+  /// DqlOptions.commit_results is set).
+  std::vector<NetworkDef> networks;
+  /// evaluate: the kept models, best first.
+  std::vector<EvaluatedModel> evaluated;
+};
+
+/// Executes DQL queries against a DLV repository ("dlv query ..."). The
+/// engine owns no state beyond configuration; datasets for evaluate
+/// queries are registered by name ("default" is used when the query does
+/// not vary config.input_data).
+class DqlEngine {
+ public:
+  DqlEngine(Repository* repo, DqlOptions options = {})
+      : repo_(repo), options_(options) {}
+
+  /// Registers a dataset usable via `vary config.input_data in ["name"]`.
+  /// The first registered dataset (or one named "default") is the default.
+  void RegisterDataset(const std::string& name, const Dataset* dataset);
+
+  /// Parses and executes one statement.
+  Result<DqlResult> Run(const std::string& query_text);
+
+  /// Executes a parsed statement.
+  Result<DqlResult> Execute(const dql::Query& query);
+
+ private:
+  struct Candidate {
+    NetworkDef def;
+    std::string source;  ///< Version name it derived from ("" if fresh).
+  };
+
+  Result<std::vector<std::string>> MatchingVersions(
+      const dql::Condition& condition) const;
+  Result<bool> Matches(const std::string& version_name,
+                       const dql::Condition& condition) const;
+  Result<bool> MatchesPredicate(const std::string& version_name,
+                                const dql::Predicate& predicate) const;
+
+  Result<DqlResult> ExecuteSelect(const dql::SelectQuery& query) const;
+  Result<DqlResult> ExecuteSlice(const dql::SliceQuery& query);
+  Result<DqlResult> ExecuteConstruct(const dql::ConstructQuery& query);
+  Result<DqlResult> ExecuteEvaluate(const dql::EvaluateQuery& query);
+
+  Result<std::vector<Candidate>> EvaluateCandidates(
+      const dql::EvaluateQuery& query);
+
+  Status MaybeCommitNetwork(const NetworkDef& def, const std::string& parent,
+                            const std::string& message);
+
+  Repository* repo_;
+  DqlOptions options_;
+  std::map<std::string, const Dataset*> datasets_;
+};
+
+/// SQL LIKE matching ('%' = any run, '_' = any single char).
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DQL_ENGINE_H_

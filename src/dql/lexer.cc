@@ -1,0 +1,102 @@
+#include "dql/lexer.h"
+
+#include <cctype>
+
+namespace modelhub {
+namespace dql {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (type != TokenType::kIdent || text.size() != keyword.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Lex(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (c == '"') {
+      token.type = TokenType::kString;
+      ++i;
+      while (i < n && query[i] != '"') {
+        token.text.push_back(query[i++]);
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("DQL: unterminated string at offset " +
+                                       std::to_string(token.position));
+      }
+      ++i;  // Closing quote.
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      token.type = TokenType::kNumber;
+      token.text.push_back(query[i++]);
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.' || query[i] == 'e' || query[i] == 'E' ||
+                       ((query[i] == '+' || query[i] == '-') &&
+                        (query[i - 1] == 'e' || query[i - 1] == 'E')))) {
+        token.text.push_back(query[i++]);
+      }
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      token.type = TokenType::kIdent;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_' || query[i] == '$')) {
+        token.text.push_back(query[i++]);
+      }
+    } else {
+      token.type = TokenType::kSymbol;
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = query.substr(i, 2);
+        if (two == "!=" || two == "<=" || two == ">=") {
+          token.text = two;
+          i += 2;
+          tokens.push_back(std::move(token));
+          continue;
+        }
+      }
+      switch (c) {
+        case '.':
+        case ',':
+        case '(':
+        case ')':
+        case '[':
+        case ']':
+        case '=':
+        case '<':
+        case '>':
+          token.text.push_back(c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("DQL: unexpected character '") + c +
+              "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace dql
+}  // namespace modelhub

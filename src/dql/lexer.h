@@ -1,0 +1,39 @@
+#ifndef MODELHUB_DQL_LEXER_H_
+#define MODELHUB_DQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace modelhub {
+namespace dql {
+
+enum class TokenType : uint8_t {
+  kIdent,    ///< Identifiers and keywords (keywords matched by the parser).
+  kString,   ///< Double-quoted string literal (contents, unquoted).
+  kNumber,   ///< Integer or decimal literal (possibly negative).
+  kSymbol,   ///< One of . , ( ) [ ] = != < <= > >=
+  kEnd,      ///< End of input.
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  ///< Byte offset in the query (for error messages).
+
+  bool Is(TokenType t, std::string_view s) const {
+    return type == t && text == s;
+  }
+  /// Case-insensitive keyword check against an identifier.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes a DQL query. Fails with InvalidArgument on unterminated
+/// strings or unexpected characters.
+Result<std::vector<Token>> Lex(const std::string& query);
+
+}  // namespace dql
+}  // namespace modelhub
+
+#endif  // MODELHUB_DQL_LEXER_H_

@@ -1,0 +1,413 @@
+#include "dql/parser.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "dql/lexer.h"
+
+namespace modelhub {
+namespace dql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    Query query;
+    if (AcceptKeyword("select")) {
+      query.kind = Query::Kind::kSelect;
+      MH_ASSIGN_OR_RETURN(query.select, ParseSelect());
+    } else if (AcceptKeyword("slice")) {
+      query.kind = Query::Kind::kSlice;
+      MH_ASSIGN_OR_RETURN(query.slice, ParseSlice());
+    } else if (AcceptKeyword("construct")) {
+      query.kind = Query::Kind::kConstruct;
+      MH_ASSIGN_OR_RETURN(query.construct, ParseConstruct());
+    } else if (AcceptKeyword("evaluate")) {
+      query.kind = Query::Kind::kEvaluate;
+      MH_ASSIGN_OR_RETURN(query.evaluate, ParseEvaluate());
+    } else {
+      return Error("expected select, slice, construct or evaluate");
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(std::string_view keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(std::string_view symbol) {
+    if (Peek().Is(TokenType::kSymbol, symbol)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        "DQL parse error at offset " + std::to_string(Peek().position) +
+        " (near '" + Peek().text + "'): " + message);
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Error("expected '" + std::string(symbol) + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Error("expected '" + std::string(keyword) + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) return Error("expected identifier");
+    return Next().text;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().type != TokenType::kString) {
+      return Error("expected string literal");
+    }
+    return Next().text;
+  }
+
+  // ------------------------------------------------------------ queries
+
+  Result<SelectQuery> ParseSelect() {
+    SelectQuery select;
+    MH_ASSIGN_OR_RETURN(select.var, ExpectIdent());
+    MH_RETURN_IF_ERROR(ExpectKeyword("where"));
+    MH_ASSIGN_OR_RETURN(select.where, ParseOr(select.var));
+    return select;
+  }
+
+  Result<SliceQuery> ParseSlice() {
+    SliceQuery slice;
+    MH_ASSIGN_OR_RETURN(slice.new_var, ExpectIdent());
+    MH_RETURN_IF_ERROR(ExpectKeyword("from"));
+    MH_ASSIGN_OR_RETURN(slice.src_var, ExpectIdent());
+    if (AcceptKeyword("where")) {
+      MH_ASSIGN_OR_RETURN(slice.where, ParseOr(slice.src_var));
+    }
+    MH_RETURN_IF_ERROR(ExpectKeyword("mutate"));
+    // <new>.input = <src>["sel"] and <new>.output = <src>["sel"]
+    for (int i = 0; i < 2; ++i) {
+      MH_ASSIGN_OR_RETURN(const std::string var, ExpectIdent());
+      if (var != slice.new_var) {
+        return Error("slice mutate must assign to " + slice.new_var);
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol("."));
+      MH_ASSIGN_OR_RETURN(const std::string port, ExpectIdent());
+      MH_RETURN_IF_ERROR(ExpectSymbol("="));
+      MH_ASSIGN_OR_RETURN(const std::string src, ExpectIdent());
+      if (src != slice.src_var) {
+        return Error("slice selector must reference " + slice.src_var);
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol("["));
+      MH_ASSIGN_OR_RETURN(const std::string selector, ExpectString());
+      MH_RETURN_IF_ERROR(ExpectSymbol("]"));
+      if (port == "input") {
+        slice.input_selector = selector;
+      } else if (port == "output") {
+        slice.output_selector = selector;
+      } else {
+        return Error("slice mutate expects .input or .output");
+      }
+      if (i == 0) MH_RETURN_IF_ERROR(ExpectKeyword("and"));
+    }
+    if (slice.input_selector.empty() || slice.output_selector.empty()) {
+      return Error("slice needs both input and output assignments");
+    }
+    return slice;
+  }
+
+  Result<ConstructQuery> ParseConstruct() {
+    ConstructQuery construct;
+    MH_ASSIGN_OR_RETURN(construct.new_var, ExpectIdent());
+    MH_RETURN_IF_ERROR(ExpectKeyword("from"));
+    MH_ASSIGN_OR_RETURN(construct.src_var, ExpectIdent());
+    if (AcceptKeyword("where")) {
+      MH_ASSIGN_OR_RETURN(construct.where, ParseOr(construct.src_var));
+    }
+    MH_RETURN_IF_ERROR(ExpectKeyword("mutate"));
+    do {
+      ConstructQuery::Mutation mutation;
+      MH_ASSIGN_OR_RETURN(const std::string var, ExpectIdent());
+      if (var != construct.src_var && var != construct.new_var) {
+        return Error("mutation must reference " + construct.src_var);
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol("["));
+      MH_ASSIGN_OR_RETURN(mutation.selector, ExpectString());
+      MH_RETURN_IF_ERROR(ExpectSymbol("]"));
+      MH_RETURN_IF_ERROR(ExpectSymbol("."));
+      MH_ASSIGN_OR_RETURN(const std::string op, ExpectIdent());
+      if (op == "insert") {
+        mutation.is_insert = true;
+        MH_RETURN_IF_ERROR(ExpectSymbol("="));
+        MH_ASSIGN_OR_RETURN(mutation.template_name, ExpectIdent());
+        MH_RETURN_IF_ERROR(ExpectSymbol("("));
+        if (Peek().type == TokenType::kString) {
+          mutation.new_name = Next().text;
+          if (AcceptSymbol(",")) {
+            MH_ASSIGN_OR_RETURN(mutation.template_arg, ExpectString());
+          }
+        }
+        MH_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (mutation.new_name.empty()) {
+          return Error("insert template needs a node name argument");
+        }
+      } else if (op == "delete") {
+        mutation.is_insert = false;
+      } else {
+        return Error("mutation must be .insert or .delete");
+      }
+      construct.mutations.push_back(std::move(mutation));
+    } while (AcceptKeyword("and"));
+    return construct;
+  }
+
+  Result<EvaluateQuery> ParseEvaluate() {
+    EvaluateQuery evaluate;
+    MH_ASSIGN_OR_RETURN(evaluate.var, ExpectIdent());
+    MH_RETURN_IF_ERROR(ExpectKeyword("from"));
+    if (AcceptSymbol("(")) {
+      Query sub;
+      if (AcceptKeyword("select")) {
+        sub.kind = Query::Kind::kSelect;
+        MH_ASSIGN_OR_RETURN(sub.select, ParseSelect());
+      } else if (AcceptKeyword("slice")) {
+        sub.kind = Query::Kind::kSlice;
+        MH_ASSIGN_OR_RETURN(sub.slice, ParseSlice());
+      } else if (AcceptKeyword("construct")) {
+        sub.kind = Query::Kind::kConstruct;
+        MH_ASSIGN_OR_RETURN(sub.construct, ParseConstruct());
+      } else {
+        return Error("nested query must be select, slice or construct");
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      evaluate.subquery = std::make_shared<Query>(std::move(sub));
+    } else {
+      MH_ASSIGN_OR_RETURN(evaluate.from_pattern, ExpectString());
+    }
+    MH_RETURN_IF_ERROR(ExpectKeyword("with"));
+    MH_RETURN_IF_ERROR(ExpectKeyword("config"));
+    MH_RETURN_IF_ERROR(ExpectSymbol("="));
+    if (Peek().type == TokenType::kString) {
+      evaluate.config = Next().text;
+    } else {
+      MH_ASSIGN_OR_RETURN(evaluate.config, ExpectIdent());
+    }
+    if (AcceptKeyword("vary")) {
+      do {
+        EvaluateQuery::VaryDim dim;
+        MH_RETURN_IF_ERROR(ExpectKeyword("config"));
+        MH_RETURN_IF_ERROR(ExpectSymbol("."));
+        MH_ASSIGN_OR_RETURN(dim.param, ExpectIdent());
+        if (AcceptKeyword("auto")) {
+          dim.is_auto = true;
+        } else {
+          MH_RETURN_IF_ERROR(ExpectKeyword("in"));
+          MH_RETURN_IF_ERROR(ExpectSymbol("["));
+          do {
+            if (Peek().type == TokenType::kNumber ||
+                Peek().type == TokenType::kString) {
+              dim.values.push_back(Next().text);
+            } else {
+              return Error("vary list expects numbers or strings");
+            }
+          } while (AcceptSymbol(","));
+          MH_RETURN_IF_ERROR(ExpectSymbol("]"));
+        }
+        evaluate.vary.push_back(std::move(dim));
+      } while (AcceptKeyword("and"));
+    }
+    if (AcceptKeyword("keep")) {
+      EvaluateQuery::KeepRule keep;
+      MH_RETURN_IF_ERROR(ExpectKeyword("top"));
+      MH_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().type != TokenType::kNumber) return Error("keep expects k");
+      {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(Next().text.c_str(), &end, 10);
+        if (errno == ERANGE || v <= 0 || v > 1'000'000) {
+          return Error("keep expects a small positive k");
+        }
+        keep.top_k = static_cast<int>(v);
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol(","));
+      // Metric: m["loss"] or a bare string/ident.
+      if (Peek().type == TokenType::kIdent) {
+        ++pos_;  // Model variable name.
+        MH_RETURN_IF_ERROR(ExpectSymbol("["));
+        MH_ASSIGN_OR_RETURN(keep.metric, ExpectString());
+        MH_RETURN_IF_ERROR(ExpectSymbol("]"));
+      } else {
+        MH_ASSIGN_OR_RETURN(keep.metric, ExpectString());
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol(","));
+      if (Peek().type != TokenType::kNumber) {
+        return Error("keep expects an iteration count");
+      }
+      {
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(Next().text.c_str(), &end, 10);
+        if (errno == ERANGE || v < 0) {
+          return Error("keep expects a non-negative iteration count");
+        }
+        keep.iterations = v;
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (keep.metric != "loss" && keep.metric != "accuracy") {
+        return Error("keep metric must be \"loss\" or \"accuracy\"");
+      }
+      evaluate.keep = keep;
+    }
+    return evaluate;
+  }
+
+  // --------------------------------------------------------- conditions
+
+  /// OR-level: atom ("or" atom)*; result in DNF.
+  Result<Condition> ParseOr(const std::string& var) {
+    MH_ASSIGN_OR_RETURN(Condition left, ParseAnd(var));
+    while (AcceptKeyword("or")) {
+      MH_ASSIGN_OR_RETURN(Condition right, ParseAnd(var));
+      for (auto& disjunct : right.disjuncts) {
+        left.disjuncts.push_back(std::move(disjunct));
+      }
+    }
+    return left;
+  }
+
+  /// AND-level: distributes over nested ORs to stay in DNF.
+  Result<Condition> ParseAnd(const std::string& var) {
+    MH_ASSIGN_OR_RETURN(Condition acc, ParseAtom(var));
+    while (AcceptKeyword("and")) {
+      MH_ASSIGN_OR_RETURN(Condition next, ParseAtom(var));
+      Condition product;
+      for (const auto& a : acc.disjuncts) {
+        for (const auto& b : next.disjuncts) {
+          std::vector<Predicate> merged = a;
+          merged.insert(merged.end(), b.begin(), b.end());
+          product.disjuncts.push_back(std::move(merged));
+        }
+      }
+      acc = std::move(product);
+    }
+    return acc;
+  }
+
+  Result<Condition> ParseAtom(const std::string& var) {
+    if (AcceptSymbol("(")) {
+      MH_ASSIGN_OR_RETURN(Condition inner, ParseOr(var));
+      MH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    // `not` applies to a single predicate (negating a parenthesized OR
+    // would require De Morgan expansion; write the query in DNF instead).
+    const bool negated = AcceptKeyword("not");
+    MH_ASSIGN_OR_RETURN(Predicate predicate, ParsePredicate(var));
+    predicate.negated = negated;
+    Condition condition;
+    condition.disjuncts.push_back({std::move(predicate)});
+    return condition;
+  }
+
+  Result<Predicate> ParsePredicate(const std::string& var) {
+    MH_ASSIGN_OR_RETURN(const std::string head, ExpectIdent());
+    if (head != var) {
+      return Error("predicate must reference " + var);
+    }
+    Predicate predicate;
+    if (AcceptSymbol("[")) {
+      // Selector traversal: var["sel"].next has TEMPLATE("ARG").
+      predicate.kind = Predicate::Kind::kSelectorHas;
+      MH_ASSIGN_OR_RETURN(predicate.selector, ExpectString());
+      MH_RETURN_IF_ERROR(ExpectSymbol("]"));
+      MH_RETURN_IF_ERROR(ExpectSymbol("."));
+      MH_ASSIGN_OR_RETURN(const std::string direction, ExpectIdent());
+      if (direction == "next") {
+        predicate.direction_next = true;
+      } else if (direction == "prev") {
+        predicate.direction_next = false;
+      } else {
+        return Error("expected .next or .prev");
+      }
+      MH_RETURN_IF_ERROR(ExpectKeyword("has"));
+      MH_ASSIGN_OR_RETURN(predicate.template_name, ExpectIdent());
+      MH_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().type == TokenType::kString) {
+        predicate.template_arg = Next().text;
+      }
+      MH_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return predicate;
+    }
+    MH_RETURN_IF_ERROR(ExpectSymbol("."));
+    MH_ASSIGN_OR_RETURN(predicate.attribute, ExpectIdent());
+    if (AcceptKeyword("like")) {
+      predicate.kind = Predicate::Kind::kLike;
+      MH_ASSIGN_OR_RETURN(predicate.literal, ExpectString());
+      return predicate;
+    }
+    predicate.kind = Predicate::Kind::kCompare;
+    if (AcceptSymbol("=")) {
+      predicate.op = CompareOp::kEq;
+    } else if (AcceptSymbol("!=")) {
+      predicate.op = CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      predicate.op = CompareOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      predicate.op = CompareOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      predicate.op = CompareOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      predicate.op = CompareOp::kGt;
+    } else {
+      return Error("expected comparison operator");
+    }
+    if (Peek().type == TokenType::kNumber) {
+      predicate.literal = Next().text;
+      predicate.literal_is_number = true;
+    } else if (Peek().type == TokenType::kString) {
+      predicate.literal = Next().text;
+    } else {
+      return Error("expected literal");
+    }
+    return predicate;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(const std::string& text) {
+  MH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace dql
+}  // namespace modelhub

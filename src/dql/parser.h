@@ -1,0 +1,19 @@
+#ifndef MODELHUB_DQL_PARSER_H_
+#define MODELHUB_DQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dql/ast.h"
+
+namespace modelhub {
+namespace dql {
+
+/// Parses one DQL statement (select / slice / construct / evaluate).
+/// Errors carry the byte offset of the offending token.
+Result<Query> Parse(const std::string& text);
+
+}  // namespace dql
+}  // namespace modelhub
+
+#endif  // MODELHUB_DQL_PARSER_H_

@@ -1,0 +1,102 @@
+#include "hub/hub.h"
+
+#include "common/macros.h"
+#include "dql/engine.h"
+
+namespace modelhub {
+
+Status CopyTree(Env* env, const std::string& from, const std::string& to) {
+  if (!env->DirExists(from)) {
+    return Status::NotFound("no such directory: " + from);
+  }
+  MH_RETURN_IF_ERROR(env->CreateDirs(to));
+  MH_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(from));
+  for (const std::string& name : names) {
+    const std::string src = JoinPath(from, name);
+    const std::string dst = JoinPath(to, name);
+    if (env->DirExists(src)) {
+      MH_RETURN_IF_ERROR(CopyTree(env, src, dst));
+    } else {
+      MH_ASSIGN_OR_RETURN(std::string contents, env->ReadFile(src));
+      MH_RETURN_IF_ERROR(env->WriteFile(dst, contents));
+    }
+  }
+  return Status::OK();
+}
+
+std::string ModelHubService::HostedRoot(const std::string& user,
+                                        const std::string& repo_name) const {
+  return JoinPath(JoinPath(root_, user), repo_name);
+}
+
+Status ModelHubService::Publish(const std::string& repo_root,
+                                const std::string& user,
+                                const std::string& repo_name) {
+  if (user.empty() || repo_name.empty()) {
+    return Status::InvalidArgument("publish requires user and repo name");
+  }
+  // Validate that the source actually is a repository before hosting it.
+  MH_RETURN_IF_ERROR(Repository::Open(env_, repo_root).status());
+  return CopyTree(env_, repo_root, HostedRoot(user, repo_name));
+}
+
+Result<std::vector<std::string>> ModelHubService::ListRepositories() {
+  std::vector<std::string> out;
+  if (!env_->DirExists(root_)) return out;
+  MH_ASSIGN_OR_RETURN(std::vector<std::string> users, env_->ListDir(root_));
+  for (const std::string& user : users) {
+    const std::string user_dir = JoinPath(root_, user);
+    if (!env_->DirExists(user_dir)) continue;
+    MH_ASSIGN_OR_RETURN(std::vector<std::string> repos,
+                        env_->ListDir(user_dir));
+    for (const std::string& repo : repos) {
+      if (env_->DirExists(JoinPath(user_dir, repo))) {
+        out.push_back(user + "/" + repo);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<HubSearchHit>> ModelHubService::Search(
+    const std::string& name_pattern) {
+  MH_ASSIGN_OR_RETURN(std::vector<std::string> repos, ListRepositories());
+  std::vector<HubSearchHit> hits;
+  for (const std::string& qualified : repos) {
+    const size_t slash = qualified.find('/');
+    const std::string user = qualified.substr(0, slash);
+    const std::string repo_name = qualified.substr(slash + 1);
+    auto repo = Repository::Open(env_, HostedRoot(user, repo_name));
+    if (!repo.ok()) continue;  // Not a valid repository; skip.
+    MH_ASSIGN_OR_RETURN(auto versions, repo->List());
+    for (const auto& info : versions) {
+      if (!name_pattern.empty() && !LikeMatch(info.name, name_pattern)) {
+        continue;
+      }
+      HubSearchHit hit;
+      hit.user = user;
+      hit.repo_name = repo_name;
+      hit.version_name = info.name;
+      hit.best_accuracy = info.best_accuracy;
+      hit.num_snapshots = info.num_snapshots;
+      hits.push_back(std::move(hit));
+    }
+  }
+  return hits;
+}
+
+Result<Repository> ModelHubService::Pull(const std::string& user,
+                                         const std::string& repo_name,
+                                         const std::string& local_root) {
+  const std::string hosted = HostedRoot(user, repo_name);
+  if (!env_->DirExists(hosted)) {
+    return Status::NotFound("no hosted repository " + user + "/" + repo_name);
+  }
+  if (env_->FileExists(JoinPath(local_root, "catalog.bin"))) {
+    return Status::AlreadyExists("local repository exists at " + local_root);
+  }
+  MH_RETURN_IF_ERROR(CopyTree(env_, hosted, local_root));
+  return Repository::Open(env_, local_root);
+}
+
+}  // namespace modelhub

@@ -1,0 +1,66 @@
+#ifndef MODELHUB_HUB_HUB_H_
+#define MODELHUB_HUB_HUB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "dlv/repository.h"
+
+namespace modelhub {
+
+/// A search result: one model version in one hosted repository.
+struct HubSearchHit {
+  std::string user;
+  std::string repo_name;
+  std::string version_name;
+  double best_accuracy = -1.0;
+  int64_t num_snapshots = 0;
+};
+
+/// The hosted side of ModelHub (Sec. III-C): stores whole DLV repositories
+/// and supports publish / search / pull. The paper envisions a web
+/// service; this implementation is directory-backed (substitution: the
+/// protocol surface — whole-repository exchange keyed by user/name — is
+/// identical, the transport is the filesystem).
+///
+/// Layout: <root>/<user>/<repo_name>/ is a complete DLV repository tree.
+class ModelHubService {
+ public:
+  ModelHubService(Env* env, std::string root)
+      : env_(env), root_(std::move(root)) {}
+
+  /// `dlv publish` — uploads the repository rooted at `repo_root` as
+  /// <user>/<repo_name>. Re-publishing overwrites (a new model release).
+  Status Publish(const std::string& repo_root, const std::string& user,
+                 const std::string& repo_name);
+
+  /// `dlv search` — finds hosted model versions whose name matches the
+  /// SQL-LIKE pattern. An empty pattern lists everything.
+  Result<std::vector<HubSearchHit>> Search(const std::string& name_pattern);
+
+  /// `dlv pull` — downloads <user>/<repo_name> to `local_root` and opens
+  /// it. Fails if `local_root` already contains a repository.
+  Result<Repository> Pull(const std::string& user,
+                          const std::string& repo_name,
+                          const std::string& local_root);
+
+  /// Lists hosted repositories as "user/repo" strings.
+  Result<std::vector<std::string>> ListRepositories();
+
+ private:
+  std::string HostedRoot(const std::string& user,
+                         const std::string& repo_name) const;
+
+  Env* env_;
+  std::string root_;
+};
+
+/// Recursively copies a directory tree between Env paths (helper shared
+/// with tests; both paths are on the same Env).
+Status CopyTree(Env* env, const std::string& from, const std::string& to);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_HUB_HUB_H_

@@ -1,0 +1,109 @@
+#include "nn/gemm.h"
+
+namespace modelhub {
+
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  // i-k-j order: the inner loop streams rows of B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = a[i * k + p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  // Dot products of contiguous rows.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      c_row[j] += acc;
+    }
+  }
+}
+
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  // p-i-j order keeps all three accesses row-contiguous.
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_pi * b_row[j];
+      }
+    }
+  }
+}
+
+void Im2Col(const float* in, int64_t c, int64_t h, int64_t w, int64_t kernel,
+            int64_t stride, int64_t pad, int64_t oh_len, int64_t ow_len,
+            float* cols) {
+  const int64_t out_area = oh_len * ow_len;
+  for (int64_t channel = 0; channel < c; ++channel) {
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        float* row =
+            cols + ((channel * kernel + kh) * kernel + kw) * out_area;
+        for (int64_t oh = 0; oh < oh_len; ++oh) {
+          const int64_t y = oh * stride + kh - pad;
+          if (y < 0 || y >= h) {
+            for (int64_t ow = 0; ow < ow_len; ++ow) {
+              row[oh * ow_len + ow] = 0.0f;
+            }
+            continue;
+          }
+          const float* in_row = in + (channel * h + y) * w;
+          for (int64_t ow = 0; ow < ow_len; ++ow) {
+            const int64_t x = ow * stride + kw - pad;
+            row[oh * ow_len + ow] =
+                (x < 0 || x >= w) ? 0.0f : in_row[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2ImAccumulate(const float* cols, int64_t c, int64_t h, int64_t w,
+                      int64_t kernel, int64_t stride, int64_t pad,
+                      int64_t oh_len, int64_t ow_len, float* in) {
+  const int64_t out_area = oh_len * ow_len;
+  for (int64_t channel = 0; channel < c; ++channel) {
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        const float* row =
+            cols + ((channel * kernel + kh) * kernel + kw) * out_area;
+        for (int64_t oh = 0; oh < oh_len; ++oh) {
+          const int64_t y = oh * stride + kh - pad;
+          if (y < 0 || y >= h) continue;
+          float* in_row = in + (channel * h + y) * w;
+          for (int64_t ow = 0; ow < ow_len; ++ow) {
+            const int64_t x = ow * stride + kw - pad;
+            if (x >= 0 && x < w) {
+              in_row[x] += row[oh * ow_len + ow];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace modelhub

@@ -1,0 +1,40 @@
+#ifndef MODELHUB_NN_GEMM_H_
+#define MODELHUB_NN_GEMM_H_
+
+#include <cstdint>
+
+namespace modelhub {
+
+/// Minimal dense kernels backing the convolution layers (the standard
+/// im2col + GEMM lowering caffe uses). All matrices are row-major.
+
+/// C[m x n] += A[m x k] * B[k x n].
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[m x n] += A[m x k] * B[n x k]^T.
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[m x n] += A[k x m]^T * B[k x n].
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// Unrolls one [C, H, W] sample into columns [C*kernel*kernel, OH*OW]:
+/// cols(c*k*k + kh*k + kw, oh*ow_len + ow) = in(c, oh*stride+kh-pad,
+/// ow*stride+kw-pad), zero outside the input. `cols` must hold
+/// c*kernel*kernel*oh_len*ow_len floats.
+void Im2Col(const float* in, int64_t c, int64_t h, int64_t w, int64_t kernel,
+            int64_t stride, int64_t pad, int64_t oh_len, int64_t ow_len,
+            float* cols);
+
+/// Adjoint of Im2Col: scatters columns back, *accumulating* into `in`
+/// (which the caller zeroes first). Positions that Im2Col read multiple
+/// times receive the sum of their column entries.
+void Col2ImAccumulate(const float* cols, int64_t c, int64_t h, int64_t w,
+                      int64_t kernel, int64_t stride, int64_t pad,
+                      int64_t oh_len, int64_t ow_len, float* in);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NN_GEMM_H_

@@ -1,0 +1,331 @@
+#include "nn/interval_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Interval of x^2 given x in [lo, hi].
+Interval SquareInterval(const Interval& x) {
+  const float a = x.lo * x.lo;
+  const float b = x.hi * x.hi;
+  if (x.lo >= 0.0f) return Interval(a, b);
+  if (x.hi <= 0.0f) return Interval(b, a);
+  return Interval(0.0f, std::max(a, b));
+}
+
+Interval At(const IntervalTensor& t, int64_t n, int64_t c, int64_t h,
+            int64_t w) {
+  return Interval(t.lo.At(n, c, h, w), t.hi.At(n, c, h, w));
+}
+
+void Set(IntervalTensor* t, int64_t n, int64_t c, int64_t h, int64_t w,
+         const Interval& v) {
+  t->lo.At(n, c, h, w) = v.lo;
+  t->hi.At(n, c, h, w) = v.hi;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Interval>>> IntervalEvaluator::Forward(
+    const Tensor& input,
+    const std::map<std::string, IntervalMatrix>& bounds) const {
+  const NetworkDef& def = net_->def();
+  if (input.c() != def.in_channels() || input.h() != def.in_height() ||
+      input.w() != def.in_width()) {
+    return Status::InvalidArgument("IntervalForward: input shape mismatch");
+  }
+  const int64_t batch = input.n();
+  const IntervalTensor input_interval = IntervalTensor::FromExact(input);
+
+  const auto& layers = net_->layers_;
+  std::vector<IntervalTensor> outputs(layers.size());
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const Network::LayerState& layer = layers[li];
+    const LayerDef& d = layer.def;
+    const NodeShape& os = layer.out_shape;
+    const bool is_last = static_cast<int>(li) == net_->sink_index_;
+    const IntervalTensor& cur =
+        layer.inputs[0] < 0
+            ? input_interval
+            : outputs[static_cast<size_t>(layer.inputs[0])];
+
+    // Resolve (possibly interval) parameters.
+    IntervalMatrix weight;
+    IntervalMatrix bias;
+    if (!layer.weight.empty()) {
+      auto wit = bounds.find(d.name + ".W");
+      if (wit != bounds.end()) {
+        if (wit->second.rows() != layer.weight.rows() ||
+            wit->second.cols() != layer.weight.cols()) {
+          return Status::InvalidArgument("interval bound shape mismatch: " +
+                                         d.name + ".W");
+        }
+        weight = wit->second;
+      } else {
+        weight = IntervalMatrix::FromExact(layer.weight);
+      }
+      auto bit = bounds.find(d.name + ".b");
+      if (bit != bounds.end()) {
+        if (bit->second.rows() != layer.bias.rows() ||
+            bit->second.cols() != layer.bias.cols()) {
+          return Status::InvalidArgument("interval bound shape mismatch: " +
+                                         d.name + ".b");
+        }
+        bias = bit->second;
+      } else {
+        bias = IntervalMatrix::FromExact(layer.bias);
+      }
+    }
+
+    IntervalTensor next(batch, os.c, os.h, os.w);
+    switch (d.kind) {
+      case LayerKind::kConv: {
+        const int64_t ic = layer.in_shape.c;
+        const int64_t ih = layer.in_shape.h;
+        const int64_t iw = layer.in_shape.w;
+        const int64_t k = d.kernel;
+        for (int64_t n = 0; n < batch; ++n) {
+          for (int64_t oc = 0; oc < os.c; ++oc) {
+            for (int64_t oh = 0; oh < os.h; ++oh) {
+              for (int64_t ow = 0; ow < os.w; ++ow) {
+                Interval acc = bias.At(0, oc);
+                for (int64_t c = 0; c < ic; ++c) {
+                  for (int64_t kh = 0; kh < k; ++kh) {
+                    const int64_t y = oh * d.stride + kh - d.pad;
+                    if (y < 0 || y >= ih) continue;
+                    for (int64_t kw = 0; kw < k; ++kw) {
+                      const int64_t x = ow * d.stride + kw - d.pad;
+                      if (x < 0 || x >= iw) continue;
+                      acc = acc + weight.At(oc, (c * k + kh) * k + kw) *
+                                      At(cur, n, c, y, x);
+                    }
+                  }
+                }
+                Set(&next, n, oc, oh, ow, acc);
+              }
+            }
+          }
+        }
+        break;
+      }
+      case LayerKind::kFull: {
+        const int64_t fan_in =
+            layer.in_shape.c * layer.in_shape.h * layer.in_shape.w;
+        for (int64_t n = 0; n < batch; ++n) {
+          for (int64_t j = 0; j < os.c; ++j) {
+            Interval acc = bias.At(0, j);
+            for (int64_t i = 0; i < fan_in; ++i) {
+              const Interval x(cur.lo.data()[n * fan_in + i],
+                               cur.hi.data()[n * fan_in + i]);
+              acc = acc + weight.At(j, i) * x;
+            }
+            Set(&next, n, j, 0, 0, acc);
+          }
+        }
+        break;
+      }
+      case LayerKind::kPool: {
+        const int64_t k = d.kernel;
+        const int64_t ih = layer.in_shape.h;
+        const int64_t iw = layer.in_shape.w;
+        for (int64_t n = 0; n < batch; ++n) {
+          for (int64_t c = 0; c < os.c; ++c) {
+            for (int64_t oh = 0; oh < os.h; ++oh) {
+              for (int64_t ow = 0; ow < os.w; ++ow) {
+                if (d.pool_mode == PoolMode::kMax) {
+                  float lo = -std::numeric_limits<float>::infinity();
+                  float hi = -std::numeric_limits<float>::infinity();
+                  for (int64_t kh = 0; kh < k; ++kh) {
+                    const int64_t y = oh * d.stride + kh;
+                    if (y >= ih) continue;
+                    for (int64_t kw = 0; kw < k; ++kw) {
+                      const int64_t x = ow * d.stride + kw;
+                      if (x >= iw) continue;
+                      lo = std::max(lo, cur.lo.At(n, c, y, x));
+                      hi = std::max(hi, cur.hi.At(n, c, y, x));
+                    }
+                  }
+                  Set(&next, n, c, oh, ow, Interval(lo, hi));
+                } else {
+                  Interval acc(0.0f, 0.0f);
+                  for (int64_t kh = 0; kh < k; ++kh) {
+                    for (int64_t kw = 0; kw < k; ++kw) {
+                      const int64_t y = oh * d.stride + kh;
+                      const int64_t x = ow * d.stride + kw;
+                      if (y < ih && x < iw) {
+                        acc = acc + At(cur, n, c, y, x);
+                      }
+                    }
+                  }
+                  const float inv = 1.0f / static_cast<float>(k * k);
+                  Set(&next, n, c, oh, ow,
+                      Interval(acc.lo * inv, acc.hi * inv));
+                }
+              }
+            }
+          }
+        }
+        break;
+      }
+      case LayerKind::kReLU:
+        next = cur;
+        for (auto& v : next.lo.data()) v = std::max(v, 0.0f);
+        for (auto& v : next.hi.data()) v = std::max(v, 0.0f);
+        break;
+      case LayerKind::kSigmoid:
+        next = cur;
+        for (auto& v : next.lo.data()) v = 1.0f / (1.0f + std::exp(-v));
+        for (auto& v : next.hi.data()) v = 1.0f / (1.0f + std::exp(-v));
+        break;
+      case LayerKind::kTanh:
+        next = cur;
+        for (auto& v : next.lo.data()) v = std::tanh(v);
+        for (auto& v : next.hi.data()) v = std::tanh(v);
+        break;
+      case LayerKind::kSoftmax: {
+        if (is_last) {
+          // Order-preserving final layer: Lemma 4 on the logits is
+          // equivalent; skip the transform.
+          next = cur;
+          break;
+        }
+        // Sound mid-chain softmax bounds: p_i is monotone increasing in
+        // x_i and decreasing in every other logit.
+        const int64_t ss = os.c * os.h * os.w;
+        for (int64_t n = 0; n < batch; ++n) {
+          for (int64_t i = 0; i < ss; ++i) {
+            double denom_hi = 0.0;  // Maximizes p_i's denominator.
+            double denom_lo = 0.0;
+            const float xi_lo = cur.lo.data()[n * ss + i];
+            const float xi_hi = cur.hi.data()[n * ss + i];
+            for (int64_t j = 0; j < ss; ++j) {
+              if (j == i) continue;
+              denom_hi += std::exp(
+                  static_cast<double>(cur.hi.data()[n * ss + j]) - xi_lo);
+              denom_lo += std::exp(
+                  static_cast<double>(cur.lo.data()[n * ss + j]) - xi_hi);
+            }
+            next.lo.data()[n * ss + i] =
+                static_cast<float>(1.0 / (1.0 + denom_hi));
+            next.hi.data()[n * ss + i] =
+                static_cast<float>(1.0 / (1.0 + denom_lo));
+          }
+        }
+        break;
+      }
+      case LayerKind::kFlatten:
+        next.lo.data() = cur.lo.data();
+        next.hi.data() = cur.hi.data();
+        break;
+      case LayerKind::kDropout:  // Identity at inference.
+      case LayerKind::kInput:
+        next = cur;
+        break;
+      case LayerKind::kLRN: {
+        const int64_t channels = layer.in_shape.c;
+        const int64_t hw = layer.in_shape.h * layer.in_shape.w;
+        const int64_t half = d.lrn_local_size / 2;
+        for (int64_t n = 0; n < batch; ++n) {
+          for (int64_t pos = 0; pos < hw; ++pos) {
+            for (int64_t c = 0; c < channels; ++c) {
+              Interval sum_sq(0.0f, 0.0f);
+              for (int64_t j = std::max<int64_t>(0, c - half);
+                   j <= std::min(channels - 1, c + half); ++j) {
+                const size_t jdx =
+                    static_cast<size_t>((n * channels + j) * hw + pos);
+                sum_sq = sum_sq + SquareInterval(Interval(
+                                      cur.lo.data()[jdx], cur.hi.data()[jdx]));
+              }
+              const float a =
+                  d.lrn_alpha / static_cast<float>(d.lrn_local_size);
+              // scale >= k > 0; s^-beta is decreasing in scale.
+              const Interval scale(d.lrn_k + a * sum_sq.lo,
+                                   d.lrn_k + a * sum_sq.hi);
+              const Interval s_pow(std::pow(scale.hi, -d.lrn_beta),
+                                   std::pow(scale.lo, -d.lrn_beta));
+              const size_t idx =
+                  static_cast<size_t>((n * channels + c) * hw + pos);
+              const Interval x(cur.lo.data()[idx], cur.hi.data()[idx]);
+              const Interval y = x * s_pow;
+              next.lo.data()[idx] = y.lo;
+              next.hi.data()[idx] = y.hi;
+            }
+          }
+        }
+        break;
+      }
+      case LayerKind::kEltwiseAdd: {
+        const IntervalTensor& a =
+            outputs[static_cast<size_t>(layer.inputs[0])];
+        const IntervalTensor& b =
+            outputs[static_cast<size_t>(layer.inputs[1])];
+        next = a;
+        for (size_t k = 0; k < next.lo.data().size(); ++k) {
+          next.lo.data()[k] += b.lo.data()[k];
+          next.hi.data()[k] += b.hi.data()[k];
+        }
+        break;
+      }
+    }
+    outputs[li] = std::move(next);
+  }
+
+  const IntervalTensor& cur =
+      outputs[static_cast<size_t>(net_->sink_index_)];
+  const int64_t out_size = cur.lo.SampleSize();
+  std::vector<std::vector<Interval>> out(
+      static_cast<size_t>(batch),
+      std::vector<Interval>(static_cast<size_t>(out_size)));
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t j = 0; j < out_size; ++j) {
+      out[static_cast<size_t>(n)][static_cast<size_t>(j)] =
+          Interval(cur.lo.data()[n * out_size + j],
+                   cur.hi.data()[n * out_size + j]);
+    }
+  }
+  return out;
+}
+
+int IntervalEvaluator::DeterminedTopLabel(
+    const std::vector<Interval>& outputs) {
+  if (outputs.empty()) return -1;
+  size_t best = 0;
+  for (size_t i = 1; i < outputs.size(); ++i) {
+    if (outputs[i].lo > outputs[best].lo) best = i;
+  }
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (i == best) continue;
+    if (outputs[i].hi >= outputs[best].lo) return -1;
+  }
+  return static_cast<int>(best);
+}
+
+bool IntervalEvaluator::TopKDetermined(const std::vector<Interval>& outputs,
+                                       int k) {
+  const int n = static_cast<int>(outputs.size());
+  if (k <= 0 || k >= n) return true;
+  // Candidate top-k: the k classes with the largest lower bounds.
+  std::vector<int> order(outputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](int a, int b) { return outputs[a].lo > outputs[b].lo; });
+  float kth_lo = std::numeric_limits<float>::infinity();
+  for (int i = 0; i < k; ++i) {
+    kth_lo = std::min(kth_lo, outputs[order[static_cast<size_t>(i)]].lo);
+  }
+  float out_hi = -std::numeric_limits<float>::infinity();
+  for (size_t i = static_cast<size_t>(k); i < outputs.size(); ++i) {
+    out_hi = std::max(out_hi, outputs[order[i]].hi);
+  }
+  return kth_lo > out_hi;
+}
+
+}  // namespace modelhub

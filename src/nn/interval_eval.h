@@ -1,0 +1,52 @@
+#ifndef MODELHUB_NN_INTERVAL_EVAL_H_
+#define MODELHUB_NN_INTERVAL_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/network.h"
+#include "tensor/interval.h"
+
+namespace modelhub {
+
+/// Evaluates a network forward with *uncertain* weights, propagating sound
+/// elementwise bounds through every layer — the perturbation-error
+/// determination procedure of Sec. IV-D (Problem 2). PAS's progressive
+/// query evaluation retrieves high-order weight bytes only, derives a
+/// per-weight interval [w_min, w_max], runs this evaluator, and applies
+/// Lemma 4 to decide whether low-order bytes are needed.
+class IntervalEvaluator {
+ public:
+  /// `net` supplies the architecture and any parameters not overridden;
+  /// it must outlive the evaluator.
+  explicit IntervalEvaluator(const Network* net) : net_(net) {}
+
+  /// Forward pass with interval weight overrides, keyed by parameter name
+  /// ("conv1.W"). Parameters absent from `bounds` use the network's exact
+  /// values. Returns per-sample output intervals of the last
+  /// order-preserving layer: a trailing softmax is skipped, since argmax
+  /// over logits equals argmax over probabilities (Lemma 4 applies
+  /// unchanged).
+  Result<std::vector<std::vector<Interval>>> Forward(
+      const Tensor& input,
+      const std::map<std::string, IntervalMatrix>& bounds) const;
+
+  /// Lemma 4 determinism condition: returns k if some class's lower bound
+  /// exceeds every other class's upper bound, else -1 (undetermined).
+  static int DeterminedTopLabel(const std::vector<Interval>& outputs);
+
+  /// Top-k generalization used by Fig 6(d): true when the k classes with
+  /// the largest lower bounds all dominate the best upper bound outside
+  /// that set (the paper's "matched index value range overlaps with k+1
+  /// index value range" test).
+  static bool TopKDetermined(const std::vector<Interval>& outputs, int k);
+
+ private:
+  const Network* net_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NN_INTERVAL_EVAL_H_

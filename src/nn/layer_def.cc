@@ -1,0 +1,198 @@
+#include "nn/layer_def.h"
+
+#include <cstdio>
+
+namespace modelhub {
+
+std::string_view LayerKindToString(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput:
+      return "input";
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kPool:
+      return "pool";
+    case LayerKind::kFull:
+      return "full";
+    case LayerKind::kReLU:
+      return "relu";
+    case LayerKind::kSigmoid:
+      return "sigmoid";
+    case LayerKind::kTanh:
+      return "tanh";
+    case LayerKind::kSoftmax:
+      return "softmax";
+    case LayerKind::kFlatten:
+      return "flatten";
+    case LayerKind::kDropout:
+      return "dropout";
+    case LayerKind::kLRN:
+      return "lrn";
+    case LayerKind::kEltwiseAdd:
+      return "add";
+  }
+  return "unknown";
+}
+
+Result<LayerKind> LayerKindFromString(std::string_view name) {
+  for (LayerKind kind :
+       {LayerKind::kInput, LayerKind::kConv, LayerKind::kPool,
+        LayerKind::kFull, LayerKind::kReLU, LayerKind::kSigmoid,
+        LayerKind::kTanh, LayerKind::kSoftmax, LayerKind::kFlatten,
+        LayerKind::kDropout, LayerKind::kLRN, LayerKind::kEltwiseAdd}) {
+    if (LayerKindToString(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown layer kind: " + std::string(name));
+}
+
+bool IsParametric(LayerKind kind) {
+  return kind == LayerKind::kConv || kind == LayerKind::kFull;
+}
+
+std::string LayerDef::AttributesString() const {
+  char buf[160];
+  switch (kind) {
+    case LayerKind::kConv:
+      std::snprintf(buf, sizeof(buf), "n=%lld k=%lld s=%lld p=%lld",
+                    static_cast<long long>(num_output),
+                    static_cast<long long>(kernel),
+                    static_cast<long long>(stride),
+                    static_cast<long long>(pad));
+      return buf;
+    case LayerKind::kPool:
+      std::snprintf(buf, sizeof(buf), "mode=%s k=%lld s=%lld",
+                    pool_mode == PoolMode::kMax ? "max" : "avg",
+                    static_cast<long long>(kernel),
+                    static_cast<long long>(stride));
+      return buf;
+    case LayerKind::kFull:
+      std::snprintf(buf, sizeof(buf), "n=%lld",
+                    static_cast<long long>(num_output));
+      return buf;
+    case LayerKind::kDropout:
+      std::snprintf(buf, sizeof(buf), "ratio=%g", dropout_ratio);
+      return buf;
+    case LayerKind::kLRN:
+      std::snprintf(buf, sizeof(buf), "size=%lld alpha=%g beta=%g k0=%g",
+                    static_cast<long long>(lrn_local_size), lrn_alpha,
+                    lrn_beta, lrn_k);
+      return buf;
+    default:
+      return "";
+  }
+}
+
+Status LayerDef::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("layer has empty name");
+  switch (kind) {
+    case LayerKind::kConv:
+      if (num_output <= 0 || kernel <= 0 || stride <= 0 || pad < 0) {
+        return Status::InvalidArgument("conv " + name +
+                                       ": bad hyperparameters");
+      }
+      break;
+    case LayerKind::kPool:
+      if (kernel <= 0 || stride <= 0) {
+        return Status::InvalidArgument("pool " + name +
+                                       ": bad hyperparameters");
+      }
+      break;
+    case LayerKind::kFull:
+      if (num_output <= 0) {
+        return Status::InvalidArgument("full " + name + ": bad num_output");
+      }
+      break;
+    case LayerKind::kDropout:
+      if (dropout_ratio < 0.0f || dropout_ratio >= 1.0f) {
+        return Status::InvalidArgument("dropout " + name + ": bad ratio");
+      }
+      break;
+    case LayerKind::kLRN:
+      if (lrn_local_size <= 0 || lrn_local_size % 2 == 0) {
+        return Status::InvalidArgument("lrn " + name +
+                                       ": local_size must be odd positive");
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+bool LayerDef::operator==(const LayerDef& other) const {
+  return name == other.name && kind == other.kind &&
+         num_output == other.num_output && kernel == other.kernel &&
+         stride == other.stride && pad == other.pad &&
+         pool_mode == other.pool_mode &&
+         dropout_ratio == other.dropout_ratio &&
+         lrn_local_size == other.lrn_local_size &&
+         lrn_alpha == other.lrn_alpha && lrn_beta == other.lrn_beta &&
+         lrn_k == other.lrn_k;
+}
+
+LayerDef MakeConv(std::string name, int64_t num_output, int64_t kernel,
+                  int64_t stride, int64_t pad) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = LayerKind::kConv;
+  def.num_output = num_output;
+  def.kernel = kernel;
+  def.stride = stride;
+  def.pad = pad;
+  return def;
+}
+
+LayerDef MakePool(std::string name, PoolMode mode, int64_t kernel,
+                  int64_t stride) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = LayerKind::kPool;
+  def.pool_mode = mode;
+  def.kernel = kernel;
+  def.stride = stride;
+  return def;
+}
+
+LayerDef MakeFull(std::string name, int64_t num_output) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = LayerKind::kFull;
+  def.num_output = num_output;
+  return def;
+}
+
+LayerDef MakeActivation(std::string name, LayerKind kind) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = kind;
+  return def;
+}
+
+LayerDef MakeDropout(std::string name, float ratio) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = LayerKind::kDropout;
+  def.dropout_ratio = ratio;
+  return def;
+}
+
+LayerDef MakeEltwiseAdd(std::string name) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = LayerKind::kEltwiseAdd;
+  return def;
+}
+
+LayerDef MakeLRN(std::string name, int64_t local_size, float alpha,
+                 float beta, float k) {
+  LayerDef def;
+  def.name = std::move(name);
+  def.kind = LayerKind::kLRN;
+  def.lrn_local_size = local_size;
+  def.lrn_alpha = alpha;
+  def.lrn_beta = beta;
+  def.lrn_k = k;
+  return def;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,87 @@
+#ifndef MODELHUB_NN_LAYER_DEF_H_
+#define MODELHUB_NN_LAYER_DEF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace modelhub {
+
+/// The unit-operator vocabulary of ModelHub network definitions. These are
+/// the "Lego bricks" of Sec. II — logical layers, not tensor arithmetic
+/// ops, matching the paper's choice of granularity.
+enum class LayerKind : uint8_t {
+  kInput = 0,
+  kConv,
+  kPool,
+  kFull,     ///< Inner-product / fully-connected (caffe "ip").
+  kReLU,
+  kSigmoid,
+  kTanh,
+  kSoftmax,
+  kFlatten,
+  kDropout,
+  kLRN,        ///< Cross-channel local response normalization.
+  kEltwiseAdd, ///< Elementwise sum of two same-shape inputs (residual join).
+};
+
+enum class PoolMode : uint8_t { kMax = 0, kAvg = 1 };
+
+/// Returns the canonical lowercase name ("conv", "pool", ...).
+std::string_view LayerKindToString(LayerKind kind);
+
+/// Parses a canonical name; InvalidArgument on unknown names.
+Result<LayerKind> LayerKindFromString(std::string_view name);
+
+/// True for layers with learnable parameters (W, b) — conv and full.
+bool IsParametric(LayerKind kind);
+
+/// A single node of a network definition: the layer kind plus its
+/// hyperparameters H (Sec. II: a layer is (W, H, X) -> Y; W is learned, H
+/// is given beforehand and lives here).
+struct LayerDef {
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+
+  // conv / full.
+  int64_t num_output = 0;
+  // conv / pool.
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t pad = 0;
+  PoolMode pool_mode = PoolMode::kMax;
+  // dropout.
+  float dropout_ratio = 0.5f;
+  // lrn.
+  int64_t lrn_local_size = 5;
+  float lrn_alpha = 1e-4f;
+  float lrn_beta = 0.75f;
+  float lrn_k = 1.0f;
+
+  /// Serializes to the textual node attribute list used by NetworkDef
+  /// ("conv k=5 s=1 p=0 n=20").
+  std::string AttributesString() const;
+
+  /// Validates the hyperparameters for this kind.
+  Status Validate() const;
+
+  bool operator==(const LayerDef& other) const;
+};
+
+/// Factory helpers used by the model zoo and tests.
+LayerDef MakeConv(std::string name, int64_t num_output, int64_t kernel,
+                  int64_t stride = 1, int64_t pad = 0);
+LayerDef MakePool(std::string name, PoolMode mode, int64_t kernel,
+                  int64_t stride);
+LayerDef MakeFull(std::string name, int64_t num_output);
+LayerDef MakeActivation(std::string name, LayerKind kind);
+LayerDef MakeDropout(std::string name, float ratio);
+LayerDef MakeLRN(std::string name, int64_t local_size = 5,
+                 float alpha = 1e-4f, float beta = 0.75f, float k = 1.0f);
+LayerDef MakeEltwiseAdd(std::string name);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NN_LAYER_DEF_H_

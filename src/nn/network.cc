@@ -1,0 +1,735 @@
+#include "nn/network.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "nn/gemm.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Row-wise softmax over the per-sample flattened vector.
+void SoftmaxInPlace(Tensor* t) {
+  const int64_t n = t->n();
+  const int64_t ss = t->SampleSize();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = t->data().data() + i * ss;
+    float max_v = row[0];
+    for (int64_t j = 1; j < ss; ++j) max_v = std::max(max_v, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < ss; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < ss; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace
+
+Result<Network> Network::Create(const NetworkDef& def) {
+  MH_ASSIGN_OR_RETURN(std::vector<DagNodeShape> shapes, InferDagShapes(def));
+  Network net;
+  net.def_ = def;
+  std::map<std::string, int> index_of;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    index_of[shapes[i].name] = static_cast<int>(i);
+  }
+  for (const auto& node_shape : shapes) {
+    MH_ASSIGN_OR_RETURN(LayerDef node, def.GetNode(node_shape.name));
+    LayerState layer;
+    layer.def = node;
+    layer.in_shape = node_shape.in;
+    layer.out_shape = node_shape.out;
+    const std::vector<std::string> preds = def.Prev(node_shape.name);
+    if (preds.empty()) {
+      layer.inputs = {-1};  // The source consumes the network input.
+    } else {
+      for (const auto& pred : preds) layer.inputs.push_back(index_of[pred]);
+    }
+    if (node.kind == LayerKind::kConv) {
+      const int64_t fan_in = node_shape.in.c * node.kernel * node.kernel;
+      layer.weight = FloatMatrix(node.num_output, fan_in);
+      layer.bias = FloatMatrix(1, node.num_output);
+      layer.grad_weight = FloatMatrix(node.num_output, fan_in);
+      layer.grad_bias = FloatMatrix(1, node.num_output);
+      layer.vel_weight = FloatMatrix(node.num_output, fan_in);
+      layer.vel_bias = FloatMatrix(1, node.num_output);
+    } else if (node.kind == LayerKind::kFull) {
+      const int64_t fan_in =
+          node_shape.in.c * node_shape.in.h * node_shape.in.w;
+      layer.weight = FloatMatrix(node.num_output, fan_in);
+      layer.bias = FloatMatrix(1, node.num_output);
+      layer.grad_weight = FloatMatrix(node.num_output, fan_in);
+      layer.grad_bias = FloatMatrix(1, node.num_output);
+      layer.vel_weight = FloatMatrix(node.num_output, fan_in);
+      layer.vel_bias = FloatMatrix(1, node.num_output);
+    }
+    net.layers_.push_back(std::move(layer));
+  }
+  if (net.layers_.empty()) {
+    return Status::InvalidArgument("network has no layers");
+  }
+  // Locate the unique sink (InferDagShapes guarantees exactly one).
+  for (size_t i = 0; i < net.layers_.size(); ++i) {
+    if (def.Next(net.layers_[i].def.name).empty()) {
+      net.sink_index_ = static_cast<int>(i);
+    }
+  }
+  const NodeShape& last =
+      net.layers_[static_cast<size_t>(net.sink_index_)].out_shape;
+  net.num_outputs_ = last.c * last.h * last.w;
+  net.ends_in_softmax_ =
+      net.layers_[static_cast<size_t>(net.sink_index_)].def.kind ==
+      LayerKind::kSoftmax;
+  return net;
+}
+
+int64_t Network::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.weight.size() + layer.bias.size();
+  }
+  return total;
+}
+
+void Network::InitializeWeights(Rng* rng) {
+  for (auto& layer : layers_) {
+    if (layer.weight.empty()) continue;
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(layer.weight.cols()));
+    layer.weight.FillGaussian(rng, stddev);
+    layer.bias.Fill(0.0f);
+    layer.vel_weight.Fill(0.0f);
+    layer.vel_bias.Fill(0.0f);
+  }
+}
+
+std::vector<NamedParam> Network::GetParameters() const {
+  std::vector<NamedParam> out;
+  for (const auto& layer : layers_) {
+    if (layer.weight.empty()) continue;
+    out.push_back({layer.def.name + ".W", layer.weight});
+    out.push_back({layer.def.name + ".b", layer.bias});
+  }
+  return out;
+}
+
+std::vector<NamedParam> Network::GetGradients() const {
+  std::vector<NamedParam> out;
+  for (const auto& layer : layers_) {
+    if (layer.weight.empty()) continue;
+    out.push_back({layer.def.name + ".W", layer.grad_weight});
+    out.push_back({layer.def.name + ".b", layer.grad_bias});
+  }
+  return out;
+}
+
+Status Network::SetParameters(const std::vector<NamedParam>& params) {
+  for (const auto& param : params) {
+    const size_t dot = param.name.rfind('.');
+    if (dot == std::string::npos) {
+      return Status::InvalidArgument("bad parameter name: " + param.name);
+    }
+    const std::string layer_name = param.name.substr(0, dot);
+    const std::string part = param.name.substr(dot + 1);
+    bool found = false;
+    for (auto& layer : layers_) {
+      if (layer.def.name != layer_name) continue;
+      FloatMatrix* target = nullptr;
+      if (part == "W") {
+        target = &layer.weight;
+      } else if (part == "b") {
+        target = &layer.bias;
+      } else {
+        return Status::InvalidArgument("bad parameter part: " + param.name);
+      }
+      if (target->rows() != param.value.rows() ||
+          target->cols() != param.value.cols()) {
+        return Status::InvalidArgument("shape mismatch for " + param.name);
+      }
+      *target = param.value;
+      found = true;
+      break;
+    }
+    if (!found) return Status::NotFound("no such parameter: " + param.name);
+  }
+  return Status::OK();
+}
+
+Status Network::ForwardLayer(const LayerState& layer, const Tensor& in,
+                             Tensor* out, Scratch* scratch, Rng* rng) const {
+  const LayerDef& d = layer.def;
+  const NodeShape& os = layer.out_shape;
+  const int64_t batch = in.n();
+  switch (d.kind) {
+    case LayerKind::kConv: {
+      // im2col + GEMM lowering (the caffe strategy): per sample,
+      // out[OC, OH*OW] = W[OC, C*K*K] * cols[C*K*K, OH*OW] + bias.
+      *out = Tensor(batch, os.c, os.h, os.w);
+      const int64_t ic = layer.in_shape.c;
+      const int64_t ih = layer.in_shape.h;
+      const int64_t iw = layer.in_shape.w;
+      const int64_t k = d.kernel;
+      const int64_t patch = ic * k * k;
+      const int64_t out_area = os.h * os.w;
+      std::vector<float> cols(static_cast<size_t>(patch * out_area));
+      for (int64_t n = 0; n < batch; ++n) {
+        Im2Col(in.data().data() + n * in.SampleSize(), ic, ih, iw, k,
+               d.stride, d.pad, os.h, os.w, cols.data());
+        float* out_sample = out->data().data() + n * out->SampleSize();
+        for (int64_t oc = 0; oc < os.c; ++oc) {
+          const float bias = layer.bias.At(0, oc);
+          for (int64_t pos = 0; pos < out_area; ++pos) {
+            out_sample[oc * out_area + pos] = bias;
+          }
+        }
+        GemmNN(layer.weight.data().data(), cols.data(), out_sample, os.c,
+               patch, out_area);
+      }
+      break;
+    }
+    case LayerKind::kPool: {
+      *out = Tensor(batch, os.c, os.h, os.w);
+      const int64_t k = d.kernel;
+      const int64_t ih = layer.in_shape.h;
+      const int64_t iw = layer.in_shape.w;
+      const bool is_max = d.pool_mode == PoolMode::kMax;
+      if (scratch != nullptr && is_max) {
+        scratch->pool_argmax.assign(
+            static_cast<size_t>(batch * os.c * os.h * os.w), 0);
+      }
+      for (int64_t n = 0; n < batch; ++n) {
+        for (int64_t c = 0; c < os.c; ++c) {
+          for (int64_t oh = 0; oh < os.h; ++oh) {
+            for (int64_t ow = 0; ow < os.w; ++ow) {
+              if (is_max) {
+                float best = -std::numeric_limits<float>::infinity();
+                int32_t best_idx = 0;
+                for (int64_t kh = 0; kh < k; ++kh) {
+                  const int64_t y = oh * d.stride + kh;
+                  if (y >= ih) continue;
+                  for (int64_t kw = 0; kw < k; ++kw) {
+                    const int64_t x = ow * d.stride + kw;
+                    if (x >= iw) continue;
+                    const float v = in.At(n, c, y, x);
+                    if (v > best) {
+                      best = v;
+                      best_idx = static_cast<int32_t>((c * ih + y) * iw + x);
+                    }
+                  }
+                }
+                out->At(n, c, oh, ow) = best;
+                if (scratch != nullptr) {
+                  scratch->pool_argmax[static_cast<size_t>(
+                      ((n * os.c + c) * os.h + oh) * os.w + ow)] = best_idx;
+                }
+              } else {
+                double acc = 0.0;
+                for (int64_t kh = 0; kh < k; ++kh) {
+                  for (int64_t kw = 0; kw < k; ++kw) {
+                    const int64_t y = oh * d.stride + kh;
+                    const int64_t x = ow * d.stride + kw;
+                    if (y < ih && x < iw) acc += in.At(n, c, y, x);
+                  }
+                }
+                out->At(n, c, oh, ow) =
+                    static_cast<float>(acc / static_cast<double>(k * k));
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kFull: {
+      *out = Tensor(batch, os.c, 1, 1);
+      const int64_t fan_in = in.SampleSize();
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* x = in.data().data() + n * fan_in;
+        for (int64_t j = 0; j < os.c; ++j) {
+          double acc = layer.bias.At(0, j);
+          const float* w = layer.weight.data().data() + j * fan_in;
+          for (int64_t i = 0; i < fan_in; ++i) {
+            acc += static_cast<double>(w[i]) * x[i];
+          }
+          out->At(n, j, 0, 0) = static_cast<float>(acc);
+        }
+      }
+      break;
+    }
+    case LayerKind::kReLU: {
+      *out = in;
+      for (float& v : out->data()) v = std::max(v, 0.0f);
+      break;
+    }
+    case LayerKind::kSigmoid: {
+      *out = in;
+      for (float& v : out->data()) v = 1.0f / (1.0f + std::exp(-v));
+      break;
+    }
+    case LayerKind::kTanh: {
+      *out = in;
+      for (float& v : out->data()) v = std::tanh(v);
+      break;
+    }
+    case LayerKind::kSoftmax: {
+      *out = in;
+      SoftmaxInPlace(out);
+      break;
+    }
+    case LayerKind::kFlatten: {
+      *out = Tensor(batch, os.c, 1, 1);
+      out->data() = in.data();
+      break;
+    }
+    case LayerKind::kDropout: {
+      *out = in;
+      if (scratch != nullptr) {
+        if (rng == nullptr) {
+          return Status::InvalidArgument("dropout training requires an Rng");
+        }
+        const float keep = 1.0f - d.dropout_ratio;
+        const float scale = 1.0f / keep;
+        scratch->dropout_mask.assign(out->data().size(), 0);
+        for (size_t i = 0; i < out->data().size(); ++i) {
+          if (rng->Bernoulli(keep)) {
+            scratch->dropout_mask[i] = 1;
+            out->data()[i] *= scale;
+          } else {
+            out->data()[i] = 0.0f;
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kLRN: {
+      *out = in;
+      const int64_t channels = layer.in_shape.c;
+      const int64_t hw = layer.in_shape.h * layer.in_shape.w;
+      const int64_t half = d.lrn_local_size / 2;
+      if (scratch != nullptr) {
+        scratch->lrn_scale.assign(in.data().size(), 0.0f);
+      }
+      for (int64_t n = 0; n < batch; ++n) {
+        for (int64_t pos = 0; pos < hw; ++pos) {
+          for (int64_t c = 0; c < channels; ++c) {
+            double sum_sq = 0.0;
+            for (int64_t j = std::max<int64_t>(0, c - half);
+                 j <= std::min(channels - 1, c + half); ++j) {
+              const float v = in.data()[(n * channels + j) * hw + pos];
+              sum_sq += static_cast<double>(v) * v;
+            }
+            const double scale =
+                d.lrn_k + d.lrn_alpha / static_cast<double>(d.lrn_local_size) *
+                              sum_sq;
+            const size_t idx =
+                static_cast<size_t>((n * channels + c) * hw + pos);
+            out->data()[idx] = static_cast<float>(
+                in.data()[idx] * std::pow(scale, -d.lrn_beta));
+            if (scratch != nullptr) {
+              scratch->lrn_scale[idx] = static_cast<float>(scale);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kInput:
+      *out = in;
+      break;
+    case LayerKind::kEltwiseAdd:
+      return Status::Internal("eltwise add is executed by the DAG driver");
+  }
+  return Status::OK();
+}
+
+Status Network::BackwardLayer(LayerState* layer, const Scratch& scratch,
+                              const Tensor& dout, Tensor* din) {
+  const LayerDef& d = layer->def;
+  const Tensor& in = scratch.in;
+  const Tensor& out = scratch.out;
+  const int64_t batch = in.n();
+  switch (d.kind) {
+    case LayerKind::kConv: {
+      // Adjoints of the im2col lowering:
+      //   dW += dout[OC, OH*OW] * cols^T          (GemmNT)
+      //   db += row sums of dout
+      //   dcols = W^T * dout, din += col2im(dcols) (GemmTN + scatter)
+      *din = Tensor(batch, layer->in_shape.c, layer->in_shape.h,
+                    layer->in_shape.w);
+      const int64_t ic = layer->in_shape.c;
+      const int64_t ih = layer->in_shape.h;
+      const int64_t iw = layer->in_shape.w;
+      const int64_t k = d.kernel;
+      const NodeShape& os = layer->out_shape;
+      const int64_t patch = ic * k * k;
+      const int64_t out_area = os.h * os.w;
+      std::vector<float> cols(static_cast<size_t>(patch * out_area));
+      std::vector<float> dcols(static_cast<size_t>(patch * out_area));
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* dout_sample =
+            dout.data().data() + n * dout.SampleSize();
+        for (int64_t oc = 0; oc < os.c; ++oc) {
+          float acc = 0.0f;
+          for (int64_t pos = 0; pos < out_area; ++pos) {
+            acc += dout_sample[oc * out_area + pos];
+          }
+          layer->grad_bias.At(0, oc) += acc;
+        }
+        Im2Col(in.data().data() + n * in.SampleSize(), ic, ih, iw, k,
+               d.stride, d.pad, os.h, os.w, cols.data());
+        GemmNT(dout_sample, cols.data(), layer->grad_weight.data().data(),
+               os.c, out_area, patch);
+        std::fill(dcols.begin(), dcols.end(), 0.0f);
+        GemmTN(layer->weight.data().data(), dout_sample, dcols.data(), patch,
+               os.c, out_area);
+        Col2ImAccumulate(dcols.data(), ic, ih, iw, k, d.stride, d.pad, os.h,
+                         os.w, din->data().data() + n * din->SampleSize());
+      }
+      break;
+    }
+    case LayerKind::kPool: {
+      *din = Tensor(batch, layer->in_shape.c, layer->in_shape.h,
+                    layer->in_shape.w);
+      const NodeShape& os = layer->out_shape;
+      const int64_t k = d.kernel;
+      const int64_t ih = layer->in_shape.h;
+      const int64_t iw = layer->in_shape.w;
+      const int64_t ss = din->SampleSize();
+      for (int64_t n = 0; n < batch; ++n) {
+        for (int64_t c = 0; c < os.c; ++c) {
+          for (int64_t oh = 0; oh < os.h; ++oh) {
+            for (int64_t ow = 0; ow < os.w; ++ow) {
+              const float g = dout.At(n, c, oh, ow);
+              if (d.pool_mode == PoolMode::kMax) {
+                const int32_t idx = scratch.pool_argmax[static_cast<size_t>(
+                    ((n * os.c + c) * os.h + oh) * os.w + ow)];
+                din->data()[n * ss + idx] += g;
+              } else {
+                const float share = g / static_cast<float>(k * k);
+                for (int64_t kh = 0; kh < k; ++kh) {
+                  for (int64_t kw = 0; kw < k; ++kw) {
+                    const int64_t y = oh * d.stride + kh;
+                    const int64_t x = ow * d.stride + kw;
+                    if (y < ih && x < iw) din->At(n, c, y, x) += share;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kFull: {
+      const int64_t fan_in = in.SampleSize();
+      const int64_t fan_out = layer->out_shape.c;
+      *din = Tensor(batch, layer->in_shape.c, layer->in_shape.h,
+                    layer->in_shape.w);
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* x = in.data().data() + n * fan_in;
+        float* dx = din->data().data() + n * fan_in;
+        for (int64_t j = 0; j < fan_out; ++j) {
+          const float g = dout.data()[n * fan_out + j];
+          if (g == 0.0f) continue;
+          layer->grad_bias.At(0, j) += g;
+          float* dw = layer->grad_weight.data().data() + j * fan_in;
+          const float* w = layer->weight.data().data() + j * fan_in;
+          for (int64_t i = 0; i < fan_in; ++i) {
+            dw[i] += g * x[i];
+            dx[i] += g * w[i];
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kReLU: {
+      *din = dout;
+      for (size_t i = 0; i < din->data().size(); ++i) {
+        if (out.data()[i] <= 0.0f) din->data()[i] = 0.0f;
+      }
+      break;
+    }
+    case LayerKind::kSigmoid: {
+      *din = dout;
+      for (size_t i = 0; i < din->data().size(); ++i) {
+        const float y = out.data()[i];
+        din->data()[i] *= y * (1.0f - y);
+      }
+      break;
+    }
+    case LayerKind::kTanh: {
+      *din = dout;
+      for (size_t i = 0; i < din->data().size(); ++i) {
+        const float y = out.data()[i];
+        din->data()[i] *= 1.0f - y * y;
+      }
+      break;
+    }
+    case LayerKind::kSoftmax: {
+      // Generic softmax Jacobian: dx = y * (dy - sum(dy * y)).
+      *din = dout;
+      const int64_t ss = out.SampleSize();
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* y = out.data().data() + n * ss;
+        float* dx = din->data().data() + n * ss;
+        double dot = 0.0;
+        for (int64_t j = 0; j < ss; ++j) dot += dx[j] * y[j];
+        for (int64_t j = 0; j < ss; ++j) {
+          dx[j] = y[j] * (dx[j] - static_cast<float>(dot));
+        }
+      }
+      break;
+    }
+    case LayerKind::kFlatten: {
+      *din = Tensor(batch, layer->in_shape.c, layer->in_shape.h,
+                    layer->in_shape.w);
+      din->data() = dout.data();
+      break;
+    }
+    case LayerKind::kDropout: {
+      *din = dout;
+      const float scale = 1.0f / (1.0f - d.dropout_ratio);
+      for (size_t i = 0; i < din->data().size(); ++i) {
+        din->data()[i] =
+            scratch.dropout_mask[i] ? din->data()[i] * scale : 0.0f;
+      }
+      break;
+    }
+    case LayerKind::kLRN: {
+      *din = dout;
+      const int64_t channels = layer->in_shape.c;
+      const int64_t hw = layer->in_shape.h * layer->in_shape.w;
+      const int64_t half = d.lrn_local_size / 2;
+      const float ratio =
+          2.0f * d.lrn_alpha * d.lrn_beta / static_cast<float>(d.lrn_local_size);
+      for (int64_t n = 0; n < batch; ++n) {
+        for (int64_t pos = 0; pos < hw; ++pos) {
+          for (int64_t c = 0; c < channels; ++c) {
+            const size_t idx =
+                static_cast<size_t>((n * channels + c) * hw + pos);
+            double acc = dout.data()[idx] *
+                         std::pow(scratch.lrn_scale[idx], -d.lrn_beta);
+            // Cross terms: every window j containing channel c.
+            double cross = 0.0;
+            for (int64_t j = std::max<int64_t>(0, c - half);
+                 j <= std::min(channels - 1, c + half); ++j) {
+              const size_t jdx =
+                  static_cast<size_t>((n * channels + j) * hw + pos);
+              cross += dout.data()[jdx] * out.data()[jdx] /
+                       scratch.lrn_scale[jdx];
+            }
+            acc -= ratio * in.data()[idx] * cross;
+            din->data()[idx] = static_cast<float>(acc);
+          }
+        }
+      }
+      break;
+    }
+    case LayerKind::kInput:
+      *din = dout;
+      break;
+    case LayerKind::kEltwiseAdd:
+      return Status::Internal("eltwise add is executed by the DAG driver");
+  }
+  return Status::OK();
+}
+
+Status Network::Forward(const Tensor& input, Tensor* output) const {
+  if (input.c() != def_.in_channels() || input.h() != def_.in_height() ||
+      input.w() != def_.in_width()) {
+    return Status::InvalidArgument("Forward: input shape mismatch, got " +
+                                   input.ShapeString());
+  }
+  std::vector<Tensor> outputs(layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const LayerState& layer = layers_[i];
+    if (layer.def.kind == LayerKind::kEltwiseAdd) {
+      const Tensor& a = outputs[static_cast<size_t>(layer.inputs[0])];
+      const Tensor& b = outputs[static_cast<size_t>(layer.inputs[1])];
+      Tensor sum = a;
+      for (size_t k = 0; k < sum.data().size(); ++k) {
+        sum.data()[k] += b.data()[k];
+      }
+      outputs[i] = std::move(sum);
+      continue;
+    }
+    const Tensor& in =
+        layer.inputs[0] < 0 ? input
+                            : outputs[static_cast<size_t>(layer.inputs[0])];
+    MH_RETURN_IF_ERROR(ForwardLayer(layer, in, &outputs[i],
+                                    /*scratch=*/nullptr, /*rng=*/nullptr));
+  }
+  *output = std::move(outputs[static_cast<size_t>(sink_index_)]);
+  return Status::OK();
+}
+
+Result<std::vector<int>> Network::Predict(const Tensor& input) const {
+  Tensor out;
+  MH_RETURN_IF_ERROR(Forward(input, &out));
+  std::vector<int> labels(static_cast<size_t>(input.n()));
+  const int64_t ss = out.SampleSize();
+  for (int64_t n = 0; n < input.n(); ++n) {
+    const float* row = out.data().data() + n * ss;
+    labels[static_cast<size_t>(n)] = static_cast<int>(
+        std::max_element(row, row + ss) - row);
+  }
+  return labels;
+}
+
+Result<double> Network::Accuracy(const Tensor& input,
+                                 const std::vector<int>& labels) const {
+  if (static_cast<int64_t>(labels.size()) != input.n()) {
+    return Status::InvalidArgument("Accuracy: label count mismatch");
+  }
+  MH_ASSIGN_OR_RETURN(std::vector<int> predicted, Predict(input));
+  int correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predicted[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Result<double> Network::ForwardBackward(const Tensor& input,
+                                        const std::vector<int>& labels,
+                                        Rng* rng) {
+  const int64_t batch = input.n();
+  if (static_cast<int64_t>(labels.size()) != batch) {
+    return Status::InvalidArgument("ForwardBackward: label count mismatch");
+  }
+  std::vector<Scratch> scratches(layers_.size());
+  std::vector<Tensor> outputs(layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const LayerState& layer = layers_[i];
+    if (layer.def.kind == LayerKind::kEltwiseAdd) {
+      const Tensor& a = outputs[static_cast<size_t>(layer.inputs[0])];
+      const Tensor& b = outputs[static_cast<size_t>(layer.inputs[1])];
+      Tensor sum = a;
+      for (size_t k = 0; k < sum.data().size(); ++k) {
+        sum.data()[k] += b.data()[k];
+      }
+      outputs[i] = sum;
+      scratches[i].out = std::move(sum);
+      continue;
+    }
+    const Tensor& in =
+        layer.inputs[0] < 0 ? input
+                            : outputs[static_cast<size_t>(layer.inputs[0])];
+    scratches[i].in = in;
+    MH_RETURN_IF_ERROR(
+        ForwardLayer(layer, in, &outputs[i], &scratches[i], rng));
+    scratches[i].out = outputs[i];
+  }
+  Tensor current = outputs[static_cast<size_t>(sink_index_)];
+
+  // Softmax cross-entropy loss. If the chain ends in softmax, `current`
+  // already holds probabilities and backprop starts below the softmax node
+  // with the fused (p - y) / N gradient; otherwise treat the final output
+  // as logits and apply softmax here.
+  Tensor probs = current;
+  if (!ends_in_softmax_) SoftmaxInPlace(&probs);
+  const int64_t classes = probs.SampleSize();
+  double loss = 0.0;
+  Tensor grad(batch, probs.c(), probs.h(), probs.w());
+  for (int64_t n = 0; n < batch; ++n) {
+    const int label = labels[static_cast<size_t>(n)];
+    if (label < 0 || label >= classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+    const float p = std::max(probs.data()[n * classes + label], 1e-12f);
+    loss -= std::log(static_cast<double>(p));
+    for (int64_t j = 0; j < classes; ++j) {
+      const float y = (j == label) ? 1.0f : 0.0f;
+      grad.data()[n * classes + j] =
+          (probs.data()[n * classes + j] - y) / static_cast<float>(batch);
+    }
+  }
+  loss /= static_cast<double>(batch);
+
+  // Zero gradients, then backprop.
+  for (auto& layer : layers_) {
+    if (!layer.weight.empty()) {
+      layer.grad_weight.Fill(0.0f);
+      layer.grad_bias.Fill(0.0f);
+    }
+  }
+  // Per-node upstream gradients, accumulated across fan-out.
+  std::vector<Tensor> douts(layers_.size());
+  auto accumulate = [](Tensor* acc, const Tensor& t) {
+    if (acc->empty()) {
+      *acc = t;
+    } else {
+      for (size_t k = 0; k < acc->data().size(); ++k) {
+        acc->data()[k] += t.data()[k];
+      }
+    }
+  };
+  // Seed at the sink; with a trailing softmax the fused softmax+CE
+  // gradient is injected one layer below instead.
+  int seed_index = sink_index_;
+  if (ends_in_softmax_) {
+    seed_index = layers_[static_cast<size_t>(sink_index_)].inputs[0];
+    if (seed_index < 0) return Status::InvalidArgument("softmax-only net");
+  }
+  douts[static_cast<size_t>(seed_index)] = std::move(grad);
+  for (int i = seed_index; i >= 0; --i) {
+    Tensor& dout = douts[static_cast<size_t>(i)];
+    if (dout.empty()) continue;  // Above the seed or dead branch.
+    LayerState& layer = layers_[static_cast<size_t>(i)];
+    if (layer.def.kind == LayerKind::kEltwiseAdd) {
+      // d/dx (a + b) passes the gradient to both inputs unchanged.
+      for (int input : layer.inputs) {
+        accumulate(&douts[static_cast<size_t>(input)], dout);
+      }
+      continue;
+    }
+    if (layer.inputs[0] < 0) continue;  // Source: nothing upstream.
+    Tensor din;
+    MH_RETURN_IF_ERROR(BackwardLayer(&layer, scratches[static_cast<size_t>(i)],
+                                     dout, &din));
+    accumulate(&douts[static_cast<size_t>(layer.inputs[0])], din);
+  }
+  // The source layer still needs its parameter gradients even though no
+  // upstream din is consumed.
+  {
+    const int i = 0;
+    LayerState& layer = layers_[static_cast<size_t>(i)];
+    Tensor& dout = douts[static_cast<size_t>(i)];
+    if (!dout.empty() && layer.inputs[0] < 0 &&
+        layer.def.kind != LayerKind::kEltwiseAdd) {
+      Tensor din;
+      MH_RETURN_IF_ERROR(
+          BackwardLayer(&layer, scratches[static_cast<size_t>(i)], dout,
+                        &din));
+    }
+  }
+  return loss;
+}
+
+void Network::SgdUpdate(float learning_rate, float momentum,
+                        float weight_decay) {
+  for (auto& layer : layers_) {
+    if (layer.weight.empty()) continue;
+    for (int64_t i = 0; i < layer.weight.size(); ++i) {
+      float& v = layer.vel_weight.data()[static_cast<size_t>(i)];
+      const float g = layer.grad_weight.data()[static_cast<size_t>(i)] +
+                      weight_decay * layer.weight.data()[static_cast<size_t>(i)];
+      v = momentum * v - learning_rate * g;
+      layer.weight.data()[static_cast<size_t>(i)] += v;
+    }
+    for (int64_t i = 0; i < layer.bias.size(); ++i) {
+      float& v = layer.vel_bias.data()[static_cast<size_t>(i)];
+      const float g = layer.grad_bias.data()[static_cast<size_t>(i)];
+      v = momentum * v - learning_rate * g;
+      layer.bias.data()[static_cast<size_t>(i)] += v;
+    }
+  }
+}
+
+}  // namespace modelhub

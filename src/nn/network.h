@@ -1,0 +1,120 @@
+#ifndef MODELHUB_NN_NETWORK_H_
+#define MODELHUB_NN_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/network_def.h"
+#include "tensor/float_matrix.h"
+#include "tensor/tensor.h"
+
+namespace modelhub {
+
+/// A learned parameter blob with its catalog name ("conv1.W", "conv1.b").
+/// Snapshots are ordered lists of these; PAS archives them per-matrix.
+struct NamedParam {
+  std::string name;
+  FloatMatrix value;
+};
+
+/// An executable instantiation of a NetworkDef DAG: weights plus
+/// forward / backward compute. Chains and residual graphs (fan-out plus
+/// kEltwiseAdd joins) are supported. This is the from-scratch stand-in
+/// for the caffe engine the paper wraps — it exists to produce genuine
+/// trained checkpoints and to answer dlv eval queries.
+class Network {
+ public:
+  /// Validates the DAG, runs shape inference, allocates zeroed weights.
+  static Result<Network> Create(const NetworkDef& def);
+
+  const NetworkDef& def() const { return def_; }
+
+  /// Number of output units of the final layer (class count for
+  /// classifiers).
+  int64_t num_outputs() const { return num_outputs_; }
+
+  /// Total learnable scalar count.
+  int64_t ParameterCount() const;
+
+  /// He-style random initialization of all parametric layers.
+  void InitializeWeights(Rng* rng);
+
+  /// Returns copies of all parameters, in chain order, W before b.
+  std::vector<NamedParam> GetParameters() const;
+
+  /// Replaces parameters by name. Every supplied name must exist and match
+  /// shapes; parameters not mentioned are left unchanged.
+  Status SetParameters(const std::vector<NamedParam>& params);
+
+  /// Returns copies of the gradients accumulated by the most recent
+  /// ForwardBackward call, named like GetParameters(). Used for gradient
+  /// verification and optimizer diagnostics.
+  std::vector<NamedParam> GetGradients() const;
+
+  /// Inference-mode forward pass. Output is the final layer activation
+  /// (softmax probabilities if the chain ends in softmax), shaped
+  /// [N, num_outputs, 1, 1].
+  Status Forward(const Tensor& input, Tensor* output) const;
+
+  /// Argmax labels for a batch.
+  Result<std::vector<int>> Predict(const Tensor& input) const;
+
+  /// Fraction of samples whose argmax matches `labels`.
+  Result<double> Accuracy(const Tensor& input, const std::vector<int>& labels) const;
+
+  /// Training step state: forward (train mode: dropout active), softmax
+  /// cross-entropy loss against `labels`, then backprop accumulating
+  /// per-layer gradients. Returns the mean batch loss.
+  Result<double> ForwardBackward(const Tensor& input,
+                                 const std::vector<int>& labels, Rng* rng);
+
+  /// SGD with momentum: v = mu * v - lr * (grad + wd * w); w += v.
+  void SgdUpdate(float learning_rate, float momentum, float weight_decay);
+
+ private:
+  friend class IntervalEvaluator;
+
+  struct LayerState {
+    LayerDef def;
+    NodeShape out_shape;       // Per-sample output C,H,W.
+    NodeShape in_shape;        // Per-sample input C,H,W.
+    // Topological indices of this node's inputs; -1 = the network input.
+    // Exactly one entry except for kEltwiseAdd (two).
+    std::vector<int> inputs;
+    FloatMatrix weight;        // Parametric layers only.
+    FloatMatrix bias;          // 1 x num_output.
+    FloatMatrix grad_weight;
+    FloatMatrix grad_bias;
+    FloatMatrix vel_weight;    // Momentum buffers.
+    FloatMatrix vel_bias;
+  };
+
+  /// Per-layer forward state retained for backprop during a training step.
+  struct Scratch {
+    Tensor in;
+    Tensor out;
+    std::vector<int32_t> pool_argmax;
+    std::vector<uint8_t> dropout_mask;
+    std::vector<float> lrn_scale;
+  };
+
+  /// Runs one layer. `scratch` is null for inference; when set, training
+  /// behavior applies (dropout active) and backprop state is recorded.
+  Status ForwardLayer(const LayerState& layer, const Tensor& in, Tensor* out,
+                      Scratch* scratch, Rng* rng) const;
+  Status BackwardLayer(LayerState* layer, const Scratch& scratch,
+                       const Tensor& dout, Tensor* din);
+
+  NetworkDef def_;
+  std::vector<LayerState> layers_;  // In topological order.
+  int sink_index_ = -1;             // Index of the unique sink in layers_.
+  int64_t num_outputs_ = 0;
+  bool ends_in_softmax_ = false;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NN_NETWORK_H_

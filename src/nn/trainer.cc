@@ -1,0 +1,90 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+Result<TrainResult> TrainNetwork(Network* net, const Dataset& dataset,
+                                 const TrainOptions& options) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("training dataset is empty");
+  }
+  if (net->num_outputs() < dataset.num_classes) {
+    return Status::InvalidArgument(
+        "network has fewer outputs than dataset classes");
+  }
+  Rng rng(options.seed);
+  TrainResult result;
+  float lr = options.base_learning_rate;
+  for (int64_t iter = 1; iter <= options.iterations; ++iter) {
+    // Sample a random minibatch.
+    std::vector<int64_t> indices(static_cast<size_t>(options.batch_size));
+    for (auto& idx : indices) {
+      idx = static_cast<int64_t>(rng.Uniform(dataset.size()));
+    }
+    Tensor batch;
+    std::vector<int> labels;
+    dataset.Gather(indices, &batch, &labels);
+
+    MH_ASSIGN_OR_RETURN(const double loss,
+                        net->ForwardBackward(batch, labels, &rng));
+    if (!std::isfinite(loss)) {
+      return Status::FailedPrecondition(
+          "training diverged (non-finite loss) at iteration " +
+          std::to_string(iter) + "; lower the learning rate");
+    }
+    net->SgdUpdate(lr, options.momentum, options.weight_decay);
+
+    if (options.lr_gamma != 1.0f && options.lr_step > 0 &&
+        iter % options.lr_step == 0) {
+      lr *= options.lr_gamma;
+    }
+    const bool last = iter == options.iterations;
+    if (last || (options.log_every > 0 && iter % options.log_every == 0)) {
+      TrainLogEntry entry;
+      entry.iteration = iter;
+      entry.loss = loss;
+      entry.learning_rate = lr;
+      MH_ASSIGN_OR_RETURN(entry.train_accuracy,
+                          net->Accuracy(batch, labels));
+      result.log.push_back(entry);
+      result.final_loss = loss;
+    }
+    if (last || (options.snapshot_every > 0 &&
+                 iter % options.snapshot_every == 0)) {
+      TrainSnapshot snapshot;
+      snapshot.iteration = iter;
+      snapshot.params = net->GetParameters();
+      result.snapshots.push_back(std::move(snapshot));
+    }
+  }
+  MH_ASSIGN_OR_RETURN(result.final_accuracy,
+                      EvaluateAccuracy(*net, dataset));
+  return result;
+}
+
+Result<double> EvaluateAccuracy(const Network& net, const Dataset& dataset,
+                                int64_t batch_size) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("evaluation dataset is empty");
+  }
+  int64_t correct = 0;
+  for (int64_t start = 0; start < dataset.size(); start += batch_size) {
+    const int64_t end = std::min(start + batch_size, dataset.size());
+    std::vector<int64_t> indices;
+    for (int64_t i = start; i < end; ++i) indices.push_back(i);
+    Tensor batch;
+    std::vector<int> labels;
+    dataset.Gather(indices, &batch, &labels);
+    MH_ASSIGN_OR_RETURN(std::vector<int> predicted, net.Predict(batch));
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (predicted[i] == labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace modelhub

@@ -1,0 +1,71 @@
+#ifndef MODELHUB_NN_TRAINER_H_
+#define MODELHUB_NN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+
+namespace modelhub {
+
+/// Optimization hyperparameters — the "config" object DQL's evaluate/vary
+/// clause sweeps over, and part of the metadata M extracted into the DLV
+/// catalog.
+struct TrainOptions {
+  int64_t iterations = 200;
+  int64_t batch_size = 32;
+  float base_learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Multiplicative learning rate decay applied every `lr_step` iterations
+  /// (1.0 = constant).
+  float lr_gamma = 1.0f;
+  int64_t lr_step = 100;
+  /// A parameter snapshot is recorded every `snapshot_every` iterations
+  /// (and always at the end). 0 disables intermediate snapshots.
+  int64_t snapshot_every = 0;
+  /// Loss/accuracy are logged every `log_every` iterations.
+  int64_t log_every = 20;
+  uint64_t seed = 1;
+};
+
+/// One measurement row of the training log (metadata M in Sec. III-A:
+/// loss / accuracy / dynamic learning rate at some iterations).
+struct TrainLogEntry {
+  int64_t iteration = 0;
+  double loss = 0.0;
+  double learning_rate = 0.0;
+  double train_accuracy = -1.0;  ///< -1 when not measured at this entry.
+};
+
+/// A checkpointed snapshot: iteration number plus all learned parameters.
+struct TrainSnapshot {
+  int64_t iteration = 0;
+  std::vector<NamedParam> params;
+};
+
+/// Result of a training run: the log and the checkpoint series s1..sn
+/// (Fig. 4 of the paper; the last snapshot is the "latest snapshot" s_v).
+struct TrainResult {
+  std::vector<TrainLogEntry> log;
+  std::vector<TrainSnapshot> snapshots;
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+};
+
+/// Runs minibatch SGD on `net` over `dataset` per `options`. The network is
+/// modified in place; the returned TrainResult carries the checkpointed
+/// snapshots that DLV commits and PAS archives.
+Result<TrainResult> TrainNetwork(Network* net, const Dataset& dataset,
+                                 const TrainOptions& options);
+
+/// Evaluates accuracy over an entire dataset in batches.
+Result<double> EvaluateAccuracy(const Network& net, const Dataset& dataset,
+                                int64_t batch_size = 64);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NN_TRAINER_H_

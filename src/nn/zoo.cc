@@ -1,0 +1,177 @@
+#include "nn/zoo.h"
+
+#include <string>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Appends conv + relu with VGG-style 3x3 pad-1 kernels.
+void AppendConvRelu(NetworkDef* def, const std::string& name,
+                    int64_t channels, int64_t kernel, int64_t stride,
+                    int64_t pad) {
+  MH_CHECK(def->Append(MakeConv(name, channels, kernel, stride, pad)).ok());
+  MH_CHECK(def->Append(MakeActivation("relu_" + name, LayerKind::kReLU)).ok());
+}
+
+}  // namespace
+
+NetworkDef LeNet(int64_t classes) {
+  NetworkDef def("lenet", 1, 28, 28);
+  MH_CHECK(def.Append(MakeConv("conv1", 20, 5)).ok());
+  MH_CHECK(def.Append(MakePool("pool1", PoolMode::kMax, 2, 2)).ok());
+  MH_CHECK(def.Append(MakeConv("conv2", 50, 5)).ok());
+  MH_CHECK(def.Append(MakePool("pool2", PoolMode::kMax, 2, 2)).ok());
+  MH_CHECK(def.Append(MakeFull("ip1", 500)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu1", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeFull("ip2", classes)).ok());
+  MH_CHECK(def.Append(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  return def;
+}
+
+NetworkDef MiniLeNet(int64_t classes, int64_t image_size) {
+  NetworkDef def("mini-lenet", 1, image_size, image_size);
+  MH_CHECK(def.Append(MakeConv("conv1", 8, 5)).ok());
+  MH_CHECK(def.Append(MakePool("pool1", PoolMode::kMax, 2, 2)).ok());
+  MH_CHECK(def.Append(MakeConv("conv2", 16, 5)).ok());
+  MH_CHECK(def.Append(MakePool("pool2", PoolMode::kMax, 2, 2)).ok());
+  MH_CHECK(def.Append(MakeFull("ip1", 64)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu1", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeFull("ip2", classes)).ok());
+  MH_CHECK(def.Append(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  return def;
+}
+
+NetworkDef AlexNetStyle(int64_t classes) {
+  NetworkDef def("alexnet", 3, 227, 227);
+  AppendConvRelu(&def, "conv1", 96, 11, 4, 0);
+  MH_CHECK(def.Append(MakeLRN("norm1")).ok());
+  MH_CHECK(def.Append(MakePool("pool1", PoolMode::kMax, 3, 2)).ok());
+  AppendConvRelu(&def, "conv2", 256, 5, 1, 2);
+  MH_CHECK(def.Append(MakeLRN("norm2")).ok());
+  MH_CHECK(def.Append(MakePool("pool2", PoolMode::kMax, 3, 2)).ok());
+  AppendConvRelu(&def, "conv3", 384, 3, 1, 1);
+  AppendConvRelu(&def, "conv4", 384, 3, 1, 1);
+  AppendConvRelu(&def, "conv5", 256, 3, 1, 1);
+  MH_CHECK(def.Append(MakePool("pool5", PoolMode::kMax, 3, 2)).ok());
+  MH_CHECK(def.Append(MakeFull("fc6", 4096)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu6", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeDropout("drop6", 0.5f)).ok());
+  MH_CHECK(def.Append(MakeFull("fc7", 4096)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu7", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeDropout("drop7", 0.5f)).ok());
+  MH_CHECK(def.Append(MakeFull("fc8", classes)).ok());
+  MH_CHECK(def.Append(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  return def;
+}
+
+NetworkDef Vgg16(int64_t classes) {
+  NetworkDef def("vgg16", 3, 224, 224);
+  const int64_t stages[5] = {64, 128, 256, 512, 512};
+  const int64_t convs_per_stage[5] = {2, 2, 3, 3, 3};
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int64_t i = 1; i <= convs_per_stage[stage]; ++i) {
+      const std::string name =
+          "conv" + std::to_string(stage + 1) + "_" + std::to_string(i);
+      AppendConvRelu(&def, name, stages[stage], 3, 1, 1);
+    }
+    MH_CHECK(def.Append(MakePool("pool" + std::to_string(stage + 1),
+                                 PoolMode::kMax, 2, 2))
+                 .ok());
+  }
+  MH_CHECK(def.Append(MakeFull("fc6", 4096)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu6", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeDropout("drop6", 0.5f)).ok());
+  MH_CHECK(def.Append(MakeFull("fc7", 4096)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu7", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeDropout("drop7", 0.5f)).ok());
+  MH_CHECK(def.Append(MakeFull("fc8", classes)).ok());
+  MH_CHECK(def.Append(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  return def;
+}
+
+namespace {
+
+/// Appends one identity residual block after the current tail `tail`:
+///   tail -> conv a -> relu -> conv b -> add <- tail ; add -> relu.
+/// Returns the new tail (the trailing relu).
+std::string AppendResidualBlock(NetworkDef* def, const std::string& tail,
+                                int64_t index, int64_t channels) {
+  const std::string suffix = std::to_string(index);
+  const std::string conv_a = "res" + suffix + "_conv1";
+  const std::string conv_b = "res" + suffix + "_conv2";
+  const std::string relu_mid = "res" + suffix + "_relu1";
+  const std::string add = "res" + suffix + "_add";
+  const std::string relu_out = "res" + suffix + "_relu2";
+  MH_CHECK(def->AddNode(MakeConv(conv_a, channels, 3, 1, 1)).ok());
+  MH_CHECK(def->AddNode(MakeActivation(relu_mid, LayerKind::kReLU)).ok());
+  MH_CHECK(def->AddNode(MakeConv(conv_b, channels, 3, 1, 1)).ok());
+  MH_CHECK(def->AddNode(MakeEltwiseAdd(add)).ok());
+  MH_CHECK(def->AddNode(MakeActivation(relu_out, LayerKind::kReLU)).ok());
+  MH_CHECK(def->AddEdge(tail, conv_a).ok());
+  MH_CHECK(def->AddEdge(conv_a, relu_mid).ok());
+  MH_CHECK(def->AddEdge(relu_mid, conv_b).ok());
+  MH_CHECK(def->AddEdge(conv_b, add).ok());
+  MH_CHECK(def->AddEdge(tail, add).ok());  // The identity skip.
+  MH_CHECK(def->AddEdge(add, relu_out).ok());
+  return relu_out;
+}
+
+}  // namespace
+
+NetworkDef ResNetStyle(int64_t classes, int64_t blocks, int64_t channels) {
+  NetworkDef def("resnet-" + std::to_string(blocks), 3, 224, 224);
+  MH_CHECK(def.Append(MakeConv("conv1", channels, 7, 2, 3)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu1", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakePool("pool1", PoolMode::kMax, 3, 2)).ok());
+  std::string tail = "pool1";
+  for (int64_t b = 0; b < blocks; ++b) {
+    tail = AppendResidualBlock(&def, tail, b, channels);
+  }
+  const std::string pool = "pool_final";
+  MH_CHECK(def.AddNode(MakePool(pool, PoolMode::kAvg, 7, 7)).ok());
+  MH_CHECK(def.AddEdge(tail, pool).ok());
+  MH_CHECK(def.AddNode(MakeFull("fc", classes)).ok());
+  MH_CHECK(def.AddEdge(pool, "fc").ok());
+  MH_CHECK(def.AddNode(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  MH_CHECK(def.AddEdge("fc", "prob").ok());
+  return def;
+}
+
+NetworkDef MiniResNet(int64_t classes, int64_t image_size, int64_t blocks,
+                      int64_t channels) {
+  NetworkDef def("mini-resnet", 1, image_size, image_size);
+  MH_CHECK(def.Append(MakeConv("conv1", channels, 3, 1, 1)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu1", LayerKind::kReLU)).ok());
+  std::string tail = "relu1";
+  for (int64_t b = 0; b < blocks; ++b) {
+    tail = AppendResidualBlock(&def, tail, b, channels);
+  }
+  const std::string pool = "pool_final";
+  MH_CHECK(def.AddNode(MakePool(pool, PoolMode::kMax, 2, 2)).ok());
+  MH_CHECK(def.AddEdge(tail, pool).ok());
+  MH_CHECK(def.AddNode(MakeFull("fc", classes)).ok());
+  MH_CHECK(def.AddEdge(pool, "fc").ok());
+  MH_CHECK(def.AddNode(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  MH_CHECK(def.AddEdge("fc", "prob").ok());
+  return def;
+}
+
+NetworkDef MiniVgg(int64_t classes, int64_t image_size,
+                   int64_t width_multiple) {
+  NetworkDef def("mini-vgg-x" + std::to_string(width_multiple), 1,
+                 image_size, image_size);
+  AppendConvRelu(&def, "conv1_1", 8 * width_multiple, 3, 1, 1);
+  MH_CHECK(def.Append(MakePool("pool1", PoolMode::kMax, 2, 2)).ok());
+  AppendConvRelu(&def, "conv2_1", 16 * width_multiple, 3, 1, 1);
+  MH_CHECK(def.Append(MakePool("pool2", PoolMode::kMax, 2, 2)).ok());
+  MH_CHECK(def.Append(MakeFull("fc1", 32 * width_multiple)).ok());
+  MH_CHECK(def.Append(MakeActivation("relu_fc1", LayerKind::kReLU)).ok());
+  MH_CHECK(def.Append(MakeFull("fc2", classes)).ok());
+  MH_CHECK(def.Append(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  return def;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,52 @@
+#ifndef MODELHUB_NN_ZOO_H_
+#define MODELHUB_NN_ZOO_H_
+
+#include <cstdint>
+
+#include "nn/network_def.h"
+
+namespace modelhub {
+
+/// Reference architectures (Table I of the paper), at two scales:
+///   * the paper-faithful definitions, used for parameter accounting; and
+///   * "mini" variants sized so training runs in seconds on one CPU core,
+///     used everywhere models are actually trained (substitution #5 in
+///     DESIGN.md).
+
+/// LeNet: (conv pool){2} full{2} softmax, for `classes`-way prediction on
+/// 1 x 28 x 28 inputs. With the paper defaults this reproduces the 431k
+/// parameter count of Table I.
+NetworkDef LeNet(int64_t classes = 10);
+
+/// A reduced LeNet for in-(28x28) synthetic tasks: same topology, fewer
+/// filters. Trains to high accuracy within seconds.
+NetworkDef MiniLeNet(int64_t classes = 10, int64_t image_size = 20);
+
+/// AlexNet-style: (conv pool){2} (conv{2} pool){2}? — the Table I regular
+/// expression is (Lconv Lpool){2} (Lconv{2} Lpool){2} Lip{3}; our variant
+/// follows the canonical AlexNet layer list with LRN after early convs.
+NetworkDef AlexNetStyle(int64_t classes = 1000);
+
+/// VGG-16: (conv{2} pool){2} (conv{3} pool){3} full{3} (the standard VGG-16
+/// configuration the paper measures).
+NetworkDef Vgg16(int64_t classes = 1000);
+
+/// A channel-scaled VGG-style chain for synthetic-modeler repositories:
+/// `width_multiple` scales all channel counts.
+NetworkDef MiniVgg(int64_t classes, int64_t image_size,
+                   int64_t width_multiple = 1);
+
+/// ResNet-style residual network (Table I): a conv stem, `blocks` residual
+/// units (conv-relu-conv + identity skip via kEltwiseAdd, then relu), a
+/// pool and a classifier. Channel count is constant so every skip is an
+/// identity join.
+NetworkDef ResNetStyle(int64_t classes = 1000, int64_t blocks = 16,
+                       int64_t channels = 64);
+
+/// A small trainable residual network for synthetic tasks.
+NetworkDef MiniResNet(int64_t classes, int64_t image_size,
+                      int64_t blocks = 2, int64_t channels = 8);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NN_ZOO_H_

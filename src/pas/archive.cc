@@ -1,0 +1,631 @@
+#include "pas/archive.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+
+constexpr char kManifestMagic[] = "MHAM1\n";
+constexpr size_t kManifestMagicSize = 6;
+
+std::string ChunksPath(const std::string& dir) {
+  return JoinPath(dir, "chunks.bin");
+}
+std::string ManifestPath(const std::string& dir) {
+  return JoinPath(dir, "manifest.bin");
+}
+std::string RemoteChunksPath(const std::string& dir) {
+  return JoinPath(dir, "remote.bin");
+}
+
+/// Compressed size of all four byte planes of `m` under `codec`.
+double SegmentedCompressedSize(const FloatMatrix& m, CodecType codec) {
+  const auto planes = SegmentFloats(m);
+  double total = 0.0;
+  for (const std::string& plane : planes) {
+    total += static_cast<double>(CompressedSize(codec, Slice(plane)));
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string_view ArchiveSolverToString(ArchiveSolver solver) {
+  switch (solver) {
+    case ArchiveSolver::kMst:
+      return "mst";
+    case ArchiveSolver::kSpt:
+      return "spt";
+    case ArchiveSolver::kLast:
+      return "last";
+    case ArchiveSolver::kPasMt:
+      return "pas-mt";
+    case ArchiveSolver::kPasPt:
+      return "pas-pt";
+  }
+  return "unknown";
+}
+
+ArchiveBuilder::ArchiveBuilder(Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+int ArchiveBuilder::FindMatrix(const std::string& snapshot,
+                               const std::string& param) const {
+  for (size_t i = 0; i < matrices_.size(); ++i) {
+    if (matrices_[i].snapshot == snapshot && matrices_[i].param == param) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status ArchiveBuilder::AddSnapshot(const std::string& name,
+                                   const std::vector<NamedParam>& params) {
+  if (params.empty()) {
+    return Status::InvalidArgument("snapshot has no parameters: " + name);
+  }
+  for (const auto& existing : snapshot_names_) {
+    if (existing == name) {
+      return Status::AlreadyExists("duplicate snapshot: " + name);
+    }
+  }
+  std::vector<int> members;
+  for (const auto& param : params) {
+    if (param.value.empty()) {
+      return Status::InvalidArgument("empty matrix: " + param.name);
+    }
+    if (FindMatrix(name, param.name) >= 0) {
+      return Status::AlreadyExists("duplicate parameter " + param.name +
+                                   " in snapshot " + name);
+    }
+    members.push_back(static_cast<int>(matrices_.size()));
+    matrices_.push_back(MatrixEntry{name, param.name, param.value});
+  }
+  snapshot_names_.push_back(name);
+  snapshot_members_.push_back(std::move(members));
+  return Status::OK();
+}
+
+Status ArchiveBuilder::AddDeltaCandidate(const std::string& from_snapshot,
+                                         const std::string& to_snapshot) {
+  int from = -1;
+  int to = -1;
+  for (size_t i = 0; i < snapshot_names_.size(); ++i) {
+    if (snapshot_names_[i] == from_snapshot) from = static_cast<int>(i);
+    if (snapshot_names_[i] == to_snapshot) to = static_cast<int>(i);
+  }
+  if (from < 0) return Status::NotFound("no snapshot: " + from_snapshot);
+  if (to < 0) return Status::NotFound("no snapshot: " + to_snapshot);
+  if (from == to) {
+    return Status::InvalidArgument("delta candidate with itself");
+  }
+  candidate_pairs_.emplace_back(from, to);
+  return Status::OK();
+}
+
+Result<MatrixStorageGraph> BuildMatrixStorageGraph(
+    const std::vector<SnapshotSpec>& snapshots,
+    const std::vector<std::pair<int, int>>& candidate_pairs,
+    CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
+    const TierOptions& tiers) {
+  MatrixStorageGraph graph;
+  // Every edge optionally gets a remote twin: cheaper to hold, costlier to
+  // recreate from (the paper's multi-tier parallel edges).
+  auto add_tiered_edge = [&](int u, int v, double cs,
+                             double cr) -> Status {
+    MH_RETURN_IF_ERROR(graph.AddEdge(u, v, cs, cr, /*tier=*/0).status());
+    if (tiers.enable_remote) {
+      MH_RETURN_IF_ERROR(graph
+                             .AddEdge(u, v, cs * tiers.storage_discount,
+                                      cr * tiers.read_penalty, /*tier=*/1)
+                             .status());
+    }
+    return Status::OK();
+  };
+  // Vertex ids in (snapshot, param) order.
+  std::vector<std::vector<int>> vertex_of(snapshots.size());
+  for (size_t s = 0; s < snapshots.size(); ++s) {
+    if (snapshots[s].params == nullptr || snapshots[s].params->empty()) {
+      return Status::InvalidArgument("snapshot without parameters: " +
+                                     snapshots[s].name);
+    }
+    for (const NamedParam& param : *snapshots[s].params) {
+      const int v = graph.AddVertex(snapshots[s].name + "/" + param.name);
+      vertex_of[s].push_back(v);
+      const double cs = SegmentedCompressedSize(param.value, codec);
+      const double raw = static_cast<double>(param.value.size()) * 4;
+      MH_RETURN_IF_ERROR(
+          add_tiered_edge(0, v, cs, cs + recreation_raw_weight * raw));
+    }
+  }
+  for (const auto& [from_snap, to_snap] : candidate_pairs) {
+    if (from_snap < 0 || to_snap < 0 ||
+        from_snap >= static_cast<int>(snapshots.size()) ||
+        to_snap >= static_cast<int>(snapshots.size()) ||
+        from_snap == to_snap) {
+      return Status::InvalidArgument("bad candidate pair");
+    }
+    const auto& from_params = *snapshots[static_cast<size_t>(from_snap)].params;
+    const auto& to_params = *snapshots[static_cast<size_t>(to_snap)].params;
+    for (size_t ti = 0; ti < to_params.size(); ++ti) {
+      for (size_t fi = 0; fi < from_params.size(); ++fi) {
+        if (from_params[fi].name != to_params[ti].name) continue;
+        // Mismatched shapes (e.g. a re-targeted final layer) still get a
+        // candidate edge via the shape-adaptive delta variants.
+        const bool same_shape =
+            from_params[fi].value.rows() == to_params[ti].value.rows() &&
+            from_params[fi].value.cols() == to_params[ti].value.cols();
+        const DeltaKind kind =
+            same_shape ? delta_kind : ToAdaptive(delta_kind);
+        // A materialized "delta" against a mismatched base is pointless.
+        if (!same_shape && kind == DeltaKind::kMaterialized) continue;
+        MH_ASSIGN_OR_RETURN(
+            FloatMatrix delta,
+            ComputeDelta(to_params[ti].value, from_params[fi].value, kind));
+        const double cs = SegmentedCompressedSize(delta, codec);
+        const double raw = static_cast<double>(delta.size()) * 4;
+        MH_RETURN_IF_ERROR(add_tiered_edge(
+            vertex_of[static_cast<size_t>(from_snap)][fi],
+            vertex_of[static_cast<size_t>(to_snap)][ti], cs,
+            cs + recreation_raw_weight * raw));
+        break;
+      }
+    }
+  }
+  for (size_t s = 0; s < snapshots.size(); ++s) {
+    MH_RETURN_IF_ERROR(
+        graph.AddGroup(snapshots[s].name, vertex_of[s], 0.0));
+  }
+  return graph;
+}
+
+Result<ArchiveBuildReport> ArchiveBuilder::Build(
+    const ArchiveOptions& options) {
+  if (built_) return Status::FailedPrecondition("Build called twice");
+  if (matrices_.empty()) {
+    return Status::FailedPrecondition("no snapshots added");
+  }
+  built_ = true;
+
+  // --- Optional lossy storage scheme: round every matrix through the
+  // chosen representation once, up front. The archive then stores (and
+  // later returns) the scheme's values; quantized matrices have few
+  // distinct floats and compress far better.
+  if (options.storage_scheme.kind != FloatSchemeKind::kFloat32) {
+    Rng scheme_rng(options.scheme_seed);
+    for (auto& entry : matrices_) {
+      MH_ASSIGN_OR_RETURN(
+          EncodedMatrix encoded,
+          EncodeMatrix(entry.value, options.storage_scheme, &scheme_rng));
+      MH_ASSIGN_OR_RETURN(entry.value, DecodeMatrix(encoded));
+    }
+  }
+
+  // --- Assemble the matrix storage graph (Definition 1) via the shared
+  // builder. Vertex ids follow matrices_ order because snapshots were
+  // registered in (snapshot, param) order.
+  std::vector<std::vector<NamedParam>> param_lists(snapshot_names_.size());
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    for (int idx : snapshot_members_[s]) {
+      param_lists[s].push_back({matrices_[static_cast<size_t>(idx)].param,
+                                matrices_[static_cast<size_t>(idx)].value});
+    }
+  }
+  std::vector<SnapshotSpec> specs;
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    specs.push_back({snapshot_names_[s], &param_lists[s]});
+  }
+  TierOptions tiers;
+  tiers.enable_remote = options.enable_remote_tier;
+  tiers.storage_discount = options.remote_storage_discount;
+  tiers.read_penalty = options.remote_read_penalty;
+  MH_ASSIGN_OR_RETURN(
+      MatrixStorageGraph graph,
+      BuildMatrixStorageGraph(specs, candidate_pairs_, options.codec,
+                              options.delta_kind,
+                              options.recreation_raw_weight, tiers));
+  std::vector<int> vertex_of_matrix(matrices_.size());
+  {
+    int next = 1;
+    for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+      for (int idx : snapshot_members_[s]) {
+        vertex_of_matrix[static_cast<size_t>(idx)] = next++;
+      }
+    }
+  }
+
+  // --- Budgets relative to the SPT (the alpha knob of Fig 6(c)).
+  MH_ASSIGN_OR_RETURN(StoragePlan spt, SolveSpt(graph));
+  MH_ASSIGN_OR_RETURN(StoragePlan mst, SolveMst(graph));
+  if (options.budget_alpha > 0.0) {
+    for (auto& group : *graph.mutable_groups()) {
+      group.budget = options.budget_alpha *
+                     spt.GroupRecreationCost(group, options.scheme);
+    }
+  }
+
+  // --- Solve.
+  StoragePlan plan = mst;
+  switch (options.solver) {
+    case ArchiveSolver::kMst:
+      break;  // Already the MST.
+    case ArchiveSolver::kSpt:
+      plan = spt;
+      break;
+    case ArchiveSolver::kLast: {
+      MH_ASSIGN_OR_RETURN(plan, SolveLast(graph, options.last_alpha));
+      break;
+    }
+    case ArchiveSolver::kPasMt: {
+      MH_ASSIGN_OR_RETURN(plan, SolvePasMt(graph, options.scheme));
+      break;
+    }
+    case ArchiveSolver::kPasPt: {
+      MH_ASSIGN_OR_RETURN(plan, SolvePasPt(graph, options.scheme));
+      break;
+    }
+  }
+
+  // --- Write chunks for the chosen tree. Remote-tier payloads go to a
+  // separate store standing in for the remote service.
+  MH_RETURN_IF_ERROR(env_->CreateDirs(dir_));
+  ChunkStoreWriter chunks(env_, ChunksPath(dir_));
+  ChunkStoreWriter remote_chunks(env_, RemoteChunksPath(dir_));
+  int remote_payloads = 0;
+  std::string manifest;
+  manifest.append(kManifestMagic, kManifestMagicSize);
+  PutVarint64(&manifest, matrices_.size());
+  for (size_t i = 0; i < matrices_.size(); ++i) {
+    const int v = vertex_of_matrix[i];
+    const int parent = plan.Parent(v);
+    DeltaKind kind = DeltaKind::kMaterialized;
+    FloatMatrix payload = matrices_[i].value;
+    if (parent != 0) {
+      // Find which matrix the parent vertex holds.
+      const size_t parent_idx = static_cast<size_t>(
+          std::find(vertex_of_matrix.begin(), vertex_of_matrix.end(),
+                    parent) -
+          vertex_of_matrix.begin());
+      const bool same_shape =
+          matrices_[parent_idx].value.rows() == matrices_[i].value.rows() &&
+          matrices_[parent_idx].value.cols() == matrices_[i].value.cols();
+      kind = same_shape ? options.delta_kind
+                        : ToAdaptive(options.delta_kind);
+      MH_ASSIGN_OR_RETURN(
+          payload, ComputeDelta(matrices_[i].value,
+                                matrices_[parent_idx].value, kind));
+    }
+    const int tier = graph.edge(plan.ParentEdge(v)).tier;
+    ChunkStoreWriter* destination = tier == 1 ? &remote_chunks : &chunks;
+    if (tier == 1) ++remote_payloads;
+    const auto planes = SegmentFloats(payload);
+    uint32_t chunk_ids[kNumPlanes];
+    for (int p = 0; p < kNumPlanes; ++p) {
+      MH_ASSIGN_OR_RETURN(chunk_ids[p],
+                          destination->Put(Slice(planes[p]), options.codec));
+    }
+    PutLengthPrefixed(&manifest, Slice(matrices_[i].snapshot));
+    PutLengthPrefixed(&manifest, Slice(matrices_[i].param));
+    PutVarint64(&manifest, static_cast<uint64_t>(matrices_[i].value.rows()));
+    PutVarint64(&manifest, static_cast<uint64_t>(matrices_[i].value.cols()));
+    manifest.push_back(static_cast<char>(kind));
+    manifest.push_back(static_cast<char>(tier));
+    PutVarint64(&manifest, static_cast<uint64_t>(parent));
+    for (int p = 0; p < kNumPlanes; ++p) {
+      PutVarint64(&manifest, chunk_ids[p]);
+    }
+  }
+  PutVarint64(&manifest, snapshot_names_.size());
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    PutLengthPrefixed(&manifest, Slice(snapshot_names_[s]));
+    PutVarint64(&manifest, snapshot_members_[s].size());
+    for (int idx : snapshot_members_[s]) {
+      PutVarint64(&manifest,
+                  static_cast<uint64_t>(vertex_of_matrix[
+                      static_cast<size_t>(idx)]));
+    }
+  }
+  MH_RETURN_IF_ERROR(chunks.Finish());
+  if (remote_payloads > 0) {
+    MH_RETURN_IF_ERROR(remote_chunks.Finish());
+  }
+  MH_RETURN_IF_ERROR(env_->WriteFile(ManifestPath(dir_), manifest));
+
+  // --- Report.
+  ArchiveBuildReport report;
+  report.num_vertices = graph.num_vertices() - 1;
+  report.num_edges = static_cast<int>(graph.edges().size());
+  report.storage_cost = plan.TotalStorageCost();
+  report.mst_storage_cost = mst.TotalStorageCost();
+  report.spt_storage_cost = spt.TotalStorageCost();
+  report.budgets_satisfied = plan.SatisfiesBudgets(options.scheme);
+  report.remote_payloads = remote_payloads;
+  for (const auto& group : graph.groups()) {
+    report.group_recreation_costs.push_back(
+        plan.GroupRecreationCost(group, options.scheme));
+    report.group_budgets.push_back(group.budget);
+  }
+  return report;
+}
+
+Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
+  ArchiveReader reader;
+  MH_ASSIGN_OR_RETURN(ChunkStoreReader chunk_reader,
+                      ChunkStoreReader::Open(env, ChunksPath(dir)));
+  reader.chunks_ = std::make_shared<ChunkStoreReader>(std::move(chunk_reader));
+  MH_ASSIGN_OR_RETURN(std::string manifest, env->ReadFile(ManifestPath(dir)));
+  if (manifest.size() < kManifestMagicSize ||
+      manifest.compare(0, kManifestMagicSize, kManifestMagic) != 0) {
+    return Status::Corruption("bad manifest magic");
+  }
+  Slice in(manifest);
+  in.RemovePrefix(kManifestMagicSize);
+  uint64_t num_matrices = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &num_matrices));
+  reader.vertices_.resize(static_cast<size_t>(num_matrices) + 1);
+  for (uint64_t i = 1; i <= num_matrices; ++i) {
+    VertexMeta& meta = reader.vertices_[static_cast<size_t>(i)];
+    Slice snapshot;
+    Slice param;
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &snapshot));
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &param));
+    meta.snapshot = snapshot.ToString();
+    meta.param = param.ToString();
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &rows));
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &cols));
+    meta.rows = static_cast<int64_t>(rows);
+    meta.cols = static_cast<int64_t>(cols);
+    if (in.size() < 2) return Status::Corruption("manifest truncated");
+    MH_ASSIGN_OR_RETURN(
+        meta.delta_kind,
+        DeltaKindFromString(DeltaKindToString(static_cast<DeltaKind>(in[0]))));
+    meta.tier = in[1];
+    if (meta.tier != 0 && meta.tier != 1) {
+      return Status::Corruption("manifest bad tier");
+    }
+    in.RemovePrefix(2);
+    uint64_t parent = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &parent));
+    if (parent > num_matrices || parent == i) {
+      return Status::Corruption("manifest parent out of range");
+    }
+    meta.parent = static_cast<int>(parent);
+    if (meta.tier == 1 && reader.remote_chunks_ == nullptr) {
+      MH_ASSIGN_OR_RETURN(
+          ChunkStoreReader remote_reader,
+          ChunkStoreReader::Open(env, RemoteChunksPath(dir)));
+      reader.remote_chunks_ =
+          std::make_shared<ChunkStoreReader>(std::move(remote_reader));
+    }
+    const uint32_t chunk_count = meta.tier == 1
+                                     ? reader.remote_chunks_->num_chunks()
+                                     : reader.chunks_->num_chunks();
+    for (int p = 0; p < kNumPlanes; ++p) {
+      uint64_t chunk_id = 0;
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &chunk_id));
+      if (chunk_id >= chunk_count) {
+        return Status::Corruption("manifest chunk id out of range");
+      }
+      meta.chunk_ids[p] = static_cast<uint32_t>(chunk_id);
+    }
+  }
+  uint64_t num_snapshots = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &num_snapshots));
+  for (uint64_t s = 0; s < num_snapshots; ++s) {
+    Slice name;
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &name));
+    uint64_t count = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &count));
+    std::vector<int> members;
+    for (uint64_t m = 0; m < count; ++m) {
+      uint64_t vertex = 0;
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &vertex));
+      if (vertex == 0 || vertex > num_matrices) {
+        return Status::Corruption("manifest group member out of range");
+      }
+      members.push_back(static_cast<int>(vertex));
+    }
+    reader.snapshot_names_.push_back(name.ToString());
+    reader.snapshot_members_.push_back(std::move(members));
+  }
+  return reader;
+}
+
+Result<std::vector<std::string>> ArchiveReader::ParamNames(
+    const std::string& snapshot) const {
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    if (snapshot_names_[s] != snapshot) continue;
+    std::vector<std::string> names;
+    for (int v : snapshot_members_[s]) {
+      names.push_back(vertices_[static_cast<size_t>(v)].param);
+    }
+    return names;
+  }
+  return Status::NotFound("no snapshot: " + snapshot);
+}
+
+Result<FloatMatrix> ArchiveReader::ReadPayload(const VertexMeta& meta) const {
+  const ChunkStoreReader* store =
+      meta.tier == 1 ? remote_chunks_.get() : chunks_.get();
+  std::string plane_data[kNumPlanes];
+  std::vector<Slice> planes;
+  for (int p = 0; p < kNumPlanes; ++p) {
+    MH_ASSIGN_OR_RETURN(plane_data[p], store->Get(meta.chunk_ids[p]));
+    planes.emplace_back(plane_data[p]);
+  }
+  return AssembleFloats(meta.rows, meta.cols, planes);
+}
+
+Result<FloatMatrix> ArchiveReader::ResolveExact(
+    int vertex, std::map<int, FloatMatrix>* memo) const {
+  auto it = memo->find(vertex);
+  if (it != memo->end()) return it->second;
+  const VertexMeta& meta = vertices_[static_cast<size_t>(vertex)];
+  MH_ASSIGN_OR_RETURN(FloatMatrix payload, ReadPayload(meta));
+  FloatMatrix value;
+  if (meta.parent == 0) {
+    value = std::move(payload);
+  } else {
+    MH_ASSIGN_OR_RETURN(FloatMatrix base, ResolveExact(meta.parent, memo));
+    MH_ASSIGN_OR_RETURN(value, ApplyDelta(base, payload, meta.delta_kind));
+  }
+  memo->emplace(vertex, value);
+  return value;
+}
+
+Result<FloatMatrix> ArchiveReader::RetrieveMatrix(
+    const std::string& snapshot, const std::string& param) const {
+  for (size_t v = 1; v < vertices_.size(); ++v) {
+    if (vertices_[v].snapshot == snapshot && vertices_[v].param == param) {
+      std::map<int, FloatMatrix> memo;
+      return ResolveExact(static_cast<int>(v), &memo);
+    }
+  }
+  return Status::NotFound("no matrix " + snapshot + "/" + param);
+}
+
+Result<std::vector<NamedParam>> ArchiveReader::RetrieveSnapshot(
+    const std::string& snapshot) const {
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    if (snapshot_names_[s] != snapshot) continue;
+    std::map<int, FloatMatrix> memo;
+    std::vector<NamedParam> out;
+    for (int v : snapshot_members_[s]) {
+      MH_ASSIGN_OR_RETURN(FloatMatrix value, ResolveExact(v, &memo));
+      out.push_back({vertices_[static_cast<size_t>(v)].param,
+                     std::move(value)});
+    }
+    return out;
+  }
+  return Status::NotFound("no snapshot: " + snapshot);
+}
+
+Result<std::vector<NamedParam>> ArchiveReader::RetrieveSnapshotParallel(
+    const std::string& snapshot, ThreadPool* pool) const {
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    if (snapshot_names_[s] != snapshot) continue;
+    const std::vector<int>& members = snapshot_members_[s];
+    std::vector<Result<FloatMatrix>> results(
+        members.size(), Result<FloatMatrix>(Status::Internal("unset")));
+    for (size_t m = 0; m < members.size(); ++m) {
+      const int vertex = members[m];
+      pool->Schedule([this, vertex, &results, m] {
+        std::map<int, FloatMatrix> memo;  // Independent: no sharing.
+        results[m] = ResolveExact(vertex, &memo);
+      });
+    }
+    pool->Wait();
+    std::vector<NamedParam> out;
+    for (size_t m = 0; m < members.size(); ++m) {
+      MH_RETURN_IF_ERROR(results[m].status());
+      out.push_back({vertices_[static_cast<size_t>(members[m])].param,
+                     std::move(*results[m])});
+    }
+    return out;
+  }
+  return Status::NotFound("no snapshot: " + snapshot);
+}
+
+Result<IntervalMatrix> ArchiveReader::ResolveBounds(
+    int vertex, int planes, std::map<int, IntervalMatrix>* memo) const {
+  auto it = memo->find(vertex);
+  if (it != memo->end()) return it->second;
+  const VertexMeta& meta = vertices_[static_cast<size_t>(vertex)];
+  const bool is_xor = meta.delta_kind == DeltaKind::kXor ||
+                      meta.delta_kind == DeltaKind::kAdaptiveXor;
+  if (is_xor && planes < kNumPlanes) {
+    return Status::InvalidArgument(
+        "partial retrieval is not defined over XOR deltas");
+  }
+  const ChunkStoreReader* store =
+      meta.tier == 1 ? remote_chunks_.get() : chunks_.get();
+  std::string plane_data[kNumPlanes];
+  std::vector<Slice> plane_slices;
+  for (int p = 0; p < planes; ++p) {
+    MH_ASSIGN_OR_RETURN(plane_data[p], store->Get(meta.chunk_ids[p]));
+    plane_slices.emplace_back(plane_data[p]);
+  }
+  MH_ASSIGN_OR_RETURN(
+      IntervalMatrix own,
+      BoundsFromPlanes(meta.rows, meta.cols, plane_slices));
+  IntervalMatrix value;
+  if (meta.parent == 0) {
+    value = std::move(own);
+  } else if (is_xor) {
+    // Full planes: exact chain; XOR needs bit-exact operands.
+    std::map<int, FloatMatrix> exact_memo;
+    MH_ASSIGN_OR_RETURN(FloatMatrix exact, ResolveExact(vertex, &exact_memo));
+    value = IntervalMatrix::FromExact(exact);
+  } else {
+    MH_ASSIGN_OR_RETURN(IntervalMatrix base,
+                        ResolveBounds(meta.parent, planes, memo));
+    // target = base + delta on the overlap (interval addition); outside
+    // the base's extent (adaptive deltas only) the delta carries the
+    // target verbatim, so its own bounds stand alone.
+    const int64_t overlap_rows = std::min(meta.rows, base.rows());
+    const int64_t overlap_cols = std::min(meta.cols, base.cols());
+    if (meta.delta_kind == DeltaKind::kSub &&
+        (overlap_rows != meta.rows || overlap_cols != meta.cols)) {
+      return Status::Corruption("exact SUB delta with mismatched base shape");
+    }
+    FloatMatrix lo(meta.rows, meta.cols);
+    FloatMatrix hi(meta.rows, meta.cols);
+    for (int64_t r = 0; r < meta.rows; ++r) {
+      for (int64_t c = 0; c < meta.cols; ++c) {
+        if (r < overlap_rows && c < overlap_cols) {
+          lo.At(r, c) = base.lo().At(r, c) + own.lo().At(r, c);
+          hi.At(r, c) = base.hi().At(r, c) + own.hi().At(r, c);
+        } else {
+          lo.At(r, c) = own.lo().At(r, c);
+          hi.At(r, c) = own.hi().At(r, c);
+        }
+      }
+    }
+    MH_ASSIGN_OR_RETURN(value,
+                        IntervalMatrix::FromBounds(std::move(lo), std::move(hi)));
+  }
+  memo->emplace(vertex, value);
+  return value;
+}
+
+Result<std::map<std::string, IntervalMatrix>>
+ArchiveReader::RetrieveSnapshotBounds(const std::string& snapshot,
+                                      int planes) const {
+  if (planes < 1 || planes > kNumPlanes) {
+    return Status::InvalidArgument("planes must be in [1,4]");
+  }
+  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
+    if (snapshot_names_[s] != snapshot) continue;
+    std::map<int, IntervalMatrix> memo;
+    std::map<std::string, IntervalMatrix> out;
+    for (int v : snapshot_members_[s]) {
+      MH_ASSIGN_OR_RETURN(IntervalMatrix bounds,
+                          ResolveBounds(v, planes, &memo));
+      out.emplace(vertices_[static_cast<size_t>(v)].param, std::move(bounds));
+    }
+    return out;
+  }
+  return Status::NotFound("no snapshot: " + snapshot);
+}
+
+uint64_t ArchiveReader::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < chunks_->num_chunks(); ++i) {
+    total += chunks_->ref(i).stored_size;
+  }
+  if (remote_chunks_ != nullptr) {
+    for (uint32_t i = 0; i < remote_chunks_->num_chunks(); ++i) {
+      total += remote_chunks_->ref(i).stored_size;
+    }
+  }
+  return total;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,232 @@
+#ifndef MODELHUB_PAS_ARCHIVE_H_
+#define MODELHUB_PAS_ARCHIVE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/thread_pool.h"
+#include "common/result.h"
+#include "nn/network.h"
+#include "pas/chunk_store.h"
+#include "pas/delta.h"
+#include "pas/float_encoding.h"
+#include "pas/segment.h"
+#include "pas/solver.h"
+#include "pas/storage_graph.h"
+#include "tensor/interval.h"
+
+namespace modelhub {
+
+/// Which Problem-1 solver lays out the archive.
+enum class ArchiveSolver { kMst, kSpt, kLast, kPasMt, kPasPt };
+
+std::string_view ArchiveSolverToString(ArchiveSolver solver);
+
+/// Archive construction knobs.
+struct ArchiveOptions {
+  ArchiveSolver solver = ArchiveSolver::kPasPt;
+  RetrievalScheme scheme = RetrievalScheme::kIndependent;
+  /// Per-snapshot recreation budget = budget_alpha x that snapshot's SPT
+  /// recreation cost. <= 0 disables budgets (pure storage minimization).
+  double budget_alpha = 0.0;
+  /// LAST's path-stretch bound (used only by ArchiveSolver::kLast).
+  double last_alpha = 2.0;
+  CodecType codec = CodecType::kDeflateLite;
+  DeltaKind delta_kind = DeltaKind::kSub;
+  /// Float representation the archive stores (Sec. IV-B: lossyness traded
+  /// for footprint per snapshot instead of deleting snapshots). Non-
+  /// float32 schemes round every matrix through the scheme before
+  /// archiving; retrieval returns the (lossy) decoded values.
+  FloatScheme storage_scheme = {FloatSchemeKind::kFloat32, 32};
+  /// Seed for kQuantRandom storage schemes.
+  uint64_t scheme_seed = 1;
+  /// Recreation cost model: cr(edge) = stored_bytes + weight * raw_bytes
+  /// (read + decompress-and-apply).
+  double recreation_raw_weight = 0.25;
+  /// Tiered storage (Sec. IV-C: "one edge corresponding to a remote
+  /// storage option, where the storage cost is lower and the recreation
+  /// cost is higher"). When enabled, every candidate edge gets a remote
+  /// twin with discounted storage cost and penalized recreation cost; the
+  /// solver picks per matrix, so cold checkpoints drift remote while
+  /// budget-constrained snapshots stay local. Remote payloads are written
+  /// to a separate chunk file (remote.bin) standing in for the remote
+  /// store.
+  bool enable_remote_tier = false;
+  double remote_storage_discount = 0.5;
+  double remote_read_penalty = 4.0;
+};
+
+/// What Build measured — the quantities Fig 6(c) plots.
+struct ArchiveBuildReport {
+  int num_vertices = 0;
+  int num_edges = 0;
+  double storage_cost = 0.0;         ///< Chosen plan Cs.
+  double mst_storage_cost = 0.0;     ///< Lower bound (best compression).
+  double spt_storage_cost = 0.0;     ///< Full-materialization-ish plan Cs.
+  bool budgets_satisfied = true;
+  /// Matrices whose payload the plan placed on the remote tier.
+  int remote_payloads = 0;
+  /// Per-snapshot recreation costs of the chosen plan, in snapshot order.
+  std::vector<double> group_recreation_costs;
+  std::vector<double> group_budgets;
+};
+
+/// A named snapshot to archive (non-owning view over its parameters).
+struct SnapshotSpec {
+  std::string name;
+  const std::vector<NamedParam>* params = nullptr;
+};
+
+/// Tier knobs for BuildMatrixStorageGraph (see ArchiveOptions).
+struct TierOptions {
+  bool enable_remote = false;
+  double storage_discount = 0.5;
+  double read_penalty = 4.0;
+};
+
+/// Constructs the matrix storage graph (Definition 1) for a set of
+/// snapshots: vertex ids are assigned 1..N in (snapshot, param) order;
+/// every matrix gets a materialization edge from v0, every candidate pair
+/// contributes delta edges for same-name same-shape parameters (shape
+/// changes fall back to adaptive deltas), and each snapshot becomes one
+/// co-usage group (budgets 0 — set them afterwards). With tiers enabled,
+/// every edge gets a remote twin. Exposed so benchmarks can solve one
+/// graph under many budget settings.
+Result<MatrixStorageGraph> BuildMatrixStorageGraph(
+    const std::vector<SnapshotSpec>& snapshots,
+    const std::vector<std::pair<int, int>>& candidate_pairs,
+    CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
+    const TierOptions& tiers = {});
+
+/// Builds a PAS archive on disk: registers snapshots (co-usage groups),
+/// delta candidates, solves Problem 1, and writes segmented + compressed
+/// chunks plus a manifest.
+///
+/// Layout under `dir`: chunks.bin (ChunkStore), manifest.bin.
+class ArchiveBuilder {
+ public:
+  ArchiveBuilder(Env* env, std::string dir);
+
+  /// Registers a snapshot (its matrices become one co-usage group).
+  /// Snapshot names must be unique; parameter names unique per snapshot.
+  Status AddSnapshot(const std::string& name,
+                     const std::vector<NamedParam>& params);
+
+  /// Marks `from` -> `to` as a delta candidate pair: every parameter
+  /// appearing in both with equal shape gets a candidate delta edge.
+  /// Typically called for adjacent checkpoints and fine-tuned pairs.
+  Status AddDeltaCandidate(const std::string& from_snapshot,
+                           const std::string& to_snapshot);
+
+  /// Solves the archival problem and writes the archive.
+  Result<ArchiveBuildReport> Build(const ArchiveOptions& options);
+
+ private:
+  struct MatrixEntry {
+    std::string snapshot;
+    std::string param;
+    FloatMatrix value;
+  };
+
+  int FindMatrix(const std::string& snapshot, const std::string& param) const;
+
+  Env* env_;
+  std::string dir_;
+  std::vector<MatrixEntry> matrices_;
+  std::vector<std::string> snapshot_names_;
+  std::vector<std::vector<int>> snapshot_members_;  // Indices into matrices_.
+  std::vector<std::pair<int, int>> candidate_pairs_;  // Snapshot index pairs.
+  bool built_ = false;
+};
+
+/// Read side of a PAS archive. Full-precision retrieval follows delta
+/// chains; partial retrieval reads only the first k byte planes of every
+/// chunk on the chain and returns sound per-weight IntervalMatrix bounds
+/// (Sec. IV-D), which feed IntervalEvaluator.
+class ArchiveReader {
+ public:
+  static Result<ArchiveReader> Open(Env* env, const std::string& dir);
+
+  const std::vector<std::string>& snapshot_names() const {
+    return snapshot_names_;
+  }
+
+  /// Parameter names of one snapshot, in archived order.
+  Result<std::vector<std::string>> ParamNames(
+      const std::string& snapshot) const;
+
+  /// Exact retrieval of one matrix (all four planes, whole delta chain).
+  Result<FloatMatrix> RetrieveMatrix(const std::string& snapshot,
+                                     const std::string& param) const;
+
+  /// Exact retrieval of all matrices of a snapshot, sharing delta-chain
+  /// work within the call (the reusable scheme's computation sharing).
+  Result<std::vector<NamedParam>> RetrieveSnapshot(
+      const std::string& snapshot) const;
+
+  /// The parallel retrieval scheme of Table III: every matrix of the
+  /// snapshot is recreated independently on `pool` (its own delta chain,
+  /// no shared intermediates). Requires a thread-safe Env.
+  Result<std::vector<NamedParam>> RetrieveSnapshotParallel(
+      const std::string& snapshot, ThreadPool* pool) const;
+
+  /// Sound bounds using only the first `planes` byte planes of every chunk
+  /// involved. planes == 4 gives exact (degenerate) bounds. Requires every
+  /// delta on the chains to be kSub or kMaterialized (XOR does not
+  /// propagate intervals).
+  Result<std::map<std::string, IntervalMatrix>> RetrieveSnapshotBounds(
+      const std::string& snapshot, int planes) const;
+
+  /// Compressed bytes fetched since the last reset (partial reads fetch
+  /// only the requested plane chunks — the Fig 6(d) x-axis).
+  uint64_t bytes_read() const {
+    uint64_t total = chunks_->bytes_read();
+    if (remote_chunks_ != nullptr) total += remote_chunks_->bytes_read();
+    return total;
+  }
+  void ResetByteCounter() {
+    chunks_->ResetByteCounter();
+    if (remote_chunks_ != nullptr) remote_chunks_->ResetByteCounter();
+  }
+
+  /// Enables the chunk cache so progressive escalation from k to k+1
+  /// planes fetches only the new plane chunks.
+  void EnableChunkCache(bool enable) {
+    chunks_->EnableCache(enable);
+    if (remote_chunks_ != nullptr) remote_chunks_->EnableCache(enable);
+  }
+
+  /// Total compressed payload bytes of all chunks (archive size).
+  uint64_t TotalStoredBytes() const;
+
+ private:
+  struct VertexMeta {
+    std::string snapshot;
+    std::string param;
+    int64_t rows = 0;
+    int64_t cols = 0;
+    DeltaKind delta_kind = DeltaKind::kMaterialized;
+    int parent = 0;  ///< Vertex id of the delta base; 0 = materialized.
+    int tier = 0;    ///< 0 = local chunk store, 1 = remote.
+    uint32_t chunk_ids[kNumPlanes] = {0, 0, 0, 0};
+  };
+
+  Result<FloatMatrix> ResolveExact(int vertex,
+                                   std::map<int, FloatMatrix>* memo) const;
+  Result<IntervalMatrix> ResolveBounds(
+      int vertex, int planes, std::map<int, IntervalMatrix>* memo) const;
+  Result<FloatMatrix> ReadPayload(const VertexMeta& meta) const;
+
+  std::vector<VertexMeta> vertices_;  // Index 0 unused (v0).
+  std::vector<std::string> snapshot_names_;
+  std::vector<std::vector<int>> snapshot_members_;  // Vertex ids.
+  std::shared_ptr<ChunkStoreReader> chunks_;
+  std::shared_ptr<ChunkStoreReader> remote_chunks_;  ///< Null if unused.
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_ARCHIVE_H_

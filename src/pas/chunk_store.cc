@@ -1,0 +1,142 @@
+#include "pas/chunk_store.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+constexpr char kHeaderMagic[] = "MHCS1\n";
+constexpr size_t kHeaderSize = 6;
+constexpr char kTailMagic[] = "MHCSEND1";
+constexpr size_t kTailSize = 8;
+}  // namespace
+
+ChunkStoreWriter::ChunkStoreWriter(Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {
+  data_.append(kHeaderMagic, kHeaderSize);
+}
+
+Result<uint32_t> ChunkStoreWriter::Put(Slice raw, CodecType codec) {
+  if (finished_) {
+    return Status::FailedPrecondition("Put after Finish");
+  }
+  std::string compressed;
+  MH_RETURN_IF_ERROR(Codec::Get(codec)->Compress(raw, &compressed));
+  ChunkRef ref;
+  ref.offset = data_.size();
+  ref.stored_size = compressed.size();
+  ref.raw_size = raw.size();
+  ref.crc = Crc32(Slice(compressed));
+  ref.codec = codec;
+  data_.append(compressed);
+  refs_.push_back(ref);
+  return static_cast<uint32_t>(refs_.size()) - 1;
+}
+
+Status ChunkStoreWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("double Finish");
+  finished_ = true;
+  const uint64_t index_offset = data_.size();
+  for (const ChunkRef& ref : refs_) {
+    PutFixed64(&data_, ref.offset);
+    PutFixed64(&data_, ref.stored_size);
+    PutFixed64(&data_, ref.raw_size);
+    PutFixed32(&data_, ref.crc);
+    data_.push_back(static_cast<char>(ref.codec));
+  }
+  PutFixed64(&data_, index_offset);
+  PutFixed64(&data_, refs_.size());
+  data_.append(kTailMagic, kTailSize);
+  return env_->WriteFile(path_, data_);
+}
+
+Result<ChunkStoreReader> ChunkStoreReader::Open(Env* env,
+                                                const std::string& path) {
+  ChunkStoreReader reader;
+  reader.env_ = env;
+  reader.path_ = path;
+  MH_ASSIGN_OR_RETURN(const uint64_t file_size, env->FileSize(path));
+  const uint64_t tail_len = 8 + 8 + kTailSize;
+  if (file_size < kHeaderSize + tail_len) {
+    return Status::Corruption("chunk store too small: " + path);
+  }
+  MH_ASSIGN_OR_RETURN(
+      std::string tail,
+      env->ReadFileRange(path, file_size - tail_len, tail_len));
+  if (tail.size() != tail_len ||
+      tail.compare(16, kTailSize, kTailMagic) != 0) {
+    return Status::Corruption("chunk store bad tail magic: " + path);
+  }
+  Slice tail_slice(tail);
+  uint64_t index_offset = 0;
+  uint64_t chunk_count = 0;
+  MH_RETURN_IF_ERROR(GetFixed64(&tail_slice, &index_offset));
+  MH_RETURN_IF_ERROR(GetFixed64(&tail_slice, &chunk_count));
+  const uint64_t entry_size = 8 + 8 + 8 + 4 + 1;
+  const uint64_t index_size = chunk_count * entry_size;
+  if (index_offset + index_size + tail_len != file_size) {
+    return Status::Corruption("chunk store index bounds mismatch: " + path);
+  }
+  MH_ASSIGN_OR_RETURN(std::string index,
+                      env->ReadFileRange(path, index_offset, index_size));
+  if (index.size() != index_size) {
+    return Status::Corruption("chunk store short index read: " + path);
+  }
+  Slice in(index);
+  reader.refs_.reserve(static_cast<size_t>(chunk_count));
+  for (uint64_t i = 0; i < chunk_count; ++i) {
+    ChunkRef ref;
+    MH_RETURN_IF_ERROR(GetFixed64(&in, &ref.offset));
+    MH_RETURN_IF_ERROR(GetFixed64(&in, &ref.stored_size));
+    MH_RETURN_IF_ERROR(GetFixed64(&in, &ref.raw_size));
+    MH_RETURN_IF_ERROR(GetFixed32(&in, &ref.crc));
+    if (in.empty()) return Status::Corruption("chunk store truncated index");
+    ref.codec = static_cast<CodecType>(in[0]);
+    in.RemovePrefix(1);
+    if (ref.offset < kHeaderSize || ref.offset + ref.stored_size > index_offset) {
+      return Status::Corruption("chunk ref out of bounds: " + path);
+    }
+    reader.refs_.push_back(ref);
+  }
+  return reader;
+}
+
+Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
+  if (id >= refs_.size()) {
+    return Status::InvalidArgument("chunk id out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    if (cache_enabled_) {
+      auto it = cache_.find(id);
+      if (it != cache_.end()) return it->second;
+    }
+  }
+  const ChunkRef& ref = refs_[id];
+  MH_ASSIGN_OR_RETURN(
+      std::string compressed,
+      env_->ReadFileRange(path_, ref.offset, ref.stored_size));
+  if (compressed.size() != ref.stored_size) {
+    return Status::Corruption("short chunk read");
+  }
+  if (Crc32(Slice(compressed)) != ref.crc) {
+    return Status::Corruption("chunk checksum mismatch");
+  }
+  std::string raw;
+  MH_RETURN_IF_ERROR(Codec::Get(ref.codec)->Decompress(Slice(compressed), &raw));
+  if (raw.size() != ref.raw_size) {
+    return Status::Corruption("chunk raw size mismatch");
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    // A concurrent Get may have fetched the same chunk; count bytes once.
+    if (cache_enabled_ && cache_.count(id)) return cache_[id];
+    bytes_read_ += ref.stored_size;
+    if (cache_enabled_) cache_.emplace(id, raw);
+  }
+  return raw;
+}
+
+}  // namespace modelhub

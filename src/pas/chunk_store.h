@@ -1,0 +1,103 @@
+#ifndef MODELHUB_PAS_CHUNK_STORE_H_
+#define MODELHUB_PAS_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "compress/codec.h"
+
+namespace modelhub {
+
+/// Location and integrity metadata of one stored chunk.
+struct ChunkRef {
+  uint64_t offset = 0;       ///< Byte offset of the payload in the file.
+  uint64_t stored_size = 0;  ///< Compressed payload size.
+  uint64_t raw_size = 0;     ///< Decompressed size.
+  uint32_t crc = 0;          ///< CRC-32 of the compressed payload.
+  CodecType codec = CodecType::kNull;
+};
+
+/// Write-once chunk file builder. PAS archives are built in one pass and
+/// then read many times, so the store is append-only with a trailing
+/// index (the LevelDB/RocksDB table layout, reduced to whole chunks):
+///
+///   "MHCS1\n" | payload_0 | ... | payload_{n-1} | index | fixed64
+///   index_offset | fixed64 chunk_count | "MHCSEND1"
+class ChunkStoreWriter {
+ public:
+  ChunkStoreWriter(Env* env, std::string path);
+
+  /// Compresses `raw` with `codec` and schedules it; returns the chunk id.
+  Result<uint32_t> Put(Slice raw, CodecType codec);
+
+  /// Number of chunks scheduled so far.
+  uint32_t num_chunks() const { return static_cast<uint32_t>(refs_.size()); }
+
+  /// Compressed size of a scheduled chunk (for cost models).
+  uint64_t StoredSize(uint32_t id) const { return refs_[id].stored_size; }
+
+  /// Writes the file. No Put may follow.
+  Status Finish();
+
+ private:
+  Env* env_;
+  std::string path_;
+  std::string data_;
+  std::vector<ChunkRef> refs_;
+  bool finished_ = false;
+};
+
+/// Reader over a finished chunk file. Reads are ranged, so fetching only
+/// high-order plane chunks touches only their bytes (the premise of
+/// progressive queries).
+class ChunkStoreReader {
+ public:
+  static Result<ChunkStoreReader> Open(Env* env, const std::string& path);
+
+  uint32_t num_chunks() const { return static_cast<uint32_t>(refs_.size()); }
+  const ChunkRef& ref(uint32_t id) const { return refs_[id]; }
+
+  /// Fetches, verifies (CRC) and decompresses chunk `id`.
+  Result<std::string> Get(uint32_t id) const;
+
+  /// Total compressed bytes fetched by Get since construction/reset.
+  /// Cache hits do not count: once fetched, a chunk is in memory.
+  /// Get is thread-safe; counters and cache are mutex-guarded.
+  uint64_t bytes_read() const {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    return bytes_read_;
+  }
+  void ResetByteCounter() {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    bytes_read_ = 0;
+  }
+
+  /// Enables an in-memory chunk cache. Progressive query evaluation uses
+  /// this so escalating from k to k+1 planes fetches only the new plane
+  /// chunks (Sec. IV-D's "progressively uncompress" behavior).
+  void EnableCache(bool enable) {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    cache_enabled_ = enable;
+    if (!enable) cache_.clear();
+  }
+
+ private:
+  Env* env_ = nullptr;
+  std::string path_;
+  std::vector<ChunkRef> refs_;
+  // Owned via pointer so the reader stays movable.
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  mutable uint64_t bytes_read_ = 0;
+  bool cache_enabled_ = false;
+  mutable std::map<uint32_t, std::string> cache_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_CHUNK_STORE_H_

@@ -1,0 +1,116 @@
+#include "pas/delta.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace modelhub {
+
+namespace {
+
+float XorFloats(float a, float b) {
+  uint32_t ua;
+  uint32_t ub;
+  std::memcpy(&ua, &a, 4);
+  std::memcpy(&ub, &b, 4);
+  const uint32_t ux = ua ^ ub;
+  float x;
+  std::memcpy(&x, &ux, 4);
+  return x;
+}
+
+/// Shared adaptive kernel: applies `op` elementwise on the overlap of the
+/// target shape with `base`; outside the overlap the passthrough value is
+/// used (the target's own value for both compute and apply directions,
+/// since sub/xor with an implicit zero/identity base degenerate to it).
+template <typename Op>
+FloatMatrix AdaptiveCombine(const FloatMatrix& primary,
+                            const FloatMatrix& base, Op op) {
+  FloatMatrix out(primary.rows(), primary.cols());
+  const int64_t overlap_rows = std::min(primary.rows(), base.rows());
+  const int64_t overlap_cols = std::min(primary.cols(), base.cols());
+  for (int64_t r = 0; r < primary.rows(); ++r) {
+    for (int64_t c = 0; c < primary.cols(); ++c) {
+      if (r < overlap_rows && c < overlap_cols) {
+        out.At(r, c) = op(primary.At(r, c), base.At(r, c));
+      } else {
+        out.At(r, c) = primary.At(r, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsAdaptive(DeltaKind kind) {
+  return kind == DeltaKind::kAdaptiveSub || kind == DeltaKind::kAdaptiveXor;
+}
+
+DeltaKind ToAdaptive(DeltaKind kind) {
+  if (kind == DeltaKind::kSub) return DeltaKind::kAdaptiveSub;
+  if (kind == DeltaKind::kXor) return DeltaKind::kAdaptiveXor;
+  return kind;
+}
+
+std::string_view DeltaKindToString(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kMaterialized:
+      return "materialized";
+    case DeltaKind::kSub:
+      return "sub";
+    case DeltaKind::kXor:
+      return "xor";
+    case DeltaKind::kAdaptiveSub:
+      return "adaptive-sub";
+    case DeltaKind::kAdaptiveXor:
+      return "adaptive-xor";
+  }
+  return "unknown";
+}
+
+Result<DeltaKind> DeltaKindFromString(std::string_view name) {
+  for (DeltaKind kind :
+       {DeltaKind::kMaterialized, DeltaKind::kSub, DeltaKind::kXor,
+        DeltaKind::kAdaptiveSub, DeltaKind::kAdaptiveXor}) {
+    if (DeltaKindToString(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown delta kind: " + std::string(name));
+}
+
+Result<FloatMatrix> ComputeDelta(const FloatMatrix& target,
+                                 const FloatMatrix& base, DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kMaterialized:
+      return target;
+    case DeltaKind::kSub:
+      return target.Sub(base);
+    case DeltaKind::kXor:
+      return target.BitwiseXor(base);
+    case DeltaKind::kAdaptiveSub:
+      return AdaptiveCombine(target, base,
+                             [](float t, float b) { return t - b; });
+    case DeltaKind::kAdaptiveXor:
+      return AdaptiveCombine(target, base, XorFloats);
+  }
+  return Status::InvalidArgument("unknown delta kind");
+}
+
+Result<FloatMatrix> ApplyDelta(const FloatMatrix& base,
+                               const FloatMatrix& delta, DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kMaterialized:
+      return delta;
+    case DeltaKind::kSub:
+      return delta.Add(base);
+    case DeltaKind::kXor:
+      return delta.BitwiseXor(base);
+    case DeltaKind::kAdaptiveSub:
+      return AdaptiveCombine(delta, base,
+                             [](float d, float b) { return d + b; });
+    case DeltaKind::kAdaptiveXor:
+      return AdaptiveCombine(delta, base, XorFloats);
+  }
+  return Status::InvalidArgument("unknown delta kind");
+}
+
+}  // namespace modelhub

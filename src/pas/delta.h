@@ -1,0 +1,51 @@
+#ifndef MODELHUB_PAS_DELTA_H_
+#define MODELHUB_PAS_DELTA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "tensor/float_matrix.h"
+
+namespace modelhub {
+
+/// Delta operators between parameter matrices (Sec. IV-B). Materialized
+/// means "no base": the matrix is stored in its entirety. The adaptive
+/// variants difference matrices of *different* shapes (the paper's
+/// footnote 3, deferred to its long version): the overlapping top-left
+/// region is differenced against the base, cells outside the overlap
+/// carry the target's values verbatim. Fine-tuned models that re-target
+/// their final layer produce exactly such pairs.
+enum class DeltaKind : uint8_t {
+  kMaterialized = 0,
+  kSub = 1,  ///< Arithmetic subtraction: delta = target - base.
+  kXor = 2,  ///< Bitwise XOR of IEEE-754 representations (bit-exact).
+  kAdaptiveSub = 3,  ///< kSub on the overlap, target verbatim elsewhere.
+  kAdaptiveXor = 4,  ///< kXor on the overlap, target verbatim elsewhere.
+};
+
+/// True for the shape-tolerant variants.
+bool IsAdaptive(DeltaKind kind);
+
+/// Maps kSub -> kAdaptiveSub, kXor -> kAdaptiveXor (identity otherwise).
+DeltaKind ToAdaptive(DeltaKind kind);
+
+std::string_view DeltaKindToString(DeltaKind kind);
+Result<DeltaKind> DeltaKindFromString(std::string_view name);
+
+/// delta such that ApplyDelta(base, delta) == target (exactly for kXor /
+/// kAdaptiveXor, up to float rounding for the subtractive kinds).
+/// kMaterialized returns `target` itself and ignores `base`. The exact
+/// kinds require matching shapes; the adaptive kinds accept any base
+/// shape, and the delta always has the target's shape.
+Result<FloatMatrix> ComputeDelta(const FloatMatrix& target,
+                                 const FloatMatrix& base, DeltaKind kind);
+
+/// Inverse of ComputeDelta. For adaptive kinds the target shape is the
+/// delta's shape.
+Result<FloatMatrix> ApplyDelta(const FloatMatrix& base,
+                               const FloatMatrix& delta, DeltaKind kind);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_DELTA_H_

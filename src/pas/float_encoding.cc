@@ -1,0 +1,328 @@
+#include "pas/float_encoding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+#include "compress/bit_stream.h"
+
+namespace modelhub {
+
+namespace {
+
+uint32_t FloatBits(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, 4);
+  return u;
+}
+
+float BitsToFloat(uint32_t u) {
+  float v;
+  std::memcpy(&v, &u, 4);
+  return v;
+}
+
+constexpr int kMinPackBits = 2;
+constexpr int kMaxPackBits = 24;
+
+}  // namespace
+
+std::string FloatScheme::ToString() const {
+  switch (kind) {
+    case FloatSchemeKind::kFloat32:
+      return "float32";
+    case FloatSchemeKind::kFloat16:
+      return "float16";
+    case FloatSchemeKind::kBFloat16:
+      return "bfloat16";
+    case FloatSchemeKind::kFixedPoint:
+      return "fixed" + std::to_string(bits);
+    case FloatSchemeKind::kQuantUniform:
+      return "quant-uniform" + std::to_string(bits);
+    case FloatSchemeKind::kQuantRandom:
+      return "quant-random" + std::to_string(bits);
+  }
+  return "unknown";
+}
+
+int FloatScheme::BitsPerValue() const {
+  switch (kind) {
+    case FloatSchemeKind::kFloat32:
+      return 32;
+    case FloatSchemeKind::kFloat16:
+    case FloatSchemeKind::kBFloat16:
+      return 16;
+    default:
+      return bits;
+  }
+}
+
+uint16_t FloatToHalf(float value) {
+  const uint32_t u = FloatBits(value);
+  const uint32_t sign = (u >> 16) & 0x8000u;
+  const int32_t exponent = static_cast<int32_t>((u >> 23) & 0xFF) - 127 + 15;
+  uint32_t mantissa = u & 0x7FFFFFu;
+  if (((u >> 23) & 0xFF) == 0xFF) {
+    // Inf / NaN.
+    return static_cast<uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0));
+  }
+  if (exponent >= 0x1F) {
+    return static_cast<uint16_t>(sign | 0x7C00u);  // Overflow to inf.
+  }
+  if (exponent <= 0) {
+    // Subnormal or underflow to zero.
+    if (exponent < -10) return static_cast<uint16_t>(sign);
+    mantissa |= 0x800000u;
+    const int shift = 14 - exponent;
+    uint32_t half_mant = mantissa >> shift;
+    // Round to nearest.
+    if ((mantissa >> (shift - 1)) & 1u) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
+                  (mantissa >> 13);
+  // Round to nearest even on the dropped 13 bits.
+  const uint32_t round_bits = mantissa & 0x1FFFu;
+  if (round_bits > 0x1000u || (round_bits == 0x1000u && (half & 1u))) {
+    ++half;  // May carry into the exponent, which correctly rounds up.
+  }
+  return static_cast<uint16_t>(half);
+}
+
+float HalfToFloat(uint16_t half) {
+  const uint32_t sign = (static_cast<uint32_t>(half) & 0x8000u) << 16;
+  const uint32_t exponent = (half >> 10) & 0x1Fu;
+  const uint32_t mantissa = half & 0x3FFu;
+  if (exponent == 0) {
+    if (mantissa == 0) return BitsToFloat(sign);
+    // Subnormal half: normalize.
+    float v = static_cast<float>(mantissa) * std::pow(2.0f, -24.0f);
+    return sign ? -v : v;
+  }
+  if (exponent == 0x1F) {
+    return BitsToFloat(sign | 0x7F800000u | (mantissa << 13));
+  }
+  return BitsToFloat(sign | ((exponent - 15 + 127) << 23) | (mantissa << 13));
+}
+
+uint16_t FloatToBfloat16(float value) {
+  uint32_t u = FloatBits(value);
+  if (((u >> 23) & 0xFF) == 0xFF) {
+    // Preserve inf/NaN without rounding carries.
+    return static_cast<uint16_t>((u >> 16) | ((u & 0xFFFFu) ? 1 : 0));
+  }
+  u += 0x7FFFu + ((u >> 16) & 1u);  // Round to nearest even.
+  return static_cast<uint16_t>(u >> 16);
+}
+
+float Bfloat16ToFloat(uint16_t bits) {
+  return BitsToFloat(static_cast<uint32_t>(bits) << 16);
+}
+
+FloatMatrix AddConstant(const FloatMatrix& matrix, float constant) {
+  FloatMatrix out = matrix;
+  for (auto& v : out.data()) v += constant;
+  return out;
+}
+
+namespace {
+
+Result<EncodedMatrix> EncodeFixedPoint(const FloatMatrix& matrix, int bits) {
+  if (bits < kMinPackBits || bits > kMaxPackBits) {
+    return Status::InvalidArgument("fixed point bits must be in [2,24]");
+  }
+  EncodedMatrix out;
+  out.scheme = {FloatSchemeKind::kFixedPoint, bits};
+  out.rows = matrix.rows();
+  out.cols = matrix.cols();
+  float max_abs = 0.0f;
+  for (float v : matrix.data()) max_abs = std::max(max_abs, std::fabs(v));
+  const int64_t max_mantissa = (int64_t{1} << (bits - 1)) - 1;
+  // Choose exponent so max_abs maps near max_mantissa.
+  int32_t exponent = 0;
+  if (max_abs > 0.0f) {
+    exponent = static_cast<int32_t>(std::ceil(
+        std::log2(max_abs / static_cast<double>(max_mantissa))));
+  }
+  out.exponent = exponent;
+  const double scale = std::pow(2.0, -exponent);
+  BitWriter writer(&out.payload);
+  for (float v : matrix.data()) {
+    int64_t mantissa = static_cast<int64_t>(std::llround(v * scale));
+    mantissa = std::clamp(mantissa, -max_mantissa, max_mantissa);
+    // Offset encoding keeps the packed value non-negative.
+    writer.Write(static_cast<uint32_t>(mantissa + max_mantissa), bits);
+  }
+  writer.Finish();
+  return out;
+}
+
+Result<FloatMatrix> DecodeFixedPoint(const EncodedMatrix& encoded) {
+  const int bits = encoded.scheme.bits;
+  const int64_t max_mantissa = (int64_t{1} << (bits - 1)) - 1;
+  const double scale = std::pow(2.0, encoded.exponent);
+  FloatMatrix out(encoded.rows, encoded.cols);
+  BitReader reader(Slice(encoded.payload));
+  for (int64_t i = 0; i < out.size(); ++i) {
+    int64_t raw = 0;
+    for (int b = 0; b < bits; ++b) {
+      const int bit = reader.ReadBit();
+      if (bit < 0) return Status::Corruption("fixed point: short payload");
+      raw = (raw << 1) | bit;
+    }
+    out.data()[static_cast<size_t>(i)] =
+        static_cast<float>((raw - max_mantissa) * scale);
+  }
+  return out;
+}
+
+Result<EncodedMatrix> EncodeQuantized(const FloatMatrix& matrix, int bits,
+                                      bool random, Rng* rng) {
+  if (bits < 1 || bits > 8) {
+    return Status::InvalidArgument("quantization bits must be in [1,8]");
+  }
+  if (matrix.empty()) {
+    return Status::InvalidArgument("cannot quantize an empty matrix");
+  }
+  if (random && rng == nullptr) {
+    return Status::InvalidArgument("random quantization requires an Rng");
+  }
+  EncodedMatrix out;
+  out.scheme = {random ? FloatSchemeKind::kQuantRandom
+                       : FloatSchemeKind::kQuantUniform,
+                bits};
+  out.rows = matrix.rows();
+  out.cols = matrix.cols();
+  const int64_t levels = int64_t{1} << bits;
+  const float lo = matrix.Min();
+  const float hi = matrix.Max();
+  out.codebook.resize(static_cast<size_t>(levels));
+  if (random) {
+    // Random codebook: sample levels distinct-ish values from the data.
+    for (auto& c : out.codebook) {
+      c = matrix.data()[rng->Uniform(matrix.data().size())];
+    }
+    std::sort(out.codebook.begin(), out.codebook.end());
+  } else {
+    // Uniform: bin midpoints over [lo, hi].
+    const double width =
+        (static_cast<double>(hi) - lo) / static_cast<double>(levels);
+    for (int64_t i = 0; i < levels; ++i) {
+      out.codebook[static_cast<size_t>(i)] =
+          static_cast<float>(lo + width * (i + 0.5));
+    }
+  }
+  BitWriter writer(&out.payload);
+  for (float v : matrix.data()) {
+    // Nearest codebook entry (codebook is sorted).
+    const auto it =
+        std::lower_bound(out.codebook.begin(), out.codebook.end(), v);
+    int64_t idx = it - out.codebook.begin();
+    if (idx == levels) {
+      idx = levels - 1;
+    } else if (idx > 0 &&
+               std::fabs(out.codebook[static_cast<size_t>(idx - 1)] - v) <=
+                   std::fabs(out.codebook[static_cast<size_t>(idx)] - v)) {
+      --idx;
+    }
+    writer.Write(static_cast<uint32_t>(idx), bits);
+  }
+  writer.Finish();
+  return out;
+}
+
+Result<FloatMatrix> DecodeQuantized(const EncodedMatrix& encoded) {
+  const int bits = encoded.scheme.bits;
+  const size_t levels = size_t{1} << bits;
+  if (encoded.codebook.size() != levels) {
+    return Status::Corruption("quantized matrix has wrong codebook size");
+  }
+  FloatMatrix out(encoded.rows, encoded.cols);
+  BitReader reader(Slice(encoded.payload));
+  for (int64_t i = 0; i < out.size(); ++i) {
+    uint32_t code = 0;
+    for (int b = 0; b < bits; ++b) {
+      const int bit = reader.ReadBit();
+      if (bit < 0) return Status::Corruption("quantized: short payload");
+      code = (code << 1) | static_cast<uint32_t>(bit);
+    }
+    out.data()[static_cast<size_t>(i)] = encoded.codebook[code];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<EncodedMatrix> EncodeMatrix(const FloatMatrix& matrix,
+                                   const FloatScheme& scheme, Rng* rng) {
+  switch (scheme.kind) {
+    case FloatSchemeKind::kFloat32: {
+      EncodedMatrix out;
+      out.scheme = {FloatSchemeKind::kFloat32, 32};
+      out.rows = matrix.rows();
+      out.cols = matrix.cols();
+      out.payload = matrix.ToBytes();
+      return out;
+    }
+    case FloatSchemeKind::kFloat16:
+    case FloatSchemeKind::kBFloat16: {
+      EncodedMatrix out;
+      out.scheme = {scheme.kind, 16};
+      out.rows = matrix.rows();
+      out.cols = matrix.cols();
+      out.payload.reserve(static_cast<size_t>(matrix.size()) * 2);
+      for (float v : matrix.data()) {
+        const uint16_t h = scheme.kind == FloatSchemeKind::kFloat16
+                               ? FloatToHalf(v)
+                               : FloatToBfloat16(v);
+        out.payload.push_back(static_cast<char>(h & 0xFF));
+        out.payload.push_back(static_cast<char>(h >> 8));
+      }
+      return out;
+    }
+    case FloatSchemeKind::kFixedPoint:
+      return EncodeFixedPoint(matrix, scheme.bits);
+    case FloatSchemeKind::kQuantUniform:
+      return EncodeQuantized(matrix, scheme.bits, /*random=*/false, rng);
+    case FloatSchemeKind::kQuantRandom:
+      return EncodeQuantized(matrix, scheme.bits, /*random=*/true, rng);
+  }
+  return Status::InvalidArgument("unknown float scheme");
+}
+
+Result<FloatMatrix> DecodeMatrix(const EncodedMatrix& encoded) {
+  switch (encoded.scheme.kind) {
+    case FloatSchemeKind::kFloat32:
+      return FloatMatrix::FromBytes(encoded.rows, encoded.cols,
+                                    Slice(encoded.payload));
+    case FloatSchemeKind::kFloat16:
+    case FloatSchemeKind::kBFloat16: {
+      const size_t expected = static_cast<size_t>(encoded.rows) *
+                              static_cast<size_t>(encoded.cols) * 2;
+      if (encoded.payload.size() != expected) {
+        return Status::Corruption("16-bit float payload size mismatch");
+      }
+      FloatMatrix out(encoded.rows, encoded.cols);
+      for (int64_t i = 0; i < out.size(); ++i) {
+        const uint16_t h = static_cast<uint8_t>(encoded.payload[2 * i]) |
+                           (static_cast<uint16_t>(static_cast<uint8_t>(
+                                encoded.payload[2 * i + 1]))
+                            << 8);
+        out.data()[static_cast<size_t>(i)] =
+            encoded.scheme.kind == FloatSchemeKind::kFloat16
+                ? HalfToFloat(h)
+                : Bfloat16ToFloat(h);
+      }
+      return out;
+    }
+    case FloatSchemeKind::kFixedPoint:
+      return DecodeFixedPoint(encoded);
+    case FloatSchemeKind::kQuantUniform:
+    case FloatSchemeKind::kQuantRandom:
+      return DecodeQuantized(encoded);
+  }
+  return Status::InvalidArgument("unknown float scheme");
+}
+
+}  // namespace modelhub

@@ -1,0 +1,79 @@
+#ifndef MODELHUB_PAS_FLOAT_ENCODING_H_
+#define MODELHUB_PAS_FLOAT_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "tensor/float_matrix.h"
+
+namespace modelhub {
+
+/// The float representation schemes PAS offers (Sec. IV-B, "Float Data
+/// Type Schemes"): lossless float32, two 16-bit float formats, fixed-point
+/// with a per-matrix exponent, and k-bit quantization with a coding table.
+/// Users trade storage for lossyness per snapshot instead of deleting
+/// snapshots.
+enum class FloatSchemeKind : uint8_t {
+  kFloat32 = 0,       ///< IEEE 754 single precision (lossless).
+  kFloat16 = 1,       ///< IEEE 754 half precision.
+  kBFloat16 = 2,      ///< Truncated 16-bit float (tensorflow-style).
+  kFixedPoint = 3,    ///< Global exponent; k-bit sign+mantissa per value.
+  kQuantUniform = 4,  ///< k-bit codes, equal-width bins over [min, max].
+  kQuantRandom = 5,   ///< k-bit codes, random codebook sampled from data.
+};
+
+/// A scheme instance: the kind plus the bit width (meaningful for fixed
+/// point and quantization; float kinds carry their natural widths).
+struct FloatScheme {
+  FloatSchemeKind kind = FloatSchemeKind::kFloat32;
+  int bits = 32;
+
+  std::string ToString() const;
+  /// Bits consumed per value under this scheme (excluding tables).
+  int BitsPerValue() const;
+};
+
+/// A matrix encoded under some scheme: shape, scheme, the packed payload,
+/// and any side table (codebook for quantization, exponent for fixed
+/// point). The payload is what PAS segments / compresses / archives.
+struct EncodedMatrix {
+  FloatScheme scheme;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::string payload;
+  /// Quantization codebook (2^bits floats), empty otherwise.
+  std::vector<float> codebook;
+  /// Fixed point: power-of-two scale exponent such that
+  /// value ~= mantissa * 2^exponent.
+  int32_t exponent = 0;
+
+  int64_t PayloadBytes() const { return static_cast<int64_t>(payload.size()); }
+};
+
+/// Encodes a matrix. `rng` is required for kQuantRandom, ignored otherwise.
+Result<EncodedMatrix> EncodeMatrix(const FloatMatrix& matrix,
+                                   const FloatScheme& scheme,
+                                   Rng* rng = nullptr);
+
+/// Decodes back to float32 (identical bits only for kFloat32).
+Result<FloatMatrix> DecodeMatrix(const EncodedMatrix& encoded);
+
+/// IEEE 754 binary16 conversions (round-to-nearest-even on encode).
+uint16_t FloatToHalf(float value);
+float HalfToFloat(uint16_t half);
+
+/// bfloat16: the high 16 bits of the float32 representation
+/// (round-to-nearest on encode).
+uint16_t FloatToBfloat16(float value);
+float Bfloat16ToFloat(uint16_t bits);
+
+/// Adds `constant` to every element — the paper's "normalization" pre-pass
+/// (Table IV) that aligns radixes and signs before delta encoding.
+FloatMatrix AddConstant(const FloatMatrix& matrix, float constant);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_FLOAT_ENCODING_H_

@@ -1,0 +1,99 @@
+#include "pas/progressive.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "nn/interval_eval.h"
+#include "nn/network.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Copies the samples at `indices` out of `input`.
+Tensor GatherSamples(const Tensor& input, const std::vector<int64_t>& indices) {
+  Tensor out(static_cast<int64_t>(indices.size()), input.c(), input.h(),
+             input.w());
+  const int64_t ss = input.SampleSize();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    std::copy(input.data().begin() + indices[i] * ss,
+              input.data().begin() + (indices[i] + 1) * ss,
+              out.data().begin() + static_cast<int64_t>(i) * ss);
+  }
+  return out;
+}
+
+int ArgmaxLowerBound(const std::vector<Interval>& outputs) {
+  int best = 0;
+  for (size_t j = 1; j < outputs.size(); ++j) {
+    if (outputs[j].lo > outputs[static_cast<size_t>(best)].lo) {
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ProgressiveResult> ProgressiveQueryEvaluator::Evaluate(
+    const std::string& snapshot, const Tensor& input,
+    const ProgressiveOptions& options) const {
+  if (options.top_k < 1) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  if (options.initial_planes < 1 || options.initial_planes > kNumPlanes) {
+    return Status::InvalidArgument("initial_planes must be in [1,4]");
+  }
+  MH_ASSIGN_OR_RETURN(Network net, Network::Create(def_));
+  IntervalEvaluator evaluator(&net);
+
+  const int64_t batch = input.n();
+  ProgressiveResult result;
+  result.labels.assign(static_cast<size_t>(batch), -1);
+  result.planes_needed.assign(static_cast<size_t>(batch), kNumPlanes);
+
+  reader_->ResetByteCounter();
+  std::vector<int64_t> pending(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) pending[static_cast<size_t>(i)] = i;
+
+  for (int planes = options.initial_planes;
+       planes <= kNumPlanes && !pending.empty(); ++planes) {
+    MH_ASSIGN_OR_RETURN(auto bounds,
+                        reader_->RetrieveSnapshotBounds(snapshot, planes));
+    const Tensor subset = GatherSamples(input, pending);
+    MH_ASSIGN_OR_RETURN(auto intervals, evaluator.Forward(subset, bounds));
+
+    std::vector<int64_t> still_pending;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const auto& outputs = intervals[i];
+      const bool determined =
+          planes == kNumPlanes ||
+          (options.top_k == 1
+               ? IntervalEvaluator::DeterminedTopLabel(outputs) >= 0
+               : IntervalEvaluator::TopKDetermined(outputs, options.top_k));
+      if (determined) {
+        result.labels[static_cast<size_t>(pending[i])] =
+            ArgmaxLowerBound(outputs);
+        result.planes_needed[static_cast<size_t>(pending[i])] = planes;
+        result.resolved_at[static_cast<size_t>(planes)]++;
+      } else {
+        still_pending.push_back(pending[i]);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  result.bytes_read = reader_->bytes_read();
+
+  // Exact-retrieval baseline for the same snapshot: all four plane chunks
+  // of every matrix on the delta chains (cache cleared first).
+  reader_->EnableChunkCache(false);
+  reader_->EnableChunkCache(true);
+  reader_->ResetByteCounter();
+  MH_RETURN_IF_ERROR(
+      reader_->RetrieveSnapshotBounds(snapshot, kNumPlanes).status());
+  result.full_bytes = reader_->bytes_read();
+  reader_->ResetByteCounter();
+  return result;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,66 @@
+#ifndef MODELHUB_PAS_PROGRESSIVE_H_
+#define MODELHUB_PAS_PROGRESSIVE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/network_def.h"
+#include "pas/archive.h"
+#include "pas/segment.h"
+#include "tensor/tensor.h"
+
+namespace modelhub {
+
+/// Progressive evaluation knobs.
+struct ProgressiveOptions {
+  /// A sample is resolved once its top-k classes are determined (Lemma 4 /
+  /// its top-k generalization). The paper evaluates k = 1 and k = 5.
+  int top_k = 1;
+  /// How many high-order byte planes the first round retrieves.
+  int initial_planes = 1;
+};
+
+/// Outcome of one progressive batch evaluation.
+struct ProgressiveResult {
+  /// Predicted label per sample (argmax; exact once resolved).
+  std::vector<int> labels;
+  /// Byte planes that were needed to resolve each sample.
+  std::vector<int> planes_needed;
+  /// Histogram: resolved_at[p] = samples resolved with exactly p planes
+  /// (index 1..4).
+  std::array<int, kNumPlanes + 1> resolved_at = {0, 0, 0, 0, 0};
+  /// Compressed bytes fetched across all escalation rounds (incremental:
+  /// already-fetched planes are cached).
+  uint64_t bytes_read = 0;
+  /// Compressed bytes a non-progressive exact retrieval would fetch.
+  uint64_t full_bytes = 0;
+};
+
+/// The dlv-eval query engine over a PAS archive (Sec. IV-D): evaluates a
+/// snapshot on a batch using high-order weight bytes only, escalating to
+/// less-significant planes solely for samples whose prediction is not yet
+/// determined. Guarantees the returned labels equal full-precision
+/// evaluation labels.
+class ProgressiveQueryEvaluator {
+ public:
+  /// `reader` must outlive the evaluator; the chunk cache is enabled on it.
+  ProgressiveQueryEvaluator(ArchiveReader* reader, NetworkDef def)
+      : reader_(reader), def_(std::move(def)) {
+    reader_->EnableChunkCache(true);
+  }
+
+  /// Evaluates `snapshot` on `input` progressively.
+  Result<ProgressiveResult> Evaluate(const std::string& snapshot,
+                                     const Tensor& input,
+                                     const ProgressiveOptions& options) const;
+
+ private:
+  ArchiveReader* reader_;
+  NetworkDef def_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_PROGRESSIVE_H_

@@ -1,0 +1,114 @@
+#include "pas/segment.h"
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+
+uint32_t FloatBits(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, 4);
+  return u;
+}
+
+float BitsToFloat(uint32_t u) {
+  float v;
+  std::memcpy(&v, &u, 4);
+  return v;
+}
+
+/// Replaces inf/NaN (which can only arise from synthetic bit fills) with
+/// the largest finite magnitude of the same sign.
+float ClampFinite(float v) {
+  if (std::isfinite(v)) return v;
+  return std::signbit(v) ? -FLT_MAX : FLT_MAX;
+}
+
+Status ValidatePlanes(int64_t rows, int64_t cols,
+                      const std::vector<Slice>& planes) {
+  if (planes.empty() || planes.size() > kNumPlanes) {
+    return Status::InvalidArgument("plane count must be in [1,4]");
+  }
+  const size_t expected = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  for (const Slice& plane : planes) {
+    if (plane.size() != expected) {
+      return Status::InvalidArgument("plane size does not match shape");
+    }
+  }
+  return Status::OK();
+}
+
+/// Reconstructs element i's bits from available planes, filling missing
+/// low-order bytes with `fill`.
+uint32_t AssembleBits(const std::vector<Slice>& planes, size_t i,
+                      uint8_t fill) {
+  uint32_t u = 0;
+  for (int p = 0; p < kNumPlanes; ++p) {
+    const uint32_t byte =
+        p < static_cast<int>(planes.size()) ? planes[p][i] : fill;
+    u |= byte << (8 * (kNumPlanes - 1 - p));
+  }
+  return u;
+}
+
+}  // namespace
+
+std::array<std::string, kNumPlanes> SegmentFloats(const FloatMatrix& matrix) {
+  std::array<std::string, kNumPlanes> planes;
+  const size_t n = matrix.data().size();
+  for (auto& plane : planes) plane.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t u = FloatBits(matrix.data()[i]);
+    planes[0][i] = static_cast<char>((u >> 24) & 0xFF);
+    planes[1][i] = static_cast<char>((u >> 16) & 0xFF);
+    planes[2][i] = static_cast<char>((u >> 8) & 0xFF);
+    planes[3][i] = static_cast<char>(u & 0xFF);
+  }
+  return planes;
+}
+
+Result<FloatMatrix> AssembleFloats(int64_t rows, int64_t cols,
+                                   const std::vector<Slice>& planes) {
+  MH_RETURN_IF_ERROR(ValidatePlanes(rows, cols, planes));
+  FloatMatrix out(rows, cols);
+  for (size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = BitsToFloat(AssembleBits(planes, i, 0x00));
+  }
+  return out;
+}
+
+Result<IntervalMatrix> BoundsFromPlanes(int64_t rows, int64_t cols,
+                                        const std::vector<Slice>& planes) {
+  MH_RETURN_IF_ERROR(ValidatePlanes(rows, cols, planes));
+  FloatMatrix lo(rows, cols);
+  FloatMatrix hi(rows, cols);
+  const bool complete = planes.size() == kNumPlanes;
+  for (size_t i = 0; i < lo.data().size(); ++i) {
+    const float zero_fill =
+        ClampFinite(BitsToFloat(AssembleBits(planes, i, 0x00)));
+    if (complete) {
+      lo.data()[i] = zero_fill;
+      hi.data()[i] = zero_fill;
+      continue;
+    }
+    const float ones_fill =
+        ClampFinite(BitsToFloat(AssembleBits(planes, i, 0xFF)));
+    // For positive floats larger mantissa bits mean a larger value; for
+    // negative floats (sign bit set in plane 0) the order flips.
+    if (zero_fill <= ones_fill) {
+      lo.data()[i] = zero_fill;
+      hi.data()[i] = ones_fill;
+    } else {
+      lo.data()[i] = ones_fill;
+      hi.data()[i] = zero_fill;
+    }
+  }
+  return IntervalMatrix::FromBounds(std::move(lo), std::move(hi));
+}
+
+}  // namespace modelhub

@@ -1,0 +1,41 @@
+#ifndef MODELHUB_PAS_SEGMENT_H_
+#define MODELHUB_PAS_SEGMENT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "tensor/float_matrix.h"
+#include "tensor/interval.h"
+
+namespace modelhub {
+
+/// Number of byte planes a float32 matrix decomposes into.
+inline constexpr int kNumPlanes = 4;
+
+/// Bytewise segmentation (Sec. IV-B): plane 0 holds each float's most
+/// significant byte (sign + exponent + top mantissa bit), planes 1..3 the
+/// successively less significant mantissa bytes. Plane 0 has low entropy
+/// and compresses well; low planes are near-random. Storing planes
+/// separately lets queries read only high-order bytes.
+std::array<std::string, kNumPlanes> SegmentFloats(const FloatMatrix& matrix);
+
+/// Reassembles a matrix from the first `planes.size()` high-order planes;
+/// missing low-order bytes are zero-filled (the midpoint-free lower bound
+/// of the representable range). All supplied planes must have rows*cols
+/// bytes. planes.size() must be in [1, 4].
+Result<FloatMatrix> AssembleFloats(int64_t rows, int64_t cols,
+                                   const std::vector<Slice>& planes);
+
+/// Sound per-element bounds on the true float values given only the first
+/// `planes.size()` high-order planes: the unknown low bytes range over
+/// 0x00..0xFF. Handles negative values (where larger magnitude means a
+/// smaller value) and clamps non-finite fills to +-FLT_MAX.
+Result<IntervalMatrix> BoundsFromPlanes(int64_t rows, int64_t cols,
+                                        const std::vector<Slice>& planes);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_SEGMENT_H_

@@ -1,0 +1,384 @@
+#include "pas/solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Prim / Dijkstra unified: grows a tree from v0 minimizing either the
+/// connecting edge weight (MST) or the root path length (SPT).
+Result<StoragePlan> GrowTree(const MatrixStorageGraph& graph, bool shortest_path) {
+  if (!graph.IsConnected()) {
+    return Status::InvalidArgument("storage graph is not connected");
+  }
+  const int n = graph.num_vertices();
+  std::vector<double> key(static_cast<size_t>(n), kInf);
+  std::vector<int> parent_edge(static_cast<size_t>(n), -1);
+  std::vector<bool> done(static_cast<size_t>(n), false);
+  key[0] = 0.0;
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.push({0.0, 0});
+  while (!heap.empty()) {
+    const auto [k, v] = heap.top();
+    heap.pop();
+    if (done[static_cast<size_t>(v)]) continue;
+    done[static_cast<size_t>(v)] = true;
+    for (int eid : graph.IncidentEdges(v)) {
+      const StorageEdge& e = graph.edge(eid);
+      const int other = e.u == v ? e.v : e.u;
+      if (done[static_cast<size_t>(other)]) continue;
+      const double weight = shortest_path
+                                ? key[static_cast<size_t>(v)] + e.recreation_cost
+                                : e.storage_cost;
+      if (weight < key[static_cast<size_t>(other)]) {
+        key[static_cast<size_t>(other)] = weight;
+        parent_edge[static_cast<size_t>(other)] = eid;
+        heap.push({weight, other});
+      }
+    }
+  }
+  return StoragePlan::FromParentEdges(&graph, std::move(parent_edge));
+}
+
+/// Euler-tour intervals for O(1) is-descendant checks on the current tree.
+struct TourIndex {
+  std::vector<int> tin;
+  std::vector<int> tout;
+
+  explicit TourIndex(const StoragePlan& plan) {
+    const int n = plan.graph().num_vertices();
+    tin.assign(static_cast<size_t>(n), 0);
+    tout.assign(static_cast<size_t>(n), 0);
+    std::vector<std::vector<int>> children(static_cast<size_t>(n));
+    for (int v = 1; v < n; ++v) {
+      children[static_cast<size_t>(plan.Parent(v))].push_back(v);
+    }
+    int clock = 0;
+    // Iterative DFS with explicit post-visit records.
+    std::vector<std::pair<int, bool>> stack = {{0, false}};
+    while (!stack.empty()) {
+      auto [v, post] = stack.back();
+      stack.pop_back();
+      if (post) {
+        tout[static_cast<size_t>(v)] = clock++;
+        continue;
+      }
+      tin[static_cast<size_t>(v)] = clock++;
+      stack.push_back({v, true});
+      for (int c : children[static_cast<size_t>(v)]) {
+        stack.push_back({c, false});
+      }
+    }
+  }
+
+  bool IsDescendant(int candidate, int ancestor) const {
+    return tin[static_cast<size_t>(candidate)] >=
+               tin[static_cast<size_t>(ancestor)] &&
+           tout[static_cast<size_t>(candidate)] <=
+               tout[static_cast<size_t>(ancestor)];
+  }
+};
+
+}  // namespace
+
+Result<StoragePlan> SolveMst(const MatrixStorageGraph& graph) {
+  return GrowTree(graph, /*shortest_path=*/false);
+}
+
+Result<StoragePlan> SolveSpt(const MatrixStorageGraph& graph) {
+  return GrowTree(graph, /*shortest_path=*/true);
+}
+
+Result<StoragePlan> SolveLast(const MatrixStorageGraph& graph, double alpha) {
+  if (alpha < 1.0) {
+    return Status::InvalidArgument("LAST requires alpha >= 1");
+  }
+  MH_ASSIGN_OR_RETURN(StoragePlan mst, SolveMst(graph));
+  MH_ASSIGN_OR_RETURN(StoragePlan spt, SolveSpt(graph));
+  const int n = graph.num_vertices();
+
+  // DFS over the MST; dist[] tracks root-path recreation cost in the tree
+  // under construction (MST edges with some parents relaxed to SPT edges).
+  std::vector<int> parent_edge(static_cast<size_t>(n), -1);
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int v = 1; v < n; ++v) {
+    parent_edge[static_cast<size_t>(v)] = mst.ParentEdge(v);
+    children[static_cast<size_t>(mst.Parent(v))].push_back(v);
+  }
+  std::vector<double> dist(static_cast<size_t>(n), 0.0);
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (v != 0) {
+      const int eid = parent_edge[static_cast<size_t>(v)];
+      const StorageEdge& e = graph.edge(eid);
+      const int p = e.u == v ? e.v : e.u;
+      dist[static_cast<size_t>(v)] =
+          dist[static_cast<size_t>(p)] + e.recreation_cost;
+      const double d_min = spt.PathRecreationCost(v);
+      if (dist[static_cast<size_t>(v)] > alpha * d_min) {
+        // Relax: adopt the shortest-path parent.
+        parent_edge[static_cast<size_t>(v)] = spt.ParentEdge(v);
+        dist[static_cast<size_t>(v)] = d_min;
+      }
+    }
+    for (int c : children[static_cast<size_t>(v)]) stack.push_back(c);
+  }
+  // Note: relaxing to SPT parents cannot create cycles because SPT root
+  // paths only pass through vertices with strictly smaller SPT distance.
+  return StoragePlan::FromParentEdges(&graph, std::move(parent_edge));
+}
+
+Status RefineForBudgets(StoragePlan* plan, RetrievalScheme scheme) {
+  const MatrixStorageGraph& graph = plan->graph();
+  const int max_iterations = static_cast<int>(graph.edges().size()) + 16;
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    // Collect violated groups.
+    std::vector<const CoUsageGroup*> violated;
+    for (const CoUsageGroup& group : graph.groups()) {
+      if (group.budget > 0.0 &&
+          plan->GroupRecreationCost(group, scheme) >
+              group.budget * (1 + 1e-9)) {
+        violated.push_back(&group);
+      }
+    }
+    if (violated.empty()) return Status::OK();
+
+    const TourIndex tour(*plan);
+    double best_gain = 0.0;
+    double best_numerator = 0.0;
+    int best_vertex = -1;
+    int best_edge = -1;
+
+    for (const StorageEdge& e : graph.edges()) {
+      // Each undirected edge yields two candidate re-parentings.
+      for (int orientation = 0; orientation < 2; ++orientation) {
+        const int vi = orientation == 0 ? e.v : e.u;
+        const int vs = orientation == 0 ? e.u : e.v;
+        if (vi == 0) continue;
+        if (plan->ParentEdge(vi) == e.id) continue;
+        if (tour.IsDescendant(vs, vi)) continue;  // Would create a cycle.
+        // Per-vertex recreation decrease for vi and all its descendants.
+        const double delta = plan->PathRecreationCost(vi) -
+                             plan->PathRecreationCost(vs) -
+                             e.recreation_cost;
+        if (delta <= 0.0) continue;
+        double numerator = 0.0;
+        for (const CoUsageGroup* group : violated) {
+          int members_in_subtree = 0;
+          for (int m : group->members) {
+            if (tour.IsDescendant(m, vi)) ++members_in_subtree;
+          }
+          if (members_in_subtree == 0) continue;
+          if (scheme == RetrievalScheme::kIndependent) {
+            numerator += static_cast<double>(members_in_subtree) * delta;
+          } else {
+            numerator += delta;  // Eq. 2: max-based change per group.
+          }
+        }
+        if (numerator <= 0.0) continue;
+        const double storage_increase =
+            e.storage_cost -
+            graph.edge(plan->ParentEdge(vi)).storage_cost;
+        const double gain =
+            storage_increase <= 0.0 ? kInf : numerator / storage_increase;
+        if (gain > best_gain ||
+            (gain == best_gain && numerator > best_numerator)) {
+          best_gain = gain;
+          best_numerator = numerator;
+          best_vertex = vi;
+          best_edge = e.id;
+        }
+      }
+    }
+    if (best_vertex < 0) {
+      return Status::FailedPrecondition(
+          "refinement stuck: no swap improves the violated budgets");
+    }
+    MH_RETURN_IF_ERROR(plan->Swap(best_vertex, best_edge));
+  }
+  return Status::FailedPrecondition("refinement did not converge");
+}
+
+Result<StoragePlan> SolvePasMt(const MatrixStorageGraph& graph,
+                               RetrievalScheme scheme) {
+  MH_ASSIGN_OR_RETURN(StoragePlan plan, SolveMst(graph));
+  // Best-effort: a stuck refinement still returns the improved plan; the
+  // caller checks SatisfiesBudgets.
+  (void)RefineForBudgets(&plan, scheme);
+  return plan;
+}
+
+Result<StoragePlan> SolvePasPt(const MatrixStorageGraph& graph,
+                               RetrievalScheme scheme) {
+  if (!graph.IsConnected()) {
+    return Status::InvalidArgument("storage graph is not connected");
+  }
+  const int n = graph.num_vertices();
+
+  // Lower bound on any vertex's recreation cost: its cheapest-recreation
+  // incident edge (at best, one hop from an already-recreated neighbor).
+  std::vector<double> lower_bound(static_cast<size_t>(n), 0.0);
+  for (int v = 1; v < n; ++v) {
+    double lb = kInf;
+    for (int eid : graph.IncidentEdges(v)) {
+      lb = std::min(lb, graph.edge(eid).recreation_cost);
+    }
+    lower_bound[static_cast<size_t>(v)] = lb;
+  }
+
+  std::vector<bool> in_tree(static_cast<size_t>(n), false);
+  std::vector<int> parent_edge(static_cast<size_t>(n), -1);
+  std::vector<double> path_cost(static_cast<size_t>(n), 0.0);
+  in_tree[0] = true;
+
+  // Group bookkeeping for feasibility estimates.
+  const auto& groups = graph.groups();
+  std::vector<std::vector<int>> groups_of_vertex(static_cast<size_t>(n));
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (int m : groups[gi].members) {
+      groups_of_vertex[static_cast<size_t>(m)].push_back(
+          static_cast<int>(gi));
+    }
+  }
+
+  auto estimate_ok = [&](int vj, double vj_cost) {
+    for (int gi : groups_of_vertex[static_cast<size_t>(vj)]) {
+      const CoUsageGroup& group = groups[static_cast<size_t>(gi)];
+      if (group.budget <= 0.0) continue;
+      double estimate = 0.0;
+      for (int m : group.members) {
+        double member_cost;
+        if (m == vj) {
+          member_cost = vj_cost;
+        } else if (in_tree[static_cast<size_t>(m)]) {
+          member_cost = path_cost[static_cast<size_t>(m)];
+        } else {
+          member_cost = lower_bound[static_cast<size_t>(m)];
+        }
+        if (scheme == RetrievalScheme::kIndependent) {
+          estimate += member_cost;
+        } else {
+          estimate = std::max(estimate, member_cost);
+        }
+      }
+      if (estimate > group.budget * (1 + 1e-9)) return false;
+    }
+    return true;
+  };
+
+  // Min-heap of candidate edges by storage cost.
+  auto cmp = [&graph](int a, int b) {
+    if (graph.edge(a).storage_cost != graph.edge(b).storage_cost) {
+      return graph.edge(a).storage_cost > graph.edge(b).storage_cost;
+    }
+    return a > b;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+  for (int eid : graph.IncidentEdges(0)) heap.push(eid);
+
+  int added = 1;
+  while (!heap.empty() && added < n) {
+    const int eid = heap.top();
+    heap.pop();
+    const StorageEdge& e = graph.edge(eid);
+    const bool u_in = in_tree[static_cast<size_t>(e.u)];
+    const bool v_in = in_tree[static_cast<size_t>(e.v)];
+    if (u_in && v_in) {
+      // Inner edge: adopt it if it lowers some endpoint's storage without
+      // raising its recreation cost (the paper's improvement step).
+      for (int orientation = 0; orientation < 2; ++orientation) {
+        const int vk = orientation == 0 ? e.u : e.v;
+        const int vj = orientation == 0 ? e.v : e.u;
+        if (vk == 0) continue;
+        const double old_cs =
+            graph.edge(parent_edge[static_cast<size_t>(vk)]).storage_cost;
+        const double new_cost =
+            path_cost[static_cast<size_t>(vj)] + e.recreation_cost;
+        if (e.storage_cost < old_cs &&
+            new_cost <= path_cost[static_cast<size_t>(vk)]) {
+          // Cycle guard: vj must not descend from vk.
+          bool descends = false;
+          int cur = vj;
+          while (cur != 0) {
+            if (cur == vk) {
+              descends = true;
+              break;
+            }
+            const StorageEdge& pe =
+                graph.edge(parent_edge[static_cast<size_t>(cur)]);
+            cur = pe.u == cur ? pe.v : pe.u;
+          }
+          if (descends) continue;
+          parent_edge[static_cast<size_t>(vk)] = eid;
+          path_cost[static_cast<size_t>(vk)] = new_cost;
+          break;
+        }
+      }
+      continue;
+    }
+    if (!u_in && !v_in) continue;  // Stale; re-enqueued when reachable.
+    const int vi = u_in ? e.u : e.v;
+    const int vj = u_in ? e.v : e.u;
+    const double vj_cost =
+        path_cost[static_cast<size_t>(vi)] + e.recreation_cost;
+    if (!estimate_ok(vj, vj_cost)) continue;  // Skip this edge.
+    in_tree[static_cast<size_t>(vj)] = true;
+    parent_edge[static_cast<size_t>(vj)] = eid;
+    path_cost[static_cast<size_t>(vj)] = vj_cost;
+    ++added;
+    for (int out_eid : graph.IncidentEdges(vj)) {
+      if (out_eid != eid) heap.push(out_eid);
+    }
+  }
+
+  // Adjustment phase: attach stranded vertices by their cheapest-recreation
+  // edge into the tree (greedy, repeated until all attached).
+  while (added < n) {
+    int best_vertex = -1;
+    int best_edge = -1;
+    double best_cr = kInf;
+    for (int v = 1; v < n; ++v) {
+      if (in_tree[static_cast<size_t>(v)]) continue;
+      for (int eid : graph.IncidentEdges(v)) {
+        const StorageEdge& e = graph.edge(eid);
+        const int other = e.u == v ? e.v : e.u;
+        if (!in_tree[static_cast<size_t>(other)]) continue;
+        const double cost =
+            path_cost[static_cast<size_t>(other)] + e.recreation_cost;
+        if (cost < best_cr) {
+          best_cr = cost;
+          best_vertex = v;
+          best_edge = eid;
+        }
+      }
+    }
+    if (best_vertex < 0) {
+      return Status::Internal("connected graph left stranded vertices");
+    }
+    in_tree[static_cast<size_t>(best_vertex)] = true;
+    parent_edge[static_cast<size_t>(best_vertex)] = best_edge;
+    path_cost[static_cast<size_t>(best_vertex)] = best_cr;
+    ++added;
+  }
+
+  MH_ASSIGN_OR_RETURN(StoragePlan plan, StoragePlan::FromParentEdges(
+                                            &graph, std::move(parent_edge)));
+  if (!plan.SatisfiesBudgets(scheme)) {
+    (void)RefineForBudgets(&plan, scheme);  // Best effort.
+  }
+  return plan;
+}
+
+}  // namespace modelhub

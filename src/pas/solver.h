@@ -1,0 +1,49 @@
+#ifndef MODELHUB_PAS_SOLVER_H_
+#define MODELHUB_PAS_SOLVER_H_
+
+#include "common/result.h"
+#include "pas/storage_graph.h"
+
+namespace modelhub {
+
+/// Solvers for the Optimal Parameter Archival Storage problem (Problem 1):
+/// choose a spanning tree of the matrix storage graph minimizing total
+/// storage cost subject to per-snapshot recreation budgets. The problem is
+/// NP-hard (Theorem 1); these are the heuristics evaluated in Fig 6(c).
+
+/// Minimum spanning tree on storage cost (Prim from v0) — the best
+/// possible storage footprint, ignoring recreation budgets entirely.
+Result<StoragePlan> SolveMst(const MatrixStorageGraph& graph);
+
+/// Shortest path tree on recreation cost (Dijkstra from v0) — the best
+/// possible recreation, ignoring storage (full materialization when every
+/// direct v0 edge is the fastest path).
+Result<StoragePlan> SolveSpt(const MatrixStorageGraph& graph);
+
+/// The LAST balanced tree of Khuller, Raghavachari & Young (the paper's
+/// baseline): starts from the MST and re-parents any vertex whose tree
+/// path exceeds alpha times its shortest-path distance. Per-vertex bounds
+/// only — it cannot see the co-usage groups.
+Result<StoragePlan> SolveLast(const MatrixStorageGraph& graph, double alpha);
+
+/// PAS-MT (Sec. IV-C): iterative refinement. Starts from the MST and
+/// repeatedly applies the edge swap with the best marginal
+/// recreation-gain/storage-increase ratio (Eq. 1 for independent, Eq. 2
+/// for parallel) until all group budgets hold or no helpful swap remains.
+Result<StoragePlan> SolvePasMt(const MatrixStorageGraph& graph,
+                               RetrievalScheme scheme);
+
+/// PAS-PT (Sec. IV-C): priority-based construction. Grows the tree from
+/// v0 taking candidate edges in increasing storage cost, skipping edges
+/// whose addition would (by lower-bound estimate) break a group budget;
+/// stranded vertices are attached afterwards and the plan is refined.
+Result<StoragePlan> SolvePasPt(const MatrixStorageGraph& graph,
+                               RetrievalScheme scheme);
+
+/// The shared budget-repair loop used by PAS-MT (from the MST) and as the
+/// PAS-PT fallback: greedy best-ratio swaps until feasible or stuck.
+Status RefineForBudgets(StoragePlan* plan, RetrievalScheme scheme);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_SOLVER_H_

@@ -1,0 +1,257 @@
+#include "pas/storage_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+std::string_view RetrievalSchemeToString(RetrievalScheme scheme) {
+  switch (scheme) {
+    case RetrievalScheme::kIndependent:
+      return "independent";
+    case RetrievalScheme::kParallel:
+      return "parallel";
+    case RetrievalScheme::kReusable:
+      return "reusable";
+  }
+  return "unknown";
+}
+
+MatrixStorageGraph::MatrixStorageGraph() {
+  names_.push_back("v0");
+  incident_.emplace_back();
+}
+
+int MatrixStorageGraph::AddVertex(std::string name) {
+  names_.push_back(std::move(name));
+  incident_.emplace_back();
+  return static_cast<int>(names_.size()) - 1;
+}
+
+Result<int> MatrixStorageGraph::AddEdge(int u, int v, double storage_cost,
+                                        double recreation_cost, int tier) {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop edge");
+  if (storage_cost <= 0.0 || recreation_cost < 0.0) {
+    return Status::InvalidArgument("edge costs must be positive");
+  }
+  StorageEdge edge;
+  edge.id = static_cast<int>(edges_.size());
+  edge.u = u;
+  edge.v = v;
+  edge.storage_cost = storage_cost;
+  edge.recreation_cost = recreation_cost;
+  edge.tier = tier;
+  edges_.push_back(edge);
+  incident_[u].push_back(edge.id);
+  incident_[v].push_back(edge.id);
+  return edge.id;
+}
+
+Status MatrixStorageGraph::AddGroup(std::string name, std::vector<int> members,
+                                    double budget) {
+  for (int m : members) {
+    if (m <= 0 || m >= num_vertices()) {
+      return Status::InvalidArgument("group member out of range: " + name);
+    }
+  }
+  groups_.push_back(CoUsageGroup{std::move(name), std::move(members), budget});
+  return Status::OK();
+}
+
+bool MatrixStorageGraph::IsConnected() const {
+  std::vector<bool> seen(names_.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int eid : incident_[v]) {
+      const StorageEdge& e = edges_[eid];
+      const int other = e.u == v ? e.v : e.u;
+      if (!seen[other]) {
+        seen[other] = true;
+        ++count;
+        stack.push_back(other);
+      }
+    }
+  }
+  return count == num_vertices();
+}
+
+Result<StoragePlan> StoragePlan::FromParentEdges(
+    const MatrixStorageGraph* graph, std::vector<int> parent_edge) {
+  if (static_cast<int>(parent_edge.size()) != graph->num_vertices()) {
+    return Status::InvalidArgument("parent_edge size mismatch");
+  }
+  if (parent_edge[0] != -1) {
+    return Status::InvalidArgument("v0 must have no parent");
+  }
+  // Validate: each vertex's parent edge is incident to it, and following
+  // parents reaches v0 without cycles.
+  for (int v = 1; v < graph->num_vertices(); ++v) {
+    const int eid = parent_edge[v];
+    if (eid < 0 || eid >= static_cast<int>(graph->edges().size())) {
+      return Status::InvalidArgument("vertex lacks a valid parent edge");
+    }
+    const StorageEdge& e = graph->edge(eid);
+    if (e.u != v && e.v != v) {
+      return Status::InvalidArgument("parent edge not incident to vertex");
+    }
+  }
+  StoragePlan plan;
+  plan.graph_ = graph;
+  plan.parent_edge_ = std::move(parent_edge);
+  // Cycle check by walking each root path with a step bound.
+  for (int v = 1; v < graph->num_vertices(); ++v) {
+    int cur = v;
+    int steps = 0;
+    while (cur != 0) {
+      cur = plan.Parent(cur);
+      if (cur < 0 || ++steps > graph->num_vertices()) {
+        return Status::InvalidArgument("parent edges contain a cycle");
+      }
+    }
+  }
+  return plan;
+}
+
+int StoragePlan::Parent(int v) const {
+  if (v == 0) return -1;
+  const StorageEdge& e = graph_->edge(parent_edge_[v]);
+  return e.u == v ? e.v : e.u;
+}
+
+double StoragePlan::TotalStorageCost() const {
+  double total = 0.0;
+  for (int v = 1; v < graph_->num_vertices(); ++v) {
+    total += graph_->edge(parent_edge_[v]).storage_cost;
+  }
+  return total;
+}
+
+void StoragePlan::RecomputePathCosts() const {
+  const int n = graph_->num_vertices();
+  path_cost_.assign(static_cast<size_t>(n), -1.0);
+  path_cost_[0] = 0.0;
+  for (int v = 1; v < n; ++v) {
+    // Walk up collecting unresolved vertices, then unwind.
+    std::vector<int> chain;
+    int cur = v;
+    while (path_cost_[static_cast<size_t>(cur)] < 0.0) {
+      chain.push_back(cur);
+      cur = Parent(cur);
+    }
+    double cost = path_cost_[static_cast<size_t>(cur)];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      cost += graph_->edge(parent_edge_[*it]).recreation_cost;
+      path_cost_[static_cast<size_t>(*it)] = cost;
+    }
+  }
+  path_cost_valid_ = true;
+}
+
+double StoragePlan::PathRecreationCost(int v) const {
+  if (!path_cost_valid_) RecomputePathCosts();
+  return path_cost_[static_cast<size_t>(v)];
+}
+
+double StoragePlan::GroupRecreationCost(const CoUsageGroup& group,
+                                        RetrievalScheme scheme) const {
+  if (!path_cost_valid_) RecomputePathCosts();
+  switch (scheme) {
+    case RetrievalScheme::kIndependent: {
+      double total = 0.0;
+      for (int m : group.members) total += path_cost_[static_cast<size_t>(m)];
+      return total;
+    }
+    case RetrievalScheme::kParallel: {
+      double max_cost = 0.0;
+      for (int m : group.members) {
+        max_cost = std::max(max_cost, path_cost_[static_cast<size_t>(m)]);
+      }
+      return max_cost;
+    }
+    case RetrievalScheme::kReusable: {
+      // In a tree, the minimal Steiner tree spanning {v0} + members is the
+      // union of their root paths: sum each edge once.
+      std::set<int> edges_used;
+      for (int m : group.members) {
+        int cur = m;
+        while (cur != 0) {
+          if (!edges_used.insert(parent_edge_[cur]).second) break;
+          cur = Parent(cur);
+        }
+      }
+      double total = 0.0;
+      for (int eid : edges_used) {
+        total += graph_->edge(eid).recreation_cost;
+      }
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+bool StoragePlan::SatisfiesBudgets(RetrievalScheme scheme) const {
+  return NumViolatedBudgets(scheme) == 0;
+}
+
+int StoragePlan::NumViolatedBudgets(RetrievalScheme scheme) const {
+  int violated = 0;
+  for (const CoUsageGroup& group : graph_->groups()) {
+    if (group.budget <= 0.0) continue;
+    // Tolerance for float accumulation.
+    if (GroupRecreationCost(group, scheme) > group.budget * (1 + 1e-9)) {
+      ++violated;
+    }
+  }
+  return violated;
+}
+
+std::vector<int> StoragePlan::Subtree(int v) const {
+  // Children are not indexed; scan parents once.
+  const int n = graph_->num_vertices();
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int u = 1; u < n; ++u) {
+    children[static_cast<size_t>(Parent(u))].push_back(u);
+  }
+  std::vector<int> out;
+  std::vector<int> stack = {v};
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (int child : children[static_cast<size_t>(cur)]) {
+      stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+Status StoragePlan::Swap(int v, int edge_id) {
+  if (v <= 0 || v >= graph_->num_vertices()) {
+    return Status::InvalidArgument("cannot swap v0 or out-of-range vertex");
+  }
+  const StorageEdge& e = graph_->edge(edge_id);
+  if (e.u != v && e.v != v) {
+    return Status::InvalidArgument("swap edge not incident to vertex");
+  }
+  const int new_parent = e.u == v ? e.v : e.u;
+  // The new parent must not be inside v's subtree (would create a cycle).
+  const std::vector<int> subtree = Subtree(v);
+  if (std::find(subtree.begin(), subtree.end(), new_parent) !=
+      subtree.end()) {
+    return Status::InvalidArgument("swap would create a cycle");
+  }
+  parent_edge_[v] = edge_id;
+  path_cost_valid_ = false;
+  return Status::OK();
+}
+
+}  // namespace modelhub

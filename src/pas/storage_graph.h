@@ -1,0 +1,139 @@
+#ifndef MODELHUB_PAS_STORAGE_GRAPH_H_
+#define MODELHUB_PAS_STORAGE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace modelhub {
+
+/// How PAS recreates all matrices of one snapshot (Table III).
+enum class RetrievalScheme {
+  kIndependent,  ///< One by one; cost = sum of root paths.
+  kParallel,     ///< Concurrently; cost = longest root path.
+  kReusable,     ///< Shared prefixes computed once; cost = union of paths.
+};
+
+std::string_view RetrievalSchemeToString(RetrievalScheme scheme);
+
+/// An (undirected) candidate edge of the matrix storage graph: storing
+/// matrix `v` as a delta against `u` (or materialized, when u == 0 == v0)
+/// costs `storage_cost` bytes and `recreation_cost` time units to undo.
+/// Parallel edges between the same pair model alternative storage tiers.
+struct StorageEdge {
+  int id = 0;
+  int u = 0;
+  int v = 0;
+  double storage_cost = 0.0;
+  double recreation_cost = 0.0;
+  /// Storage tier realizing this edge: 0 = local, 1 = remote (the paper's
+  /// "multiple directed edges between the same two matrices ... capture
+  /// different options for storing the delta": remote is cheaper to hold,
+  /// costlier to recreate from). Solvers are tier-agnostic — the costs
+  /// carry the trade-off.
+  int tier = 0;
+};
+
+/// A co-usage group: the matrices of one snapshot, which group-retrieval
+/// queries fetch together under a recreation budget theta (Problem 1).
+struct CoUsageGroup {
+  std::string name;
+  std::vector<int> members;  ///< Vertex ids (never v0).
+  double budget = 0.0;       ///< theta_i; <= 0 means unconstrained.
+};
+
+/// The matrix storage graph G(V, E, cs, cr) of Definition 1. Vertex 0 is
+/// the empty matrix v0; every real matrix must be connected to v0 directly
+/// (materialization edge) or transitively (delta edges).
+class MatrixStorageGraph {
+ public:
+  MatrixStorageGraph();
+
+  /// Adds a matrix vertex; returns its id (>= 1).
+  int AddVertex(std::string name);
+
+  /// Adds an undirected candidate edge; returns its id. Fails on unknown
+  /// vertices, self-loops, or non-positive storage cost. `tier` tags the
+  /// storage tier realizing the edge (parallel edges between the same pair
+  /// model alternative tiers).
+  Result<int> AddEdge(int u, int v, double storage_cost,
+                      double recreation_cost, int tier = 0);
+
+  Status AddGroup(std::string name, std::vector<int> members, double budget);
+
+  int num_vertices() const { return static_cast<int>(names_.size()); }
+  const std::string& vertex_name(int v) const { return names_[v]; }
+  const std::vector<StorageEdge>& edges() const { return edges_; }
+  const StorageEdge& edge(int id) const { return edges_[id]; }
+  const std::vector<CoUsageGroup>& groups() const { return groups_; }
+  std::vector<CoUsageGroup>* mutable_groups() { return &groups_; }
+
+  /// Edge ids incident to `v`.
+  const std::vector<int>& IncidentEdges(int v) const { return incident_[v]; }
+
+  /// True when every vertex can reach v0 through candidate edges.
+  bool IsConnected() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<StorageEdge> edges_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<CoUsageGroup> groups_;
+};
+
+/// A matrix storage plan: a spanning tree rooted at v0, as parent-edge
+/// choices (Definition 2 restricted to trees, which Lemma 2 shows is
+/// sufficient for the independent and parallel schemes).
+class StoragePlan {
+ public:
+  /// `parent_edge[v]` is the edge id connecting v towards the root; -1 for
+  /// v0. Validates that the choices form a spanning tree rooted at v0.
+  static Result<StoragePlan> FromParentEdges(const MatrixStorageGraph* graph,
+                                             std::vector<int> parent_edge);
+
+  const MatrixStorageGraph& graph() const { return *graph_; }
+
+  int ParentEdge(int v) const { return parent_edge_[v]; }
+
+  /// Parent vertex of v in the tree (-1 for v0).
+  int Parent(int v) const;
+
+  /// Sum of storage costs of all tree edges — Cs(P).
+  double TotalStorageCost() const;
+
+  /// Recreation cost of the root path of a single vertex.
+  double PathRecreationCost(int v) const;
+
+  /// Cr(P, group) under a retrieval scheme (Table III). For kReusable the
+  /// Steiner tree of {v0} + group inside a tree plan is exactly the union
+  /// of root paths, so the value is exact, not approximated.
+  double GroupRecreationCost(const CoUsageGroup& group,
+                             RetrievalScheme scheme) const;
+
+  /// True when every group with a positive budget satisfies it.
+  bool SatisfiesBudgets(RetrievalScheme scheme) const;
+
+  /// Number of groups violating their budgets.
+  int NumViolatedBudgets(RetrievalScheme scheme) const;
+
+  /// Vertices in v's subtree, including v itself.
+  std::vector<int> Subtree(int v) const;
+
+  /// Re-parents v onto `edge_id` (which must be incident to v, with the
+  /// other endpoint outside v's subtree). Invalidates cached path costs.
+  Status Swap(int v, int edge_id);
+
+ private:
+  void RecomputePathCosts() const;
+
+  const MatrixStorageGraph* graph_ = nullptr;
+  std::vector<int> parent_edge_;
+  mutable std::vector<double> path_cost_;
+  mutable bool path_cost_valid_ = false;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_STORAGE_GRAPH_H_

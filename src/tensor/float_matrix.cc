@@ -1,0 +1,131 @@
+#include "tensor/float_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+FloatMatrix::FloatMatrix(int64_t rows, int64_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  MH_CHECK(static_cast<int64_t>(data_.size()) == rows_ * cols_);
+}
+
+void FloatMatrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void FloatMatrix::FillGaussian(Rng* rng, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+}
+
+void FloatMatrix::FillUniform(Rng* rng, float lo, float hi) {
+  for (float& v : data_) {
+    v = rng->UniformFloat(lo, hi);
+  }
+}
+
+Result<FloatMatrix> FloatMatrix::Sub(const FloatMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("Sub: shape mismatch");
+  }
+  FloatMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+Result<FloatMatrix> FloatMatrix::Add(const FloatMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("Add: shape mismatch");
+  }
+  FloatMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+Result<FloatMatrix> FloatMatrix::BitwiseXor(const FloatMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("BitwiseXor: shape mismatch");
+  }
+  FloatMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    uint32_t a;
+    uint32_t b;
+    std::memcpy(&a, &data_[i], 4);
+    std::memcpy(&b, &other.data_[i], 4);
+    const uint32_t x = a ^ b;
+    std::memcpy(&out.data_[i], &x, 4);
+  }
+  return out;
+}
+
+float FloatMatrix::Min() const {
+  float m = data_.empty() ? 0.0f : data_[0];
+  for (float v : data_) m = std::min(m, v);
+  return m;
+}
+
+float FloatMatrix::Max() const {
+  float m = data_.empty() ? 0.0f : data_[0];
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+double FloatMatrix::Mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+double FloatMatrix::L2Norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+bool FloatMatrix::ApproxEquals(const FloatMatrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool FloatMatrix::BitEquals(const FloatMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  return data_.empty() ||
+         std::memcmp(data_.data(), other.data_.data(),
+                     data_.size() * sizeof(float)) == 0;
+}
+
+std::string FloatMatrix::ToBytes() const {
+  std::string out(data_.size() * sizeof(float), '\0');
+  if (!data_.empty()) {
+    std::memcpy(out.data(), data_.data(), out.size());
+  }
+  return out;
+}
+
+Result<FloatMatrix> FloatMatrix::FromBytes(int64_t rows, int64_t cols,
+                                           Slice bytes) {
+  const size_t expected = static_cast<size_t>(rows * cols) * sizeof(float);
+  if (bytes.size() != expected) {
+    return Status::InvalidArgument("FromBytes: byte count does not match shape");
+  }
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  if (!data.empty()) {
+    std::memcpy(data.data(), bytes.data(), expected);
+  }
+  return FloatMatrix(rows, cols, std::move(data));
+}
+
+}  // namespace modelhub

@@ -1,0 +1,94 @@
+#ifndef MODELHUB_TENSOR_FLOAT_MATRIX_H_
+#define MODELHUB_TENSOR_FLOAT_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace modelhub {
+
+/// A dense row-major float32 matrix. This is PAS's first-class data type:
+/// every learned parameter blob in a snapshot is viewed as a FloatMatrix
+/// (Sec. IV-A of the paper; bias vectors are 1 x n matrices, conv kernels
+/// are flattened to out_channels x (in_channels * kh * kw)).
+class FloatMatrix {
+ public:
+  /// An empty 0 x 0 matrix.
+  FloatMatrix() = default;
+
+  /// A rows x cols matrix initialized to zero.
+  FloatMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols)) {}
+
+  /// A rows x cols matrix adopting `data` (size must be rows * cols).
+  FloatMatrix(int64_t rows, int64_t cols, std::vector<float> data);
+
+  FloatMatrix(const FloatMatrix&) = default;
+  FloatMatrix& operator=(const FloatMatrix&) = default;
+  FloatMatrix(FloatMatrix&&) noexcept = default;
+  FloatMatrix& operator=(FloatMatrix&&) noexcept = default;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  float At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  float& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float operator()(int64_t r, int64_t c) const { return At(r, c); }
+  float& operator()(int64_t r, int64_t c) { return At(r, c); }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Fills every entry with `value`.
+  void Fill(float value);
+
+  /// Fills with N(0, stddev) noise from `rng`.
+  void FillGaussian(Rng* rng, float stddev);
+
+  /// Fills with U[lo, hi) noise from `rng`.
+  void FillUniform(Rng* rng, float lo, float hi);
+
+  /// Elementwise subtraction (this - other). Shapes must match.
+  Result<FloatMatrix> Sub(const FloatMatrix& other) const;
+
+  /// Elementwise addition. Shapes must match.
+  Result<FloatMatrix> Add(const FloatMatrix& other) const;
+
+  /// Bitwise XOR of the IEEE-754 representations (the paper's Delta-XOR).
+  Result<FloatMatrix> BitwiseXor(const FloatMatrix& other) const;
+
+  float Min() const;
+  float Max() const;
+  double Mean() const;
+  double L2Norm() const;
+
+  /// True when shapes match and entries differ by at most `tol`.
+  bool ApproxEquals(const FloatMatrix& other, float tol) const;
+
+  /// True when shapes and the exact bit patterns match.
+  bool BitEquals(const FloatMatrix& other) const;
+
+  /// Raw little-endian float32 serialization (rows * cols * 4 bytes; shape
+  /// is carried out-of-band by the archive manifest).
+  std::string ToBytes() const;
+
+  /// Inverse of ToBytes. `bytes.size()` must equal rows * cols * 4.
+  static Result<FloatMatrix> FromBytes(int64_t rows, int64_t cols,
+                                       Slice bytes);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_TENSOR_FLOAT_MATRIX_H_

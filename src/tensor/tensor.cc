@@ -1,0 +1,15 @@
+#include "tensor/tensor.h"
+
+#include <cstdio>
+
+namespace modelhub {
+
+std::string Tensor::ShapeString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%lld,%lld,%lld,%lld]",
+                static_cast<long long>(n_), static_cast<long long>(c_),
+                static_cast<long long>(h_), static_cast<long long>(w_));
+  return buf;
+}
+
+}  // namespace modelhub

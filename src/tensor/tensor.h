@@ -1,0 +1,60 @@
+#ifndef MODELHUB_TENSOR_TENSOR_H_
+#define MODELHUB_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+/// A dense NCHW float tensor used for activations in the NN engine. Kept
+/// deliberately simple: the engine is a substrate for PAS experiments, not
+/// a performance contribution.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(int64_t n, int64_t c, int64_t h, int64_t w)
+      : n_(n), c_(c), h_(h), w_(w),
+        data_(static_cast<size_t>(n * c * h * w)) {}
+
+  int64_t n() const { return n_; }
+  int64_t c() const { return c_; }
+  int64_t h() const { return h_; }
+  int64_t w() const { return w_; }
+  int64_t size() const { return n_ * c_ * h_ * w_; }
+  bool empty() const { return size() == 0; }
+
+  /// Per-sample flattened length (C*H*W) — the fully-connected fan-in.
+  int64_t SampleSize() const { return c_ * h_ * w_; }
+
+  float At(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return data_[((n * c_ + c) * h_ + h) * w_ + w];
+  }
+  float& At(int64_t n, int64_t c, int64_t h, int64_t w) {
+    return data_[((n * c_ + c) * h_ + h) * w_ + w];
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  bool SameShape(const Tensor& other) const {
+    return n_ == other.n_ && c_ == other.c_ && h_ == other.h_ &&
+           w_ == other.w_;
+  }
+
+  std::string ShapeString() const;
+
+ private:
+  int64_t n_ = 0;
+  int64_t c_ = 0;
+  int64_t h_ = 0;
+  int64_t w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_TENSOR_TENSOR_H_

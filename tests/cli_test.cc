@@ -1,0 +1,90 @@
+// Integration test of the dlv command-line client: drives the real binary
+// end to end through init -> demo -> explore -> query -> archive ->
+// report -> publish -> search -> pull.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/env.h"
+
+namespace modelhub {
+namespace {
+
+#ifndef DLV_BINARY
+#error "DLV_BINARY must be defined by the build"
+#endif
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_ = ::testing::TempDir() + "/dlv_cli_test";
+    // Fresh workspace per run.
+    std::system(("rm -rf " + work_).c_str());
+    ASSERT_TRUE(Env::Default()->CreateDirs(work_).ok());
+  }
+
+  /// Runs `dlv <args>`, returning the exit code.
+  int Dlv(const std::string& args) {
+    const std::string command =
+        std::string(DLV_BINARY) + " " + args + " >/dev/null 2>&1";
+    const int raw = std::system(command.c_str());
+    return WEXITSTATUS(raw);
+  }
+
+  std::string work_;
+};
+
+TEST_F(CliTest, FullLifecycle) {
+  const std::string repo = work_ + "/repo";
+  const std::string hub = work_ + "/hub";
+
+  ASSERT_EQ(Dlv("init " + repo), 0);
+  // Re-init fails.
+  EXPECT_NE(Dlv("init " + repo), 0);
+
+  ASSERT_EQ(Dlv("demo " + repo + " 3"), 0);
+  EXPECT_EQ(Dlv("list " + repo), 0);
+  EXPECT_EQ(Dlv("desc " + repo + " model_v0"), 0);
+  EXPECT_NE(Dlv("desc " + repo + " nope"), 0);
+  EXPECT_EQ(Dlv("diff " + repo + " model_v0 model_v1"), 0);
+  EXPECT_EQ(Dlv("pdiff " + repo + " model_v0 model_v1"), 0);
+  EXPECT_EQ(Dlv("compare " + repo + " model_v0 model_v1 16"), 0);
+  EXPECT_EQ(Dlv("copy " + repo + " model_v0 scaffold"), 0);
+  EXPECT_EQ(Dlv("eval " + repo + " model_v0 16"), 0);
+
+  EXPECT_EQ(Dlv("query " + repo +
+                " 'select m where m.name like \"model%\"'"),
+            0);
+  EXPECT_NE(Dlv("query " + repo + " 'not a query'"), 0);
+
+  const std::string html = work_ + "/report.html";
+  EXPECT_EQ(Dlv("report " + repo + " " + html), 0);
+  auto contents = Env::Default()->ReadFile(html);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("model_v0"), std::string::npos);
+  EXPECT_NE(contents->find("</html>"), std::string::npos);
+
+  EXPECT_EQ(Dlv("archive " + repo + " pas-pt 1.8"), 0);
+  // Snapshots still readable post-archive.
+  EXPECT_EQ(Dlv("eval " + repo + " model_v1 8"), 0);
+
+  EXPECT_EQ(Dlv("publish " + hub + " " + repo + " alice models"), 0);
+  EXPECT_EQ(Dlv("search " + hub + " 'model%'"), 0);
+  EXPECT_EQ(Dlv("pull " + hub + " alice models " + work_ + "/clone"), 0);
+  EXPECT_EQ(Dlv("list " + work_ + "/clone"), 0);
+  // Pulling over an existing repo fails.
+  EXPECT_NE(Dlv("pull " + hub + " alice models " + repo), 0);
+}
+
+TEST_F(CliTest, UsageAndBadCommands) {
+  EXPECT_EQ(Dlv(""), 2);
+  EXPECT_EQ(Dlv("frobnicate"), 2);
+  EXPECT_EQ(Dlv("list"), 2);  // Missing argument.
+  EXPECT_NE(Dlv("list " + work_ + "/missing"), 0);
+  EXPECT_NE(Dlv("archive " + work_ + "/missing nosuchsolver"), 0);
+}
+
+}  // namespace
+}  // namespace modelhub

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "compress/codec.h"
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+
+namespace modelhub {
+namespace {
+
+// Synthetic inputs exercising distinct entropy regimes: the same regimes
+// PAS byte planes fall into (high-order planes ~ low entropy, low-order
+// planes ~ full entropy).
+std::string MakeInput(const std::string& kind, size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::string out(size, '\0');
+  if (kind == "zeros") {
+    // All zero.
+  } else if (kind == "constant") {
+    std::fill(out.begin(), out.end(), '\x5A');
+  } else if (kind == "random") {
+    for (auto& c : out) c = static_cast<char>(rng.Uniform(256));
+  } else if (kind == "low_entropy") {
+    // Few distinct symbols, heavily skewed.
+    const char symbols[] = {0, 0, 0, 0, 1, 1, 2, 3};
+    for (auto& c : out) c = symbols[rng.Uniform(8)];
+  } else if (kind == "text_like") {
+    const std::string vocab = "the quick brown fox jumps over the lazy dog ";
+    for (size_t i = 0; i < size; ++i) out[i] = vocab[i % vocab.size()];
+  } else if (kind == "runs") {
+    size_t i = 0;
+    while (i < size) {
+      const char v = static_cast<char>(rng.Uniform(4));
+      const size_t run = 1 + rng.Uniform(200);
+      for (size_t k = 0; k < run && i < size; ++k) out[i++] = v;
+    }
+  }
+  return out;
+}
+
+using CodecCase = std::tuple<CodecType, std::string /*kind*/, size_t /*size*/>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTripTest, RoundTripsExactly) {
+  const auto& [type, kind, size] = GetParam();
+  const Codec* codec = Codec::Get(type);
+  ASSERT_NE(codec, nullptr);
+  const std::string input = MakeInput(kind, size, 0xC0FFEE + size);
+  std::string compressed;
+  ASSERT_TRUE(codec->Compress(Slice(input), &compressed).ok());
+  std::string decompressed;
+  ASSERT_TRUE(codec->Decompress(Slice(compressed), &decompressed).ok())
+      << codec->name() << " " << kind << " " << size;
+  EXPECT_EQ(decompressed, input) << codec->name() << " on " << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllRegimes, CodecRoundTripTest,
+    ::testing::Combine(
+        ::testing::Values(CodecType::kNull, CodecType::kRle,
+                          CodecType::kHuffman, CodecType::kDeflateLite),
+        ::testing::Values("zeros", "constant", "random", "low_entropy",
+                          "text_like", "runs"),
+        ::testing::Values(size_t{0}, size_t{1}, size_t{2}, size_t{255},
+                          size_t{4096}, size_t{100000})));
+
+TEST(CodecTest, NamesAndTypes) {
+  EXPECT_EQ(Codec::Get(CodecType::kNull)->name(), "null");
+  EXPECT_EQ(Codec::Get(CodecType::kRle)->name(), "rle");
+  EXPECT_EQ(Codec::Get(CodecType::kHuffman)->name(), "huffman");
+  EXPECT_EQ(Codec::Get(CodecType::kDeflateLite)->name(), "deflate-lite");
+  for (CodecType t : {CodecType::kNull, CodecType::kRle, CodecType::kHuffman,
+                      CodecType::kDeflateLite}) {
+    EXPECT_EQ(Codec::Get(t)->type(), t);
+  }
+}
+
+TEST(CodecTest, CompressionRatiosMatchEntropyExpectations) {
+  const size_t n = 64 * 1024;
+  const std::string zeros = MakeInput("zeros", n, 1);
+  const std::string random = MakeInput("random", n, 2);
+  const std::string text = MakeInput("text_like", n, 3);
+
+  // Zero pages compress to almost nothing under every real codec.
+  EXPECT_LT(CompressedSize(CodecType::kRle, Slice(zeros)), n / 50);
+  EXPECT_LT(CompressedSize(CodecType::kHuffman, Slice(zeros)), n / 50);
+  EXPECT_LT(CompressedSize(CodecType::kDeflateLite, Slice(zeros)), n / 50);
+
+  // Random bytes are incompressible (floats are "well-known at being
+  // difficult to compress" — the paper's premise).
+  EXPECT_GT(CompressedSize(CodecType::kHuffman, Slice(random)), n * 95 / 100);
+  EXPECT_GT(CompressedSize(CodecType::kDeflateLite, Slice(random)),
+            n * 95 / 100);
+
+  // Repetitive text: LZ77 should beat order-0 Huffman decisively.
+  EXPECT_LT(CompressedSize(CodecType::kDeflateLite, Slice(text)),
+            CompressedSize(CodecType::kHuffman, Slice(text)) / 2);
+
+  // Null codec adds only the varint frame.
+  EXPECT_LE(CompressedSize(CodecType::kNull, Slice(random)), n + 9);
+}
+
+TEST(CodecTest, DecompressGarbageFailsNotCrashes) {
+  Rng rng(99);
+  for (CodecType t : {CodecType::kRle, CodecType::kHuffman,
+                      CodecType::kDeflateLite}) {
+    const Codec* codec = Codec::Get(t);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::string garbage(64 + rng.Uniform(512), '\0');
+      for (auto& c : garbage) c = static_cast<char>(rng.Uniform(256));
+      std::string out;
+      // Either a clean error or a successful parse of coincidentally valid
+      // input — but never a crash or hang.
+      (void)codec->Decompress(Slice(garbage), &out);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(CodecTest, TruncatedCompressedDataFails) {
+  const std::string input = MakeInput("text_like", 10000, 5);
+  for (CodecType t : {CodecType::kHuffman, CodecType::kDeflateLite}) {
+    const Codec* codec = Codec::Get(t);
+    std::string compressed;
+    ASSERT_TRUE(codec->Compress(Slice(input), &compressed).ok());
+    std::string truncated = compressed.substr(0, compressed.size() / 2);
+    std::string out;
+    const Status s = codec->Decompress(Slice(truncated), &out);
+    EXPECT_FALSE(s.ok()) << codec->name();
+  }
+}
+
+// ---------------------------------------------------------------- Huffman
+
+TEST(HuffmanTest, CodeLengthsSatisfyKraft) {
+  Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::array<uint64_t, 256> freq{};
+    const int distinct = 2 + static_cast<int>(rng.Uniform(254));
+    for (int i = 0; i < distinct; ++i) {
+      freq[rng.Uniform(256)] += 1 + rng.Uniform(100000);
+    }
+    const auto lengths = BuildHuffmanCodeLengths(freq);
+    double kraft = 0.0;
+    for (int s = 0; s < 256; ++s) {
+      if (freq[s] > 0) {
+        ASSERT_GE(lengths[s], 1);
+        ASSERT_LE(lengths[s], kMaxHuffmanBits);
+        kraft += std::pow(2.0, -static_cast<double>(lengths[s]));
+      } else {
+        // Unused symbols may share lengths only if some other symbol maps
+        // there; they must have length 0.
+        EXPECT_EQ(lengths[s], 0);
+      }
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+  }
+}
+
+TEST(HuffmanTest, SkewedDistributionDepthIsClamped) {
+  // Fibonacci-like frequencies force deep trees; the builder must clamp to
+  // kMaxHuffmanBits.
+  std::array<uint64_t, 256> freq{};
+  uint64_t a = 1;
+  uint64_t b = 1;
+  for (int s = 0; s < 40; ++s) {
+    freq[s] = a;
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  for (int s = 0; s < 40; ++s) {
+    EXPECT_GE(lengths[s], 1);
+    EXPECT_LE(lengths[s], kMaxHuffmanBits);
+  }
+}
+
+TEST(HuffmanTest, CanonicalCodesArePrefixFree) {
+  std::array<uint64_t, 256> freq{};
+  freq['a'] = 50;
+  freq['b'] = 30;
+  freq['c'] = 12;
+  freq['d'] = 5;
+  freq['e'] = 3;
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  const auto codes = AssignCanonicalCodes(lengths);
+  for (int x : {'a', 'b', 'c', 'd', 'e'}) {
+    for (int y : {'a', 'b', 'c', 'd', 'e'}) {
+      if (x == y) continue;
+      if (lengths[x] > lengths[y]) continue;
+      // code[y] truncated to lengths[x] bits must differ from code[x].
+      const uint32_t prefix = codes[y] >> (lengths[y] - lengths[x]);
+      EXPECT_NE(prefix, codes[x]) << char(x) << " vs " << char(y);
+    }
+  }
+}
+
+TEST(HuffmanTest, MoreFrequentSymbolsGetShorterOrEqualCodes) {
+  std::array<uint64_t, 256> freq{};
+  freq[0] = 1000;
+  freq[1] = 100;
+  freq[2] = 10;
+  freq[3] = 1;
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+}
+
+// ---------------------------------------------------------------- LZ77
+
+TEST(Lz77Test, TokenizeDetokenizeRoundTrip) {
+  Rng rng(17);
+  for (const char* kind : {"zeros", "random", "text_like", "runs"}) {
+    const std::string input = MakeInput(kind, 50000, rng.Next());
+    std::string tokens;
+    lz77::Tokenize(Slice(input), &tokens);
+    std::string out;
+    ASSERT_TRUE(lz77::Detokenize(Slice(tokens), &out).ok()) << kind;
+    EXPECT_EQ(out, input) << kind;
+  }
+}
+
+TEST(Lz77Test, FindsLongRangeMatches) {
+  // A page that repeats with period 1000 should tokenize far below raw size.
+  std::string unit = MakeInput("random", 1000, 3);
+  std::string input;
+  for (int i = 0; i < 20; ++i) input += unit;
+  std::string tokens;
+  lz77::Tokenize(Slice(input), &tokens);
+  EXPECT_LT(tokens.size(), input.size() / 5);
+}
+
+TEST(Lz77Test, OverlappingMatchDecodes) {
+  // "aaaa..." forces matches whose source overlaps their own output.
+  std::string input(5000, 'a');
+  std::string tokens;
+  lz77::Tokenize(Slice(input), &tokens);
+  EXPECT_LT(tokens.size(), 200u);
+  std::string out;
+  ASSERT_TRUE(lz77::Detokenize(Slice(tokens), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(Lz77Test, InvalidDistanceRejected) {
+  // Match op referencing before the start of output.
+  std::string tokens;
+  tokens.push_back(static_cast<char>(0x80));
+  tokens.push_back(0);    // length - 4 = 0
+  tokens.push_back(10);   // distance - 1 = 10, but output is empty
+  std::string out;
+  EXPECT_TRUE(lz77::Detokenize(Slice(tokens), &out).IsCorruption());
+}
+
+}  // namespace
+}  // namespace modelhub

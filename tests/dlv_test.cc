@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "data/dataset.h"
+#include "data/synthetic_modeler.h"
+#include "dlv/catalog.h"
+#include "dlv/report.h"
+#include "dlv/repository.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace modelhub {
+namespace {
+
+// ---------------------------------------------------------------- Catalog
+
+TEST(CatalogTest, CreateInsertScan) {
+  MemEnv env;
+  auto catalog = Catalog::Open(&env, "cat.bin");
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog
+                  ->CreateTable({"t",
+                                 {{"id", ColumnType::kInt},
+                                  {"score", ColumnType::kReal},
+                                  {"name", ColumnType::kText}}})
+                  .ok());
+  EXPECT_TRUE(catalog->HasTable("t"));
+  EXPECT_FALSE(catalog->HasTable("u"));
+  ASSERT_TRUE(catalog->Insert("t", {int64_t{1}, 0.5, "a"}).ok());
+  ASSERT_TRUE(catalog->Insert("t", {int64_t{2}, 0.9, "b"}).ok());
+  auto rows = catalog->Scan("t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  auto filtered = catalog->Scan(
+      "t", [](const Row& row) { return row[1].AsReal() > 0.7; });
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered->size(), 1u);
+  EXPECT_EQ((*filtered)[0][2].AsText(), "b");
+}
+
+TEST(CatalogTest, TypeAndArityChecked) {
+  MemEnv env;
+  auto catalog = Catalog::Open(&env, "cat.bin");
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(
+      catalog->CreateTable({"t", {{"id", ColumnType::kInt}}}).ok());
+  EXPECT_TRUE(catalog->Insert("t", {0.5}).status().IsInvalidArgument());
+  EXPECT_TRUE(catalog->Insert("t", {int64_t{1}, int64_t{2}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(catalog->Insert("u", {int64_t{1}}).status().IsNotFound());
+  // Re-creating with the same schema is fine; different schema fails.
+  EXPECT_TRUE(catalog->CreateTable({"t", {{"id", ColumnType::kInt}}}).ok());
+  EXPECT_TRUE(catalog->CreateTable({"t", {{"id", ColumnType::kText}}})
+                  .IsAlreadyExists());
+}
+
+TEST(CatalogTest, PersistenceRoundTrip) {
+  MemEnv env;
+  {
+    auto catalog = Catalog::Open(&env, "cat.bin");
+    ASSERT_TRUE(catalog.ok());
+    ASSERT_TRUE(catalog
+                    ->CreateTable({"t",
+                                   {{"id", ColumnType::kInt},
+                                    {"v", ColumnType::kReal},
+                                    {"s", ColumnType::kText}}})
+                    .ok());
+    ASSERT_TRUE(catalog->Insert("t", {int64_t{-7}, 3.25, "hello"}).ok());
+    EXPECT_EQ(catalog->NextSequence(), 1);
+    EXPECT_EQ(catalog->NextSequence(), 2);
+    ASSERT_TRUE(catalog->Flush().ok());
+  }
+  {
+    auto catalog = Catalog::Open(&env, "cat.bin");
+    ASSERT_TRUE(catalog.ok());
+    auto rows = catalog->Scan("t");
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), 1u);
+    EXPECT_EQ((*rows)[0][0].AsInt(), -7);
+    EXPECT_DOUBLE_EQ((*rows)[0][1].AsReal(), 3.25);
+    EXPECT_EQ((*rows)[0][2].AsText(), "hello");
+    // Sequence numbers continue, never repeat.
+    EXPECT_EQ(catalog->NextSequence(), 3);
+  }
+}
+
+TEST(CatalogTest, Update) {
+  MemEnv env;
+  auto catalog = Catalog::Open(&env, "cat.bin");
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_TRUE(catalog
+                  ->CreateTable({"t",
+                                 {{"id", ColumnType::kInt},
+                                  {"state", ColumnType::kText}}})
+                  .ok());
+  ASSERT_TRUE(catalog->Insert("t", {int64_t{1}, "staging"}).ok());
+  ASSERT_TRUE(catalog->Insert("t", {int64_t{2}, "staging"}).ok());
+  ASSERT_TRUE(catalog->Insert("t", {int64_t{3}, "pas"}).ok());
+  auto updated = catalog->Update(
+      "t", [](const Row& r) { return r[1].AsText() == "staging"; },
+      [](Row* r) { (*r)[1] = "pas"; });
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 2);
+  auto rows = catalog->Scan(
+      "t", [](const Row& r) { return r[1].AsText() == "pas"; });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(CatalogTest, CorruptFileRejected) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("cat.bin", "garbage").ok());
+  EXPECT_FALSE(Catalog::Open(&env, "cat.bin").ok());
+}
+
+// ---------------------------------------------------------- Params serde
+
+TEST(ParamSerdeTest, RoundTrip) {
+  Rng rng(3);
+  std::vector<NamedParam> params;
+  FloatMatrix a(3, 4);
+  a.FillGaussian(&rng, 1.0f);
+  FloatMatrix b(1, 5);
+  b.FillGaussian(&rng, 1.0f);
+  params.push_back({"conv1.W", a});
+  params.push_back({"conv1.b", b});
+  const std::string bytes = SerializeParams(params);
+  auto back = ParseParams(Slice(bytes));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].name, "conv1.W");
+  EXPECT_TRUE((*back)[0].value.BitEquals(a));
+  EXPECT_TRUE((*back)[1].value.BitEquals(b));
+}
+
+TEST(ParamSerdeTest, TruncatedRejected) {
+  std::vector<NamedParam> params = {{"w", FloatMatrix(2, 2)}};
+  std::string bytes = SerializeParams(params);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(ParseParams(Slice(bytes)).ok());
+}
+
+// -------------------------------------------------------------- Repository
+
+/// Commits one trained mini model under `name`.
+void CommitTrained(Repository* repo, const std::string& name,
+                   const std::string& parent, uint64_t seed) {
+  const Dataset ds = MakeBlobDataset(96, 4, 12, 0.05f, seed);
+  NetworkDef def = MiniVgg(4, 12, 1);
+  def.set_name(name);
+  auto net = Network::Create(def);
+  ASSERT_TRUE(net.ok());
+  Rng rng(seed);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = 40;
+  options.snapshot_every = 20;
+  options.log_every = 10;
+  options.seed = seed;
+  auto trained = TrainNetwork(&*net, ds, options);
+  ASSERT_TRUE(trained.ok());
+  CommitRequest request;
+  request.name = name;
+  request.network = def;
+  request.snapshots = trained->snapshots;
+  request.log = trained->log;
+  request.hyperparams = {{"base_lr", "0.05"}};
+  request.parent = parent;
+  request.message = "test commit";
+  request.files = {{"notes.txt", "trained for test"}};
+  ASSERT_TRUE(repo->Commit(request).ok());
+}
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto repo = Repository::Init(&env_, "repo");
+    ASSERT_TRUE(repo.ok());
+    repo_ = std::make_unique<Repository>(std::move(*repo));
+  }
+
+  MemEnv env_;
+  std::unique_ptr<Repository> repo_;
+};
+
+TEST_F(RepositoryTest, InitIsExclusive) {
+  EXPECT_TRUE(Repository::Init(&env_, "repo").status().IsAlreadyExists());
+  EXPECT_TRUE(Repository::Open(&env_, "elsewhere").status().IsNotFound());
+}
+
+TEST_F(RepositoryTest, CommitListDescribe) {
+  CommitTrained(repo_.get(), "base", "", 1);
+  CommitTrained(repo_.get(), "variant", "base", 2);
+  auto list = repo_->List();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0].name, "base");
+  EXPECT_EQ((*list)[1].name, "variant");
+  EXPECT_EQ((*list)[1].parent, "base");
+  EXPECT_EQ((*list)[0].num_snapshots, 2);
+  EXPECT_GT((*list)[0].best_accuracy, 0.0);
+  EXPECT_FALSE((*list)[0].archived);
+  EXPECT_LT((*list)[0].created_at, (*list)[1].created_at);
+
+  auto desc = repo_->Describe("base");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_NE(desc->find("model version: base"), std::string::npos);
+  EXPECT_NE(desc->find("snapshots: 2"), std::string::npos);
+
+  auto lineage = repo_->GetLineage();
+  ASSERT_EQ(lineage.size(), 1u);
+  EXPECT_EQ(lineage[0].first, "base");
+  EXPECT_EQ(lineage[0].second, "variant");
+}
+
+TEST_F(RepositoryTest, DuplicateAndMissingNamesRejected) {
+  CommitTrained(repo_.get(), "base", "", 1);
+  CommitRequest request;
+  request.name = "base";
+  request.network = MiniVgg(4, 12, 1);
+  EXPECT_TRUE(repo_->Commit(request).status().IsAlreadyExists());
+  request.name = "x";
+  request.parent = "missing";
+  EXPECT_TRUE(repo_->Commit(request).status().IsNotFound());
+  EXPECT_TRUE(repo_->Describe("missing").status().IsNotFound());
+  EXPECT_TRUE(repo_->GetSnapshotParams("missing").status().IsNotFound());
+}
+
+TEST_F(RepositoryTest, SnapshotRoundTripThroughStaging) {
+  CommitTrained(repo_.get(), "base", "", 3);
+  auto params = repo_->GetSnapshotParams("base", 0);
+  ASSERT_TRUE(params.ok());
+  EXPECT_FALSE(params->empty());
+  auto latest = repo_->GetSnapshotParams("base", -1);
+  ASSERT_TRUE(latest.ok());
+  auto num = repo_->NumSnapshots("base");
+  ASSERT_TRUE(num.ok());
+  EXPECT_EQ(*num, 2);
+  EXPECT_TRUE(
+      repo_->GetSnapshotParams("base", 99).status().IsNotFound());
+}
+
+TEST_F(RepositoryTest, FilesAreContentAddressed) {
+  CommitTrained(repo_.get(), "base", "", 4);
+  auto contents = repo_->GetFile("base", "notes.txt");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "trained for test");
+  EXPECT_TRUE(repo_->GetFile("base", "nope").status().IsNotFound());
+}
+
+TEST_F(RepositoryTest, CopyScaffoldsNewVersion) {
+  CommitTrained(repo_.get(), "base", "", 5);
+  ASSERT_TRUE(repo_->Copy("base", "base-copy").ok());
+  auto info = repo_->GetInfo("base-copy");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->parent, "base");
+  EXPECT_EQ(info->num_snapshots, 0);
+  auto net = repo_->GetNetwork("base-copy");
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->name(), "base-copy");
+  auto hyper = repo_->GetHyperparams("base-copy");
+  ASSERT_TRUE(hyper.ok());
+  EXPECT_EQ(hyper->at("base_lr"), "0.05");
+}
+
+TEST_F(RepositoryTest, EvalRunsLatestSnapshot) {
+  CommitTrained(repo_.get(), "base", "", 6);
+  const Dataset ds = MakeBlobDataset(16, 4, 12, 0.05f, 6);
+  auto labels = repo_->Eval("base", ds.images);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 16u);
+}
+
+TEST_F(RepositoryTest, DiffReportsChanges) {
+  CommitTrained(repo_.get(), "base", "", 7);
+  // Mutated variant: extra ReLU + changed hyperparameter.
+  auto def = repo_->GetNetwork("base");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(
+      def->InsertAfter("pool1", MakeActivation("relu_new", LayerKind::kReLU))
+          .ok());
+  def->set_name("mutated");
+  CommitRequest request;
+  request.name = "mutated";
+  request.network = *def;
+  request.parent = "base";
+  request.hyperparams = {{"base_lr", "0.01"}};
+  ASSERT_TRUE(repo_->Commit(request).ok());
+  auto diff = repo_->Diff("base", "mutated");
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NE(diff->find("+ node relu_new"), std::string::npos);
+  EXPECT_NE(diff->find("~ hyperparam base_lr"), std::string::npos);
+}
+
+TEST_F(RepositoryTest, DiffParametersMeasuresDistance) {
+  CommitTrained(repo_.get(), "base", "", 11);
+  CommitTrained(repo_.get(), "other", "", 12);  // Different seed.
+  auto self_diff = repo_->DiffParameters("base", "base");
+  ASSERT_TRUE(self_diff.ok());
+  for (const auto& entry : *self_diff) {
+    EXPECT_DOUBLE_EQ(entry.l2_distance, 0.0) << entry.name;
+    EXPECT_FALSE(entry.only_in_a);
+    EXPECT_FALSE(entry.shape_changed);
+  }
+  auto cross_diff = repo_->DiffParameters("base", "other");
+  ASSERT_TRUE(cross_diff.ok());
+  double total = 0.0;
+  for (const auto& entry : *cross_diff) total += entry.l2_distance;
+  EXPECT_GT(total, 0.1);  // Independently trained: far apart.
+  EXPECT_TRUE(repo_->DiffParameters("base", "nope").status().IsNotFound());
+}
+
+TEST_F(RepositoryTest, CompareOnDataReportsAgreement) {
+  CommitTrained(repo_.get(), "base", "", 13);
+  CommitTrained(repo_.get(), "twin", "", 13);  // Same seed: same model.
+  CommitTrained(repo_.get(), "other", "", 14);
+  const Dataset ds = MakeBlobDataset(32, 4, 12, 0.05f, 13);
+  auto same = repo_->CompareOnData("base", "twin", ds.images);
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(same->agreement, 1.0);
+  auto cross = repo_->CompareOnData("base", "other", ds.images);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_GE(cross->agreement, 0.0);
+  EXPECT_LE(cross->agreement, 1.0);
+  EXPECT_EQ(cross->labels_a.size(), 32u);
+}
+
+TEST_F(RepositoryTest, PersistenceAcrossReopen) {
+  CommitTrained(repo_.get(), "base", "", 8);
+  auto reopened = Repository::Open(&env_, "repo");
+  ASSERT_TRUE(reopened.ok());
+  auto list = reopened->List();
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list->size(), 1u);
+  auto params = reopened->GetSnapshotParams("base");
+  ASSERT_TRUE(params.ok());
+}
+
+TEST_F(RepositoryTest, ArchiveMigratesSnapshotsAndStaysReadable) {
+  CommitTrained(repo_.get(), "base", "", 9);
+  CommitTrained(repo_.get(), "variant", "base", 10);
+  auto before = repo_->GetSnapshotParams("variant", 1);
+  ASSERT_TRUE(before.ok());
+
+  ArchiveOptions options;
+  options.solver = ArchiveSolver::kPasPt;
+  options.budget_alpha = 2.0;
+  auto report = repo_->Archive(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_vertices, 4 * 8);  // 4 snapshots x 8 matrices.
+
+  auto list = repo_->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE((*list)[0].archived);
+
+  // Retrieval now goes through PAS and returns (nearly) the same values.
+  auto after = repo_->GetSnapshotParams("variant", 1);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_TRUE((*after)[i].value.ApproxEquals((*before)[i].value, 1e-5f))
+        << (*after)[i].name;
+  }
+  // Eval still works post-archival.
+  const Dataset ds = MakeBlobDataset(8, 4, 12, 0.05f, 9);
+  EXPECT_TRUE(repo_->Eval("variant", ds.images).ok());
+}
+
+// ------------------------------------------------------------- HTML report
+
+TEST(HtmlReportTest, EscapesText) {
+  EXPECT_EQ(HtmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(HtmlEscape("plain"), "plain");
+}
+
+TEST_F(RepositoryTest, RenderHtmlReportContainsEverything) {
+  CommitTrained(repo_.get(), "base", "", 21);
+  CommitTrained(repo_.get(), "child<x>", "base", 22);
+  auto html = RenderHtmlReport(*repo_);
+  ASSERT_TRUE(html.ok());
+  // Version table rows, escaped names, lineage SVG, loss curve SVG,
+  // hyperparameters and log tables.
+  EXPECT_NE(html->find("<table>"), std::string::npos);
+  EXPECT_NE(html->find("base"), std::string::npos);
+  EXPECT_NE(html->find("child&lt;x&gt;"), std::string::npos);
+  EXPECT_EQ(html->find("child<x>"), std::string::npos);  // Never unescaped.
+  EXPECT_NE(html->find("class=\"lineage\""), std::string::npos);
+  EXPECT_NE(html->find("class=\"loss\""), std::string::npos);
+  EXPECT_NE(html->find("base_lr"), std::string::npos);
+  EXPECT_NE(html->find("</html>"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EmptyRepositoryRenders) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "empty");
+  ASSERT_TRUE(repo.ok());
+  auto html = RenderHtmlReport(*repo);
+  ASSERT_TRUE(html.ok());
+  EXPECT_NE(html->find("0 model version(s)"), std::string::npos);
+}
+
+// --------------------------------------------------------- SyntheticModeler
+
+TEST(SyntheticModelerTest, BuildsLineageRepository) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "sd");
+  ASSERT_TRUE(repo.ok());
+  ModelerOptions options;
+  options.num_versions = 4;
+  options.snapshots_per_version = 2;
+  options.train_iterations = 30;
+  options.dataset_samples = 96;
+  options.num_classes = 4;
+  options.image_size = 12;
+  auto names = RunSyntheticModeler(&*repo, options);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 4u);
+  auto list = repo->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 4u);
+  // Every non-base version has a parent among committed names.
+  for (size_t i = 1; i < list->size(); ++i) {
+    EXPECT_FALSE((*list)[i].parent.empty());
+  }
+  // All versions have snapshots and hyperparameters.
+  for (const auto& name : *names) {
+    auto num = repo->NumSnapshots(name);
+    ASSERT_TRUE(num.ok());
+    EXPECT_GE(*num, 2);
+    auto hyper = repo->GetHyperparams(name);
+    ASSERT_TRUE(hyper.ok());
+    EXPECT_TRUE(hyper->count("base_lr"));
+    auto file = repo->GetFile(name, "train_config.txt");
+    EXPECT_TRUE(file.ok());
+  }
+  // The whole repository archives cleanly.
+  ArchiveOptions archive_options;
+  archive_options.budget_alpha = 2.0;
+  auto report = repo->Archive(archive_options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->budgets_satisfied);
+}
+
+}  // namespace
+}  // namespace modelhub

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "pas/float_encoding.h"
+
+namespace modelhub {
+namespace {
+
+FloatMatrix RandomWeights(int64_t rows, int64_t cols, uint64_t seed,
+                          float stddev = 0.1f) {
+  Rng rng(seed);
+  FloatMatrix m(rows, cols);
+  m.FillGaussian(&rng, stddev);
+  return m;
+}
+
+// -------------------------------------------------------------- half/bf16
+
+TEST(HalfFloatTest, KnownValues) {
+  EXPECT_EQ(FloatToHalf(0.0f), 0u);
+  EXPECT_EQ(FloatToHalf(1.0f), 0x3C00u);
+  EXPECT_EQ(FloatToHalf(-2.0f), 0xC000u);
+  EXPECT_FLOAT_EQ(HalfToFloat(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(HalfToFloat(0x4000), 2.0f);
+  EXPECT_FLOAT_EQ(HalfToFloat(0x3555), 0.333251953125f);
+}
+
+TEST(HalfFloatTest, RoundTripErrorWithinHalfUlp) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = rng.UniformFloat(-100.0f, 100.0f);
+    const float back = HalfToFloat(FloatToHalf(v));
+    // Half has 11 significand bits: relative error <= 2^-11.
+    EXPECT_NEAR(back, v, std::fabs(v) * (1.0f / 2048.0f) + 1e-6f);
+  }
+}
+
+TEST(HalfFloatTest, OverflowToInf) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e20f))));
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(-1e20f))));
+}
+
+TEST(HalfFloatTest, SubnormalsSurvive) {
+  const float tiny = 1e-5f;  // Subnormal in half precision.
+  const float back = HalfToFloat(FloatToHalf(tiny));
+  EXPECT_NEAR(back, tiny, tiny * 0.05f);
+}
+
+TEST(Bfloat16Test, RoundTripErrorWithin8Bits) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = rng.UniformFloat(-1e6f, 1e6f);
+    const float back = Bfloat16ToFloat(FloatToBfloat16(v));
+    // bfloat16 has 8 significand bits: relative error <= 2^-8.
+    EXPECT_NEAR(back, v, std::fabs(v) * (1.0f / 256.0f) + 1e-30f);
+  }
+}
+
+TEST(Bfloat16Test, PreservesExponentRange) {
+  // bfloat16 keeps float32's exponent: no overflow at 1e20.
+  const float back = Bfloat16ToFloat(FloatToBfloat16(1e20f));
+  EXPECT_FALSE(std::isinf(back));
+  EXPECT_NEAR(back, 1e20f, 1e20f / 256.0f);
+}
+
+// -------------------------------------------------------------- schemes
+
+TEST(FloatSchemeTest, Float32IsLossless) {
+  const FloatMatrix m = RandomWeights(32, 32, 3);
+  auto encoded = EncodeMatrix(m, {FloatSchemeKind::kFloat32, 32});
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->PayloadBytes(), m.size() * 4);
+  auto decoded = DecodeMatrix(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->BitEquals(m));
+}
+
+struct LossyCase {
+  FloatScheme scheme;
+  double max_rel_payload;  // Payload bytes / float32 bytes.
+  float max_abs_error;     // On N(0, 0.1) weights.
+};
+
+class LossySchemeTest : public ::testing::TestWithParam<LossyCase> {};
+
+TEST_P(LossySchemeTest, PayloadShrinksAndErrorBounded) {
+  const LossyCase& test_case = GetParam();
+  const FloatMatrix m = RandomWeights(64, 64, 7);
+  Rng rng(11);
+  auto encoded = EncodeMatrix(m, test_case.scheme, &rng);
+  ASSERT_TRUE(encoded.ok()) << test_case.scheme.ToString();
+  EXPECT_LE(encoded->PayloadBytes(),
+            static_cast<int64_t>(m.size() * 4 * test_case.max_rel_payload) + 8)
+      << test_case.scheme.ToString();
+  auto decoded = DecodeMatrix(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->rows(), m.rows());
+  float max_err = 0.0f;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    max_err = std::max(max_err,
+                       std::fabs(decoded->data()[static_cast<size_t>(i)] -
+                                 m.data()[static_cast<size_t>(i)]));
+  }
+  EXPECT_LE(max_err, test_case.max_abs_error) << test_case.scheme.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LossySchemeTest,
+    ::testing::Values(
+        LossyCase{{FloatSchemeKind::kFloat16, 16}, 0.5, 1e-3f},
+        LossyCase{{FloatSchemeKind::kBFloat16, 16}, 0.5, 3e-3f},
+        LossyCase{{FloatSchemeKind::kFixedPoint, 16}, 0.5, 1e-4f},
+        LossyCase{{FloatSchemeKind::kFixedPoint, 8}, 0.25, 8e-3f},
+        LossyCase{{FloatSchemeKind::kQuantUniform, 8}, 0.25, 8e-3f},
+        LossyCase{{FloatSchemeKind::kQuantUniform, 4}, 0.125, 0.12f},
+        // Random codebooks give weaker worst-case error.
+        LossyCase{{FloatSchemeKind::kQuantRandom, 8}, 0.25, 0.25f},
+        LossyCase{{FloatSchemeKind::kQuantRandom, 4}, 0.125, 0.5f}));
+
+TEST(FloatSchemeTest, FixedPointExactOnPowersOfTwo) {
+  FloatMatrix m(1, 4);
+  m.data() = {0.5f, -0.25f, 1.0f, 0.0f};
+  auto encoded = EncodeMatrix(m, {FloatSchemeKind::kFixedPoint, 16});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeMatrix(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(decoded->data()[static_cast<size_t>(i)],
+                    m.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(FloatSchemeTest, QuantizationUsesAtMost2PowKValues) {
+  const FloatMatrix m = RandomWeights(64, 64, 9);
+  Rng rng(13);
+  for (FloatSchemeKind kind :
+       {FloatSchemeKind::kQuantUniform, FloatSchemeKind::kQuantRandom}) {
+    auto encoded = EncodeMatrix(m, {kind, 4}, &rng);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(encoded->codebook.size(), 16u);
+    auto decoded = DecodeMatrix(*encoded);
+    ASSERT_TRUE(decoded.ok());
+    std::set<float> distinct(decoded->data().begin(), decoded->data().end());
+    EXPECT_LE(distinct.size(), 16u);
+  }
+}
+
+TEST(FloatSchemeTest, InvalidConfigsRejected) {
+  const FloatMatrix m = RandomWeights(4, 4, 1);
+  EXPECT_TRUE(EncodeMatrix(m, {FloatSchemeKind::kFixedPoint, 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EncodeMatrix(m, {FloatSchemeKind::kFixedPoint, 30})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EncodeMatrix(m, {FloatSchemeKind::kQuantUniform, 9})
+                  .status()
+                  .IsInvalidArgument());
+  // Random quantization needs an Rng.
+  EXPECT_TRUE(EncodeMatrix(m, {FloatSchemeKind::kQuantRandom, 4}, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EncodeMatrix(FloatMatrix(), {FloatSchemeKind::kQuantUniform, 4})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FloatSchemeTest, AddConstantNormalization) {
+  const FloatMatrix m = RandomWeights(8, 8, 21);
+  const FloatMatrix shifted = AddConstant(m, 4.0f);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_FLOAT_EQ(shifted.data()[static_cast<size_t>(i)],
+                    m.data()[static_cast<size_t>(i)] + 4.0f);
+    // All values now positive with aligned exponent byte.
+    EXPECT_GT(shifted.data()[static_cast<size_t>(i)], 0.0f);
+  }
+}
+
+TEST(FloatSchemeTest, NamesAndBitWidths) {
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kFloat32, 32}).ToString(),
+            "float32");
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kFloat16, 16}).ToString(),
+            "float16");
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kBFloat16, 16}).ToString(),
+            "bfloat16");
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kFixedPoint, 12}).ToString(),
+            "fixed12");
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kQuantUniform, 4}).ToString(),
+            "quant-uniform4");
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kQuantRandom, 8}).ToString(),
+            "quant-random8");
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kFloat32, 32}).BitsPerValue(), 32);
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kFloat16, 16}).BitsPerValue(), 16);
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kFixedPoint, 12}).BitsPerValue(),
+            12);
+  EXPECT_EQ((FloatScheme{FloatSchemeKind::kQuantUniform, 4}).BitsPerValue(),
+            4);
+}
+
+}  // namespace
+}  // namespace modelhub

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/gemm.h"
+
+namespace modelhub {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.UniformFloat(-1, 1);
+  return v;
+}
+
+using GemmCase = std::tuple<int, int, int>;  // m, k, n.
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, AllVariantsMatchNaiveReference) {
+  const auto& [m, k, n] = GetParam();
+  const auto a = RandomVec(static_cast<size_t>(m * k), 1);
+  const auto b = RandomVec(static_cast<size_t>(k * n), 2);
+  // Transposed operand layouts for NT / TN.
+  const auto b_t = RandomVec(static_cast<size_t>(n * k), 3);   // [n x k].
+  const auto a_t = RandomVec(static_cast<size_t>(k * m), 4);   // [k x m].
+  const auto c0 = RandomVec(static_cast<size_t>(m * n), 5);    // Accumulator.
+
+  // NN.
+  {
+    std::vector<float> c = c0;
+    GemmNN(a.data(), b.data(), c.data(), m, k, n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float expected = c0[static_cast<size_t>(i * n + j)];
+        for (int p = 0; p < k; ++p) {
+          expected += a[static_cast<size_t>(i * k + p)] *
+                      b[static_cast<size_t>(p * n + j)];
+        }
+        EXPECT_NEAR(c[static_cast<size_t>(i * n + j)], expected, 1e-4f);
+      }
+    }
+  }
+  // NT: C += A * B^T with B stored [n x k].
+  {
+    std::vector<float> c = c0;
+    GemmNT(a.data(), b_t.data(), c.data(), m, k, n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float expected = c0[static_cast<size_t>(i * n + j)];
+        for (int p = 0; p < k; ++p) {
+          expected += a[static_cast<size_t>(i * k + p)] *
+                      b_t[static_cast<size_t>(j * k + p)];
+        }
+        EXPECT_NEAR(c[static_cast<size_t>(i * n + j)], expected, 1e-4f);
+      }
+    }
+  }
+  // TN: C += A^T * B with A stored [k x m].
+  {
+    std::vector<float> c = c0;
+    GemmTN(a_t.data(), b.data(), c.data(), m, k, n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float expected = c0[static_cast<size_t>(i * n + j)];
+        for (int p = 0; p < k; ++p) {
+          expected += a_t[static_cast<size_t>(p * m + i)] *
+                      b[static_cast<size_t>(p * n + j)];
+        }
+        EXPECT_NEAR(c[static_cast<size_t>(i * n + j)], expected, 1e-4f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmTest,
+                         ::testing::Values(GemmCase{1, 1, 1},
+                                           GemmCase{3, 4, 5},
+                                           GemmCase{8, 8, 8},
+                                           GemmCase{16, 5, 9},
+                                           GemmCase{5, 31, 2},
+                                           GemmCase{17, 13, 19}));
+
+using ColCase = std::tuple<int, int, int, int>;  // c, size, kernel/stride/pad packed below.
+
+class Im2ColTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(Im2ColTest, AdjointIdentityHolds) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> for all x, y — the defining property
+  // that makes the GEMM backward pass correct.
+  const auto& [c, size, kernel, stride, pad] = GetParam();
+  const int oh = (size + 2 * pad - kernel) / stride + 1;
+  if (oh <= 0) {
+    GTEST_SKIP() << "degenerate shape";
+  }
+  const int64_t patch = static_cast<int64_t>(c) * kernel * kernel;
+  const int64_t out_area = static_cast<int64_t>(oh) * oh;
+  const auto x = RandomVec(static_cast<size_t>(c * size * size), 11);
+  const auto y = RandomVec(static_cast<size_t>(patch * out_area), 12);
+
+  std::vector<float> cols(static_cast<size_t>(patch * out_area), 0.0f);
+  Im2Col(x.data(), c, size, size, kernel, stride, pad, oh, oh, cols.data());
+  double lhs = 0.0;
+  for (size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+
+  std::vector<float> scattered(x.size(), 0.0f);
+  Col2ImAccumulate(y.data(), c, size, size, kernel, stride, pad, oh, oh,
+                   scattered.data());
+  double rhs = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) rhs += x[i] * scattered[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (1.0 + std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2ColTest,
+    ::testing::Values(std::tuple{1, 4, 3, 1, 0}, std::tuple{2, 8, 3, 1, 1},
+                      std::tuple{3, 9, 5, 2, 2}, std::tuple{1, 6, 1, 1, 0},
+                      std::tuple{2, 7, 3, 2, 0}, std::tuple{4, 5, 5, 1, 2}));
+
+TEST(Im2ColTest, ValuesLandWhereExpected) {
+  // 1-channel 3x3 input, 2x2 kernel, stride 1, no pad: 4 columns of 4.
+  const std::vector<float> x = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(4 * 4, -1.0f);
+  Im2Col(x.data(), 1, 3, 3, 2, 1, 0, 2, 2, cols.data());
+  // Row layout: (kh,kw) major; column = output position (oh*2+ow).
+  // (0,0): inputs at (oh,ow): 1,2,4,5.
+  EXPECT_EQ(cols[0], 1);
+  EXPECT_EQ(cols[1], 2);
+  EXPECT_EQ(cols[2], 4);
+  EXPECT_EQ(cols[3], 5);
+  // (1,1): 5,6,8,9.
+  EXPECT_EQ(cols[12], 5);
+  EXPECT_EQ(cols[13], 6);
+  EXPECT_EQ(cols[14], 8);
+  EXPECT_EQ(cols[15], 9);
+}
+
+TEST(Im2ColTest, PaddingYieldsZeros) {
+  const std::vector<float> x = {1, 2, 3, 4};
+  // 2x2 input, 3x3 kernel, pad 1 -> 2x2 output... (2+2-3)/1+1 = 2.
+  std::vector<float> cols(9 * 4, -1.0f);
+  Im2Col(x.data(), 1, 2, 2, 3, 1, 1, 2, 2, cols.data());
+  // The (0,0) tap at output (0,0) reads input (-1,-1): zero.
+  EXPECT_EQ(cols[0], 0.0f);
+  // The (1,1) tap at output (0,0) reads input (0,0): 1.
+  EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+}  // namespace
+}  // namespace modelhub

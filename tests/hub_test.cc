@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "data/dataset.h"
+#include "hub/hub.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace modelhub {
+namespace {
+
+void CommitOne(Repository* repo, const std::string& name) {
+  const Dataset ds = MakeBlobDataset(64, 4, 12, 0.05f, name.size());
+  NetworkDef def = MiniVgg(4, 12, 1);
+  def.set_name(name);
+  auto net = Network::Create(def);
+  ASSERT_TRUE(net.ok());
+  Rng rng(1);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = 20;
+  options.snapshot_every = 10;
+  auto trained = TrainNetwork(&*net, ds, options);
+  ASSERT_TRUE(trained.ok());
+  CommitRequest request;
+  request.name = name;
+  request.network = def;
+  request.snapshots = trained->snapshots;
+  request.log = trained->log;
+  ASSERT_TRUE(repo->Commit(request).ok());
+}
+
+TEST(CopyTreeTest, CopiesNestedTrees) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirs("a/b/c").ok());
+  ASSERT_TRUE(env.WriteFile("a/top.txt", "1").ok());
+  ASSERT_TRUE(env.WriteFile("a/b/mid.txt", "2").ok());
+  ASSERT_TRUE(env.WriteFile("a/b/c/leaf.txt", "3").ok());
+  ASSERT_TRUE(CopyTree(&env, "a", "copy").ok());
+  EXPECT_EQ(*env.ReadFile("copy/top.txt"), "1");
+  EXPECT_EQ(*env.ReadFile("copy/b/mid.txt"), "2");
+  EXPECT_EQ(*env.ReadFile("copy/b/c/leaf.txt"), "3");
+  EXPECT_TRUE(CopyTree(&env, "missing", "x").IsNotFound());
+}
+
+class HubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto repo = Repository::Init(&env_, "local/alexrepo");
+    ASSERT_TRUE(repo.ok());
+    CommitOne(&*repo, "alexnet_v1");
+    CommitOne(&*repo, "alexnet_v2");
+    auto other = Repository::Init(&env_, "local/vggrepo");
+    ASSERT_TRUE(other.ok());
+    CommitOne(&*other, "vgg_tiny");
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(HubTest, PublishSearchPull) {
+  ModelHubService hub(&env_, "hub");
+  ASSERT_TRUE(hub.Publish("local/alexrepo", "alice", "alexnets").ok());
+  ASSERT_TRUE(hub.Publish("local/vggrepo", "bob", "vggs").ok());
+
+  auto repos = hub.ListRepositories();
+  ASSERT_TRUE(repos.ok());
+  EXPECT_EQ(*repos,
+            (std::vector<std::string>{"alice/alexnets", "bob/vggs"}));
+
+  auto hits = hub.Search("alexnet%");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].user, "alice");
+  EXPECT_EQ((*hits)[0].version_name, "alexnet_v1");
+  EXPECT_EQ((*hits)[0].num_snapshots, 2);
+
+  auto all = hub.Search("");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+
+  // Pull to a new location and use the models.
+  auto pulled = hub.Pull("alice", "alexnets", "local/clone");
+  ASSERT_TRUE(pulled.ok());
+  auto list = pulled->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+  auto params = pulled->GetSnapshotParams("alexnet_v2");
+  EXPECT_TRUE(params.ok());
+}
+
+TEST_F(HubTest, PublishValidatesSource) {
+  ModelHubService hub(&env_, "hub");
+  EXPECT_TRUE(hub.Publish("local/nonexistent", "alice", "x").IsNotFound());
+  EXPECT_TRUE(
+      hub.Publish("local/alexrepo", "", "x").IsInvalidArgument());
+}
+
+TEST_F(HubTest, PullGuardsAndMisses) {
+  ModelHubService hub(&env_, "hub");
+  ASSERT_TRUE(hub.Publish("local/alexrepo", "alice", "alexnets").ok());
+  EXPECT_TRUE(
+      hub.Pull("alice", "nothere", "local/c2").status().IsNotFound());
+  // Pulling over an existing repository is refused.
+  EXPECT_TRUE(hub.Pull("alice", "alexnets", "local/alexrepo")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(HubTest, RepublishOverwrites) {
+  ModelHubService hub(&env_, "hub");
+  ASSERT_TRUE(hub.Publish("local/alexrepo", "alice", "alexnets").ok());
+  // Add a version locally and republish.
+  auto repo = Repository::Open(&env_, "local/alexrepo");
+  ASSERT_TRUE(repo.ok());
+  CommitOne(&*repo, "alexnet_v3");
+  ASSERT_TRUE(hub.Publish("local/alexrepo", "alice", "alexnets").ok());
+  auto hits = hub.Search("alexnet_v3");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+}  // namespace
+}  // namespace modelhub

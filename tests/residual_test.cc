@@ -1,0 +1,296 @@
+// Tests for DAG execution: residual (fan-out + eltwise-add) networks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "nn/interval_eval.h"
+#include "nn/network.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace modelhub {
+namespace {
+
+TEST(DagShapeTest, ResidualShapesInfer) {
+  NetworkDef def = MiniResNet(4, 12, 2, 6);
+  EXPECT_TRUE(def.Validate().ok());
+  EXPECT_FALSE(def.IsChain());  // Fan-out at every skip.
+  auto shapes = InferDagShapes(def);
+  ASSERT_TRUE(shapes.ok());
+  // Every residual add preserves the stem shape 6 x 12 x 12.
+  for (const auto& ns : *shapes) {
+    if (ns.name.find("_add") != std::string::npos) {
+      EXPECT_EQ(ns.out.c, 6);
+      EXPECT_EQ(ns.out.h, 12);
+      EXPECT_EQ(ns.out.w, 12);
+    }
+  }
+}
+
+TEST(DagShapeTest, AddNodeArityValidated) {
+  NetworkDef def("bad", 1, 8, 8);
+  ASSERT_TRUE(def.Append(MakeConv("c1", 4, 3, 1, 1)).ok());
+  ASSERT_TRUE(def.Append(MakeEltwiseAdd("add")).ok());  // Only one input.
+  ASSERT_TRUE(def.Append(MakeFull("fc", 2)).ok());
+  EXPECT_FALSE(InferDagShapes(def).ok());
+}
+
+TEST(DagShapeTest, AddShapeMismatchRejected) {
+  NetworkDef def("bad", 1, 8, 8);
+  ASSERT_TRUE(def.AddNode(MakeConv("a", 4, 3, 1, 1)).ok());
+  ASSERT_TRUE(def.AddNode(MakeConv("b", 8, 3, 1, 1)).ok());  // 8 channels.
+  ASSERT_TRUE(def.AddNode(MakeEltwiseAdd("add")).ok());
+  // Two sources feeding the add: also violates the single-source rule, and
+  // even with one source the channel mismatch must be rejected.
+  ASSERT_TRUE(def.AddEdge("a", "add").ok());
+  ASSERT_TRUE(def.AddEdge("b", "add").ok());
+  EXPECT_FALSE(InferDagShapes(def).ok());
+}
+
+TEST(DagShapeTest, MultiInputNonAddRejected) {
+  NetworkDef def("bad", 1, 8, 8);
+  ASSERT_TRUE(def.AddNode(MakeConv("a", 4, 3, 1, 1)).ok());
+  ASSERT_TRUE(def.AddNode(MakeActivation("r1", LayerKind::kReLU)).ok());
+  ASSERT_TRUE(def.AddNode(MakeActivation("r2", LayerKind::kReLU)).ok());
+  ASSERT_TRUE(def.AddNode(MakeActivation("join", LayerKind::kTanh)).ok());
+  ASSERT_TRUE(def.AddEdge("a", "r1").ok());
+  ASSERT_TRUE(def.AddEdge("a", "r2").ok());
+  ASSERT_TRUE(def.AddEdge("r1", "join").ok());
+  ASSERT_TRUE(def.AddEdge("r2", "join").ok());
+  EXPECT_FALSE(InferDagShapes(def).ok());
+}
+
+TEST(ResidualNetworkTest, ForwardMatchesManualSkipComputation) {
+  // One residual block where the conv path is forced to zero weights:
+  // the output must equal relu(stem output) passed through the skip.
+  NetworkDef def = MiniResNet(3, 8, 1, 4);
+  auto net = Network::Create(def);
+  ASSERT_TRUE(net.ok());
+  Rng rng(3);
+  net->InitializeWeights(&rng);
+  // Zero the block's convs: add output == skip input.
+  auto params = net->GetParameters();
+  for (auto& param : params) {
+    if (param.name.find("res0_") != std::string::npos) {
+      param.value.Fill(0.0f);
+    }
+  }
+  ASSERT_TRUE(net->SetParameters(params).ok());
+
+  Tensor input(2, 1, 8, 8);
+  for (auto& v : input.data()) v = rng.UniformFloat(0, 1);
+  Tensor with_block;
+  ASSERT_TRUE(net->Forward(input, &with_block).ok());
+
+  // The same network without the residual block.
+  NetworkDef plain("plain", 1, 8, 8);
+  ASSERT_TRUE(plain.Append(MakeConv("conv1", 4, 3, 1, 1)).ok());
+  ASSERT_TRUE(plain.Append(MakeActivation("relu1", LayerKind::kReLU)).ok());
+  // res0_relu2(relu1 + 0) == relu1 since relu1 >= 0.
+  ASSERT_TRUE(plain.Append(MakePool("pool_final", PoolMode::kMax, 2, 2)).ok());
+  ASSERT_TRUE(plain.Append(MakeFull("fc", 3)).ok());
+  ASSERT_TRUE(plain.Append(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  auto plain_net = Network::Create(plain);
+  ASSERT_TRUE(plain_net.ok());
+  // Copy the shared parameters.
+  std::vector<NamedParam> shared;
+  for (const auto& param : params) {
+    if (param.name.rfind("conv1.", 0) == 0 || param.name.rfind("fc.", 0) == 0) {
+      shared.push_back(param);
+    }
+  }
+  ASSERT_TRUE(plain_net->SetParameters(shared).ok());
+  Tensor without_block;
+  ASSERT_TRUE(plain_net->Forward(input, &without_block).ok());
+
+  ASSERT_EQ(with_block.data().size(), without_block.data().size());
+  for (size_t i = 0; i < with_block.data().size(); ++i) {
+    EXPECT_NEAR(with_block.data()[i], without_block.data()[i], 1e-5f);
+  }
+}
+
+/// A residual net with smooth activations (tanh / sigmoid / avg pool):
+/// central differences are then accurate, isolating the DAG wiring from
+/// ReLU / max-pool kink noise.
+NetworkDef SmoothResidualNet() {
+  NetworkDef def("smooth-res", 1, 8, 8);
+  EXPECT_TRUE(def.Append(MakeConv("conv1", 4, 3, 1, 1)).ok());
+  EXPECT_TRUE(def.Append(MakeActivation("tanh1", LayerKind::kTanh)).ok());
+  // Residual block with tanh in the middle.
+  EXPECT_TRUE(def.AddNode(MakeConv("res_conv1", 4, 3, 1, 1)).ok());
+  EXPECT_TRUE(def.AddNode(MakeActivation("res_tanh", LayerKind::kTanh)).ok());
+  EXPECT_TRUE(def.AddNode(MakeConv("res_conv2", 4, 3, 1, 1)).ok());
+  EXPECT_TRUE(def.AddNode(MakeEltwiseAdd("res_add")).ok());
+  EXPECT_TRUE(def.AddEdge("tanh1", "res_conv1").ok());
+  EXPECT_TRUE(def.AddEdge("res_conv1", "res_tanh").ok());
+  EXPECT_TRUE(def.AddEdge("res_tanh", "res_conv2").ok());
+  EXPECT_TRUE(def.AddEdge("res_conv2", "res_add").ok());
+  EXPECT_TRUE(def.AddEdge("tanh1", "res_add").ok());  // Skip.
+  EXPECT_TRUE(def.AddNode(MakeActivation("sig", LayerKind::kSigmoid)).ok());
+  EXPECT_TRUE(def.AddEdge("res_add", "sig").ok());
+  EXPECT_TRUE(def.AddNode(MakePool("pool", PoolMode::kAvg, 2, 2)).ok());
+  EXPECT_TRUE(def.AddEdge("sig", "pool").ok());
+  EXPECT_TRUE(def.AddNode(MakeFull("fc", 3)).ok());
+  EXPECT_TRUE(def.AddEdge("pool", "fc").ok());
+  EXPECT_TRUE(def.AddNode(MakeActivation("prob", LayerKind::kSoftmax)).ok());
+  EXPECT_TRUE(def.AddEdge("fc", "prob").ok());
+  return def;
+}
+
+TEST(ResidualNetworkTest, GradientsMatchNumericalDifferentiation) {
+  NetworkDef def = SmoothResidualNet();
+  auto net_result = Network::Create(def);
+  ASSERT_TRUE(net_result.ok());
+  Network& net = *net_result;
+  Rng rng(11);
+  net.InitializeWeights(&rng);
+
+  Tensor input(2, 1, 8, 8);
+  for (auto& v : input.data()) v = rng.UniformFloat(-1, 1);
+  const std::vector<int> labels = {0, 2};
+
+  auto loss = net.ForwardBackward(input, labels, &rng);
+  ASSERT_TRUE(loss.ok());
+  const auto grads = net.GetGradients();
+  auto params = net.GetParameters();
+
+  const float eps = 1e-2f;
+  int checked = 0;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    FloatMatrix& m = params[pi].value;
+    for (int probe = 0; probe < 3; ++probe) {
+      const int64_t idx =
+          static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(m.size())));
+      const float original = m.data()[idx];
+      m.data()[idx] = original + eps;
+      ASSERT_TRUE(net.SetParameters({params[pi]}).ok());
+      auto loss_plus = net.ForwardBackward(input, labels, &rng);
+      ASSERT_TRUE(loss_plus.ok());
+      m.data()[idx] = original - eps;
+      ASSERT_TRUE(net.SetParameters({params[pi]}).ok());
+      auto loss_minus = net.ForwardBackward(input, labels, &rng);
+      ASSERT_TRUE(loss_minus.ok());
+      m.data()[idx] = original;
+      ASSERT_TRUE(net.SetParameters({params[pi]}).ok());
+
+      const double numeric = (*loss_plus - *loss_minus) / (2.0 * eps);
+      const double analytic = grads[pi].value.data()[idx];
+      const double scale =
+          std::max({std::fabs(numeric), std::fabs(analytic), 1e-3});
+      EXPECT_NEAR(analytic, numeric, 0.15 * scale)
+          << params[pi].name << "[" << idx << "]";
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 15);
+}
+
+TEST(ResidualNetworkTest, TrainsOnBlobs) {
+  const Dataset ds = MakeBlobDataset(192, 4, 12, 0.05f, 7);
+  auto net = Network::Create(MiniResNet(4, 12, 2, 6));
+  ASSERT_TRUE(net.ok());
+  Rng rng(5);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = 100;
+  options.batch_size = 16;
+  options.base_learning_rate = 0.05f;
+  auto result = TrainNetwork(&*net, ds, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_accuracy, 0.9);
+}
+
+TEST(ResidualNetworkTest, IntervalSoundnessThroughSkips) {
+  NetworkDef def = MiniResNet(3, 8, 1, 4);
+  auto net = Network::Create(def);
+  ASSERT_TRUE(net.ok());
+  Rng rng(23);
+  net->InitializeWeights(&rng);
+  Tensor input(2, 1, 8, 8);
+  for (auto& v : input.data()) v = rng.UniformFloat(0, 1);
+
+  const float delta = 0.01f;
+  std::map<std::string, IntervalMatrix> bounds;
+  auto params = net->GetParameters();
+  for (const auto& param : params) {
+    FloatMatrix lo = param.value;
+    FloatMatrix hi = param.value;
+    for (auto& v : lo.data()) v -= delta;
+    for (auto& v : hi.data()) v += delta;
+    bounds.emplace(param.name,
+                   *IntervalMatrix::FromBounds(std::move(lo), std::move(hi)));
+  }
+  IntervalEvaluator evaluator(&*net);
+  auto intervals = evaluator.Forward(input, bounds);
+  ASSERT_TRUE(intervals.ok());
+
+  // Sample perturbed weights inside the bounds; logits must stay inside
+  // the intervals (through fan-out and the add join).
+  NetworkDef logits_def = *def.Slice("conv1", "fc");
+  for (int trial = 0; trial < 8; ++trial) {
+    auto perturbed = params;
+    for (auto& param : perturbed) {
+      for (auto& v : param.value.data()) v += rng.UniformFloat(-delta, delta);
+    }
+    auto logits_net = Network::Create(logits_def);
+    ASSERT_TRUE(logits_net.ok());
+    ASSERT_TRUE(logits_net->SetParameters(perturbed).ok());
+    Tensor logits;
+    ASSERT_TRUE(logits_net->Forward(input, &logits).ok());
+    for (int64_t n = 0; n < 2; ++n) {
+      for (int64_t j = 0; j < 3; ++j) {
+        const Interval& iv =
+            (*intervals)[static_cast<size_t>(n)][static_cast<size_t>(j)];
+        const float v = logits.At(n, j, 0, 0);
+        EXPECT_GE(v, iv.lo - 1e-3f);
+        EXPECT_LE(v, iv.hi + 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(ResidualNetworkTest, SnapshotsArchiveAndEvalViaRepositoryPath) {
+  // Residual parameters flow through GetParameters/SetParameters unchanged,
+  // so PAS archival needs no special casing — spot-check the round trip.
+  auto net = Network::Create(MiniResNet(3, 8, 1, 4));
+  ASSERT_TRUE(net.ok());
+  Rng rng(31);
+  net->InitializeWeights(&rng);
+  const auto params = net->GetParameters();
+  // res block convs have parameters; add/relu do not.
+  int res_convs = 0;
+  for (const auto& param : params) {
+    if (param.name.find("res0_conv") != std::string::npos) ++res_convs;
+  }
+  EXPECT_EQ(res_convs, 4);  // 2 convs x (W, b).
+  auto net2 = Network::Create(MiniResNet(3, 8, 1, 4));
+  ASSERT_TRUE(net2.ok());
+  ASSERT_TRUE(net2->SetParameters(params).ok());
+  Tensor input(1, 1, 8, 8);
+  for (auto& v : input.data()) v = rng.UniformFloat(0, 1);
+  Tensor a;
+  Tensor b;
+  ASSERT_TRUE(net->Forward(input, &a).ok());
+  ASSERT_TRUE(net2->Forward(input, &b).ok());
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(ZooTest, ResNetStyleValidatesAndCounts) {
+  NetworkDef def = ResNetStyle(1000, 16, 64);
+  EXPECT_TRUE(def.Validate().ok());
+  auto count = def.ParameterCount();
+  ASSERT_TRUE(count.ok());
+  // Stem 7x7x3x64 + 32 convs of 3x3x64x64 + fc: ~1.3M at width 64.
+  EXPECT_GT(*count, 1'000'000);
+  auto shapes = InferDagShapes(def);
+  EXPECT_TRUE(shapes.ok());
+}
+
+}  // namespace
+}  // namespace modelhub

@@ -1,0 +1,230 @@
+// Failure-injection and robustness tests: corrupted artifacts, missing
+// files, partially written state, and garbage inputs must produce clean
+// Status errors — never crashes, hangs, or silent wrong answers.
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "data/dataset.h"
+#include "dlv/repository.h"
+#include "dql/parser.h"
+#include "nn/network_def.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+#include "pas/archive.h"
+
+namespace modelhub {
+namespace {
+
+void CommitTrained(Repository* repo, const std::string& name, uint64_t seed) {
+  const Dataset ds = MakeBlobDataset(64, 4, 12, 0.05f, seed);
+  NetworkDef def = MiniVgg(4, 12, 1);
+  def.set_name(name);
+  auto net = Network::Create(def);
+  ASSERT_TRUE(net.ok());
+  Rng rng(seed);
+  net->InitializeWeights(&rng);
+  TrainOptions options;
+  options.iterations = 20;
+  options.snapshot_every = 10;
+  options.seed = seed;
+  auto trained = TrainNetwork(&*net, ds, options);
+  ASSERT_TRUE(trained.ok());
+  CommitRequest request;
+  request.name = name;
+  request.network = def;
+  request.snapshots = trained->snapshots;
+  ASSERT_TRUE(repo->Commit(request).ok());
+}
+
+// --------------------------------------------------------- repo artifacts
+
+TEST(RobustnessTest, MissingStagingFileIsCleanError) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "r");
+  ASSERT_TRUE(repo.ok());
+  CommitTrained(&*repo, "m", 1);
+  // Delete one staged snapshot file behind the repository's back.
+  ASSERT_TRUE(env.DeleteFile("r/staging/m.s0.params").ok());
+  auto params = repo->GetSnapshotParams("m", 0);
+  EXPECT_TRUE(params.status().IsNotFound());
+  // The other snapshot is still readable.
+  EXPECT_TRUE(repo->GetSnapshotParams("m", 1).ok());
+}
+
+TEST(RobustnessTest, CorruptStagingFileIsCleanError) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "r");
+  ASSERT_TRUE(repo.ok());
+  CommitTrained(&*repo, "m", 2);
+  ASSERT_TRUE(env.WriteFile("r/staging/m.s0.params", "garbage!").ok());
+  auto params = repo->GetSnapshotParams("m", 0);
+  EXPECT_FALSE(params.ok());
+}
+
+TEST(RobustnessTest, CorruptCatalogIsCleanError) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "r");
+  ASSERT_TRUE(repo.ok());
+  CommitTrained(&*repo, "m", 3);
+  auto contents = env.ReadFile("r/catalog.bin");
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = *contents;
+  corrupted[corrupted.size() / 2] ^= 0x5A;
+  ASSERT_TRUE(env.WriteFile("r/catalog.bin", corrupted).ok());
+  // Reopening either fails cleanly or (if the flip landed in a string
+  // payload) opens; both are acceptable, crashes are not.
+  auto reopened = Repository::Open(&env, "r");
+  if (reopened.ok()) {
+    (void)reopened->List();
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, TruncatedCatalogPrefixesAreCleanErrors) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "r");
+  ASSERT_TRUE(repo.ok());
+  CommitTrained(&*repo, "m", 4);
+  auto contents = env.ReadFile("r/catalog.bin");
+  ASSERT_TRUE(contents.ok());
+  for (size_t len : {size_t{0}, size_t{3}, contents->size() / 4,
+                     contents->size() / 2, contents->size() - 1}) {
+    ASSERT_TRUE(env.WriteFile("r/catalog.bin", contents->substr(0, len)).ok());
+    auto reopened = Repository::Open(&env, "r");
+    EXPECT_FALSE(reopened.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(RobustnessTest, ArchiveManifestCorruptionDetected) {
+  MemEnv env;
+  auto repo = Repository::Init(&env, "r");
+  ASSERT_TRUE(repo.ok());
+  CommitTrained(&*repo, "m", 5);
+  ArchiveOptions options;
+  ASSERT_TRUE(repo->Archive(options).ok());
+  auto manifest = env.ReadFile("r/pas/manifest.bin");
+  ASSERT_TRUE(manifest.ok());
+  // Truncations of the manifest must be rejected at open or read time.
+  for (size_t len : {size_t{0}, size_t{4}, manifest->size() / 2}) {
+    ASSERT_TRUE(
+        env.WriteFile("r/pas/manifest.bin", manifest->substr(0, len)).ok());
+    auto reader = ArchiveReader::Open(&env, "r/pas");
+    EXPECT_FALSE(reader.ok()) << "manifest prefix " << len;
+  }
+  // Restore and corrupt the chunk file payload instead.
+  ASSERT_TRUE(env.WriteFile("r/pas/manifest.bin", *manifest).ok());
+  auto chunks = env.ReadFile("r/pas/chunks.bin");
+  ASSERT_TRUE(chunks.ok());
+  std::string corrupted = *chunks;
+  corrupted[64] ^= 0xFF;  // Inside some chunk payload.
+  ASSERT_TRUE(env.WriteFile("r/pas/chunks.bin", corrupted).ok());
+  auto reader = ArchiveReader::Open(&env, "r/pas");
+  ASSERT_TRUE(reader.ok());  // Index intact.
+  // Some retrieval must fail with Corruption; none may return wrong data
+  // silently for the damaged chunk (CRC covers every chunk).
+  bool saw_corruption = false;
+  for (const auto& snapshot : reader->snapshot_names()) {
+    auto params = reader->RetrieveSnapshot(snapshot);
+    if (!params.ok()) {
+      EXPECT_TRUE(params.status().IsCorruption());
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST(RobustnessTest, ReArchiveAfterNewCommits) {
+  // Archive, commit more, archive again: everything stays readable.
+  MemEnv env;
+  auto repo = Repository::Init(&env, "r");
+  ASSERT_TRUE(repo.ok());
+  CommitTrained(&*repo, "m1", 6);
+  ASSERT_TRUE(repo->Archive(ArchiveOptions()).ok());
+  auto before = repo->GetSnapshotParams("m1", 0);
+  ASSERT_TRUE(before.ok());
+  CommitTrained(&*repo, "m2", 7);
+  ASSERT_TRUE(repo->Archive(ArchiveOptions()).ok());
+  auto after = repo->GetSnapshotParams("m1", 0);
+  ASSERT_TRUE(after.ok());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_TRUE((*after)[i].value.ApproxEquals((*before)[i].value, 1e-5f));
+  }
+  EXPECT_TRUE(repo->GetSnapshotParams("m2", 1).ok());
+}
+
+// ------------------------------------------------------------ parse fuzz
+
+TEST(RobustnessTest, NetworkDefParserSurvivesMutations) {
+  const std::string good = MiniVgg(4, 12, 1).Serialize();
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = good;
+    // Flip, delete or insert a few random bytes.
+    const int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+      }
+    }
+    // Either parses (to something valid or not) or errors; never crashes.
+    auto parsed = NetworkDef::Parse(mutated);
+    if (parsed.ok()) {
+      (void)parsed->Validate();
+    }
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, DqlParserSurvivesMutations) {
+  const std::string good =
+      "evaluate m from \"x%\" with config = default "
+      "vary config.base_lr in [0.1, 0.01] keep top(2, m[\"loss\"], 50)";
+  Rng rng(101);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = good;
+    const int edits = 1 + static_cast<int>(rng.Uniform(5));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.Uniform(95)));
+      }
+    }
+    (void)dql::Parse(mutated);
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, ParamsParserSurvivesMutations) {
+  Rng rng(103);
+  FloatMatrix m(6, 6);
+  m.FillGaussian(&rng, 1.0f);
+  const std::string good = SerializeParams({{"w", m}});
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = good;
+    const size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] = static_cast<char>(rng.Uniform(256));
+    auto parsed = ParseParams(Slice(mutated));
+    (void)parsed;  // Error or value; never a crash.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace modelhub

@@ -1,0 +1,384 @@
+// dlv — the ModelHub command-line client (Table II of the paper).
+//
+//   model version management:   init, commit (via demo), copy, archive
+//   model exploration:          list, desc, diff, eval
+//   model enumeration:          query "<DQL>"
+//   remote interaction:         publish, search, pull
+//
+// `dlv demo` populates a repository with the synthetic modeler so every
+// other command has something to act on (the paper's modelers would use
+// the caffe wrapper here; the demo plays that role).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "data/dataset.h"
+#include "data/synthetic_modeler.h"
+#include "dlv/report.h"
+#include "dlv/repository.h"
+#include "dql/engine.h"
+#include "hub/hub.h"
+
+namespace modelhub {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: dlv <command> [args]
+
+model version management:
+  dlv init <repo>                          create a repository
+  dlv demo <repo> [versions]               populate via the synthetic modeler
+  dlv copy <repo> <src> <new>              scaffold a version from another
+  dlv archive <repo> [solver] [alpha]      compact snapshots into PAS
+                                           (solver: pas-pt pas-mt last mst spt)
+model exploration:
+  dlv list <repo>                          versions, lineage, accuracy
+  dlv desc <repo> <model>                  describe one version
+  dlv diff <repo> <a> <b>                  compare two versions (metadata)
+  dlv pdiff <repo> <a> <b>                 compare learned parameters
+  dlv compare <repo> <a> <b> [samples]     run both on data, report agreement
+  dlv eval <repo> <model> [samples]        run latest snapshot on fresh data
+model enumeration:
+  dlv query <repo> "<DQL>"                 run a DQL statement
+  dlv report <repo> <out.html>             render an HTML exploration report
+remote interaction:
+  dlv publish <hub> <repo> <user> <name>   host a repository
+  dlv search <hub> [pattern]               find hosted model versions
+  dlv pull <hub> <user> <name> <dest>      download a hosted repository
+)");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "dlv: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Dataset> DatasetForRepo(const Repository& repo) {
+  // Synthesize a task matching the first version's input shape and class
+  // count, deterministic per repository.
+  MH_ASSIGN_OR_RETURN(auto versions, repo.List());
+  if (versions.empty()) {
+    return Status::FailedPrecondition("repository has no model versions");
+  }
+  MH_ASSIGN_OR_RETURN(NetworkDef def, repo.GetNetwork(versions[0].name));
+  MH_ASSIGN_OR_RETURN(Network net, Network::Create(def));
+  GlyphOptions options;
+  options.num_samples = 256;
+  options.num_classes = static_cast<int>(net.num_outputs());
+  options.image_size = def.in_height();
+  options.seed = 12345;
+  return MakeGlyphDataset(options);
+}
+
+int CmdInit(Env* env, const std::string& root) {
+  auto repo = Repository::Init(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  std::printf("initialized empty dlv repository at %s\n", root.c_str());
+  return 0;
+}
+
+int CmdDemo(Env* env, const std::string& root, int versions) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  ModelerOptions options;
+  options.num_versions = versions;
+  options.snapshots_per_version = 3;
+  options.train_iterations = 60;
+  options.num_classes = 6;
+  options.image_size = 16;
+  options.dataset_samples = 256;
+  auto names = RunSyntheticModeler(&*repo, options);
+  if (!names.ok()) return Fail(names.status());
+  std::printf("committed %zu model versions:\n", names->size());
+  for (const auto& name : *names) std::printf("  %s\n", name.c_str());
+  return 0;
+}
+
+int CmdList(Env* env, const std::string& root) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto versions = repo->List();
+  if (!versions.ok()) return Fail(versions.status());
+  std::printf("%-20s %-20s %6s %9s %9s\n", "name", "parent", "snaps",
+              "best_acc", "state");
+  for (const auto& info : *versions) {
+    std::printf("%-20s %-20s %6lld %9.3f %9s\n", info.name.c_str(),
+                info.parent.empty() ? "-" : info.parent.c_str(),
+                static_cast<long long>(info.num_snapshots),
+                info.best_accuracy, info.archived ? "archived" : "staged");
+  }
+  return 0;
+}
+
+int CmdDesc(Env* env, const std::string& root, const std::string& model) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto description = repo->Describe(model);
+  if (!description.ok()) return Fail(description.status());
+  std::printf("%s", description->c_str());
+  return 0;
+}
+
+int CmdDiff(Env* env, const std::string& root, const std::string& a,
+            const std::string& b) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto diff = repo->Diff(a, b);
+  if (!diff.ok()) return Fail(diff.status());
+  std::printf("%s", diff->c_str());
+  return 0;
+}
+
+int CmdParamDiff(Env* env, const std::string& root, const std::string& a,
+                 const std::string& b) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto entries = repo->DiffParameters(a, b);
+  if (!entries.ok()) return Fail(entries.status());
+  std::printf("%-16s %12s %10s %s\n", "parameter", "L2 dist", "relative",
+              "notes");
+  for (const auto& entry : *entries) {
+    const char* note = entry.only_in_a    ? "only in first"
+                       : entry.only_in_b  ? "only in second"
+                       : entry.shape_changed ? "shape changed"
+                                             : "";
+    std::printf("%-16s %12.5f %9.2f%% %s\n", entry.name.c_str(),
+                entry.l2_distance, entry.relative_distance * 100, note);
+  }
+  return 0;
+}
+
+int CmdCompare(Env* env, const std::string& root, const std::string& a,
+               const std::string& b, int64_t samples) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto data = DatasetForRepo(*repo);
+  if (!data.ok()) return Fail(data.status());
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < std::min(samples, data->size()); ++i) {
+    indices.push_back(i);
+  }
+  Tensor batch;
+  std::vector<int> labels;
+  data->Gather(indices, &batch, &labels);
+  auto comparison = repo->CompareOnData(a, b, batch);
+  if (!comparison.ok()) return Fail(comparison.status());
+  int correct_a = 0;
+  int correct_b = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    correct_a += comparison->labels_a[i] == labels[i];
+    correct_b += comparison->labels_b[i] == labels[i];
+  }
+  std::printf("%zu samples: %s %.1f%%, %s %.1f%%, agreement %.1f%%\n",
+              labels.size(), a.c_str(), 100.0 * correct_a / labels.size(),
+              b.c_str(), 100.0 * correct_b / labels.size(),
+              comparison->agreement * 100);
+  return 0;
+}
+
+int CmdCopy(Env* env, const std::string& root, const std::string& src,
+            const std::string& dst) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto id = repo->Copy(src, dst);
+  if (!id.ok()) return Fail(id.status());
+  std::printf("scaffolded %s from %s\n", dst.c_str(), src.c_str());
+  return 0;
+}
+
+int CmdEval(Env* env, const std::string& root, const std::string& model,
+            int64_t samples) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto data = DatasetForRepo(*repo);
+  if (!data.ok()) return Fail(data.status());
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < std::min(samples, data->size()); ++i) {
+    indices.push_back(i);
+  }
+  Tensor batch;
+  std::vector<int> labels;
+  data->Gather(indices, &batch, &labels);
+  auto predicted = repo->Eval(model, batch);
+  if (!predicted.ok()) return Fail(predicted.status());
+  int correct = 0;
+  for (size_t i = 0; i < predicted->size(); ++i) {
+    if ((*predicted)[i] == labels[i]) ++correct;
+  }
+  std::printf("evaluated %zu samples: accuracy %.1f%%\n", predicted->size(),
+              100.0 * correct / predicted->size());
+  return 0;
+}
+
+int CmdArchive(Env* env, const std::string& root, const std::string& solver,
+               double alpha) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  ArchiveOptions options;
+  options.budget_alpha = alpha;
+  if (solver == "pas-pt") {
+    options.solver = ArchiveSolver::kPasPt;
+  } else if (solver == "pas-mt") {
+    options.solver = ArchiveSolver::kPasMt;
+  } else if (solver == "last") {
+    options.solver = ArchiveSolver::kLast;
+    options.last_alpha = alpha > 0 ? alpha : 2.0;
+  } else if (solver == "mst") {
+    options.solver = ArchiveSolver::kMst;
+  } else if (solver == "spt") {
+    options.solver = ArchiveSolver::kSpt;
+  } else {
+    std::fprintf(stderr, "dlv: unknown solver %s\n", solver.c_str());
+    return 2;
+  }
+  auto report = repo->Archive(options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "archived %d matrices with %s: storage %.0f bytes "
+      "(MST %.0f, materialized %.0f), budgets %s\n",
+      report->num_vertices, solver.c_str(), report->storage_cost,
+      report->mst_storage_cost, report->spt_storage_cost,
+      report->budgets_satisfied ? "satisfied" : "violated");
+  return 0;
+}
+
+int CmdQuery(Env* env, const std::string& root, const std::string& text) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  DqlEngine engine(&*repo);
+  auto data = DatasetForRepo(*repo);
+  if (data.ok()) engine.RegisterDataset("default", &*data);
+  auto result = engine.Run(text);
+  if (!result.ok()) return Fail(result.status());
+  switch (result->kind) {
+    case dql::Query::Kind::kSelect:
+      std::printf("%zu model version(s):\n", result->model_names.size());
+      for (const auto& name : result->model_names) {
+        std::printf("  %s\n", name.c_str());
+      }
+      break;
+    case dql::Query::Kind::kSlice:
+    case dql::Query::Kind::kConstruct:
+      std::printf("%zu derived network(s) committed:\n",
+                  result->networks.size());
+      for (const auto& def : result->networks) {
+        std::printf("  %s (%zu nodes)\n", def.name().c_str(),
+                    def.nodes().size());
+      }
+      break;
+    case dql::Query::Kind::kEvaluate:
+      std::printf("%zu model(s) kept:\n", result->evaluated.size());
+      for (const auto& model : result->evaluated) {
+        std::printf("  %-28s loss=%.4f acc=%.3f\n", model.name.c_str(),
+                    model.loss, model.accuracy);
+      }
+      break;
+  }
+  return 0;
+}
+
+int CmdReport(Env* env, const std::string& root, const std::string& path) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto html = RenderHtmlReport(*repo);
+  if (!html.ok()) return Fail(html.status());
+  const Status status = env->WriteFile(path, *html);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu bytes to %s\n", html->size(), path.c_str());
+  return 0;
+}
+
+int CmdPublish(Env* env, const std::string& hub_root,
+               const std::string& repo_root, const std::string& user,
+               const std::string& name) {
+  ModelHubService hub(env, hub_root);
+  const Status status = hub.Publish(repo_root, user, name);
+  if (!status.ok()) return Fail(status);
+  std::printf("published %s as %s/%s\n", repo_root.c_str(), user.c_str(),
+              name.c_str());
+  return 0;
+}
+
+int CmdSearch(Env* env, const std::string& hub_root,
+              const std::string& pattern) {
+  ModelHubService hub(env, hub_root);
+  auto hits = hub.Search(pattern);
+  if (!hits.ok()) return Fail(hits.status());
+  std::printf("%zu hit(s):\n", hits->size());
+  for (const auto& hit : *hits) {
+    std::printf("  %s/%s :: %-20s acc=%.3f snaps=%lld\n", hit.user.c_str(),
+                hit.repo_name.c_str(), hit.version_name.c_str(),
+                hit.best_accuracy,
+                static_cast<long long>(hit.num_snapshots));
+  }
+  return 0;
+}
+
+int CmdPull(Env* env, const std::string& hub_root, const std::string& user,
+            const std::string& name, const std::string& dest) {
+  ModelHubService hub(env, hub_root);
+  auto repo = hub.Pull(user, name, dest);
+  if (!repo.ok()) return Fail(repo.status());
+  std::printf("pulled %s/%s to %s\n", user.c_str(), name.c_str(),
+              dest.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Env* env = Env::Default();
+  const std::string command = argv[1];
+  auto arg = [&](int i) -> std::string {
+    return i < argc ? argv[i] : std::string();
+  };
+  if (command == "init" && argc == 3) return CmdInit(env, arg(2));
+  if (command == "demo" && argc >= 3) {
+    return CmdDemo(env, arg(2), argc > 3 ? std::atoi(argv[3]) : 5);
+  }
+  if (command == "list" && argc == 3) return CmdList(env, arg(2));
+  if (command == "desc" && argc == 4) return CmdDesc(env, arg(2), arg(3));
+  if (command == "diff" && argc == 5) {
+    return CmdDiff(env, arg(2), arg(3), arg(4));
+  }
+  if (command == "copy" && argc == 5) {
+    return CmdCopy(env, arg(2), arg(3), arg(4));
+  }
+  if (command == "pdiff" && argc == 5) {
+    return CmdParamDiff(env, arg(2), arg(3), arg(4));
+  }
+  if (command == "compare" && argc >= 5) {
+    return CmdCompare(env, arg(2), arg(3), arg(4),
+                      argc > 5 ? std::atoll(argv[5]) : 64);
+  }
+  if (command == "eval" && argc >= 4) {
+    return CmdEval(env, arg(2), arg(3), argc > 4 ? std::atoll(argv[4]) : 64);
+  }
+  if (command == "archive" && argc >= 3) {
+    return CmdArchive(env, arg(2), argc > 3 ? arg(3) : "pas-pt",
+                      argc > 4 ? std::atof(argv[4]) : 2.0);
+  }
+  if (command == "query" && argc == 4) return CmdQuery(env, arg(2), arg(3));
+  if (command == "report" && argc == 4) {
+    return CmdReport(env, arg(2), arg(3));
+  }
+  if (command == "publish" && argc == 6) {
+    return CmdPublish(env, arg(2), arg(3), arg(4), arg(5));
+  }
+  if (command == "search" && argc >= 3) {
+    return CmdSearch(env, arg(2), argc > 3 ? arg(3) : "");
+  }
+  if (command == "pull" && argc == 6) {
+    return CmdPull(env, arg(2), arg(3), arg(4), arg(5));
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace modelhub
+
+int main(int argc, char** argv) { return modelhub::Main(argc, argv); }
