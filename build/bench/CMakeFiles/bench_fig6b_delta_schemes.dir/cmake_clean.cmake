@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_delta_schemes.dir/bench_fig6b_delta_schemes.cc.o"
+  "CMakeFiles/bench_fig6b_delta_schemes.dir/bench_fig6b_delta_schemes.cc.o.d"
+  "bench_fig6b_delta_schemes"
+  "bench_fig6b_delta_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_delta_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d_progressive.dir/bench_fig6d_progressive.cc.o"
+  "CMakeFiles/bench_fig6d_progressive.dir/bench_fig6d_progressive.cc.o.d"
+  "bench_fig6d_progressive"
+  "bench_fig6d_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

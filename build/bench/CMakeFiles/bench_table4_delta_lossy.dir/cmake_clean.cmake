@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_delta_lossy.dir/bench_table4_delta_lossy.cc.o"
+  "CMakeFiles/bench_table4_delta_lossy.dir/bench_table4_delta_lossy.cc.o.d"
+  "bench_table4_delta_lossy"
+  "bench_table4_delta_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_delta_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_retrieval.dir/bench_table5_retrieval.cc.o"
+  "CMakeFiles/bench_table5_retrieval.dir/bench_table5_retrieval.cc.o.d"
+  "bench_table5_retrieval"
+  "bench_table5_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

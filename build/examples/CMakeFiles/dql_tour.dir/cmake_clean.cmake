@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dql_tour.dir/dql_tour.cpp.o"
+  "CMakeFiles/dql_tour.dir/dql_tour.cpp.o.d"
+  "dql_tour"
+  "dql_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dql_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

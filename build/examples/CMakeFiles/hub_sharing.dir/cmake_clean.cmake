@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_sharing.dir/hub_sharing.cpp.o"
+  "CMakeFiles/hub_sharing.dir/hub_sharing.cpp.o.d"
+  "hub_sharing"
+  "hub_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

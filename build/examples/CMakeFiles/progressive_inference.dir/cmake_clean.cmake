@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_inference.dir/progressive_inference.cpp.o"
+  "CMakeFiles/progressive_inference.dir/progressive_inference.cpp.o.d"
+  "progressive_inference"
+  "progressive_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residual_finetune.dir/residual_finetune.cpp.o"
+  "CMakeFiles/residual_finetune.dir/residual_finetune.cpp.o.d"
+  "residual_finetune"
+  "residual_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residual_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

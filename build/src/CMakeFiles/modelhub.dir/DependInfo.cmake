@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/modelhub.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/modelhub.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/modelhub.dir/common/env.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/common/env.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/modelhub.dir/common/status.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/modelhub.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/modelhub.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/compress/codec.cc.o.d"
+  "/root/repo/src/compress/deflate_lite.cc" "src/CMakeFiles/modelhub.dir/compress/deflate_lite.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/compress/deflate_lite.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/CMakeFiles/modelhub.dir/compress/huffman.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/compress/huffman.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/CMakeFiles/modelhub.dir/compress/lz77.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/compress/lz77.cc.o.d"
+  "/root/repo/src/compress/rle_codec.cc" "src/CMakeFiles/modelhub.dir/compress/rle_codec.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/compress/rle_codec.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/modelhub.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/synthetic_modeler.cc" "src/CMakeFiles/modelhub.dir/data/synthetic_modeler.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/data/synthetic_modeler.cc.o.d"
+  "/root/repo/src/dlv/catalog.cc" "src/CMakeFiles/modelhub.dir/dlv/catalog.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/dlv/catalog.cc.o.d"
+  "/root/repo/src/dlv/report.cc" "src/CMakeFiles/modelhub.dir/dlv/report.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/dlv/report.cc.o.d"
+  "/root/repo/src/dlv/repository.cc" "src/CMakeFiles/modelhub.dir/dlv/repository.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/dlv/repository.cc.o.d"
+  "/root/repo/src/dql/engine.cc" "src/CMakeFiles/modelhub.dir/dql/engine.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/dql/engine.cc.o.d"
+  "/root/repo/src/dql/lexer.cc" "src/CMakeFiles/modelhub.dir/dql/lexer.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/dql/lexer.cc.o.d"
+  "/root/repo/src/dql/parser.cc" "src/CMakeFiles/modelhub.dir/dql/parser.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/dql/parser.cc.o.d"
+  "/root/repo/src/hub/hub.cc" "src/CMakeFiles/modelhub.dir/hub/hub.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/hub/hub.cc.o.d"
+  "/root/repo/src/nn/gemm.cc" "src/CMakeFiles/modelhub.dir/nn/gemm.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/gemm.cc.o.d"
+  "/root/repo/src/nn/interval_eval.cc" "src/CMakeFiles/modelhub.dir/nn/interval_eval.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/interval_eval.cc.o.d"
+  "/root/repo/src/nn/layer_def.cc" "src/CMakeFiles/modelhub.dir/nn/layer_def.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/layer_def.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/modelhub.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/network_def.cc" "src/CMakeFiles/modelhub.dir/nn/network_def.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/network_def.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/CMakeFiles/modelhub.dir/nn/trainer.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/trainer.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/CMakeFiles/modelhub.dir/nn/zoo.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/nn/zoo.cc.o.d"
+  "/root/repo/src/pas/archive.cc" "src/CMakeFiles/modelhub.dir/pas/archive.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/archive.cc.o.d"
+  "/root/repo/src/pas/chunk_store.cc" "src/CMakeFiles/modelhub.dir/pas/chunk_store.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/chunk_store.cc.o.d"
+  "/root/repo/src/pas/delta.cc" "src/CMakeFiles/modelhub.dir/pas/delta.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/delta.cc.o.d"
+  "/root/repo/src/pas/float_encoding.cc" "src/CMakeFiles/modelhub.dir/pas/float_encoding.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/float_encoding.cc.o.d"
+  "/root/repo/src/pas/progressive.cc" "src/CMakeFiles/modelhub.dir/pas/progressive.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/progressive.cc.o.d"
+  "/root/repo/src/pas/segment.cc" "src/CMakeFiles/modelhub.dir/pas/segment.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/segment.cc.o.d"
+  "/root/repo/src/pas/solver.cc" "src/CMakeFiles/modelhub.dir/pas/solver.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/solver.cc.o.d"
+  "/root/repo/src/pas/storage_graph.cc" "src/CMakeFiles/modelhub.dir/pas/storage_graph.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/pas/storage_graph.cc.o.d"
+  "/root/repo/src/tensor/float_matrix.cc" "src/CMakeFiles/modelhub.dir/tensor/float_matrix.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/tensor/float_matrix.cc.o.d"
+  "/root/repo/src/tensor/interval.cc" "src/CMakeFiles/modelhub.dir/tensor/interval.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/tensor/interval.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/modelhub.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/modelhub.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

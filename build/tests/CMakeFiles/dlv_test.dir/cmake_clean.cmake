@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlv_test.dir/dlv_test.cc.o"
+  "CMakeFiles/dlv_test.dir/dlv_test.cc.o.d"
+  "dlv_test"
+  "dlv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

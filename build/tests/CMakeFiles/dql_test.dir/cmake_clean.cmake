@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dql_test.dir/dql_test.cc.o"
+  "CMakeFiles/dql_test.dir/dql_test.cc.o.d"
+  "dql_test"
+  "dql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

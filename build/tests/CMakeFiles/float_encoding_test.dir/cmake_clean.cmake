@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_encoding_test.dir/float_encoding_test.cc.o"
+  "CMakeFiles/float_encoding_test.dir/float_encoding_test.cc.o.d"
+  "float_encoding_test"
+  "float_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_test.dir/hub_test.cc.o"
+  "CMakeFiles/hub_test.dir/hub_test.cc.o.d"
+  "hub_test"
+  "hub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

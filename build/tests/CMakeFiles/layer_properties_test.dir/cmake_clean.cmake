@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_properties_test.dir/layer_properties_test.cc.o"
+  "CMakeFiles/layer_properties_test.dir/layer_properties_test.cc.o.d"
+  "layer_properties_test"
+  "layer_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_def_test.dir/network_def_test.cc.o"
+  "CMakeFiles/network_def_test.dir/network_def_test.cc.o.d"
+  "network_def_test"
+  "network_def_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_def_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

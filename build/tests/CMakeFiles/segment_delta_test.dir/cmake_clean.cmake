@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_delta_test.dir/segment_delta_test.cc.o"
+  "CMakeFiles/segment_delta_test.dir/segment_delta_test.cc.o.d"
+  "segment_delta_test"
+  "segment_delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_graph_test.dir/storage_graph_test.cc.o"
+  "CMakeFiles/storage_graph_test.dir/storage_graph_test.cc.o.d"
+  "storage_graph_test"
+  "storage_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlv.dir/dlv_main.cc.o"
+  "CMakeFiles/dlv.dir/dlv_main.cc.o.d"
+  "dlv"
+  "dlv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
