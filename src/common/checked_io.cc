@@ -1,0 +1,43 @@
+#include "common/checked_io.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace modelhub {
+
+std::string WithCrcFooter(std::string payload) {
+  const uint32_t crc = Crc32(Slice(payload));
+  PutFixed32(&payload, crc);
+  return payload;
+}
+
+Result<std::string> StripCrcFooter(const std::string& framed) {
+  if (framed.size() < 4) {
+    return Status::Corruption("file too small for CRC footer");
+  }
+  Slice footer(framed.data() + framed.size() - 4, 4);
+  uint32_t stored = 0;
+  MH_RETURN_IF_ERROR(GetFixed32(&footer, &stored));
+  const Slice payload(framed.data(), framed.size() - 4);
+  if (Crc32(payload) != stored) {
+    return Status::Corruption("CRC footer mismatch");
+  }
+  return payload.ToString();
+}
+
+Status WriteChecked(Env* env, const std::string& path,
+                    const std::string& payload) {
+  return env->WriteFile(path, WithCrcFooter(payload));
+}
+
+Result<std::string> ReadChecked(Env* env, const std::string& path) {
+  MH_ASSIGN_OR_RETURN(std::string framed, env->ReadFile(path));
+  auto payload = StripCrcFooter(framed);
+  if (!payload.ok()) {
+    return Status::Corruption(payload.status().message() + ": " + path);
+  }
+  return payload;
+}
+
+}  // namespace modelhub

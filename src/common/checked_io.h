@@ -1,0 +1,29 @@
+#ifndef MODELHUB_COMMON_CHECKED_IO_H_
+#define MODELHUB_COMMON_CHECKED_IO_H_
+
+#include <string>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace modelhub {
+
+/// Whole-file CRC framing used by the catalog, staging files, the archive
+/// manifest and the commit journal: `payload || fixed32 crc32(payload)`.
+/// A truncated, extended or bit-flipped file fails the footer check, so
+/// readers see Status::Corruption instead of silently decoding garbage.
+
+/// Appends the CRC-32 footer to `payload` and returns the framed bytes.
+std::string WithCrcFooter(std::string payload);
+
+/// Verifies and strips the footer. Returns Corruption on any mismatch.
+Result<std::string> StripCrcFooter(const std::string& framed);
+
+/// WriteFile / ReadFile with the CRC frame applied.
+Status WriteChecked(Env* env, const std::string& path,
+                    const std::string& payload);
+Result<std::string> ReadChecked(Env* env, const std::string& path);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_CHECKED_IO_H_

@@ -42,6 +42,19 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    if (!fs::is_regular_file(from, ec)) {
+      return Status::NotFound("no such file: " + from);
+    }
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IOError("rename failed: " + from + " -> " + to + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
   Result<std::string> ReadFile(const std::string& path) override {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) return Status::NotFound("no such file: " + path);
@@ -142,6 +155,29 @@ Status MemEnv::WriteFile(const std::string& path,
     it->second.contents = contents;
   } else {
     files_.push_back({path, Node{false, contents}});
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  auto src = Find(from);
+  if (src == files_.end() || src->second.is_dir) {
+    return Status::NotFound("no such file: " + from);
+  }
+  auto dst = Find(to);
+  if (dst != files_.end() && dst->second.is_dir) {
+    return Status::IOError("is a directory: " + to);
+  }
+  // Replace-or-create the target, then drop the source, so the whole
+  // rename is observed atomically (nothing between can fail).
+  std::string contents = std::move(src->second.contents);
+  if (dst != files_.end()) {
+    dst->second.contents = std::move(contents);
+    files_.erase(Find(from));
+  } else {
+    src->second.contents.clear();
+    files_.push_back({to, Node{false, std::move(contents)}});
+    files_.erase(Find(from));
   }
   return Status::OK();
 }

@@ -18,9 +18,19 @@ class Env {
  public:
   virtual ~Env() = default;
 
-  /// Atomically replaces (creates) `path` with `contents`.
+  /// Atomically replaces (creates) `path` with `contents`: on success the
+  /// file holds exactly `contents`; on failure the previous contents (or
+  /// absence) of `path` are preserved. Readers never observe a partial
+  /// write through this call. (FaultInjectionEnv's torn-write mode is the
+  /// one deliberate exception — it models a crash below this contract.)
   virtual Status WriteFile(const std::string& path,
                            const std::string& contents) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists (POSIX
+  /// rename semantics). This is the publish primitive of the crash-safe
+  /// commit protocol: after a crash, `to` holds either its old contents or
+  /// all of `from`'s, never a mix.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
 
   /// Reads the entire file into a string.
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
@@ -55,6 +65,7 @@ class MemEnv : public Env {
 
   Status WriteFile(const std::string& path,
                    const std::string& contents) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
   Result<std::string> ReadFile(const std::string& path) override;
   Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
                                     uint64_t length) override;

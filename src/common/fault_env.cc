@@ -1,0 +1,87 @@
+#include "common/fault_env.h"
+
+namespace modelhub {
+
+Status FaultInjectionEnv::CheckMutation(const std::string& what, bool* fires) {
+  ++mutations_;
+  *fires = false;
+  if (crashed_) {
+    return Status::IOError("injected crash: env is down (" + what + ")");
+  }
+  if (fail_at_ >= 0 && mutations_ >= fail_at_) {
+    crashed_ = true;
+    *fires = true;
+    return Status::IOError("injected fault at mutation " +
+                           std::to_string(mutations_) + " (" + what + ")");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    const std::string& contents) {
+  bool fires = false;
+  Status fault = CheckMutation("write " + path, &fires);
+  if (!fault.ok()) {
+    if (fires && torn_) {
+      // A torn write: the interrupted writer leaves a prefix of the payload
+      // in its shadow tmp file; `path` itself is never partially replaced.
+      const size_t keep =
+          static_cast<size_t>(static_cast<double>(contents.size()) *
+                              torn_fraction_);
+      (void)target_->WriteFile(path + ".tmp", contents.substr(0, keep));
+    }
+    return fault;
+  }
+  if (!corrupt_substring_.empty() &&
+      path.find(corrupt_substring_) != std::string::npos &&
+      !contents.empty()) {
+    std::string flipped = contents;
+    const uint64_t bit = corrupt_bit_ % (flipped.size() * 8);
+    flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    return target_->WriteFile(path, flipped);
+  }
+  return target_->WriteFile(path, contents);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  bool fires = false;
+  // Rename is atomic: when the fault fires nothing moves.
+  Status fault = CheckMutation("rename " + from, &fires);
+  if (!fault.ok()) return fault;
+  return target_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  bool fires = false;
+  Status fault = CheckMutation("delete " + path, &fires);
+  if (!fault.ok()) return fault;
+  return target_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  bool fires = false;
+  Status fault = CheckMutation("mkdir " + path, &fires);
+  if (!fault.ok()) return fault;
+  return target_->CreateDirs(path);
+}
+
+Result<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  if (!read_fault_substring_.empty() &&
+      path.find(read_fault_substring_) != std::string::npos) {
+    return Status::IOError("injected read fault: " + path);
+  }
+  return target_->ReadFile(path);
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileRange(const std::string& path,
+                                                     uint64_t offset,
+                                                     uint64_t length) {
+  if (!read_fault_substring_.empty() &&
+      path.find(read_fault_substring_) != std::string::npos) {
+    return Status::IOError("injected read fault: " + path);
+  }
+  return target_->ReadFileRange(path, offset, length);
+}
+
+}  // namespace modelhub

@@ -1,0 +1,117 @@
+#ifndef MODELHUB_COMMON_FAULT_ENV_H_
+#define MODELHUB_COMMON_FAULT_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace modelhub {
+
+/// An Env wrapper that injects storage faults (the LevelDB
+/// FaultInjectionTestEnv pattern). It delegates every call to a target Env
+/// and can be armed to fail the k-th mutating operation, tear a write
+/// partway, fail reads, or silently flip bits in written payloads.
+///
+/// Mutating operations (WriteFile, RenameFile, DeleteFile, CreateDirs) are
+/// counted; when the armed fault fires the env "crashes": the faulted
+/// operation fails and every later mutating operation fails too, modeling
+/// a process that died mid-protocol. Reads keep working after the crash so
+/// post-mortem recovery code can be exercised against the same tree.
+///
+/// Torn writes model a non-atomic filesystem caught mid-write: the prefix
+/// of the payload lands in the shadow file `path + ".tmp"` (where a
+/// tmp-then-rename writer would have been interrupted) while `path` itself
+/// keeps its old contents — so the target Env's WriteFile keeps its
+/// "atomically replaces" contract and tests still see a real partial-write
+/// dropping that recovery must clean up.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* target) : target_(target) {}
+
+  // --- Fault programming -------------------------------------------------
+
+  /// Arms a crash on the k-th (1-based) mutating operation from now.
+  void FailNthMutation(int k) {
+    fail_at_ = mutations_ + k;
+    torn_ = false;
+  }
+
+  /// Like FailNthMutation, but if the failing operation is a WriteFile it
+  /// first persists `fraction` of the payload to `path + ".tmp"`.
+  void TornWriteNthMutation(int k, double fraction = 0.5) {
+    fail_at_ = mutations_ + k;
+    torn_ = true;
+    torn_fraction_ = fraction;
+  }
+
+  /// Injects IOError on reads whose path contains `substring` ("" disables).
+  void FailReadsMatching(std::string substring) {
+    read_fault_substring_ = std::move(substring);
+  }
+
+  /// Flips bit `bit` (modulo payload size) of every subsequent WriteFile
+  /// whose path contains `substring`; the write itself succeeds. Models
+  /// silent media corruption ("" disables).
+  void CorruptWritesMatching(std::string substring, uint64_t bit = 0) {
+    corrupt_substring_ = std::move(substring);
+    corrupt_bit_ = bit;
+  }
+
+  /// Disarms all faults and clears the crashed state (the counters keep
+  /// running so FailNthMutation composes with prior traffic).
+  void Reset() {
+    fail_at_ = -1;
+    torn_ = false;
+    crashed_ = false;
+    read_fault_substring_.clear();
+    corrupt_substring_.clear();
+  }
+
+  int64_t mutations() const { return mutations_; }
+  bool crashed() const { return crashed_; }
+
+  // --- Env ---------------------------------------------------------------
+
+  Status WriteFile(const std::string& path,
+                   const std::string& contents) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadFileRange(const std::string& path, uint64_t offset,
+                                    uint64_t length) override;
+  bool FileExists(const std::string& path) override {
+    return target_->FileExists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return target_->FileSize(path);
+  }
+  bool DirExists(const std::string& path) override {
+    return target_->DirExists(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return target_->ListDir(path);
+  }
+
+ private:
+  /// Bumps the mutation counter; returns non-OK if this op must fail.
+  /// `*fires` is set when this call is the armed one (vs. post-crash).
+  Status CheckMutation(const std::string& what, bool* fires);
+
+  Env* target_;
+  int64_t mutations_ = 0;
+  int64_t fail_at_ = -1;  ///< Mutation ordinal that crashes; -1 disarmed.
+  bool torn_ = false;
+  double torn_fraction_ = 0.5;
+  bool crashed_ = false;
+  std::string read_fault_substring_;
+  std::string corrupt_substring_;
+  uint64_t corrupt_bit_ = 0;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_FAULT_ENV_H_

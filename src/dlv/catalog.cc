@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/checked_io.h"
 #include "common/coding.h"
 #include "common/macros.h"
 
@@ -24,7 +25,7 @@ Result<Catalog> Catalog::Open(Env* env, const std::string& path) {
   catalog.env_ = env;
   catalog.path_ = path;
   if (env->FileExists(path)) {
-    MH_ASSIGN_OR_RETURN(std::string contents, env->ReadFile(path));
+    MH_ASSIGN_OR_RETURN(std::string contents, ReadChecked(env, path));
     MH_RETURN_IF_ERROR(catalog.Load(contents));
   }
   return catalog;
@@ -215,6 +216,10 @@ Status Catalog::Load(const std::string& serialized) {
   return Status::OK();
 }
 
-Status Catalog::Flush() { return env_->WriteFile(path_, Serialize()); }
+std::string Catalog::SerializeForDisk() const {
+  return WithCrcFooter(Serialize());
+}
+
+Status Catalog::Flush() { return env_->WriteFile(path_, SerializeForDisk()); }
 
 }  // namespace modelhub

@@ -95,6 +95,11 @@ class Catalog {
   /// Persists to the path given at Open (atomic whole-file write).
   Status Flush();
 
+  /// The exact bytes Flush would write (CRC-framed). The crash-safe commit
+  /// protocol stages these bytes and publishes them with one atomic
+  /// WriteFile — the commit point.
+  std::string SerializeForDisk() const;
+
  private:
   struct Table {
     TableSchema schema;

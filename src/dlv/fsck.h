@@ -1,0 +1,53 @@
+#ifndef MODELHUB_DLV_FSCK_H_
+#define MODELHUB_DLV_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace modelhub {
+
+struct FsckOptions {
+  /// Move orphaned or corrupt loose files into <root>/quarantine/ instead
+  /// of only reporting them. Referenced-but-corrupt artifacts are never
+  /// moved (the catalog still points at them).
+  bool quarantine = false;
+};
+
+/// Outcome of a full repository integrity scan.
+struct FsckReport {
+  /// Integrity violations: corrupt or missing artifacts, unresolvable
+  /// delta chains, dangling catalog references, orphaned files.
+  std::vector<std::string> defects;
+  /// Mutations performed: crash-recovery replay and quarantine moves.
+  std::vector<std::string> repairs;
+  /// Informational lines (what was checked).
+  std::vector<std::string> notes;
+
+  bool clean() const { return defects.empty(); }
+  std::string ToString() const;
+};
+
+/// `dlv fsck` — exhaustive integrity check of the repository at `root`:
+///
+///  - replays or rolls back an interrupted commit publish (as Open does);
+///  - verifies the catalog's CRC frame and parses every table;
+///  - checks every staged snapshot's file exists, is CRC-clean and parses;
+///  - opens the PAS archive (if any snapshots are archived), verifies
+///    every chunk's CRC and that every delta chain resolves, and checks
+///    every archived snapshot is present in the manifest;
+///  - verifies every referenced object's size and CRC against its
+///    content-addressed name;
+///  - reports dangling lineage references and orphaned files in staging/,
+///    objects/ and pas/.
+///
+/// Returns an error Status only when `root` holds no repository; all
+/// integrity problems are reported via FsckReport::defects.
+Result<FsckReport> RunFsck(Env* env, const std::string& root,
+                           const FsckOptions& options = {});
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DLV_FSCK_H_

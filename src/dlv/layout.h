@@ -1,0 +1,56 @@
+#ifndef MODELHUB_DLV_LAYOUT_H_
+#define MODELHUB_DLV_LAYOUT_H_
+
+#include <string>
+
+#include "common/env.h"
+
+namespace modelhub {
+namespace repo_layout {
+
+/// On-disk layout of a DLV repository, shared by the Repository, the
+/// crash-recovery routine and fsck:
+///
+///   catalog.bin    relational catalog (CRC-framed)
+///   journal.bin    commit journal — present only while a commit publish
+///                  is in flight (or after a crash mid-publish)
+///   staging/       raw snapshot parameters awaiting archival (CRC-framed)
+///   pas/           PAS archive (chunks-<gen>.bin, manifest.bin)
+///   objects/       content-addressed associated files
+///   quarantine/    artifacts set aside by recovery or `dlv fsck`
+
+inline std::string CatalogPath(const std::string& root) {
+  return JoinPath(root, "catalog.bin");
+}
+inline std::string CommitJournalPath(const std::string& root) {
+  return JoinPath(root, "journal.bin");
+}
+inline std::string StagingDir(const std::string& root) {
+  return JoinPath(root, "staging");
+}
+inline std::string ObjectsDir(const std::string& root) {
+  return JoinPath(root, "objects");
+}
+inline std::string PasDir(const std::string& root) {
+  return JoinPath(root, "pas");
+}
+inline std::string QuarantineDir(const std::string& root) {
+  return JoinPath(root, "quarantine");
+}
+inline std::string StagingFileName(const std::string& version,
+                                   int64_t sequence) {
+  return version + ".s" + std::to_string(sequence) + ".params";
+}
+inline std::string StagingFile(const std::string& root,
+                               const std::string& version, int64_t sequence) {
+  return JoinPath(StagingDir(root), StagingFileName(version, sequence));
+}
+inline std::string ObjectFile(const std::string& root,
+                              const std::string& object_name) {
+  return JoinPath(ObjectsDir(root), object_name);
+}
+
+}  // namespace repo_layout
+}  // namespace modelhub
+
+#endif  // MODELHUB_DLV_LAYOUT_H_

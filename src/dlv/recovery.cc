@@ -1,0 +1,184 @@
+#include "dlv/recovery.h"
+
+#include "common/checked_io.h"
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/macros.h"
+#include "dlv/layout.h"
+
+namespace modelhub {
+
+namespace {
+
+constexpr char kJournalMagic[] = "MHJL1\n";
+constexpr size_t kJournalMagicSize = 6;
+
+bool EndsWithTmp(const std::string& name) {
+  return name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+}
+
+/// CRC of a file's logical payload (under the CRC footer when `framed`);
+/// false when the file is unreadable or a framed footer does not verify.
+bool FileCrc(Env* env, const std::string& path, bool framed, uint32_t* crc) {
+  auto bytes = env->ReadFile(path);
+  if (!bytes.ok()) return false;
+  if (!framed) {
+    *crc = Crc32(Slice(*bytes));
+    return true;
+  }
+  auto payload = StripCrcFooter(*bytes);
+  if (!payload.ok()) return false;
+  *crc = Crc32(Slice(*payload));
+  return true;
+}
+
+/// Quarantines every `*.tmp` child of `dir` (non-recursive, best effort).
+void SweepTmpFiles(Env* env, const std::string& root, const std::string& dir,
+                   RecoveryReport* report) {
+  if (!env->DirExists(dir)) return;
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    if (!EndsWithTmp(name)) continue;
+    const std::string path = JoinPath(dir, name);
+    if (env->DirExists(path)) continue;
+    auto moved = QuarantineFile(env, root, path);
+    if (moved.ok()) {
+      report->actions.push_back("quarantined stray tmp file " + path);
+    }
+  }
+}
+
+}  // namespace
+
+std::string SerializeCommitJournal(const CommitJournal& journal) {
+  std::string out(kJournalMagic, kJournalMagicSize);
+  PutFixed32(&out, journal.new_catalog_crc);
+  PutVarint64(&out, journal.entries.size());
+  for (const JournalEntry& entry : journal.entries) {
+    PutLengthPrefixed(&out, Slice(entry.tmp_path));
+    PutLengthPrefixed(&out, Slice(entry.final_path));
+    PutFixed32(&out, entry.crc);
+    out.push_back(entry.framed ? 1 : 0);
+  }
+  return out;
+}
+
+Result<CommitJournal> ParseCommitJournal(const std::string& payload) {
+  if (payload.size() < kJournalMagicSize ||
+      payload.compare(0, kJournalMagicSize, kJournalMagic) != 0) {
+    return Status::Corruption("bad commit journal magic");
+  }
+  Slice in(payload);
+  in.RemovePrefix(kJournalMagicSize);
+  CommitJournal journal;
+  MH_RETURN_IF_ERROR(GetFixed32(&in, &journal.new_catalog_crc));
+  uint64_t count = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    JournalEntry entry;
+    Slice tmp;
+    Slice final_path;
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &tmp));
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &final_path));
+    MH_RETURN_IF_ERROR(GetFixed32(&in, &entry.crc));
+    if (in.empty()) return Status::Corruption("commit journal truncated");
+    entry.framed = in[0] != 0;
+    in.RemovePrefix(1);
+    entry.tmp_path = tmp.ToString();
+    entry.final_path = final_path.ToString();
+    journal.entries.push_back(std::move(entry));
+  }
+  if (!in.empty()) return Status::Corruption("commit journal trailing bytes");
+  return journal;
+}
+
+Result<std::string> QuarantineFile(Env* env, const std::string& root,
+                                   const std::string& path) {
+  const std::string dir = repo_layout::QuarantineDir(root);
+  MH_RETURN_IF_ERROR(env->CreateDirs(dir));
+  const size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::string target = JoinPath(dir, base);
+  for (int n = 1; env->FileExists(target); ++n) {
+    target = JoinPath(dir, base + "." + std::to_string(n));
+  }
+  MH_RETURN_IF_ERROR(env->RenameFile(path, target));
+  return target;
+}
+
+Result<RecoveryReport> RecoverRepository(Env* env, const std::string& root) {
+  RecoveryReport report;
+  const std::string journal_path = repo_layout::CommitJournalPath(root);
+  if (env->FileExists(journal_path)) {
+    report.journal_found = true;
+    CommitJournal journal;
+    bool journal_valid = false;
+    auto payload = ReadChecked(env, journal_path);
+    if (payload.ok()) {
+      auto parsed = ParseCommitJournal(*payload);
+      if (parsed.ok()) {
+        journal = std::move(*parsed);
+        journal_valid = true;
+      }
+    }
+    if (!journal_valid) {
+      // The journal write itself was interrupted, so no renames were
+      // performed yet: the old state is intact and the tmp sweep below
+      // collects the droppings.
+      report.rolled_back = true;
+      report.actions.push_back(
+          "discarded torn commit journal (publish never started)");
+    } else {
+      uint32_t catalog_crc = 0;
+      const bool have_catalog = FileCrc(env, repo_layout::CatalogPath(root),
+                                        /*framed=*/true, &catalog_crc);
+      if (have_catalog && catalog_crc == journal.new_catalog_crc) {
+        // Commit point reached: finish any renames that did not happen.
+        report.rolled_forward = true;
+        for (const JournalEntry& entry : journal.entries) {
+          const std::string tmp = JoinPath(root, entry.tmp_path);
+          const std::string final_path = JoinPath(root, entry.final_path);
+          if (!env->FileExists(tmp)) continue;
+          if (env->FileExists(final_path)) {
+            (void)env->DeleteFile(tmp);
+          } else if (env->RenameFile(tmp, final_path).ok()) {
+            report.actions.push_back("completed publish of " + final_path);
+          }
+        }
+        report.actions.push_back("rolled forward committed publish");
+      } else {
+        // Commit point not reached: undo. Tmp files are private to the
+        // failed commit (deleted); already-renamed finals are quarantined —
+        // the journal CRC guards against touching unrelated files.
+        report.rolled_back = true;
+        for (const JournalEntry& entry : journal.entries) {
+          const std::string tmp = JoinPath(root, entry.tmp_path);
+          const std::string final_path = JoinPath(root, entry.final_path);
+          if (env->FileExists(tmp)) (void)env->DeleteFile(tmp);
+          uint32_t crc = 0;
+          if (env->FileExists(final_path) &&
+              FileCrc(env, final_path, entry.framed, &crc) &&
+              crc == entry.crc) {
+            auto moved = QuarantineFile(env, root, final_path);
+            if (moved.ok()) {
+              report.actions.push_back("rolled back uncommitted artifact " +
+                                       final_path);
+            }
+          }
+        }
+        report.actions.push_back("rolled back incomplete commit publish");
+      }
+    }
+    MH_RETURN_IF_ERROR(env->DeleteFile(journal_path));
+  }
+  // Torn or abandoned writes leave `*.tmp` droppings next to the real
+  // artifacts; none are referenced once the journal is resolved.
+  SweepTmpFiles(env, root, root, &report);
+  SweepTmpFiles(env, root, repo_layout::StagingDir(root), &report);
+  SweepTmpFiles(env, root, repo_layout::ObjectsDir(root), &report);
+  return report;
+}
+
+}  // namespace modelhub

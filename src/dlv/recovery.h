@@ -1,0 +1,69 @@
+#ifndef MODELHUB_DLV_RECOVERY_H_
+#define MODELHUB_DLV_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace modelhub {
+
+/// The commit journal: the intent record of a multi-file commit publish.
+///
+/// Repository::Commit writes every new artifact to a `*.tmp` path, records
+/// this journal (CRC-framed) listing the pending `tmp -> final` renames
+/// plus the CRC of the new catalog image, performs the renames, then
+/// publishes the catalog with one atomic WriteFile — the commit point —
+/// and finally deletes the journal. A crash anywhere in that protocol
+/// leaves the journal behind; RecoverRepository replays or rolls back the
+/// publish so Open always sees a fully-old or fully-new repository.
+///
+/// Identity checksums are taken over an artifact's *logical payload* — the
+/// bytes under the CRC footer for framed artifacts, the whole file for raw
+/// ones. The whole-file CRC of a framed file is useless as an identity:
+/// appending a CRC-32 to its own message always yields the fixed residue
+/// 0x2144DF1C, so every framed file would "match" every other.
+struct JournalEntry {
+  std::string tmp_path;    ///< Relative to the repository root.
+  std::string final_path;  ///< Relative to the repository root.
+  uint32_t crc = 0;        ///< CRC-32 of the artifact's logical payload.
+  bool framed = false;     ///< Payload is wrapped in a CRC footer on disk.
+};
+
+struct CommitJournal {
+  uint32_t new_catalog_crc = 0;  ///< CRC-32 of the new catalog's payload.
+  std::vector<JournalEntry> entries;
+};
+
+std::string SerializeCommitJournal(const CommitJournal& journal);
+Result<CommitJournal> ParseCommitJournal(const std::string& payload);
+
+/// What RecoverRepository did, for logging and fsck reporting.
+struct RecoveryReport {
+  bool journal_found = false;
+  bool rolled_forward = false;  ///< Commit point passed: publish completed.
+  bool rolled_back = false;     ///< Commit point not reached: undone.
+  std::vector<std::string> actions;  ///< Human-readable, one per action.
+
+  bool clean() const { return !journal_found && actions.empty(); }
+};
+
+/// Brings the repository at `root` to a crash-consistent state:
+///  - if a commit journal is present, completes the publish when the
+///    catalog commit point was reached, otherwise rolls it back
+///    (quarantining uncommitted artifacts that were already renamed);
+///  - quarantines stray `*.tmp` droppings under the root, staging/ and
+///    objects/ directories (torn or abandoned writes).
+/// Idempotent; crashes during recovery are themselves recoverable.
+Result<RecoveryReport> RecoverRepository(Env* env, const std::string& root);
+
+/// Moves `path` into `<root>/quarantine/`, creating the directory and
+/// uniquifying the name. Returns the quarantined path.
+Result<std::string> QuarantineFile(Env* env, const std::string& root,
+                                   const std::string& path);
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_DLV_RECOVERY_H_

@@ -5,18 +5,16 @@
 #include <set>
 #include <sstream>
 
+#include "common/checked_io.h"
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "dlv/layout.h"
+#include "dlv/recovery.h"
 
 namespace modelhub {
 
 namespace {
-
-constexpr char kCatalogFile[] = "catalog.bin";
-constexpr char kStagingDir[] = "staging";
-constexpr char kPasDir[] = "pas";
-constexpr char kObjectsDir[] = "objects";
 
 std::string SnapshotKey(const std::string& version, int64_t sequence) {
   return version + "/s" + std::to_string(sequence);
@@ -97,17 +95,17 @@ Status Repository::InitSchema() {
 }
 
 Result<Repository> Repository::Init(Env* env, const std::string& root) {
-  if (env->FileExists(JoinPath(root, kCatalogFile))) {
+  if (env->FileExists(repo_layout::CatalogPath(root))) {
     return Status::AlreadyExists("repository already exists at " + root);
   }
   MH_RETURN_IF_ERROR(env->CreateDirs(root));
-  MH_RETURN_IF_ERROR(env->CreateDirs(JoinPath(root, kStagingDir)));
-  MH_RETURN_IF_ERROR(env->CreateDirs(JoinPath(root, kObjectsDir)));
+  MH_RETURN_IF_ERROR(env->CreateDirs(repo_layout::StagingDir(root)));
+  MH_RETURN_IF_ERROR(env->CreateDirs(repo_layout::ObjectsDir(root)));
   Repository repo;
   repo.env_ = env;
   repo.root_ = root;
   MH_ASSIGN_OR_RETURN(Catalog catalog,
-                      Catalog::Open(env, JoinPath(root, kCatalogFile)));
+                      Catalog::Open(env, repo_layout::CatalogPath(root)));
   repo.catalog_ = std::make_shared<Catalog>(std::move(catalog));
   repo.archive_ = std::make_shared<std::optional<ArchiveReader>>();
   MH_RETURN_IF_ERROR(repo.InitSchema());
@@ -116,14 +114,17 @@ Result<Repository> Repository::Init(Env* env, const std::string& root) {
 }
 
 Result<Repository> Repository::Open(Env* env, const std::string& root) {
-  if (!env->FileExists(JoinPath(root, kCatalogFile))) {
+  if (!env->FileExists(repo_layout::CatalogPath(root))) {
     return Status::NotFound("no repository at " + root);
   }
+  // Resolve any interrupted commit publish (roll forward past the commit
+  // point, roll back otherwise) before trusting the on-disk state.
+  MH_RETURN_IF_ERROR(RecoverRepository(env, root).status());
   Repository repo;
   repo.env_ = env;
   repo.root_ = root;
   MH_ASSIGN_OR_RETURN(Catalog catalog,
-                      Catalog::Open(env, JoinPath(root, kCatalogFile)));
+                      Catalog::Open(env, repo_layout::CatalogPath(root)));
   repo.catalog_ = std::make_shared<Catalog>(std::move(catalog));
   repo.archive_ = std::make_shared<std::optional<ArchiveReader>>();
   MH_RETURN_IF_ERROR(repo.InitSchema());
@@ -141,8 +142,7 @@ Result<int64_t> Repository::VersionId(const std::string& name) const {
 
 std::string Repository::StagingPath(const std::string& version,
                                     int64_t sequence) const {
-  return JoinPath(JoinPath(root_, kStagingDir),
-                  version + ".s" + std::to_string(sequence) + ".params");
+  return repo_layout::StagingFile(root_, version, sequence);
 }
 
 Result<int64_t> Repository::Commit(const CommitRequest& request) {
@@ -156,54 +156,107 @@ Result<int64_t> Repository::Commit(const CommitRequest& request) {
   if (!request.parent.empty()) {
     MH_RETURN_IF_ERROR(VersionId(request.parent).status());
   }
-  const int64_t id = catalog_->NextSequence();
-  const int64_t created_at = catalog_->NextSequence();
-  MH_RETURN_IF_ERROR(catalog_
-                         ->Insert("versions",
-                                  {id, request.name, created_at,
-                                   request.network.Serialize(),
-                                   request.parent, request.message})
+  // Stage every catalog mutation on a copy: a failed or interrupted commit
+  // must leave both the in-memory catalog and the on-disk state untouched.
+  Catalog staged = *catalog_;
+  const int64_t id = staged.NextSequence();
+  const int64_t created_at = staged.NextSequence();
+  MH_RETURN_IF_ERROR(staged
+                         .Insert("versions",
+                                 {id, request.name, created_at,
+                                  request.network.Serialize(), request.parent,
+                                  request.message})
                          .status());
   if (!request.parent.empty()) {
     MH_RETURN_IF_ERROR(
-        catalog_
-            ->Insert("lineage",
-                     {request.parent, request.name, request.message})
+        staged
+            .Insert("lineage", {request.parent, request.name, request.message})
             .status());
   }
+  // Payloads to publish, keyed by root-relative final path. The journal
+  // identifies each artifact by the CRC of its logical payload — the bytes
+  // under the CRC footer for framed files — because the whole-file CRC of
+  // a framed file is the fixed CRC-32 residue (see recovery.h).
+  struct PendingFile {
+    std::string rel_path;
+    std::string bytes;         ///< Exact file bytes written to disk.
+    uint32_t payload_crc = 0;  ///< CRC-32 of the logical payload.
+    bool framed = false;
+  };
+  std::vector<PendingFile> pending;
   for (size_t s = 0; s < request.snapshots.size(); ++s) {
     const auto& snapshot = request.snapshots[s];
-    MH_RETURN_IF_ERROR(catalog_
-                           ->Insert("snapshots",
-                                    {id, static_cast<int64_t>(s),
-                                     snapshot.iteration, "staging"})
+    MH_RETURN_IF_ERROR(staged
+                           .Insert("snapshots",
+                                   {id, static_cast<int64_t>(s),
+                                    snapshot.iteration, "staging"})
                            .status());
-    MH_RETURN_IF_ERROR(
-        env_->WriteFile(StagingPath(request.name, static_cast<int64_t>(s)),
-                        SerializeParams(snapshot.params)));
+    const std::string payload = SerializeParams(snapshot.params);
+    pending.push_back({JoinPath("staging",
+                                repo_layout::StagingFileName(
+                                    request.name, static_cast<int64_t>(s))),
+                       WithCrcFooter(payload), Crc32(Slice(payload)),
+                       /*framed=*/true});
   }
   for (const auto& entry : request.log) {
-    MH_RETURN_IF_ERROR(catalog_
-                           ->Insert("logs", {id, entry.iteration, entry.loss,
-                                             entry.train_accuracy,
-                                             entry.learning_rate})
+    MH_RETURN_IF_ERROR(staged
+                           .Insert("logs", {id, entry.iteration, entry.loss,
+                                            entry.train_accuracy,
+                                            entry.learning_rate})
                            .status());
   }
   for (const auto& [key, value] : request.hyperparams) {
-    MH_RETURN_IF_ERROR(
-        catalog_->Insert("hyperparams", {id, key, value}).status());
+    MH_RETURN_IF_ERROR(staged.Insert("hyperparams", {id, key, value}).status());
   }
   for (const auto& [file_name, contents] : request.files) {
+    const uint32_t content_crc = Crc32(Slice(contents));
     char object[32];
-    std::snprintf(object, sizeof(object), "%08x-%zu",
-                  Crc32(Slice(contents)), contents.size());
-    MH_RETURN_IF_ERROR(env_->WriteFile(
-        JoinPath(JoinPath(root_, kObjectsDir), object), contents));
+    std::snprintf(object, sizeof(object), "%08x-%zu", content_crc,
+                  contents.size());
+    // Objects are content-addressed: an existing file with this name already
+    // has these bytes, and may be shared with earlier versions — never
+    // republish it (a rollback would otherwise quarantine shared data).
+    if (!env_->FileExists(repo_layout::ObjectFile(root_, object))) {
+      pending.push_back({JoinPath("objects", object), contents, content_crc,
+                         /*framed=*/false});
+    }
     MH_RETURN_IF_ERROR(
-        catalog_->Insert("files", {id, file_name, std::string(object)})
-            .status());
+        staged.Insert("files", {id, file_name, std::string(object)}).status());
   }
-  MH_RETURN_IF_ERROR(Flush());
+  // Publish protocol: journal the intent, write tmps, rename into place,
+  // then atomically replace the catalog — the commit point. A crash at any
+  // step is resolved by RecoverRepository to fully-old or fully-new state.
+  const std::string catalog_image = staged.SerializeForDisk();
+  CommitJournal journal;
+  journal.new_catalog_crc = Crc32(Slice(*StripCrcFooter(catalog_image)));
+  for (const auto& p : pending) {
+    journal.entries.push_back(
+        {p.rel_path + ".tmp", p.rel_path, p.payload_crc, p.framed});
+  }
+  const Status publish = [&]() -> Status {
+    MH_RETURN_IF_ERROR(WriteChecked(env_,
+                                    repo_layout::CommitJournalPath(root_),
+                                    SerializeCommitJournal(journal)));
+    for (const auto& p : pending) {
+      MH_RETURN_IF_ERROR(
+          env_->WriteFile(JoinPath(root_, p.rel_path) + ".tmp", p.bytes));
+    }
+    for (const auto& p : pending) {
+      MH_RETURN_IF_ERROR(env_->RenameFile(JoinPath(root_, p.rel_path) + ".tmp",
+                                          JoinPath(root_, p.rel_path)));
+    }
+    return env_->WriteFile(repo_layout::CatalogPath(root_), catalog_image);
+  }();
+  if (!publish.ok()) {
+    // Best-effort immediate rollback; a crash before this runs is handled
+    // identically by the next Open.
+    (void)RecoverRepository(env_, root_);
+    return publish;
+  }
+  // Past the commit point: a leftover journal merely rolls forward (to a
+  // no-op) at the next Open, so a failed delete is not an error.
+  (void)env_->DeleteFile(repo_layout::CommitJournalPath(root_));
+  *catalog_ = std::move(staged);
   return id;
 }
 
@@ -316,8 +369,7 @@ Result<std::string> Repository::GetFile(const std::string& name,
   if (rows.empty()) {
     return Status::NotFound("no file " + file_name + " in " + name);
   }
-  return env_->ReadFile(
-      JoinPath(JoinPath(root_, kObjectsDir), rows[0][2].AsText()));
+  return env_->ReadFile(repo_layout::ObjectFile(root_, rows[0][2].AsText()));
 }
 
 std::vector<std::pair<std::string, std::string>> Repository::GetLineage()
@@ -363,13 +415,13 @@ Result<std::vector<NamedParam>> Repository::GetSnapshotParams(
   }
   if ((*found)[3].AsText() == "staging") {
     MH_ASSIGN_OR_RETURN(std::string bytes,
-                        env_->ReadFile(StagingPath(name, sequence)));
+                        ReadChecked(env_, StagingPath(name, sequence)));
     return ParseParams(Slice(bytes));
   }
   // Archived in PAS: lazily open the archive reader.
   if (!archive_->has_value()) {
     MH_ASSIGN_OR_RETURN(ArchiveReader reader,
-                        ArchiveReader::Open(env_, JoinPath(root_, kPasDir)));
+                        ArchiveReader::Open(env_, repo_layout::PasDir(root_)));
     archive_->emplace(std::move(reader));
   }
   return (*archive_)->RetrieveSnapshot(SnapshotKey(name, sequence));
@@ -448,7 +500,7 @@ Result<Repository::ComparisonResult> Repository::CompareOnData(
 
 Result<ArchiveBuildReport> Repository::Archive(const ArchiveOptions& options) {
   MH_ASSIGN_OR_RETURN(auto versions, List());
-  ArchiveBuilder builder(env_, JoinPath(root_, kPasDir));
+  ArchiveBuilder builder(env_, repo_layout::PasDir(root_));
   struct SnapshotRef {
     std::string version;
     int64_t sequence;
@@ -489,22 +541,32 @@ Result<ArchiveBuildReport> Repository::Archive(const ArchiveOptions& options) {
   MH_ASSIGN_OR_RETURN(ArchiveBuildReport report, builder.Build(options));
   // Invalidate any previously opened reader (the archive was rewritten).
   archive_->reset();
-  // Flip snapshot locations and clean staging.
-  MH_RETURN_IF_ERROR(catalog_
-                         ->Update(
+  // The archive publish above is internally atomic (manifest-last). Flip the
+  // snapshot locations on a staged catalog copy and publish it with one
+  // atomic write before touching the staging files: a crash in between
+  // leaves either the old state (archive generation unreferenced — garbage,
+  // collected by the next Build) or the new state (staging files garbage,
+  // swept up below or reported by fsck).
+  Catalog staged = *catalog_;
+  MH_RETURN_IF_ERROR(staged
+                         .Update(
                              "snapshots",
                              [](const Row& r) {
                                return r[3].AsText() == "staging";
                              },
                              [](Row* r) { (*r)[3] = "pas"; })
                          .status());
+  MH_RETURN_IF_ERROR(env_->WriteFile(repo_layout::CatalogPath(root_),
+                                     staged.SerializeForDisk()));
+  *catalog_ = std::move(staged);
+  // Best effort: the archive already holds these snapshots, so leftover
+  // staging files are merely unreferenced (fsck reports them).
   for (const auto& ref : all) {
     const std::string path = StagingPath(ref.version, ref.sequence);
     if (env_->FileExists(path)) {
-      MH_RETURN_IF_ERROR(env_->DeleteFile(path));
+      (void)env_->DeleteFile(path);
     }
   }
-  MH_RETURN_IF_ERROR(Flush());
   return report;
 }
 

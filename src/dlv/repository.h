@@ -43,12 +43,20 @@ struct ModelVersionInfo {
 };
 
 /// A DLV repository: the local model-versioning store of ModelHub. Layout
-/// under the repository root:
+/// under the repository root (see dlv/layout.h):
 ///
-///   catalog.bin   relational catalog (versions, lineage, logs, files)
-///   staging/      raw snapshot parameters awaiting archival
+///   catalog.bin   relational catalog (versions, lineage, logs, files),
+///                 CRC-framed, replaced with one atomic write
+///   journal.bin   commit journal, present only mid-publish (or post-crash)
+///   staging/      raw snapshot parameters awaiting archival (CRC-framed)
 ///   pas/          the PAS archive after `dlv archive`
 ///   objects/      content-addressed associated files
+///   quarantine/   artifacts set aside by crash recovery or `dlv fsck`
+///
+/// Commit and Archive are crash-consistent: payloads are written to `*.tmp`
+/// paths and published via journaled renames, with the catalog write as the
+/// atomic commit point. Open replays or rolls back any interrupted publish
+/// (dlv/recovery.h), so readers always see a fully-old or fully-new state.
 ///
 /// Mirrors the dlv command set of Table II: Init/Open (init), Commit
 /// (add+commit), Copy (copy), Archive (archive), List/Describe/Diff

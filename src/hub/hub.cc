@@ -5,6 +5,18 @@
 
 namespace modelhub {
 
+namespace {
+
+/// Transient repository state that must not travel: in-flight commit
+/// journals, torn-write droppings and quarantined artifacts are local
+/// recovery concerns, not part of the published repository.
+bool SkipInCopy(const std::string& name) {
+  if (name == "quarantine" || name == "journal.bin") return true;
+  return name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+}
+
+}  // namespace
+
 Status CopyTree(Env* env, const std::string& from, const std::string& to) {
   if (!env->DirExists(from)) {
     return Status::NotFound("no such directory: " + from);
@@ -12,6 +24,7 @@ Status CopyTree(Env* env, const std::string& from, const std::string& to) {
   MH_RETURN_IF_ERROR(env->CreateDirs(to));
   MH_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(from));
   for (const std::string& name : names) {
+    if (SkipInCopy(name)) continue;
     const std::string src = JoinPath(from, name);
     const std::string dst = JoinPath(to, name);
     if (env->DirExists(src)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/checked_io.h"
 #include "common/coding.h"
 #include "common/macros.h"
 
@@ -10,17 +11,38 @@ namespace modelhub {
 
 namespace {
 
-constexpr char kManifestMagic[] = "MHAM1\n";
+constexpr char kManifestMagic[] = "MHAM2\n";
 constexpr size_t kManifestMagicSize = 6;
 
-std::string ChunksPath(const std::string& dir) {
-  return JoinPath(dir, "chunks.bin");
-}
 std::string ManifestPath(const std::string& dir) {
   return JoinPath(dir, "manifest.bin");
 }
-std::string RemoteChunksPath(const std::string& dir) {
-  return JoinPath(dir, "remote.bin");
+
+/// Data files are generation-numbered (chunks-3.bin) so a rebuild never
+/// overwrites the generation the current manifest points at: new files are
+/// written first, then the manifest — the single commit point — is
+/// atomically replaced, then stale generations are garbage-collected.
+std::string GenFileName(const char* prefix, uint64_t gen) {
+  return std::string(prefix) + "-" + std::to_string(gen) + ".bin";
+}
+
+/// Parses `<prefix>-<gen>.bin`; returns false for any other name.
+bool ParseGenFileName(const std::string& name, const char* prefix,
+                      uint64_t* gen) {
+  const std::string head = std::string(prefix) + "-";
+  const std::string tail = ".bin";
+  if (name.size() <= head.size() + tail.size() ||
+      name.compare(0, head.size(), head) != 0 ||
+      name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = head.size(); i < name.size() - tail.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *gen = value;
+  return true;
 }
 
 /// Compressed size of all four byte planes of `m` under `codec`.
@@ -272,13 +294,26 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   }
 
   // --- Write chunks for the chosen tree. Remote-tier payloads go to a
-  // separate store standing in for the remote service.
+  // separate store standing in for the remote service. Data files carry a
+  // fresh generation number; the old generation stays untouched until the
+  // manifest (the commit point) is atomically replaced below.
   MH_RETURN_IF_ERROR(env_->CreateDirs(dir_));
-  ChunkStoreWriter chunks(env_, ChunksPath(dir_));
-  ChunkStoreWriter remote_chunks(env_, RemoteChunksPath(dir_));
+  uint64_t generation = 1;
+  if (auto names = env_->ListDir(dir_); names.ok()) {
+    for (const std::string& name : *names) {
+      uint64_t gen = 0;
+      if (ParseGenFileName(name, "chunks", &gen) ||
+          ParseGenFileName(name, "remote", &gen)) {
+        generation = std::max(generation, gen + 1);
+      }
+    }
+  }
+  const std::string chunks_name = GenFileName("chunks", generation);
+  const std::string remote_name = GenFileName("remote", generation);
+  ChunkStoreWriter chunks(env_, JoinPath(dir_, chunks_name));
+  ChunkStoreWriter remote_chunks(env_, JoinPath(dir_, remote_name));
   int remote_payloads = 0;
-  std::string manifest;
-  manifest.append(kManifestMagic, kManifestMagicSize);
+  std::string manifest;  // Body; the generation header is prepended below.
   PutVarint64(&manifest, matrices_.size());
   for (size_t i = 0; i < matrices_.size(); ++i) {
     const int v = vertex_of_matrix[i];
@@ -330,11 +365,33 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
                       static_cast<size_t>(idx)]));
     }
   }
+  // --- Publish: data files first (each written atomically), then the
+  // CRC-framed manifest naming them — the commit point. A crash before the
+  // manifest write leaves the previous generation fully intact; the new
+  // files are unreferenced garbage collected by the next Build (or fsck).
   MH_RETURN_IF_ERROR(chunks.Finish());
   if (remote_payloads > 0) {
     MH_RETURN_IF_ERROR(remote_chunks.Finish());
   }
-  MH_RETURN_IF_ERROR(env_->WriteFile(ManifestPath(dir_), manifest));
+  std::string framed;
+  framed.append(kManifestMagic, kManifestMagicSize);
+  PutVarint64(&framed, generation);
+  PutLengthPrefixed(&framed, Slice(chunks_name));
+  PutLengthPrefixed(&framed,
+                    Slice(remote_payloads > 0 ? remote_name : std::string()));
+  framed.append(manifest);
+  MH_RETURN_IF_ERROR(WriteChecked(env_, ManifestPath(dir_), framed));
+  // --- Garbage-collect superseded generations (best effort).
+  if (auto names = env_->ListDir(dir_); names.ok()) {
+    for (const std::string& name : *names) {
+      uint64_t gen = 0;
+      if ((ParseGenFileName(name, "chunks", &gen) ||
+           ParseGenFileName(name, "remote", &gen)) &&
+          gen != generation) {
+        (void)env_->DeleteFile(JoinPath(dir_, name));
+      }
+    }
+  }
 
   // --- Report.
   ArchiveBuildReport report;
@@ -355,16 +412,37 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
 
 Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
   ArchiveReader reader;
-  MH_ASSIGN_OR_RETURN(ChunkStoreReader chunk_reader,
-                      ChunkStoreReader::Open(env, ChunksPath(dir)));
-  reader.chunks_ = std::make_shared<ChunkStoreReader>(std::move(chunk_reader));
-  MH_ASSIGN_OR_RETURN(std::string manifest, env->ReadFile(ManifestPath(dir)));
+  // The CRC-framed manifest is the source of truth: it names the data
+  // files of the committed generation, so a crash mid-rebuild (stray newer
+  // generation files, no manifest update) is invisible here.
+  MH_ASSIGN_OR_RETURN(std::string manifest, ReadChecked(env, ManifestPath(dir)));
   if (manifest.size() < kManifestMagicSize ||
       manifest.compare(0, kManifestMagicSize, kManifestMagic) != 0) {
     return Status::Corruption("bad manifest magic");
   }
   Slice in(manifest);
   in.RemovePrefix(kManifestMagicSize);
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &reader.generation_));
+  Slice chunks_name;
+  Slice remote_name;
+  MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &chunks_name));
+  MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &remote_name));
+  if (chunks_name.empty()) {
+    return Status::Corruption("manifest names no chunk file");
+  }
+  reader.data_files_.push_back(chunks_name.ToString());
+  MH_ASSIGN_OR_RETURN(
+      ChunkStoreReader chunk_reader,
+      ChunkStoreReader::Open(env, JoinPath(dir, chunks_name.ToString())));
+  reader.chunks_ = std::make_shared<ChunkStoreReader>(std::move(chunk_reader));
+  if (!remote_name.empty()) {
+    reader.data_files_.push_back(remote_name.ToString());
+    MH_ASSIGN_OR_RETURN(
+        ChunkStoreReader remote_reader,
+        ChunkStoreReader::Open(env, JoinPath(dir, remote_name.ToString())));
+    reader.remote_chunks_ =
+        std::make_shared<ChunkStoreReader>(std::move(remote_reader));
+  }
   uint64_t num_matrices = 0;
   MH_RETURN_IF_ERROR(GetVarint64(&in, &num_matrices));
   reader.vertices_.resize(static_cast<size_t>(num_matrices) + 1);
@@ -398,11 +476,7 @@ Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
     }
     meta.parent = static_cast<int>(parent);
     if (meta.tier == 1 && reader.remote_chunks_ == nullptr) {
-      MH_ASSIGN_OR_RETURN(
-          ChunkStoreReader remote_reader,
-          ChunkStoreReader::Open(env, RemoteChunksPath(dir)));
-      reader.remote_chunks_ =
-          std::make_shared<ChunkStoreReader>(std::move(remote_reader));
+      return Status::Corruption("manifest remote vertex without remote store");
     }
     const uint32_t chunk_count = meta.tier == 1
                                      ? reader.remote_chunks_->num_chunks()
@@ -613,6 +687,36 @@ ArchiveReader::RetrieveSnapshotBounds(const std::string& snapshot,
     return out;
   }
   return Status::NotFound("no snapshot: " + snapshot);
+}
+
+std::vector<std::string> ArchiveReader::VerifyIntegrity() const {
+  std::vector<std::string> defects;
+  auto verify_store = [&](const ChunkStoreReader* store, const char* label) {
+    if (store == nullptr) return;
+    for (uint32_t i = 0; i < store->num_chunks(); ++i) {
+      const Status status = store->Verify(i);
+      if (!status.ok()) {
+        defects.push_back(std::string(label) + ": " + status.ToString());
+      }
+    }
+  };
+  verify_store(chunks_.get(), "local chunk store");
+  verify_store(remote_chunks_.get(), "remote chunk store");
+  // Every delta chain must terminate at a materialized vertex without
+  // cycles; Open bounds parent ids but cannot see cycles spanning vertices.
+  for (size_t v = 1; v < vertices_.size(); ++v) {
+    int cursor = static_cast<int>(v);
+    size_t steps = 0;
+    while (cursor != 0 && steps <= vertices_.size()) {
+      cursor = vertices_[static_cast<size_t>(cursor)].parent;
+      ++steps;
+    }
+    if (cursor != 0) {
+      defects.push_back("delta chain of " + vertices_[v].snapshot + "/" +
+                        vertices_[v].param + " does not terminate (cycle)");
+    }
+  }
+  return defects;
 }
 
 uint64_t ArchiveReader::TotalStoredBytes() const {

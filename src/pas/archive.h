@@ -105,7 +105,11 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
 /// delta candidates, solves Problem 1, and writes segmented + compressed
 /// chunks plus a manifest.
 ///
-/// Layout under `dir`: chunks.bin (ChunkStore), manifest.bin.
+/// Layout under `dir`: chunks-<gen>.bin (ChunkStore), optional
+/// remote-<gen>.bin, manifest.bin (CRC-framed, names the data files of the
+/// committed generation). Build writes a fresh generation of data files and
+/// publishes it by atomically replacing the manifest — the commit point —
+/// so a crash mid-build leaves the previous archive fully readable.
 class ArchiveBuilder {
  public:
   ArchiveBuilder(Env* env, std::string dir);
@@ -202,6 +206,17 @@ class ArchiveReader {
   /// Total compressed payload bytes of all chunks (archive size).
   uint64_t TotalStoredBytes() const;
 
+  /// Generation number the manifest committed.
+  uint64_t generation() const { return generation_; }
+
+  /// Data file names (relative to the archive dir) the manifest references.
+  const std::vector<std::string>& data_files() const { return data_files_; }
+
+  /// Full integrity scan for `dlv fsck`: verifies every chunk's CRC in
+  /// every referenced store and checks that all delta chains terminate.
+  /// Returns one human-readable line per defect (empty = healthy).
+  std::vector<std::string> VerifyIntegrity() const;
+
  private:
   struct VertexMeta {
     std::string snapshot;
@@ -223,6 +238,8 @@ class ArchiveReader {
   std::vector<VertexMeta> vertices_;  // Index 0 unused (v0).
   std::vector<std::string> snapshot_names_;
   std::vector<std::vector<int>> snapshot_members_;  // Vertex ids.
+  uint64_t generation_ = 0;
+  std::vector<std::string> data_files_;
   std::shared_ptr<ChunkStoreReader> chunks_;
   std::shared_ptr<ChunkStoreReader> remote_chunks_;  ///< Null if unused.
 };

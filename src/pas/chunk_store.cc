@@ -75,8 +75,15 @@ Result<ChunkStoreReader> ChunkStoreReader::Open(Env* env,
   MH_RETURN_IF_ERROR(GetFixed64(&tail_slice, &index_offset));
   MH_RETURN_IF_ERROR(GetFixed64(&tail_slice, &chunk_count));
   const uint64_t entry_size = 8 + 8 + 8 + 4 + 1;
-  const uint64_t index_size = chunk_count * entry_size;
-  if (index_offset + index_size + tail_len != file_size) {
+  // Validate the footer against the actual file size before deriving any
+  // read range from it: a truncated or bit-flipped footer must yield
+  // Corruption, never an out-of-file read or an overflowing product.
+  if (index_offset < kHeaderSize || index_offset > file_size - tail_len) {
+    return Status::Corruption("chunk store index offset out of file: " + path);
+  }
+  const uint64_t index_size = file_size - tail_len - index_offset;
+  if (chunk_count > UINT32_MAX || index_size % entry_size != 0 ||
+      chunk_count != index_size / entry_size) {
     return Status::Corruption("chunk store index bounds mismatch: " + path);
   }
   MH_ASSIGN_OR_RETURN(std::string index,
@@ -95,7 +102,8 @@ Result<ChunkStoreReader> ChunkStoreReader::Open(Env* env,
     if (in.empty()) return Status::Corruption("chunk store truncated index");
     ref.codec = static_cast<CodecType>(in[0]);
     in.RemovePrefix(1);
-    if (ref.offset < kHeaderSize || ref.offset + ref.stored_size > index_offset) {
+    if (ref.offset < kHeaderSize || ref.stored_size > index_offset ||
+        ref.offset > index_offset - ref.stored_size) {
       return Status::Corruption("chunk ref out of bounds: " + path);
     }
     reader.refs_.push_back(ref);
@@ -115,15 +123,30 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
     }
   }
   const ChunkRef& ref = refs_[id];
-  MH_ASSIGN_OR_RETURN(
-      std::string compressed,
-      env_->ReadFileRange(path_, ref.offset, ref.stored_size));
-  if (compressed.size() != ref.stored_size) {
-    return Status::Corruption("short chunk read");
+  // One retry distinguishes a transient read fault from real on-disk
+  // corruption: a bad sector or torn page read may succeed the second
+  // time, a corrupted payload fails both.
+  std::string compressed;
+  Status read_status = Status::OK();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto bytes = env_->ReadFileRange(path_, ref.offset, ref.stored_size);
+    if (!bytes.ok()) {
+      read_status = bytes.status();
+      continue;
+    }
+    if (bytes->size() != ref.stored_size) {
+      read_status = Status::Corruption("short chunk read");
+      continue;
+    }
+    if (Crc32(Slice(*bytes)) != ref.crc) {
+      read_status = Status::Corruption("chunk checksum mismatch");
+      continue;
+    }
+    compressed = std::move(*bytes);
+    read_status = Status::OK();
+    break;
   }
-  if (Crc32(Slice(compressed)) != ref.crc) {
-    return Status::Corruption("chunk checksum mismatch");
-  }
+  MH_RETURN_IF_ERROR(read_status);
   std::string raw;
   MH_RETURN_IF_ERROR(Codec::Get(ref.codec)->Decompress(Slice(compressed), &raw));
   if (raw.size() != ref.raw_size) {
@@ -137,6 +160,25 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
     if (cache_enabled_) cache_.emplace(id, raw);
   }
   return raw;
+}
+
+Status ChunkStoreReader::Verify(uint32_t id) const {
+  if (id >= refs_.size()) {
+    return Status::InvalidArgument("chunk id out of range");
+  }
+  const ChunkRef& ref = refs_[id];
+  MH_ASSIGN_OR_RETURN(
+      std::string compressed,
+      env_->ReadFileRange(path_, ref.offset, ref.stored_size));
+  if (compressed.size() != ref.stored_size) {
+    return Status::Corruption("short chunk read: " + path_ + " chunk " +
+                              std::to_string(id));
+  }
+  if (Crc32(Slice(compressed)) != ref.crc) {
+    return Status::Corruption("chunk checksum mismatch: " + path_ +
+                              " chunk " + std::to_string(id));
+  }
+  return Status::OK();
 }
 
 }  // namespace modelhub

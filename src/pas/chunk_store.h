@@ -63,8 +63,16 @@ class ChunkStoreReader {
   uint32_t num_chunks() const { return static_cast<uint32_t>(refs_.size()); }
   const ChunkRef& ref(uint32_t id) const { return refs_[id]; }
 
-  /// Fetches, verifies (CRC) and decompresses chunk `id`.
+  /// Fetches, verifies (CRC) and decompresses chunk `id`. A checksum
+  /// mismatch or short read is retried once (transient read faults);
+  /// a second failure is reported as Corruption.
   Result<std::string> Get(uint32_t id) const;
+
+  /// Integrity check of chunk `id` without decompression: re-reads the
+  /// payload and verifies its CRC. Used by `dlv fsck`.
+  Status Verify(uint32_t id) const;
+
+  const std::string& path() const { return path_; }
 
   /// Total compressed bytes fetched by Get since construction/reset.
   /// Cache hits do not count: once fetched, a chunk is in memory.

@@ -419,7 +419,7 @@ TEST(ArchiveTierTest, RemoteTierChosenWhenCheaperAndBudgetsPushBack) {
     }
   }
   // The loose archive actually wrote a remote store file.
-  EXPECT_TRUE(env.FileExists("a_loose/remote.bin"));
+  EXPECT_TRUE(env.FileExists("a_loose/remote-1.bin"));
 }
 
 TEST(ArchiveTierTest, PartialBoundsWorkAcrossTiers) {

@@ -78,6 +78,33 @@ TEST_F(CliTest, FullLifecycle) {
   EXPECT_NE(Dlv("pull " + hub + " alice models " + repo), 0);
 }
 
+TEST_F(CliTest, FsckSmoke) {
+  const std::string repo = work_ + "/repo";
+  ASSERT_EQ(Dlv("init " + repo), 0);
+  ASSERT_EQ(Dlv("demo " + repo + " 2"), 0);
+  ASSERT_EQ(Dlv("archive " + repo + " pas-pt 1.8"), 0);
+
+  // A healthy repository passes.
+  EXPECT_EQ(Dlv("fsck " + repo), 0);
+
+  // Flip one bit in the archive chunk store; fsck must notice and fail.
+  Env* env = Env::Default();
+  const std::string chunks = repo + "/pas/chunks-1.bin";
+  auto contents = env->ReadFile(chunks);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_GT(contents->size(), 64u);
+  std::string corrupt = *contents;
+  corrupt[64] ^= 0x01;
+  ASSERT_TRUE(env->WriteFile(chunks, corrupt).ok());
+  EXPECT_NE(Dlv("fsck " + repo), 0);
+
+  // Restore and confirm clean again; a missing repository is an error.
+  ASSERT_TRUE(env->WriteFile(chunks, *contents).ok());
+  EXPECT_EQ(Dlv("fsck " + repo), 0);
+  EXPECT_NE(Dlv("fsck " + work_ + "/missing"), 0);
+  EXPECT_EQ(Dlv("fsck " + repo + " --bogus"), 2);
+}
+
 TEST_F(CliTest, UsageAndBadCommands) {
   EXPECT_EQ(Dlv(""), 2);
   EXPECT_EQ(Dlv("frobnicate"), 2);

@@ -4,9 +4,11 @@
 #include <cstring>
 #include <set>
 
+#include "common/checked_io.h"
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/env.h"
+#include "common/fault_env.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -266,6 +268,118 @@ TEST_F(EnvTest, CreateDirsAndList) {
   auto top = env_.ListDir("repo");
   ASSERT_TRUE(top.ok());
   EXPECT_EQ(*top, (std::vector<std::string>{"models"}));
+}
+
+TEST_F(EnvTest, RenameFileMovesAndReplaces) {
+  ASSERT_TRUE(env_.WriteFile("a", "old-a").ok());
+  ASSERT_TRUE(env_.WriteFile("b", "old-b").ok());
+  // Rename over an existing file replaces it.
+  ASSERT_TRUE(env_.RenameFile("a", "b").ok());
+  EXPECT_FALSE(env_.FileExists("a"));
+  EXPECT_EQ(*env_.ReadFile("b"), "old-a");
+  // Rename to a fresh name.
+  ASSERT_TRUE(env_.RenameFile("b", "c/d").ok());
+  EXPECT_EQ(*env_.ReadFile("c/d"), "old-a");
+  // Missing source.
+  EXPECT_TRUE(env_.RenameFile("nope", "x").IsNotFound());
+}
+
+TEST(PosixEnvTest, RenameFileInTmp) {
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/mh_rename_test";
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  ASSERT_TRUE(env->WriteFile(JoinPath(dir, "src"), "payload").ok());
+  ASSERT_TRUE(env->WriteFile(JoinPath(dir, "dst"), "stale").ok());
+  ASSERT_TRUE(env->RenameFile(JoinPath(dir, "src"), JoinPath(dir, "dst")).ok());
+  EXPECT_FALSE(env->FileExists(JoinPath(dir, "src")));
+  EXPECT_EQ(*env->ReadFile(JoinPath(dir, "dst")), "payload");
+  EXPECT_TRUE(
+      env->RenameFile(JoinPath(dir, "gone"), JoinPath(dir, "x")).IsNotFound());
+  ASSERT_TRUE(env->DeleteFile(JoinPath(dir, "dst")).ok());
+}
+
+// ---------------------------------------------------------- checked I/O
+
+TEST(CheckedIoTest, RoundTripAndCorruptionDetection) {
+  MemEnv env;
+  ASSERT_TRUE(WriteChecked(&env, "f", "hello world").ok());
+  auto back = ReadChecked(&env, "f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "hello world");
+  // Any single-byte flip anywhere in the framed file must be caught.
+  auto framed = env.ReadFile("f");
+  ASSERT_TRUE(framed.ok());
+  for (size_t i = 0; i < framed->size(); ++i) {
+    std::string bad = *framed;
+    bad[i] ^= 0x40;
+    ASSERT_TRUE(env.WriteFile("f", bad).ok());
+    EXPECT_TRUE(ReadChecked(&env, "f").status().IsCorruption()) << i;
+  }
+  // Truncations (including below the footer size) are corruption.
+  for (size_t len : {size_t{0}, size_t{3}, framed->size() - 1}) {
+    ASSERT_TRUE(env.WriteFile("f", framed->substr(0, len)).ok());
+    EXPECT_TRUE(ReadChecked(&env, "f").status().IsCorruption()) << len;
+  }
+  // Missing files keep their NotFound status (callers rely on it).
+  EXPECT_TRUE(ReadChecked(&env, "missing").status().IsNotFound());
+  // The empty payload round-trips too.
+  ASSERT_TRUE(WriteChecked(&env, "e", "").ok());
+  EXPECT_EQ(*ReadChecked(&env, "e"), "");
+}
+
+// ------------------------------------------------------ fault injection
+
+TEST(FaultInjectionEnvTest, FailsNthMutationThenStaysCrashed) {
+  MemEnv mem;
+  FaultInjectionEnv env(&mem);
+  ASSERT_TRUE(env.WriteFile("a", "1").ok());  // Mutation 1.
+  env.FailNthMutation(2);
+  ASSERT_TRUE(env.WriteFile("b", "2").ok());        // Mutation 2 (k=1).
+  EXPECT_FALSE(env.WriteFile("c", "3").ok());       // Mutation 3 (k=2) fails.
+  EXPECT_TRUE(env.crashed());
+  // After the crash every mutation fails, reads still work.
+  EXPECT_FALSE(env.WriteFile("d", "4").ok());
+  EXPECT_FALSE(env.DeleteFile("a").ok());
+  EXPECT_FALSE(env.RenameFile("a", "z").ok());
+  EXPECT_FALSE(env.CreateDirs("dir").ok());
+  EXPECT_EQ(*env.ReadFile("a"), "1");
+  EXPECT_FALSE(mem.FileExists("c"));
+  env.Reset();
+  EXPECT_TRUE(env.WriteFile("c", "3").ok());
+}
+
+TEST(FaultInjectionEnvTest, TornWriteLeavesPrefixInShadowFile) {
+  MemEnv mem;
+  ASSERT_TRUE(mem.WriteFile("f", "old contents").ok());
+  FaultInjectionEnv env(&mem);
+  env.TornWriteNthMutation(1, 0.5);
+  EXPECT_FALSE(env.WriteFile("f", "NEW CONTENTS!").ok());
+  // The target keeps its old bytes (WriteFile's atomic-replace contract);
+  // the torn prefix lands in the shadow tmp file.
+  EXPECT_EQ(*mem.ReadFile("f"), "old contents");
+  auto shadow = mem.ReadFile("f.tmp");
+  ASSERT_TRUE(shadow.ok());
+  EXPECT_FALSE(shadow->empty());
+  EXPECT_LT(shadow->size(), std::string("NEW CONTENTS!").size());
+  EXPECT_EQ(*shadow, std::string("NEW CONTENTS!").substr(0, shadow->size()));
+}
+
+TEST(FaultInjectionEnvTest, ReadFaultsAndWriteCorruption) {
+  MemEnv mem;
+  FaultInjectionEnv env(&mem);
+  ASSERT_TRUE(env.WriteFile("data/a", "payload").ok());
+  env.FailReadsMatching("data/");
+  EXPECT_FALSE(env.ReadFile("data/a").ok());
+  EXPECT_FALSE(env.ReadFileRange("data/a", 0, 3).ok());
+  env.Reset();
+  EXPECT_TRUE(env.ReadFile("data/a").ok());
+  // Silent bit flips on matching writes: the write succeeds, the stored
+  // bytes differ from the payload by exactly one bit.
+  env.CorruptWritesMatching("evil", /*bit=*/3);
+  ASSERT_TRUE(env.WriteFile("evil.bin", "AAAA").ok());
+  EXPECT_NE(*mem.ReadFile("evil.bin"), "AAAA");
+  ASSERT_TRUE(env.WriteFile("fine.bin", "AAAA").ok());
+  EXPECT_EQ(*mem.ReadFile("fine.bin"), "AAAA");
 }
 
 TEST(PosixEnvTest, WriteReadDeleteInTmp) {

@@ -18,6 +18,7 @@
 #include "common/env.h"
 #include "data/dataset.h"
 #include "data/synthetic_modeler.h"
+#include "dlv/fsck.h"
 #include "dlv/report.h"
 #include "dlv/repository.h"
 #include "dql/engine.h"
@@ -35,6 +36,8 @@ model version management:
   dlv copy <repo> <src> <new>              scaffold a version from another
   dlv archive <repo> [solver] [alpha]      compact snapshots into PAS
                                            (solver: pas-pt pas-mt last mst spt)
+  dlv fsck <repo> [--quarantine]           verify repository integrity;
+                                           --quarantine sets orphans aside
 model exploration:
   dlv list <repo>                          versions, lineage, accuracy
   dlv desc <repo> <model>                  describe one version
@@ -247,6 +250,15 @@ int CmdArchive(Env* env, const std::string& root, const std::string& solver,
   return 0;
 }
 
+int CmdFsck(Env* env, const std::string& root, bool quarantine) {
+  FsckOptions options;
+  options.quarantine = quarantine;
+  auto report = RunFsck(env, root, options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->ToString().c_str());
+  return report->clean() ? 0 : 1;
+}
+
 int CmdQuery(Env* env, const std::string& root, const std::string& text) {
   auto repo = Repository::Open(env, root);
   if (!repo.ok()) return Fail(repo.status());
@@ -361,6 +373,11 @@ int Main(int argc, char** argv) {
   if (command == "archive" && argc >= 3) {
     return CmdArchive(env, arg(2), argc > 3 ? arg(3) : "pas-pt",
                       argc > 4 ? std::atof(argv[4]) : 2.0);
+  }
+  if (command == "fsck" && (argc == 3 || argc == 4)) {
+    const bool quarantine = argc == 4 && arg(3) == "--quarantine";
+    if (argc == 4 && !quarantine) return Usage();
+    return CmdFsck(env, arg(2), quarantine);
   }
   if (command == "query" && argc == 4) return CmdQuery(env, arg(2), arg(3));
   if (command == "report" && argc == 4) {
