@@ -4,6 +4,21 @@
 
 namespace modelhub {
 
+void WaitGroup::Add(int n) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (--count_ == 0) zero_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  zero_.wait(lock, [this] { return count_ == 0; });
+}
+
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(count));
@@ -30,6 +45,17 @@ void ThreadPool::Schedule(std::function<void()> task) {
     ++in_flight_;
   }
   work_available_.notify_one();
+}
+
+void ThreadPool::Schedule(WaitGroup* group, std::function<void()> task) {
+  // The Add must precede enqueueing: once queued, the task (and its Done)
+  // can run at any moment, and a Wait observing the pre-Add count would
+  // return with the task still pending.
+  group->Add(1);
+  Schedule([group, task = std::move(task)] {
+    task();
+    group->Done();
+  });
 }
 
 void ThreadPool::Wait() {

@@ -10,9 +10,41 @@
 
 namespace modelhub {
 
-/// A fixed-size worker pool. PAS's parallel retrieval scheme (Table III:
+/// Tracks completion of one batch of tasks on a shared ThreadPool.
+///
+/// ThreadPool::Wait() barriers on *every* in-flight task, so two callers
+/// sharing one pool would block on each other's work. A WaitGroup counts
+/// only its own batch: Schedule(&group, task) increments it before the
+/// task is enqueued and decrements it when the task returns, and
+/// WaitGroup::Wait() blocks until exactly this batch has drained. Tasks
+/// may themselves schedule follow-up tasks against the same group (the
+/// increment happens before the scheduling task's decrement, so the count
+/// never transiently hits zero while work remains).
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// Registers `n` pending completions.
+  void Add(int n = 1);
+
+  /// Marks one completion. Must balance a prior Add.
+  void Done();
+
+  /// Blocks until the count returns to zero. Reusable: a later Add starts
+  /// a new batch.
+  void Wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable zero_;
+  int count_ = 0;
+};
+
+/// A fixed-size worker pool. PAS's parallel retrieval schemes (Table III:
 /// "accesses all matrices of a snapshot in parallel using multiple
-/// threads") runs per-matrix recreation on this pool.
+/// threads") run per-vertex recreation tasks on this pool.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (minimum 1).
@@ -27,7 +59,15 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not throw.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished.
+  /// Enqueues a task tracked by `group`: the group is incremented before
+  /// the task is queued and decremented after it runs (the pool drains
+  /// its queue before shutdown, so every queued task runs exactly once).
+  /// `group` must outlive the task.
+  void Schedule(WaitGroup* group, std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished — including tasks
+  /// scheduled by other callers. Prefer per-batch WaitGroups on shared
+  /// pools.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }

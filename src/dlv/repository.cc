@@ -419,12 +419,17 @@ Result<std::vector<NamedParam>> Repository::GetSnapshotParams(
     return ParseParams(Slice(bytes));
   }
   // Archived in PAS: lazily open the archive reader.
+  MH_ASSIGN_OR_RETURN(ArchiveReader * archive, OpenArchive());
+  return archive->RetrieveSnapshot(SnapshotKey(name, sequence));
+}
+
+Result<ArchiveReader*> Repository::OpenArchive() const {
   if (!archive_->has_value()) {
     MH_ASSIGN_OR_RETURN(ArchiveReader reader,
                         ArchiveReader::Open(env_, repo_layout::PasDir(root_)));
     archive_->emplace(std::move(reader));
   }
-  return (*archive_)->RetrieveSnapshot(SnapshotKey(name, sequence));
+  return &archive_->value();
 }
 
 Result<std::vector<int>> Repository::Eval(const std::string& name,

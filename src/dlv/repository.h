@@ -145,6 +145,11 @@ class Repository {
   /// version, and parent-latest -> child-first across lineage).
   Result<ArchiveBuildReport> Archive(const ArchiveOptions& options);
 
+  /// Opens (and caches) the PAS archive reader. Fails until `dlv
+  /// archive` has run. Snapshot names inside the archive follow the
+  /// `<version>/s<sequence>` key format (see SnapshotKey).
+  Result<ArchiveReader*> OpenArchive() const;
+
   /// Persists catalog state.
   Status Flush();
 

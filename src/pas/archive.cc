@@ -1,15 +1,52 @@
 #include "pas/archive.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "common/checked_io.h"
 #include "common/coding.h"
 #include "common/macros.h"
+#include "common/stopwatch.h"
 
 namespace modelhub {
 
 namespace {
+
+/// Fills a RetrievalStats from chunk-store counter deltas + wall time
+/// on scope exit. Construct before the first chunk access of a call.
+class StatsScope {
+ public:
+  StatsScope(const ArchiveReader* reader, RetrievalStats* stats)
+      : reader_(reader), stats_(stats) {
+    if (stats_ != nullptr) {
+      *stats_ = RetrievalStats{};
+      before_ = reader_->store_stats();
+    }
+  }
+
+  ~StatsScope() {
+    if (stats_ == nullptr) return;
+    const ChunkStoreStats after = reader_->store_stats();
+    stats_->chunk_fetches = after.chunk_fetches - before_.chunk_fetches;
+    stats_->cache_hits = after.cache_hits - before_.cache_hits;
+    stats_->cache_evictions = after.cache_evictions - before_.cache_evictions;
+    stats_->bytes_read = after.bytes_read - before_.bytes_read;
+    stats_->wall_ms = watch_.ElapsedMillis();
+  }
+
+  void set_vertices_resolved(uint64_t n) {
+    if (stats_ != nullptr) stats_->vertices_resolved = n;
+  }
+
+ private:
+  const ArchiveReader* reader_;
+  RetrievalStats* stats_;
+  ChunkStoreStats before_;
+  Stopwatch watch_;
+};
 
 constexpr char kManifestMagic[] = "MHAM2\n";
 constexpr size_t kManifestMagicSize = 6;
@@ -509,20 +546,53 @@ Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
     reader.snapshot_names_.push_back(name.ToString());
     reader.snapshot_members_.push_back(std::move(members));
   }
+  // Lookup indexes: every retrieval entry point resolves names through
+  // these instead of scanning all vertices with string compares.
+  for (size_t s = 0; s < reader.snapshot_names_.size(); ++s) {
+    reader.snapshot_index_.emplace(reader.snapshot_names_[s],
+                                   static_cast<int>(s));
+  }
+  for (size_t v = 1; v < reader.vertices_.size(); ++v) {
+    const VertexMeta& meta = reader.vertices_[v];
+    reader.vertex_index_.emplace(std::make_pair(meta.snapshot, meta.param),
+                                 static_cast<int>(v));
+  }
   return reader;
+}
+
+int ArchiveReader::FindSnapshot(const std::string& snapshot) const {
+  auto it = snapshot_index_.find(snapshot);
+  return it == snapshot_index_.end() ? -1 : it->second;
+}
+
+int ArchiveReader::FindVertex(const std::string& snapshot,
+                              const std::string& param) const {
+  auto it = vertex_index_.find(std::make_pair(snapshot, param));
+  return it == vertex_index_.end() ? -1 : it->second;
+}
+
+ChunkStoreStats ArchiveReader::store_stats() const {
+  ChunkStoreStats total = chunks_->stats();
+  if (remote_chunks_ != nullptr) {
+    const ChunkStoreStats remote = remote_chunks_->stats();
+    total.bytes_read += remote.bytes_read;
+    total.chunk_fetches += remote.chunk_fetches;
+    total.cache_hits += remote.cache_hits;
+    total.cache_evictions += remote.cache_evictions;
+    total.cache_bytes += remote.cache_bytes;
+  }
+  return total;
 }
 
 Result<std::vector<std::string>> ArchiveReader::ParamNames(
     const std::string& snapshot) const {
-  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
-    if (snapshot_names_[s] != snapshot) continue;
-    std::vector<std::string> names;
-    for (int v : snapshot_members_[s]) {
-      names.push_back(vertices_[static_cast<size_t>(v)].param);
-    }
-    return names;
+  const int s = FindSnapshot(snapshot);
+  if (s < 0) return Status::NotFound("no snapshot: " + snapshot);
+  std::vector<std::string> names;
+  for (int v : snapshot_members_[static_cast<size_t>(s)]) {
+    names.push_back(vertices_[static_cast<size_t>(v)].param);
   }
-  return Status::NotFound("no snapshot: " + snapshot);
+  return names;
 }
 
 Result<FloatMatrix> ArchiveReader::ReadPayload(const VertexMeta& meta) const {
@@ -537,80 +607,216 @@ Result<FloatMatrix> ArchiveReader::ReadPayload(const VertexMeta& meta) const {
   return AssembleFloats(meta.rows, meta.cols, planes);
 }
 
-Result<FloatMatrix> ArchiveReader::ResolveExact(
+Result<const FloatMatrix*> ArchiveReader::ResolveExact(
     int vertex, std::map<int, FloatMatrix>* memo) const {
   auto it = memo->find(vertex);
-  if (it != memo->end()) return it->second;
+  if (it != memo->end()) return &it->second;
   const VertexMeta& meta = vertices_[static_cast<size_t>(vertex)];
   MH_ASSIGN_OR_RETURN(FloatMatrix payload, ReadPayload(meta));
   FloatMatrix value;
   if (meta.parent == 0) {
     value = std::move(payload);
   } else {
-    MH_ASSIGN_OR_RETURN(FloatMatrix base, ResolveExact(meta.parent, memo));
-    MH_ASSIGN_OR_RETURN(value, ApplyDelta(base, payload, meta.delta_kind));
+    MH_ASSIGN_OR_RETURN(const FloatMatrix* base,
+                        ResolveExact(meta.parent, memo));
+    MH_ASSIGN_OR_RETURN(value, ApplyDelta(*base, payload, meta.delta_kind));
   }
-  memo->emplace(vertex, value);
-  return value;
+  return &memo->emplace(vertex, std::move(value)).first->second;
 }
 
 Result<FloatMatrix> ArchiveReader::RetrieveMatrix(
     const std::string& snapshot, const std::string& param) const {
-  for (size_t v = 1; v < vertices_.size(); ++v) {
-    if (vertices_[v].snapshot == snapshot && vertices_[v].param == param) {
-      std::map<int, FloatMatrix> memo;
-      return ResolveExact(static_cast<int>(v), &memo);
-    }
+  const int vertex = FindVertex(snapshot, param);
+  if (vertex < 0) {
+    return Status::NotFound("no matrix " + snapshot + "/" + param);
   }
-  return Status::NotFound("no matrix " + snapshot + "/" + param);
+  std::map<int, FloatMatrix> memo;
+  MH_RETURN_IF_ERROR(ResolveExact(vertex, &memo).status());
+  return std::move(memo.at(vertex));
 }
 
 Result<std::vector<NamedParam>> ArchiveReader::RetrieveSnapshot(
-    const std::string& snapshot) const {
-  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
-    if (snapshot_names_[s] != snapshot) continue;
-    std::map<int, FloatMatrix> memo;
-    std::vector<NamedParam> out;
-    for (int v : snapshot_members_[s]) {
-      MH_ASSIGN_OR_RETURN(FloatMatrix value, ResolveExact(v, &memo));
-      out.push_back({vertices_[static_cast<size_t>(v)].param,
-                     std::move(value)});
-    }
-    return out;
+    const std::string& snapshot, RetrievalStats* stats) const {
+  const int s = FindSnapshot(snapshot);
+  if (s < 0) return Status::NotFound("no snapshot: " + snapshot);
+  StatsScope scope(this, stats);
+  const std::vector<int>& members = snapshot_members_[static_cast<size_t>(s)];
+  std::map<int, FloatMatrix> memo;
+  for (int v : members) {
+    MH_RETURN_IF_ERROR(ResolveExact(v, &memo).status());
   }
-  return Status::NotFound("no snapshot: " + snapshot);
+  scope.set_vertices_resolved(memo.size());
+  // All chains are resolved; members can now be moved out of the memo
+  // (no member is read again, so no copy per returned matrix).
+  std::vector<NamedParam> out;
+  out.reserve(members.size());
+  for (int v : members) {
+    out.push_back({vertices_[static_cast<size_t>(v)].param,
+                   std::move(memo.at(v))});
+  }
+  return out;
 }
 
 Result<std::vector<NamedParam>> ArchiveReader::RetrieveSnapshotParallel(
-    const std::string& snapshot, ThreadPool* pool) const {
-  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
-    if (snapshot_names_[s] != snapshot) continue;
-    const std::vector<int>& members = snapshot_members_[s];
-    std::vector<Result<FloatMatrix>> results(
-        members.size(), Result<FloatMatrix>(Status::Internal("unset")));
-    for (size_t m = 0; m < members.size(); ++m) {
-      const int vertex = members[m];
-      pool->Schedule([this, vertex, &results, m] {
-        std::map<int, FloatMatrix> memo;  // Independent: no sharing.
-        results[m] = ResolveExact(vertex, &memo);
-      });
+    const std::string& snapshot, ThreadPool* pool,
+    RetrievalStats* stats) const {
+  MH_ASSIGN_OR_RETURN(std::vector<std::vector<NamedParam>> sets,
+                      RetrieveSnapshotsParallel({snapshot}, pool,
+                                                ParallelScheme::kShared,
+                                                stats));
+  return std::move(sets[0]);
+}
+
+Result<std::vector<std::vector<NamedParam>>>
+ArchiveReader::RetrieveSnapshotsParallel(
+    const std::vector<std::string>& snapshots, ThreadPool* pool,
+    ParallelScheme scheme, RetrievalStats* stats) const {
+  std::vector<const std::vector<int>*> member_lists;
+  member_lists.reserve(snapshots.size());
+  for (const std::string& name : snapshots) {
+    const int s = FindSnapshot(name);
+    if (s < 0) return Status::NotFound("no snapshot: " + name);
+    member_lists.push_back(&snapshot_members_[static_cast<size_t>(s)]);
+  }
+  StatsScope scope(this, stats);
+
+  if (scheme == ParallelScheme::kIndependent) {
+    // Table III's plain parallel scheme: one task per requested matrix,
+    // each with a private memo, so shared chain prefixes are re-decoded
+    // once per descendant. Kept as the measurable baseline.
+    std::vector<std::vector<Result<FloatMatrix>>> results;
+    for (const auto* members : member_lists) {
+      results.emplace_back(members->size(),
+                           Result<FloatMatrix>(Status::Internal("unset")));
     }
-    pool->Wait();
-    std::vector<NamedParam> out;
-    for (size_t m = 0; m < members.size(); ++m) {
-      MH_RETURN_IF_ERROR(results[m].status());
-      out.push_back({vertices_[static_cast<size_t>(members[m])].param,
-                     std::move(*results[m])});
+    std::atomic<uint64_t> resolved{0};
+    WaitGroup done;
+    for (size_t set = 0; set < member_lists.size(); ++set) {
+      for (size_t m = 0; m < member_lists[set]->size(); ++m) {
+        const int vertex = (*member_lists[set])[m];
+        Result<FloatMatrix>* slot = &results[set][m];
+        pool->Schedule(&done, [this, vertex, slot, &resolved] {
+          std::map<int, FloatMatrix> memo;  // Independent: no sharing.
+          const Status status = ResolveExact(vertex, &memo).status();
+          resolved.fetch_add(memo.size(), std::memory_order_relaxed);
+          *slot = status.ok() ? Result<FloatMatrix>(std::move(memo.at(vertex)))
+                              : Result<FloatMatrix>(status);
+        });
+      }
+    }
+    done.Wait();
+    scope.set_vertices_resolved(resolved.load());
+    std::vector<std::vector<NamedParam>> out(member_lists.size());
+    for (size_t set = 0; set < member_lists.size(); ++set) {
+      for (size_t m = 0; m < member_lists[set]->size(); ++m) {
+        MH_RETURN_IF_ERROR(results[set][m].status());
+        out[set].push_back(
+            {vertices_[static_cast<size_t>((*member_lists[set])[m])].param,
+             std::move(*results[set][m])});
+      }
     }
     return out;
   }
-  return Status::NotFound("no snapshot: " + snapshot);
+
+  // --- Computation-sharing scheduler: one task per vertex of the delta-
+  // chain forest spanned by every requested matrix. A vertex's task runs
+  // once its parent has resolved (roots are scheduled immediately), and
+  // its decoded matrix is shared by all descendant tasks instead of being
+  // re-read and re-applied per matrix.
+  struct Node {
+    int vertex = 0;
+    int parent_node = -1;        ///< Index into nodes; -1 = materialized.
+    std::vector<int> children;   ///< Indexes into nodes.
+    int uses = 0;                ///< Requested-output references.
+    FloatMatrix value;
+    Status status = Status::OK();
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<int, int> node_of;  // vertex id -> node index.
+  for (const auto* members : member_lists) {
+    for (int member : *members) {
+      int cursor = member;
+      while (cursor != 0 && node_of.find(cursor) == node_of.end()) {
+        node_of.emplace(cursor, static_cast<int>(nodes.size()));
+        Node node;
+        node.vertex = cursor;
+        nodes.push_back(std::move(node));
+        cursor = vertices_[static_cast<size_t>(cursor)].parent;
+      }
+      ++nodes[static_cast<size_t>(node_of.at(member))].uses;
+    }
+  }
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    const int parent = vertices_[static_cast<size_t>(nodes[n].vertex)].parent;
+    if (parent == 0) continue;
+    nodes[n].parent_node = node_of.at(parent);
+    nodes[static_cast<size_t>(nodes[n].parent_node)].children.push_back(
+        static_cast<int>(n));
+  }
+
+  // Every node is written by exactly one task; a child task reads its
+  // parent's fields only after the parent task scheduled it, and the
+  // final gather below is ordered by done.Wait() — no locks needed on
+  // the nodes themselves.
+  WaitGroup done;
+  std::function<void(int)> run_vertex;
+  run_vertex = [this, &nodes, pool, &done, &run_vertex](int index) {
+    Node& node = nodes[static_cast<size_t>(index)];
+    node.status = [&]() -> Status {
+      if (node.parent_node >= 0) {
+        const Status& parent_status =
+            nodes[static_cast<size_t>(node.parent_node)].status;
+        if (!parent_status.ok()) return parent_status;  // Cascade failure.
+      }
+      const VertexMeta& meta = vertices_[static_cast<size_t>(node.vertex)];
+      MH_ASSIGN_OR_RETURN(FloatMatrix payload, ReadPayload(meta));
+      if (meta.parent == 0) {
+        node.value = std::move(payload);
+        return Status::OK();
+      }
+      const FloatMatrix& base =
+          nodes[static_cast<size_t>(node.parent_node)].value;
+      MH_ASSIGN_OR_RETURN(node.value,
+                          ApplyDelta(base, payload, meta.delta_kind));
+      return Status::OK();
+    }();
+    for (int child : node.children) {
+      pool->Schedule(&done, [&run_vertex, child] { run_vertex(child); });
+    }
+  };
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].parent_node >= 0) continue;
+    const int index = static_cast<int>(n);
+    pool->Schedule(&done, [&run_vertex, index] { run_vertex(index); });
+  }
+  done.Wait();
+  scope.set_vertices_resolved(nodes.size());
+
+  std::vector<std::vector<NamedParam>> out(member_lists.size());
+  for (size_t set = 0; set < member_lists.size(); ++set) {
+    for (int member : *member_lists[set]) {
+      Node& node = nodes[static_cast<size_t>(node_of.at(member))];
+      MH_RETURN_IF_ERROR(node.status);
+      // The last requester steals the decoded matrix; earlier requesters
+      // (the same snapshot listed twice) must copy.
+      FloatMatrix value;
+      if (--node.uses == 0) {
+        value = std::move(node.value);
+      } else {
+        value = node.value;
+      }
+      out[set].push_back({vertices_[static_cast<size_t>(member)].param,
+                          std::move(value)});
+    }
+  }
+  return out;
 }
 
-Result<IntervalMatrix> ArchiveReader::ResolveBounds(
-    int vertex, int planes, std::map<int, IntervalMatrix>* memo) const {
+Result<const IntervalMatrix*> ArchiveReader::ResolveBounds(
+    int vertex, int planes, std::map<int, IntervalMatrix>* memo,
+    std::map<int, FloatMatrix>* exact_memo) const {
   auto it = memo->find(vertex);
-  if (it != memo->end()) return it->second;
+  if (it != memo->end()) return &it->second;
   const VertexMeta& meta = vertices_[static_cast<size_t>(vertex)];
   const bool is_xor = meta.delta_kind == DeltaKind::kXor ||
                       meta.delta_kind == DeltaKind::kAdaptiveXor;
@@ -633,13 +839,16 @@ Result<IntervalMatrix> ArchiveReader::ResolveBounds(
   if (meta.parent == 0) {
     value = std::move(own);
   } else if (is_xor) {
-    // Full planes: exact chain; XOR needs bit-exact operands.
-    std::map<int, FloatMatrix> exact_memo;
-    MH_ASSIGN_OR_RETURN(FloatMatrix exact, ResolveExact(vertex, &exact_memo));
-    value = IntervalMatrix::FromExact(exact);
+    // Full planes: exact chain; XOR needs bit-exact operands. The exact
+    // memo is threaded through the whole snapshot resolution, so a chain
+    // prefix shared by several XOR vertices is decoded only once.
+    MH_ASSIGN_OR_RETURN(const FloatMatrix* exact,
+                        ResolveExact(vertex, exact_memo));
+    value = IntervalMatrix::FromExact(*exact);
   } else {
-    MH_ASSIGN_OR_RETURN(IntervalMatrix base,
-                        ResolveBounds(meta.parent, planes, memo));
+    MH_ASSIGN_OR_RETURN(const IntervalMatrix* base_ptr,
+                        ResolveBounds(meta.parent, planes, memo, exact_memo));
+    const IntervalMatrix& base = *base_ptr;
     // target = base + delta on the overlap (interval addition); outside
     // the base's extent (adaptive deltas only) the delta carries the
     // target verbatim, so its own bounds stand alone.
@@ -665,8 +874,7 @@ Result<IntervalMatrix> ArchiveReader::ResolveBounds(
     MH_ASSIGN_OR_RETURN(value,
                         IntervalMatrix::FromBounds(std::move(lo), std::move(hi)));
   }
-  memo->emplace(vertex, value);
-  return value;
+  return &memo->emplace(vertex, std::move(value)).first->second;
 }
 
 Result<std::map<std::string, IntervalMatrix>>
@@ -675,18 +883,20 @@ ArchiveReader::RetrieveSnapshotBounds(const std::string& snapshot,
   if (planes < 1 || planes > kNumPlanes) {
     return Status::InvalidArgument("planes must be in [1,4]");
   }
-  for (size_t s = 0; s < snapshot_names_.size(); ++s) {
-    if (snapshot_names_[s] != snapshot) continue;
-    std::map<int, IntervalMatrix> memo;
-    std::map<std::string, IntervalMatrix> out;
-    for (int v : snapshot_members_[s]) {
-      MH_ASSIGN_OR_RETURN(IntervalMatrix bounds,
-                          ResolveBounds(v, planes, &memo));
-      out.emplace(vertices_[static_cast<size_t>(v)].param, std::move(bounds));
-    }
-    return out;
+  const int s = FindSnapshot(snapshot);
+  if (s < 0) return Status::NotFound("no snapshot: " + snapshot);
+  const std::vector<int>& members = snapshot_members_[static_cast<size_t>(s)];
+  std::map<int, IntervalMatrix> memo;
+  std::map<int, FloatMatrix> exact_memo;  // Shared by all XOR vertices.
+  for (int v : members) {
+    MH_RETURN_IF_ERROR(ResolveBounds(v, planes, &memo, &exact_memo).status());
   }
-  return Status::NotFound("no snapshot: " + snapshot);
+  std::map<std::string, IntervalMatrix> out;
+  for (int v : members) {
+    out.emplace(vertices_[static_cast<size_t>(v)].param,
+                std::move(memo.at(v)));
+  }
+  return out;
 }
 
 std::vector<std::string> ArchiveReader::VerifyIntegrity() const {

@@ -4,6 +4,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
@@ -146,6 +148,33 @@ class ArchiveBuilder {
   bool built_ = false;
 };
 
+/// What one retrieval call actually did (Table III instrumentation):
+/// chunk fetches, cache behavior, bytes moved, chain vertices decoded,
+/// and wall time. Computed from chunk-store counter deltas, so the
+/// numbers are exact for a quiescent reader and approximate when other
+/// retrievals run concurrently on the same reader.
+struct RetrievalStats {
+  uint64_t chunk_fetches = 0;      ///< Disk chunk fetches (both stores).
+  uint64_t cache_hits = 0;         ///< Chunk cache hits.
+  uint64_t cache_evictions = 0;    ///< LRU evictions during the call.
+  uint64_t bytes_read = 0;         ///< Compressed bytes fetched.
+  uint64_t vertices_resolved = 0;  ///< Delta-chain vertices decoded.
+  double wall_ms = 0.0;            ///< Wall time of the call.
+};
+
+/// Which parallel execution strategy RetrieveSnapshotsParallel uses
+/// (Table III's parallel vs. computation-sharing columns).
+enum class ParallelScheme {
+  /// One task per requested matrix, each re-decoding its whole delta
+  /// chain with a private memo — shared chain prefixes are re-read and
+  /// re-applied once per descendant matrix.
+  kIndependent,
+  /// One dependency-counted task per delta-chain vertex: a vertex is
+  /// decoded once, when its parent resolves, and the decoded value is
+  /// shared by all descendants.
+  kShared,
+};
+
 /// Read side of a PAS archive. Full-precision retrieval follows delta
 /// chains; partial retrieval reads only the first k byte planes of every
 /// chunk on the chain and returns sound per-weight IntervalMatrix bounds
@@ -169,13 +198,29 @@ class ArchiveReader {
   /// Exact retrieval of all matrices of a snapshot, sharing delta-chain
   /// work within the call (the reusable scheme's computation sharing).
   Result<std::vector<NamedParam>> RetrieveSnapshot(
-      const std::string& snapshot) const;
+      const std::string& snapshot, RetrievalStats* stats = nullptr) const;
 
-  /// The parallel retrieval scheme of Table III: every matrix of the
-  /// snapshot is recreated independently on `pool` (its own delta chain,
-  /// no shared intermediates). Requires a thread-safe Env.
+  /// Parallel retrieval of one snapshot on `pool` using the
+  /// computation-sharing scheduler (ParallelScheme::kShared). Requires a
+  /// thread-safe Env. Safe to call concurrently from several threads on
+  /// one shared pool: completion is tracked per call with a WaitGroup,
+  /// never with ThreadPool::Wait().
   Result<std::vector<NamedParam>> RetrieveSnapshotParallel(
-      const std::string& snapshot, ThreadPool* pool) const;
+      const std::string& snapshot, ThreadPool* pool,
+      RetrievalStats* stats = nullptr) const;
+
+  /// Parallel retrieval of a set of snapshots (e.g. adjacent checkpoints
+  /// for comparison or an ensemble) in one scheduled batch. Under
+  /// kShared, the union of all delta chains is resolved as one forest:
+  /// each vertex is read, decompressed and delta-applied exactly once,
+  /// no matter how many requested matrices descend from it. Under
+  /// kIndependent every requested matrix privately re-decodes its chain
+  /// (the Table III baseline). Results are returned in `snapshots`
+  /// order.
+  Result<std::vector<std::vector<NamedParam>>> RetrieveSnapshotsParallel(
+      const std::vector<std::string>& snapshots, ThreadPool* pool,
+      ParallelScheme scheme = ParallelScheme::kShared,
+      RetrievalStats* stats = nullptr) const;
 
   /// Sound bounds using only the first `planes` byte planes of every chunk
   /// involved. planes == 4 gives exact (degenerate) bounds. Requires every
@@ -197,11 +242,23 @@ class ArchiveReader {
   }
 
   /// Enables the chunk cache so progressive escalation from k to k+1
-  /// planes fetches only the new plane chunks.
+  /// planes fetches only the new plane chunks. The cache is a byte-
+  /// bounded LRU (ChunkStoreReader::kDefaultCacheCapacity per store);
+  /// see SetChunkCacheCapacity.
   void EnableChunkCache(bool enable) {
     chunks_->EnableCache(enable);
     if (remote_chunks_ != nullptr) remote_chunks_->EnableCache(enable);
   }
+
+  /// Bounds each underlying store's decompressed-chunk cache to `bytes`,
+  /// evicting least-recently-used chunks beyond it.
+  void SetChunkCacheCapacity(uint64_t bytes) {
+    chunks_->SetCacheCapacity(bytes);
+    if (remote_chunks_ != nullptr) remote_chunks_->SetCacheCapacity(bytes);
+  }
+
+  /// Aggregated read-side counters of the local + remote chunk stores.
+  ChunkStoreStats store_stats() const;
 
   /// Total compressed payload bytes of all chunks (archive size).
   uint64_t TotalStoredBytes() const;
@@ -229,15 +286,32 @@ class ArchiveReader {
     uint32_t chunk_ids[kNumPlanes] = {0, 0, 0, 0};
   };
 
-  Result<FloatMatrix> ResolveExact(int vertex,
-                                   std::map<int, FloatMatrix>* memo) const;
-  Result<IntervalMatrix> ResolveBounds(
-      int vertex, int planes, std::map<int, IntervalMatrix>* memo) const;
+  /// Resolves `vertex`'s full-precision value into `memo` and returns a
+  /// pointer to the memoized matrix (std::map references are stable), so
+  /// delta chains are decoded with zero redundant matrix copies. Callers
+  /// may move the value out of the memo once all resolution is done.
+  Result<const FloatMatrix*> ResolveExact(
+      int vertex, std::map<int, FloatMatrix>* memo) const;
+  /// Same contract for partial bounds. `exact_memo` carries full-
+  /// precision values across every XOR vertex of the call, so one chain
+  /// prefix is never exactly re-read per XOR descendant.
+  Result<const IntervalMatrix*> ResolveBounds(
+      int vertex, int planes, std::map<int, IntervalMatrix>* memo,
+      std::map<int, FloatMatrix>* exact_memo) const;
   Result<FloatMatrix> ReadPayload(const VertexMeta& meta) const;
+
+  /// Index of `snapshot` in snapshot_members_, or -1.
+  int FindSnapshot(const std::string& snapshot) const;
+  /// Vertex id of (snapshot, param), or -1.
+  int FindVertex(const std::string& snapshot, const std::string& param) const;
 
   std::vector<VertexMeta> vertices_;  // Index 0 unused (v0).
   std::vector<std::string> snapshot_names_;
   std::vector<std::vector<int>> snapshot_members_;  // Vertex ids.
+  /// Lookup indexes built once in Open (retrievals used to linear-scan
+  /// all vertices with per-entry string compares on every call).
+  std::map<std::string, int> snapshot_index_;
+  std::map<std::pair<std::string, std::string>, int> vertex_index_;
   uint64_t generation_ = 0;
   std::vector<std::string> data_files_;
   std::shared_ptr<ChunkStoreReader> chunks_;

@@ -111,6 +111,33 @@ Result<ChunkStoreReader> ChunkStoreReader::Open(Env* env,
   return reader;
 }
 
+void ChunkStoreReader::EnableCache(bool enable) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  cache_enabled_ = enable;
+  if (!enable) {
+    cache_.clear();
+    lru_.clear();
+    stats_.cache_bytes = 0;
+  }
+}
+
+void ChunkStoreReader::SetCacheCapacity(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  cache_capacity_ = bytes;
+  EvictToCapacityLocked();
+}
+
+void ChunkStoreReader::EvictToCapacityLocked() const {
+  while (stats_.cache_bytes > cache_capacity_ && !lru_.empty()) {
+    const uint32_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    stats_.cache_bytes -= it->second.data.size();
+    cache_.erase(it);
+    ++stats_.cache_evictions;
+  }
+}
+
 Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
   if (id >= refs_.size()) {
     return Status::InvalidArgument("chunk id out of range");
@@ -119,7 +146,11 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
     std::lock_guard<std::mutex> lock(*mutex_);
     if (cache_enabled_) {
       auto it = cache_.find(id);
-      if (it != cache_.end()) return it->second;
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        ++stats_.cache_hits;
+        return it->second.data;
+      }
     }
   }
   const ChunkRef& ref = refs_[id];
@@ -155,9 +186,23 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
   {
     std::lock_guard<std::mutex> lock(*mutex_);
     // A concurrent Get may have fetched the same chunk; count bytes once.
-    if (cache_enabled_ && cache_.count(id)) return cache_[id];
-    bytes_read_ += ref.stored_size;
-    if (cache_enabled_) cache_.emplace(id, raw);
+    if (cache_enabled_) {
+      auto it = cache_.find(id);
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return it->second.data;
+      }
+    }
+    stats_.bytes_read += ref.stored_size;
+    ++stats_.chunk_fetches;
+    // Oversized chunks bypass the cache entirely: admitting one would
+    // evict the whole working set for a single-use payload.
+    if (cache_enabled_ && raw.size() <= cache_capacity_) {
+      lru_.push_front(id);
+      cache_.emplace(id, CacheEntry{raw, lru_.begin()});
+      stats_.cache_bytes += raw.size();
+      EvictToCapacityLocked();
+    }
   }
   return raw;
 }

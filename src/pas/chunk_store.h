@@ -2,10 +2,11 @@
 #define MODELHUB_PAS_CHUNK_STORE_H_
 
 #include <cstdint>
-#include <map>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/env.h"
@@ -21,6 +22,17 @@ struct ChunkRef {
   uint64_t raw_size = 0;     ///< Decompressed size.
   uint32_t crc = 0;          ///< CRC-32 of the compressed payload.
   CodecType codec = CodecType::kNull;
+};
+
+/// Read-side counters of one chunk store (monotonic except cache_bytes).
+/// `bytes_read`/`chunk_fetches` count only real disk fetches; cache hits
+/// are free once a chunk is in memory.
+struct ChunkStoreStats {
+  uint64_t bytes_read = 0;      ///< Compressed bytes fetched from disk.
+  uint64_t chunk_fetches = 0;   ///< Get calls that went to disk.
+  uint64_t cache_hits = 0;      ///< Get calls served from the cache.
+  uint64_t cache_evictions = 0; ///< Chunks evicted to honor the bound.
+  uint64_t cache_bytes = 0;     ///< Decompressed bytes currently cached.
 };
 
 /// Write-once chunk file builder. PAS archives are built in one pass and
@@ -58,6 +70,12 @@ class ChunkStoreWriter {
 /// progressive queries).
 class ChunkStoreReader {
  public:
+  /// Default byte bound of the decompressed-chunk cache. Keeps a working
+  /// set of hot delta-chain prefixes resident without letting a whole
+  /// archive's planes pin RAM (ProgressiveQueryEvaluator force-enables
+  /// the cache for every evaluated snapshot).
+  static constexpr uint64_t kDefaultCacheCapacity = 64ull << 20;  // 64 MiB
+
   static Result<ChunkStoreReader> Open(Env* env, const std::string& path);
 
   uint32_t num_chunks() const { return static_cast<uint32_t>(refs_.size()); }
@@ -65,7 +83,8 @@ class ChunkStoreReader {
 
   /// Fetches, verifies (CRC) and decompresses chunk `id`. A checksum
   /// mismatch or short read is retried once (transient read faults);
-  /// a second failure is reported as Corruption.
+  /// a second failure is reported as Corruption. Thread-safe; counters
+  /// and cache are mutex-guarded.
   Result<std::string> Get(uint32_t id) const;
 
   /// Integrity check of chunk `id` without decompression: re-reads the
@@ -76,34 +95,54 @@ class ChunkStoreReader {
 
   /// Total compressed bytes fetched by Get since construction/reset.
   /// Cache hits do not count: once fetched, a chunk is in memory.
-  /// Get is thread-safe; counters and cache are mutex-guarded.
   uint64_t bytes_read() const {
     std::lock_guard<std::mutex> lock(*mutex_);
-    return bytes_read_;
+    return stats_.bytes_read;
   }
   void ResetByteCounter() {
     std::lock_guard<std::mutex> lock(*mutex_);
-    bytes_read_ = 0;
+    stats_.bytes_read = 0;
+    stats_.chunk_fetches = 0;
   }
 
-  /// Enables an in-memory chunk cache. Progressive query evaluation uses
-  /// this so escalating from k to k+1 planes fetches only the new plane
-  /// chunks (Sec. IV-D's "progressively uncompress" behavior).
-  void EnableCache(bool enable) {
+  /// Snapshot of the read-side counters.
+  ChunkStoreStats stats() const {
     std::lock_guard<std::mutex> lock(*mutex_);
-    cache_enabled_ = enable;
-    if (!enable) cache_.clear();
+    return stats_;
   }
+
+  /// Enables the in-memory decompressed-chunk cache (LRU, byte-bounded by
+  /// SetCacheCapacity). Progressive query evaluation uses this so
+  /// escalating from k to k+1 planes fetches only the new plane chunks
+  /// (Sec. IV-D's "progressively uncompress" behavior). Disabling drops
+  /// all cached chunks.
+  void EnableCache(bool enable);
+
+  /// Sets the cache bound in decompressed bytes and evicts down to it.
+  /// Chunks larger than the bound are never cached.
+  void SetCacheCapacity(uint64_t bytes);
 
  private:
+  struct CacheEntry {
+    std::string data;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  /// Evicts least-recently-used entries until the bound holds. Caller
+  /// must hold *mutex_.
+  void EvictToCapacityLocked() const;
+
   Env* env_ = nullptr;
   std::string path_;
   std::vector<ChunkRef> refs_;
   // Owned via pointer so the reader stays movable.
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
-  mutable uint64_t bytes_read_ = 0;
+  mutable ChunkStoreStats stats_;
   bool cache_enabled_ = false;
-  mutable std::map<uint32_t, std::string> cache_;
+  uint64_t cache_capacity_ = kDefaultCacheCapacity;
+  /// Front = most recently used. Guarded by *mutex_.
+  mutable std::list<uint32_t> lru_;
+  mutable std::unordered_map<uint32_t, CacheEntry> cache_;
 };
 
 }  // namespace modelhub

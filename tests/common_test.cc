@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <functional>
+#include <mutex>
 #include <set>
 
 #include "common/checked_io.h"
@@ -494,6 +497,96 @@ TEST(ThreadPoolTest, MinimumOneThread) {
   pool.Schedule([&ran] { ran = true; });
   pool.Wait();
   EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------- WaitGroup
+
+TEST(WaitGroupTest, WaitsForScheduledBatch) {
+  ThreadPool pool(4);
+  WaitGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule(&group, [&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  group.Wait();  // Reusable: zero count returns immediately.
+}
+
+TEST(WaitGroupTest, WaitWithNothingScheduledReturns) {
+  WaitGroup group;
+  group.Wait();
+  SUCCEED();
+}
+
+// The batch-wait contract: a group's Wait() covers only its own tasks,
+// not everything in flight on the pool. The foreign task here blocks on
+// a latch that is only released AFTER the group's Wait() returns — if
+// Wait() barriered on all pool tasks (the old ThreadPool::Wait()
+// semantics), this test would deadlock.
+TEST(WaitGroupTest, WaitIgnoresForeignTasks) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable released_cv;
+  bool released = false;
+  std::atomic<bool> foreign_done{false};
+  pool.Schedule([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    released_cv.wait(lock, [&] { return released; });
+    foreign_done = true;
+  });
+  WaitGroup group;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule(&group, [&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_FALSE(foreign_done.load());
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+  }
+  released_cv.notify_all();
+  pool.Wait();
+  EXPECT_TRUE(foreign_done.load());
+}
+
+// Tasks may fan out follow-up work against their own group: the child's
+// Add() happens inside the parent task, before the pool decrements the
+// parent, so the count never transiently reaches zero mid-expansion.
+TEST(WaitGroupTest, TasksMayScheduleFollowUpsIntoSameGroup) {
+  ThreadPool pool(4);
+  WaitGroup group;
+  std::atomic<int> counter{0};
+  std::function<void(int)> expand = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth > 0) {
+      for (int i = 0; i < 2; ++i) {
+        pool.Schedule(&group, [&expand, depth] { expand(depth - 1); });
+      }
+    }
+  };
+  pool.Schedule(&group, [&expand] { expand(4); });
+  group.Wait();
+  // Full binary expansion: 2^5 - 1 nodes.
+  EXPECT_EQ(counter.load(), 31);
+}
+
+TEST(WaitGroupTest, TwoGroupsOnOnePoolWaitIndependently) {
+  ThreadPool pool(4);
+  WaitGroup first;
+  WaitGroup second;
+  std::atomic<int> first_count{0};
+  std::atomic<int> second_count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule(&first, [&first_count] { first_count.fetch_add(1); });
+    pool.Schedule(&second, [&second_count] { second_count.fetch_add(1); });
+  }
+  first.Wait();
+  EXPECT_EQ(first_count.load(), 50);
+  second.Wait();
+  EXPECT_EQ(second_count.load(), 50);
 }
 
 }  // namespace

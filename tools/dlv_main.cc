@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "data/synthetic_modeler.h"
 #include "dlv/fsck.h"
@@ -45,6 +46,11 @@ model exploration:
   dlv pdiff <repo> <a> <b>                 compare learned parameters
   dlv compare <repo> <a> <b> [samples]     run both on data, report agreement
   dlv eval <repo> <model> [samples]        run latest snapshot on fresh data
+  dlv retrieve <repo> <model> [scheme] [threads]
+                                           recreate the latest snapshot from
+                                           the PAS archive and print retrieval
+                                           stats (scheme: shared independent
+                                           sequential; default shared)
 model enumeration:
   dlv query <repo> "<DQL>"                 run a DQL statement
   dlv report <repo> <out.html>             render an HTML exploration report
@@ -218,6 +224,58 @@ int CmdEval(Env* env, const std::string& root, const std::string& model,
   return 0;
 }
 
+int CmdRetrieve(Env* env, const std::string& root, const std::string& model,
+                const std::string& scheme, int threads) {
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto archive = repo->OpenArchive();
+  if (!archive.ok()) return Fail(archive.status());
+  auto count = repo->NumSnapshots(model);
+  if (!count.ok()) return Fail(count.status());
+  if (*count == 0) {
+    return Fail(Status::NotFound("version has no snapshots: " + model));
+  }
+  const std::string key = model + "/s" + std::to_string(*count - 1);
+  RetrievalStats stats;
+  Result<std::vector<NamedParam>> params(Status::Internal("unset"));
+  if (scheme == "sequential") {
+    params = (*archive)->RetrieveSnapshot(key, &stats);
+  } else if (scheme == "shared" || scheme == "independent") {
+    ThreadPool pool(threads);
+    auto sets = (*archive)->RetrieveSnapshotsParallel(
+        {key}, &pool,
+        scheme == "shared" ? ParallelScheme::kShared
+                           : ParallelScheme::kIndependent,
+        &stats);
+    if (sets.ok()) {
+      params = std::move((*sets)[0]);
+    } else {
+      params = sets.status();
+    }
+  } else {
+    std::fprintf(stderr, "dlv: unknown retrieval scheme %s\n", scheme.c_str());
+    return 2;
+  }
+  if (!params.ok()) return Fail(params.status());
+  uint64_t weights = 0;
+  for (const auto& param : *params) {
+    weights += static_cast<uint64_t>(param.value.size());
+  }
+  std::printf(
+      "retrieved %s: %zu matrices (%llu weights) via %s scheme\n"
+      "  chain vertices resolved %llu, chunk fetches %llu, cache hits %llu, "
+      "evictions %llu\n"
+      "  compressed bytes read %llu, wall %.2f ms\n",
+      key.c_str(), params->size(), static_cast<unsigned long long>(weights),
+      scheme.c_str(),
+      static_cast<unsigned long long>(stats.vertices_resolved),
+      static_cast<unsigned long long>(stats.chunk_fetches),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      static_cast<unsigned long long>(stats.bytes_read), stats.wall_ms);
+  return 0;
+}
+
 int CmdArchive(Env* env, const std::string& root, const std::string& solver,
                double alpha) {
   auto repo = Repository::Open(env, root);
@@ -369,6 +427,10 @@ int Main(int argc, char** argv) {
   }
   if (command == "eval" && argc >= 4) {
     return CmdEval(env, arg(2), arg(3), argc > 4 ? std::atoll(argv[4]) : 64);
+  }
+  if (command == "retrieve" && argc >= 4) {
+    return CmdRetrieve(env, arg(2), arg(3), argc > 4 ? arg(4) : "shared",
+                       argc > 5 ? std::atoi(argv[5]) : 4);
   }
   if (command == "archive" && argc >= 3) {
     return CmdArchive(env, arg(2), argc > 3 ? arg(3) : "pas-pt",
