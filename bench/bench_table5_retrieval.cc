@@ -94,6 +94,12 @@ int main() {
   modeler.num_classes = 6;
   modeler.image_size = 16;
   modeler.dataset_samples = 192;
+  if (bench::QuickMode()) {
+    modeler.num_versions = 2;
+    modeler.snapshots_per_version = 2;
+    modeler.train_iterations = 8;
+    modeler.dataset_samples = 64;
+  }
   auto names = RunSyntheticModeler(&*repo, modeler);
   Check(names.status(), "modeler");
 
@@ -230,7 +236,9 @@ int main() {
                   plan.partial1_ms / plan.snapshots);
     json += partial;
   }
-  json += "]}\n";
+  json += "]";
+  bench::AppendMetricsJson(&json);
+  json += "}\n";
   const char* json_path = "BENCH_retrieval.json";
   Check(env->WriteFile(json_path, json), "write json");
   std::printf("wrote %s\n", json_path);

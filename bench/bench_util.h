@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "compress/codec.h"
@@ -28,6 +29,22 @@ inline void Check(const Status& status, const char* step) {
     std::fprintf(stderr, "[%s] %s\n", step, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+/// True when MH_BENCH_QUICK is set in the environment: benches shrink
+/// their workload so CI can smoke-test the full pipeline in seconds.
+inline bool QuickMode() {
+  const char* quick = std::getenv("MH_BENCH_QUICK");
+  return quick != nullptr && quick[0] != '\0' && quick[0] != '0';
+}
+
+/// Appends `,"metrics":{...}` — a snapshot of the process-wide metrics
+/// registry — to a JSON report under construction (call just before the
+/// closing brace). Every bench embeds this so a perf regression can be
+/// traced to the subsystem counters recorded while it ran.
+inline void AppendMetricsJson(std::string* json) {
+  *json += ",\"metrics\":";
+  *json += MetricRegistry::Global()->Snapshot().ToJson();
 }
 
 /// Total size of a parameter set in raw float32 bytes.

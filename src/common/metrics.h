@@ -1,0 +1,184 @@
+#ifndef MODELHUB_COMMON_METRICS_H_
+#define MODELHUB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace modelhub {
+
+/// Process-wide metrics substrate (DESIGN.md §8). Three instrument kinds —
+/// monotonic counters, gauges, and power-of-two-bucket latency/size
+/// histograms — live in a lock-striped registry keyed by dotted name
+/// (`pas.chunk.fetch.count`, `dlv.commit.us`, `dql.op.scan.rows`, ...).
+///
+/// Cost model: instruments are plain relaxed atomics, so a hot-path update
+/// is one uncontended atomic RMW and registration (the only locking path)
+/// happens once per call site via MH_COUNTER/MH_HISTOGRAM's function-local
+/// static. Instrument pointers are stable for the life of the process.
+
+/// Monotonic counter. Updates are relaxed atomics: totals are exact, but
+/// cross-counter snapshots are only quiescently consistent.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Benches and per-call deltas reset; production counters never do.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can move both ways (cache residency, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Read-only copy of a histogram's state, mergeable across histograms
+/// (e.g. per-thread or per-store shards summed for display).
+struct HistogramSnapshot {
+  /// buckets[0] counts value 0; buckets[i] (i >= 1) counts values in
+  /// [2^(i-1), 2^i); the last bucket also absorbs everything at or above
+  /// 2^(kNumBuckets-2) (the overflow bucket).
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  /// Element-wise accumulate of `other` into this snapshot.
+  void Merge(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket containing the p-th percentile (p in
+  /// [0,100]); 0 when empty. Power-of-two buckets make this exact to a
+  /// factor of 2 — enough to spot latency regressions.
+  uint64_t ApproxPercentile(double p) const;
+
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) /
+                                                      static_cast<double>(count); }
+};
+
+/// Lock-free power-of-two-bucket histogram for latencies (us) and sizes
+/// (bytes). Range: exact buckets up to 2^38 (~274 G), overflow above.
+class Histogram {
+ public:
+  /// buckets: {0}, [1,2), [2,4), ..., [2^38, inf) → 41 buckets.
+  static constexpr int kNumBuckets = 41;
+
+  /// Bucket index for `value` (exposed for tests).
+  static int BucketOf(uint64_t value);
+  /// Inclusive upper bound of bucket `i` (UINT64_MAX for the overflow
+  /// bucket), for rendering.
+  static uint64_t BucketUpperBound(int i);
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes every bucket (tests/benches only; concurrent Records may land
+  /// on either side of the reset).
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One named instrument's value at snapshot time.
+struct MetricValue {
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;
+  int64_t gauge = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Sorted-by-name snapshot of every registered instrument.
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  /// mean,p50,p99,buckets:[...]}}} — the `dlv stats --json` payload.
+  std::string ToJson() const;
+  /// Fixed-width text table for the human `dlv stats` output.
+  std::string ToText() const;
+  /// First value with `name`, or nullptr.
+  const MetricValue* Find(std::string_view name) const;
+};
+
+/// The process-wide instrument registry. Registration is lock-striped by
+/// name hash; instruments themselves are wait-free atomics. Get* returns
+/// a stable pointer, creating the instrument on first use; asking for an
+/// existing name with a different kind returns a distinct instrument of
+/// the requested kind (names are per-kind namespaces).
+class MetricRegistry {
+ public:
+  static MetricRegistry* Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Point-in-time copy of every instrument, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (pointers stay valid). Tests and
+  /// benches use this to measure one scripted section in isolation.
+  void ResetAllForTest();
+
+ private:
+  static constexpr size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  };
+  Stripe& StripeFor(std::string_view name);
+
+  Stripe stripes_[kStripes];
+};
+
+/// Cached-lookup helpers for hot paths: the registry is consulted once per
+/// call site (thread-safe function-local static), afterwards the cost is
+/// one relaxed atomic op. `name` must be a string literal (or otherwise
+/// have static storage duration).
+#define MH_COUNTER(name)                                              \
+  ([]() -> ::modelhub::Counter* {                                     \
+    static ::modelhub::Counter* instrument =                          \
+        ::modelhub::MetricRegistry::Global()->GetCounter(name);       \
+    return instrument;                                                \
+  }())
+#define MH_GAUGE(name)                                                \
+  ([]() -> ::modelhub::Gauge* {                                       \
+    static ::modelhub::Gauge* instrument =                            \
+        ::modelhub::MetricRegistry::Global()->GetGauge(name);         \
+    return instrument;                                                \
+  }())
+#define MH_HISTOGRAM(name)                                            \
+  ([]() -> ::modelhub::Histogram* {                                   \
+    static ::modelhub::Histogram* instrument =                        \
+        ::modelhub::MetricRegistry::Global()->GetHistogram(name);     \
+    return instrument;                                                \
+  }())
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_METRICS_H_

@@ -1,0 +1,214 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace modelhub {
+
+namespace {
+
+/// Current open span on this thread (0 = none); children parent to it.
+thread_local uint64_t tls_current_span = 0;
+
+/// Small stable per-thread id, assigned lazily under the recorder lock.
+thread_local uint64_t tls_thread_id = 0;
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendAnnotations(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& annotations) {
+  out->push_back('{');
+  for (size_t i = 0; i < annotations.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(out, annotations[i].first);
+    out->push_back(':');
+    AppendJsonString(out, annotations[i].second);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+TraceRecorder* TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return recorder;
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void TraceRecorder::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_slot_ = 0;
+}
+
+size_t TraceRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  total_ = 0;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tls_thread_id == 0) tls_thread_id = ++next_thread_;
+  event.thread_id = tls_thread_id;
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    // Ring full: overwrite the oldest surviving span.
+    ring_[next_slot_] = std::move(event);
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: the slot at next_slot_ is the oldest once wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::total_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceRecorder::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<TraceEvent> spans = Snapshot();
+  std::string out = "{\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceEvent& e = spans[i];
+    if (i > 0) out.push_back(',');
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%llu,\"parent\":%llu,\"name\":",
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent_id));
+    out += buf;
+    AppendJsonString(&out, e.name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"start_us\":%llu,\"dur_us\":%llu,\"tid\":%llu,\"args\":",
+                  static_cast<unsigned long long>(e.start_us),
+                  static_cast<unsigned long long>(e.duration_us),
+                  static_cast<unsigned long long>(e.thread_id));
+    out += buf;
+    AppendAnnotations(&out, e.annotations);
+    out.push_back('}');
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "],\"total\":%llu,\"dropped\":%llu}",
+                static_cast<unsigned long long>(total_spans()),
+                static_cast<unsigned long long>(dropped_spans()));
+  out += tail;
+  return out;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  // chrome://tracing "complete event" format: one {"ph":"X"} record per
+  // span; ts/dur in microseconds; pid fixed at 1.
+  std::vector<TraceEvent> spans = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceEvent& e = spans[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    AppendJsonString(&out, e.name);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,\"pid\":1,"
+                  "\"tid\":%llu,\"args\":",
+                  static_cast<unsigned long long>(e.start_us),
+                  static_cast<unsigned long long>(e.duration_us),
+                  static_cast<unsigned long long>(e.thread_id));
+    out += buf;
+    AppendAnnotations(&out, e.annotations);
+    out.push_back('}');
+  }
+  out += "]\n";
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  if (!recorder->enabled()) return;
+  recording_ = true;
+  name_ = name;
+  id_ = recorder->NextSpanId();
+  parent_id_ = tls_current_span;
+  tls_current_span = id_;
+  start_us_ = recorder->NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!recording_) return;
+  TraceRecorder* recorder = TraceRecorder::Global();
+  tls_current_span = parent_id_;
+  TraceEvent event;
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.name = name_;
+  event.start_us = start_us_;
+  const uint64_t end_us = recorder->NowMicros();
+  event.duration_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.annotations = std::move(annotations_);
+  recorder->Record(std::move(event));
+}
+
+void TraceSpan::Annotate(const char* key, std::string value) {
+  if (!recording_) return;
+  annotations_.emplace_back(key, std::move(value));
+}
+
+}  // namespace modelhub

@@ -1,0 +1,121 @@
+#ifndef MODELHUB_COMMON_TRACE_H_
+#define MODELHUB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace modelhub {
+
+/// Hierarchical tracing (DESIGN.md §8). A `TraceSpan` is an RAII scope
+/// that, when recording is enabled, captures {name, start, duration,
+/// parent span, thread, annotations} into a process-wide bounded ring
+/// buffer. Nesting is tracked with a thread-local current-span id, so
+/// spans opened on a worker thread parent correctly within that thread
+/// (cross-thread handoff keeps the forest disjoint by design — each
+/// worker's spans form their own subtree).
+///
+/// Recording is off by default; a disabled TraceSpan costs one relaxed
+/// atomic load and nothing else.
+
+/// A completed span as stored in the ring buffer.
+struct TraceEvent {
+  uint64_t id = 0;         ///< Unique per process, 1-based.
+  uint64_t parent_id = 0;  ///< 0 for roots.
+  std::string name;
+  uint64_t start_us = 0;     ///< Microseconds since recorder creation.
+  uint64_t duration_us = 0;  ///< Span wall time in microseconds.
+  uint64_t thread_id = 0;    ///< Stable small id per recording thread.
+  /// Key/value annotations attached via TraceSpan::Annotate.
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// Bounded in-memory span sink. Spans past `capacity` overwrite the
+/// oldest (ring semantics); `dropped_spans` counts the overwritten ones.
+class TraceRecorder {
+ public:
+  static TraceRecorder* Global();
+
+  /// Toggle recording. Enabling does not clear prior spans; use Clear().
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Resize the ring (drops all recorded spans). Minimum capacity 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  void Clear();
+
+  /// Spans recorded in completion order (oldest surviving first).
+  std::vector<TraceEvent> Snapshot() const;
+  /// Total spans ever recorded and how many were overwritten by ring wrap.
+  uint64_t total_spans() const;
+  uint64_t dropped_spans() const;
+
+  /// {"spans":[{id,parent,name,start_us,dur_us,tid,args:{...}}...],
+  ///  "total":N,"dropped":M}
+  std::string ToJson() const;
+  /// chrome://tracing / Perfetto-compatible trace_event JSON array of
+  /// complete ("ph":"X") events.
+  std::string ToChromeTraceJson() const;
+
+  // Internals used by TraceSpan.
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t NowMicros() const;
+  void Record(TraceEvent event);
+
+ private:
+  TraceRecorder();
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{0};
+  std::chrono::steady_clock::time_point origin_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< Guarded by mu_.
+  size_t capacity_ = kDefaultCapacity;
+  size_t next_slot_ = 0;     ///< Ring write cursor.
+  uint64_t total_ = 0;       ///< Spans ever recorded.
+  uint64_t next_thread_ = 0; ///< Next small thread id to hand out.
+};
+
+/// RAII span. Construct to open, destruct to close+record. Movable is not
+/// needed — spans are stack-scoped by design.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a key/value pair (no-op when recording was off at open).
+  void Annotate(const char* key, std::string value);
+  void Annotate(const char* key, uint64_t value) {
+    Annotate(key, std::to_string(value));
+  }
+
+  bool recording() const { return recording_; }
+
+ private:
+  bool recording_ = false;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_us_ = 0;
+  const char* name_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_TRACE_H_

@@ -26,6 +26,10 @@ inline constexpr uint64_t kMaxDecompressedSize = 1ull << 30;
 /// A block compressor. All codecs frame their output with the raw size so
 /// Decompress can validate and pre-allocate; the frame layout is
 /// codec-private. Codecs are stateless and therefore thread-compatible.
+///
+/// The public Compress/Decompress entry points are measured: they feed
+/// `codec.<name>.{encode,decode}.{calls,bytes,us}` in the metric registry
+/// and delegate to the codec-private DoCompress/DoDecompress.
 class Codec {
  public:
   virtual ~Codec() = default;
@@ -34,13 +38,17 @@ class Codec {
   virtual std::string name() const = 0;
 
   /// Compresses `input`, appending to `*output` (which is cleared first).
-  virtual Status Compress(Slice input, std::string* output) const = 0;
+  Status Compress(Slice input, std::string* output) const;
 
   /// Inverse of Compress. Fails with Corruption on malformed input.
-  virtual Status Decompress(Slice input, std::string* output) const = 0;
+  Status Decompress(Slice input, std::string* output) const;
 
   /// Returns the process-wide singleton for `type` (never null).
   static const Codec* Get(CodecType type);
+
+ protected:
+  virtual Status DoCompress(Slice input, std::string* output) const = 0;
+  virtual Status DoDecompress(Slice input, std::string* output) const = 0;
 };
 
 /// Convenience: compressed size of `input` under `type` (for cost models).

@@ -7,7 +7,7 @@
 
 namespace modelhub {
 
-Status DeflateLiteCodec::Compress(Slice input, std::string* output) const {
+Status DeflateLiteCodec::DoCompress(Slice input, std::string* output) const {
   output->clear();
   PutVarint64(output, input.size());
   if (input.empty()) return Status::OK();
@@ -20,7 +20,7 @@ Status DeflateLiteCodec::Compress(Slice input, std::string* output) const {
   return Status::OK();
 }
 
-Status DeflateLiteCodec::Decompress(Slice input, std::string* output) const {
+Status DeflateLiteCodec::DoDecompress(Slice input, std::string* output) const {
   output->clear();
   uint64_t raw_size = 0;
   MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));

@@ -16,8 +16,10 @@ class DeflateLiteCodec : public Codec {
  public:
   CodecType type() const override { return CodecType::kDeflateLite; }
   std::string name() const override { return "deflate-lite"; }
-  Status Compress(Slice input, std::string* output) const override;
-  Status Decompress(Slice input, std::string* output) const override;
+
+ protected:
+  Status DoCompress(Slice input, std::string* output) const override;
+  Status DoDecompress(Slice input, std::string* output) const override;
 };
 
 }  // namespace modelhub

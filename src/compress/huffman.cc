@@ -92,7 +92,7 @@ std::array<uint16_t, 256> AssignCanonicalCodes(
   return codes;
 }
 
-Status HuffmanCodec::Compress(Slice input, std::string* output) const {
+Status HuffmanCodec::DoCompress(Slice input, std::string* output) const {
   output->clear();
   PutVarint64(output, input.size());
   if (input.empty()) return Status::OK();
@@ -132,7 +132,7 @@ Status HuffmanCodec::Compress(Slice input, std::string* output) const {
   return Status::OK();
 }
 
-Status HuffmanCodec::Decompress(Slice input, std::string* output) const {
+Status HuffmanCodec::DoDecompress(Slice input, std::string* output) const {
   output->clear();
   uint64_t raw_size = 0;
   MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));

@@ -37,8 +37,10 @@ class HuffmanCodec : public Codec {
  public:
   CodecType type() const override { return CodecType::kHuffman; }
   std::string name() const override { return "huffman"; }
-  Status Compress(Slice input, std::string* output) const override;
-  Status Decompress(Slice input, std::string* output) const override;
+
+ protected:
+  Status DoCompress(Slice input, std::string* output) const override;
+  Status DoDecompress(Slice input, std::string* output) const override;
 };
 
 }  // namespace modelhub

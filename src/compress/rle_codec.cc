@@ -14,7 +14,7 @@ constexpr size_t kMaxRun = 130;
 constexpr size_t kMaxLiteral = 128;
 }  // namespace
 
-Status RleCodec::Compress(Slice input, std::string* output) const {
+Status RleCodec::DoCompress(Slice input, std::string* output) const {
   output->clear();
   PutVarint64(output, input.size());
   size_t i = 0;
@@ -51,7 +51,7 @@ Status RleCodec::Compress(Slice input, std::string* output) const {
   return Status::OK();
 }
 
-Status RleCodec::Decompress(Slice input, std::string* output) const {
+Status RleCodec::DoDecompress(Slice input, std::string* output) const {
   output->clear();
   uint64_t raw_size = 0;
   MH_RETURN_IF_ERROR(GetVarint64(&input, &raw_size));

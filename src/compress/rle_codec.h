@@ -17,8 +17,10 @@ class RleCodec : public Codec {
  public:
   CodecType type() const override { return CodecType::kRle; }
   std::string name() const override { return "rle"; }
-  Status Compress(Slice input, std::string* output) const override;
-  Status Decompress(Slice input, std::string* output) const override;
+
+ protected:
+  Status DoCompress(Slice input, std::string* output) const override;
+  Status DoDecompress(Slice input, std::string* output) const override;
 };
 
 }  // namespace modelhub

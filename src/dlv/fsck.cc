@@ -8,6 +8,8 @@
 #include "common/checked_io.h"
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dlv/catalog.h"
 #include "dlv/layout.h"
 #include "dlv/recovery.h"
@@ -82,6 +84,7 @@ Result<FsckReport> RunFsck(Env* env, const std::string& root,
   if (!env->FileExists(repo_layout::CatalogPath(root))) {
     return Status::NotFound("no repository at " + root);
   }
+  TraceSpan span("dlv.fsck");
   FsckReport report;
 
   // --- Phase 1: resolve any interrupted commit publish, exactly as Open
@@ -264,6 +267,9 @@ Result<FsckReport> RunFsck(Env* env, const std::string& root,
     CheckOrphans(env, root, pas_dir, referenced_pas, "archive", options,
                  &report);
   }
+  MH_COUNTER("dlv.fsck.count")->Increment();
+  MH_COUNTER("dlv.fsck.defects")->Add(report.defects.size());
+  MH_COUNTER("dlv.fsck.repairs")->Add(report.repairs.size());
   return report;
 }
 

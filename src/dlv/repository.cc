@@ -9,6 +9,9 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "dlv/layout.h"
 #include "dlv/recovery.h"
 
@@ -146,6 +149,9 @@ std::string Repository::StagingPath(const std::string& version,
 }
 
 Result<int64_t> Repository::Commit(const CommitRequest& request) {
+  TraceSpan span("dlv.commit");
+  span.Annotate("version", request.name);
+  Stopwatch watch;
   if (request.name.empty()) {
     return Status::InvalidArgument("model version needs a name");
   }
@@ -251,12 +257,21 @@ Result<int64_t> Repository::Commit(const CommitRequest& request) {
     // Best-effort immediate rollback; a crash before this runs is handled
     // identically by the next Open.
     (void)RecoverRepository(env_, root_);
+    MH_COUNTER("dlv.commit.errors")->Increment();
     return publish;
   }
   // Past the commit point: a leftover journal merely rolls forward (to a
   // no-op) at the next Open, so a failed delete is not an error.
   (void)env_->DeleteFile(repo_layout::CommitJournalPath(root_));
   *catalog_ = std::move(staged);
+  uint64_t published_bytes = 0;
+  for (const auto& p : pending) published_bytes += p.bytes.size();
+  MH_COUNTER("dlv.commit.count")->Increment();
+  MH_COUNTER("dlv.commit.snapshots")->Add(request.snapshots.size());
+  MH_COUNTER("dlv.commit.bytes")->Add(published_bytes);
+  MH_HISTOGRAM("dlv.commit.us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedMillis() * 1000.0));
+  span.Annotate("bytes", published_bytes);
   return id;
 }
 
@@ -413,12 +428,17 @@ Result<std::vector<NamedParam>> Repository::GetSnapshotParams(
     return Status::NotFound("no snapshot " + std::to_string(sequence) +
                             " in " + name);
   }
+  TraceSpan span("dlv.checkout");
+  span.Annotate("snapshot", SnapshotKey(name, sequence));
+  MH_COUNTER("dlv.checkout.count")->Increment();
   if ((*found)[3].AsText() == "staging") {
+    MH_COUNTER("dlv.checkout.staging")->Increment();
     MH_ASSIGN_OR_RETURN(std::string bytes,
                         ReadChecked(env_, StagingPath(name, sequence)));
     return ParseParams(Slice(bytes));
   }
   // Archived in PAS: lazily open the archive reader.
+  MH_COUNTER("dlv.checkout.archived")->Increment();
   MH_ASSIGN_OR_RETURN(ArchiveReader * archive, OpenArchive());
   return archive->RetrieveSnapshot(SnapshotKey(name, sequence));
 }
@@ -504,6 +524,9 @@ Result<Repository::ComparisonResult> Repository::CompareOnData(
 }
 
 Result<ArchiveBuildReport> Repository::Archive(const ArchiveOptions& options) {
+  TraceSpan span("dlv.archive");
+  Stopwatch watch;
+  MH_COUNTER("dlv.archive.count")->Increment();
   MH_ASSIGN_OR_RETURN(auto versions, List());
   ArchiveBuilder builder(env_, repo_layout::PasDir(root_));
   struct SnapshotRef {
@@ -572,6 +595,10 @@ Result<ArchiveBuildReport> Repository::Archive(const ArchiveOptions& options) {
       (void)env_->DeleteFile(path);
     }
   }
+  MH_COUNTER("dlv.archive.snapshots")->Add(all.size());
+  MH_HISTOGRAM("dlv.archive.us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedMillis() * 1000.0));
+  span.Annotate("snapshots", static_cast<uint64_t>(all.size()));
   return report;
 }
 

@@ -104,6 +104,9 @@ struct EvaluateQuery {
 struct Query {
   enum class Kind : uint8_t { kSelect, kSlice, kConstruct, kEvaluate };
   Kind kind = Kind::kSelect;
+  /// `explain analyze <query>`: execute and attach per-operator row counts
+  /// and timings to the result.
+  bool analyze = false;
   SelectQuery select;
   SliceQuery slice;
   ConstructQuery construct;

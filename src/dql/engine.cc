@@ -1,9 +1,15 @@
 #include "dql/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <optional>
+#include <sstream>
 
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dql/parser.h"
 #include "nn/network.h"
 #include "nn/trainer.h"
@@ -142,7 +148,26 @@ std::vector<std::string> AutoGrid(const std::string& param) {
   return {};
 }
 
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+std::string DqlResult::RenderPlan() const {
+  std::ostringstream out;
+  for (const DqlOpStats& op : plan) {
+    out << std::string(static_cast<size_t>(op.depth) * 2, ' ') << op.op;
+    if (!op.detail.empty()) out << " " << op.detail;
+    char timing[32];
+    std::snprintf(timing, sizeof(timing), "%.3f", op.ms);
+    out << "  (rows_in=" << op.rows_in << " rows_out=" << op.rows_out
+        << " time=" << timing << " ms)\n";
+  }
+  return out.str();
+}
 
 bool LikeMatch(const std::string& text, const std::string& pattern) {
   // Iterative two-pointer LIKE matcher with backtracking on '%'.
@@ -179,18 +204,67 @@ Result<DqlResult> DqlEngine::Run(const std::string& query_text) {
   return Execute(query);
 }
 
+size_t DqlEngine::BeginOp(const char* op, std::string detail) const {
+  DqlOpStats stats;
+  stats.op = op;
+  stats.detail = std::move(detail);
+  stats.depth = op_depth_;
+  ++op_depth_;
+  plan_.push_back(std::move(stats));
+  op_start_ms_.push_back(NowMs());
+  return plan_.size() - 1;
+}
+
+void DqlEngine::EndOp(size_t index, uint64_t rows_in,
+                      uint64_t rows_out) const {
+  DqlOpStats& stats = plan_[index];
+  stats.rows_in = rows_in;
+  stats.rows_out = rows_out;
+  stats.ms = NowMs() - op_start_ms_[index];
+  if (op_depth_ > stats.depth) op_depth_ = stats.depth;
+  MetricRegistry* registry = MetricRegistry::Global();
+  registry->GetCounter("dql.op." + stats.op + ".count")->Increment();
+  registry->GetCounter("dql.op." + stats.op + ".rows")->Add(rows_out);
+  registry->GetHistogram("dql.op." + stats.op + ".us")
+      ->Record(static_cast<uint64_t>(stats.ms * 1000.0));
+}
+
 Result<DqlResult> DqlEngine::Execute(const Query& query) {
-  switch (query.kind) {
-    case Query::Kind::kSelect:
-      return ExecuteSelect(query.select);
-    case Query::Kind::kSlice:
-      return ExecuteSlice(query.slice);
-    case Query::Kind::kConstruct:
-      return ExecuteConstruct(query.construct);
-    case Query::Kind::kEvaluate:
-      return ExecuteEvaluate(query.evaluate);
+  // The outermost Execute of a statement owns the collected plan; nested
+  // calls (evaluate subqueries) append to it at a deeper level.
+  const bool outer = !in_execute_;
+  std::optional<TraceSpan> span;
+  if (outer) {
+    in_execute_ = true;
+    op_depth_ = 0;
+    plan_.clear();
+    op_start_ms_.clear();
+    span.emplace("dql.query");
   }
-  return Status::InvalidArgument("unknown query kind");
+  auto result = [&]() -> Result<DqlResult> {
+    switch (query.kind) {
+      case Query::Kind::kSelect:
+        return ExecuteSelect(query.select);
+      case Query::Kind::kSlice:
+        return ExecuteSlice(query.slice);
+      case Query::Kind::kConstruct:
+        return ExecuteConstruct(query.construct);
+      case Query::Kind::kEvaluate:
+        return ExecuteEvaluate(query.evaluate);
+    }
+    return Status::InvalidArgument("unknown query kind");
+  }();
+  if (outer) {
+    in_execute_ = false;
+    MH_COUNTER("dql.query.count")->Increment();
+    if (!result.ok()) MH_COUNTER("dql.query.errors")->Increment();
+    span->Annotate("ops", static_cast<uint64_t>(plan_.size()));
+    if (result.ok() && query.analyze) {
+      result->analyzed = true;
+      result->plan = plan_;
+    }
+  }
+  return result;
 }
 
 Result<bool> DqlEngine::MatchesPredicate(const std::string& version_name,
@@ -288,19 +362,25 @@ Result<bool> DqlEngine::Matches(const std::string& version_name,
 
 Result<std::vector<std::string>> DqlEngine::MatchingVersions(
     const Condition& condition) const {
+  const size_t scan = BeginOp("scan", "versions");
   MH_ASSIGN_OR_RETURN(auto versions, repo_->List());
+  EndOp(scan, 0, versions.size());
+  const size_t filter = BeginOp("filter", "where");
   std::vector<std::string> out;
   for (const auto& info : versions) {
     MH_ASSIGN_OR_RETURN(const bool matches, Matches(info.name, condition));
     if (matches) out.push_back(info.name);
   }
+  EndOp(filter, versions.size(), out.size());
   return out;
 }
 
 Result<DqlResult> DqlEngine::ExecuteSelect(const SelectQuery& query) const {
   DqlResult result;
   result.kind = Query::Kind::kSelect;
+  const size_t op = BeginOp("select", "");
   MH_ASSIGN_OR_RETURN(result.model_names, MatchingVersions(query.where));
+  EndOp(op, 0, result.model_names.size());
   return result;
 }
 
@@ -319,6 +399,7 @@ Status DqlEngine::MaybeCommitNetwork(const NetworkDef& def,
 Result<DqlResult> DqlEngine::ExecuteSlice(const SliceQuery& query) {
   DqlResult result;
   result.kind = Query::Kind::kSlice;
+  const size_t op = BeginOp("slice", query.new_var);
   MH_ASSIGN_OR_RETURN(auto sources, MatchingVersions(query.where));
   for (const std::string& source : sources) {
     MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(source));
@@ -332,12 +413,14 @@ Result<DqlResult> DqlEngine::ExecuteSlice(const SliceQuery& query) {
         *sliced, source, "slice " + starts.front() + ".." + ends.front()));
     result.networks.push_back(std::move(*sliced));
   }
+  EndOp(op, sources.size(), result.networks.size());
   return result;
 }
 
 Result<DqlResult> DqlEngine::ExecuteConstruct(const ConstructQuery& query) {
   DqlResult result;
   result.kind = Query::Kind::kConstruct;
+  const size_t op = BeginOp("construct", query.new_var);
   MH_ASSIGN_OR_RETURN(auto sources, MatchingVersions(query.where));
   for (const std::string& source : sources) {
     MH_ASSIGN_OR_RETURN(NetworkDef def, repo_->GetNetwork(source));
@@ -390,6 +473,7 @@ Result<DqlResult> DqlEngine::ExecuteConstruct(const ConstructQuery& query) {
         MaybeCommitNetwork(def, source, "construct from " + source));
     result.networks.push_back(std::move(def));
   }
+  EndOp(op, sources.size(), result.networks.size());
   return result;
 }
 
@@ -430,9 +514,16 @@ Result<std::vector<DqlEngine::Candidate>> DqlEngine::EvaluateCandidates(
 Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
   DqlResult result;
   result.kind = Query::Kind::kEvaluate;
+  const size_t op = BeginOp("evaluate", query.var);
+  const size_t cand_op = BeginOp(
+      "candidates", query.subquery != nullptr ? "subquery" : query.from_pattern);
   MH_ASSIGN_OR_RETURN(std::vector<Candidate> candidates,
                       EvaluateCandidates(query));
-  if (candidates.empty()) return result;
+  EndOp(cand_op, 0, candidates.size());
+  if (candidates.empty()) {
+    EndOp(op, 0, 0);
+    return result;
+  }
 
   // Base config.
   TrainOptions base;
@@ -449,6 +540,7 @@ Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
   }
 
   // Expand the vary grid.
+  const size_t grid_op = BeginOp("grid", "vary");
   struct GridDim {
     std::string param;
     std::vector<std::string> values;
@@ -476,6 +568,7 @@ Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
     }
     grid = std::move(expanded);
   }
+  EndOp(grid_op, dims.size(), grid.size());
 
   // Resolve the default dataset.
   const Dataset* default_dataset = nullptr;
@@ -486,6 +579,7 @@ Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
   }
 
   // Train every candidate x cell.
+  const size_t train_op = BeginOp("train", "");
   std::vector<std::pair<EvaluatedModel, CommitRequest>> evaluated;
   Rng rng(options_.seed);
   for (const auto& candidate : candidates) {
@@ -545,8 +639,12 @@ Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
       evaluated.emplace_back(std::move(model), std::move(request));
     }
   }
+  EndOp(train_op, candidates.size() * grid.size(), evaluated.size());
 
   // Apply the keep rule: sort and truncate, then commit survivors.
+  const size_t keep_op =
+      BeginOp("keep", query.keep.has_value() ? query.keep->metric : "all");
+  const uint64_t keep_in = evaluated.size();
   const bool by_loss = !query.keep.has_value() || query.keep->metric == "loss";
   std::sort(evaluated.begin(), evaluated.end(),
             [&](const auto& a, const auto& b) {
@@ -563,6 +661,8 @@ Result<DqlResult> DqlEngine::ExecuteEvaluate(const EvaluateQuery& query) {
     }
     result.evaluated.push_back(std::move(model));
   }
+  EndOp(keep_op, keep_in, result.evaluated.size());
+  EndOp(op, candidates.size(), result.evaluated.size());
   return result;
 }
 

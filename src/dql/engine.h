@@ -34,6 +34,17 @@ struct EvaluatedModel {
   double accuracy = 0.0;
 };
 
+/// Execution statistics for one operator of an analyzed query
+/// (`explain analyze ...`).
+struct DqlOpStats {
+  std::string op;      ///< Operator name ("scan", "filter", "train", ...).
+  std::string detail;  ///< Operator argument, if any.
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  double ms = 0.0;  ///< Wall time inside the operator.
+  int depth = 0;    ///< Nesting depth (subqueries indent).
+};
+
 /// The result of running one DQL statement.
 struct DqlResult {
   dql::Query::Kind kind = dql::Query::Kind::kSelect;
@@ -44,6 +55,14 @@ struct DqlResult {
   std::vector<NetworkDef> networks;
   /// evaluate: the kept models, best first.
   std::vector<EvaluatedModel> evaluated;
+
+  /// `explain analyze`: true, and `plan` holds one entry per executed
+  /// operator in execution order.
+  bool analyzed = false;
+  std::vector<DqlOpStats> plan;
+
+  /// Renders `plan` as an indented one-operator-per-line text block.
+  std::string RenderPlan() const;
 };
 
 /// Executes DQL queries against a DLV repository ("dlv query ..."). The
@@ -89,9 +108,24 @@ class DqlEngine {
   Status MaybeCommitNetwork(const NetworkDef& def, const std::string& parent,
                             const std::string& message);
 
+  /// Opens an operator frame in the collected plan and returns its index.
+  /// Every executed operator is recorded (and mirrored to the `dql.op.*`
+  /// metrics); the plan is only attached to the result for analyzed queries.
+  size_t BeginOp(const char* op, std::string detail) const;
+  /// Closes the frame opened by BeginOp: stamps wall time and row counts.
+  void EndOp(size_t index, uint64_t rows_in, uint64_t rows_out) const;
+
   Repository* repo_;
   DqlOptions options_;
   std::map<std::string, const Dataset*> datasets_;
+
+  /// Plan collection for the statement currently executing. `in_execute_`
+  /// marks re-entrant Execute calls (evaluate subqueries) so nested
+  /// operators land in the same plan at a deeper level.
+  mutable bool in_execute_ = false;
+  mutable int op_depth_ = 0;
+  mutable std::vector<DqlOpStats> plan_;
+  mutable std::vector<double> op_start_ms_;
 };
 
 /// SQL LIKE matching ('%' = any run, '_' = any single char).

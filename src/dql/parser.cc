@@ -17,6 +17,12 @@ class Parser {
 
   Result<Query> ParseQuery() {
     Query query;
+    if (AcceptKeyword("explain")) {
+      if (!AcceptKeyword("analyze")) {
+        return Error("explain must be followed by analyze");
+      }
+      query.analyze = true;
+    }
     if (AcceptKeyword("select")) {
       query.kind = Query::Kind::kSelect;
       MH_ASSIGN_OR_RETURN(query.select, ParseSelect());

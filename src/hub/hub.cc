@@ -48,9 +48,14 @@ Status ModelHubService::Publish(const std::string& repo_root,
   if (user.empty() || repo_name.empty()) {
     return Status::InvalidArgument("publish requires user and repo name");
   }
+  MH_COUNTER("hub.publish.count")->Increment();
   // Validate that the source actually is a repository before hosting it.
   MH_RETURN_IF_ERROR(Repository::Open(env_, repo_root).status());
   return CopyTree(env_, repo_root, HostedRoot(user, repo_name));
+}
+
+MetricsSnapshot ModelHubService::Metrics() const {
+  return MetricRegistry::Global()->Snapshot();
 }
 
 Result<std::vector<std::string>> ModelHubService::ListRepositories() {
@@ -73,6 +78,7 @@ Result<std::vector<std::string>> ModelHubService::ListRepositories() {
 
 Result<std::vector<HubSearchHit>> ModelHubService::Search(
     const std::string& name_pattern) {
+  MH_COUNTER("hub.search.count")->Increment();
   MH_ASSIGN_OR_RETURN(std::vector<std::string> repos, ListRepositories());
   std::vector<HubSearchHit> hits;
   for (const std::string& qualified : repos) {
@@ -101,6 +107,7 @@ Result<std::vector<HubSearchHit>> ModelHubService::Search(
 Result<Repository> ModelHubService::Pull(const std::string& user,
                                          const std::string& repo_name,
                                          const std::string& local_root) {
+  MH_COUNTER("hub.pull.count")->Increment();
   const std::string hosted = HostedRoot(user, repo_name);
   if (!env_->DirExists(hosted)) {
     return Status::NotFound("no hosted repository " + user + "/" + repo_name);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "dlv/repository.h"
 
@@ -48,6 +49,11 @@ class ModelHubService {
 
   /// Lists hosted repositories as "user/repo" strings.
   Result<std::vector<std::string>> ListRepositories();
+
+  /// Point-in-time snapshot of the process-wide metrics registry
+  /// (hub.* counters plus everything the PAS/DLV/DQL layers recorded).
+  /// Serialise with MetricsSnapshot::ToJson or ::ToText.
+  MetricsSnapshot Metrics() const;
 
  private:
   std::string HostedRoot(const std::string& user,

@@ -9,43 +9,71 @@
 #include "common/checked_io.h"
 #include "common/coding.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace modelhub {
 
 namespace {
 
-/// Fills a RetrievalStats from chunk-store counter deltas + wall time
-/// on scope exit. Construct before the first chunk access of a call.
+/// Fills a RetrievalStats from chunk-store counter deltas + wall time on
+/// scope exit, and feeds the `pas.retrieve.*` registry instruments plus a
+/// trace span. Construct at the very top of a retrieval entry point: the
+/// destructor runs on every exit path, so callers get a final (partial)
+/// stats snapshot even when retrieval fails mid-forest — wall time, bytes
+/// and cache counters cover the work done up to the failure.
 class StatsScope {
  public:
-  StatsScope(const ArchiveReader* reader, RetrievalStats* stats)
-      : reader_(reader), stats_(stats) {
-    if (stats_ != nullptr) {
-      *stats_ = RetrievalStats{};
-      before_ = reader_->store_stats();
-    }
+  StatsScope(const ArchiveReader* reader, RetrievalStats* stats,
+             const char* op)
+      : reader_(reader), stats_(stats), span_(op) {
+    if (stats_ != nullptr) *stats_ = RetrievalStats{};
+    before_ = reader_->store_stats();
   }
 
   ~StatsScope() {
-    if (stats_ == nullptr) return;
     const ChunkStoreStats after = reader_->store_stats();
-    stats_->chunk_fetches = after.chunk_fetches - before_.chunk_fetches;
-    stats_->cache_hits = after.cache_hits - before_.cache_hits;
-    stats_->cache_evictions = after.cache_evictions - before_.cache_evictions;
-    stats_->bytes_read = after.bytes_read - before_.bytes_read;
-    stats_->wall_ms = watch_.ElapsedMillis();
+    const uint64_t fetches = after.chunk_fetches - before_.chunk_fetches;
+    const uint64_t bytes = after.bytes_read - before_.bytes_read;
+    const double wall_ms = watch_.ElapsedMillis();
+    if (stats_ != nullptr) {
+      stats_->chunk_fetches = fetches;
+      stats_->cache_hits = after.cache_hits - before_.cache_hits;
+      stats_->cache_evictions =
+          after.cache_evictions - before_.cache_evictions;
+      stats_->bytes_read = bytes;
+      stats_->vertices_resolved = vertices_;
+      stats_->wall_ms = wall_ms;
+    }
+    MH_COUNTER("pas.retrieve.count")->Increment();
+    if (!ok_) MH_COUNTER("pas.retrieve.errors")->Increment();
+    MH_COUNTER("pas.retrieve.vertices")->Add(vertices_);
+    MH_COUNTER("pas.retrieve.bytes")->Add(bytes);
+    MH_HISTOGRAM("pas.retrieve.us")
+        ->Record(static_cast<uint64_t>(wall_ms * 1000.0));
+    if (span_.recording()) {
+      span_.Annotate("vertices", vertices_);
+      span_.Annotate("chunk_fetches", fetches);
+      span_.Annotate("bytes", bytes);
+      if (!ok_) span_.Annotate("error", std::string("true"));
+    }
   }
 
-  void set_vertices_resolved(uint64_t n) {
-    if (stats_ != nullptr) stats_->vertices_resolved = n;
-  }
+  /// Call as resolution progresses; sticky across early error returns.
+  void set_vertices_resolved(uint64_t n) { vertices_ = n; }
+  /// Call once the operation is known to have fully succeeded.
+  void MarkOk() { ok_ = true; }
+  TraceSpan& span() { return span_; }
 
  private:
   const ArchiveReader* reader_;
   RetrievalStats* stats_;
   ChunkStoreStats before_;
   Stopwatch watch_;
+  TraceSpan span_;
+  uint64_t vertices_ = 0;
+  bool ok_ = false;
 };
 
 constexpr char kManifestMagic[] = "MHAM2\n";
@@ -250,6 +278,12 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
     return Status::FailedPrecondition("no snapshots added");
   }
   built_ = true;
+  TraceSpan build_span("pas.archive.build");
+  build_span.Annotate("snapshots",
+                      static_cast<uint64_t>(snapshot_names_.size()));
+  build_span.Annotate("matrices", static_cast<uint64_t>(matrices_.size()));
+  Stopwatch build_watch;
+  MH_COUNTER("pas.archive.build.count")->Increment();
 
   // --- Optional lossy storage scheme: round every matrix through the
   // chosen representation once, up front. The archive then stores (and
@@ -444,6 +478,12 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
         plan.GroupRecreationCost(group, options.scheme));
     report.group_budgets.push_back(group.budget);
   }
+  MH_HISTOGRAM("pas.archive.build.us")
+      ->Record(static_cast<uint64_t>(build_watch.ElapsedMillis() * 1000.0));
+  MH_GAUGE("pas.archive.plan.storage_cost")
+      ->Set(static_cast<int64_t>(report.storage_cost));
+  build_span.Annotate("storage_cost",
+                      static_cast<uint64_t>(report.storage_cost));
   return report;
 }
 
@@ -613,6 +653,7 @@ Result<const FloatMatrix*> ArchiveReader::ResolveExact(
   if (it != memo->end()) return &it->second;
   const VertexMeta& meta = vertices_[static_cast<size_t>(vertex)];
   MH_ASSIGN_OR_RETURN(FloatMatrix payload, ReadPayload(meta));
+  MH_COUNTER("pas.retrieve.vertex.decode")->Increment();
   FloatMatrix value;
   if (meta.parent == 0) {
     value = std::move(payload);
@@ -620,6 +661,7 @@ Result<const FloatMatrix*> ArchiveReader::ResolveExact(
     MH_ASSIGN_OR_RETURN(const FloatMatrix* base,
                         ResolveExact(meta.parent, memo));
     MH_ASSIGN_OR_RETURN(value, ApplyDelta(*base, payload, meta.delta_kind));
+    MH_COUNTER("pas.retrieve.delta.apply")->Increment();
   }
   return &memo->emplace(vertex, std::move(value)).first->second;
 }
@@ -637,15 +679,18 @@ Result<FloatMatrix> ArchiveReader::RetrieveMatrix(
 
 Result<std::vector<NamedParam>> ArchiveReader::RetrieveSnapshot(
     const std::string& snapshot, RetrievalStats* stats) const {
+  StatsScope scope(this, stats, "pas.retrieve.snapshot");
+  scope.span().Annotate("snapshot", snapshot);
   const int s = FindSnapshot(snapshot);
   if (s < 0) return Status::NotFound("no snapshot: " + snapshot);
-  StatsScope scope(this, stats);
   const std::vector<int>& members = snapshot_members_[static_cast<size_t>(s)];
   std::map<int, FloatMatrix> memo;
   for (int v : members) {
-    MH_RETURN_IF_ERROR(ResolveExact(v, &memo).status());
+    const Status status = ResolveExact(v, &memo).status();
+    scope.set_vertices_resolved(memo.size());
+    if (!status.ok()) return status;  // Scope still emits partial stats.
   }
-  scope.set_vertices_resolved(memo.size());
+  scope.MarkOk();
   // All chains are resolved; members can now be moved out of the memo
   // (no member is read again, so no copy per returned matrix).
   std::vector<NamedParam> out;
@@ -671,6 +716,10 @@ Result<std::vector<std::vector<NamedParam>>>
 ArchiveReader::RetrieveSnapshotsParallel(
     const std::vector<std::string>& snapshots, ThreadPool* pool,
     ParallelScheme scheme, RetrievalStats* stats) const {
+  StatsScope scope(this, stats, "pas.retrieve.parallel");
+  scope.span().Annotate("snapshots", static_cast<uint64_t>(snapshots.size()));
+  scope.span().Annotate(
+      "scheme", scheme == ParallelScheme::kShared ? "shared" : "independent");
   std::vector<const std::vector<int>*> member_lists;
   member_lists.reserve(snapshots.size());
   for (const std::string& name : snapshots) {
@@ -678,7 +727,6 @@ ArchiveReader::RetrieveSnapshotsParallel(
     if (s < 0) return Status::NotFound("no snapshot: " + name);
     member_lists.push_back(&snapshot_members_[static_cast<size_t>(s)]);
   }
-  StatsScope scope(this, stats);
 
   if (scheme == ParallelScheme::kIndependent) {
     // Table III's plain parallel scheme: one task per requested matrix,
@@ -715,6 +763,7 @@ ArchiveReader::RetrieveSnapshotsParallel(
              std::move(*results[set][m])});
       }
     }
+    scope.MarkOk();
     return out;
   }
 
@@ -770,6 +819,7 @@ ArchiveReader::RetrieveSnapshotsParallel(
       }
       const VertexMeta& meta = vertices_[static_cast<size_t>(node.vertex)];
       MH_ASSIGN_OR_RETURN(FloatMatrix payload, ReadPayload(meta));
+      MH_COUNTER("pas.retrieve.vertex.decode")->Increment();
       if (meta.parent == 0) {
         node.value = std::move(payload);
         return Status::OK();
@@ -778,6 +828,7 @@ ArchiveReader::RetrieveSnapshotsParallel(
           nodes[static_cast<size_t>(node.parent_node)].value;
       MH_ASSIGN_OR_RETURN(node.value,
                           ApplyDelta(base, payload, meta.delta_kind));
+      MH_COUNTER("pas.retrieve.delta.apply")->Increment();
       return Status::OK();
     }();
     for (int child : node.children) {
@@ -809,6 +860,7 @@ ArchiveReader::RetrieveSnapshotsParallel(
                           std::move(value)});
     }
   }
+  scope.MarkOk();
   return out;
 }
 
@@ -883,14 +935,20 @@ ArchiveReader::RetrieveSnapshotBounds(const std::string& snapshot,
   if (planes < 1 || planes > kNumPlanes) {
     return Status::InvalidArgument("planes must be in [1,4]");
   }
+  StatsScope scope(this, nullptr, "pas.retrieve.bounds");
+  scope.span().Annotate("snapshot", snapshot);
+  scope.span().Annotate("planes", static_cast<uint64_t>(planes));
   const int s = FindSnapshot(snapshot);
   if (s < 0) return Status::NotFound("no snapshot: " + snapshot);
   const std::vector<int>& members = snapshot_members_[static_cast<size_t>(s)];
   std::map<int, IntervalMatrix> memo;
   std::map<int, FloatMatrix> exact_memo;  // Shared by all XOR vertices.
   for (int v : members) {
-    MH_RETURN_IF_ERROR(ResolveBounds(v, planes, &memo, &exact_memo).status());
+    const Status status = ResolveBounds(v, planes, &memo, &exact_memo).status();
+    scope.set_vertices_resolved(memo.size());
+    if (!status.ok()) return status;
   }
+  scope.MarkOk();
   std::map<std::string, IntervalMatrix> out;
   for (int v : members) {
     out.emplace(vertices_[static_cast<size_t>(v)].param,

@@ -1,8 +1,11 @@
 #include "pas/chunk_store.h"
 
+#include <chrono>
+
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace modelhub {
 
@@ -24,6 +27,8 @@ Result<uint32_t> ChunkStoreWriter::Put(Slice raw, CodecType codec) {
   }
   std::string compressed;
   MH_RETURN_IF_ERROR(Codec::Get(codec)->Compress(raw, &compressed));
+  MH_COUNTER("pas.chunk.write.count")->Increment();
+  MH_COUNTER("pas.chunk.write.bytes")->Add(compressed.size());
   ChunkRef ref;
   ref.offset = data_.size();
   ref.stored_size = compressed.size();
@@ -117,7 +122,7 @@ void ChunkStoreReader::EnableCache(bool enable) {
   if (!enable) {
     cache_.clear();
     lru_.clear();
-    stats_.cache_bytes = 0;
+    stats_->cache_bytes.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -128,13 +133,17 @@ void ChunkStoreReader::SetCacheCapacity(uint64_t bytes) {
 }
 
 void ChunkStoreReader::EvictToCapacityLocked() const {
-  while (stats_.cache_bytes > cache_capacity_ && !lru_.empty()) {
+  while (stats_->cache_bytes.load(std::memory_order_relaxed) >
+             cache_capacity_ &&
+         !lru_.empty()) {
     const uint32_t victim = lru_.back();
     lru_.pop_back();
     auto it = cache_.find(victim);
-    stats_.cache_bytes -= it->second.data.size();
+    stats_->cache_bytes.fetch_sub(it->second.data.size(),
+                                  std::memory_order_relaxed);
     cache_.erase(it);
-    ++stats_.cache_evictions;
+    stats_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+    MH_COUNTER("pas.chunk.cache.evict")->Increment();
   }
 }
 
@@ -148,11 +157,14 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
       auto it = cache_.find(id);
       if (it != cache_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-        ++stats_.cache_hits;
+        stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        MH_COUNTER("pas.chunk.cache.hit")->Increment();
         return it->second.data;
       }
     }
   }
+  MH_COUNTER("pas.chunk.cache.miss")->Increment();
+  const auto fetch_start = std::chrono::steady_clock::now();
   const ChunkRef& ref = refs_[id];
   // One retry distinguishes a transient read fault from real on-disk
   // corruption: a bad sector or torn page read may succeed the second
@@ -160,6 +172,7 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
   std::string compressed;
   Status read_status = Status::OK();
   for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) MH_COUNTER("pas.chunk.read.retry")->Increment();
     auto bytes = env_->ReadFileRange(path_, ref.offset, ref.stored_size);
     if (!bytes.ok()) {
       read_status = bytes.status();
@@ -177,7 +190,10 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
     read_status = Status::OK();
     break;
   }
-  MH_RETURN_IF_ERROR(read_status);
+  if (!read_status.ok()) {
+    MH_COUNTER("pas.chunk.read.error")->Increment();
+    return read_status;
+  }
   std::string raw;
   MH_RETURN_IF_ERROR(Codec::Get(ref.codec)->Decompress(Slice(compressed), &raw));
   if (raw.size() != ref.raw_size) {
@@ -193,17 +209,24 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
         return it->second.data;
       }
     }
-    stats_.bytes_read += ref.stored_size;
-    ++stats_.chunk_fetches;
+    stats_->bytes_read.fetch_add(ref.stored_size, std::memory_order_relaxed);
+    stats_->chunk_fetches.fetch_add(1, std::memory_order_relaxed);
     // Oversized chunks bypass the cache entirely: admitting one would
     // evict the whole working set for a single-use payload.
     if (cache_enabled_ && raw.size() <= cache_capacity_) {
       lru_.push_front(id);
       cache_.emplace(id, CacheEntry{raw, lru_.begin()});
-      stats_.cache_bytes += raw.size();
+      stats_->cache_bytes.fetch_add(raw.size(), std::memory_order_relaxed);
       EvictToCapacityLocked();
     }
   }
+  MH_COUNTER("pas.chunk.fetch.count")->Increment();
+  MH_COUNTER("pas.chunk.fetch.bytes")->Add(ref.stored_size);
+  MH_HISTOGRAM("pas.chunk.fetch.us")
+      ->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - fetch_start)
+              .count()));
   return raw;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MODELHUB_PAS_CHUNK_STORE_H_
 #define MODELHUB_PAS_CHUNK_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -96,19 +97,26 @@ class ChunkStoreReader {
   /// Total compressed bytes fetched by Get since construction/reset.
   /// Cache hits do not count: once fetched, a chunk is in memory.
   uint64_t bytes_read() const {
-    std::lock_guard<std::mutex> lock(*mutex_);
-    return stats_.bytes_read;
+    return stats_->bytes_read.load(std::memory_order_relaxed);
   }
   void ResetByteCounter() {
-    std::lock_guard<std::mutex> lock(*mutex_);
-    stats_.bytes_read = 0;
-    stats_.chunk_fetches = 0;
+    stats_->bytes_read.store(0, std::memory_order_relaxed);
+    stats_->chunk_fetches.store(0, std::memory_order_relaxed);
   }
 
-  /// Snapshot of the read-side counters.
+  /// Snapshot of the read-side counters. Lock-free: counters are relaxed
+  /// atomics, so worker threads in RetrieveSnapshotsParallel update and
+  /// read them without touching the cache mutex. Each field is exact;
+  /// cross-field consistency is quiescent (stable once workers drain).
   ChunkStoreStats stats() const {
-    std::lock_guard<std::mutex> lock(*mutex_);
-    return stats_;
+    ChunkStoreStats out;
+    out.bytes_read = stats_->bytes_read.load(std::memory_order_relaxed);
+    out.chunk_fetches = stats_->chunk_fetches.load(std::memory_order_relaxed);
+    out.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
+    out.cache_evictions =
+        stats_->cache_evictions.load(std::memory_order_relaxed);
+    out.cache_bytes = stats_->cache_bytes.load(std::memory_order_relaxed);
+    return out;
   }
 
   /// Enables the in-memory decompressed-chunk cache (LRU, byte-bounded by
@@ -132,12 +140,22 @@ class ChunkStoreReader {
   /// must hold *mutex_.
   void EvictToCapacityLocked() const;
 
+  /// Atomic mirror of ChunkStoreStats. Held via pointer (atomics are not
+  /// movable) so the reader stays movable, like mutex_ below.
+  struct AtomicStats {
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> chunk_fetches{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_evictions{0};
+    std::atomic<uint64_t> cache_bytes{0};
+  };
+
   Env* env_ = nullptr;
   std::string path_;
   std::vector<ChunkRef> refs_;
   // Owned via pointer so the reader stays movable.
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
-  mutable ChunkStoreStats stats_;
+  std::unique_ptr<AtomicStats> stats_ = std::make_unique<AtomicStats>();
   bool cache_enabled_ = false;
   uint64_t cache_capacity_ = kDefaultCacheCapacity;
   /// Front = most recently used. Guarded by *mutex_.

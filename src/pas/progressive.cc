@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/interval_eval.h"
 #include "nn/network.h"
 
@@ -47,6 +49,10 @@ Result<ProgressiveResult> ProgressiveQueryEvaluator::Evaluate(
   MH_ASSIGN_OR_RETURN(Network net, Network::Create(def_));
   IntervalEvaluator evaluator(&net);
 
+  TraceSpan span("pas.progressive.evaluate");
+  span.Annotate("snapshot", snapshot);
+  MH_COUNTER("pas.progressive.query.count")->Increment();
+
   const int64_t batch = input.n();
   ProgressiveResult result;
   result.labels.assign(static_cast<size_t>(batch), -1);
@@ -58,11 +64,13 @@ Result<ProgressiveResult> ProgressiveQueryEvaluator::Evaluate(
 
   for (int planes = options.initial_planes;
        planes <= kNumPlanes && !pending.empty(); ++planes) {
+    MH_COUNTER("pas.progressive.rounds")->Increment();
     MH_ASSIGN_OR_RETURN(auto bounds,
                         reader_->RetrieveSnapshotBounds(snapshot, planes));
     const Tensor subset = GatherSamples(input, pending);
     MH_ASSIGN_OR_RETURN(auto intervals, evaluator.Forward(subset, bounds));
 
+    const size_t pending_before = pending.size();
     std::vector<int64_t> still_pending;
     for (size_t i = 0; i < pending.size(); ++i) {
       const auto& outputs = intervals[i];
@@ -80,9 +88,13 @@ Result<ProgressiveResult> ProgressiveQueryEvaluator::Evaluate(
         still_pending.push_back(pending[i]);
       }
     }
+    MH_COUNTER("pas.progressive.samples.resolved")
+        ->Add(pending_before - still_pending.size());
     pending = std::move(still_pending);
   }
   result.bytes_read = reader_->bytes_read();
+  MH_COUNTER("pas.progressive.bytes")->Add(result.bytes_read);
+  span.Annotate("bytes", result.bytes_read);
 
   // Exact-retrieval baseline for the same snapshot: all four plane chunks
   // of every matrix on the delta chains (cache cleared first).

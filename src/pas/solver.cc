@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace modelhub {
 
@@ -13,12 +16,41 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Per-solve instrumentation: `pas.solver.solve.count/us` plus a span
+/// named after the solver, annotated with nodes expanded and edges
+/// considered by the search.
+class SolverScope {
+ public:
+  explicit SolverScope(const char* name) : span_(name) {
+    MH_COUNTER("pas.solver.solve.count")->Increment();
+  }
+
+  ~SolverScope() {
+    MH_COUNTER("pas.solver.nodes.expanded")->Add(nodes_expanded);
+    MH_COUNTER("pas.solver.edges.considered")->Add(edges_considered);
+    MH_HISTOGRAM("pas.solver.solve.us")
+        ->Record(static_cast<uint64_t>(watch_.ElapsedMillis() * 1000.0));
+    if (span_.recording()) {
+      span_.Annotate("nodes_expanded", nodes_expanded);
+      span_.Annotate("edges_considered", edges_considered);
+    }
+  }
+
+  uint64_t nodes_expanded = 0;
+  uint64_t edges_considered = 0;
+
+ private:
+  TraceSpan span_;
+  Stopwatch watch_;
+};
+
 /// Prim / Dijkstra unified: grows a tree from v0 minimizing either the
 /// connecting edge weight (MST) or the root path length (SPT).
 Result<StoragePlan> GrowTree(const MatrixStorageGraph& graph, bool shortest_path) {
   if (!graph.IsConnected()) {
     return Status::InvalidArgument("storage graph is not connected");
   }
+  SolverScope scope(shortest_path ? "pas.solver.spt" : "pas.solver.mst");
   const int n = graph.num_vertices();
   std::vector<double> key(static_cast<size_t>(n), kInf);
   std::vector<int> parent_edge(static_cast<size_t>(n), -1);
@@ -32,7 +64,9 @@ Result<StoragePlan> GrowTree(const MatrixStorageGraph& graph, bool shortest_path
     heap.pop();
     if (done[static_cast<size_t>(v)]) continue;
     done[static_cast<size_t>(v)] = true;
+    ++scope.nodes_expanded;
     for (int eid : graph.IncidentEdges(v)) {
+      ++scope.edges_considered;
       const StorageEdge& e = graph.edge(eid);
       const int other = e.u == v ? e.v : e.u;
       if (done[static_cast<size_t>(other)]) continue;
@@ -104,6 +138,7 @@ Result<StoragePlan> SolveLast(const MatrixStorageGraph& graph, double alpha) {
   }
   MH_ASSIGN_OR_RETURN(StoragePlan mst, SolveMst(graph));
   MH_ASSIGN_OR_RETURN(StoragePlan spt, SolveSpt(graph));
+  SolverScope scope("pas.solver.last");
   const int n = graph.num_vertices();
 
   // DFS over the MST; dist[] tracks root-path recreation cost in the tree
@@ -144,6 +179,7 @@ Status RefineForBudgets(StoragePlan* plan, RetrievalScheme scheme) {
   const int max_iterations = static_cast<int>(graph.edges().size()) + 16;
 
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    MH_COUNTER("pas.solver.refine.iterations")->Increment();
     // Collect violated groups.
     std::vector<const CoUsageGroup*> violated;
     for (const CoUsageGroup& group : graph.groups()) {
@@ -207,6 +243,7 @@ Status RefineForBudgets(StoragePlan* plan, RetrievalScheme scheme) {
           "refinement stuck: no swap improves the violated budgets");
     }
     MH_RETURN_IF_ERROR(plan->Swap(best_vertex, best_edge));
+    MH_COUNTER("pas.solver.refine.swaps")->Increment();
   }
   return Status::FailedPrecondition("refinement did not converge");
 }
@@ -225,6 +262,7 @@ Result<StoragePlan> SolvePasPt(const MatrixStorageGraph& graph,
   if (!graph.IsConnected()) {
     return Status::InvalidArgument("storage graph is not connected");
   }
+  SolverScope scope("pas.solver.pas-pt");
   const int n = graph.num_vertices();
 
   // Lower bound on any vertex's recreation cost: its cheapest-recreation
@@ -292,6 +330,7 @@ Result<StoragePlan> SolvePasPt(const MatrixStorageGraph& graph,
   while (!heap.empty() && added < n) {
     const int eid = heap.top();
     heap.pop();
+    ++scope.edges_considered;
     const StorageEdge& e = graph.edge(eid);
     const bool u_in = in_tree[static_cast<size_t>(e.u)];
     const bool v_in = in_tree[static_cast<size_t>(e.v)];
@@ -338,6 +377,7 @@ Result<StoragePlan> SolvePasPt(const MatrixStorageGraph& graph,
     parent_edge[static_cast<size_t>(vj)] = eid;
     path_cost[static_cast<size_t>(vj)] = vj_cost;
     ++added;
+    ++scope.nodes_expanded;
     for (int out_eid : graph.IncidentEdges(vj)) {
       if (out_eid != eid) heap.push(out_eid);
     }

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/env.h"
+#include "common/fault_env.h"
 #include "common/thread_pool.h"
 #include "common/random.h"
 #include "data/dataset.h"
@@ -904,6 +905,109 @@ TEST(ProgressiveTest, OptionValidation) {
   bad.initial_planes = 5;
   EXPECT_TRUE(
       evaluator.Evaluate("s", input, bad).status().IsInvalidArgument());
+}
+
+// Every successful Get is either a cache hit or a disk fetch — exactly
+// one of the two. The counters are relaxed atomics updated from many
+// threads (run under TSan in CI); after the threads join, the totals
+// must balance and match the byte counter.
+TEST(ChunkStoreTest, StatsConsistentUnderConcurrentAccess) {
+  MemEnv env;
+  ChunkStoreWriter writer(&env, "s.bin");
+  Rng rng(21);
+  constexpr int kChunks = 12;
+  for (int i = 0; i < kChunks; ++i) {
+    std::string data(512 + rng.Uniform(512), '\0');
+    for (auto& c : data) c = static_cast<char>(rng.Uniform(6));
+    ASSERT_TRUE(writer.Put(Slice(data), CodecType::kDeflateLite).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = ChunkStoreReader::Open(&env, "s.bin");
+  ASSERT_TRUE(reader.ok());
+  reader->EnableCache(true);
+  // Roomy capacity: every chunk stays cached, so hits are deterministic.
+  // (LruEviction covers the tight-capacity path.)
+  reader->SetCacheCapacity(1 << 16);
+  ThreadPool pool(4);
+  WaitGroup group;
+  std::atomic<uint64_t> gets{0};
+  for (int t = 0; t < 8; ++t) {
+    pool.Schedule(&group, [&, t] {
+      for (int i = 0; i < 64; ++i) {
+        const uint32_t id = static_cast<uint32_t>((i * 5 + t) % kChunks);
+        if (reader->Get(id).ok()) gets.fetch_add(1);
+      }
+    });
+  }
+  group.Wait();
+  const ChunkStoreStats stats = reader->stats();
+  EXPECT_EQ(gets.load(), 8u * 64u);
+  EXPECT_EQ(stats.chunk_fetches + stats.cache_hits, gets.load());
+  EXPECT_GT(stats.chunk_fetches, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_EQ(reader->bytes_read(), stats.bytes_read);
+  EXPECT_LE(stats.cache_bytes, 1u << 16);
+}
+
+// Retrieval that dies partway (injected read fault) must still emit the
+// stats accumulated up to the failure — an operator watching a stuck
+// checkout needs to see how far it got, not stale numbers from the
+// previous call.
+TEST(ArchiveFaultTest, PartialRetrievalStatsOnReadError) {
+  MemEnv mem;
+  const auto snapshots = TrainSnapshots(7);
+  ASSERT_EQ(snapshots.size(), 3u);
+  std::vector<std::string> names;
+  {
+    ArchiveBuilder builder(&mem, "arch");
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+      names.push_back("v/s" + std::to_string(i));
+      ASSERT_TRUE(builder.AddSnapshot(names[i], snapshots[i].params).ok());
+    }
+    for (size_t i = 1; i < snapshots.size(); ++i) {
+      ASSERT_TRUE(builder.AddDeltaCandidate(names[i - 1], names[i]).ok());
+    }
+    ArchiveOptions options;
+    options.solver = ArchiveSolver::kMst;  // Forces delta chains.
+    ASSERT_TRUE(builder.Build(options).ok());
+  }
+  FaultInjectionEnv fault(&mem);
+  auto reader = ArchiveReader::Open(&fault, "arch");
+  ASSERT_TRUE(reader.ok());
+  reader->EnableChunkCache(true);
+  // Warm the cache with the chain base so the failing retrieval can make
+  // partial progress without touching the (faulted) disk.
+  RetrievalStats stats;
+  ASSERT_TRUE(reader->RetrieveSnapshot(names[0], &stats).ok());
+  EXPECT_GT(stats.vertices_resolved, 0u);
+
+  fault.FailReadsMatching("arch");
+  RetrievalStats failed_stats;
+  failed_stats.bytes_read = 99999999;  // Sentinel: the call must reset it.
+  failed_stats.vertices_resolved = 99999999;
+  auto failed = reader->RetrieveSnapshot(names[2], &failed_stats);
+  ASSERT_FALSE(failed.ok());
+  // Stats were reset at entry and reflect this call, not the previous one.
+  EXPECT_LT(failed_stats.bytes_read, 99999999u);
+  EXPECT_LT(failed_stats.vertices_resolved, 99999999u);
+
+  // Retrieving a cached snapshot and a faulted one together: the batch
+  // fails, but the emitted stats show the partial progress (the cached
+  // snapshot's vertices resolved, its chunk reads served by the cache).
+  ThreadPool pool(2);
+  RetrievalStats partial;
+  partial.bytes_read = 99999999;
+  auto parallel = reader->RetrieveSnapshotsParallel(
+      {names[0], names[2]}, &pool, ParallelScheme::kIndependent, &partial);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_LT(partial.bytes_read, 99999999u);
+  EXPECT_GT(partial.vertices_resolved, 0u);
+  EXPECT_GT(partial.cache_hits, 0u);
+
+  // Disarm the fault: the same reader retrieves cleanly again.
+  fault.Reset();
+  ASSERT_TRUE(reader->RetrieveSnapshot(names[2]).ok());
 }
 
 TEST(ArchiveSolverTest, NameCoverage) {

@@ -33,6 +33,23 @@ class CliTest : public ::testing::Test {
     return WEXITSTATUS(raw);
   }
 
+  /// Runs `dlv <args>` and returns captured output (stdout first, then
+  /// stderr); `exit_code` receives the process exit status.
+  std::string DlvOutput(const std::string& args, int* exit_code) {
+    const std::string out = work_ + "/cli_out.txt";
+    const std::string err = work_ + "/cli_err.txt";
+    const std::string command = std::string(DLV_BINARY) + " " + args + " >" +
+                                out + " 2>" + err;
+    const int raw = std::system(command.c_str());
+    *exit_code = WEXITSTATUS(raw);
+    std::string text;
+    for (const auto& path : {out, err}) {
+      auto contents = Env::Default()->ReadFile(path);
+      if (contents.ok()) text += *contents;
+    }
+    return text;
+  }
+
   std::string work_;
 };
 
@@ -111,6 +128,62 @@ TEST_F(CliTest, UsageAndBadCommands) {
   EXPECT_EQ(Dlv("list"), 2);  // Missing argument.
   EXPECT_NE(Dlv("list " + work_ + "/missing"), 0);
   EXPECT_NE(Dlv("archive " + work_ + "/missing nosuchsolver"), 0);
+}
+
+TEST_F(CliTest, UsageListsEverySubcommand) {
+  int code = 0;
+  const std::string usage = DlvOutput("", &code);
+  EXPECT_EQ(code, 2);
+  const char* subcommands[] = {
+      "init",    "demo", "copy",  "archive", "fsck", "list",
+      "desc",    "diff", "pdiff", "compare", "eval", "retrieve",
+      "query",   "report", "publish", "search", "pull", "stats",
+  };
+  for (const char* subcommand : subcommands) {
+    EXPECT_NE(usage.find(std::string("dlv ") + subcommand), std::string::npos)
+        << "usage text is missing subcommand: " << subcommand;
+  }
+}
+
+TEST_F(CliTest, StatsJsonCoversSubsystems) {
+  const std::string repo = work_ + "/repo";
+  ASSERT_EQ(Dlv("init " + repo), 0);
+  ASSERT_EQ(Dlv("demo " + repo + " 2"), 0);
+  ASSERT_EQ(Dlv("archive " + repo + " pas-pt 1.8"), 0);
+
+  int code = 0;
+  const std::string trace = work_ + "/trace.json";
+  const std::string json =
+      DlvOutput("stats " + repo + " --json --trace " + trace, &code);
+  ASSERT_EQ(code, 0) << json;
+
+  // Valid top-level shape and coverage of each instrumented subsystem.
+  EXPECT_EQ(json.find('{'), 0u);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  const char* prefixes[] = {"pas.chunk.", "pas.retrieve.", "codec.",
+                            "pas.solver.", "dlv.commit."};
+  for (const char* prefix : prefixes) {
+    EXPECT_NE(json.find(prefix), std::string::npos)
+        << "stats --json is missing metrics with prefix: " << prefix;
+  }
+
+  // The Chrome trace export landed and holds complete duration events.
+  auto chrome = Env::Default()->ReadFile(trace);
+  ASSERT_TRUE(chrome.ok());
+  EXPECT_EQ(chrome->front(), '[');
+  EXPECT_NE(chrome->find("\"ph\":\"X\""), std::string::npos);
+
+  // Human-readable mode works against the same repository.
+  const std::string text = DlvOutput("stats " + repo, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(text.find("pas.chunk.fetch.count"), std::string::npos);
+  EXPECT_NE(text.find("dlv.commit.count"), std::string::npos);
+
+  // Bad flags and a missing repository are reported as errors.
+  EXPECT_EQ(Dlv("stats " + repo + " --bogus"), 2);
+  EXPECT_NE(Dlv("stats " + work_ + "/missing"), 0);
 }
 
 }  // namespace

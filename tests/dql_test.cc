@@ -429,5 +429,99 @@ TEST_F(DqlEngineTest, EvaluateWithoutDatasetFails) {
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
+// -------------------------------------------------------- EXPLAIN ANALYZE
+
+TEST_F(DqlEngineTest, ExplainAnalyzeSelectReportsOperators) {
+  DqlEngine engine(repo_.get());
+  auto result =
+      engine.Run("explain analyze select m1 where m1.name like \"alexnet%\"");
+  ASSERT_TRUE(result.ok());
+  // The query itself still executes.
+  EXPECT_EQ(result->model_names,
+            (std::vector<std::string>{"alexnet_a", "alexnet_b"}));
+  ASSERT_TRUE(result->analyzed);
+  ASSERT_EQ(result->plan.size(), 3u);
+  const DqlOpStats& select = result->plan[0];
+  const DqlOpStats& scan = result->plan[1];
+  const DqlOpStats& filter = result->plan[2];
+  EXPECT_EQ(select.op, "select");
+  EXPECT_EQ(select.depth, 0);
+  EXPECT_EQ(select.rows_out, 2u);
+  EXPECT_EQ(scan.op, "scan");
+  EXPECT_EQ(scan.detail, "versions");
+  EXPECT_EQ(scan.depth, 1);
+  EXPECT_EQ(scan.rows_out, 3u);  // All committed versions.
+  EXPECT_EQ(filter.op, "filter");
+  EXPECT_EQ(filter.depth, 1);
+  EXPECT_EQ(filter.rows_in, 3u);
+  EXPECT_EQ(filter.rows_out, 2u);
+  for (const DqlOpStats& op : result->plan) EXPECT_GE(op.ms, 0.0);
+  const std::string rendered = result->RenderPlan();
+  EXPECT_NE(rendered.find("select"), std::string::npos);
+  EXPECT_NE(rendered.find("  scan versions"), std::string::npos);
+  EXPECT_NE(rendered.find("rows_out=2"), std::string::npos);
+}
+
+TEST_F(DqlEngineTest, ExplainAnalyzeSliceReportsOperators) {
+  DqlEngine engine(repo_.get(), DqlOptions{.commit_results = false});
+  auto result = engine.Run(
+      "explain analyze slice m2 from m1 where m1.name = \"alexnet_a\" "
+      "mutate m2.input = m1[\"conv1_1\"] and m2.output = m1[\"fc1\"]");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->analyzed);
+  EXPECT_EQ(result->networks.size(), 1u);
+  ASSERT_EQ(result->plan.size(), 3u);
+  const DqlOpStats& slice = result->plan[0];
+  EXPECT_EQ(slice.op, "slice");
+  EXPECT_EQ(slice.detail, "m2");
+  EXPECT_EQ(slice.depth, 0);
+  EXPECT_EQ(slice.rows_in, 1u);   // One matching source version.
+  EXPECT_EQ(slice.rows_out, 1u);  // One derived network.
+  EXPECT_EQ(result->plan[1].op, "scan");
+  EXPECT_EQ(result->plan[2].op, "filter");
+}
+
+TEST_F(DqlEngineTest, ExplainAnalyzeEvaluateReportsPipeline) {
+  DqlEngine engine(repo_.get(), DqlOptions{.commit_results = false});
+  engine.RegisterDataset("default", &dataset_);
+  auto result = engine.Run(
+      "explain analyze evaluate m from \"alexnet_a\" with config = default "
+      "keep top(1, m[\"loss\"], 5)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->analyzed);
+  EXPECT_EQ(result->evaluated.size(), 1u);
+  // evaluate > candidates / grid / train / keep, in execution order.
+  std::vector<std::string> ops;
+  for (const DqlOpStats& op : result->plan) ops.push_back(op.op);
+  EXPECT_EQ(ops, (std::vector<std::string>{"evaluate", "candidates", "grid",
+                                           "train", "keep"}));
+  EXPECT_EQ(result->plan[0].depth, 0);
+  for (size_t i = 1; i < result->plan.size(); ++i) {
+    EXPECT_EQ(result->plan[i].depth, 1);
+  }
+  const DqlOpStats& train = result->plan[3];
+  EXPECT_EQ(train.rows_in, 1u);
+  EXPECT_EQ(train.rows_out, 1u);
+  EXPECT_GT(train.ms, 0.0);  // Training takes measurable time.
+}
+
+TEST_F(DqlEngineTest, PlainQueriesCarryNoPlan) {
+  DqlEngine engine(repo_.get());
+  auto result = engine.Run("select m where m.accuracy >= 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->analyzed);
+  EXPECT_TRUE(result->plan.empty());
+}
+
+TEST(DqlParserTest, ExplainRequiresAnalyze) {
+  EXPECT_TRUE(dql::Parse("explain select m where m.accuracy >= 0")
+                  .status()
+                  .IsInvalidArgument());
+  auto query = dql::Parse("EXPLAIN ANALYZE select m where m.accuracy >= 0");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->analyze);
+  EXPECT_EQ(query->kind, dql::Query::Kind::kSelect);
+}
+
 }  // namespace
 }  // namespace modelhub

@@ -120,5 +120,30 @@ TEST_F(HubTest, RepublishOverwrites) {
   EXPECT_EQ(hits->size(), 1u);
 }
 
+TEST_F(HubTest, MetricsSnapshotCountsOperations) {
+  ModelHubService hub(&env_, "hub");
+  const MetricsSnapshot before = hub.Metrics();
+  const MetricValue* publishes = before.Find("hub.publish.count");
+  const uint64_t publish_base = publishes ? publishes->counter : 0;
+  const MetricValue* searches = before.Find("hub.search.count");
+  const uint64_t search_base = searches ? searches->counter : 0;
+
+  ASSERT_TRUE(hub.Publish("local/alexrepo", "alice", "alexnets").ok());
+  ASSERT_TRUE(hub.Search("alexnet%").ok());
+  ASSERT_TRUE(hub.Search("vgg%").ok());
+  ASSERT_TRUE(hub.Pull("alice", "alexnets", "local/metrics_clone").ok());
+
+  const MetricsSnapshot after = hub.Metrics();
+  publishes = after.Find("hub.publish.count");
+  ASSERT_NE(publishes, nullptr);
+  EXPECT_EQ(publishes->counter, publish_base + 1);
+  searches = after.Find("hub.search.count");
+  ASSERT_NE(searches, nullptr);
+  EXPECT_EQ(searches->counter, search_base + 2);
+  const MetricValue* pulls = after.Find("hub.pull.count");
+  ASSERT_NE(pulls, nullptr);
+  EXPECT_GE(pulls->counter, 1u);
+}
+
 }  // namespace
 }  // namespace modelhub

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace modelhub {
+namespace {
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketBoundaries) {
+  // buckets[0] = {0}; buckets[i] = [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  // Every non-overflow bucket's upper bound lands in its own bucket and
+  // the next value crosses into the next bucket.
+  for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    const uint64_t upper = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketOf(upper), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketOf(upper + 1), i + 1) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, OverflowCollapsesIntoLastBucket) {
+  const int last = Histogram::kNumBuckets - 1;
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), last);
+  EXPECT_EQ(Histogram::BucketOf(uint64_t{1} << 62), last);
+  EXPECT_EQ(Histogram::BucketUpperBound(last), UINT64_MAX);
+
+  Histogram histogram;
+  histogram.Record(UINT64_MAX);
+  histogram.Record(uint64_t{1} << 40);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.buckets[static_cast<size_t>(last)], 2u);
+  EXPECT_EQ(snapshot.count, 2u);
+}
+
+TEST(HistogramTest, SnapshotCountSumAndMean) {
+  Histogram histogram;
+  histogram.Record(0);
+  histogram.Record(10);
+  histogram.Record(20);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_EQ(snapshot.sum, 30u);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 10.0);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snapshot.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snapshot.count);
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  Histogram a;
+  Histogram b;
+  a.Record(1);
+  a.Record(100);
+  b.Record(1);
+  b.Record(1 << 20);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 2u + 100u + (1u << 20));
+  EXPECT_EQ(merged.buckets[1], 2u);  // Both 1s.
+  uint64_t bucket_total = 0;
+  for (uint64_t bucket : merged.buckets) bucket_total += bucket;
+  EXPECT_EQ(bucket_total, 4u);
+  // Merging an empty snapshot (no buckets yet) into a populated one and
+  // vice versa must not lose anything.
+  HistogramSnapshot empty;
+  empty.Merge(merged);
+  EXPECT_EQ(empty.count, 4u);
+  EXPECT_EQ(empty.buckets.size(), merged.buckets.size());
+}
+
+TEST(HistogramTest, ApproxPercentileWalksBuckets) {
+  Histogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Record(4);   // bucket [4,8)
+  histogram.Record(1 << 16);                          // one slow outlier
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.ApproxPercentile(50), 7u);   // Upper bound of [4,8).
+  EXPECT_EQ(snapshot.ApproxPercentile(99), 7u);
+  EXPECT_EQ(snapshot.ApproxPercentile(100), (uint64_t{1} << 17) - 1);
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.ApproxPercentile(50), 0u);
+}
+
+TEST(HistogramTest, Reset) {
+  Histogram histogram;
+  histogram.Record(5);
+  histogram.Reset();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+}
+
+// -------------------------------------------------------------- Registry
+
+TEST(MetricRegistryTest, StablePointersAndPerKindNamespaces) {
+  MetricRegistry* registry = MetricRegistry::Global();
+  Counter* counter = registry->GetCounter("test.registry.same");
+  EXPECT_EQ(registry->GetCounter("test.registry.same"), counter);
+  // Same name, different kind: a distinct instrument, not a collision.
+  Gauge* gauge = registry->GetGauge("test.registry.same");
+  Histogram* histogram = registry->GetHistogram("test.registry.same");
+  counter->Add(3);
+  gauge->Set(-7);
+  histogram->Record(2);
+  EXPECT_EQ(counter->value(), 3u);
+  EXPECT_EQ(gauge->value(), -7);
+  EXPECT_EQ(histogram->Snapshot().count, 1u);
+}
+
+TEST(MetricRegistryTest, SnapshotFindsAllKinds) {
+  MetricRegistry* registry = MetricRegistry::Global();
+  registry->GetCounter("test.snapshot.counter")->Add(11);
+  registry->GetGauge("test.snapshot.gauge")->Set(-5);
+  registry->GetHistogram("test.snapshot.histogram")->Record(1000);
+  const MetricsSnapshot snapshot = registry->Snapshot();
+  const MetricValue* counter = snapshot.Find("test.snapshot.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->counter, 11u);
+  const MetricValue* gauge = snapshot.Find("test.snapshot.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->gauge, -5);
+  const MetricValue* histogram = snapshot.Find("test.snapshot.histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->histogram.count, 1u);
+  // Sorted by name.
+  for (size_t i = 1; i < snapshot.values.size(); ++i) {
+    EXPECT_LE(snapshot.values[i - 1].name, snapshot.values[i].name);
+  }
+  // JSON mentions every section and the names.
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("test.snapshot.counter"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, MacroCachesLookup) {
+  MH_COUNTER("test.macro.counter")->Add(2);
+  MH_COUNTER("test.macro.counter")->Add(3);
+  EXPECT_EQ(
+      MetricRegistry::Global()->GetCounter("test.macro.counter")->value(),
+      5u);
+  MH_GAUGE("test.macro.gauge")->Set(9);
+  MH_HISTOGRAM("test.macro.histogram")->Record(4);
+  EXPECT_EQ(MetricRegistry::Global()->GetGauge("test.macro.gauge")->value(),
+            9);
+}
+
+// Concurrent registration and updates across many threads: every
+// increment must land exactly once, and registration must return the
+// same pointer on every thread. Run under TSan in CI this also proves
+// the striped registration and relaxed-atomic update paths race-free
+// (the ChunkStoreStats counters use the identical pattern).
+TEST(MetricRegistryTest, ConcurrentRegistrationAndUpdates) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  MetricRegistry* registry = MetricRegistry::Global();
+  registry->GetCounter("test.concurrent.shared")->Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([registry, t] {
+      Counter* shared = registry->GetCounter("test.concurrent.shared");
+      Counter* own = registry->GetCounter("test.concurrent.thread." +
+                                          std::to_string(t));
+      Histogram* histogram =
+          registry->GetHistogram("test.concurrent.histogram");
+      for (int i = 0; i < kIncrements; ++i) {
+        shared->Increment();
+        own->Increment();
+        histogram->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry->GetCounter("test.concurrent.shared")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry
+                  ->GetCounter("test.concurrent.thread." + std::to_string(t))
+                  ->value(),
+              static_cast<uint64_t>(kIncrements));
+  }
+  EXPECT_GE(
+      registry->GetHistogram("test.concurrent.histogram")->Snapshot().count,
+      static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+// ----------------------------------------------------------------- Trace
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    recorder_ = TraceRecorder::Global();
+    recorder_->SetCapacity(4096);
+    recorder_->Clear();
+    recorder_->SetEnabled(true);
+  }
+  void TearDown() override {
+    recorder_->SetEnabled(false);
+    recorder_->SetCapacity(4096);
+    recorder_->Clear();
+  }
+  TraceRecorder* recorder_ = nullptr;
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  recorder_->SetEnabled(false);
+  {
+    TraceSpan span("test.disabled");
+    EXPECT_FALSE(span.recording());
+    span.Annotate("key", std::string("value"));
+  }
+  EXPECT_TRUE(recorder_->Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansParentCorrectly) {
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan middle("test.middle");
+      TraceSpan inner("test.inner");
+      inner.Annotate("depth", uint64_t{3});
+    }
+    TraceSpan sibling("test.sibling");
+  }
+  const std::vector<TraceEvent> spans = recorder_->Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Completion order: inner, middle, sibling, outer.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[1].name, "test.middle");
+  EXPECT_EQ(spans[2].name, "test.sibling");
+  EXPECT_EQ(spans[3].name, "test.outer");
+  const TraceEvent& outer = spans[3];
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(spans[1].parent_id, outer.id);  // middle under outer
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);  // inner under middle
+  EXPECT_EQ(spans[2].parent_id, outer.id);  // sibling under outer
+  ASSERT_EQ(spans[0].annotations.size(), 1u);
+  EXPECT_EQ(spans[0].annotations[0].first, "depth");
+  EXPECT_EQ(spans[0].annotations[0].second, "3");
+}
+
+TEST_F(TraceTest, RingWrapsAndCountsDrops) {
+  recorder_->SetCapacity(8);
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span(i % 2 == 0 ? "test.even" : "test.odd");
+  }
+  const std::vector<TraceEvent> spans = recorder_->Snapshot();
+  EXPECT_EQ(spans.size(), 8u);
+  EXPECT_EQ(recorder_->total_spans(), 20u);
+  EXPECT_EQ(recorder_->dropped_spans(), 12u);
+  // Oldest-first: ids strictly increase and the survivors are the last 8.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].id, spans[i].id);
+  }
+}
+
+TEST_F(TraceTest, ConcurrentWritersKeepPerThreadNesting) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan outer("test.thread.outer");
+        TraceSpan inner("test.thread.inner");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder_->total_spans(),
+            static_cast<uint64_t>(kThreads) * kSpansPerThread * 2);
+  // Every inner span's parent is an outer span from the same thread.
+  std::vector<TraceEvent> spans = recorder_->Snapshot();
+  for (const TraceEvent& span : spans) {
+    if (span.name != "test.thread.inner") continue;
+    for (const TraceEvent& candidate : spans) {
+      if (candidate.id != span.parent_id) continue;
+      EXPECT_EQ(candidate.name, "test.thread.outer");
+      EXPECT_EQ(candidate.thread_id, span.thread_id);
+    }
+  }
+}
+
+TEST_F(TraceTest, JsonExports) {
+  {
+    TraceSpan span("test.json");
+    span.Annotate("bytes", uint64_t{42});
+  }
+  const std::string json = recorder_->ToJson();
+  EXPECT_NE(json.find("\"test.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\":1"), std::string::npos);
+  const std::string chrome = recorder_->ToChromeTraceJson();
+  EXPECT_EQ(chrome.front(), '[');
+  EXPECT_NE(chrome.find(']'), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"bytes\":\"42\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modelhub

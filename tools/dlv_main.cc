@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "data/dataset.h"
 #include "data/synthetic_modeler.h"
 #include "dlv/fsck.h"
@@ -28,37 +30,74 @@
 namespace modelhub {
 namespace {
 
-int Usage() {
-  std::fprintf(stderr, R"(usage: dlv <command> [args]
+/// One row of the usage block. The table is the single source of truth for
+/// the subcommand surface: Usage() renders it, and cli_test asserts that
+/// every dispatched command appears here.
+struct CommandHelp {
+  const char* section;
+  const char* syntax;
+  const char* help;  ///< '\n' continues onto an aligned follow-up line.
+};
 
-model version management:
-  dlv init <repo>                          create a repository
-  dlv demo <repo> [versions]               populate via the synthetic modeler
-  dlv copy <repo> <src> <new>              scaffold a version from another
-  dlv archive <repo> [solver] [alpha]      compact snapshots into PAS
-                                           (solver: pas-pt pas-mt last mst spt)
-  dlv fsck <repo> [--quarantine]           verify repository integrity;
-                                           --quarantine sets orphans aside
-model exploration:
-  dlv list <repo>                          versions, lineage, accuracy
-  dlv desc <repo> <model>                  describe one version
-  dlv diff <repo> <a> <b>                  compare two versions (metadata)
-  dlv pdiff <repo> <a> <b>                 compare learned parameters
-  dlv compare <repo> <a> <b> [samples]     run both on data, report agreement
-  dlv eval <repo> <model> [samples]        run latest snapshot on fresh data
-  dlv retrieve <repo> <model> [scheme] [threads]
-                                           recreate the latest snapshot from
-                                           the PAS archive and print retrieval
-                                           stats (scheme: shared independent
-                                           sequential; default shared)
-model enumeration:
-  dlv query <repo> "<DQL>"                 run a DQL statement
-  dlv report <repo> <out.html>             render an HTML exploration report
-remote interaction:
-  dlv publish <hub> <repo> <user> <name>   host a repository
-  dlv search <hub> [pattern]               find hosted model versions
-  dlv pull <hub> <user> <name> <dest>      download a hosted repository
-)");
+constexpr CommandHelp kCommands[] = {
+    {"model version management", "dlv init <repo>", "create a repository"},
+    {"model version management", "dlv demo <repo> [versions]",
+     "populate via the synthetic modeler"},
+    {"model version management", "dlv copy <repo> <src> <new>",
+     "scaffold a version from another"},
+    {"model version management", "dlv archive <repo> [solver] [alpha]",
+     "compact snapshots into PAS\n(solver: pas-pt pas-mt last mst spt)"},
+    {"model version management", "dlv fsck <repo> [--quarantine]",
+     "verify repository integrity;\n--quarantine sets orphans aside"},
+    {"model exploration", "dlv list <repo>", "versions, lineage, accuracy"},
+    {"model exploration", "dlv desc <repo> <model>", "describe one version"},
+    {"model exploration", "dlv diff <repo> <a> <b>",
+     "compare two versions (metadata)"},
+    {"model exploration", "dlv pdiff <repo> <a> <b>",
+     "compare learned parameters"},
+    {"model exploration", "dlv compare <repo> <a> <b> [samples]",
+     "run both on data, report agreement"},
+    {"model exploration", "dlv eval <repo> <model> [samples]",
+     "run latest snapshot on fresh data"},
+    {"model exploration", "dlv retrieve <repo> <model> [scheme] [threads]",
+     "recreate the latest snapshot from\nthe PAS archive and print retrieval\n"
+     "stats (scheme: shared independent\nsequential; default shared)"},
+    {"model enumeration", "dlv query <repo> \"<DQL>\"",
+     "run a DQL statement (prefix with\nexplain analyze for operator stats)"},
+    {"model enumeration", "dlv report <repo> <out.html>",
+     "render an HTML exploration report"},
+    {"remote interaction", "dlv publish <hub> <repo> <user> <name>",
+     "host a repository"},
+    {"remote interaction", "dlv search <hub> [pattern]",
+     "find hosted model versions"},
+    {"remote interaction", "dlv pull <hub> <user> <name> <dest>",
+     "download a hosted repository"},
+    {"observability", "dlv stats <repo> [--json] [--trace <file>]",
+     "run a probe workload and dump the\nmetrics registry (and a Chrome\n"
+     "trace with --trace)"},
+};
+
+int Usage() {
+  std::fprintf(stderr, "usage: dlv <command> [args]\n");
+  const char* section = "";
+  for (const CommandHelp& cmd : kCommands) {
+    if (std::strcmp(section, cmd.section) != 0) {
+      section = cmd.section;
+      std::fprintf(stderr, "\n%s:\n", section);
+    }
+    const char* text = cmd.help;
+    bool first = true;
+    while (text != nullptr) {
+      const char* newline = std::strchr(text, '\n');
+      const int len =
+          newline ? static_cast<int>(newline - text)
+                  : static_cast<int>(std::strlen(text));
+      std::fprintf(stderr, "  %-43s %.*s\n", first ? cmd.syntax : "", len,
+                   text);
+      text = newline ? newline + 1 : nullptr;
+      first = false;
+    }
+  }
   return 2;
 }
 
@@ -317,6 +356,83 @@ int CmdFsck(Env* env, const std::string& root, bool quarantine) {
   return report->clean() ? 0 : 1;
 }
 
+/// Exercises every instrumented subsystem inside this process. The metrics
+/// registry is per-process, so a bare `dlv stats` in a fresh process would
+/// otherwise have nothing to report: the probe commits synthetic versions
+/// into a scratch in-memory repository, archives them (solver + codec
+/// metrics), retrieves a snapshot (chunk-store + retrieval metrics), and
+/// runs one DQL statement (dql.op.* metrics).
+Status RunStatsProbe() {
+  MemEnv mem;
+  MH_ASSIGN_OR_RETURN(Repository repo, Repository::Init(&mem, "/probe"));
+  ModelerOptions options;
+  options.num_versions = 2;
+  options.snapshots_per_version = 2;
+  options.train_iterations = 8;
+  options.num_classes = 4;
+  options.image_size = 12;
+  options.dataset_samples = 64;
+  MH_ASSIGN_OR_RETURN(auto names, RunSyntheticModeler(&repo, options));
+  ArchiveOptions archive_options;
+  archive_options.solver = ArchiveSolver::kPasPt;
+  archive_options.budget_alpha = 2.0;
+  MH_RETURN_IF_ERROR(repo.Archive(archive_options).status());
+  MH_ASSIGN_OR_RETURN(auto archive, repo.OpenArchive());
+  MH_ASSIGN_OR_RETURN(const int64_t count, repo.NumSnapshots(names.back()));
+  RetrievalStats stats;
+  const std::string key = names.back() + "/s" + std::to_string(count - 1);
+  MH_RETURN_IF_ERROR(archive->RetrieveSnapshot(key, &stats).status());
+  DqlEngine engine(&repo);
+  MH_RETURN_IF_ERROR(
+      engine.Run("select m where m.num_snapshots >= 0").status());
+  return Status::OK();
+}
+
+int CmdStats(Env* env, const std::string& root, bool json,
+             const std::string& trace_path) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  if (!trace_path.empty()) {
+    recorder->SetEnabled(true);
+    recorder->Clear();
+  }
+  auto repo = Repository::Open(env, root);
+  if (!repo.ok()) return Fail(repo.status());
+  auto versions = repo->List();
+  if (!versions.ok()) return Fail(versions.status());
+  // Retrieve one archived snapshot of the real repository, if it has any,
+  // so the dump reflects actual data and not only the probe.
+  for (const auto& info : *versions) {
+    if (!info.archived) continue;
+    auto archive = repo->OpenArchive();
+    auto count = repo->NumSnapshots(info.name);
+    if (!archive.ok() || !count.ok() || *count == 0) break;
+    RetrievalStats stats;
+    const std::string key =
+        info.name + "/s" + std::to_string(*count - 1);
+    (*archive)->RetrieveSnapshot(key, &stats).status();
+    break;
+  }
+  const Status probe = RunStatsProbe();
+  if (!probe.ok()) return Fail(probe);
+  MH_GAUGE("dlv.repo.versions")
+      ->Set(static_cast<int64_t>(versions->size()));
+  const MetricsSnapshot snapshot = MetricRegistry::Global()->Snapshot();
+  if (json) {
+    std::printf("%s\n", snapshot.ToJson().c_str());
+  } else {
+    std::printf("%s", snapshot.ToText().c_str());
+  }
+  if (!trace_path.empty()) {
+    const Status written =
+        env->WriteFile(trace_path, recorder->ToChromeTraceJson());
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "dlv: wrote %llu trace span(s) to %s\n",
+                 static_cast<unsigned long long>(recorder->total_spans()),
+                 trace_path.c_str());
+  }
+  return 0;
+}
+
 int CmdQuery(Env* env, const std::string& root, const std::string& text) {
   auto repo = Repository::Open(env, root);
   if (!repo.ok()) return Fail(repo.status());
@@ -348,6 +464,10 @@ int CmdQuery(Env* env, const std::string& root, const std::string& text) {
                     model.loss, model.accuracy);
       }
       break;
+  }
+  if (result->analyzed) {
+    std::printf("\nquery plan (explain analyze):\n%s",
+                result->RenderPlan().c_str());
   }
   return 0;
 }
@@ -453,6 +573,21 @@ int Main(int argc, char** argv) {
   }
   if (command == "pull" && argc == 6) {
     return CmdPull(env, arg(2), arg(3), arg(4), arg(5));
+  }
+  if (command == "stats" && argc >= 3) {
+    bool json = false;
+    std::string trace_path;
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = arg(i);
+      if (flag == "--json") {
+        json = true;
+      } else if (flag == "--trace" && i + 1 < argc) {
+        trace_path = arg(++i);
+      } else {
+        return Usage();
+      }
+    }
+    return CmdStats(env, arg(2), json, trace_path);
   }
   return Usage();
 }

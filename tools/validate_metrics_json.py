@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validates a metrics dump produced by `dlv stats --json` (or the
+"metrics" object embedded in a bench_* JSON report).
+
+Usage:
+  validate_metrics_json.py <file.json> [--embedded-key metrics]
+                           [--require-prefix PREFIX ...]
+
+Checks:
+  * the file parses as JSON;
+  * the snapshot has "counters", "gauges" and "histograms" objects;
+  * counter/gauge values are integers, histogram entries carry count /
+    sum / mean / p50 / p99 / buckets with consistent types;
+  * every --require-prefix matches at least one metric name.
+
+Exits 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print("validate_metrics_json: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_snapshot(snapshot, required_prefixes):
+    if not isinstance(snapshot, dict):
+        fail("snapshot is not a JSON object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            fail("missing section %r" % section)
+        if not isinstance(snapshot[section], dict):
+            fail("section %r is not an object" % section)
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail("counter %r has non-counter value %r" % (name, value))
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, int):
+            fail("gauge %r has non-integer value %r" % (name, value))
+    for name, histogram in snapshot["histograms"].items():
+        if not isinstance(histogram, dict):
+            fail("histogram %r is not an object" % name)
+        for key in ("count", "sum", "mean", "p50", "p99", "buckets"):
+            if key not in histogram:
+                fail("histogram %r missing %r" % (name, key))
+        if not isinstance(histogram["buckets"], list):
+            fail("histogram %r buckets is not a list" % name)
+        bucket_total = sum(histogram["buckets"])
+        if bucket_total != histogram["count"]:
+            fail("histogram %r bucket total %d != count %d"
+                 % (name, bucket_total, histogram["count"]))
+    all_names = set()
+    for section in ("counters", "gauges", "histograms"):
+        all_names.update(snapshot[section])
+    for prefix in required_prefixes:
+        if not any(name.startswith(prefix) for name in all_names):
+            fail("no metric with required prefix %r" % prefix)
+    return len(all_names)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--embedded-key", default=None,
+                        help="validate document[KEY] instead of the "
+                             "whole document")
+    parser.add_argument("--require-prefix", action="append", default=[],
+                        help="require at least one metric with this "
+                             "name prefix (repeatable)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, "r") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail("cannot load %s: %s" % (args.path, error))
+
+    snapshot = document
+    if args.embedded_key is not None:
+        if args.embedded_key not in document:
+            fail("document has no %r key" % args.embedded_key)
+        snapshot = document[args.embedded_key]
+
+    count = validate_snapshot(snapshot, args.require_prefix)
+    print("validate_metrics_json: OK (%d metrics)" % count)
+
+
+if __name__ == "__main__":
+    main()
