@@ -1,0 +1,164 @@
+// modelhubd serving benchmark (DESIGN.md §9).
+//
+// Starts an in-process ModelHubServer over a PAS-archived repository and
+// drives it with N concurrent loopback clients issuing a hot-key mix:
+// mostly GET_SNAPSHOT of the same snapshot (the "everyone pulls the new
+// release" burst that single-flight coalescing targets) with pings and a
+// cold key interleaved. Measures client-observed request latency.
+//
+// Emits BENCH_serving.json (throughput, p50/p99 latency, coalesce ratio,
+// bytes moved) so serving-path regressions are tracked across PRs.
+//
+// Expected shape: zero failed requests; coalesce_ratio well above 0 (the
+// hot key collapses into few retrievals); p99 a small multiple of p50.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "data/synthetic_modeler.h"
+#include "dlv/repository.h"
+#include "net/client.h"
+#include "pas/archive.h"
+#include "server/modelhubd.h"
+
+namespace {
+
+using namespace modelhub;
+using bench::Check;
+
+double PercentileMs(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms->size() - 1));
+  return (*sorted_ms)[index];
+}
+
+}  // namespace
+
+int main() {
+  Env* env = Env::Default();
+  const std::string work = "/tmp/mh_serving_bench";
+  const std::string repo_root = work + "/repo";
+  RemoveTree(env, work);
+  Check(env->CreateDirs(work), "workdir");
+
+  // Seed and archive a small repository on disk (the server's worker and
+  // retrieval threads hit the Env concurrently, so no MemEnv here).
+  auto repo = Repository::Init(env, repo_root);
+  Check(repo.status(), "init");
+  ModelerOptions modeler;
+  modeler.num_versions = 2;
+  modeler.snapshots_per_version = 3;
+  modeler.train_iterations = 24;
+  modeler.num_classes = 6;
+  modeler.image_size = 16;
+  modeler.dataset_samples = 96;
+  if (bench::QuickMode()) {
+    modeler.num_versions = 1;
+    modeler.snapshots_per_version = 2;
+    modeler.train_iterations = 8;
+    modeler.dataset_samples = 48;
+  }
+  auto names = RunSyntheticModeler(&*repo, modeler);
+  Check(names.status(), "modeler");
+  Check(repo->Archive(ArchiveOptions{}).status(), "archive");
+  const std::string hot_model = names->front();
+  const std::string cold_model = names->back();
+
+  ServerOptions options;
+  options.coalesce_linger_ms = 100;  // Collapse the hot-key burst.
+  ModelHubServer server(env, repo_root, options);
+  Check(server.Start(), "server start");
+
+  const int kClients = bench::QuickMode() ? 4 : 8;
+  const int kRequestsPerClient = bench::QuickMode() ? 40 : 200;
+  std::atomic<int> failed{0};
+  std::vector<std::vector<double>> latencies_ms(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+
+  Stopwatch wall;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failed.fetch_add(kRequestsPerClient);
+        return;
+      }
+      latencies_ms[c].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Stopwatch request;
+        bool ok = false;
+        if (i % 8 == 0) {
+          ok = client->Ping().ok();
+        } else if (i % 8 == 1) {
+          ok = client->GetSnapshot(cold_model).ok();
+        } else {
+          ok = client->GetSnapshot(hot_model).ok();  // The hot key.
+        }
+        latencies_ms[c].push_back(request.ElapsedMillis());
+        if (!ok) failed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+  const uint64_t hits = server.coalesce_hits();
+  const uint64_t misses = server.coalesce_misses();
+  Check(server.Stop(), "server stop");
+
+  std::vector<double> merged;
+  for (const auto& per_client : latencies_ms) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  const uint64_t total_requests = merged.size();
+  const double throughput_rps =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(total_requests) / wall_ms
+                  : 0.0;
+  const double p50 = PercentileMs(&merged, 0.50);
+  const double p99 = PercentileMs(&merged, 0.99);
+  const double coalesce_ratio =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+
+  std::printf("%d clients x %d requests: %llu total, %d failed\n", kClients,
+              kRequestsPerClient,
+              static_cast<unsigned long long>(total_requests), failed.load());
+  std::printf("throughput %.1f req/s | p50 %.3fms p99 %.3fms | coalesce "
+              "%llu hits / %llu misses (ratio %.2f)\n",
+              throughput_rps, p50, p99,
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), coalesce_ratio);
+  if (failed.load() != 0) {
+    std::fprintf(stderr, "FAILED: %d requests failed\n", failed.load());
+    return 1;
+  }
+
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"serving\",\"clients\":%d,\"requests\":%llu,"
+      "\"failed\":%d,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,"
+      "\"p99_ms\":%.3f,\"coalesce_hits\":%llu,\"coalesce_misses\":%llu,"
+      "\"coalesce_ratio\":%.4f",
+      kClients, static_cast<unsigned long long>(total_requests),
+      failed.load(), throughput_rps, p50, p99,
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), coalesce_ratio);
+  std::string json = buffer;
+  bench::AppendMetricsJson(&json);
+  json += "}\n";
+  const char* json_path = "BENCH_serving.json";
+  Check(env->WriteFile(json_path, json), "write json");
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

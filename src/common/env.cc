@@ -119,6 +119,19 @@ class PosixEnv : public Env {
     return fs::is_directory(path, ec);
   }
 
+  Status DeleteDir(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::is_directory(path, ec)) {
+      return Status::NotFound("no such directory: " + path);
+    }
+    // fs::remove only deletes empty directories — exactly the contract.
+    if (!fs::remove(path, ec) || ec) {
+      return Status::IOError("cannot remove directory: " + path +
+                             (ec ? ": " + ec.message() : ""));
+    }
+    return Status::OK();
+  }
+
   Result<std::vector<std::string>> ListDir(const std::string& path) override {
     std::error_code ec;
     fs::directory_iterator it(path, ec);
@@ -253,6 +266,21 @@ bool MemEnv::DirExists(const std::string& path) {
   return it != files_.end() && it->second.is_dir;
 }
 
+Status MemEnv::DeleteDir(const std::string& path) {
+  auto it = Find(path);
+  if (it == files_.end() || !it->second.is_dir) {
+    return Status::NotFound("no such directory: " + path);
+  }
+  const std::string prefix = path + "/";
+  for (const auto& [p, node] : files_) {
+    if (p.size() > prefix.size() && p.compare(0, prefix.size(), prefix) == 0) {
+      return Status::IOError("directory not empty: " + path);
+    }
+  }
+  files_.erase(Find(path));
+  return Status::OK();
+}
+
 Result<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
   if (!DirExists(path)) return Status::NotFound("no such directory: " + path);
   std::vector<std::string> names;
@@ -272,6 +300,20 @@ std::string JoinPath(const std::string& a, const std::string& b) {
   if (b.empty()) return a;
   if (a.back() == '/') return a + b;
   return a + "/" + b;
+}
+
+Status RemoveTree(Env* env, const std::string& path) {
+  if (env->DirExists(path)) {
+    auto names = env->ListDir(path);
+    if (!names.ok()) return names.status();
+    for (const std::string& name : *names) {
+      Status removed = RemoveTree(env, JoinPath(path, name));
+      if (!removed.ok()) return removed;
+    }
+    return env->DeleteDir(path);
+  }
+  if (env->FileExists(path)) return env->DeleteFile(path);
+  return Status::OK();  // Already gone.
 }
 
 }  // namespace modelhub

@@ -49,6 +49,10 @@ class Env {
   virtual Status CreateDirs(const std::string& path) = 0;
   virtual bool DirExists(const std::string& path) = 0;
 
+  /// Removes an empty directory. Fails if `path` is missing, is a file, or
+  /// still has children (use RemoveTree for recursive removal).
+  virtual Status DeleteDir(const std::string& path) = 0;
+
   /// Lists immediate children (file and directory names, not full paths),
   /// sorted lexicographically.
   virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
@@ -74,6 +78,7 @@ class MemEnv : public Env {
   Status DeleteFile(const std::string& path) override;
   Status CreateDirs(const std::string& path) override;
   bool DirExists(const std::string& path) override;
+  Status DeleteDir(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
 
  private:
@@ -89,6 +94,11 @@ class MemEnv : public Env {
 
 /// Joins two path components with exactly one '/'.
 std::string JoinPath(const std::string& a, const std::string& b);
+
+/// Recursively deletes `path` (a directory tree or a single file).
+/// Missing paths are OK (idempotent); the first delete error aborts the
+/// walk so a fault-injected cleanup fails loudly instead of half-working.
+Status RemoveTree(Env* env, const std::string& path);
 
 }  // namespace modelhub
 

@@ -59,6 +59,13 @@ Status FaultInjectionEnv::DeleteFile(const std::string& path) {
   return target_->DeleteFile(path);
 }
 
+Status FaultInjectionEnv::DeleteDir(const std::string& path) {
+  bool fires = false;
+  Status fault = CheckMutation("rmdir " + path, &fires);
+  if (!fault.ok()) return fault;
+  return target_->DeleteDir(path);
+}
+
 Status FaultInjectionEnv::CreateDirs(const std::string& path) {
   bool fires = false;
   Status fault = CheckMutation("mkdir " + path, &fires);

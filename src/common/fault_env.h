@@ -78,6 +78,7 @@ class FaultInjectionEnv : public Env {
                    const std::string& contents) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
+  Status DeleteDir(const std::string& path) override;
   Status CreateDirs(const std::string& path) override;
 
   Result<std::string> ReadFile(const std::string& path) override;

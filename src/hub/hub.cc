@@ -15,9 +15,8 @@ bool SkipInCopy(const std::string& name) {
   return name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
 }
 
-}  // namespace
-
-Status CopyTree(Env* env, const std::string& from, const std::string& to) {
+Status CopyTreeRecursive(Env* env, const std::string& from,
+                         const std::string& to) {
   if (!env->DirExists(from)) {
     return Status::NotFound("no such directory: " + from);
   }
@@ -28,13 +27,36 @@ Status CopyTree(Env* env, const std::string& from, const std::string& to) {
     const std::string src = JoinPath(from, name);
     const std::string dst = JoinPath(to, name);
     if (env->DirExists(src)) {
-      MH_RETURN_IF_ERROR(CopyTree(env, src, dst));
+      MH_RETURN_IF_ERROR(CopyTreeRecursive(env, src, dst));
     } else {
       MH_ASSIGN_OR_RETURN(std::string contents, env->ReadFile(src));
       MH_RETURN_IF_ERROR(env->WriteFile(dst, contents));
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status CopyTree(Env* env, const std::string& from, const std::string& to) {
+  // A mid-copy failure must not leave a half-written destination behind:
+  // a truncated hosted repository would look published (and pullable)
+  // while missing files. If this call created the destination, tear the
+  // partial tree back down before surfacing the error; a pre-existing
+  // destination (re-publish overwrite) is left as found — deleting it
+  // would destroy the previous good copy.
+  const bool created_destination = !env->DirExists(to);
+  const Status copied = CopyTreeRecursive(env, from, to);
+  if (!copied.ok() && created_destination) {
+    const Status cleaned = RemoveTree(env, to);
+    if (!cleaned.ok()) {
+      return Status(copied.code(),
+                    copied.message() +
+                        " (cleanup of partial copy also failed: " +
+                        cleaned.message() + ")");
+    }
+  }
+  return copied;
 }
 
 std::string ModelHubService::HostedRoot(const std::string& user,

@@ -1,0 +1,86 @@
+#include "net/client.h"
+
+#include "common/macros.h"
+#include "dlv/repository.h"
+
+namespace modelhub {
+
+Result<ModelHubClient> ModelHubClient::Connect(const std::string& host,
+                                               int port,
+                                               ClientOptions options) {
+  MH_ASSIGN_OR_RETURN(
+      Socket sock,
+      Socket::Connect(host, port,
+                      Deadline::AfterMs(options.connect_timeout_ms)));
+  return ModelHubClient(std::move(sock), options);
+}
+
+Result<std::string> ModelHubClient::Call(uint8_t opcode,
+                                         std::string_view payload) {
+  const Deadline deadline = Deadline::AfterMs(options_.op_timeout_ms);
+  MH_RETURN_IF_ERROR(WriteFrame(&sock_, opcode, payload, deadline));
+  Frame response;
+  MH_RETURN_IF_ERROR(ReadFrame(&sock_, &response, options_.max_frame_bytes,
+                               deadline));
+  if (response.version != kWireVersion) {
+    return Status::InvalidArgument(
+        "server speaks wire version " + std::to_string(response.version) +
+        ", client speaks " + std::to_string(kWireVersion));
+  }
+  Slice result(response.payload);
+  Status remote;
+  MH_RETURN_IF_ERROR(DecodeResponsePayload(&result, &remote));
+  if (!remote.ok()) {
+    // Error frames need not echo the opcode: a load-shedding server
+    // refuses before it ever reads the request.
+    return Status(remote.code(), "server: " + remote.message());
+  }
+  if (response.opcode != opcode) {
+    return Status::Corruption("response opcode " +
+                              std::to_string(response.opcode) +
+                              " does not match request opcode " +
+                              std::to_string(opcode));
+  }
+  return result.ToString();
+}
+
+Result<std::string> ModelHubClient::Ping() {
+  return Call(static_cast<uint8_t>(Opcode::kPing), "");
+}
+
+Result<std::string> ModelHubClient::ListModels() {
+  return Call(static_cast<uint8_t>(Opcode::kListModels), "");
+}
+
+Result<std::vector<NamedParam>> ModelHubClient::GetSnapshot(
+    const std::string& model, int64_t sequence) {
+  MH_ASSIGN_OR_RETURN(
+      std::string bytes,
+      Call(static_cast<uint8_t>(Opcode::kGetSnapshot),
+           EncodeGetSnapshotRequest(model, sequence, /*planes=*/0)));
+  return ParseParams(Slice(bytes));
+}
+
+Result<std::string> ModelHubClient::GetSnapshotBounds(const std::string& model,
+                                                      int64_t sequence,
+                                                      int planes) {
+  if (planes < 1 || planes > 3) {
+    return Status::InvalidArgument("bounded retrieval needs planes in 1..3");
+  }
+  return Call(static_cast<uint8_t>(Opcode::kGetSnapshot),
+              EncodeGetSnapshotRequest(model, sequence, planes));
+}
+
+Result<std::string> ModelHubClient::Query(const std::string& dql) {
+  return Call(static_cast<uint8_t>(Opcode::kDqlQuery), dql);
+}
+
+Result<std::string> ModelHubClient::Stats() {
+  return Call(static_cast<uint8_t>(Opcode::kStats), "");
+}
+
+Status ModelHubClient::Shutdown() {
+  return Call(static_cast<uint8_t>(Opcode::kShutdown), "").status();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,74 @@
+#ifndef MODELHUB_NET_CLIENT_H_
+#define MODELHUB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "nn/network.h"
+
+namespace modelhub {
+
+struct ClientOptions {
+  int connect_timeout_ms = 2000;
+  /// Per-RPC budget: request write + server think time + response read.
+  int op_timeout_ms = 15000;
+  uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// A blocking wire-level client for modelhubd (one connection, requests
+/// issued serially — the protocol has no interleaving). Transport faults
+/// come back as kUnavailable (cannot reach / peer gone) or
+/// kDeadlineExceeded; errors the server itself returned keep their
+/// server-side code with the message prefixed "server: ", so `dlv rpc`
+/// can exit differently for "no server" vs. "server said no".
+class ModelHubClient {
+ public:
+  static Result<ModelHubClient> Connect(const std::string& host, int port,
+                                        ClientOptions options = {});
+
+  /// One raw round trip: sends `payload` under `opcode`, returns the
+  /// response result bytes (after stripping the status header).
+  Result<std::string> Call(uint8_t opcode, std::string_view payload);
+
+  /// PING — returns the server's liveness token ("pong").
+  Result<std::string> Ping();
+
+  /// LIST_MODELS — one "name parent snapshots best_accuracy state" row
+  /// per model version, newline-separated.
+  Result<std::string> ListModels();
+
+  /// GET_SNAPSHOT (full precision). `sequence` -1 = latest snapshot.
+  Result<std::vector<NamedParam>> GetSnapshot(const std::string& model,
+                                              int64_t sequence = -1);
+
+  /// GET_SNAPSHOT (progressive/bounded): retrieves only the first
+  /// `planes` byte planes (1..3) and returns the server's per-parameter
+  /// interval-width summary.
+  Result<std::string> GetSnapshotBounds(const std::string& model,
+                                        int64_t sequence, int planes);
+
+  /// DQL_QUERY — runs one DQL statement server-side, returns rendered
+  /// text results.
+  Result<std::string> Query(const std::string& dql);
+
+  /// STATS — the server's metrics registry snapshot as JSON.
+  Result<std::string> Stats();
+
+  /// SHUTDOWN — asks the server to drain gracefully.
+  Status Shutdown();
+
+ private:
+  ModelHubClient(Socket sock, ClientOptions options)
+      : sock_(std::move(sock)), options_(options) {}
+
+  Socket sock_;
+  ClientOptions options_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NET_CLIENT_H_

@@ -1,0 +1,176 @@
+#include "net/frame.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace modelhub {
+
+std::string_view OpcodeToString(uint8_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kListModels:
+      return "list_models";
+    case Opcode::kGetSnapshot:
+      return "get_snapshot";
+    case Opcode::kDqlQuery:
+      return "dql_query";
+    case Opcode::kStats:
+      return "stats";
+    case Opcode::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(uint8_t opcode, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + kFrameHeaderBytes + 8);
+  PutFixed32(&out,
+             static_cast<uint32_t>(payload.size() + kFrameHeaderBytes));
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(opcode));
+  out.append(payload);
+  const uint32_t crc = Crc32(Slice(out.data() + 4, out.size() - 4));
+  PutFixed32(&out, crc);
+  return out;
+}
+
+namespace {
+
+/// Validates a decoded length prefix without touching the body.
+Status CheckBodyLength(uint64_t length, uint64_t max_frame_bytes) {
+  if (length < kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame body impossibly short: " +
+                                   std::to_string(length) + " bytes");
+  }
+  if (length > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(length) + " bytes exceeds cap of " +
+        std::to_string(max_frame_bytes));
+  }
+  return Status::OK();
+}
+
+Status CheckBodyCrc(Slice body, uint32_t declared) {
+  if (Crc32(body) != declared) {
+    return Status::Corruption("frame CRC mismatch (torn or corrupt frame)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeFrame(Slice* input, Frame* frame, uint64_t max_frame_bytes) {
+  if (input->size() < 4) {
+    return Status::OutOfRange("truncated frame: missing length prefix");
+  }
+  Slice probe = *input;
+  uint32_t length = 0;
+  MH_RETURN_IF_ERROR(GetFixed32(&probe, &length));
+  MH_RETURN_IF_ERROR(CheckBodyLength(length, max_frame_bytes));
+  if (probe.size() < static_cast<uint64_t>(length) + 4) {
+    return Status::OutOfRange("truncated frame: body incomplete");
+  }
+  const Slice body = probe.SubSlice(0, length);
+  probe.RemovePrefix(length);
+  uint32_t declared = 0;
+  MH_RETURN_IF_ERROR(GetFixed32(&probe, &declared));
+  MH_RETURN_IF_ERROR(CheckBodyCrc(body, declared));
+  frame->version = body[0];
+  frame->opcode = body[1];
+  frame->payload = body.SubSlice(2, length - 2).ToString();
+  *input = probe;
+  return Status::OK();
+}
+
+Status WriteFrame(Socket* sock, uint8_t opcode, std::string_view payload,
+                  const Deadline& deadline, const std::atomic<bool>* cancel) {
+  const std::string wire = EncodeFrame(opcode, payload);
+  return sock->WriteFull(wire.data(), wire.size(), deadline, cancel);
+}
+
+Status ReadFrame(Socket* sock, Frame* frame, uint64_t max_frame_bytes,
+                 const Deadline& deadline, const std::atomic<bool>* cancel,
+                 bool* clean_eof) {
+  char header[4];
+  MH_RETURN_IF_ERROR(
+      sock->ReadFull(header, sizeof(header), deadline, cancel, clean_eof));
+  Slice header_slice(header, sizeof(header));
+  uint32_t length = 0;
+  MH_RETURN_IF_ERROR(GetFixed32(&header_slice, &length));
+  // Reject before allocating: a torn/hostile header must not drive a
+  // multi-gigabyte resize.
+  MH_RETURN_IF_ERROR(CheckBodyLength(length, max_frame_bytes));
+  std::string body(length + 4, '\0');
+  MH_RETURN_IF_ERROR(sock->ReadFull(body.data(), body.size(), deadline,
+                                    cancel, nullptr));
+  Slice trailer(body.data() + length, 4);
+  uint32_t declared = 0;
+  MH_RETURN_IF_ERROR(GetFixed32(&trailer, &declared));
+  MH_RETURN_IF_ERROR(CheckBodyCrc(Slice(body.data(), length), declared));
+  frame->version = static_cast<uint8_t>(body[0]);
+  frame->opcode = static_cast<uint8_t>(body[1]);
+  frame->payload.assign(body, 2, length - 2);
+  return Status::OK();
+}
+
+std::string EncodeResponsePayload(const Status& status,
+                                  std::string_view result) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(&out,
+                    Slice(status.message().data(), status.message().size()));
+  out.append(result);
+  return out;
+}
+
+Status DecodeResponsePayload(Slice* payload, Status* remote) {
+  if (payload->empty()) {
+    return Status::Corruption("empty response payload");
+  }
+  const uint8_t raw_code = (*payload)[0];
+  payload->RemovePrefix(1);
+  Slice message;
+  MH_RETURN_IF_ERROR(GetLengthPrefixed(payload, &message));
+  // Codes are appended-only in StatusCode, so any value past the known
+  // range came from a newer/corrupt peer — surface as Internal.
+  const auto code = static_cast<StatusCode>(raw_code);
+  const StatusCode known = code > StatusCode::kDeadlineExceeded
+                               ? StatusCode::kInternal
+                               : code;
+  *remote = known == StatusCode::kOk
+                ? Status::OK()
+                : Status(known, message.ToString());
+  return Status::OK();
+}
+
+std::string EncodeGetSnapshotRequest(const std::string& model,
+                                     int64_t sequence, int planes) {
+  std::string out;
+  PutLengthPrefixed(&out, Slice(model));
+  PutVarint64(&out, sequence < 0 ? 0 : static_cast<uint64_t>(sequence) + 1);
+  PutVarint64(&out, static_cast<uint64_t>(planes < 0 ? 0 : planes));
+  return out;
+}
+
+Status DecodeGetSnapshotRequest(Slice payload, std::string* model,
+                                int64_t* sequence, int* planes) {
+  Slice name;
+  MH_RETURN_IF_ERROR(GetLengthPrefixed(&payload, &name));
+  uint64_t seq_plus_one = 0;
+  uint64_t raw_planes = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&payload, &seq_plus_one));
+  MH_RETURN_IF_ERROR(GetVarint64(&payload, &raw_planes));
+  if (raw_planes > 3) {
+    return Status::InvalidArgument("planes must be 0 (exact) or 1..3, got " +
+                                   std::to_string(raw_planes));
+  }
+  *model = name.ToString();
+  *sequence = seq_plus_one == 0 ? -1 : static_cast<int64_t>(seq_plus_one) - 1;
+  *planes = static_cast<int>(raw_planes);
+  return Status::OK();
+}
+
+}  // namespace modelhub

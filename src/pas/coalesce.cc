@@ -1,0 +1,90 @@
+#include "pas/coalesce.h"
+
+#include "common/metrics.h"
+
+namespace modelhub {
+
+void SnapshotCoalescer::PurgeExpiredLocked() {
+  if (linger_ms_ <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = flights_.begin(); it != flights_.end();) {
+    Flight& flight = *it->second;
+    bool expired = false;
+    {
+      std::lock_guard<std::mutex> lock(flight.mu);
+      expired = flight.done &&
+                now - flight.completed_at >
+                    std::chrono::milliseconds(linger_ms_);
+    }
+    it = expired ? flights_.erase(it) : std::next(it);
+  }
+}
+
+Result<std::shared_ptr<const std::string>> SnapshotCoalescer::Fetch(
+    const std::string& key, int planes) {
+  const Key map_key(key, planes);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PurgeExpiredLocked();
+    auto it = flights_.find(map_key);
+    if (it != flights_.end()) {
+      flight = it->second;
+      ++hits_;
+    } else {
+      flight = std::make_shared<Flight>();
+      flights_[map_key] = flight;
+      leader = true;
+      ++misses_;
+    }
+  }
+
+  if (!leader) {
+    MH_COUNTER("server.coalesce.hit.count")->Increment();
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    return flight->value;
+  }
+
+  MH_COUNTER("server.coalesce.miss.count")->Increment();
+  Result<std::string> fetched = fetch_(key, planes);
+
+  std::shared_ptr<const std::string> value;
+  if (fetched.ok()) {
+    value = std::make_shared<const std::string>(fetched.MoveValue());
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->status = fetched.status();
+    flight->value = value;
+    flight->completed_at = std::chrono::steady_clock::now();
+  }
+  flight->cv.notify_all();
+  {
+    // Successful flights linger (joinable until expiry); failures are
+    // dropped now so the next caller retries instead of inheriting a
+    // transient error.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fetched.ok() || linger_ms_ <= 0) {
+      auto it = flights_.find(map_key);
+      if (it != flights_.end() && it->second == flight) flights_.erase(it);
+    }
+  }
+  if (!fetched.ok()) return fetched.status();
+  return value;
+}
+
+uint64_t SnapshotCoalescer::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SnapshotCoalescer::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,76 @@
+#ifndef MODELHUB_PAS_COALESCE_H_
+#define MODELHUB_PAS_COALESCE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace modelhub {
+
+/// Single-flight retrieval coalescing (DESIGN.md §9): concurrent requests
+/// for the same (snapshot key, planes) share ONE underlying PAS retrieval
+/// instead of re-decoding the delta chain once per caller. The first
+/// caller of a key becomes the leader and runs the fetcher; everyone who
+/// arrives while that flight is open blocks on it and receives the shared
+/// immutable payload. Archives are immutable once opened, so an optional
+/// linger window keeps a completed flight joinable for `linger_ms` more —
+/// a burst of N identical pulls then costs one retrieval deterministically
+/// (nginx-style request coalescing with a micro-TTL). Errors never
+/// linger: a failed flight wakes its waiters with the error and is
+/// dropped, so transient faults are retried by the next caller.
+///
+/// Metrics: server.coalesce.hit.count (joined an existing flight),
+/// server.coalesce.miss.count (became leader).
+class SnapshotCoalescer {
+ public:
+  /// Runs the actual retrieval for (key, planes) and returns the
+  /// serialized response payload. Called outside all coalescer locks.
+  using Fetcher =
+      std::function<Result<std::string>(const std::string& key, int planes)>;
+
+  explicit SnapshotCoalescer(Fetcher fetch, int linger_ms = 0)
+      : fetch_(std::move(fetch)), linger_ms_(linger_ms) {}
+
+  /// Returns the shared payload for (key, planes), coalescing with any
+  /// in-flight or lingering identical request.
+  Result<std::shared_ptr<const std::string>> Fetch(const std::string& key,
+                                                   int planes);
+
+  /// Exact per-instance counters (the MH_ counters are process-global).
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  using Key = std::pair<std::string, int>;
+
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;                            ///< Guarded by mu.
+    std::shared_ptr<const std::string> value; ///< Guarded by mu.
+    std::chrono::steady_clock::time_point completed_at;  ///< Guarded by mu.
+  };
+
+  /// Drops completed flights whose linger window has passed. Requires mu_.
+  void PurgeExpiredLocked();
+
+  Fetcher fetch_;
+  const int linger_ms_;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<Flight>> flights_;  ///< Guarded by mu_.
+  uint64_t hits_ = 0;    ///< Guarded by mu_.
+  uint64_t misses_ = 0;  ///< Guarded by mu_.
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_COALESCE_H_

@@ -1,0 +1,455 @@
+#include "server/modelhubd.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "dql/engine.h"
+#include "pas/archive.h"
+
+namespace modelhub {
+namespace {
+
+/// Wire overhead of one frame: length prefix + version + opcode + CRC.
+constexpr uint64_t kFrameOverheadBytes = 4 + kFrameHeaderBytes + 4;
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Per-op latency histograms (MH_HISTOGRAM needs literal names).
+Histogram* OpLatency(uint8_t opcode) {
+  switch (static_cast<Opcode>(opcode)) {
+    case Opcode::kPing:
+      return MH_HISTOGRAM("server.op.ping.us");
+    case Opcode::kListModels:
+      return MH_HISTOGRAM("server.op.list_models.us");
+    case Opcode::kGetSnapshot:
+      return MH_HISTOGRAM("server.op.get_snapshot.us");
+    case Opcode::kDqlQuery:
+      return MH_HISTOGRAM("server.op.dql_query.us");
+    case Opcode::kStats:
+      return MH_HISTOGRAM("server.op.stats.us");
+    case Opcode::kShutdown:
+      return MH_HISTOGRAM("server.op.shutdown.us");
+  }
+  return MH_HISTOGRAM("server.op.unknown.us");
+}
+
+}  // namespace
+
+ModelHubServer::ModelHubServer(Env* env, std::string repo_root,
+                               ServerOptions options)
+    : env_(env), repo_root_(std::move(repo_root)), options_(options) {}
+
+ModelHubServer::~ModelHubServer() { (void)Stop(); }
+
+Status ModelHubServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  MH_ASSIGN_OR_RETURN(Repository repo, Repository::Open(env_, repo_root_));
+  repo_.emplace(std::move(repo));
+  // Eagerly resolve the archive reader: Repository caches it lazily with
+  // no lock, which is fine for the CLI but not for worker threads racing
+  // on first use. A repository that was never archived serves snapshots
+  // from staging instead.
+  auto archive = repo_->OpenArchive();
+  if (archive.ok()) {
+    archive_ = *archive;
+    archive_->EnableChunkCache(true);
+  }
+  MH_ASSIGN_OR_RETURN(Listener listener,
+                      Listener::Bind(options_.host, options_.port));
+  listener_.emplace(std::move(listener));
+  coalescer_ = std::make_unique<SnapshotCoalescer>(
+      [this](const std::string& key, int planes) {
+        return FetchSnapshot(key, planes);
+      },
+      options_.coalesce_linger_ms);
+  retrieval_pool_ =
+      std::make_unique<ThreadPool>(std::max(1, options_.retrieval_threads));
+  workers_ = std::make_unique<ThreadPool>(std::max(1, options_.num_workers));
+
+  stopping_.store(false);
+  started_at_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  MH_COUNTER("server.starts.count")->Increment();
+  UpdateUptimeGauge();
+  for (int i = 0; i < workers_->num_threads(); ++i) {
+    workers_->Schedule(&worker_group_, [this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int ModelHubServer::port() const {
+  return listener_.has_value() ? listener_->port() : 0;
+}
+
+void ModelHubServer::RequestStop() {
+  // Only an atomic store and a pipe write — callable from signal handlers.
+  stopping_.store(true);
+  if (listener_.has_value()) listener_->Wake();
+}
+
+void ModelHubServer::WaitUntilStopRequested() const {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Status ModelHubServer::Stop() {
+  if (!running_.load()) return Status::OK();
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_cv_.notify_all();
+  worker_group_.Wait();
+  // Connections that were queued but never reached a worker get a polite
+  // refusal instead of a silent close.
+  std::deque<PendingConn> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(pending_);
+    MH_GAUGE("server.queue.depth")->Set(0);
+  }
+  for (PendingConn& pc : leftover) {
+    Shed(std::move(pc.sock), "server draining");
+  }
+  workers_.reset();
+  retrieval_pool_.reset();
+  coalescer_.reset();
+  listener_.reset();
+  archive_ = nullptr;
+  repo_.reset();
+  UpdateUptimeGauge();
+  MH_COUNTER("server.stops.count")->Increment();
+  running_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+uint64_t ModelHubServer::coalesce_hits() const {
+  return coalescer_ != nullptr ? coalescer_->hits() : 0;
+}
+
+uint64_t ModelHubServer::coalesce_misses() const {
+  return coalescer_ != nullptr ? coalescer_->misses() : 0;
+}
+
+void ModelHubServer::UpdateUptimeGauge() const {
+  MH_GAUGE("server.uptime_seconds")
+      ->Set(static_cast<int64_t>(ElapsedUs(started_at_) / 1000000));
+}
+
+void ModelHubServer::Shed(Socket sock, const char* reason) {
+  MH_COUNTER("server.shed.count")->Increment();
+  // Opcode 0: the request was never read, so there is nothing to echo.
+  (void)WriteFrame(&sock, 0,
+                   EncodeResponsePayload(Status::Unavailable(reason), ""),
+                   Deadline::AfterMs(1000));
+}
+
+void ModelHubServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<Socket> accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) break;
+      continue;  // Spurious wake or transient accept failure.
+    }
+    MH_COUNTER("server.accepted.count")->Increment();
+    if (stopping_.load()) {
+      Shed(accepted.MoveValue(), "server draining");
+      break;
+    }
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const size_t queued = pending_.size();
+    if (queued >= static_cast<size_t>(options_.queue_capacity) ||
+        active_connections_.load() + static_cast<int>(queued) >=
+            options_.max_connections) {
+      lock.unlock();
+      Shed(accepted.MoveValue(), "server at capacity");
+      continue;
+    }
+    pending_.push_back(
+        {accepted.MoveValue(), std::chrono::steady_clock::now()});
+    MH_GAUGE("server.queue.depth")->Set(static_cast<int64_t>(pending_.size()));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void ModelHubServer::WorkerLoop() {
+  for (;;) {
+    PendingConn pc;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stopping_.load() || !pending_.empty(); });
+      if (stopping_.load()) break;
+      pc = std::move(pending_.front());
+      pending_.pop_front();
+      MH_GAUGE("server.queue.depth")
+          ->Set(static_cast<int64_t>(pending_.size()));
+    }
+    MH_HISTOGRAM("server.queue.wait.us")->Record(ElapsedUs(pc.enqueued));
+    active_connections_.fetch_add(1);
+    MH_GAUGE("server.connections.active")->Add(1);
+    ServeConnection(std::move(pc.sock));
+    MH_GAUGE("server.connections.active")->Add(-1);
+    active_connections_.fetch_sub(1);
+  }
+}
+
+void ModelHubServer::ServeConnection(Socket sock) {
+  while (!stopping_.load()) {
+    Frame request;
+    bool clean_eof = false;
+    // The idle read is cancellable (the graceful-drain hook); once a
+    // request is in hand, its dispatch and response write run to
+    // completion even mid-drain.
+    const Status read =
+        ReadFrame(&sock, &request, options_.max_frame_bytes,
+                  Deadline::AfterMs(options_.idle_timeout_ms), &stopping_,
+                  &clean_eof);
+    if (!read.ok()) {
+      if (!clean_eof && !stopping_.load() && !read.IsDeadlineExceeded() &&
+          !read.IsUnavailable()) {
+        MH_COUNTER("server.errors.count")->Increment();
+      }
+      break;
+    }
+    MH_COUNTER("server.bytes.in")
+        ->Add(request.payload.size() + kFrameOverheadBytes);
+
+    std::string result;
+    Status status;
+    {
+      TraceSpan span("server.request");
+      span.Annotate("op", std::string(OpcodeToString(request.opcode)));
+      const auto dispatched_at = std::chrono::steady_clock::now();
+      if (request.version != kWireVersion) {
+        status = Status::InvalidArgument(
+            "unsupported wire version " + std::to_string(request.version));
+      } else {
+        status = Dispatch(request, &result);
+      }
+      OpLatency(request.opcode)->Record(ElapsedUs(dispatched_at));
+      span.Annotate("status", std::string(StatusCodeToString(status.code())));
+      span.Annotate("result_bytes", static_cast<uint64_t>(result.size()));
+    }
+    MH_COUNTER("server.requests.count")->Increment();
+    if (!status.ok()) MH_COUNTER("server.errors.count")->Increment();
+
+    const std::string payload = EncodeResponsePayload(status, result);
+    MH_COUNTER("server.bytes.out")->Add(payload.size() + kFrameOverheadBytes);
+    const Status written =
+        WriteFrame(&sock, request.opcode, payload,
+                   Deadline::AfterMs(options_.io_timeout_ms));
+    if (!written.ok()) break;
+    if (request.opcode == static_cast<uint8_t>(Opcode::kShutdown)) {
+      RequestStop();
+      break;
+    }
+  }
+}
+
+Status ModelHubServer::Dispatch(const Frame& request, std::string* out) {
+  switch (static_cast<Opcode>(request.opcode)) {
+    case Opcode::kPing:
+      *out = "pong";
+      return Status::OK();
+    case Opcode::kListModels:
+      return HandleListModels(out);
+    case Opcode::kGetSnapshot:
+      return HandleGetSnapshot(request, out);
+    case Opcode::kDqlQuery:
+      return HandleDqlQuery(request, out);
+    case Opcode::kStats:
+      return HandleStats(out);
+    case Opcode::kShutdown:
+      *out = "draining";
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown opcode " +
+                                 std::to_string(request.opcode));
+}
+
+Status ModelHubServer::HandleListModels(std::string* out) {
+  MH_ASSIGN_OR_RETURN(auto versions, repo_->List());
+  for (const ModelVersionInfo& info : versions) {
+    char row[320];
+    std::snprintf(row, sizeof(row), "%s %s %lld %.3f %s\n", info.name.c_str(),
+                  info.parent.empty() ? "-" : info.parent.c_str(),
+                  static_cast<long long>(info.num_snapshots),
+                  info.best_accuracy, info.archived ? "archived" : "staged");
+    out->append(row);
+  }
+  return Status::OK();
+}
+
+Status ModelHubServer::HandleGetSnapshot(const Frame& request,
+                                         std::string* out) {
+  std::string model;
+  int64_t sequence = -1;
+  int planes = 0;
+  MH_RETURN_IF_ERROR(DecodeGetSnapshotRequest(Slice(request.payload), &model,
+                                              &sequence, &planes));
+  if (sequence < 0) {
+    MH_ASSIGN_OR_RETURN(const int64_t count, repo_->NumSnapshots(model));
+    if (count == 0) {
+      return Status::NotFound("version has no snapshots: " + model);
+    }
+    sequence = count - 1;
+  }
+  const std::string key = model + "/s" + std::to_string(sequence);
+  MH_ASSIGN_OR_RETURN(auto payload, coalescer_->Fetch(key, planes));
+  *out = *payload;
+  return Status::OK();
+}
+
+Result<std::string> ModelHubServer::FetchSnapshot(const std::string& key,
+                                                  int planes) {
+  // The key was assembled by HandleGetSnapshot as "<model>/s<sequence>".
+  const size_t sep = key.rfind("/s");
+  MH_CHECK(sep != std::string::npos);
+  const std::string model = key.substr(0, sep);
+  const int64_t sequence = std::atoll(key.c_str() + sep + 2);
+
+  if (planes == 0) {
+    const bool in_archive =
+        archive_ != nullptr &&
+        std::find(archive_->snapshot_names().begin(),
+                  archive_->snapshot_names().end(),
+                  key) != archive_->snapshot_names().end();
+    if (in_archive) {
+      MH_ASSIGN_OR_RETURN(
+          auto sets, archive_->RetrieveSnapshotsParallel(
+                         {key}, retrieval_pool_.get(), ParallelScheme::kShared));
+      return SerializeParams(sets[0]);
+    }
+    // Staged (or never archived): read through the repository.
+    MH_ASSIGN_OR_RETURN(auto params, repo_->GetSnapshotParams(model, sequence));
+    return SerializeParams(params);
+  }
+
+  if (archive_ == nullptr) {
+    return Status::FailedPrecondition(
+        "progressive retrieval requires a PAS archive (run dlv archive)");
+  }
+  MH_ASSIGN_OR_RETURN(auto bounds,
+                      archive_->RetrieveSnapshotBounds(key, planes));
+  std::string text =
+      "snapshot " + key + " planes=" + std::to_string(planes) + "\n";
+  for (const auto& [name, matrix] : bounds) {
+    double sum = 0.0;
+    for (int64_t r = 0; r < matrix.rows(); ++r) {
+      for (int64_t c = 0; c < matrix.cols(); ++c) {
+        sum += matrix.At(r, c).Width();
+      }
+    }
+    const double cells =
+        static_cast<double>(matrix.rows()) * static_cast<double>(matrix.cols());
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%s %lldx%lld max_width=%.6g mean_width=%.6g\n",
+                  name.c_str(), static_cast<long long>(matrix.rows()),
+                  static_cast<long long>(matrix.cols()),
+                  static_cast<double>(matrix.MaxWidth()),
+                  cells > 0 ? sum / cells : 0.0);
+    text.append(row);
+  }
+  return text;
+}
+
+Status ModelHubServer::HandleDqlQuery(const Frame& request, std::string* out) {
+  // Read-only engine: the serving path never mutates the repository, so
+  // concurrent DQL requests need no catalog locking.
+  DqlOptions options;
+  options.commit_results = false;
+  DqlEngine engine(&*repo_, options);
+  MH_ASSIGN_OR_RETURN(DqlResult result, engine.Run(request.payload));
+  switch (result.kind) {
+    case dql::Query::Kind::kSelect:
+      out->append(std::to_string(result.model_names.size()) +
+                  " model version(s):\n");
+      for (const std::string& name : result.model_names) {
+        out->append("  " + name + "\n");
+      }
+      break;
+    case dql::Query::Kind::kSlice:
+    case dql::Query::Kind::kConstruct:
+      out->append(std::to_string(result.networks.size()) +
+                  " derived network(s):\n");
+      for (const NetworkDef& def : result.networks) {
+        out->append("  " + def.name() + " (" +
+                    std::to_string(def.nodes().size()) + " nodes)\n");
+      }
+      break;
+    case dql::Query::Kind::kEvaluate:
+      out->append(std::to_string(result.evaluated.size()) +
+                  " model(s) kept:\n");
+      for (const EvaluatedModel& model : result.evaluated) {
+        char row[320];
+        std::snprintf(row, sizeof(row), "  %s loss=%.4f acc=%.3f\n",
+                      model.name.c_str(), model.loss, model.accuracy);
+        out->append(row);
+      }
+      break;
+  }
+  if (result.analyzed) {
+    out->append("\nquery plan (explain analyze):\n" + result.RenderPlan());
+  }
+  return Status::OK();
+}
+
+Status ModelHubServer::HandleStats(std::string* out) {
+  UpdateUptimeGauge();
+  *out = MetricRegistry::Global()->Snapshot().ToJson();
+  return Status::OK();
+}
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void OnStopSignal(int) { g_stop_signal = 1; }
+
+}  // namespace
+
+int RunServerMain(Env* env, const std::string& repo_root,
+                  ServerOptions options) {
+  ModelHubServer server(env, repo_root, std::move(options));
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "modelhubd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("modelhubd listening on %s:%d\n", server.options().host.c_str(),
+              server.port());
+  std::fflush(stdout);
+  g_stop_signal = 0;
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  while (g_stop_signal == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "modelhubd: draining\n");
+  const Status stopped = server.Stop();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "modelhubd: %s\n", stopped.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace modelhub

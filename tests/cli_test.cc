@@ -138,11 +138,27 @@ TEST_F(CliTest, UsageListsEverySubcommand) {
       "init",    "demo", "copy",  "archive", "fsck", "list",
       "desc",    "diff", "pdiff", "compare", "eval", "retrieve",
       "query",   "report", "publish", "search", "pull", "stats",
+      "serve",   "rpc",
   };
   for (const char* subcommand : subcommands) {
     EXPECT_NE(usage.find(std::string("dlv ") + subcommand), std::string::npos)
         << "usage text is missing subcommand: " << subcommand;
   }
+}
+
+TEST_F(CliTest, RpcExitCodesDistinguishTransportFromServerErrors) {
+  // Port 1 is never listening: a refused connection is a transport
+  // fault and must exit 3 (distinct from a served error's exit 1).
+  int code = 0;
+  const std::string out = DlvOutput("rpc 127.0.0.1:1 ping", &code);
+  EXPECT_EQ(code, 3) << out;
+  EXPECT_NE(out.find("Unavailable"), std::string::npos);
+
+  // Usage errors stay on the usual exit 2.
+  EXPECT_EQ(Dlv("rpc"), 2);
+  EXPECT_EQ(Dlv("rpc 127.0.0.1:1"), 2);
+  EXPECT_EQ(Dlv("rpc no-port-here ping"), 2);
+  EXPECT_EQ(Dlv("serve"), 2);
 }
 
 TEST_F(CliTest, StatsJsonCoversSubsystems) {

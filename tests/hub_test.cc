@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/env.h"
+#include "common/fault_env.h"
 #include "data/dataset.h"
 #include "hub/hub.h"
 #include "nn/trainer.h"
@@ -118,6 +119,59 @@ TEST_F(HubTest, RepublishOverwrites) {
   auto hits = hub.Search("alexnet_v3");
   ASSERT_TRUE(hits.ok());
   EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST(CopyTreeTest, RemovesPartialDestinationOnFailure) {
+  MemEnv mem;
+  FaultInjectionEnv env(&mem);
+  ASSERT_TRUE(env.CreateDirs("src/staging").ok());
+  ASSERT_TRUE(env.WriteFile("src/catalog.bin", "catalog").ok());
+  ASSERT_TRUE(env.WriteFile("src/staging/params.bin", "weights").ok());
+
+  // Reads of staging fail mid-copy; writes and deletes still work, so the
+  // cleanup pass can (and must) tear the partial destination back down.
+  env.FailReadsMatching("staging/params");
+  const Status copied = CopyTree(&env, "src", "dst");
+  EXPECT_TRUE(copied.IsIOError()) << copied.ToString();
+  EXPECT_FALSE(env.DirExists("dst"))
+      << "partial destination tree survived a failed copy";
+
+  // With the fault cleared the same copy succeeds into the same place.
+  env.Reset();
+  ASSERT_TRUE(CopyTree(&env, "src", "dst").ok());
+  EXPECT_EQ(*env.ReadFile("dst/staging/params.bin"), "weights");
+}
+
+TEST(CopyTreeTest, PreservesPreexistingDestinationOnFailure) {
+  MemEnv mem;
+  FaultInjectionEnv env(&mem);
+  ASSERT_TRUE(env.CreateDirs("src").ok());
+  ASSERT_TRUE(env.WriteFile("src/a.bin", "new").ok());
+  ASSERT_TRUE(env.WriteFile("src/b.bin", "new").ok());
+  // The destination already hosts a good previous copy (re-publish).
+  ASSERT_TRUE(env.CreateDirs("dst").ok());
+  ASSERT_TRUE(env.WriteFile("dst/a.bin", "old").ok());
+
+  env.FailReadsMatching("src/b.bin");
+  EXPECT_FALSE(CopyTree(&env, "src", "dst").ok());
+  // The previous copy must not be deleted out from under its users.
+  EXPECT_TRUE(env.DirExists("dst"));
+}
+
+TEST_F(HubTest, FailedPublishLeavesNoPartialHostedRepo) {
+  // A publish that dies halfway (a staging read fails mid-CopyTree) must
+  // not leave a truncated hosted repository that looks pullable.
+  FaultInjectionEnv faulty(&env_);
+  ModelHubService hub(&faulty, "hub");
+  faulty.FailReadsMatching("staging");
+  const Status published = hub.Publish("local/alexrepo", "alice", "alexnets");
+  EXPECT_FALSE(published.ok());
+  EXPECT_FALSE(faulty.DirExists("hub/alice/alexnets"));
+
+  // And the same publish succeeds once the fault clears.
+  faulty.Reset();
+  ASSERT_TRUE(hub.Publish("local/alexrepo", "alice", "alexnets").ok());
+  EXPECT_TRUE(faulty.DirExists("hub/alice/alexnets"));
 }
 
 TEST_F(HubTest, MetricsSnapshotCountsOperations) {

@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace modelhub {
+namespace {
+
+// ------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::AfterMs(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 0);
+}
+
+// ---------------------------------------------------------- Frame codec
+
+TEST(FrameCodecTest, RoundTrip) {
+  const std::string wire =
+      EncodeFrame(static_cast<uint8_t>(Opcode::kPing), "hello");
+  Slice input(wire);
+  Frame frame;
+  ASSERT_TRUE(DecodeFrame(&input, &frame).ok());
+  EXPECT_EQ(frame.version, kWireVersion);
+  EXPECT_EQ(frame.opcode, static_cast<uint8_t>(Opcode::kPing));
+  EXPECT_EQ(frame.payload, "hello");
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(FrameCodecTest, DecodesBackToBackFrames) {
+  std::string wire = EncodeFrame(1, "a");
+  wire += EncodeFrame(2, "bb");
+  Slice input(wire);
+  Frame first, second;
+  ASSERT_TRUE(DecodeFrame(&input, &first).ok());
+  ASSERT_TRUE(DecodeFrame(&input, &second).ok());
+  EXPECT_EQ(first.payload, "a");
+  EXPECT_EQ(second.payload, "bb");
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(FrameCodecTest, TruncatedFrameIsOutOfRange) {
+  const std::string wire = EncodeFrame(1, "payload");
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    Slice input(wire.data(), cut);
+    Frame frame;
+    const Status status = DecodeFrame(&input, &frame);
+    ASSERT_FALSE(status.ok()) << "cut=" << cut;
+    EXPECT_TRUE(status.IsOutOfRange()) << "cut=" << cut << " "
+                                       << status.ToString();
+  }
+}
+
+TEST(FrameCodecTest, OversizedFrameIsInvalidArgument) {
+  const std::string wire = EncodeFrame(1, std::string(1024, 'x'));
+  Slice input(wire);
+  Frame frame;
+  const Status status = DecodeFrame(&input, &frame, /*max_frame_bytes=*/64);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(FrameCodecTest, TornFrameFailsCrc) {
+  std::string wire = EncodeFrame(1, "sensitive bytes");
+  wire[7] ^= 0x40;  // Flip one payload bit; length prefix intact.
+  Slice input(wire);
+  Frame frame;
+  const Status status = DecodeFrame(&input, &frame);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(FrameCodecTest, ResponsePayloadRoundTrip) {
+  const std::string ok = EncodeResponsePayload(Status::OK(), "result!");
+  Slice payload(ok);
+  Status remote = Status::Internal("unset");
+  ASSERT_TRUE(DecodeResponsePayload(&payload, &remote).ok());
+  EXPECT_TRUE(remote.ok());
+  EXPECT_EQ(payload.ToString(), "result!");
+
+  const std::string err =
+      EncodeResponsePayload(Status::NotFound("no such model"), "");
+  Slice err_payload(err);
+  ASSERT_TRUE(DecodeResponsePayload(&err_payload, &remote).ok());
+  EXPECT_TRUE(remote.IsNotFound());
+  EXPECT_EQ(remote.message(), "no such model");
+}
+
+TEST(FrameCodecTest, UnknownWireStatusCodeMapsToInternal) {
+  std::string payload = EncodeResponsePayload(Status::NotFound("x"), "");
+  payload[0] = static_cast<char>(200);  // A code this build does not know.
+  Slice input(payload);
+  Status remote;
+  ASSERT_TRUE(DecodeResponsePayload(&input, &remote).ok());
+  EXPECT_TRUE(remote.IsInternal());
+}
+
+TEST(FrameCodecTest, GetSnapshotRequestRoundTrip) {
+  std::string model;
+  int64_t sequence = 0;
+  int planes = 0;
+  const std::string latest = EncodeGetSnapshotRequest("vgg", -1, 0);
+  ASSERT_TRUE(
+      DecodeGetSnapshotRequest(Slice(latest), &model, &sequence, &planes)
+          .ok());
+  EXPECT_EQ(model, "vgg");
+  EXPECT_EQ(sequence, -1);
+  EXPECT_EQ(planes, 0);
+
+  const std::string bounded = EncodeGetSnapshotRequest("alex", 7, 2);
+  ASSERT_TRUE(
+      DecodeGetSnapshotRequest(Slice(bounded), &model, &sequence, &planes)
+          .ok());
+  EXPECT_EQ(model, "alex");
+  EXPECT_EQ(sequence, 7);
+  EXPECT_EQ(planes, 2);
+}
+
+TEST(FrameCodecTest, GetSnapshotRequestRejectsBadPlanes) {
+  const std::string wire = EncodeGetSnapshotRequest("m", 0, 9);
+  std::string model;
+  int64_t sequence = 0;
+  int planes = 0;
+  EXPECT_TRUE(
+      DecodeGetSnapshotRequest(Slice(wire), &model, &sequence, &planes)
+          .IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- Socket I/O
+//
+// Socketpair-based: Socket wraps any connected stream fd, so AF_UNIX
+// pairs exercise the exact read/write loops without port juggling.
+
+struct SocketPair {
+  Socket a;
+  Socket b;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+TEST(SocketIoTest, ShortReadDribbleReassemblesFrame) {
+  SocketPair pair;
+  const std::string wire = EncodeFrame(3, "dribbled payload across writes");
+  std::thread writer([&] {
+    // One byte at a time with pauses: every ReadFull iteration sees a
+    // short read.
+    for (char byte : wire) {
+      ASSERT_TRUE(
+          pair.a.WriteFull(&byte, 1, Deadline::Infinite()).ok());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  Frame frame;
+  const Status status = ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                                  Deadline::AfterMs(10000));
+  writer.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(frame.payload, "dribbled payload across writes");
+}
+
+void IgnoreSigusr1(int) {}
+
+TEST(SocketIoTest, EintrStormDoesNotAbortRead) {
+  // A handler installed WITHOUT SA_RESTART makes every delivered SIGUSR1
+  // interrupt blocking syscalls with EINTR.
+  struct sigaction action = {};
+  struct sigaction saved = {};
+  action.sa_handler = IgnoreSigusr1;
+  action.sa_flags = 0;
+  sigemptyset(&action.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &saved), 0);
+
+  SocketPair pair;
+  std::atomic<bool> reader_done{false};
+  Status read_status = Status::Internal("unset");
+  Frame frame;
+  std::thread reader([&] {
+    read_status = ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                            Deadline::AfterMs(10000));
+    reader_done.store(true);
+  });
+  const pthread_t reader_handle = reader.native_handle();
+  for (int i = 0; i < 50; ++i) {
+    pthread_kill(reader_handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string wire = EncodeFrame(1, "survived the storm");
+  ASSERT_TRUE(
+      pair.a.WriteFull(wire.data(), wire.size(), Deadline::Infinite()).ok());
+  for (int i = 0; i < 20 && !reader_done.load(); ++i) {
+    pthread_kill(reader_handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reader.join();
+  sigaction(SIGUSR1, &saved, nullptr);
+  ASSERT_TRUE(read_status.ok()) << read_status.ToString();
+  EXPECT_EQ(frame.payload, "survived the storm");
+}
+
+TEST(SocketIoTest, PeerCloseMidFrameIsIoErrorNotCleanEof) {
+  SocketPair pair;
+  const std::string wire = EncodeFrame(1, "never fully sent");
+  ASSERT_TRUE(
+      pair.a.WriteFull(wire.data(), wire.size() / 2, Deadline::Infinite())
+          .ok());
+  pair.a.Close();
+  Frame frame;
+  bool clean_eof = false;
+  const Status status =
+      ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                Deadline::AfterMs(5000), nullptr, &clean_eof);
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_FALSE(clean_eof);
+}
+
+TEST(SocketIoTest, PeerCloseAtFrameBoundaryIsCleanEof) {
+  SocketPair pair;
+  pair.a.Close();
+  Frame frame;
+  bool clean_eof = false;
+  const Status status =
+      ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                Deadline::AfterMs(5000), nullptr, &clean_eof);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(clean_eof);
+}
+
+TEST(SocketIoTest, OversizedFrameRejectedFromHeaderAlone) {
+  SocketPair pair;
+  // Header declaring a 48 MiB body; the body itself is never sent. The
+  // reader must refuse from the 4 header bytes alone — before allocating
+  // or waiting for a body that will never come.
+  const uint32_t huge = 48u << 20;
+  char header[4] = {static_cast<char>(huge & 0xff),
+                    static_cast<char>((huge >> 8) & 0xff),
+                    static_cast<char>((huge >> 16) & 0xff),
+                    static_cast<char>((huge >> 24) & 0xff)};
+  ASSERT_TRUE(
+      pair.a.WriteFull(header, sizeof(header), Deadline::Infinite()).ok());
+  const auto before = std::chrono::steady_clock::now();
+  Frame frame;
+  const Status status = ReadFrame(&pair.b, &frame, /*max_frame_bytes=*/1 << 20,
+                                  Deadline::AfterMs(30000));
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+TEST(SocketIoTest, CorruptFrameOverSocketIsCorruption) {
+  SocketPair pair;
+  std::string wire = EncodeFrame(1, "bits will rot");
+  wire[6] ^= 0x01;
+  ASSERT_TRUE(
+      pair.a.WriteFull(wire.data(), wire.size(), Deadline::Infinite()).ok());
+  Frame frame;
+  const Status status = ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                                  Deadline::AfterMs(5000));
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(SocketIoTest, SilentPeerTripsDeadline) {
+  SocketPair pair;
+  Frame frame;
+  const auto before = std::chrono::steady_clock::now();
+  const Status status = ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                                  Deadline::AfterMs(150));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - before)
+                           .count();
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_GE(elapsed, 100);
+  EXPECT_LT(elapsed, 5000);
+}
+
+TEST(SocketIoTest, CancelFlagAbortsBlockedRead) {
+  SocketPair pair;
+  std::atomic<bool> cancel{false};
+  Status read_status = Status::Internal("unset");
+  std::thread reader([&] {
+    char byte;
+    read_status =
+        pair.b.ReadFull(&byte, 1, Deadline::Infinite(), &cancel, nullptr);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cancel.store(true);
+  reader.join();
+  EXPECT_TRUE(read_status.IsUnavailable()) << read_status.ToString();
+}
+
+// ------------------------------------------------------------- Listener
+
+TEST(ListenerTest, AcceptConnectRoundTrip) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0);
+
+  Result<Socket> server_side(Status::Internal("unset"));
+  std::thread acceptor([&] { server_side = listener->Accept(); });
+  auto client = Socket::Connect("127.0.0.1", listener->port(),
+                                Deadline::AfterMs(5000));
+  acceptor.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(server_side.ok()) << server_side.status().ToString();
+
+  const std::string wire = EncodeFrame(1, "over tcp");
+  ASSERT_TRUE(
+      client->WriteFull(wire.data(), wire.size(), Deadline::AfterMs(5000))
+          .ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(&*server_side, &frame, kDefaultMaxFrameBytes,
+                        Deadline::AfterMs(5000))
+                  .ok());
+  EXPECT_EQ(frame.payload, "over tcp");
+}
+
+TEST(ListenerTest, WakeUnblocksAccept) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Result<Socket> accepted(Status::Internal("unset"));
+  std::thread acceptor([&] { accepted = listener->Accept(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  listener->Wake();
+  acceptor.join();
+  EXPECT_TRUE(accepted.status().IsUnavailable())
+      << accepted.status().ToString();
+}
+
+TEST(ListenerTest, ConnectRefusedIsUnavailable) {
+  // Bind then immediately drop a listener: its port is (briefly) known
+  // dead, so connecting to it is refused.
+  int dead_port = 0;
+  {
+    auto listener = Listener::Bind("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  auto client =
+      Socket::Connect("127.0.0.1", dead_port, Deadline::AfterMs(2000));
+  EXPECT_TRUE(client.status().IsUnavailable())
+      << client.status().ToString();
+}
+
+TEST(ClientTest, OpDeadlineAgainstSilentServer) {
+  // A listener that accepts and then never responds: the client's op
+  // deadline must fire (the request write succeeds into kernel buffers).
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Result<Socket> held(Status::Internal("unset"));
+  std::thread acceptor([&] { held = listener->Accept(); });
+
+  ClientOptions options;
+  options.op_timeout_ms = 200;
+  auto client =
+      ModelHubClient::Connect("127.0.0.1", listener->port(), options);
+  acceptor.join();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto pong = client->Ping();
+  EXPECT_TRUE(pong.status().IsDeadlineExceeded())
+      << pong.status().ToString();
+}
+
+}  // namespace
+}  // namespace modelhub

@@ -26,6 +26,8 @@
 #include "dlv/repository.h"
 #include "dql/engine.h"
 #include "hub/hub.h"
+#include "net/client.h"
+#include "server/modelhubd.h"
 
 namespace modelhub {
 namespace {
@@ -72,6 +74,12 @@ constexpr CommandHelp kCommands[] = {
      "find hosted model versions"},
     {"remote interaction", "dlv pull <hub> <user> <name> <dest>",
      "download a hosted repository"},
+    {"serving", "dlv serve <repo> [port] [--linger <ms>]",
+     "serve the repository over TCP\n(modelhubd; SIGTERM or a shutdown\n"
+     "rpc drains gracefully)"},
+    {"serving", "dlv rpc <host:port> <op> [args]",
+     "call a running modelhubd (ops: ping\nlist-models get-snapshot query "
+     "stats\nshutdown; exit 3 = server unreachable)"},
     {"observability", "dlv stats <repo> [--json] [--trace <file>]",
      "run a probe workload and dump the\nmetrics registry (and a Chrome\n"
      "trace with --trace)"},
@@ -385,6 +393,17 @@ Status RunStatsProbe() {
   DqlEngine engine(&repo);
   MH_RETURN_IF_ERROR(
       engine.Run("select m where m.num_snapshots >= 0").status());
+  // Serving leg: an ephemeral in-process modelhubd against the probe
+  // repository, so server.* metrics (uptime gauge, start/stop counters,
+  // request/latency instruments) are populated too. Traffic is strictly
+  // sequential single-client — MemEnv is not thread-safe, and a ping
+  // touches no Env state from the worker thread.
+  ModelHubServer server(&mem, "/probe", ServerOptions{});
+  MH_RETURN_IF_ERROR(server.Start());
+  MH_ASSIGN_OR_RETURN(ModelHubClient client,
+                      ModelHubClient::Connect("127.0.0.1", server.port()));
+  MH_RETURN_IF_ERROR(client.Ping().status());
+  MH_RETURN_IF_ERROR(server.Stop());
   return Status::OK();
 }
 
@@ -509,6 +528,88 @@ int CmdSearch(Env* env, const std::string& hub_root,
   return 0;
 }
 
+int CmdServe(Env* env, const std::string& root, int port, int linger_ms) {
+  ServerOptions options;
+  options.port = port;
+  options.coalesce_linger_ms = linger_ms;
+  return RunServerMain(env, root, options);
+}
+
+/// rpc exit codes: 0 = ok, 1 = the server returned an error, 2 = usage,
+/// 3 = could not reach a server (refused / unreachable / timed out).
+/// Server-side errors carry a "server: " message prefix (net/client.h),
+/// which distinguishes them from locally generated transport faults of
+/// the same status code (e.g. a load-shedding server's kUnavailable).
+int RpcFail(const Status& status) {
+  std::fprintf(stderr, "dlv: %s\n", status.ToString().c_str());
+  const bool transport =
+      (status.IsUnavailable() || status.IsDeadlineExceeded()) &&
+      status.message().rfind("server: ", 0) != 0;
+  return transport ? 3 : 1;
+}
+
+int CmdRpc(const std::string& target, const std::string& op,
+           const std::vector<std::string>& args) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0) return Usage();
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0) return Usage();
+  auto client = ModelHubClient::Connect(host, port);
+  if (!client.ok()) return RpcFail(client.status());
+  if (op == "ping") {
+    auto pong = client->Ping();
+    if (!pong.ok()) return RpcFail(pong.status());
+    std::printf("%s\n", pong->c_str());
+    return 0;
+  }
+  if (op == "list-models") {
+    auto rows = client->ListModels();
+    if (!rows.ok()) return RpcFail(rows.status());
+    std::printf("%s", rows->c_str());
+    return 0;
+  }
+  if (op == "get-snapshot" && !args.empty()) {
+    const int64_t sequence = args.size() > 1 ? std::atoll(args[1].c_str()) : -1;
+    const int planes = args.size() > 2 ? std::atoi(args[2].c_str()) : 0;
+    if (planes > 0) {
+      auto bounds = client->GetSnapshotBounds(args[0], sequence, planes);
+      if (!bounds.ok()) return RpcFail(bounds.status());
+      std::printf("%s", bounds->c_str());
+      return 0;
+    }
+    auto params = client->GetSnapshot(args[0], sequence);
+    if (!params.ok()) return RpcFail(params.status());
+    uint64_t weights = 0;
+    for (const auto& param : *params) {
+      weights += static_cast<uint64_t>(param.value.size());
+    }
+    std::printf("retrieved %s: %zu parameters (%llu weights)\n",
+                args[0].c_str(), params->size(),
+                static_cast<unsigned long long>(weights));
+    return 0;
+  }
+  if (op == "query" && args.size() == 1) {
+    auto result = client->Query(args[0]);
+    if (!result.ok()) return RpcFail(result.status());
+    std::printf("%s", result->c_str());
+    return 0;
+  }
+  if (op == "stats") {
+    auto json = client->Stats();
+    if (!json.ok()) return RpcFail(json.status());
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (op == "shutdown") {
+    const Status status = client->Shutdown();
+    if (!status.ok()) return RpcFail(status);
+    std::printf("server draining\n");
+    return 0;
+  }
+  return Usage();
+}
+
 int CmdPull(Env* env, const std::string& hub_root, const std::string& user,
             const std::string& name, const std::string& dest) {
   ModelHubService hub(env, hub_root);
@@ -573,6 +674,28 @@ int Main(int argc, char** argv) {
   }
   if (command == "pull" && argc == 6) {
     return CmdPull(env, arg(2), arg(3), arg(4), arg(5));
+  }
+  if (command == "serve" && argc >= 3) {
+    int port = 0;
+    int linger_ms = 0;
+    bool bad_flag = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = arg(i);
+      if (flag == "--linger" && i + 1 < argc) {
+        linger_ms = std::atoi(argv[++i]);
+      } else if (!flag.empty() && flag[0] != '-') {
+        port = std::atoi(flag.c_str());
+      } else {
+        bad_flag = true;
+      }
+    }
+    if (bad_flag) return Usage();
+    return CmdServe(env, arg(2), port, linger_ms);
+  }
+  if (command == "rpc" && argc >= 4) {
+    std::vector<std::string> rest;
+    for (int i = 4; i < argc; ++i) rest.push_back(arg(i));
+    return CmdRpc(arg(2), arg(3), rest);
   }
   if (command == "stats" && argc >= 3) {
     bool json = false;

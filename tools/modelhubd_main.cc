@@ -1,0 +1,34 @@
+// modelhubd — the standalone ModelHub serving daemon. Serves one DLV
+// repository over the wire protocol of net/frame.h until SIGTERM/SIGINT
+// (or a SHUTDOWN rpc), then drains gracefully. `dlv serve` wraps the same
+// entry point.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/env.h"
+#include "server/modelhubd.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: modelhubd <repo> [port] [--linger <ms>]\n"
+                 "  serves the repository on 127.0.0.1 (port 0 = ephemeral,\n"
+                 "  printed on startup); SIGTERM drains gracefully\n");
+    return 2;
+  }
+  modelhub::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      options.coalesce_linger_ms = std::atoi(argv[++i]);
+    } else if (argv[i][0] != '-') {
+      options.port = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr, "modelhubd: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return modelhub::RunServerMain(modelhub::Env::Default(), argv[1], options);
+}
