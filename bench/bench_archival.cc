@@ -1,0 +1,183 @@
+// Archival write-pipeline benchmark: ingest MB/s of ArchiveBuilder::Build
+// at 1 / 4 / 8 encode threads over one synthetic checkpoint chain, plus
+// per-parameter encode latency percentiles and a byte-identity check of
+// every parallel archive against the serial reference. Emits
+// BENCH_archival.json.
+//
+// Speedup is reported against the measured serial wall time of the same
+// corpus. `hardware_threads` is included so a reader can judge the
+// numbers: on a single-core container the pipeline cannot beat serial no
+// matter how many workers it spawns — the differential bit-identity
+// result (and the property/robustness suites) carry the correctness
+// claim, the speedup column is honest wall-clock on whatever hardware ran
+// the bench.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "pas/archive.h"
+
+namespace modelhub {
+namespace {
+
+struct Corpus {
+  std::vector<std::string> names;
+  std::vector<std::vector<NamedParam>> snapshots;
+  uint64_t raw_bytes = 0;
+};
+
+Corpus MakeCorpus(int chain_len, int num_params, int64_t rows, int64_t cols) {
+  Corpus corpus;
+  Rng rng(42);
+  std::vector<FloatMatrix> current(static_cast<size_t>(num_params));
+  for (auto& m : current) {
+    m = FloatMatrix(rows, cols);
+    m.FillGaussian(&rng, 0.1f);
+  }
+  for (int s = 0; s < chain_len; ++s) {
+    corpus.names.push_back("bench@" + std::to_string(s));
+    std::vector<NamedParam> params;
+    for (int p = 0; p < num_params; ++p) {
+      if (s > 0) {
+        for (auto& v : current[static_cast<size_t>(p)].data()) {
+          v += static_cast<float>(rng.NextGaussian()) * 0.005f;
+        }
+      }
+      params.push_back({"w" + std::to_string(p),
+                        current[static_cast<size_t>(p)]});
+      corpus.raw_bytes += static_cast<uint64_t>(rows) * cols * 4;
+    }
+    corpus.snapshots.push_back(std::move(params));
+  }
+  return corpus;
+}
+
+Result<ArchiveBuildReport> BuildArchive(Env* env, const std::string& dir,
+                                        const Corpus& corpus, int threads) {
+  ArchiveBuilder builder(env, dir);
+  for (size_t s = 0; s < corpus.names.size(); ++s) {
+    MH_RETURN_IF_ERROR(
+        builder.AddSnapshot(corpus.names[s], corpus.snapshots[s]));
+    if (s > 0) {
+      MH_RETURN_IF_ERROR(builder.AddDeltaCandidate(corpus.names[s - 1],
+                                                   corpus.names[s]));
+    }
+  }
+  ArchiveOptions options;
+  options.archive_threads = threads;
+  return builder.Build(options);
+}
+
+double PercentileMs(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+}  // namespace
+}  // namespace modelhub
+
+int main() {
+  using namespace modelhub;
+  const bool quick = bench::QuickMode();
+  const Corpus corpus = quick ? MakeCorpus(3, 4, 64, 96)
+                              : MakeCorpus(6, 8, 256, 384);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("archival bench: %zu snapshots x %zu params, %.2f MB raw, "
+              "%u hardware threads\n",
+              corpus.names.size(), corpus.snapshots[0].size(),
+              static_cast<double>(corpus.raw_bytes) / 1e6, hardware);
+
+  struct Row {
+    int threads;
+    double wall_ms = 0.0;
+    double ingest_mbps = 0.0;
+    double speedup = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    uint64_t stored_bytes = 0;
+  };
+  std::vector<Row> rows;
+  std::map<std::string, std::string> reference_files;
+  double serial_wall_ms = 0.0;
+  bool bit_identical = true;
+
+  for (const int threads : {1, 4, 8}) {
+    MemEnv env;
+    Stopwatch watch;
+    auto report = BuildArchive(&env, "archive", corpus, threads);
+    const double wall_ms = watch.ElapsedMillis();
+    bench::Check(report.status(), "build");
+    Row row;
+    row.threads = threads;
+    row.wall_ms = wall_ms;
+    row.ingest_mbps = wall_ms > 0
+        ? static_cast<double>(corpus.raw_bytes) / 1e6 / (wall_ms / 1000.0)
+        : 0.0;
+    if (threads == 1) serial_wall_ms = wall_ms;
+    row.speedup = wall_ms > 0 ? serial_wall_ms / wall_ms : 0.0;
+    row.p50_ms = PercentileMs(report->pipeline.job_encode_ms, 0.50);
+    row.p99_ms = PercentileMs(report->pipeline.job_encode_ms, 0.99);
+    row.stored_bytes = report->pipeline.compressed_bytes;
+    rows.push_back(row);
+
+    // Differential check: every archive must be byte-identical to the
+    // serial reference.
+    auto names = env.ListDir("archive");
+    bench::Check(names.status(), "list");
+    std::map<std::string, std::string> files;
+    for (const std::string& name : *names) {
+      auto data = env.ReadFile(JoinPath("archive", name));
+      bench::Check(data.status(), "read");
+      files[name] = std::move(*data);
+    }
+    if (threads == 1) {
+      reference_files = std::move(files);
+    } else if (files != reference_files) {
+      bit_identical = false;
+      std::fprintf(stderr, "FAILED: threads=%d archive differs from serial\n",
+                   threads);
+    }
+
+    std::printf(
+        "threads=%d  wall %8.1f ms  ingest %7.2f MB/s  speedup %.2fx  "
+        "encode p50 %.2f ms p99 %.2f ms  stored %llu bytes\n",
+        row.threads, row.wall_ms, row.ingest_mbps, row.speedup, row.p50_ms,
+        row.p99_ms, static_cast<unsigned long long>(row.stored_bytes));
+  }
+
+  std::string json = "{\"bench\":\"archival\",\"raw_bytes\":" +
+                     std::to_string(corpus.raw_bytes) +
+                     ",\"hardware_threads\":" + std::to_string(hardware) +
+                     ",\"bit_identical\":" +
+                     (bit_identical ? "true" : "false") + ",\"runs\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"threads\":%d,\"wall_ms\":%.1f,\"ingest_mbps\":%.2f,"
+                  "\"speedup_vs_serial\":%.3f,\"encode_p50_ms\":%.3f,"
+                  "\"encode_p99_ms\":%.3f,\"stored_bytes\":%llu}",
+                  i == 0 ? "" : ",", rows[i].threads, rows[i].wall_ms,
+                  rows[i].ingest_mbps, rows[i].speedup, rows[i].p50_ms,
+                  rows[i].p99_ms,
+                  static_cast<unsigned long long>(rows[i].stored_bytes));
+    json += buffer;
+  }
+  json += "]";
+  bench::AppendMetricsJson(&json);
+  json += "}\n";
+  const char* json_path = "BENCH_archival.json";
+  bench::Check(Env::Default()->WriteFile(json_path, json), "write json");
+  std::printf("wrote %s\n", json_path);
+  return bit_identical ? 0 : 1;
+}

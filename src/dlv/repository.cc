@@ -567,6 +567,8 @@ Result<ArchiveBuildReport> Repository::Archive(const ArchiveOptions& options) {
         SnapshotKey(info.name, 0)));
   }
   MH_ASSIGN_OR_RETURN(ArchiveBuildReport report, builder.Build(options));
+  span.Annotate("threads", static_cast<uint64_t>(report.pipeline.threads));
+  span.Annotate("raw_bytes", report.pipeline.raw_bytes);
   // Invalidate any previously opened reader (the archive was rewritten).
   archive_->reset();
   // The archive publish above is internally atomic (manifest-last). Flip the

@@ -66,13 +66,28 @@ std::string ModelHubService::HostedRoot(const std::string& user,
 
 Status ModelHubService::Publish(const std::string& repo_root,
                                 const std::string& user,
-                                const std::string& repo_name) {
+                                const std::string& repo_name,
+                                const PublishOptions& options) {
   if (user.empty() || repo_name.empty()) {
     return Status::InvalidArgument("publish requires user and repo name");
   }
   MH_COUNTER("hub.publish.count")->Increment();
   // Validate that the source actually is a repository before hosting it.
-  MH_RETURN_IF_ERROR(Repository::Open(env_, repo_root).status());
+  MH_ASSIGN_OR_RETURN(Repository repo, Repository::Open(env_, repo_root));
+  if (options.compact) {
+    // Archive staged snapshots so the hosted copy ships delta-compressed.
+    // Skip when everything is already archived: re-archiving would only
+    // rewrite identical data under a new generation.
+    MH_ASSIGN_OR_RETURN(const auto versions, repo.List());
+    bool any_staged = false;
+    for (const auto& info : versions) {
+      if (!info.archived) any_staged = true;
+    }
+    if (any_staged) {
+      MH_COUNTER("hub.publish.compact")->Increment();
+      MH_RETURN_IF_ERROR(repo.Archive(options.archive).status());
+    }
+  }
   return CopyTree(env_, repo_root, HostedRoot(user, repo_name));
 }
 

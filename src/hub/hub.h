@@ -26,6 +26,19 @@ struct HubSearchHit {
 /// protocol surface — whole-repository exchange keyed by user/name — is
 /// identical, the transport is the filesystem).
 ///
+/// Knobs for ModelHubService::Publish.
+struct PublishOptions {
+  /// Compact the source repository's staged snapshots into a PAS archive
+  /// (via the parallel write pipeline) before copying, so the hosted copy
+  /// ships delta-compressed. Mutates the *source* repository — it is the
+  /// same `dlv archive` the owner would run by hand. No-op when every
+  /// snapshot is already archived; fails if the repository has none.
+  bool compact = false;
+  /// Archive knobs used when `compact` is set (solver, codec,
+  /// archive_threads, ...).
+  ArchiveOptions archive;
+};
+
 /// Layout: <root>/<user>/<repo_name>/ is a complete DLV repository tree.
 class ModelHubService {
  public:
@@ -35,7 +48,8 @@ class ModelHubService {
   /// `dlv publish` — uploads the repository rooted at `repo_root` as
   /// <user>/<repo_name>. Re-publishing overwrites (a new model release).
   Status Publish(const std::string& repo_root, const std::string& user,
-                 const std::string& repo_name);
+                 const std::string& repo_name,
+                 const PublishOptions& options = {});
 
   /// `dlv search` — finds hosted model versions whose name matches the
   /// SQL-LIKE pattern. An empty pattern lists everything.

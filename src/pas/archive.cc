@@ -199,7 +199,7 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     const std::vector<SnapshotSpec>& snapshots,
     const std::vector<std::pair<int, int>>& candidate_pairs,
     CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
-    const TierOptions& tiers) {
+    const TierOptions& tiers, ThreadPool* pool) {
   MatrixStorageGraph graph;
   // Every edge optionally gets a remote twin: cheaper to hold, costlier to
   // recreate from (the paper's multi-tier parallel edges).
@@ -214,8 +214,23 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     }
     return Status::OK();
   };
+
+  // The cost model (a trial delta + four plane compressions per edge) is
+  // the expensive part of graph assembly and is a pure function of the
+  // matrices, so it fans out over `pool` into pre-sized slots; everything
+  // that shapes the graph — vertex ids, edge order, groups — is done
+  // serially afterwards in the original candidate order, so the graph is
+  // byte-for-byte independent of the pool.
+  struct EdgeCost {
+    double cs = 0.0;
+    double raw = 0.0;
+    Status status = Status::OK();
+  };
+
   // Vertex ids in (snapshot, param) order.
   std::vector<std::vector<int>> vertex_of(snapshots.size());
+  std::vector<const FloatMatrix*> matrix_of_vertex;  // [0] = v0 (unused).
+  matrix_of_vertex.push_back(nullptr);
   for (size_t s = 0; s < snapshots.size(); ++s) {
     if (snapshots[s].params == nullptr || snapshots[s].params->empty()) {
       return Status::InvalidArgument("snapshot without parameters: " +
@@ -224,12 +239,20 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     for (const NamedParam& param : *snapshots[s].params) {
       const int v = graph.AddVertex(snapshots[s].name + "/" + param.name);
       vertex_of[s].push_back(v);
-      const double cs = SegmentedCompressedSize(param.value, codec);
-      const double raw = static_cast<double>(param.value.size()) * 4;
-      MH_RETURN_IF_ERROR(
-          add_tiered_edge(0, v, cs, cs + recreation_raw_weight * raw));
+      matrix_of_vertex.push_back(&param.value);
     }
   }
+
+  // Resolve candidate pairs into concrete delta edges (serial: cheap name
+  // and shape matching only).
+  struct CandidateEdge {
+    int u = 0;
+    int v = 0;
+    const FloatMatrix* base = nullptr;
+    const FloatMatrix* target = nullptr;
+    DeltaKind kind = DeltaKind::kMaterialized;
+  };
+  std::vector<CandidateEdge> candidates;
   for (const auto& [from_snap, to_snap] : candidate_pairs) {
     if (from_snap < 0 || to_snap < 0 ||
         from_snap >= static_cast<int>(snapshots.size()) ||
@@ -251,18 +274,63 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
             same_shape ? delta_kind : ToAdaptive(delta_kind);
         // A materialized "delta" against a mismatched base is pointless.
         if (!same_shape && kind == DeltaKind::kMaterialized) continue;
-        MH_ASSIGN_OR_RETURN(
-            FloatMatrix delta,
-            ComputeDelta(to_params[ti].value, from_params[fi].value, kind));
-        const double cs = SegmentedCompressedSize(delta, codec);
-        const double raw = static_cast<double>(delta.size()) * 4;
-        MH_RETURN_IF_ERROR(add_tiered_edge(
-            vertex_of[static_cast<size_t>(from_snap)][fi],
-            vertex_of[static_cast<size_t>(to_snap)][ti], cs,
-            cs + recreation_raw_weight * raw));
+        candidates.push_back(
+            CandidateEdge{vertex_of[static_cast<size_t>(from_snap)][fi],
+                          vertex_of[static_cast<size_t>(to_snap)][ti],
+                          &from_params[fi].value, &to_params[ti].value, kind});
         break;
       }
     }
+  }
+
+  // Cost model: materialization edges per vertex + delta edges per
+  // candidate, each slot independent.
+  std::vector<EdgeCost> vertex_costs(matrix_of_vertex.size());
+  std::vector<EdgeCost> candidate_costs(candidates.size());
+  auto vertex_cost_task = [&](size_t v) {
+    const FloatMatrix& m = *matrix_of_vertex[v];
+    vertex_costs[v].cs = SegmentedCompressedSize(m, codec);
+    vertex_costs[v].raw = static_cast<double>(m.size()) * 4;
+  };
+  auto candidate_cost_task = [&](size_t c) {
+    const CandidateEdge& cand = candidates[c];
+    auto delta = ComputeDelta(*cand.target, *cand.base, cand.kind);
+    if (!delta.ok()) {
+      candidate_costs[c].status = delta.status();
+      return;
+    }
+    candidate_costs[c].cs = SegmentedCompressedSize(*delta, codec);
+    candidate_costs[c].raw = static_cast<double>(delta->size()) * 4;
+  };
+  if (pool != nullptr) {
+    WaitGroup done;
+    for (size_t v = 1; v < matrix_of_vertex.size(); ++v) {
+      pool->Schedule(&done, [&vertex_cost_task, v] { vertex_cost_task(v); });
+    }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      pool->Schedule(&done,
+                     [&candidate_cost_task, c] { candidate_cost_task(c); });
+    }
+    done.Wait();
+  } else {
+    for (size_t v = 1; v < matrix_of_vertex.size(); ++v) vertex_cost_task(v);
+    for (size_t c = 0; c < candidates.size(); ++c) candidate_cost_task(c);
+  }
+
+  // Assemble edges serially, in the original order: all materialization
+  // edges in vertex order, then delta edges in candidate order.
+  for (size_t v = 1; v < matrix_of_vertex.size(); ++v) {
+    const EdgeCost& cost = vertex_costs[v];
+    MH_RETURN_IF_ERROR(add_tiered_edge(
+        0, static_cast<int>(v), cost.cs,
+        cost.cs + recreation_raw_weight * cost.raw));
+  }
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const EdgeCost& cost = candidate_costs[c];
+    MH_RETURN_IF_ERROR(cost.status);
+    MH_RETURN_IF_ERROR(add_tiered_edge(
+        candidates[c].u, candidates[c].v, cost.cs,
+        cost.cs + recreation_raw_weight * cost.raw));
   }
   for (size_t s = 0; s < snapshots.size(); ++s) {
     MH_RETURN_IF_ERROR(
@@ -285,17 +353,53 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   Stopwatch build_watch;
   MH_COUNTER("pas.archive.build.count")->Increment();
 
+  // One pool serves every parallel stage of the build; null means serial
+  // (threads == 1), which is also the reference the differential tests
+  // compare parallel builds against, byte for byte.
+  const int threads = ResolveArchiveThreads(options.archive_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  build_span.Annotate("threads", static_cast<uint64_t>(threads));
+
   // --- Optional lossy storage scheme: round every matrix through the
   // chosen representation once, up front. The archive then stores (and
   // later returns) the scheme's values; quantized matrices have few
-  // distinct floats and compress far better.
+  // distinct floats and compress far better. Rounding is independent per
+  // matrix for every scheme except kQuantRandom, whose codebook sampling
+  // consumes a shared Rng stream in matrix order — that one stays serial
+  // so the stream (and thus the archive) is identical at any thread count.
   if (options.storage_scheme.kind != FloatSchemeKind::kFloat32) {
-    Rng scheme_rng(options.scheme_seed);
-    for (auto& entry : matrices_) {
-      MH_ASSIGN_OR_RETURN(
-          EncodedMatrix encoded,
-          EncodeMatrix(entry.value, options.storage_scheme, &scheme_rng));
-      MH_ASSIGN_OR_RETURN(entry.value, DecodeMatrix(encoded));
+    TraceSpan scheme_span("pas.archive.scheme");
+    if (pool != nullptr &&
+        options.storage_scheme.kind != FloatSchemeKind::kQuantRandom) {
+      std::vector<Status> statuses(matrices_.size());
+      WaitGroup done;
+      for (size_t i = 0; i < matrices_.size(); ++i) {
+        pool->Schedule(&done, [this, &options, &statuses, i] {
+          auto encoded =
+              EncodeMatrix(matrices_[i].value, options.storage_scheme);
+          if (!encoded.ok()) {
+            statuses[i] = encoded.status();
+            return;
+          }
+          auto decoded = DecodeMatrix(*encoded);
+          if (!decoded.ok()) {
+            statuses[i] = decoded.status();
+            return;
+          }
+          matrices_[i].value = std::move(*decoded);
+        });
+      }
+      done.Wait();
+      for (const Status& status : statuses) MH_RETURN_IF_ERROR(status);
+    } else {
+      Rng scheme_rng(options.scheme_seed);
+      for (auto& entry : matrices_) {
+        MH_ASSIGN_OR_RETURN(
+            EncodedMatrix encoded,
+            EncodeMatrix(entry.value, options.storage_scheme, &scheme_rng));
+        MH_ASSIGN_OR_RETURN(entry.value, DecodeMatrix(encoded));
+      }
     }
   }
 
@@ -321,7 +425,8 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
       MatrixStorageGraph graph,
       BuildMatrixStorageGraph(specs, candidate_pairs_, options.codec,
                               options.delta_kind,
-                              options.recreation_raw_weight, tiers));
+                              options.recreation_raw_weight, tiers,
+                              pool.get()));
   std::vector<int> vertex_of_matrix(matrices_.size());
   {
     int next = 1;
@@ -384,13 +489,22 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   ChunkStoreWriter chunks(env_, JoinPath(dir_, chunks_name));
   ChunkStoreWriter remote_chunks(env_, JoinPath(dir_, remote_name));
   int remote_payloads = 0;
-  std::string manifest;  // Body; the generation header is prepended below.
-  PutVarint64(&manifest, matrices_.size());
+  // Resolve every matrix's plan decision into a pipeline job: which base
+  // (delta parent) it encodes against, which delta kind, which store. The
+  // expensive encode work (delta + segmentation + compression) fans out
+  // over the pool inside ParallelArchiver::Run; the committer appends
+  // chunks in job (= matrix) order, so chunk ids — and the archive bytes —
+  // are identical for every thread count.
+  std::vector<ParallelArchiver::Job> jobs(matrices_.size());
+  std::vector<DeltaKind> kinds(matrices_.size());
+  std::vector<int> parents(matrices_.size());
+  std::vector<int> tiers_of(matrices_.size());
   for (size_t i = 0; i < matrices_.size(); ++i) {
     const int v = vertex_of_matrix[i];
     const int parent = plan.Parent(v);
     DeltaKind kind = DeltaKind::kMaterialized;
-    FloatMatrix payload = matrices_[i].value;
+    ParallelArchiver::Job& job = jobs[i];
+    job.target = &matrices_[i].value;
     if (parent != 0) {
       // Find which matrix the parent vertex holds.
       const size_t parent_idx = static_cast<size_t>(
@@ -402,28 +516,32 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
           matrices_[parent_idx].value.cols() == matrices_[i].value.cols();
       kind = same_shape ? options.delta_kind
                         : ToAdaptive(options.delta_kind);
-      MH_ASSIGN_OR_RETURN(
-          payload, ComputeDelta(matrices_[i].value,
-                                matrices_[parent_idx].value, kind));
+      job.base = &matrices_[parent_idx].value;
     }
     const int tier = graph.edge(plan.ParentEdge(v)).tier;
-    ChunkStoreWriter* destination = tier == 1 ? &remote_chunks : &chunks;
+    job.delta_kind = kind;
+    job.destination = tier == 1 ? &remote_chunks : &chunks;
     if (tier == 1) ++remote_payloads;
-    const auto planes = SegmentFloats(payload);
-    uint32_t chunk_ids[kNumPlanes];
-    for (int p = 0; p < kNumPlanes; ++p) {
-      MH_ASSIGN_OR_RETURN(chunk_ids[p],
-                          destination->Put(Slice(planes[p]), options.codec));
-    }
+    kinds[i] = kind;
+    parents[i] = parent;
+    tiers_of[i] = tier;
+  }
+  ArchivePipelineStats pipeline_stats;
+  MH_ASSIGN_OR_RETURN(
+      const std::vector<ParallelArchiver::Placement> placements,
+      ParallelArchiver::Run(jobs, options.codec, threads, &pipeline_stats));
+  std::string manifest;  // Body; the generation header is prepended below.
+  PutVarint64(&manifest, matrices_.size());
+  for (size_t i = 0; i < matrices_.size(); ++i) {
     PutLengthPrefixed(&manifest, Slice(matrices_[i].snapshot));
     PutLengthPrefixed(&manifest, Slice(matrices_[i].param));
     PutVarint64(&manifest, static_cast<uint64_t>(matrices_[i].value.rows()));
     PutVarint64(&manifest, static_cast<uint64_t>(matrices_[i].value.cols()));
-    manifest.push_back(static_cast<char>(kind));
-    manifest.push_back(static_cast<char>(tier));
-    PutVarint64(&manifest, static_cast<uint64_t>(parent));
+    manifest.push_back(static_cast<char>(kinds[i]));
+    manifest.push_back(static_cast<char>(tiers_of[i]));
+    PutVarint64(&manifest, static_cast<uint64_t>(parents[i]));
     for (int p = 0; p < kNumPlanes; ++p) {
-      PutVarint64(&manifest, chunk_ids[p]);
+      PutVarint64(&manifest, placements[i].chunk_ids[p]);
     }
   }
   PutVarint64(&manifest, snapshot_names_.size());
@@ -473,6 +591,10 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   report.spt_storage_cost = spt.TotalStorageCost();
   report.budgets_satisfied = plan.SatisfiesBudgets(options.scheme);
   report.remote_payloads = remote_payloads;
+  report.pipeline = std::move(pipeline_stats);
+  MH_COUNTER("pas.archive.raw.bytes")->Add(report.pipeline.raw_bytes);
+  MH_COUNTER("pas.archive.stored.bytes")
+      ->Add(report.pipeline.compressed_bytes);
   for (const auto& group : graph.groups()) {
     report.group_recreation_costs.push_back(
         plan.GroupRecreationCost(group, options.scheme));

@@ -15,6 +15,7 @@
 #include "pas/chunk_store.h"
 #include "pas/delta.h"
 #include "pas/float_encoding.h"
+#include "pas/parallel_archiver.h"
 #include "pas/segment.h"
 #include "pas/solver.h"
 #include "pas/storage_graph.h"
@@ -59,6 +60,11 @@ struct ArchiveOptions {
   bool enable_remote_tier = false;
   double remote_storage_discount = 0.5;
   double remote_read_penalty = 4.0;
+  /// Encode workers for the archival write pipeline. >= 1 is literal
+  /// (1 = the serial reference path), anything else means auto
+  /// (ResolveArchiveThreads). The archive bytes are identical for every
+  /// value — parallelism only changes wall time.
+  int archive_threads = 0;
 };
 
 /// What Build measured — the quantities Fig 6(c) plots.
@@ -74,6 +80,8 @@ struct ArchiveBuildReport {
   /// Per-snapshot recreation costs of the chosen plan, in snapshot order.
   std::vector<double> group_recreation_costs;
   std::vector<double> group_budgets;
+  /// What the write pipeline did (threads used, bytes, stage latencies).
+  ArchivePipelineStats pipeline;
 };
 
 /// A named snapshot to archive (non-owning view over its parameters).
@@ -96,12 +104,15 @@ struct TierOptions {
 /// changes fall back to adaptive deltas), and each snapshot becomes one
 /// co-usage group (budgets 0 — set them afterwards). With tiers enabled,
 /// every edge gets a remote twin. Exposed so benchmarks can solve one
-/// graph under many budget settings.
+/// graph under many budget settings. When `pool` is non-null the per-edge
+/// cost model (trial delta + compression per candidate edge) is evaluated
+/// on it; edges are still added in deterministic candidate order, so the
+/// graph is identical with or without a pool.
 Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     const std::vector<SnapshotSpec>& snapshots,
     const std::vector<std::pair<int, int>>& candidate_pairs,
     CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
-    const TierOptions& tiers = {});
+    const TierOptions& tiers = {}, ThreadPool* pool = nullptr);
 
 /// Builds a PAS archive on disk: registers snapshots (co-usage groups),
 /// delta candidates, solves Problem 1, and writes segmented + compressed

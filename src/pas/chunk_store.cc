@@ -27,15 +27,25 @@ Result<uint32_t> ChunkStoreWriter::Put(Slice raw, CodecType codec) {
   }
   std::string compressed;
   MH_RETURN_IF_ERROR(Codec::Get(codec)->Compress(raw, &compressed));
+  return PutCompressed(Slice(compressed), raw.size(), codec);
+}
+
+Result<uint32_t> ChunkStoreWriter::PutCompressed(Slice compressed,
+                                                 uint64_t raw_size,
+                                                 CodecType codec) {
+  if (finished_) {
+    return Status::FailedPrecondition("Put after Finish");
+  }
   MH_COUNTER("pas.chunk.write.count")->Increment();
   MH_COUNTER("pas.chunk.write.bytes")->Add(compressed.size());
   ChunkRef ref;
   ref.offset = data_.size();
   ref.stored_size = compressed.size();
-  ref.raw_size = raw.size();
-  ref.crc = Crc32(Slice(compressed));
+  ref.raw_size = raw_size;
+  ref.crc = Crc32(compressed);
   ref.codec = codec;
-  data_.append(compressed);
+  data_.append(reinterpret_cast<const char*>(compressed.data()),
+               compressed.size());
   refs_.push_back(ref);
   return static_cast<uint32_t>(refs_.size()) - 1;
 }

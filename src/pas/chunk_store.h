@@ -49,6 +49,14 @@ class ChunkStoreWriter {
   /// Compresses `raw` with `codec` and schedules it; returns the chunk id.
   Result<uint32_t> Put(Slice raw, CodecType codec);
 
+  /// Appends an already-compressed chunk. `compressed` must be exactly what
+  /// `Codec::Get(codec)->Compress` produces for a `raw_size`-byte payload:
+  /// the resulting file is byte-identical to Put(raw, codec). This is the
+  /// committer half of the parallel archival pipeline — workers compress
+  /// off-thread, ordered appends stay on one thread.
+  Result<uint32_t> PutCompressed(Slice compressed, uint64_t raw_size,
+                                 CodecType codec);
+
   /// Number of chunks scheduled so far.
   uint32_t num_chunks() const { return static_cast<uint32_t>(refs_.size()); }
 

@@ -1,0 +1,198 @@
+#include "pas/parallel_archiver.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace modelhub {
+
+namespace {
+
+/// Output of one encode task: the four compressed plane payloads plus the
+/// raw plane size PutCompressed needs for the chunk index.
+struct EncodedPayload {
+  std::string planes[kNumPlanes];
+  uint64_t raw_plane_bytes = 0;
+};
+
+/// The parallel stage of the pipeline: pure CPU, no Env access. Must
+/// produce exactly the bytes the serial writer would (ComputeDelta,
+/// SegmentFloats and the codecs are all deterministic pure functions).
+Result<EncodedPayload> EncodeJob(const ParallelArchiver::Job& job,
+                                 CodecType codec) {
+  TraceSpan span("pas.archive.encode");
+  Stopwatch watch;
+  FloatMatrix delta;
+  const FloatMatrix* payload = job.target;
+  if (job.base != nullptr) {
+    MH_ASSIGN_OR_RETURN(delta,
+                        ComputeDelta(*job.target, *job.base, job.delta_kind));
+    payload = &delta;
+  }
+  const auto planes = SegmentFloats(*payload);
+  EncodedPayload out;
+  out.raw_plane_bytes = static_cast<uint64_t>(payload->size());
+  const Codec* compressor = Codec::Get(codec);
+  for (int p = 0; p < kNumPlanes; ++p) {
+    MH_RETURN_IF_ERROR(compressor->Compress(Slice(planes[p]), &out.planes[p]));
+  }
+  MH_HISTOGRAM("pas.archive.encode.us")
+      ->Record(static_cast<uint64_t>(watch.ElapsedMillis() * 1000.0));
+  span.Annotate("raw_bytes", out.raw_plane_bytes * kNumPlanes);
+  return out;
+}
+
+/// The serial committer half for one job: ordered appends into the job's
+/// destination store. Caller thread only.
+Result<ParallelArchiver::Placement> CommitJob(const ParallelArchiver::Job& job,
+                                              const EncodedPayload& payload,
+                                              CodecType codec) {
+  ParallelArchiver::Placement placement;
+  for (int p = 0; p < kNumPlanes; ++p) {
+    MH_ASSIGN_OR_RETURN(
+        placement.chunk_ids[p],
+        job.destination->PutCompressed(Slice(payload.planes[p]),
+                                       payload.raw_plane_bytes, codec));
+  }
+  return placement;
+}
+
+void RecordJobStats(const EncodedPayload& payload, double encode_ms,
+                    ArchivePipelineStats* stats) {
+  if (stats == nullptr) return;
+  stats->raw_bytes += payload.raw_plane_bytes * kNumPlanes;
+  for (int p = 0; p < kNumPlanes; ++p) {
+    stats->compressed_bytes += payload.planes[p].size();
+  }
+  stats->encode_ms_total += encode_ms;
+  stats->job_encode_ms.push_back(encode_ms);
+}
+
+}  // namespace
+
+int ResolveArchiveThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const int resolved = hardware == 0 ? 1 : static_cast<int>(hardware);
+  return std::min(resolved, 8);
+}
+
+Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
+    const std::vector<Job>& jobs, CodecType codec, int threads,
+    ArchivePipelineStats* stats) {
+  TraceSpan span("pas.archive.pipeline");
+  Stopwatch wall;
+  threads = ResolveArchiveThreads(threads);
+  span.Annotate("jobs", static_cast<uint64_t>(jobs.size()));
+  span.Annotate("threads", static_cast<uint64_t>(threads));
+  MH_COUNTER("pas.archive.jobs")->Add(jobs.size());
+  MH_GAUGE("pas.archive.threads")->Set(threads);
+  if (stats != nullptr) {
+    *stats = ArchivePipelineStats{};
+    stats->jobs = static_cast<int>(jobs.size());
+    stats->threads = threads;
+    stats->job_encode_ms.reserve(jobs.size());
+  }
+  for (const Job& job : jobs) {
+    if (job.target == nullptr || job.destination == nullptr) {
+      return Status::InvalidArgument("archival job without target or store");
+    }
+  }
+  std::vector<Placement> placements;
+  placements.reserve(jobs.size());
+
+  if (threads <= 1 || jobs.size() <= 1) {
+    // Serial reference path: encode + commit inline per job, in order.
+    for (const Job& job : jobs) {
+      Stopwatch encode_watch;
+      MH_ASSIGN_OR_RETURN(EncodedPayload payload, EncodeJob(job, codec));
+      RecordJobStats(payload, encode_watch.ElapsedMillis(), stats);
+      Stopwatch commit_watch;
+      MH_ASSIGN_OR_RETURN(Placement placement, CommitJob(job, payload, codec));
+      if (stats != nullptr) stats->commit_ms += commit_watch.ElapsedMillis();
+      placements.push_back(placement);
+    }
+    if (stats != nullptr) stats->wall_ms = wall.ElapsedMillis();
+    return placements;
+  }
+
+  // --- Parallel pipeline. Workers fill slots; the caller thread is the
+  // committer, consuming slots in job order as they become ready (job i
+  // commits while jobs > i are still compressing). Slots are handed off
+  // under the mutex, so the committer reads each payload only after its
+  // worker published it.
+  struct Slot {
+    bool ready = false;
+    Status status = Status::OK();
+    EncodedPayload payload;
+    double encode_ms = 0.0;
+  };
+  std::vector<Slot> slots(jobs.size());
+  std::mutex mutex;
+  std::condition_variable slot_ready;
+  {
+    ThreadPool pool(threads);
+    WaitGroup done;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const Job* job = &jobs[i];
+      Slot* slot = &slots[i];
+      pool.Schedule(&done, [job, slot, codec, &mutex, &slot_ready] {
+        Stopwatch encode_watch;
+        Result<EncodedPayload> encoded = EncodeJob(*job, codec);
+        const double encode_ms = encode_watch.ElapsedMillis();
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (encoded.ok()) {
+            slot->payload = std::move(*encoded);
+          } else {
+            slot->status = encoded.status();
+          }
+          slot->encode_ms = encode_ms;
+          slot->ready = true;
+        }
+        slot_ready.notify_all();
+      });
+    }
+    TraceSpan commit_span("pas.archive.commit");
+    Stopwatch commit_watch;
+    Status first_error = Status::OK();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        slot_ready.wait(lock, [&] { return slots[i].ready; });
+      }
+      // Published under the mutex above; safe to read lock-free now.
+      Slot& slot = slots[i];
+      if (!slot.status.ok()) {
+        first_error = slot.status;
+        break;
+      }
+      RecordJobStats(slot.payload, slot.encode_ms, stats);
+      auto placement = CommitJob(jobs[i], slot.payload, codec);
+      if (!placement.ok()) {
+        first_error = placement.status();
+        break;
+      }
+      placements.push_back(*placement);
+      // The committer is done with this payload; free the compressed
+      // planes eagerly so peak memory tracks the encode window, not the
+      // whole archive.
+      slot.payload = EncodedPayload{};
+    }
+    done.Wait();  // Outstanding encoders must drain before slots die.
+    MH_HISTOGRAM("pas.archive.commit.us")
+        ->Record(static_cast<uint64_t>(commit_watch.ElapsedMillis() * 1000.0));
+    if (stats != nullptr) stats->commit_ms = commit_watch.ElapsedMillis();
+    if (!first_error.ok()) return first_error;
+  }
+  if (stats != nullptr) stats->wall_ms = wall.ElapsedMillis();
+  return placements;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,85 @@
+#ifndef MODELHUB_PAS_PARALLEL_ARCHIVER_H_
+#define MODELHUB_PAS_PARALLEL_ARCHIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "compress/codec.h"
+#include "pas/chunk_store.h"
+#include "pas/delta.h"
+#include "pas/segment.h"
+#include "tensor/float_matrix.h"
+
+namespace modelhub {
+
+/// Resolves a user-facing thread-count knob: n >= 1 is taken literally,
+/// anything else (0, negative) means "auto" — hardware concurrency capped
+/// at 8 so a build box with 96 cores does not spawn 96 compressors for a
+/// 10-matrix archive.
+int ResolveArchiveThreads(int requested);
+
+/// What the archival write pipeline did — per-job latencies feed the
+/// p50/p99 columns of bench_archival, byte totals feed ingest MB/s.
+struct ArchivePipelineStats {
+  int jobs = 0;
+  int threads = 1;            ///< Encode workers actually used.
+  uint64_t raw_bytes = 0;     ///< Uncompressed payload bytes encoded.
+  uint64_t compressed_bytes = 0;
+  double encode_ms_total = 0.0;  ///< Sum of per-job encode latencies.
+  double commit_ms = 0.0;        ///< Serial committer stage (ordered appends).
+  double wall_ms = 0.0;          ///< Whole pipeline wall time.
+  /// Per-job encode latency in job order (delta + segment + compress).
+  std::vector<double> job_encode_ms;
+};
+
+/// The pipelined, parallel archival write path (the ingest dual of the
+/// computation-sharing retrieval scheduler): per-parameter *encode* tasks
+/// (delta computation, bytewise segmentation, per-plane codec compression
+/// — all pure CPU, no Env access) fan out over a thread pool, while the
+/// ordering-sensitive tail — chunk-store appends, and the caller's
+/// manifest/journal writes after Run returns — stays on the calling
+/// thread, in job order.
+///
+/// Determinism guarantee: codecs, deltas and segmentation are pure
+/// functions and chunk ids are assigned by the committer in job order, so
+/// the archive bytes are identical for every thread count; `threads == 1`
+/// reproduces the serial writer exactly. Because workers never touch the
+/// Env, the pipeline is safe over non-thread-safe Envs (MemEnv,
+/// FaultInjectionEnv) and preserves the crash-safety protocol unchanged:
+/// every mutating filesystem operation still happens on the caller's
+/// thread in the serial commit order.
+class ParallelArchiver {
+ public:
+  /// One parameter matrix to archive. `base == nullptr` stores `target`
+  /// materialized; otherwise the payload is ComputeDelta(target, base,
+  /// delta_kind). `destination` receives the four plane chunks (jobs may
+  /// target different stores, e.g. the local and remote tiers).
+  struct Job {
+    const FloatMatrix* target = nullptr;
+    const FloatMatrix* base = nullptr;
+    DeltaKind delta_kind = DeltaKind::kMaterialized;
+    ChunkStoreWriter* destination = nullptr;
+  };
+
+  /// Where one job's planes landed, in job order.
+  struct Placement {
+    uint32_t chunk_ids[kNumPlanes] = {0, 0, 0, 0};
+  };
+
+  /// Encodes every job (in parallel when `threads > 1`) and appends the
+  /// resulting chunks to each job's destination store in job order. The
+  /// committer is pipelined: job i's chunks are appended as soon as jobs
+  /// 0..i have encoded, while later jobs are still compressing. On error
+  /// the first failing job's status is returned (no later job is
+  /// committed) and the stores are left unfinished — the caller abandons
+  /// the build, which is safe because nothing was published.
+  static Result<std::vector<Placement>> Run(const std::vector<Job>& jobs,
+                                            CodecType codec, int threads,
+                                            ArchivePipelineStats* stats = nullptr);
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_PARALLEL_ARCHIVER_H_

@@ -1010,6 +1010,59 @@ TEST(ArchiveFaultTest, PartialRetrievalStatsOnReadError) {
   ASSERT_TRUE(reader->RetrieveSnapshot(names[2]).ok());
 }
 
+// ------------------------------------------------------------ golden
+
+// Opens the checked-in golden archive (written by an earlier build via
+// tools/make_golden_archive) with today's reader. This is the format-
+// compatibility contract: if this test needs the fixture regenerated to
+// pass, the change broke every existing on-disk archive.
+TEST(GoldenArchiveTest, TodaysReaderOpensCheckedInArchive) {
+  Env* env = Env::Default();
+  const std::string dir = std::string(MH_TESTDATA_DIR) + "/golden_archive";
+  ASSERT_TRUE(env->FileExists(dir + "/manifest.bin"))
+      << "fixture missing; regenerate with tools/make_golden_archive";
+  auto reader = ArchiveReader::Open(env, dir);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ(reader->snapshot_names().size(), 3u);
+  EXPECT_TRUE(reader->VerifyIntegrity().empty());
+
+  // The fixture was built with kXor deltas, so retrieval is bit-exact:
+  // recompute the generator's matrices and compare exactly.
+  auto golden_matrix = [](int64_t rows, int64_t cols, uint64_t seed) {
+    Rng rng(seed);
+    FloatMatrix m(rows, cols);
+    m.FillGaussian(&rng, 0.1f);
+    return m;
+  };
+  auto drift = [](const FloatMatrix& base, uint64_t seed) {
+    Rng rng(seed);
+    FloatMatrix next = base;
+    for (auto& v : next.data()) {
+      v += static_cast<float>(rng.NextGaussian()) * 0.01f;
+    }
+    return next;
+  };
+  std::map<std::string, std::map<std::string, FloatMatrix>> want;
+  want["golden@0"]["conv1"] = golden_matrix(8, 12, 101);
+  want["golden@0"]["fc"] = golden_matrix(4, 10, 102);
+  want["golden@1"]["conv1"] = drift(want["golden@0"]["conv1"], 201);
+  want["golden@1"]["fc"] = drift(want["golden@0"]["fc"], 202);
+  want["golden@2"]["conv1"] = drift(want["golden@1"]["conv1"], 301);
+  want["golden@2"]["fc"] = drift(want["golden@1"]["fc"], 302);
+  for (const auto& [snapshot, params] : want) {
+    SCOPED_TRACE(snapshot);
+    auto got = reader->RetrieveSnapshot(snapshot);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), params.size());
+    for (const auto& param : *got) {
+      SCOPED_TRACE(param.name);
+      const auto it = params.find(param.name);
+      ASSERT_TRUE(it != params.end());
+      EXPECT_TRUE(param.value.BitEquals(it->second));
+    }
+  }
+}
+
 TEST(ArchiveSolverTest, NameCoverage) {
   EXPECT_EQ(ArchiveSolverToString(ArchiveSolver::kMst), "mst");
   EXPECT_EQ(ArchiveSolverToString(ArchiveSolver::kSpt), "spt");

@@ -174,6 +174,48 @@ TEST_F(HubTest, FailedPublishLeavesNoPartialHostedRepo) {
   EXPECT_TRUE(faulty.DirExists("hub/alice/alexnets"));
 }
 
+TEST_F(HubTest, CompactPublishArchivesThroughParallelPipeline) {
+  ModelHubService hub(&env_, "hub");
+  PublishOptions options;
+  options.compact = true;
+  options.archive.budget_alpha = 2.0;
+  options.archive.archive_threads = 8;
+  const MetricsSnapshot before = hub.Metrics();
+  const MetricValue* compacts = before.Find("hub.publish.compact");
+  const uint64_t compact_base = compacts ? compacts->counter : 0;
+
+  ASSERT_TRUE(
+      hub.Publish("local/alexrepo", "alice", "alexnets", options).ok());
+
+  // The compaction ran against the source repository, so both the source
+  // and the hosted copy are fully archived.
+  auto source = Repository::Open(&env_, "local/alexrepo");
+  ASSERT_TRUE(source.ok());
+  auto source_list = source->List();
+  ASSERT_TRUE(source_list.ok());
+  for (const auto& info : *source_list) EXPECT_TRUE(info.archived);
+  EXPECT_TRUE(env_.DirExists("hub/alice/alexnets/pas"));
+
+  compacts = hub.Metrics().Find("hub.publish.compact");
+  ASSERT_NE(compacts, nullptr);
+  EXPECT_EQ(compacts->counter, compact_base + 1);
+
+  // The hosted (archived) copy still pulls and serves parameters.
+  auto pulled = hub.Pull("alice", "alexnets", "local/compact_clone");
+  ASSERT_TRUE(pulled.ok());
+  auto params = pulled->GetSnapshotParams("alexnet_v2");
+  ASSERT_TRUE(params.ok());
+  EXPECT_FALSE(params->empty());
+
+  // Republishing with --compact when everything is archived is a no-op
+  // compaction (no second archive pass, publish still succeeds).
+  ASSERT_TRUE(
+      hub.Publish("local/alexrepo", "alice", "alexnets", options).ok());
+  compacts = hub.Metrics().Find("hub.publish.compact");
+  ASSERT_NE(compacts, nullptr);
+  EXPECT_EQ(compacts->counter, compact_base + 1);
+}
+
 TEST_F(HubTest, MetricsSnapshotCountsOperations) {
   ModelHubService hub(&env_, "hub");
   const MetricsSnapshot before = hub.Metrics();

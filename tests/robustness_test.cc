@@ -244,7 +244,13 @@ TEST(CrashSafetyTest, CommitIsAtomicUnderTornWrites) {
   SweepCommitCrashes(/*torn=*/true);
 }
 
-TEST(CrashSafetyTest, ArchiveIsAtomicUnderEveryCrashPoint) {
+/// Crash sweep over a re-archive: kill (or tear) the k-th Env mutation for
+/// every k until the build survives fault-free, and verify atomicity after
+/// each crash. `archive_threads` exercises the parallel write pipeline —
+/// its encode workers never touch the Env, so every mutation still happens
+/// on the committer thread in serial order and the sweep must behave
+/// exactly like the serial writer's.
+void SweepArchiveCrashes(int archive_threads, bool torn) {
   // Baseline: one archived generation plus freshly staged snapshots, so a
   // crashed re-archive must preserve a previous archive AND staging files.
   MemEnv base;
@@ -257,14 +263,20 @@ TEST(CrashSafetyTest, ArchiveIsAtomicUnderEveryCrashPoint) {
   auto m2_want = seeded->GetSnapshotParams("m2", 0);
   ASSERT_TRUE(m1_want.ok());
   ASSERT_TRUE(m2_want.ok());
+  ArchiveOptions options;
+  options.archive_threads = archive_threads;
   bool completed = false;
   for (int k = 1; k < 200 && !completed; ++k) {
     MemEnv env = base;
     FaultInjectionEnv fault(&env);
     auto repo = Repository::Open(&fault, "r");
     ASSERT_TRUE(repo.ok());
-    fault.FailNthMutation(k);
-    completed = repo->Archive(ArchiveOptions()).ok() && !fault.crashed();
+    if (torn) {
+      fault.TornWriteNthMutation(k);
+    } else {
+      fault.FailNthMutation(k);
+    }
+    completed = repo->Archive(options).ok() && !fault.crashed();
     auto reopened = Repository::Open(&env, "r");
     ASSERT_TRUE(reopened.ok()) << "crash at mutation " << k;
     // Every snapshot stays readable with unchanged values, whichever side
@@ -297,6 +309,18 @@ TEST(CrashSafetyTest, ArchiveIsAtomicUnderEveryCrashPoint) {
         << "crash at mutation " << k << ":\n" << again->ToString();
   }
   EXPECT_TRUE(completed) << "archive never ran fault-free";
+}
+
+TEST(CrashSafetyTest, ArchiveIsAtomicUnderEveryCrashPoint) {
+  SweepArchiveCrashes(/*archive_threads=*/1, /*torn=*/false);
+}
+
+TEST(CrashSafetyTest, ParallelArchiveIsAtomicUnderEveryCrashPoint) {
+  SweepArchiveCrashes(/*archive_threads=*/8, /*torn=*/false);
+}
+
+TEST(CrashSafetyTest, ParallelArchiveIsAtomicUnderTornWrites) {
+  SweepArchiveCrashes(/*archive_threads=*/8, /*torn=*/true);
 }
 
 // ----------------------------------------------------------------- fsck

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/env.h"
@@ -48,7 +49,8 @@ constexpr CommandHelp kCommands[] = {
     {"model version management", "dlv copy <repo> <src> <new>",
      "scaffold a version from another"},
     {"model version management", "dlv archive <repo> [solver] [alpha]",
-     "compact snapshots into PAS\n(solver: pas-pt pas-mt last mst spt)"},
+     "compact snapshots into PAS\n(solver: pas-pt pas-mt last mst spt;\n"
+     "--archive-threads=N pins the write\npipeline, 1=serial, default auto)"},
     {"model version management", "dlv fsck <repo> [--quarantine]",
      "verify repository integrity;\n--quarantine sets orphans aside"},
     {"model exploration", "dlv list <repo>", "versions, lineage, accuracy"},
@@ -69,7 +71,7 @@ constexpr CommandHelp kCommands[] = {
     {"model enumeration", "dlv report <repo> <out.html>",
      "render an HTML exploration report"},
     {"remote interaction", "dlv publish <hub> <repo> <user> <name>",
-     "host a repository"},
+     "host a repository (--compact\narchives staged snapshots first)"},
     {"remote interaction", "dlv search <hub> [pattern]",
      "find hosted model versions"},
     {"remote interaction", "dlv pull <hub> <user> <name> <dest>",
@@ -324,11 +326,12 @@ int CmdRetrieve(Env* env, const std::string& root, const std::string& model,
 }
 
 int CmdArchive(Env* env, const std::string& root, const std::string& solver,
-               double alpha) {
+               double alpha, int archive_threads) {
   auto repo = Repository::Open(env, root);
   if (!repo.ok()) return Fail(repo.status());
   ArchiveOptions options;
   options.budget_alpha = alpha;
+  options.archive_threads = archive_threads;
   if (solver == "pas-pt") {
     options.solver = ArchiveSolver::kPasPt;
   } else if (solver == "pas-mt") {
@@ -348,10 +351,17 @@ int CmdArchive(Env* env, const std::string& root, const std::string& solver,
   if (!report.ok()) return Fail(report.status());
   std::printf(
       "archived %d matrices with %s: storage %.0f bytes "
-      "(MST %.0f, materialized %.0f), budgets %s\n",
+      "(MST %.0f, materialized %.0f), budgets %s\n"
+      "  write pipeline: %d threads, %llu raw bytes -> %llu stored, "
+      "encode %.2f ms, commit %.2f ms, wall %.2f ms\n",
       report->num_vertices, solver.c_str(), report->storage_cost,
       report->mst_storage_cost, report->spt_storage_cost,
-      report->budgets_satisfied ? "satisfied" : "violated");
+      report->budgets_satisfied ? "satisfied" : "violated",
+      report->pipeline.threads,
+      static_cast<unsigned long long>(report->pipeline.raw_bytes),
+      static_cast<unsigned long long>(report->pipeline.compressed_bytes),
+      report->pipeline.encode_ms_total, report->pipeline.commit_ms,
+      report->pipeline.wall_ms);
   return 0;
 }
 
@@ -504,12 +514,15 @@ int CmdReport(Env* env, const std::string& root, const std::string& path) {
 
 int CmdPublish(Env* env, const std::string& hub_root,
                const std::string& repo_root, const std::string& user,
-               const std::string& name) {
+               const std::string& name, bool compact) {
   ModelHubService hub(env, hub_root);
-  const Status status = hub.Publish(repo_root, user, name);
+  PublishOptions options;
+  options.compact = compact;
+  options.archive.budget_alpha = 2.0;
+  const Status status = hub.Publish(repo_root, user, name, options);
   if (!status.ok()) return Fail(status);
-  std::printf("published %s as %s/%s\n", repo_root.c_str(), user.c_str(),
-              name.c_str());
+  std::printf("published %s as %s/%s%s\n", repo_root.c_str(), user.c_str(),
+              name.c_str(), compact ? " (compacted)" : "");
   return 0;
 }
 
@@ -654,8 +667,31 @@ int Main(int argc, char** argv) {
                        argc > 5 ? std::atoi(argv[5]) : 4);
   }
   if (command == "archive" && argc >= 3) {
-    return CmdArchive(env, arg(2), argc > 3 ? arg(3) : "pas-pt",
-                      argc > 4 ? std::atof(argv[4]) : 2.0);
+    std::string solver = "pas-pt";
+    double alpha = 2.0;
+    int archive_threads = 0;  // Auto.
+    int positional = 0;
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = arg(i);
+      constexpr std::string_view kThreadsFlag = "--archive-threads=";
+      if (flag.rfind(kThreadsFlag, 0) == 0) {
+        archive_threads =
+            std::atoi(flag.c_str() + kThreadsFlag.size());
+      } else if (flag == "--archive-threads" && i + 1 < argc) {
+        archive_threads = std::atoi(argv[++i]);
+      } else if (!flag.empty() && flag[0] == '-') {
+        return Usage();
+      } else if (positional == 0) {
+        solver = flag;
+        ++positional;
+      } else if (positional == 1) {
+        alpha = std::atof(flag.c_str());
+        ++positional;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdArchive(env, arg(2), solver, alpha, archive_threads);
   }
   if (command == "fsck" && (argc == 3 || argc == 4)) {
     const bool quarantine = argc == 4 && arg(3) == "--quarantine";
@@ -666,8 +702,13 @@ int Main(int argc, char** argv) {
   if (command == "report" && argc == 4) {
     return CmdReport(env, arg(2), arg(3));
   }
-  if (command == "publish" && argc == 6) {
-    return CmdPublish(env, arg(2), arg(3), arg(4), arg(5));
+  if (command == "publish" && (argc == 6 || argc == 7)) {
+    bool compact = false;
+    if (argc == 7) {
+      if (arg(6) != "--compact") return Usage();
+      compact = true;
+    }
+    return CmdPublish(env, arg(2), arg(3), arg(4), arg(5), compact);
   }
   if (command == "search" && argc >= 3) {
     return CmdSearch(env, arg(2), argc > 3 ? arg(3) : "");
