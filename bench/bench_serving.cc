@@ -1,20 +1,28 @@
-// modelhubd serving benchmark (DESIGN.md §9).
+// modelhubd serving benchmark (DESIGN.md §9, fleet mode §11).
 //
-// Starts an in-process ModelHubServer over a PAS-archived repository and
-// drives it with N concurrent loopback clients issuing a hot-key mix:
-// mostly GET_SNAPSHOT of the same snapshot (the "everyone pulls the new
-// release" burst that single-flight coalescing targets) with pings and a
-// cold key interleaved. Measures client-observed request latency.
+// Default mode: starts an in-process ModelHubServer over a PAS-archived
+// repository and drives it with N concurrent loopback clients issuing a
+// hot-key mix: mostly GET_SNAPSHOT of the same snapshot (the "everyone
+// pulls the new release" burst that single-flight coalescing targets)
+// with pings and a cold key interleaved. Measures client-observed request
+// latency. Emits BENCH_serving.json (throughput, p50/p99 latency,
+// coalesce ratio) so serving-path regressions are tracked across PRs.
 //
-// Emits BENCH_serving.json (throughput, p50/p99 latency, coalesce ratio,
-// bytes moved) so serving-path regressions are tracked across PRs.
-//
-// Expected shape: zero failed requests; coalesce_ratio well above 0 (the
-// hot key collapses into few retrievals); p99 a small multiple of p50.
+// --fleet mode: stands up shards x replicas modelhubd backends behind a
+// modelhub-router, drives time-bounded client traffic through the router,
+// kills the replica serving the hot key mid-run and restarts it, then
+// measures throughput, tail latency, the failover blip (max observed
+// latency) and breaker recovery time. Emits BENCH_fleet.json. The
+// expected shape: zero failed requests despite the kill, aggregate
+// throughput at or above the single-node baseline, and recovery_ms small
+// (half-open probe re-admission after restart).
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +34,7 @@
 #include "dlv/repository.h"
 #include "net/client.h"
 #include "pas/archive.h"
+#include "router/router.h"
 #include "server/modelhubd.h"
 
 namespace {
@@ -40,17 +49,10 @@ double PercentileMs(std::vector<double>* sorted_ms, double p) {
   return (*sorted_ms)[index];
 }
 
-}  // namespace
-
-int main() {
-  Env* env = Env::Default();
-  const std::string work = "/tmp/mh_serving_bench";
-  const std::string repo_root = work + "/repo";
-  RemoveTree(env, work);
-  Check(env->CreateDirs(work), "workdir");
-
-  // Seed and archive a small repository on disk (the server's worker and
-  // retrieval threads hit the Env concurrently, so no MemEnv here).
+/// Seeds and PAS-archives a small on-disk repository (the server's worker
+/// and retrieval threads hit the Env concurrently, so no MemEnv here).
+/// Returns the committed version names.
+std::vector<std::string> SeedRepo(Env* env, const std::string& repo_root) {
   auto repo = Repository::Init(env, repo_root);
   Check(repo.status(), "init");
   ModelerOptions modeler;
@@ -69,8 +71,17 @@ int main() {
   auto names = RunSyntheticModeler(&*repo, modeler);
   Check(names.status(), "modeler");
   Check(repo->Archive(ArchiveOptions{}).status(), "archive");
-  const std::string hot_model = names->front();
-  const std::string cold_model = names->back();
+  return *names;
+}
+
+int RunSingle(Env* env) {
+  const std::string work = "/tmp/mh_serving_bench";
+  const std::string repo_root = work + "/repo";
+  RemoveTree(env, work);
+  Check(env->CreateDirs(work), "workdir");
+  const std::vector<std::string> names = SeedRepo(env, repo_root);
+  const std::string hot_model = names.front();
+  const std::string cold_model = names.back();
 
   ServerOptions options;
   options.coalesce_linger_ms = 100;  // Collapse the hot-key burst.
@@ -161,4 +172,209 @@ int main() {
   Check(env->WriteFile(json_path, json), "write json");
   std::printf("wrote %s\n", json_path);
   return 0;
+}
+
+int RunFleet(Env* env) {
+  const std::string work = "/tmp/mh_fleet_bench";
+  const std::string repo_root = work + "/repo";
+  RemoveTree(env, work);
+  Check(env->CreateDirs(work), "workdir");
+  const std::vector<std::string> names = SeedRepo(env, repo_root);
+  const std::string hot_model = names.front();
+  const std::string cold_model = names.back();
+
+  // Every backend serves the same archived repository read-only, so any
+  // shard can answer for any model; sharding here exercises placement
+  // and failover, not data partitioning.
+  const int kShards = bench::QuickMode() ? 2 : 3;
+  const int kReplicas = 2;
+  const int kBackends = kShards * kReplicas;
+  std::vector<std::unique_ptr<ModelHubServer>> servers;
+  std::vector<int> ports;
+  FleetTopology topology;
+  // Backends need headroom beyond the router's connection pool (the pool
+  // holds up to 8 idle connections per backend, each pinning a backend
+  // worker for its lifetime) or fresh router connections queue behind
+  // pooled ones; coalescing mirrors the single-node configuration.
+  ServerOptions backend_options;
+  backend_options.num_workers = 24;
+  backend_options.coalesce_linger_ms = 100;
+  for (int s = 0; s < kShards; ++s) {
+    FleetTopology::Shard shard;
+    shard.name = "shard" + std::to_string(s);
+    for (int r = 0; r < kReplicas; ++r) {
+      auto server = std::make_unique<ModelHubServer>(env, repo_root,
+                                                     backend_options);
+      Check(server->Start(), "backend start");
+      ports.push_back(server->port());
+      shard.replicas.push_back(Endpoint{"127.0.0.1", server->port()});
+      servers.push_back(std::move(server));
+    }
+    topology.shards.push_back(std::move(shard));
+  }
+
+  // The router serves one client connection per worker for the
+  // connection's lifetime (same model as modelhubd), so its worker pool
+  // must cover the client count; throughput here is closed-loop
+  // (clients / per-request latency), and the extra hop roughly doubles
+  // per-request latency versus single-node, so the fleet needs about
+  // twice the clients to match the single-node baseline.
+  const int kClients = bench::QuickMode() ? 6 : 16;
+  RouterOptions router_options;
+  router_options.num_workers = kClients + 8;
+  router_options.probe_interval_ms = 100;
+  router_options.failure_threshold = 2;
+  router_options.breaker_open_ms = 300;
+  router_options.max_attempts = 5;
+  ModelHubRouter router(std::move(topology), router_options);
+  Check(router.Start(), "router start");
+
+  // The victim is the first replica of the shard the hot key hashes to —
+  // the worst case: most traffic was flowing through that shard.
+  const std::string& hot_shard = router.ShardForModel(hot_model);
+  const int victim_shard =
+      std::atoi(hot_shard.c_str() + std::strlen("shard"));
+  const int victim = victim_shard * kReplicas;
+  const int victim_port = ports[victim];
+
+  const int kRunMs = bench::QuickMode() ? 1500 : 2500;
+  const int kKillAtMs = bench::QuickMode() ? 300 : 500;
+  const int kRestartAtMs = bench::QuickMode() ? 800 : 1200;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failed{0};
+  std::vector<std::vector<double>> latencies_ms(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+
+  Stopwatch wall;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = ModelHubClient::Connect("127.0.0.1", router.port());
+      if (!client.ok()) {
+        failed.fetch_add(1);
+        return;
+      }
+      // Operational mix, not the single-node hot-pull burst: health
+      // pings (1/2), catalog listings that fan out to every shard (1/4),
+      // and snapshot pulls (1/4, hot and cold keys alternating). The
+      // single-node bench keeps the pure pull burst; through a router
+      // every snapshot byte crosses the wire twice, so pull throughput
+      // is bounded by the extra hop, while the routed mix shows the
+      // fleet's aggregate request capacity.
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        Stopwatch request;
+        bool ok = false;
+        if (i % 8 == 2) {
+          ok = client->GetSnapshot(hot_model).ok();  // The hot key.
+        } else if (i % 8 == 6) {
+          ok = client->GetSnapshot(cold_model).ok();
+        } else if (i % 4 == 1) {
+          ok = client->ListModels().ok();
+        } else {
+          ok = client->Ping().ok();
+        }
+        latencies_ms[c].push_back(request.ElapsedMillis());
+        if (!ok) failed.fetch_add(1);
+      }
+    });
+  }
+
+  // Controller: kill the victim mid-run, restart it on the same port,
+  // then time how long until the router re-admits it (half-open probe
+  // success closes the breaker).
+  double recovery_ms = -1.0;
+  std::thread controller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kKillAtMs));
+    Check(servers[victim]->Stop(), "victim stop");
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(kRestartAtMs - kKillAtMs));
+    ServerOptions revived_options;
+    revived_options.port = victim_port;
+    servers[victim] = std::make_unique<ModelHubServer>(env, repo_root,
+                                                       revived_options);
+    Check(servers[victim]->Start(), "victim restart");
+    Stopwatch recovery;
+    while (!router.AllBackendsHealthy() &&
+           recovery.ElapsedMillis() < 10000.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (router.AllBackendsHealthy()) recovery_ms = recovery.ElapsedMillis();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(kRunMs));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  const double wall_ms = wall.ElapsedMillis();
+  controller.join();
+
+  Check(router.Stop(), "router stop");
+  for (auto& server : servers) Check(server->Stop(), "backend stop");
+
+  std::vector<double> merged;
+  for (const auto& per_client : latencies_ms) {
+    merged.insert(merged.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  const uint64_t total_requests = merged.size();
+  const double throughput_rps =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(total_requests) / wall_ms
+                  : 0.0;
+  const double p50 = PercentileMs(&merged, 0.50);
+  const double p99 = PercentileMs(&merged, 0.99);
+  const double max_ms = merged.empty() ? 0.0 : merged.back();
+
+  std::printf("%d shards x %d replicas, %d clients, %d ms run "
+              "(victim %s killed at %d ms, restarted at %d ms)\n",
+              kShards, kReplicas, kClients, kRunMs,
+              ("127.0.0.1:" + std::to_string(victim_port)).c_str(),
+              kKillAtMs, kRestartAtMs);
+  std::printf("%llu requests, %d failed | throughput %.1f req/s | "
+              "p50 %.3fms p99 %.3fms max %.3fms | recovery %.0f ms\n",
+              static_cast<unsigned long long>(total_requests), failed.load(),
+              throughput_rps, p50, p99, max_ms, recovery_ms);
+  if (failed.load() != 0) {
+    std::fprintf(stderr, "FAILED: %d requests failed through the router\n",
+                 failed.load());
+    return 1;
+  }
+  if (recovery_ms < 0) {
+    std::fprintf(stderr,
+                 "FAILED: fleet never recovered (breaker stayed open)\n");
+    return 1;
+  }
+
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"fleet\",\"shards\":%d,\"replicas\":%d,\"clients\":%d,"
+      "\"backends\":%d,\"requests\":%llu,\"failed\":%d,"
+      "\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"max_ms\":%.3f,\"recovery_ms\":%.0f",
+      kShards, kReplicas, kClients, kBackends,
+      static_cast<unsigned long long>(total_requests), failed.load(),
+      throughput_rps, p50, p99, max_ms, recovery_ms);
+  std::string json = buffer;
+  bench::AppendMetricsJson(&json);
+  json += "}\n";
+  const char* json_path = "BENCH_fleet.json";
+  Check(env->WriteFile(json_path, json), "write json");
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fleet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_serving [--fleet]\n");
+      return 2;
+    }
+  }
+  Env* env = Env::Default();
+  return fleet ? RunFleet(env) : RunSingle(env);
 }

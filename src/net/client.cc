@@ -1,22 +1,76 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/macros.h"
+#include "common/random.h"
 #include "dlv/repository.h"
 
 namespace modelhub {
 
+Result<PingInfo> ParsePingReply(std::string_view reply) {
+  if (reply.substr(0, 4) != "pong" ||
+      (reply.size() > 4 && reply[4] != ' ')) {
+    return Status::Corruption("not a ping reply: " + std::string(reply));
+  }
+  PingInfo info;
+  size_t pos = 4;
+  while (pos < reply.size()) {
+    while (pos < reply.size() && reply[pos] == ' ') ++pos;
+    const size_t end = std::min(reply.find(' ', pos), reply.size());
+    const std::string_view token = reply.substr(pos, end - pos);
+    const size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string_view key = token.substr(0, eq);
+      const std::string value(token.substr(eq + 1));
+      if (key == "state") {
+        info.state = value;
+      } else if (key == "queue") {
+        info.queue_depth = std::atoll(value.c_str());
+      } else if (key == "active") {
+        info.active = std::atoll(value.c_str());
+      }
+      // Unknown keys are ignored: newer servers may append fields.
+    }
+    pos = end;
+  }
+  return info;
+}
+
 Result<ModelHubClient> ModelHubClient::Connect(const std::string& host,
                                                int port,
                                                ClientOptions options) {
-  MH_ASSIGN_OR_RETURN(
-      Socket sock,
-      Socket::Connect(host, port,
-                      Deadline::AfterMs(options.connect_timeout_ms)));
-  return ModelHubClient(std::move(sock), options);
+  const int attempts = std::max(0, options.connect_retries) + 1;
+  Rng jitter(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  Status last = Status::Unavailable("connect never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with ±50% jitter so a thundering herd of
+      // reconnecting clients spreads out over the restart window.
+      const int64_t base = std::min<int64_t>(
+          2000, static_cast<int64_t>(options.connect_backoff_ms)
+                    << std::min(attempt - 1, 10));
+      const int64_t wait_ms =
+          base / 2 + static_cast<int64_t>(jitter.Uniform(
+                         static_cast<uint64_t>(std::max<int64_t>(1, base))));
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    }
+    auto sock = Socket::Connect(
+        host, port, Deadline::AfterMs(options.connect_timeout_ms));
+    if (sock.ok()) return ModelHubClient(sock.MoveValue(), options);
+    last = sock.status();
+    // Only "peer unreachable" is worth waiting out; anything else
+    // (bad address, local socket failure) will not improve with time.
+    if (!last.IsUnavailable()) break;
+  }
+  return last;
 }
 
-Result<std::string> ModelHubClient::Call(uint8_t opcode,
-                                         std::string_view payload) {
+Result<WireResponse> ModelHubClient::CallDetailed(uint8_t opcode,
+                                                  std::string_view payload) {
   const Deadline deadline = Deadline::AfterMs(options_.op_timeout_ms);
   MH_RETURN_IF_ERROR(WriteFrame(&sock_, opcode, payload, deadline));
   Frame response;
@@ -28,20 +82,28 @@ Result<std::string> ModelHubClient::Call(uint8_t opcode,
         ", client speaks " + std::to_string(kWireVersion));
   }
   Slice result(response.payload);
-  Status remote;
-  MH_RETURN_IF_ERROR(DecodeResponsePayload(&result, &remote));
-  if (!remote.ok()) {
+  WireResponse out;
+  MH_RETURN_IF_ERROR(DecodeResponsePayload(&result, &out.remote));
+  if (out.remote.ok() && response.opcode != opcode) {
     // Error frames need not echo the opcode: a load-shedding server
     // refuses before it ever reads the request.
-    return Status(remote.code(), "server: " + remote.message());
-  }
-  if (response.opcode != opcode) {
     return Status::Corruption("response opcode " +
                               std::to_string(response.opcode) +
                               " does not match request opcode " +
                               std::to_string(opcode));
   }
-  return result.ToString();
+  out.result = result.ToString();
+  return out;
+}
+
+Result<std::string> ModelHubClient::Call(uint8_t opcode,
+                                         std::string_view payload) {
+  MH_ASSIGN_OR_RETURN(WireResponse response, CallDetailed(opcode, payload));
+  if (!response.remote.ok()) {
+    return Status(response.remote.code(),
+                  "server: " + response.remote.message());
+  }
+  return std::move(response.result);
 }
 
 Result<std::string> ModelHubClient::Ping() {

@@ -17,7 +17,37 @@ struct ClientOptions {
   /// Per-RPC budget: request write + server think time + response read.
   int op_timeout_ms = 15000;
   uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Extra connect attempts after a kUnavailable first try (0 = fail
+  /// fast). Lets scripts and the router ride out a backend restart
+  /// window without hand-rolled sleep loops.
+  int connect_retries = 0;
+  /// Base delay between connect attempts; doubled per retry with ±50%
+  /// jitter, capped at 2s.
+  int connect_backoff_ms = 50;
 };
+
+/// One wire round trip with the server-side status left untouched — the
+/// forwarding primitive for modelhub-router, which must relay the
+/// backend's exact status code and message to its own client.
+struct WireResponse {
+  Status remote;       ///< Status the server put in the response payload.
+  std::string result;  ///< Result bytes (empty when remote is non-OK).
+};
+
+/// Parsed PING reply. Servers since the fleet PR answer
+/// "pong state=<serving|draining> queue=<n> active=<n>" (possibly with
+/// further space-separated key=value tokens); a bare "pong" from an older
+/// server parses as serving with zero depth.
+struct PingInfo {
+  std::string state = "serving";
+  int64_t queue_depth = 0;
+  int64_t active = 0;
+  bool draining() const { return state == "draining"; }
+};
+
+/// Parses a PING reply. Non-OK only when the reply does not start with
+/// the "pong" liveness token.
+Result<PingInfo> ParsePingReply(std::string_view reply);
 
 /// A blocking wire-level client for modelhubd (one connection, requests
 /// issued serially — the protocol has no interleaving). Transport faults
@@ -33,6 +63,11 @@ class ModelHubClient {
   /// One raw round trip: sends `payload` under `opcode`, returns the
   /// response result bytes (after stripping the status header).
   Result<std::string> Call(uint8_t opcode, std::string_view payload);
+
+  /// Like Call, but a served error comes back OK with the server's
+  /// untouched Status in WireResponse::remote (no "server: " prefix).
+  /// A non-OK return is strictly a transport/protocol fault of this hop.
+  Result<WireResponse> CallDetailed(uint8_t opcode, std::string_view payload);
 
   /// PING — returns the server's liveness token ("pong").
   Result<std::string> Ping();

@@ -1,0 +1,106 @@
+#include "net/fault.h"
+
+namespace modelhub {
+
+NetFaultInjector* NetFaultInjector::Global() {
+  static NetFaultInjector* injector = new NetFaultInjector();
+  return injector;
+}
+
+void NetFaultInjector::RecomputeEnabled() {
+  enabled_.store(fail_connects_ > 0 || !refused_ports_.empty() ||
+                     tear_armed_ || read_delay_ms_ > 0 || write_delay_ms_ > 0,
+                 std::memory_order_relaxed);
+}
+
+void NetFaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_connects_ = 0;
+  refused_ports_.clear();
+  tear_armed_ = false;
+  tear_after_bytes_ = 0;
+  read_delay_ms_ = 0;
+  write_delay_ms_ = 0;
+  RecomputeEnabled();
+}
+
+void NetFaultInjector::FailNextConnects(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_connects_ = n;
+  RecomputeEnabled();
+}
+
+void NetFaultInjector::RefuseConnectsToPort(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  refused_ports_.insert(port);
+  RecomputeEnabled();
+}
+
+void NetFaultInjector::AllowConnectsToPort(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  refused_ports_.erase(port);
+  RecomputeEnabled();
+}
+
+void NetFaultInjector::TearNextWriteAfter(size_t after_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tear_armed_ = true;
+  tear_after_bytes_ = after_bytes;
+  RecomputeEnabled();
+}
+
+void NetFaultInjector::DelayNextReadMs(int ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_delay_ms_ = ms;
+  RecomputeEnabled();
+}
+
+void NetFaultInjector::DelayNextWriteMs(int ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_delay_ms_ = ms;
+  RecomputeEnabled();
+}
+
+Status NetFaultInjector::OnConnect(const std::string& host, int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (refused_ports_.count(port) != 0) {
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) +
+                               ": injected connect refusal (port)");
+  }
+  if (fail_connects_ > 0) {
+    --fail_connects_;
+    RecomputeEnabled();
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) +
+                               ": injected connect refusal");
+  }
+  return Status::OK();
+}
+
+bool NetFaultInjector::ConsumeWriteTear(size_t* after_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tear_armed_) return false;
+  tear_armed_ = false;
+  *after_bytes = tear_after_bytes_;
+  RecomputeEnabled();
+  return true;
+}
+
+int NetFaultInjector::ConsumeReadDelayMs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int ms = read_delay_ms_;
+  read_delay_ms_ = 0;
+  if (ms > 0) RecomputeEnabled();
+  return ms;
+}
+
+int NetFaultInjector::ConsumeWriteDelayMs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int ms = write_delay_ms_;
+  write_delay_ms_ = 0;
+  if (ms > 0) RecomputeEnabled();
+  return ms;
+}
+
+}  // namespace modelhub

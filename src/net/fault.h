@@ -1,0 +1,79 @@
+#ifndef MODELHUB_NET_FAULT_H_
+#define MODELHUB_NET_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+
+namespace modelhub {
+
+/// Process-wide network fault injector (the src/net sibling of
+/// FaultInjectionEnv). Socket I/O consults it at three hook points —
+/// connect, read, write — so tests can deterministically reproduce the
+/// failure taxonomy the router's resilience stack must absorb:
+///
+///   * refused connects (a dead or partitioned backend),
+///   * connections torn mid-frame (a process killed mid-response),
+///   * I/O delayed past its deadline (an overloaded or wedged peer).
+///
+/// Cost model: one relaxed atomic load per hook when disarmed (the
+/// production path); arming any fault flips the flag and takes the mutex
+/// on every hook until Reset(). Faults are one-shot counters or sticky
+/// sets, all safe to arm/clear from any thread.
+class NetFaultInjector {
+ public:
+  static NetFaultInjector* Global();
+
+  /// Disarms every fault.
+  void Reset();
+
+  /// Refuses (kUnavailable) the next `n` Socket::Connect calls, any port.
+  void FailNextConnects(int n);
+
+  /// Sticky refusal of connects to one port — the "backend is down"
+  /// switch for router tests. AllowConnectsToPort re-opens it.
+  void RefuseConnectsToPort(int port);
+  void AllowConnectsToPort(int port);
+
+  /// The next WriteFull sends only the first `after_bytes` bytes, then
+  /// hard-closes the socket and returns kIOError — the peer observes a
+  /// stream cut mid-frame (short body + reset), never a clean EOF.
+  void TearNextWriteAfter(size_t after_bytes);
+
+  /// Stalls the next ReadFull / WriteFull by `ms` before any I/O, so an
+  /// op-scoped deadline shorter than `ms` must fire.
+  void DelayNextReadMs(int ms);
+  void DelayNextWriteMs(int ms);
+
+  // --- Hooks (called by Socket; not for test code) ----------------------
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Non-OK when this connect is refused by an armed fault.
+  Status OnConnect(const std::string& host, int port);
+  /// True when a tear is armed; pops it and returns the byte budget.
+  bool ConsumeWriteTear(size_t* after_bytes);
+  /// Armed delay in ms (popped), or 0.
+  int ConsumeReadDelayMs();
+  int ConsumeWriteDelayMs();
+
+ private:
+  NetFaultInjector() = default;
+  void RecomputeEnabled();  ///< Caller holds mu_.
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  int fail_connects_ = 0;
+  std::set<int> refused_ports_;
+  bool tear_armed_ = false;
+  size_t tear_after_bytes_ = 0;
+  int read_delay_ms_ = 0;
+  int write_delay_ms_ = 0;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_NET_FAULT_H_

@@ -12,8 +12,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "common/macros.h"
+#include "net/fault.h"
 
 namespace modelhub {
 
@@ -82,6 +84,13 @@ Status Socket::WaitReady(short events, const Deadline& deadline,
 Status Socket::ReadFull(void* buf, size_t n, const Deadline& deadline,
                         const std::atomic<bool>* cancel, bool* clean_eof) {
   if (clean_eof != nullptr) *clean_eof = false;
+  NetFaultInjector* faults = NetFaultInjector::Global();
+  if (faults->enabled()) {
+    const int delay_ms = faults->ConsumeReadDelayMs();
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
   char* out = static_cast<char*>(buf);
   size_t done = 0;
   while (done < n) {
@@ -105,6 +114,24 @@ Status Socket::ReadFull(void* buf, size_t n, const Deadline& deadline,
 
 Status Socket::WriteFull(const void* buf, size_t n, const Deadline& deadline,
                          const std::atomic<bool>* cancel) {
+  NetFaultInjector* faults = NetFaultInjector::Global();
+  if (faults->enabled()) {
+    const int delay_ms = faults->ConsumeWriteDelayMs();
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    size_t tear_after = 0;
+    if (faults->ConsumeWriteTear(&tear_after) && tear_after < n) {
+      // Push the allowed prefix onto the wire (the peer sees a frame cut
+      // mid-body), then hard-close so the stream is torn, not cleanly
+      // ended.
+      if (tear_after > 0) (void)WriteFull(buf, tear_after, deadline, cancel);
+      Close();
+      return Status::IOError("injected torn write after " +
+                             std::to_string(tear_after) + "/" +
+                             std::to_string(n) + " bytes");
+    }
+  }
   const char* in = static_cast<const char*>(buf);
   size_t done = 0;
   while (done < n) {
@@ -125,6 +152,10 @@ Status Socket::WriteFull(const void* buf, size_t n, const Deadline& deadline,
 
 Result<Socket> Socket::Connect(const std::string& host, int port,
                                const Deadline& deadline) {
+  NetFaultInjector* faults = NetFaultInjector::Global();
+  if (faults->enabled()) {
+    MH_RETURN_IF_ERROR(faults->OnConnect(host, port));
+  }
   sockaddr_in addr;
   MH_RETURN_IF_ERROR(FillAddr(host, port, &addr));
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);

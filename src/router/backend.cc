@@ -1,0 +1,107 @@
+#include "router/backend.h"
+
+#include <utility>
+
+namespace modelhub {
+
+const char* BreakerStateToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      return false;  // One probe is already out; fail fast.
+    case State::kOpen: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - opened_at_ <
+          std::chrono::milliseconds(options_.open_ms)) {
+        return false;
+      }
+      state_ = State::kHalfOpen;  // This caller is the probe.
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool reopened = state_ != State::kClosed;
+  state_ = State::kClosed;
+  failures_ = 0;
+  return reopened;
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failures_;
+  if (state_ != State::kOpen &&
+      (state_ == State::kHalfOpen ||
+       failures_ >= static_cast<uint64_t>(options_.failure_threshold))) {
+    state_ = State::kOpen;
+    opened_at_ = std::chrono::steady_clock::now();
+    return true;
+  }
+  if (state_ == State::kOpen) {
+    // Keep an already-open breaker's cooldown fresh so a flapping
+    // backend is not re-probed faster than open_ms.
+    opened_at_ = std::chrono::steady_clock::now();
+  }
+  return false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+Result<ModelHubClient> Backend::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      ModelHubClient client = std::move(pool_.back());
+      pool_.pop_back();
+      return client;
+    }
+  }
+  return ModelHubClient::Connect(endpoint_.host, endpoint_.port,
+                                 client_options_);
+}
+
+void Backend::Release(ModelHubClient client) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(client));
+}
+
+void Backend::InvalidatePool() {
+  std::vector<ModelHubClient> doomed;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    doomed.swap(pool_);
+  }
+  // Sockets close outside the lock.
+}
+
+size_t Backend::pooled_connections() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_.size();
+}
+
+}  // namespace modelhub

@@ -1,0 +1,122 @@
+#ifndef MODELHUB_ROUTER_BACKEND_H_
+#define MODELHUB_ROUTER_BACKEND_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/client.h"
+
+namespace modelhub {
+
+/// One backend address in the fleet topology.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+  std::string Name() const { return host + ":" + std::to_string(port); }
+};
+
+/// Per-backend circuit breaker (the Hystrix state machine).
+///
+///   kClosed    traffic flows; consecutive failures >= threshold opens it.
+///   kOpen      no traffic for `open_ms` (fail fast instead of hammering
+///              a dead peer), then the next Allow() admits ONE caller as
+///              the half-open probe.
+///   kHalfOpen  exactly one probe in flight; success closes the breaker,
+///              failure re-opens it for another cooldown.
+///
+/// Both live requests and the active health prober call Allow/Record*, so
+/// whichever reaches a recovered backend first re-admits it. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 3;  ///< Consecutive failures that open it.
+    int open_ms = 500;          ///< Cooldown before the half-open probe.
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// True when the caller may send traffic to this backend. On an open
+  /// breaker whose cooldown has expired this admits the caller and moves
+  /// to half-open — that caller's Record* decides the breaker's fate.
+  bool Allow();
+
+  /// Returns true when this call closed a previously open/half-open
+  /// breaker (a recovery event worth counting).
+  bool RecordSuccess();
+  /// Returns true when this call opened the breaker (a trip event).
+  bool RecordFailure();
+
+  State state() const;
+  uint64_t consecutive_failures() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint64_t failures_ = 0;  ///< Consecutive, reset on success.
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+const char* BreakerStateToString(CircuitBreaker::State state);
+
+/// Runtime state the router keeps per backend replica: its address, the
+/// breaker, the drain flag fed by PING state, and a small pool of idle
+/// wire connections (serving through a fresh TCP connect per request
+/// would double per-request latency and halve fleet throughput).
+class Backend {
+ public:
+  Backend(Endpoint endpoint, int shard, CircuitBreaker::Options breaker,
+          ClientOptions client_options)
+      : endpoint_(std::move(endpoint)),
+        shard_(shard),
+        breaker_(breaker),
+        client_options_(client_options) {}
+
+  const Endpoint& endpoint() const { return endpoint_; }
+  int shard() const { return shard_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+
+  /// A pooled idle connection, or a fresh connect (bounded by the client
+  /// options' connect timeout; no connect retries — the router's retry
+  /// loop owns failover policy).
+  Result<ModelHubClient> Acquire();
+
+  /// Returns a connection that completed a request cleanly to the pool.
+  void Release(ModelHubClient client);
+
+  /// Drops every pooled connection — called after a transport fault so
+  /// later requests do not burn retry budget on stale sockets into a
+  /// dead process.
+  void InvalidatePool();
+
+  size_t pooled_connections() const;
+
+ private:
+  const Endpoint endpoint_;
+  const int shard_;
+  CircuitBreaker breaker_;
+  const ClientOptions client_options_;
+  std::atomic<bool> draining_{false};
+
+  static constexpr size_t kMaxPooled = 8;
+  mutable std::mutex pool_mu_;
+  std::vector<ModelHubClient> pool_;  ///< Guarded by pool_mu_.
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_ROUTER_BACKEND_H_

@@ -1,0 +1,66 @@
+#include "router/hash_ring.h"
+
+#include "common/macros.h"
+
+namespace modelhub {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+void HashRing::AddNode(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  for (int i = 0; i < vnodes_; ++i) {
+    const uint64_t point = Fnv1a64(node + "#" + std::to_string(i));
+    // On the (astronomically rare) collision the earlier node keeps the
+    // point, so placement stays independent of insertion order... except
+    // it is not: emplace keeps the existing entry, which IS insertion-
+    // order dependent. Resolve deterministically by node name instead.
+    auto it = ring_.find(point);
+    if (it == ring_.end()) {
+      ring_.emplace(point, node);
+    } else if (node < it->second) {
+      it->second = node;
+    }
+  }
+}
+
+void HashRing::RemoveNode(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-add surviving nodes' points that this node had won by collision.
+  for (const std::string& survivor : nodes_) {
+    for (int i = 0; i < vnodes_; ++i) {
+      const uint64_t point = Fnv1a64(survivor + "#" + std::to_string(i));
+      auto it = ring_.find(point);
+      if (it == ring_.end()) {
+        ring_.emplace(point, survivor);
+      } else if (survivor < it->second) {
+        it->second = survivor;
+      }
+    }
+  }
+}
+
+const std::string& HashRing::NodeFor(std::string_view key) const {
+  MH_CHECK(!ring_.empty());
+  const uint64_t point = Fnv1a64(key);
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+  return it->second;
+}
+
+}  // namespace modelhub

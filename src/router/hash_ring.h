@@ -1,0 +1,49 @@
+#ifndef MODELHUB_ROUTER_HASH_RING_H_
+#define MODELHUB_ROUTER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace modelhub {
+
+/// 64-bit FNV-1a — the ring's hash. Deterministic across platforms and
+/// processes (the router fleet must agree on key placement), and cheap
+/// enough to run per request.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Consistent-hash ring mapping keys (model names) to nodes (shard ids).
+///
+/// Each node is projected onto the ring at `vnodes` pseudo-random points
+/// ("<node>#<i>" hashed); a key belongs to the first node point clockwise
+/// from its own hash. The property the router leans on: adding or
+/// removing one node only remaps the keys that land on that node's arcs —
+/// every other key keeps its shard, so a topology change never reshuffles
+/// the whole fleet (router_test pins this down).
+///
+/// Not thread-safe; the router builds it once at Start and treats it as
+/// immutable afterwards.
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 64);
+
+  void AddNode(const std::string& node);
+  void RemoveNode(const std::string& node);
+
+  bool empty() const { return ring_.empty(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Node owning `key`. Must not be called on an empty ring.
+  const std::string& NodeFor(std::string_view key) const;
+
+ private:
+  int vnodes_;
+  std::map<uint64_t, std::string> ring_;  ///< hash point -> node.
+  std::set<std::string> nodes_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_ROUTER_HASH_RING_H_

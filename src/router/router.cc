@@ -1,0 +1,780 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/trace.h"
+#include "net/client.h"
+
+namespace modelhub {
+namespace {
+
+/// Wire overhead of one frame: length prefix + version + opcode + CRC.
+constexpr uint64_t kFrameOverheadBytes = 4 + kFrameHeaderBytes + 4;
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Faults worth burning retry budget on. kUnavailable / kDeadlineExceeded
+/// cover refused connects, sheds, and expired budgets; kIOError and
+/// kCorruption cover a connection torn mid-frame by a dying backend. Any
+/// other code is the backend's definitive answer (NotFound, bad DQL, ...)
+/// and retrying it elsewhere would return the same thing.
+bool RetryableStatus(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded() ||
+         status.IsIOError() || status.IsCorruption();
+}
+
+Rng& JitterRng() {
+  // Per-thread so concurrent workers do not share backoff phase (retry
+  // storms synchronizing across workers is exactly what jitter prevents).
+  thread_local Rng rng(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1)));
+  return rng;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument("endpoint '" + text +
+                                   "' is not host:port");
+  }
+  Endpoint endpoint;
+  endpoint.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == nullptr || *end != '\0' || port < 1 ||
+      port > 65535) {
+    return Status::InvalidArgument("endpoint '" + text +
+                                   "' has an invalid port");
+  }
+  endpoint.port = static_cast<int>(port);
+  return endpoint;
+}
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+}  // namespace
+
+size_t FleetTopology::num_backends() const {
+  size_t total = 0;
+  for (const Shard& shard : shards) total += shard.replicas.size();
+  return total;
+}
+
+Result<FleetTopology> FleetTopology::Parse(const std::string& spec) {
+  FleetTopology topology;
+  size_t start = 0;
+  for (;;) {
+    const size_t end = spec.find(';', start);
+    const std::string shard_spec = Trim(
+        end == std::string::npos ? spec.substr(start)
+                                 : spec.substr(start, end - start));
+    if (shard_spec.empty()) {
+      return Status::InvalidArgument(
+          "fleet topology has an empty shard (spec: '" + spec + "')");
+    }
+    Shard shard;
+    shard.name = "shard" + std::to_string(topology.shards.size());
+    size_t rstart = 0;
+    for (;;) {
+      const size_t rend = shard_spec.find(',', rstart);
+      const std::string replica_spec = Trim(
+          rend == std::string::npos ? shard_spec.substr(rstart)
+                                    : shard_spec.substr(rstart, rend - rstart));
+      if (replica_spec.empty()) {
+        return Status::InvalidArgument("shard '" + shard.name +
+                                       "' has an empty replica endpoint");
+      }
+      MH_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(replica_spec));
+      shard.replicas.push_back(std::move(endpoint));
+      if (rend == std::string::npos) break;
+      rstart = rend + 1;
+    }
+    topology.shards.push_back(std::move(shard));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return topology;
+}
+
+ModelHubRouter::ModelHubRouter(FleetTopology topology, RouterOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      ring_(options.vnodes_per_shard) {}
+
+ModelHubRouter::~ModelHubRouter() { (void)Stop(); }
+
+Status ModelHubRouter::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("router already running");
+  }
+  if (topology_.shards.empty()) {
+    return Status::InvalidArgument("fleet topology has no shards");
+  }
+  shards_.clear();
+  shard_by_name_.clear();
+  ring_ = HashRing(options_.vnodes_per_shard);
+
+  CircuitBreaker::Options breaker_options;
+  breaker_options.failure_threshold = std::max(1, options_.failure_threshold);
+  breaker_options.open_ms = std::max(1, options_.breaker_open_ms);
+  ClientOptions backend_options;
+  backend_options.connect_timeout_ms = options_.backend_connect_timeout_ms;
+  backend_options.op_timeout_ms = options_.backend_op_timeout_ms;
+  backend_options.max_frame_bytes = options_.max_frame_bytes;
+
+  for (size_t i = 0; i < topology_.shards.size(); ++i) {
+    const FleetTopology::Shard& shard = topology_.shards[i];
+    if (shard.replicas.empty()) {
+      return Status::InvalidArgument("shard '" + shard.name +
+                                     "' has no replicas");
+    }
+    auto runtime = std::make_unique<ShardRuntime>();
+    runtime->name = shard.name;
+    for (const Endpoint& endpoint : shard.replicas) {
+      runtime->replicas.push_back(
+          std::make_unique<Backend>(endpoint, static_cast<int>(i),
+                                    breaker_options, backend_options));
+    }
+    ring_.AddNode(shard.name);
+    shard_by_name_.emplace(shard.name, runtime.get());
+    shards_.push_back(std::move(runtime));
+  }
+
+  MH_ASSIGN_OR_RETURN(Listener listener,
+                      Listener::Bind(options_.host, options_.port));
+  listener_.emplace(std::move(listener));
+  workers_ = std::make_unique<ThreadPool>(std::max(1, options_.num_workers));
+
+  stopping_.store(false);
+  started_at_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  MH_COUNTER("router.starts.count")->Increment();
+  UpdateUptimeGauge();
+  UpdateHealthGauges();
+  for (int i = 0; i < workers_->num_threads(); ++i) {
+    workers_->Schedule(&worker_group_, [this] { WorkerLoop(); });
+  }
+  probe_thread_ = std::thread([this] { ProbeLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int ModelHubRouter::port() const {
+  return listener_.has_value() ? listener_->port() : 0;
+}
+
+void ModelHubRouter::RequestStop() {
+  // Only an atomic store and a pipe write — callable from signal handlers.
+  stopping_.store(true);
+  if (listener_.has_value()) listener_->Wake();
+}
+
+void ModelHubRouter::WaitUntilStopRequested() const {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Status ModelHubRouter::Stop() {
+  if (!running_.load()) return Status::OK();
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_cv_.notify_all();
+  worker_group_.Wait();
+  std::deque<PendingConn> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(pending_);
+    MH_GAUGE("router.queue.depth")->Set(0);
+  }
+  for (PendingConn& pc : leftover) {
+    Shed(std::move(pc.sock), "router draining");
+  }
+  if (probe_thread_.joinable()) probe_thread_.join();
+  workers_.reset();
+  listener_.reset();
+  // The shard table survives Stop (tests inspect breaker states after a
+  // drain) but pooled backend sockets are released now.
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) backend->InvalidatePool();
+  }
+  UpdateUptimeGauge();
+  MH_COUNTER("router.stops.count")->Increment();
+  running_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+const std::string& ModelHubRouter::ShardForModel(std::string_view model) const {
+  return ring_.NodeFor(model);
+}
+
+std::vector<ModelHubRouter::BackendStatus> ModelHubRouter::BackendStatuses()
+    const {
+  std::vector<BackendStatus> statuses;
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      BackendStatus status;
+      status.name = backend->endpoint().Name();
+      status.shard = backend->shard();
+      status.breaker = backend->breaker().state();
+      status.draining = backend->draining();
+      status.consecutive_failures = backend->breaker().consecutive_failures();
+      statuses.push_back(std::move(status));
+    }
+  }
+  return statuses;
+}
+
+bool ModelHubRouter::AllBackendsHealthy() const {
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      if (backend->breaker().state() != CircuitBreaker::State::kClosed ||
+          backend->draining()) {
+        return false;
+      }
+    }
+  }
+  return !shards_.empty();
+}
+
+void ModelHubRouter::UpdateHealthGauges() const {
+  int64_t healthy = 0;
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      ++total;
+      if (backend->breaker().state() == CircuitBreaker::State::kClosed &&
+          !backend->draining()) {
+        ++healthy;
+      }
+    }
+  }
+  MH_GAUGE("router.backends.healthy")->Set(healthy);
+  MH_GAUGE("router.backends.total")->Set(total);
+}
+
+void ModelHubRouter::UpdateUptimeGauge() const {
+  MH_GAUGE("router.uptime_seconds")
+      ->Set(static_cast<int64_t>(ElapsedUs(started_at_) / 1000000));
+}
+
+void ModelHubRouter::Shed(Socket sock, const char* reason) {
+  MH_COUNTER("router.shed.count")->Increment();
+  // Opcode 0: the request was never read, so there is nothing to echo.
+  (void)WriteFrame(&sock, 0,
+                   EncodeResponsePayload(Status::Unavailable(reason), ""),
+                   Deadline::AfterMs(1000));
+}
+
+void ModelHubRouter::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<Socket> accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) break;
+      continue;  // Spurious wake or transient accept failure.
+    }
+    MH_COUNTER("router.accepted.count")->Increment();
+    if (stopping_.load()) {
+      Shed(accepted.MoveValue(), "router draining");
+      break;
+    }
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const size_t queued = pending_.size();
+    if (queued >= static_cast<size_t>(options_.queue_capacity) ||
+        active_connections_.load() + static_cast<int>(queued) >=
+            options_.max_connections) {
+      lock.unlock();
+      Shed(accepted.MoveValue(), "router at capacity");
+      continue;
+    }
+    pending_.push_back(
+        {accepted.MoveValue(), std::chrono::steady_clock::now()});
+    MH_GAUGE("router.queue.depth")->Set(static_cast<int64_t>(pending_.size()));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void ModelHubRouter::WorkerLoop() {
+  for (;;) {
+    PendingConn pc;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stopping_.load() || !pending_.empty(); });
+      if (stopping_.load()) break;
+      pc = std::move(pending_.front());
+      pending_.pop_front();
+      MH_GAUGE("router.queue.depth")
+          ->Set(static_cast<int64_t>(pending_.size()));
+    }
+    const uint64_t waited_us = ElapsedUs(pc.enqueued);
+    MH_HISTOGRAM("router.queue.wait.us")->Record(waited_us);
+    // Same staleness rule as modelhubd: a connection queued past the idle
+    // timeout belongs to a client that has given up — shed, don't serve.
+    if (waited_us / 1000 >
+        static_cast<uint64_t>(std::max(0, options_.idle_timeout_ms))) {
+      Shed(std::move(pc.sock), "queued past idle timeout");
+      continue;
+    }
+    active_connections_.fetch_add(1);
+    MH_GAUGE("router.connections.active")->Add(1);
+    ServeConnection(std::move(pc.sock));
+    MH_GAUGE("router.connections.active")->Add(-1);
+    active_connections_.fetch_sub(1);
+  }
+}
+
+void ModelHubRouter::ServeConnection(Socket sock) {
+  while (!stopping_.load()) {
+    Frame request;
+    bool clean_eof = false;
+    const Status read =
+        ReadFrame(&sock, &request, options_.max_frame_bytes,
+                  Deadline::AfterMs(options_.idle_timeout_ms), &stopping_,
+                  &clean_eof);
+    if (!read.ok()) {
+      if (!clean_eof && !stopping_.load() && !read.IsDeadlineExceeded() &&
+          !read.IsUnavailable()) {
+        MH_COUNTER("router.errors.count")->Increment();
+      }
+      break;
+    }
+    MH_COUNTER("router.bytes.in")
+        ->Add(request.payload.size() + kFrameOverheadBytes);
+
+    std::string result;
+    Status status;
+    {
+      TraceSpan span("router.request");
+      span.Annotate("op", std::string(OpcodeToString(request.opcode)));
+      const auto dispatched_at = std::chrono::steady_clock::now();
+      if (request.version != kWireVersion) {
+        status = Status::InvalidArgument(
+            "unsupported wire version " + std::to_string(request.version));
+      } else {
+        status = Dispatch(request, &result);
+      }
+      MH_HISTOGRAM("router.op.forward.us")->Record(ElapsedUs(dispatched_at));
+      span.Annotate("status", std::string(StatusCodeToString(status.code())));
+      span.Annotate("result_bytes", static_cast<uint64_t>(result.size()));
+    }
+    MH_COUNTER("router.requests.count")->Increment();
+    if (!status.ok()) MH_COUNTER("router.errors.count")->Increment();
+
+    const std::string payload = EncodeResponsePayload(status, result);
+    MH_COUNTER("router.bytes.out")->Add(payload.size() + kFrameOverheadBytes);
+    const Status written =
+        WriteFrame(&sock, request.opcode, payload,
+                   Deadline::AfterMs(options_.io_timeout_ms));
+    if (!written.ok()) break;
+    if (request.opcode == static_cast<uint8_t>(Opcode::kShutdown)) {
+      RequestStop();
+      break;
+    }
+  }
+}
+
+Status ModelHubRouter::Dispatch(const Frame& request, std::string* out) {
+  switch (static_cast<Opcode>(request.opcode)) {
+    case Opcode::kPing:
+      return HandlePing(out);
+    case Opcode::kListModels:
+      return HandleListModels(out);
+    case Opcode::kGetSnapshot:
+      return HandleGetSnapshot(request, out);
+    case Opcode::kDqlQuery:
+      return HandleDqlQuery(request, out);
+    case Opcode::kStats:
+      return HandleStats(out);
+    case Opcode::kShutdown:
+      // Drains the router only; backends keep serving for any other
+      // frontend (DESIGN.md §11 drain ordering).
+      *out = "draining";
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown opcode " +
+                                 std::to_string(request.opcode));
+}
+
+Status ModelHubRouter::HandlePing(std::string* out) {
+  size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queued = pending_.size();
+  }
+  int64_t healthy = 0;
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      ++total;
+      if (backend->breaker().state() == CircuitBreaker::State::kClosed &&
+          !backend->draining()) {
+        ++healthy;
+      }
+    }
+  }
+  // Same shape as modelhubd's reply (ParsePingReply ignores the extra
+  // role/healthy/backends tokens), so anything that can health-check a
+  // backend can health-check a router.
+  *out = std::string("pong state=") +
+         (stopping_.load() ? "draining" : "serving") +
+         " queue=" + std::to_string(queued) +
+         " active=" + std::to_string(active_connections_.load()) +
+         " role=router healthy=" + std::to_string(healthy) +
+         " backends=" + std::to_string(total);
+  return Status::OK();
+}
+
+Status ModelHubRouter::HandleGetSnapshot(const Frame& request,
+                                         std::string* out) {
+  std::string model;
+  int64_t sequence = -1;
+  int planes = 0;
+  MH_RETURN_IF_ERROR(DecodeGetSnapshotRequest(Slice(request.payload), &model,
+                                              &sequence, &planes));
+  const std::string& shard_name = ring_.NodeFor(model);
+  const auto it = shard_by_name_.find(shard_name);
+  MH_CHECK(it != shard_by_name_.end());
+  return ForwardToShard(it->second, request.opcode, request.payload, out);
+}
+
+Status ModelHubRouter::HandleListModels(std::string* out) {
+  // Fan out to one healthy replica per shard; identical rows from shards
+  // that replicate the same catalog collapse to one.
+  std::set<std::string> seen;
+  for (const auto& shard : shards_) {
+    std::string text;
+    MH_RETURN_IF_ERROR(ForwardToShard(
+        shard.get(), static_cast<uint8_t>(Opcode::kListModels), "", &text));
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string row = text.substr(start, end - start);
+      if (!row.empty() && seen.insert(row).second) {
+        out->append(row);
+        out->push_back('\n');
+      }
+      start = end + 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelHubRouter::HandleDqlQuery(const Frame& request, std::string* out) {
+  // Every shard runs the query over its own catalog; blocks are labelled
+  // when the fleet has more than one shard so per-shard answers stay
+  // attributable.
+  for (const auto& shard : shards_) {
+    std::string text;
+    MH_RETURN_IF_ERROR(ForwardToShard(shard.get(), request.opcode,
+                                      request.payload, &text));
+    if (shards_.size() > 1) {
+      out->append("-- " + shard->name + " --\n");
+    }
+    out->append(text);
+    if (!text.empty() && text.back() != '\n') out->push_back('\n');
+  }
+  return Status::OK();
+}
+
+Status ModelHubRouter::HandleStats(std::string* out) {
+  UpdateUptimeGauge();
+  UpdateHealthGauges();
+  std::string json = "{\"router\":";
+  json += MetricRegistry::Global()->Snapshot().ToJson();
+  json += ",\"backends\":{";
+  bool first = true;
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + JsonEscape(backend->endpoint().Name()) + "\":{";
+      json += "\"shard\":\"" + JsonEscape(shard->name) + "\"";
+      json += ",\"breaker\":\"";
+      json += BreakerStateToString(backend->breaker().state());
+      json += "\"";
+      json += ",\"draining\":";
+      json += backend->draining() ? "true" : "false";
+      std::string stats;
+      const Status fetched =
+          TryBackend(backend.get(), static_cast<uint8_t>(Opcode::kStats), "",
+                     &stats);
+      if (fetched.ok()) {
+        json += ",\"stats\":" + stats;
+      } else {
+        json += ",\"error\":\"" + JsonEscape(fetched.ToString()) + "\"";
+      }
+      json += "}";
+    }
+  }
+  json += "}}";
+  *out = std::move(json);
+  return Status::OK();
+}
+
+Backend* ModelHubRouter::PickReplica(ShardRuntime* shard, uint64_t start,
+                                     int attempt) {
+  const size_t n = shard->replicas.size();
+  // First pass: healthy, non-draining replicas. The +attempt rotation
+  // makes a retry lead with a different replica than the one that just
+  // failed.
+  for (size_t i = 0; i < n; ++i) {
+    Backend* candidate =
+        shard->replicas[(start + static_cast<uint64_t>(attempt) + i) % n]
+            .get();
+    if (candidate->draining()) continue;
+    if (!candidate->breaker().Allow()) continue;
+    return candidate;
+  }
+  // Second pass: a draining backend still answers reads — better than
+  // shedding when it is the only replica left standing.
+  for (size_t i = 0; i < n; ++i) {
+    Backend* candidate =
+        shard->replicas[(start + static_cast<uint64_t>(attempt) + i) % n]
+            .get();
+    if (candidate->breaker().Allow()) return candidate;
+  }
+  return nullptr;
+}
+
+Status ModelHubRouter::TryBackend(Backend* backend, uint8_t opcode,
+                                  std::string_view payload, std::string* out) {
+  Result<ModelHubClient> client = backend->Acquire();
+  if (!client.ok()) {
+    if (backend->breaker().RecordFailure()) {
+      MH_COUNTER("router.breaker.opens.count")->Increment();
+    }
+    return client.status();
+  }
+  Result<WireResponse> response = client->CallDetailed(opcode, payload);
+  if (!response.ok()) {
+    // Transport fault mid-exchange: this socket is unusable and any
+    // pooled siblings into the same dead process probably are too.
+    backend->InvalidatePool();
+    if (backend->breaker().RecordFailure()) {
+      MH_COUNTER("router.breaker.opens.count")->Increment();
+    }
+    return response.status();
+  }
+  const Status remote = std::move(response->remote);
+  if (remote.IsUnavailable() || remote.IsDeadlineExceeded()) {
+    // The backend shed us (draining / at capacity) and closes the
+    // connection after a shed, so the socket is not pooled.
+    if (backend->breaker().RecordFailure()) {
+      MH_COUNTER("router.breaker.opens.count")->Increment();
+    }
+    return remote;
+  }
+  // A definitive answer — success or a server-side error like NotFound —
+  // proves the backend healthy.
+  if (backend->breaker().RecordSuccess()) {
+    MH_COUNTER("router.breaker.closes.count")->Increment();
+  }
+  backend->Release(std::move(*client));
+  *out = std::move(response->result);
+  return remote;
+}
+
+Status ModelHubRouter::ForwardToShard(ShardRuntime* shard, uint8_t opcode,
+                                      std::string_view payload,
+                                      std::string* out) {
+  const uint64_t start = shard->rr.fetch_add(1, std::memory_order_relaxed);
+  const size_t num_replicas = shard->replicas.size();
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last = Status::Unavailable("no admittable replica");
+  Backend* previous = nullptr;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (stopping_.load()) break;
+    Backend* backend = PickReplica(shard, start, attempt);
+    if (backend == nullptr) break;  // Every breaker open: shed fast.
+    if (attempt > 0) {
+      MH_COUNTER("router.retries.count")->Increment();
+      if (backend != previous) {
+        MH_COUNTER("router.failovers.count")->Increment();
+      }
+    }
+    previous = backend;
+    const Status status = TryBackend(backend, opcode, payload, out);
+    if (!RetryableStatus(status)) return status;  // OK or definitive error.
+    last = status;
+    // Backoff only once the whole replica set has been tried this round —
+    // failing over to a different live replica should not wait.
+    if (attempt + 1 < max_attempts &&
+        static_cast<size_t>(attempt + 1) >= num_replicas) {
+      const int shift = std::min(attempt, 10);
+      const int base =
+          std::min(options_.retry_backoff_max_ms,
+                   std::max(1, options_.retry_backoff_base_ms) << shift);
+      const uint64_t wait_ms =
+          static_cast<uint64_t>(base) / 2 +
+          JitterRng().Uniform(static_cast<uint64_t>(base) / 2 + 1);
+      for (uint64_t slept = 0; slept < wait_ms && !stopping_.load();
+           slept += 5) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<uint64_t>(5, wait_ms - slept)));
+      }
+    }
+  }
+  MH_COUNTER("router.shed.count")->Increment();
+  return Status::Unavailable("shard " + shard->name +
+                             " unavailable: " + last.message());
+}
+
+void ModelHubRouter::ProbeLoop() {
+  while (!stopping_.load()) {
+    for (const auto& shard : shards_) {
+      for (const auto& backend : shard->replicas) {
+        if (stopping_.load()) return;
+        CircuitBreaker& breaker = backend->breaker();
+        const CircuitBreaker::State state = breaker.state();
+        if (state == CircuitBreaker::State::kHalfOpen) {
+          continue;  // Someone else's probe is in flight.
+        }
+        if (state == CircuitBreaker::State::kOpen && !breaker.Allow()) {
+          continue;  // Still cooling down.
+        }
+        MH_COUNTER("router.probe.count")->Increment();
+        ClientOptions probe_options;
+        probe_options.connect_timeout_ms = options_.probe_timeout_ms;
+        probe_options.op_timeout_ms = options_.probe_timeout_ms;
+        Status probe;
+        Result<ModelHubClient> client = ModelHubClient::Connect(
+            backend->endpoint().host, backend->endpoint().port, probe_options);
+        if (!client.ok()) {
+          probe = client.status();
+        } else {
+          Result<std::string> pong = client->Ping();
+          if (!pong.ok()) {
+            probe = pong.status();
+          } else {
+            Result<PingInfo> info = ParsePingReply(*pong);
+            if (!info.ok()) {
+              probe = info.status();
+            } else {
+              backend->set_draining(info->draining());
+            }
+          }
+        }
+        if (probe.ok()) {
+          if (breaker.RecordSuccess()) {
+            MH_COUNTER("router.breaker.closes.count")->Increment();
+          }
+        } else {
+          MH_COUNTER("router.probe.failures.count")->Increment();
+          backend->InvalidatePool();
+          if (breaker.RecordFailure()) {
+            MH_COUNTER("router.breaker.opens.count")->Increment();
+          }
+        }
+      }
+    }
+    UpdateHealthGauges();
+    const int interval = std::max(10, options_.probe_interval_ms);
+    for (int slept = 0; slept < interval && !stopping_.load(); slept += 10) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min(10, interval - slept)));
+    }
+  }
+}
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void OnStopSignal(int) { g_stop_signal = 1; }
+
+}  // namespace
+
+int RunRouterMain(FleetTopology topology, RouterOptions options) {
+  const size_t num_shards = topology.shards.size();
+  const size_t num_backends = topology.num_backends();
+  ModelHubRouter router(std::move(topology), std::move(options));
+  const Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "modelhub-router: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("modelhub-router listening on %s:%d (%zu shards, %zu backends)\n",
+              router.options().host.c_str(), router.port(), num_shards,
+              num_backends);
+  std::fflush(stdout);
+  g_stop_signal = 0;
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  while (g_stop_signal == 0 && !router.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "modelhub-router: draining\n");
+  const Status stopped = router.Stop();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "modelhub-router: %s\n", stopped.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace modelhub

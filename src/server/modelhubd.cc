@@ -199,7 +199,17 @@ void ModelHubServer::WorkerLoop() {
       MH_GAUGE("server.queue.depth")
           ->Set(static_cast<int64_t>(pending_.size()));
     }
-    MH_HISTOGRAM("server.queue.wait.us")->Record(ElapsedUs(pc.enqueued));
+    const uint64_t waited_us = ElapsedUs(pc.enqueued);
+    MH_HISTOGRAM("server.queue.wait.us")->Record(waited_us);
+    // A connection that waited longer than the idle timeout is stale: its
+    // client has almost certainly timed out, and any request already on
+    // the wire would be served against an expired deadline. Shed it with
+    // a typed refusal instead of burning a worker on a dead exchange.
+    if (waited_us / 1000 >
+        static_cast<uint64_t>(std::max(0, options_.idle_timeout_ms))) {
+      Shed(std::move(pc.sock), "queued past idle timeout");
+      continue;
+    }
     active_connections_.fetch_add(1);
     MH_GAUGE("server.connections.active")->Add(1);
     ServeConnection(std::move(pc.sock));
@@ -263,9 +273,22 @@ void ModelHubServer::ServeConnection(Socket sock) {
 
 Status ModelHubServer::Dispatch(const Frame& request, std::string* out) {
   switch (static_cast<Opcode>(request.opcode)) {
-    case Opcode::kPing:
-      *out = "pong";
+    case Opcode::kPing: {
+      // The reply leads with the bare "pong" liveness token (old clients
+      // key on that) and appends load/lifecycle state so a router can
+      // steer away from a draining or backed-up server before requests
+      // start failing (ParsePingReply in net/client.h).
+      size_t queued;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queued = pending_.size();
+      }
+      *out = std::string("pong state=") +
+             (stopping_.load() ? "draining" : "serving") +
+             " queue=" + std::to_string(queued) +
+             " active=" + std::to_string(active_connections_.load());
       return Status::OK();
+    }
     case Opcode::kListModels:
       return HandleListModels(out);
     case Opcode::kGetSnapshot:

@@ -13,6 +13,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "net/client.h"
+#include "net/fault.h"
 #include "net/frame.h"
 #include "net/socket.h"
 
@@ -363,6 +364,190 @@ TEST(ListenerTest, ConnectRefusedIsUnavailable) {
       Socket::Connect("127.0.0.1", dead_port, Deadline::AfterMs(2000));
   EXPECT_TRUE(client.status().IsUnavailable())
       << client.status().ToString();
+}
+
+// ------------------------------------------------------ ParsePingReply
+
+TEST(PingReplyTest, BarePongFromOldServerParsesAsServing) {
+  auto info = ParsePingReply("pong");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->state, "serving");
+  EXPECT_FALSE(info->draining());
+  EXPECT_EQ(info->queue_depth, 0);
+  EXPECT_EQ(info->active, 0);
+}
+
+TEST(PingReplyTest, ParsesStateTokens) {
+  auto info = ParsePingReply("pong state=draining queue=3 active=7");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->draining());
+  EXPECT_EQ(info->queue_depth, 3);
+  EXPECT_EQ(info->active, 7);
+}
+
+TEST(PingReplyTest, IgnoresUnknownTokens) {
+  // Future servers (and the router) may append tokens; parsers must not
+  // choke on them.
+  auto info = ParsePingReply(
+      "pong state=serving queue=0 active=2 role=router healthy=5 backends=6");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->state, "serving");
+  EXPECT_EQ(info->active, 2);
+}
+
+TEST(PingReplyTest, RejectsNonPongReplies) {
+  EXPECT_TRUE(ParsePingReply("").status().IsCorruption());
+  EXPECT_TRUE(ParsePingReply("nope").status().IsCorruption());
+  EXPECT_TRUE(ParsePingReply("pongx").status().IsCorruption());
+}
+
+// ------------------------------------------------------ Fault injection
+//
+// NetFaultInjector is process-global: every test arms inside a fixture
+// whose TearDown disarms, so a failing assertion cannot leak faults into
+// later tests.
+
+class NetFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { NetFaultInjector::Global()->Reset(); }
+  void TearDown() override { NetFaultInjector::Global()->Reset(); }
+};
+
+TEST_F(NetFaultTest, FailNextConnectsRefusesExactlyN) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread acceptor([&] {
+    // Two successful connects bracket the refused one.
+    for (int i = 0; i < 2; ++i) (void)listener->Accept();
+  });
+
+  NetFaultInjector::Global()->FailNextConnects(1);
+  auto refused = Socket::Connect("127.0.0.1", listener->port(),
+                                 Deadline::AfterMs(2000));
+  EXPECT_TRUE(refused.status().IsUnavailable())
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().message().find("injected"), std::string::npos);
+
+  auto first = Socket::Connect("127.0.0.1", listener->port(),
+                               Deadline::AfterMs(2000));
+  EXPECT_TRUE(first.ok()) << first.status().ToString();
+  auto second = Socket::Connect("127.0.0.1", listener->port(),
+                                Deadline::AfterMs(2000));
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+  listener->Wake();
+  acceptor.join();
+}
+
+TEST_F(NetFaultTest, RefusedPortIsStickyUntilAllowed) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread acceptor([&] { (void)listener->Accept(); });
+
+  NetFaultInjector::Global()->RefuseConnectsToPort(listener->port());
+  for (int i = 0; i < 3; ++i) {
+    auto refused = Socket::Connect("127.0.0.1", listener->port(),
+                                   Deadline::AfterMs(2000));
+    EXPECT_TRUE(refused.status().IsUnavailable());
+  }
+  NetFaultInjector::Global()->AllowConnectsToPort(listener->port());
+  auto restored = Socket::Connect("127.0.0.1", listener->port(),
+                                  Deadline::AfterMs(2000));
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  listener->Wake();
+  acceptor.join();
+}
+
+TEST_F(NetFaultTest, TornWriteCutsStreamMidFrame) {
+  SocketPair pair;
+  const std::string wire = EncodeFrame(1, "this frame will be cut short");
+  NetFaultInjector::Global()->TearNextWriteAfter(7);
+  const Status written = pair.a.WriteFull(wire.data(), wire.size(),
+                                          Deadline::AfterMs(2000));
+  ASSERT_TRUE(written.IsIOError()) << written.ToString();
+  EXPECT_NE(written.ToString().find("torn"), std::string::npos);
+
+  // The reader sees exactly what a process death mid-response looks
+  // like: a few bytes then a cut — kIOError, NOT a clean EOF.
+  Frame frame;
+  bool clean_eof = false;
+  const Status read =
+      ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                Deadline::AfterMs(2000), nullptr, &clean_eof);
+  EXPECT_TRUE(read.IsIOError()) << read.ToString();
+  EXPECT_FALSE(clean_eof);
+}
+
+TEST_F(NetFaultTest, DelayedReadTripsOpDeadline) {
+  SocketPair pair;
+  const std::string wire = EncodeFrame(1, "late");
+  ASSERT_TRUE(
+      pair.a.WriteFull(wire.data(), wire.size(), Deadline::Infinite()).ok());
+  // The bytes are already in the buffer; only the injected stall makes
+  // the 100ms deadline fire.
+  NetFaultInjector::Global()->DelayNextReadMs(400);
+  Frame frame;
+  const Status read = ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                                Deadline::AfterMs(100));
+  EXPECT_TRUE(read.IsDeadlineExceeded()) << read.ToString();
+
+  // One-shot: the identical retry succeeds instantly.
+  const Status retry = ReadFrame(&pair.b, &frame, kDefaultMaxFrameBytes,
+                                 Deadline::AfterMs(2000));
+  ASSERT_TRUE(retry.ok()) << retry.ToString();
+  EXPECT_EQ(frame.payload, "late");
+}
+
+TEST_F(NetFaultTest, DelayedWriteTripsOpDeadline) {
+  SocketPair pair;
+  NetFaultInjector::Global()->DelayNextWriteMs(400);
+  const std::string wire = EncodeFrame(1, "stalled");
+  const Status written =
+      pair.a.WriteFull(wire.data(), wire.size(), Deadline::AfterMs(100));
+  EXPECT_TRUE(written.IsDeadlineExceeded()) << written.ToString();
+}
+
+TEST_F(NetFaultTest, ConnectRetriesRideOutRestartWindow) {
+  // Grab a port, leave it dead, and bring a listener up on it only after
+  // the client's first attempts have failed: connect_retries must bridge
+  // the gap (satellite for `dlv rpc --retries`).
+  int port = 0;
+  {
+    auto listener = Listener::Bind("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    port = listener->port();
+  }
+  std::thread late_server([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    auto listener = Listener::Bind("127.0.0.1", port);
+    if (!listener.ok()) return;
+    auto sock = listener->Accept();
+    if (!sock.ok()) return;
+    // Answer one PING so the handshake completes.
+    Frame request;
+    if (ReadFrame(&*sock, &request, kDefaultMaxFrameBytes,
+                  Deadline::AfterMs(5000))
+            .ok()) {
+      (void)WriteFrame(&*sock, request.opcode,
+                       EncodeResponsePayload(Status::OK(), "pong"),
+                       Deadline::AfterMs(5000));
+    }
+  });
+
+  ClientOptions no_retry;
+  no_retry.connect_timeout_ms = 500;
+  auto fail_fast = ModelHubClient::Connect("127.0.0.1", port, no_retry);
+  EXPECT_TRUE(fail_fast.status().IsUnavailable())
+      << fail_fast.status().ToString();
+
+  ClientOptions with_retries;
+  with_retries.connect_timeout_ms = 500;
+  with_retries.connect_retries = 8;
+  with_retries.connect_backoff_ms = 60;
+  auto client = ModelHubClient::Connect("127.0.0.1", port, with_retries);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto pong = client->Ping();
+  EXPECT_TRUE(pong.ok()) << pong.status().ToString();
+  late_server.join();
 }
 
 TEST(ClientTest, OpDeadlineAgainstSilentServer) {

@@ -145,7 +145,14 @@ TEST_F(ServerTest, BasicOpsOverLoopback) {
 
   auto pong = client->Ping();
   ASSERT_TRUE(pong.ok()) << pong.status().ToString();
-  EXPECT_EQ(*pong, "pong");
+  // The liveness token leads (old clients key on the prefix); the
+  // appended state tokens parse into PingInfo.
+  EXPECT_EQ(pong->rfind("pong", 0), 0u);
+  auto info = ParsePingReply(*pong);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->state, "serving");
+  EXPECT_FALSE(info->draining());
+  EXPECT_GE(info->active, 1);  // This very connection is active.
 
   auto models = client->ListModels();
   ASSERT_TRUE(models.ok()) << models.status().ToString();
@@ -281,6 +288,45 @@ TEST_F(ServerTest, QueuedConnectionServedOnceWorkerFrees) {
   held = Status::Unavailable("dropped");
   waiter.join();
   EXPECT_TRUE(served.load());
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST_F(ServerTest, QueuedPastIdleTimeoutIsShedNotServed) {
+  // Regression: a connection that sat in the accept queue longer than
+  // idle_timeout_ms used to be handed to a worker anyway, serving a
+  // request whose client had long since timed out. It must be shed with
+  // a typed kUnavailable instead.
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_connections = 4;
+  options.queue_capacity = 2;
+  options.idle_timeout_ms = 100;  // Queue-age budget under test.
+  ModelHubServer server(env_, root_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // An open connection holds its worker between requests, so the ping
+  // below parks the single worker on `held`.
+  auto held = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(held->Ping().ok());
+
+  // This connection queues behind the pinned worker and goes stale.
+  auto stale = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(stale.ok());
+
+  // Keep the worker pinned well past the idle timeout — each ping resets
+  // held's idle deadline, so the worker only frees when held hangs up,
+  // by which point the queued connection is unambiguously stale.
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    ASSERT_TRUE(held->Ping().ok());
+  }
+  held = Status::Unavailable("dropped");
+  auto shed = stale->Ping();
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status().ToString();
+  EXPECT_NE(shed.status().message().find("queued past idle timeout"),
+            std::string::npos)
+      << shed.status().ToString();
   EXPECT_TRUE(server.Stop().ok());
 }
 

@@ -9,11 +9,14 @@
 // other command has something to act on (the paper's modelers would use
 // the caffe wrapper here; the demo plays that role).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
@@ -28,6 +31,7 @@
 #include "dql/engine.h"
 #include "hub/hub.h"
 #include "net/client.h"
+#include "router/router.h"
 #include "server/modelhubd.h"
 
 namespace modelhub {
@@ -79,9 +83,13 @@ constexpr CommandHelp kCommands[] = {
     {"serving", "dlv serve <repo> [port] [--linger <ms>]",
      "serve the repository over TCP\n(modelhubd; SIGTERM or a shutdown\n"
      "rpc drains gracefully)"},
+    {"serving", "dlv serve --fleet <topology> [port]",
+     "route across modelhubd backends\n(topology: ';' separates shards,\n"
+     "',' replicas — health checks,\nbreakers, retries, failover)"},
     {"serving", "dlv rpc <host:port> <op> [args]",
      "call a running modelhubd (ops: ping\nlist-models get-snapshot query "
-     "stats\nshutdown; exit 3 = server unreachable)"},
+     "stats\nshutdown; exit 3 = server unreachable;\n--retries=N reconnects "
+     "and reissues\non transport faults with backoff)"},
     {"observability", "dlv stats <repo> [--json] [--trace <file>]",
      "run a probe workload and dump the\nmetrics registry (and a Chrome\n"
      "trace with --trace)"},
@@ -561,24 +569,31 @@ int RpcFail(const Status& status) {
   return transport ? 3 : 1;
 }
 
-int CmdRpc(const std::string& target, const std::string& op,
-           const std::vector<std::string>& args) {
-  const size_t colon = target.rfind(':');
-  if (colon == std::string::npos || colon == 0) return Usage();
-  const std::string host = target.substr(0, colon);
-  const int port = std::atoi(target.c_str() + colon + 1);
-  if (port <= 0) return Usage();
-  auto client = ModelHubClient::Connect(host, port);
-  if (!client.ok()) return RpcFail(client.status());
+/// True for faults worth reconnecting over: this hop could not reach or
+/// keep the peer, as opposed to the server answering with an error.
+bool RetryableRpcFault(const Status& status) {
+  return (status.IsUnavailable() || status.IsDeadlineExceeded() ||
+          status.IsIOError()) &&
+         status.message().rfind("server: ", 0) != 0;
+}
+
+/// One attempt of an rpc op over an established connection. Returns 0 on
+/// success (result already printed), 2 on usage, or 1 with *error set.
+int RunRpcOp(ModelHubClient& client, const std::string& op,
+             const std::vector<std::string>& args, Status* error) {
+  auto fail = [&](const Status& status) {
+    *error = status;
+    return 1;
+  };
   if (op == "ping") {
-    auto pong = client->Ping();
-    if (!pong.ok()) return RpcFail(pong.status());
+    auto pong = client.Ping();
+    if (!pong.ok()) return fail(pong.status());
     std::printf("%s\n", pong->c_str());
     return 0;
   }
   if (op == "list-models") {
-    auto rows = client->ListModels();
-    if (!rows.ok()) return RpcFail(rows.status());
+    auto rows = client.ListModels();
+    if (!rows.ok()) return fail(rows.status());
     std::printf("%s", rows->c_str());
     return 0;
   }
@@ -586,13 +601,13 @@ int CmdRpc(const std::string& target, const std::string& op,
     const int64_t sequence = args.size() > 1 ? std::atoll(args[1].c_str()) : -1;
     const int planes = args.size() > 2 ? std::atoi(args[2].c_str()) : 0;
     if (planes > 0) {
-      auto bounds = client->GetSnapshotBounds(args[0], sequence, planes);
-      if (!bounds.ok()) return RpcFail(bounds.status());
+      auto bounds = client.GetSnapshotBounds(args[0], sequence, planes);
+      if (!bounds.ok()) return fail(bounds.status());
       std::printf("%s", bounds->c_str());
       return 0;
     }
-    auto params = client->GetSnapshot(args[0], sequence);
-    if (!params.ok()) return RpcFail(params.status());
+    auto params = client.GetSnapshot(args[0], sequence);
+    if (!params.ok()) return fail(params.status());
     uint64_t weights = 0;
     for (const auto& param : *params) {
       weights += static_cast<uint64_t>(param.value.size());
@@ -603,24 +618,54 @@ int CmdRpc(const std::string& target, const std::string& op,
     return 0;
   }
   if (op == "query" && args.size() == 1) {
-    auto result = client->Query(args[0]);
-    if (!result.ok()) return RpcFail(result.status());
+    auto result = client.Query(args[0]);
+    if (!result.ok()) return fail(result.status());
     std::printf("%s", result->c_str());
     return 0;
   }
   if (op == "stats") {
-    auto json = client->Stats();
-    if (!json.ok()) return RpcFail(json.status());
+    auto json = client.Stats();
+    if (!json.ok()) return fail(json.status());
     std::printf("%s\n", json->c_str());
     return 0;
   }
   if (op == "shutdown") {
-    const Status status = client->Shutdown();
-    if (!status.ok()) return RpcFail(status);
+    const Status status = client.Shutdown();
+    if (!status.ok()) return fail(status);
     std::printf("server draining\n");
     return 0;
   }
   return Usage();
+}
+
+int CmdRpc(const std::string& target, const std::string& op,
+           const std::vector<std::string>& args, int retries) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0) return Usage();
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0) return Usage();
+  // The connect leg rides out a restart window inside Connect itself
+  // (connect_retries); the loop below re-establishes the connection when
+  // an op dies mid-flight (peer restarted between connect and call).
+  ClientOptions options;
+  options.connect_retries = retries;
+  Status last = Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    auto client = ModelHubClient::Connect(host, port, options);
+    if (client.ok()) {
+      const int code = RunRpcOp(*client, op, args, &last);
+      if (code != 1) return code;
+    } else {
+      last = client.status();
+    }
+    if (!RetryableRpcFault(last) || attempt >= retries) return RpcFail(last);
+    const int wait_ms =
+        std::min(2000, 50 << std::min(attempt, 5));
+    std::fprintf(stderr, "dlv: %s; retry %d/%d in %d ms\n",
+                 last.ToString().c_str(), attempt + 1, retries, wait_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
 }
 
 int CmdPull(Env* env, const std::string& hub_root, const std::string& user,
@@ -716,6 +761,17 @@ int Main(int argc, char** argv) {
   if (command == "pull" && argc == 6) {
     return CmdPull(env, arg(2), arg(3), arg(4), arg(5));
   }
+  if (command == "serve" && argc >= 3 && arg(2) == "--fleet") {
+    if (argc < 4 || argc > 5) return Usage();
+    auto topology = FleetTopology::Parse(arg(3));
+    if (!topology.ok()) return Fail(topology.status());
+    RouterOptions options;
+    if (argc == 5) {
+      options.port = std::atoi(argv[4]);
+      if (options.port <= 0) return Usage();
+    }
+    return RunRouterMain(std::move(*topology), options);
+  }
   if (command == "serve" && argc >= 3) {
     int port = 0;
     int linger_ms = 0;
@@ -734,9 +790,21 @@ int Main(int argc, char** argv) {
     return CmdServe(env, arg(2), port, linger_ms);
   }
   if (command == "rpc" && argc >= 4) {
-    std::vector<std::string> rest;
-    for (int i = 4; i < argc; ++i) rest.push_back(arg(i));
-    return CmdRpc(arg(2), arg(3), rest);
+    int retries = 0;
+    std::vector<std::string> positional;
+    constexpr std::string_view kRetriesFlag = "--retries=";
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = arg(i);
+      if (flag.rfind(kRetriesFlag, 0) == 0) {
+        retries = std::atoi(flag.c_str() + kRetriesFlag.size());
+        if (retries < 0) return Usage();
+      } else {
+        positional.push_back(flag);
+      }
+    }
+    if (positional.size() < 2) return Usage();
+    std::vector<std::string> rest(positional.begin() + 2, positional.end());
+    return CmdRpc(positional[0], positional[1], rest, retries);
   }
   if (command == "stats" && argc >= 3) {
     bool json = false;

@@ -1,0 +1,41 @@
+// modelhub-router — the fleet frontend. Speaks the modelhubd wire
+// protocol to clients and fans requests out across N backend shards with
+// health checks, circuit breakers, retries, and failover (DESIGN.md §11).
+// `dlv serve --fleet` wraps the same entry point.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "router/router.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 5) {
+    std::fprintf(
+        stderr,
+        "usage: modelhub-router <topology> [port] [--probe-interval <ms>]\n"
+        "  topology: 'host:port,host:port;host:port' — ';' separates\n"
+        "  shards, ',' separates replicas within a shard. Listens on\n"
+        "  127.0.0.1 (port 0 = ephemeral, printed on startup); SIGTERM\n"
+        "  drains gracefully without touching the backends\n");
+    return 2;
+  }
+  modelhub::RouterOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--probe-interval") == 0 && i + 1 < argc) {
+      options.probe_interval_ms = std::atoi(argv[++i]);
+    } else if (argv[i][0] != '-') {
+      options.port = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr, "modelhub-router: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  auto topology = modelhub::FleetTopology::Parse(argv[1]);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "modelhub-router: %s\n",
+                 topology.status().ToString().c_str());
+    return 2;
+  }
+  return modelhub::RunRouterMain(topology.MoveValue(), options);
+}
