@@ -106,6 +106,11 @@ int main() {
     double p50_ms = 0.0;
     double p99_ms = 0.0;
     uint64_t stored_bytes = 0;
+    int tiles = 0;
+    double tile_p50_ms = 0.0;
+    double tile_p99_ms = 0.0;
+    double codec_p50_ms = 0.0;
+    double codec_p99_ms = 0.0;
   };
   std::vector<Row> rows;
   std::map<std::string, std::string> reference_files;
@@ -129,6 +134,11 @@ int main() {
     row.p50_ms = PercentileMs(report->pipeline.job_encode_ms, 0.50);
     row.p99_ms = PercentileMs(report->pipeline.job_encode_ms, 0.99);
     row.stored_bytes = report->pipeline.compressed_bytes;
+    row.tiles = report->pipeline.tiles;
+    row.tile_p50_ms = PercentileMs(report->pipeline.tile_encode_ms, 0.50);
+    row.tile_p99_ms = PercentileMs(report->pipeline.tile_encode_ms, 0.99);
+    row.codec_p50_ms = PercentileMs(report->pipeline.plane_codec_ms, 0.50);
+    row.codec_p99_ms = PercentileMs(report->pipeline.plane_codec_ms, 0.99);
     rows.push_back(row);
 
     // Differential check: every archive must be byte-identical to the
@@ -151,9 +161,12 @@ int main() {
 
     std::printf(
         "threads=%d  wall %8.1f ms  ingest %7.2f MB/s  speedup %.2fx  "
-        "encode p50 %.2f ms p99 %.2f ms  stored %llu bytes\n",
+        "encode p50 %.2f ms p99 %.2f ms  tiles %d (p50 %.3f p99 %.3f ms)  "
+        "codec p50 %.3f p99 %.3f ms  stored %llu bytes\n",
         row.threads, row.wall_ms, row.ingest_mbps, row.speedup, row.p50_ms,
-        row.p99_ms, static_cast<unsigned long long>(row.stored_bytes));
+        row.p99_ms, row.tiles, row.tile_p50_ms, row.tile_p99_ms,
+        row.codec_p50_ms, row.codec_p99_ms,
+        static_cast<unsigned long long>(row.stored_bytes));
   }
 
   std::string json = "{\"bench\":\"archival\",\"raw_bytes\":" +
@@ -162,14 +175,19 @@ int main() {
                      ",\"bit_identical\":" +
                      (bit_identical ? "true" : "false") + ",\"runs\":[";
   for (size_t i = 0; i < rows.size(); ++i) {
-    char buffer[256];
+    char buffer[384];
     std::snprintf(buffer, sizeof(buffer),
                   "%s{\"threads\":%d,\"wall_ms\":%.1f,\"ingest_mbps\":%.2f,"
                   "\"speedup_vs_serial\":%.3f,\"encode_p50_ms\":%.3f,"
-                  "\"encode_p99_ms\":%.3f,\"stored_bytes\":%llu}",
+                  "\"encode_p99_ms\":%.3f,\"tiles\":%d,"
+                  "\"tile_p50_ms\":%.4f,\"tile_p99_ms\":%.4f,"
+                  "\"codec_p50_ms\":%.4f,\"codec_p99_ms\":%.4f,"
+                  "\"stored_bytes\":%llu}",
                   i == 0 ? "" : ",", rows[i].threads, rows[i].wall_ms,
                   rows[i].ingest_mbps, rows[i].speedup, rows[i].p50_ms,
-                  rows[i].p99_ms,
+                  rows[i].p99_ms, rows[i].tiles, rows[i].tile_p50_ms,
+                  rows[i].tile_p99_ms, rows[i].codec_p50_ms,
+                  rows[i].codec_p99_ms,
                   static_cast<unsigned long long>(rows[i].stored_bytes));
     json += buffer;
   }

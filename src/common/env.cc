@@ -1,5 +1,10 @@
 #include "common/env.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -10,6 +15,21 @@ namespace modelhub {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// mmap-backed FileMapping. Holds only the mapping (the fd is closed right
+/// after mmap; POSIX keeps the mapping valid) and unmaps on destruction.
+class PosixFileMapping : public FileMapping {
+ public:
+  PosixFileMapping(const char* data, size_t size) {
+    data_ = data;
+    size_ = size;
+  }
+  ~PosixFileMapping() override {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+  }
+};
 
 /// Filesystem-backed Env. Writes go through a temp file + rename so readers
 /// never observe a partially written artifact.
@@ -143,9 +163,37 @@ class PosixEnv : public Env {
     std::sort(names.begin(), names.end());
     return names;
   }
+
+  Result<std::unique_ptr<FileMapping>> MapFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::NotFound("no such file: " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      return Status::IOError("cannot stat for mmap: " + path);
+    }
+    if (st.st_size == 0) {
+      // mmap of length 0 is invalid; callers fall back to ranged reads.
+      ::close(fd);
+      return Status::Unimplemented("empty file cannot be mapped: " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+      return Status::IOError("mmap failed: " + path);
+    }
+    return std::unique_ptr<FileMapping>(
+        new PosixFileMapping(static_cast<const char*>(addr), size));
+  }
 };
 
 }  // namespace
+
+Result<std::unique_ptr<FileMapping>> Env::MapFile(const std::string& path) {
+  return Status::Unimplemented("MapFile not supported by this Env: " + path);
+}
 
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();  // Intentionally leaked singleton.

@@ -10,6 +10,22 @@
 
 namespace modelhub {
 
+/// A read-only view of an entire file pinned in memory (mmap on PosixEnv).
+/// The bytes reflect the file as it was when the mapping was created:
+/// ModelHub artifacts are write-once (WriteFile publishes a new inode via
+/// rename), so an open mapping never observes a torn rewrite. The mapping
+/// owns its resources and unmaps on destruction.
+class FileMapping {
+ public:
+  virtual ~FileMapping() = default;
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ protected:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Env abstracts the filesystem so the DLV repository, PAS chunk store and
 /// hub can run against a real directory tree or a deterministic in-memory
 /// tree in tests (the RocksDB Env pattern, trimmed to whole-file
@@ -17,6 +33,14 @@ namespace modelhub {
 class Env {
  public:
   virtual ~Env() = default;
+
+  /// Maps the whole file read-only for zero-copy access. Default:
+  /// Unimplemented — callers must keep a ReadFileRange-based fallback
+  /// (MemEnv and FaultInjectionEnv deliberately do not map, so fault
+  /// sweeps exercise the fallback path and injected read faults stay
+  /// observable). Implementations may also decline (e.g. empty files).
+  virtual Result<std::unique_ptr<FileMapping>> MapFile(
+      const std::string& path);
 
   /// Atomically replaces (creates) `path` with `contents`: on success the
   /// file holds exactly `contents`; on failure the previous contents (or

@@ -9,23 +9,37 @@
 namespace modelhub {
 
 /// MSB-first bit writer appending to a std::string. Used by the Huffman
-/// coder; codes are at most 15 bits so a 32-bit accumulator suffices.
+/// coder; codes are at most 15 bits, and the 64-bit accumulator lets the
+/// hot loop buffer several codes between flushes: bytes leave the
+/// accumulator four at a time instead of one per Write. The emitted byte
+/// stream is identical to a bit-at-a-time writer.
 class BitWriter {
  public:
   explicit BitWriter(std::string* out) : out_(out) {}
 
   /// Appends the low `nbits` bits of `bits`, most significant first.
+  /// nbits must be in [1, 32] and the accumulator never exceeds 63 bits
+  /// (nacc_ < 32 on entry after the flush below), so the shift is safe.
   void Write(uint32_t bits, int nbits) {
-    acc_ = (acc_ << nbits) | (bits & ((1u << nbits) - 1));
+    acc_ = (acc_ << nbits) | (bits & ((1ull << nbits) - 1));
     nacc_ += nbits;
+    if (nacc_ >= 32) {
+      nacc_ -= 32;
+      const uint32_t word = static_cast<uint32_t>(acc_ >> nacc_);
+      char bytes[4] = {static_cast<char>((word >> 24) & 0xFF),
+                       static_cast<char>((word >> 16) & 0xFF),
+                       static_cast<char>((word >> 8) & 0xFF),
+                       static_cast<char>(word & 0xFF)};
+      out_->append(bytes, 4);
+    }
+  }
+
+  /// Flushes remaining whole bytes, then any partial byte zero-padded.
+  void Finish() {
     while (nacc_ >= 8) {
       nacc_ -= 8;
       out_->push_back(static_cast<char>((acc_ >> nacc_) & 0xFF));
     }
-  }
-
-  /// Flushes any partial byte, zero-padding the tail.
-  void Finish() {
     if (nacc_ > 0) {
       out_->push_back(static_cast<char>((acc_ << (8 - nacc_)) & 0xFF));
       nacc_ = 0;

@@ -31,7 +31,8 @@ Status DeflateLiteCodec::DoDecompress(Slice input, std::string* output) const {
   std::string tokens;
   HuffmanCodec huffman;
   MH_RETURN_IF_ERROR(huffman.Decompress(input, &tokens));
-  MH_RETURN_IF_ERROR(lz77::Detokenize(Slice(tokens), output));
+  MH_RETURN_IF_ERROR(lz77::Detokenize(Slice(tokens), output,
+                                      static_cast<size_t>(raw_size)));
   if (output->size() != raw_size) {
     return Status::Corruption("deflate-lite: size mismatch after decode");
   }

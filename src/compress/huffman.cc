@@ -97,8 +97,23 @@ Status HuffmanCodec::DoCompress(Slice input, std::string* output) const {
   PutVarint64(output, input.size());
   if (input.empty()) return Status::OK();
 
+  // Four interleaved sub-histograms break the store-to-load dependency on
+  // repeated symbols (all-zero planes would otherwise serialize on one
+  // counter).
   std::array<uint64_t, 256> freq{};
-  for (size_t i = 0; i < input.size(); ++i) freq[input[i]]++;
+  {
+    std::array<uint64_t, 256> f1{}, f2{}, f3{};
+    const uint8_t* p = input.data();
+    size_t i = 0;
+    for (; i + 4 <= input.size(); i += 4) {
+      freq[p[i]]++;
+      f1[p[i + 1]]++;
+      f2[p[i + 2]]++;
+      f3[p[i + 3]]++;
+    }
+    for (; i < input.size(); ++i) freq[p[i]]++;
+    for (int s = 0; s < 256; ++s) freq[s] += f1[s] + f2[s] + f3[s];
+  }
   int distinct = 0;
   int only_symbol = 0;
   for (int s = 0; s < 256; ++s) {
@@ -164,11 +179,15 @@ Status HuffmanCodec::DoDecompress(Slice input, std::string* output) const {
   // Canonical decode tables: per length, the first code and the position of
   // its first symbol in (length, symbol) order.
   std::array<uint16_t, kMaxHuffmanBits + 1> count{};
+  int max_len = 0;
   for (int s = 0; s < 256; ++s) {
     if (lengths[s] > kMaxHuffmanBits) {
       return Status::Corruption("huffman: invalid code length");
     }
-    if (lengths[s] > 0) count[lengths[s]]++;
+    if (lengths[s] > 0) {
+      count[lengths[s]]++;
+      max_len = std::max<int>(max_len, lengths[s]);
+    }
   }
   std::array<uint32_t, kMaxHuffmanBits + 1> first_code{};
   std::array<uint32_t, kMaxHuffmanBits + 1> first_index{};
@@ -180,6 +199,11 @@ Status HuffmanCodec::DoDecompress(Slice input, std::string* output) const {
     first_index[len] = index;
     code += count[len];
     index += count[len];
+    // Over-subscribed length tables would let the root LUT fill below run
+    // past its end; a valid (Kraft-satisfying) table never trips this.
+    if (code > (1u << len)) {
+      return Status::Corruption("huffman: over-subscribed length table");
+    }
   }
   std::vector<uint8_t> symbols_by_code(index);
   {
@@ -189,25 +213,106 @@ Status HuffmanCodec::DoDecompress(Slice input, std::string* output) const {
     }
   }
 
-  output->reserve(static_cast<size_t>(std::min<uint64_t>(raw_size, 1 << 22)));
-  BitReader reader(input);
-  while (output->size() < raw_size) {
-    uint32_t acc = 0;
-    int len = 0;
-    for (;;) {
-      const int bit = reader.ReadBit();
-      if (bit < 0) return Status::Corruption("huffman: truncated bitstream");
-      acc = (acc << 1) | static_cast<uint32_t>(bit);
-      ++len;
-      if (len > kMaxHuffmanBits) {
-        return Status::Corruption("huffman: invalid code");
-      }
+  // Root lookup table for multi-symbol decode: indexing the next
+  // `root_bits` of the stream yields (symbol, code length) in one load for
+  // every code of length <= root_bits; each such code owns the
+  // 2^(root_bits - len) slots sharing its prefix. len == 0 marks "longer
+  // than root_bits" (resolved by the canonical walk below) or an unused
+  // pattern (corrupt stream).
+  struct LutEntry {
+    uint8_t symbol = 0;
+    uint8_t len = 0;
+  };
+  constexpr int kRootBits = 11;
+  const int root_bits = std::min(max_len, kRootBits);
+  std::vector<LutEntry> lut(size_t{1} << root_bits);
+  for (int len = 1; len <= root_bits; ++len) {
+    for (uint32_t k = 0; k < count[len]; ++k) {
+      const uint32_t base = (first_code[len] + k) << (root_bits - len);
+      const LutEntry entry{symbols_by_code[first_index[len] + k],
+                           static_cast<uint8_t>(len)};
+      std::fill(&lut[base], &lut[base] + (size_t{1} << (root_bits - len)),
+                entry);
+    }
+  }
+
+  // MSB-first decode with a 64-bit accumulator: the low `bitcount` bits of
+  // `bitbuf` are the unconsumed stream (bits above them are stale). The
+  // inner loop decodes symbol after symbol from one refill, so the
+  // per-symbol cost is one table load instead of a bit-at-a-time walk.
+  const uint8_t* src = input.data();
+  const size_t nsrc = input.size();
+  size_t byte_pos = 0;
+  uint64_t bitbuf = 0;
+  int bitcount = 0;
+  const uint32_t root_mask = (1u << root_bits) - 1;
+  // Peeks `nbits` (<= bitcount or zero-padded past end of stream).
+  const auto peek = [&](int nbits) -> uint32_t {
+    if (bitcount >= nbits) {
+      return static_cast<uint32_t>(bitbuf >> (bitcount - nbits)) &
+             ((1u << nbits) - 1);
+    }
+    return static_cast<uint32_t>((bitbuf << (nbits - bitcount)) &
+                                 ((1ull << nbits) - 1));
+  };
+  // Resolves a code longer than root_bits (or the zero-padded tail) by
+  // extending the canonical ranges one bit at a time, exactly like the
+  // reference bit-at-a-time decoder would.
+  const auto decode_long = [&](int start_len, char* out_symbol) -> Status {
+    for (int len = start_len; len <= max_len; ++len) {
+      const uint32_t acc = peek(len);
       if (count[len] > 0 && acc >= first_code[len] &&
           acc < first_code[len] + count[len]) {
-        output->push_back(static_cast<char>(
-            symbols_by_code[first_index[len] + (acc - first_code[len])]));
-        break;
+        if (len > bitcount) {
+          return Status::Corruption("huffman: truncated bitstream");
+        }
+        bitcount -= len;
+        *out_symbol = static_cast<char>(
+            symbols_by_code[first_index[len] + (acc - first_code[len])]);
+        return Status::OK();
       }
+    }
+    return Status::Corruption("huffman: invalid code");
+  };
+
+  output->reserve(static_cast<size_t>(std::min<uint64_t>(raw_size, 1 << 22)));
+  while (output->size() < raw_size) {
+    while (bitcount <= 56 && byte_pos < nsrc) {
+      bitbuf = (bitbuf << 8) | src[byte_pos++];
+      bitcount += 8;
+    }
+    // Fast path: enough buffered bits for any code, no bounds checks.
+    while (output->size() < raw_size && bitcount >= kMaxHuffmanBits) {
+      const LutEntry entry =
+          lut[static_cast<uint32_t>(bitbuf >> (bitcount - root_bits)) &
+              root_mask];
+      if (entry.len != 0) {
+        bitcount -= entry.len;
+        output->push_back(static_cast<char>(entry.symbol));
+      } else {
+        char symbol;
+        MH_RETURN_IF_ERROR(decode_long(root_bits + 1, &symbol));
+        output->push_back(symbol);
+      }
+    }
+    if (output->size() >= raw_size) break;
+    if (byte_pos < nsrc) continue;  // Refill the accumulator.
+    // Tail: fewer than kMaxHuffmanBits left and no more input. Peeks are
+    // zero-padded; a match must still fit in the real remaining bits.
+    if (bitcount == 0) {
+      return Status::Corruption("huffman: truncated bitstream");
+    }
+    const LutEntry entry = lut[peek(root_bits)];
+    if (entry.len != 0) {
+      if (entry.len > bitcount) {
+        return Status::Corruption("huffman: truncated bitstream");
+      }
+      bitcount -= entry.len;
+      output->push_back(static_cast<char>(entry.symbol));
+    } else {
+      char symbol;
+      MH_RETURN_IF_ERROR(decode_long(root_bits + 1, &symbol));
+      output->push_back(symbol);
     }
   }
   return Status::OK();

@@ -23,6 +23,26 @@ inline uint32_t Hash4(const uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
+// Length of the common prefix of a and b, capped at `limit`. Compares
+// 8 bytes per step and locates the first differing byte with a count of
+// trailing zeros (little-endian: the lowest differing byte is the first).
+inline size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t len = 0;
+  while (len + 8 <= limit) {
+    uint64_t va;
+    uint64_t vb;
+    std::memcpy(&va, a + len, 8);
+    std::memcpy(&vb, b + len, 8);
+    const uint64_t diff = va ^ vb;
+    if (diff != 0) {
+      return len + (static_cast<size_t>(__builtin_ctzll(diff)) >> 3);
+    }
+    len += 8;
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
 void FlushLiterals(Slice input, size_t start, size_t end, std::string* out) {
   while (start < end) {
     const size_t n = std::min<size_t>(128, end - start);
@@ -52,16 +72,23 @@ void Tokenize(Slice input, std::string* out) {
     size_t best_dist = 0;
     uint32_t candidate = head[h];
     int chain = kMaxChainLength;
+    const size_t limit = std::min(n - i, kMaxMatch);
     while (candidate != 0 && chain-- > 0) {
       const size_t pos = candidate - 1;
       if (i - pos > kWindowSize) break;
-      const size_t limit = std::min(n - i, kMaxMatch);
-      size_t len = 0;
-      while (len < limit && data[pos + len] == data[i + len]) ++len;
-      if (len > best_len) {
-        best_len = len;
-        best_dist = i - pos;
-        if (len >= kMaxMatch) break;
+      // A candidate can only beat best_len if it also matches at offset
+      // best_len, so one byte compare rejects most chain entries without
+      // walking the prefix. Skipped candidates are exactly those the full
+      // compare would also have rejected — the chosen match is unchanged.
+      if (best_len == 0 || data[pos + best_len] == data[i + best_len]) {
+        const size_t len = MatchLength(data + pos, data + i, limit);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - pos;
+          // A full-limit match cannot be beaten (later candidates only tie
+          // or lose, and ties keep the earlier — nearer — candidate).
+          if (len >= limit) break;
+        }
       }
       candidate = prev[pos % kWindowSize];
     }
@@ -90,8 +117,12 @@ void Tokenize(Slice input, std::string* out) {
   FlushLiterals(input, literal_start, n, out);
 }
 
-Status Detokenize(Slice tokens, std::string* out) {
+Status Detokenize(Slice tokens, std::string* out, size_t size_hint) {
   out->clear();
+  // The hint is advisory (DeflateLite passes the frame's claimed raw size);
+  // cap the speculative reservation so a corrupt frame cannot force a
+  // gigabyte allocation before any byte is decoded.
+  if (size_hint > 0) out->reserve(std::min<size_t>(size_hint, 1u << 22));
   while (!tokens.empty()) {
     const uint8_t op = tokens[0];
     tokens.RemovePrefix(1);
@@ -112,10 +143,22 @@ Status Detokenize(Slice tokens, std::string* out) {
       if (dist > out->size() || dist > kWindowSize || len > kMaxMatch) {
         return Status::Corruption("lz77: invalid match");
       }
-      // Byte-by-byte copy: matches may overlap their own output.
-      size_t src = out->size() - dist;
-      for (size_t k = 0; k < len; ++k) {
-        out->push_back((*out)[src + k]);
+      // Grow once, then copy within the buffer. resize() may reallocate,
+      // so source/destination pointers are taken afterwards.
+      const size_t old_size = out->size();
+      out->resize(old_size + len);
+      char* dst = out->data() + old_size;
+      const char* from = dst - dist;
+      if (dist >= len) {
+        // Non-overlapping: one memcpy. This is the hot path for
+        // incompressible planes too, via their long literal runs above.
+        std::memcpy(dst, from, len);
+      } else if (dist == 1) {
+        // Run of a single byte (the "aaaa..." case).
+        std::memset(dst, from[0], len);
+      } else {
+        // Overlapping with period `dist`: the byte-by-byte reference copy.
+        for (size_t k = 0; k < len; ++k) dst[k] = from[k];
       }
     }
   }

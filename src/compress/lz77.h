@@ -26,8 +26,10 @@ inline constexpr size_t kMaxMatch = 258;
 /// (cleared first).
 void Tokenize(Slice input, std::string* out);
 
-/// Reconstructs the original bytes from a token stream.
-Status Detokenize(Slice tokens, std::string* out);
+/// Reconstructs the original bytes from a token stream. `size_hint`, when
+/// non-zero, pre-reserves the output (capped internally; purely an
+/// allocation hint — the decoded bytes are unaffected).
+Status Detokenize(Slice tokens, std::string* out, size_t size_hint = 0);
 
 }  // namespace lz77
 }  // namespace modelhub

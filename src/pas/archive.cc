@@ -529,7 +529,8 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   ArchivePipelineStats pipeline_stats;
   MH_ASSIGN_OR_RETURN(
       const std::vector<ParallelArchiver::Placement> placements,
-      ParallelArchiver::Run(jobs, options.codec, threads, &pipeline_stats));
+      ParallelArchiver::Run(jobs, options.codec, threads, &pipeline_stats,
+                            options.tile_rows));
   std::string manifest;  // Body; the generation header is prepended below.
   PutVarint64(&manifest, matrices_.size());
   for (size_t i = 0; i < matrices_.size(); ++i) {

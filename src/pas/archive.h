@@ -65,6 +65,11 @@ struct ArchiveOptions {
   /// (ResolveArchiveThreads). The archive bytes are identical for every
   /// value — parallelism only changes wall time.
   int archive_threads = 0;
+  /// Rows per delta+segment tile in the write pipeline. >= 1 is literal,
+  /// anything else means auto (ResolveTileRows: ~64 KiB of floats per
+  /// tile). Like archive_threads, the archive bytes are identical for
+  /// every value.
+  int tile_rows = 0;
 };
 
 /// What Build measured — the quantities Fig 6(c) plots.

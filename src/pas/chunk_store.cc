@@ -123,6 +123,15 @@ Result<ChunkStoreReader> ChunkStoreReader::Open(Env* env,
     }
     reader.refs_.push_back(ref);
   }
+  // Mapping is an optimization, never a requirement: any failure (Env
+  // without mmap, size race with a concurrent replace) silently falls
+  // back to ranged reads. The size check guards the race: refs were
+  // validated against file_size, so a shorter mapping must not be used.
+  if (auto mapping = env->MapFile(path);
+      mapping.ok() && (*mapping)->size() == file_size) {
+    reader.mapping_ = std::move(*mapping);
+    MH_COUNTER("pas.chunk.mmap.open")->Increment();
+  }
   return reader;
 }
 
@@ -176,36 +185,56 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
   MH_COUNTER("pas.chunk.cache.miss")->Increment();
   const auto fetch_start = std::chrono::steady_clock::now();
   const ChunkRef& ref = refs_[id];
-  // One retry distinguishes a transient read fault from real on-disk
-  // corruption: a bad sector or torn page read may succeed the second
-  // time, a corrupted payload fails both.
-  std::string compressed;
-  Status read_status = Status::OK();
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    if (attempt > 0) MH_COUNTER("pas.chunk.read.retry")->Increment();
-    auto bytes = env_->ReadFileRange(path_, ref.offset, ref.stored_size);
-    if (!bytes.ok()) {
-      read_status = bytes.status();
-      continue;
-    }
-    if (bytes->size() != ref.stored_size) {
-      read_status = Status::Corruption("short chunk read");
-      continue;
-    }
-    if (Crc32(Slice(*bytes)) != ref.crc) {
-      read_status = Status::Corruption("chunk checksum mismatch");
-      continue;
-    }
-    compressed = std::move(*bytes);
-    read_status = Status::OK();
-    break;
-  }
-  if (!read_status.ok()) {
-    MH_COUNTER("pas.chunk.read.error")->Increment();
-    return read_status;
-  }
   std::string raw;
-  MH_RETURN_IF_ERROR(Codec::Get(ref.codec)->Decompress(Slice(compressed), &raw));
+  bool fetched = false;
+  if (mapping_ != nullptr) {
+    // Zero-copy fast path: checksum and decompress straight out of the
+    // mapping. Open validated every ref against the mapped size, so the
+    // view is in bounds. A CRC mismatch here falls through to the
+    // ranged-read path below, whose retry distinguishes a transient
+    // fault from persistent corruption.
+    const Slice view(mapping_->data() + ref.offset,
+                     static_cast<size_t>(ref.stored_size));
+    if (Crc32(view) == ref.crc) {
+      MH_RETURN_IF_ERROR(Codec::Get(ref.codec)->Decompress(view, &raw));
+      MH_COUNTER("pas.chunk.read.mmap")->Increment();
+      fetched = true;
+    } else {
+      MH_COUNTER("pas.chunk.mmap.fallback")->Increment();
+    }
+  }
+  if (!fetched) {
+    // One retry distinguishes a transient read fault from real on-disk
+    // corruption: a bad sector or torn page read may succeed the second
+    // time, a corrupted payload fails both.
+    std::string compressed;
+    Status read_status = Status::OK();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (attempt > 0) MH_COUNTER("pas.chunk.read.retry")->Increment();
+      auto bytes = env_->ReadFileRange(path_, ref.offset, ref.stored_size);
+      if (!bytes.ok()) {
+        read_status = bytes.status();
+        continue;
+      }
+      if (bytes->size() != ref.stored_size) {
+        read_status = Status::Corruption("short chunk read");
+        continue;
+      }
+      if (Crc32(Slice(*bytes)) != ref.crc) {
+        read_status = Status::Corruption("chunk checksum mismatch");
+        continue;
+      }
+      compressed = std::move(*bytes);
+      read_status = Status::OK();
+      break;
+    }
+    if (!read_status.ok()) {
+      MH_COUNTER("pas.chunk.read.error")->Increment();
+      return read_status;
+    }
+    MH_RETURN_IF_ERROR(
+        Codec::Get(ref.codec)->Decompress(Slice(compressed), &raw));
+  }
   if (raw.size() != ref.raw_size) {
     return Status::Corruption("chunk raw size mismatch");
   }
@@ -222,8 +251,11 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
     stats_->bytes_read.fetch_add(ref.stored_size, std::memory_order_relaxed);
     stats_->chunk_fetches.fetch_add(1, std::memory_order_relaxed);
     // Oversized chunks bypass the cache entirely: admitting one would
-    // evict the whole working set for a single-use payload.
-    if (cache_enabled_ && raw.size() <= cache_capacity_) {
+    // evict most or all of the resident working set for a payload that
+    // is typically read once. The 1/kCacheAdmitFraction cap keeps any
+    // single admission from displacing more than a small share of it.
+    if (cache_enabled_ &&
+        raw.size() <= cache_capacity_ / kCacheAdmitFraction) {
       lru_.push_front(id);
       cache_.emplace(id, CacheEntry{raw, lru_.begin()});
       stats_->cache_bytes.fetch_add(raw.size(), std::memory_order_relaxed);
@@ -245,6 +277,14 @@ Status ChunkStoreReader::Verify(uint32_t id) const {
     return Status::InvalidArgument("chunk id out of range");
   }
   const ChunkRef& ref = refs_[id];
+  if (mapping_ != nullptr) {
+    // fsck over a mapped store is a pure checksum sweep of the page
+    // cache — no per-chunk allocation or copy.
+    const Slice view(mapping_->data() + ref.offset,
+                     static_cast<size_t>(ref.stored_size));
+    if (Crc32(view) == ref.crc) return Status::OK();
+    // Fall through and re-read: a transient fault should not fail fsck.
+  }
   MH_ASSIGN_OR_RETURN(
       std::string compressed,
       env_->ReadFileRange(path_, ref.offset, ref.stored_size));

@@ -85,15 +85,30 @@ class ChunkStoreReader {
   /// the cache for every evaluated snapshot).
   static constexpr uint64_t kDefaultCacheCapacity = 64ull << 20;  // 64 MiB
 
+  /// A single chunk may occupy at most 1/kCacheAdmitFraction of the cache
+  /// bound. Admitting anything up to the full bound lets one large plane
+  /// evict the entire resident working set for a payload that is often
+  /// read exactly once.
+  static constexpr uint64_t kCacheAdmitFraction = 8;
+
+  /// Opens the chunk file and, when the Env supports it (PosixEnv), maps
+  /// it read-only so Get/Verify checksum and decompress straight out of
+  /// the page cache. Envs without MapFile (MemEnv, FaultInjectionEnv)
+  /// fall back to ranged read() fetches — the crash-injection sweeps
+  /// exercise that path by construction. Chunk files are write-once
+  /// (tmp + rename), so an open mapping never observes a rewrite.
   static Result<ChunkStoreReader> Open(Env* env, const std::string& path);
 
   uint32_t num_chunks() const { return static_cast<uint32_t>(refs_.size()); }
   const ChunkRef& ref(uint32_t id) const { return refs_[id]; }
 
-  /// Fetches, verifies (CRC) and decompresses chunk `id`. A checksum
-  /// mismatch or short read is retried once (transient read faults);
-  /// a second failure is reported as Corruption. Thread-safe; counters
-  /// and cache are mutex-guarded.
+  /// Fetches, verifies (CRC) and decompresses chunk `id`. With an active
+  /// mapping the payload is checksummed and decompressed zero-copy from
+  /// the mapped file; a CRC mismatch there (or any Env without mmap)
+  /// falls back to ranged reads, where a checksum mismatch or short read
+  /// is retried once (transient read faults) and a second failure is
+  /// reported as Corruption. Thread-safe; counters and cache are
+  /// mutex-guarded.
   Result<std::string> Get(uint32_t id) const;
 
   /// Integrity check of chunk `id` without decompression: re-reads the
@@ -135,7 +150,7 @@ class ChunkStoreReader {
   void EnableCache(bool enable);
 
   /// Sets the cache bound in decompressed bytes and evicts down to it.
-  /// Chunks larger than the bound are never cached.
+  /// Chunks larger than bound / kCacheAdmitFraction are never cached.
   void SetCacheCapacity(uint64_t bytes);
 
  private:
@@ -161,6 +176,10 @@ class ChunkStoreReader {
   Env* env_ = nullptr;
   std::string path_;
   std::vector<ChunkRef> refs_;
+  /// Read-only mapping of the whole chunk file, when the Env supports it.
+  /// shared_ptr keeps the reader movable/copy-cheap and the mapping alive
+  /// for as long as any reader clone references it.
+  std::shared_ptr<const FileMapping> mapping_;
   // Owned via pointer so the reader stays movable.
   std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
   std::unique_ptr<AtomicStats> stats_ = std::make_unique<AtomicStats>();

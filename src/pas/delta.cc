@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/macros.h"
+
 namespace modelhub {
 
 namespace {
@@ -77,22 +79,77 @@ Result<DeltaKind> DeltaKindFromString(std::string_view name) {
   return Status::InvalidArgument("unknown delta kind: " + std::string(name));
 }
 
-Result<FloatMatrix> ComputeDelta(const FloatMatrix& target,
-                                 const FloatMatrix& base, DeltaKind kind) {
+Status ValidateDeltaShapes(const FloatMatrix& target, const FloatMatrix* base,
+                           DeltaKind kind) {
+  if (base == nullptr) return Status::OK();  // Materialized payload.
+  if ((kind == DeltaKind::kSub || kind == DeltaKind::kXor) &&
+      (target.rows() != base->rows() || target.cols() != base->cols())) {
+    return Status::InvalidArgument("delta: shape mismatch");
+  }
   switch (kind) {
     case DeltaKind::kMaterialized:
-      return target;
     case DeltaKind::kSub:
-      return target.Sub(base);
     case DeltaKind::kXor:
-      return target.BitwiseXor(base);
     case DeltaKind::kAdaptiveSub:
-      return AdaptiveCombine(target, base,
-                             [](float t, float b) { return t - b; });
     case DeltaKind::kAdaptiveXor:
-      return AdaptiveCombine(target, base, XorFloats);
+      return Status::OK();
   }
   return Status::InvalidArgument("unknown delta kind");
+}
+
+void ComputeDeltaRows(const FloatMatrix& target, const FloatMatrix* base,
+                      DeltaKind kind, int64_t row_begin, int64_t row_end,
+                      float* out) {
+  const int64_t cols = target.cols();
+  const float* t = target.data().data() + row_begin * cols;
+  const size_t count = static_cast<size_t>(row_end - row_begin) *
+                       static_cast<size_t>(cols);
+  if (base == nullptr || kind == DeltaKind::kMaterialized) {
+    std::memcpy(out, t, count * sizeof(float));
+    return;
+  }
+  switch (kind) {
+    case DeltaKind::kMaterialized:
+      break;  // Handled above.
+    case DeltaKind::kSub: {
+      const float* b = base->data().data() + row_begin * cols;
+      for (size_t i = 0; i < count; ++i) out[i] = t[i] - b[i];
+      break;
+    }
+    case DeltaKind::kXor: {
+      const float* b = base->data().data() + row_begin * cols;
+      for (size_t i = 0; i < count; ++i) out[i] = XorFloats(t[i], b[i]);
+      break;
+    }
+    case DeltaKind::kAdaptiveSub:
+    case DeltaKind::kAdaptiveXor: {
+      const int64_t overlap_rows = std::min(target.rows(), base->rows());
+      const int64_t overlap_cols = std::min(cols, base->cols());
+      float* dst = out;
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        for (int64_t c = 0; c < cols; ++c, ++dst) {
+          if (r < overlap_rows && c < overlap_cols) {
+            *dst = kind == DeltaKind::kAdaptiveSub
+                       ? target.At(r, c) - base->At(r, c)
+                       : XorFloats(target.At(r, c), base->At(r, c));
+          } else {
+            *dst = target.At(r, c);
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+Result<FloatMatrix> ComputeDelta(const FloatMatrix& target,
+                                 const FloatMatrix& base, DeltaKind kind) {
+  if (kind == DeltaKind::kMaterialized) return target;
+  MH_RETURN_IF_ERROR(ValidateDeltaShapes(target, &base, kind));
+  FloatMatrix out(target.rows(), target.cols());
+  ComputeDeltaRows(target, &base, kind, 0, target.rows(),
+                   out.data().data());
+  return out;
 }
 
 Result<FloatMatrix> ApplyDelta(const FloatMatrix& base,

@@ -41,6 +41,22 @@ Result<DeltaKind> DeltaKindFromString(std::string_view name);
 Result<FloatMatrix> ComputeDelta(const FloatMatrix& target,
                                  const FloatMatrix& base, DeltaKind kind);
 
+/// Row-range delta kernel: writes rows [row_begin, row_end) of the delta
+/// into `out`, a row-major slab of (row_end - row_begin) * target.cols()
+/// floats. `base == nullptr` means materialized (target stored verbatim).
+/// Element-for-element identical to ComputeDelta — ComputeDelta is
+/// implemented on top of this kernel, which is what lets the tiled
+/// archival pipeline produce byte-identical planes for every tile size.
+/// The caller must pre-validate shapes via ValidateDeltaShapes.
+void ComputeDeltaRows(const FloatMatrix& target, const FloatMatrix* base,
+                      DeltaKind kind, int64_t row_begin, int64_t row_end,
+                      float* out);
+
+/// Shape/kind validation for ComputeDeltaRows (and ComputeDelta): the
+/// exact kinds need matching shapes; adaptive kinds accept any base.
+Status ValidateDeltaShapes(const FloatMatrix& target, const FloatMatrix* base,
+                           DeltaKind kind);
+
 /// Inverse of ComputeDelta. For adaptive kinds the target shape is the
 /// delta's shape.
 Result<FloatMatrix> ApplyDelta(const FloatMatrix& base,

@@ -1,6 +1,8 @@
 #include "pas/parallel_archiver.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -14,38 +16,48 @@ namespace modelhub {
 
 namespace {
 
-/// Output of one encode task: the four compressed plane payloads plus the
-/// raw plane size PutCompressed needs for the chunk index.
+/// Output of one job's encode stage: the four compressed plane payloads
+/// plus the raw plane size PutCompressed needs for the chunk index.
 struct EncodedPayload {
   std::string planes[kNumPlanes];
   uint64_t raw_plane_bytes = 0;
 };
 
-/// The parallel stage of the pipeline: pure CPU, no Env access. Must
-/// produce exactly the bytes the serial writer would (ComputeDelta,
-/// SegmentFloats and the codecs are all deterministic pure functions).
-Result<EncodedPayload> EncodeJob(const ParallelArchiver::Job& job,
-                                 CodecType codec) {
-  TraceSpan span("pas.archive.encode");
-  Stopwatch watch;
-  FloatMatrix delta;
-  const FloatMatrix* payload = job.target;
-  if (job.base != nullptr) {
-    MH_ASSIGN_OR_RETURN(delta,
-                        ComputeDelta(*job.target, *job.base, job.delta_kind));
-    payload = &delta;
-  }
-  const auto planes = SegmentFloats(*payload);
-  EncodedPayload out;
-  out.raw_plane_bytes = static_cast<uint64_t>(payload->size());
-  const Codec* compressor = Codec::Get(codec);
-  for (int p = 0; p < kNumPlanes; ++p) {
-    MH_RETURN_IF_ERROR(compressor->Compress(Slice(planes[p]), &out.planes[p]));
-  }
-  MH_HISTOGRAM("pas.archive.encode.us")
-      ->Record(static_cast<uint64_t>(watch.ElapsedMillis() * 1000.0));
-  span.Annotate("raw_bytes", out.raw_plane_bytes * kNumPlanes);
-  return out;
+/// Row-tiling geometry of one job.
+struct TileShape {
+  int64_t tile_rows = 1;
+  int num_tiles = 1;
+};
+
+TileShape ShapeFor(const FloatMatrix& matrix, int tile_rows_knob) {
+  TileShape shape;
+  shape.tile_rows = ResolveTileRows(tile_rows_knob, matrix.cols());
+  shape.num_tiles = static_cast<int>(std::max<int64_t>(
+      1, (matrix.rows() + shape.tile_rows - 1) / shape.tile_rows));
+  return shape;
+}
+
+/// Encodes tile `tile` of `job`: the delta for rows [r0, r1) lands in a
+/// local slab, then its byte planes are scattered into the job's shared
+/// plane buffers at the tile's offset. Tiles write disjoint byte ranges,
+/// so concurrent tiles of one job need no synchronization on the buffers.
+/// Pure CPU and infallible — shapes are validated before any scheduling.
+void EncodeTile(const ParallelArchiver::Job& job, const TileShape& shape,
+                int tile, std::array<std::string, kNumPlanes>* planes,
+                std::vector<float>* slab) {
+  const int64_t rows = job.target->rows();
+  const int64_t cols = job.target->cols();
+  const int64_t r0 = std::min<int64_t>(rows, tile * shape.tile_rows);
+  const int64_t r1 = std::min<int64_t>(rows, r0 + shape.tile_rows);
+  const size_t count =
+      static_cast<size_t>(r1 - r0) * static_cast<size_t>(cols);
+  if (count == 0) return;
+  slab->resize(count);
+  ComputeDeltaRows(*job.target, job.base, job.delta_kind, r0, r1,
+                   slab->data());
+  SegmentFloatsRange(slab->data(), count,
+                     static_cast<size_t>(r0) * static_cast<size_t>(cols),
+                     planes);
 }
 
 /// The serial committer half for one job: ordered appends into the job's
@@ -64,6 +76,8 @@ Result<ParallelArchiver::Placement> CommitJob(const ParallelArchiver::Job& job,
 }
 
 void RecordJobStats(const EncodedPayload& payload, double encode_ms,
+                    const std::vector<double>& tile_ms,
+                    const std::array<double, kNumPlanes>& plane_ms,
                     ArchivePipelineStats* stats) {
   if (stats == nullptr) return;
   stats->raw_bytes += payload.raw_plane_bytes * kNumPlanes;
@@ -72,6 +86,10 @@ void RecordJobStats(const EncodedPayload& payload, double encode_ms,
   }
   stats->encode_ms_total += encode_ms;
   stats->job_encode_ms.push_back(encode_ms);
+  stats->tile_encode_ms.insert(stats->tile_encode_ms.end(), tile_ms.begin(),
+                               tile_ms.end());
+  stats->plane_codec_ms.insert(stats->plane_codec_ms.end(), plane_ms.begin(),
+                               plane_ms.end());
 }
 
 }  // namespace
@@ -83,36 +101,95 @@ int ResolveArchiveThreads(int requested) {
   return std::min(resolved, 8);
 }
 
+int64_t ResolveTileRows(int requested, int64_t cols) {
+  if (requested >= 1) return requested;
+  // Auto: roughly 64 KiB of floats per tile — large enough that the
+  // per-tile scheduling cost is noise, small enough that a handful of big
+  // matrices still fans out across every worker.
+  constexpr int64_t kTargetTileBytes = 64 * 1024;
+  const int64_t bytes_per_row =
+      std::max<int64_t>(1, cols * static_cast<int64_t>(sizeof(float)));
+  return std::max<int64_t>(1, kTargetTileBytes / bytes_per_row);
+}
+
 Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
     const std::vector<Job>& jobs, CodecType codec, int threads,
-    ArchivePipelineStats* stats) {
+    ArchivePipelineStats* stats, int tile_rows) {
   TraceSpan span("pas.archive.pipeline");
   Stopwatch wall;
-  threads = ResolveArchiveThreads(threads);
-  span.Annotate("jobs", static_cast<uint64_t>(jobs.size()));
-  span.Annotate("threads", static_cast<uint64_t>(threads));
-  MH_COUNTER("pas.archive.jobs")->Add(jobs.size());
-  MH_GAUGE("pas.archive.threads")->Set(threads);
-  if (stats != nullptr) {
-    *stats = ArchivePipelineStats{};
-    stats->jobs = static_cast<int>(jobs.size());
-    stats->threads = threads;
-    stats->job_encode_ms.reserve(jobs.size());
-  }
+  const int resolved_threads = ResolveArchiveThreads(threads);
+  std::vector<TileShape> shapes;
+  shapes.reserve(jobs.size());
+  int64_t total_tasks = 0;
+  int total_tiles = 0;
   for (const Job& job : jobs) {
     if (job.target == nullptr || job.destination == nullptr) {
       return Status::InvalidArgument("archival job without target or store");
     }
+    MH_RETURN_IF_ERROR(
+        ValidateDeltaShapes(*job.target, job.base, job.delta_kind));
+    shapes.push_back(ShapeFor(*job.target, tile_rows));
+    total_tiles += shapes.back().num_tiles;
+    total_tasks += shapes.back().num_tiles + kNumPlanes;
+  }
+  // Workers actually used: the resolved knob clamped to the schedulable
+  // task count, so a 2-job archive on an 8-thread knob reports (and
+  // spawns) what it can keep busy, not the knob.
+  const int workers = static_cast<int>(
+      std::min<int64_t>(resolved_threads, std::max<int64_t>(1, total_tasks)));
+  const bool serial = workers <= 1;
+  span.Annotate("jobs", static_cast<uint64_t>(jobs.size()));
+  span.Annotate("tiles", static_cast<uint64_t>(total_tiles));
+  span.Annotate("threads", static_cast<uint64_t>(serial ? 1 : workers));
+  MH_COUNTER("pas.archive.jobs")->Add(jobs.size());
+  MH_COUNTER("pas.archive.tiles")->Add(total_tiles);
+  MH_GAUGE("pas.archive.threads")->Set(serial ? 1 : workers);
+  if (stats != nullptr) {
+    *stats = ArchivePipelineStats{};
+    stats->jobs = static_cast<int>(jobs.size());
+    stats->threads = serial ? 1 : workers;
+    stats->tiles = total_tiles;
+    stats->job_encode_ms.reserve(jobs.size());
+    stats->tile_encode_ms.reserve(static_cast<size_t>(total_tiles));
+    stats->plane_codec_ms.reserve(jobs.size() * kNumPlanes);
   }
   std::vector<Placement> placements;
   placements.reserve(jobs.size());
+  const Codec* compressor = Codec::Get(codec);
 
-  if (threads <= 1 || jobs.size() <= 1) {
-    // Serial reference path: encode + commit inline per job, in order.
-    for (const Job& job : jobs) {
+  if (serial) {
+    // Serial reference path: tile + compress + commit inline per job, in
+    // order. Runs the very same kernels as the parallel path, so the
+    // stored bytes are identical by construction.
+    std::vector<float> slab;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const Job& job = jobs[i];
+      TraceSpan encode_span("pas.archive.encode");
       Stopwatch encode_watch;
-      MH_ASSIGN_OR_RETURN(EncodedPayload payload, EncodeJob(job, codec));
-      RecordJobStats(payload, encode_watch.ElapsedMillis(), stats);
+      std::array<std::string, kNumPlanes> planes;
+      const size_t n = job.target->data().size();
+      for (auto& plane : planes) plane.resize(n);
+      std::vector<double> tile_ms;
+      tile_ms.reserve(static_cast<size_t>(shapes[i].num_tiles));
+      for (int t = 0; t < shapes[i].num_tiles; ++t) {
+        Stopwatch tile_watch;
+        EncodeTile(job, shapes[i], t, &planes, &slab);
+        tile_ms.push_back(tile_watch.ElapsedMillis());
+      }
+      EncodedPayload payload;
+      payload.raw_plane_bytes = static_cast<uint64_t>(n);
+      std::array<double, kNumPlanes> plane_ms{};
+      for (int p = 0; p < kNumPlanes; ++p) {
+        Stopwatch plane_watch;
+        MH_RETURN_IF_ERROR(
+            compressor->Compress(Slice(planes[p]), &payload.planes[p]));
+        plane_ms[p] = plane_watch.ElapsedMillis();
+      }
+      const double encode_ms = encode_watch.ElapsedMillis();
+      MH_HISTOGRAM("pas.archive.encode.us")
+          ->Record(static_cast<uint64_t>(encode_ms * 1000.0));
+      encode_span.Annotate("raw_bytes", payload.raw_plane_bytes * kNumPlanes);
+      RecordJobStats(payload, encode_ms, tile_ms, plane_ms, stats);
       Stopwatch commit_watch;
       MH_ASSIGN_OR_RETURN(Placement placement, CommitJob(job, payload, codec));
       if (stats != nullptr) stats->commit_ms += commit_watch.ElapsedMillis();
@@ -122,42 +199,95 @@ Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
     return placements;
   }
 
-  // --- Parallel pipeline. Workers fill slots; the caller thread is the
-  // committer, consuming slots in job order as they become ready (job i
-  // commits while jobs > i are still compressing). Slots are handed off
-  // under the mutex, so the committer reads each payload only after its
-  // worker published it.
-  struct Slot {
-    bool ready = false;
-    Status status = Status::OK();
+  // --- Parallel pipeline. Tile tasks fill each job's shared plane
+  // buffers (disjoint ranges); the job's last tile schedules four codec
+  // tasks; the last codec task publishes the job's slot. The caller
+  // thread is the committer, consuming slots in job order as they become
+  // ready (job i commits while jobs > i are still encoding). Slots are
+  // handed off under the mutex, so the committer reads each payload only
+  // after its last worker published it.
+  struct JobState {
+    std::array<std::string, kNumPlanes> planes;  ///< Raw plane bytes.
+    std::atomic<int> tiles_left{0};
+    std::atomic<int> planes_left{kNumPlanes};
+    std::vector<double> tile_ms;                ///< One slot per tile.
+    std::array<double, kNumPlanes> plane_ms{};  ///< One slot per plane.
+    std::array<Status, kNumPlanes> plane_status;
     EncodedPayload payload;
+    // Published under the pipeline mutex by the last codec task.
+    bool ready = false;
     double encode_ms = 0.0;
+    Status status = Status::OK();
   };
-  std::vector<Slot> slots(jobs.size());
+  std::vector<JobState> states(jobs.size());
   std::mutex mutex;
   std::condition_variable slot_ready;
   {
-    ThreadPool pool(threads);
+    ThreadPool pool(workers);
     WaitGroup done;
     for (size_t i = 0; i < jobs.size(); ++i) {
       const Job* job = &jobs[i];
-      Slot* slot = &slots[i];
-      pool.Schedule(&done, [job, slot, codec, &mutex, &slot_ready] {
-        Stopwatch encode_watch;
-        Result<EncodedPayload> encoded = EncodeJob(*job, codec);
-        const double encode_ms = encode_watch.ElapsedMillis();
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (encoded.ok()) {
-            slot->payload = std::move(*encoded);
-          } else {
-            slot->status = encoded.status();
+      const TileShape shape = shapes[i];
+      JobState* state = &states[i];
+      const size_t n = job->target->data().size();
+      for (auto& plane : state->planes) plane.resize(n);
+      state->payload.raw_plane_bytes = static_cast<uint64_t>(n);
+      state->tiles_left.store(shape.num_tiles, std::memory_order_relaxed);
+      state->tile_ms.assign(static_cast<size_t>(shape.num_tiles), 0.0);
+      for (int t = 0; t < shape.num_tiles; ++t) {
+        pool.Schedule(&done, [job, shape, t, state, compressor, &pool, &done,
+                              &mutex, &slot_ready] {
+          Stopwatch tile_watch;
+          std::vector<float> slab;
+          EncodeTile(*job, shape, t, &state->planes, &slab);
+          state->tile_ms[static_cast<size_t>(t)] = tile_watch.ElapsedMillis();
+          if (state->tiles_left.fetch_sub(1, std::memory_order_acq_rel) !=
+              1) {
+            return;
           }
-          slot->encode_ms = encode_ms;
-          slot->ready = true;
-        }
-        slot_ready.notify_all();
-      });
+          // Last tile of this job: the planes are fully assembled — hand
+          // them to four per-plane codec tasks. Compressing whole planes
+          // (never per tile) keeps the chunk payloads invariant to the
+          // tile size.
+          for (int p = 0; p < kNumPlanes; ++p) {
+            pool.Schedule(&done, [state, p, compressor, &mutex,
+                                  &slot_ready] {
+              Stopwatch plane_watch;
+              state->plane_status[p] = compressor->Compress(
+                  Slice(state->planes[p]), &state->payload.planes[p]);
+              state->plane_ms[p] = plane_watch.ElapsedMillis();
+              if (state->planes_left.fetch_sub(
+                      1, std::memory_order_acq_rel) != 1) {
+                return;
+              }
+              // Last plane: free the raw buffers eagerly, then publish.
+              for (auto& plane : state->planes) {
+                plane.clear();
+                plane.shrink_to_fit();
+              }
+              double encode_ms = 0.0;
+              for (const double ms : state->tile_ms) encode_ms += ms;
+              for (const double ms : state->plane_ms) encode_ms += ms;
+              MH_HISTOGRAM("pas.archive.encode.us")
+                  ->Record(static_cast<uint64_t>(encode_ms * 1000.0));
+              Status status = Status::OK();
+              for (const Status& s : state->plane_status) {
+                if (!s.ok()) {
+                  status = s;
+                  break;
+                }
+              }
+              {
+                std::lock_guard<std::mutex> lock(mutex);
+                state->status = status;
+                state->encode_ms = encode_ms;
+                state->ready = true;
+              }
+              slot_ready.notify_all();
+            });
+          }
+        });
+      }
     }
     TraceSpan commit_span("pas.archive.commit");
     Stopwatch commit_watch;
@@ -165,16 +295,17 @@ Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
     for (size_t i = 0; i < jobs.size(); ++i) {
       {
         std::unique_lock<std::mutex> lock(mutex);
-        slot_ready.wait(lock, [&] { return slots[i].ready; });
+        slot_ready.wait(lock, [&] { return states[i].ready; });
       }
       // Published under the mutex above; safe to read lock-free now.
-      Slot& slot = slots[i];
-      if (!slot.status.ok()) {
-        first_error = slot.status;
+      JobState& state = states[i];
+      if (!state.status.ok()) {
+        first_error = state.status;
         break;
       }
-      RecordJobStats(slot.payload, slot.encode_ms, stats);
-      auto placement = CommitJob(jobs[i], slot.payload, codec);
+      RecordJobStats(state.payload, state.encode_ms, state.tile_ms,
+                     state.plane_ms, stats);
+      auto placement = CommitJob(jobs[i], state.payload, codec);
       if (!placement.ok()) {
         first_error = placement.status();
         break;
@@ -183,9 +314,9 @@ Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
       // The committer is done with this payload; free the compressed
       // planes eagerly so peak memory tracks the encode window, not the
       // whole archive.
-      slot.payload = EncodedPayload{};
+      state.payload = EncodedPayload{};
     }
-    done.Wait();  // Outstanding encoders must drain before slots die.
+    done.Wait();  // Outstanding encoders must drain before states die.
     MH_HISTOGRAM("pas.archive.commit.us")
         ->Record(static_cast<uint64_t>(commit_watch.ElapsedMillis() * 1000.0));
     if (stats != nullptr) stats->commit_ms = commit_watch.ElapsedMillis();

@@ -17,39 +17,58 @@ namespace modelhub {
 /// Resolves a user-facing thread-count knob: n >= 1 is taken literally,
 /// anything else (0, negative) means "auto" — hardware concurrency capped
 /// at 8 so a build box with 96 cores does not spawn 96 compressors for a
-/// 10-matrix archive.
+/// 10-matrix archive. The pipeline additionally clamps its pool to the
+/// number of schedulable tasks, so ArchivePipelineStats.threads reports
+/// workers actually used, not the resolved knob.
 int ResolveArchiveThreads(int requested);
+
+/// Resolves the tile-rows knob for one matrix: n >= 1 is taken literally,
+/// anything else means auto — enough rows for roughly 64 KiB of floats per
+/// tile (at least one row), which keeps per-tile scheduling overhead small
+/// while splitting large matrices into several encode tasks.
+int64_t ResolveTileRows(int requested, int64_t cols);
 
 /// What the archival write pipeline did — per-job latencies feed the
 /// p50/p99 columns of bench_archival, byte totals feed ingest MB/s.
 struct ArchivePipelineStats {
   int jobs = 0;
-  int threads = 1;            ///< Encode workers actually used.
+  int threads = 1;            ///< Encode workers actually used (clamped to
+                              ///< the schedulable task count).
+  int tiles = 0;              ///< Total delta+segment tiles encoded.
   uint64_t raw_bytes = 0;     ///< Uncompressed payload bytes encoded.
   uint64_t compressed_bytes = 0;
   double encode_ms_total = 0.0;  ///< Sum of per-job encode latencies.
   double commit_ms = 0.0;        ///< Serial committer stage (ordered appends).
   double wall_ms = 0.0;          ///< Whole pipeline wall time.
-  /// Per-job encode latency in job order (delta + segment + compress).
+  /// Per-job encode latency in job order: the job's tile (delta + segment)
+  /// plus per-plane codec task times summed — CPU cost, not wall time.
   std::vector<double> job_encode_ms;
+  /// Per-tile delta + segment latency, in completion-publish (job) order.
+  std::vector<double> tile_encode_ms;
+  /// Per-plane codec compression latency, in job-then-plane order.
+  std::vector<double> plane_codec_ms;
 };
 
 /// The pipelined, parallel archival write path (the ingest dual of the
-/// computation-sharing retrieval scheduler): per-parameter *encode* tasks
-/// (delta computation, bytewise segmentation, per-plane codec compression
-/// — all pure CPU, no Env access) fan out over a thread pool, while the
-/// ordering-sensitive tail — chunk-store appends, and the caller's
-/// manifest/journal writes after Run returns — stays on the calling
-/// thread, in job order.
+/// computation-sharing retrieval scheduler), tiled for intra-matrix
+/// parallelism. Each job (one parameter matrix) is split into row-range
+/// tiles; a tile task computes the delta for its rows and scatters the
+/// byte planes into the job's shared plane buffers (disjoint ranges, so
+/// tiles run concurrently without synchronization on the data). When a
+/// job's last tile lands, four per-plane codec tasks compress the
+/// assembled planes. The ordering-sensitive tail — chunk-store appends,
+/// and the caller's manifest/journal writes after Run returns — stays on
+/// the calling thread, in job order.
 ///
-/// Determinism guarantee: codecs, deltas and segmentation are pure
-/// functions and chunk ids are assigned by the committer in job order, so
-/// the archive bytes are identical for every thread count; `threads == 1`
-/// reproduces the serial writer exactly. Because workers never touch the
-/// Env, the pipeline is safe over non-thread-safe Envs (MemEnv,
-/// FaultInjectionEnv) and preserves the crash-safety protocol unchanged:
-/// every mutating filesystem operation still happens on the caller's
-/// thread in the serial commit order.
+/// Determinism guarantee: tiles only partition the delta + segmentation
+/// work; every codec still compresses a whole assembled plane, so the
+/// chunk payloads — and therefore the archive bytes — are identical for
+/// every tile size and thread count, and `threads == 1` reproduces the
+/// serial writer exactly. Because workers never touch the Env, the
+/// pipeline is safe over non-thread-safe Envs (MemEnv, FaultInjectionEnv)
+/// and preserves the crash-safety protocol unchanged: every mutating
+/// filesystem operation still happens on the caller's thread in the
+/// serial commit order.
 class ParallelArchiver {
  public:
   /// One parameter matrix to archive. `base == nullptr` stores `target`
@@ -68,16 +87,18 @@ class ParallelArchiver {
     uint32_t chunk_ids[kNumPlanes] = {0, 0, 0, 0};
   };
 
-  /// Encodes every job (in parallel when `threads > 1`) and appends the
-  /// resulting chunks to each job's destination store in job order. The
-  /// committer is pipelined: job i's chunks are appended as soon as jobs
-  /// 0..i have encoded, while later jobs are still compressing. On error
-  /// the first failing job's status is returned (no later job is
-  /// committed) and the stores are left unfinished — the caller abandons
-  /// the build, which is safe because nothing was published.
+  /// Encodes every job (in parallel when more than one worker is useful)
+  /// and appends the resulting chunks to each job's destination store in
+  /// job order. The committer is pipelined: job i's chunks are appended as
+  /// soon as jobs 0..i have encoded, while later jobs are still
+  /// compressing. On error the first failing job's status is returned (no
+  /// later job is committed) and the stores are left unfinished — the
+  /// caller abandons the build, which is safe because nothing was
+  /// published. `tile_rows` follows ResolveTileRows (0 = auto).
   static Result<std::vector<Placement>> Run(const std::vector<Job>& jobs,
                                             CodecType codec, int threads,
-                                            ArchivePipelineStats* stats = nullptr);
+                                            ArchivePipelineStats* stats = nullptr,
+                                            int tile_rows = 0);
 };
 
 }  // namespace modelhub

@@ -58,17 +58,26 @@ uint32_t AssembleBits(const std::vector<Slice>& planes, size_t i,
 
 }  // namespace
 
+void SegmentFloatsRange(const float* values, size_t count, size_t offset,
+                        std::array<std::string, kNumPlanes>* planes) {
+  char* p0 = (*planes)[0].data() + offset;
+  char* p1 = (*planes)[1].data() + offset;
+  char* p2 = (*planes)[2].data() + offset;
+  char* p3 = (*planes)[3].data() + offset;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t u = FloatBits(values[i]);
+    p0[i] = static_cast<char>((u >> 24) & 0xFF);
+    p1[i] = static_cast<char>((u >> 16) & 0xFF);
+    p2[i] = static_cast<char>((u >> 8) & 0xFF);
+    p3[i] = static_cast<char>(u & 0xFF);
+  }
+}
+
 std::array<std::string, kNumPlanes> SegmentFloats(const FloatMatrix& matrix) {
   std::array<std::string, kNumPlanes> planes;
   const size_t n = matrix.data().size();
   for (auto& plane : planes) plane.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    const uint32_t u = FloatBits(matrix.data()[i]);
-    planes[0][i] = static_cast<char>((u >> 24) & 0xFF);
-    planes[1][i] = static_cast<char>((u >> 16) & 0xFF);
-    planes[2][i] = static_cast<char>((u >> 8) & 0xFF);
-    planes[3][i] = static_cast<char>(u & 0xFF);
-  }
+  SegmentFloatsRange(matrix.data().data(), n, 0, &planes);
   return planes;
 }
 

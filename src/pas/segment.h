@@ -22,6 +22,15 @@ inline constexpr int kNumPlanes = 4;
 /// separately lets queries read only high-order bytes.
 std::array<std::string, kNumPlanes> SegmentFloats(const FloatMatrix& matrix);
 
+/// Range kernel behind SegmentFloats: segments `count` floats starting at
+/// `values` into the four plane buffers at byte offset `offset`. Each
+/// plane must already be sized to hold offset + count bytes. Disjoint
+/// ranges may be segmented concurrently (the tiled archival pipeline
+/// writes one tile per task into shared plane buffers); the bytes written
+/// are exactly SegmentFloats' for the same elements.
+void SegmentFloatsRange(const float* values, size_t count, size_t offset,
+                        std::array<std::string, kNumPlanes>* planes);
+
 /// Reassembles a matrix from the first `planes.size()` high-order planes;
 /// missing low-order bytes are zero-filled (the midpoint-free lower bound
 /// of the representable range). All supplied planes must have rows*cols

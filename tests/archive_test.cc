@@ -106,8 +106,8 @@ TEST(ChunkStoreTest, LruEvictionKeepsCacheUnderBoundAndCountsBytes) {
   ChunkStoreWriter writer(&env, "s.bin");
   Rng rng(3);
   std::vector<std::string> payloads;
-  for (int i = 0; i < 8; ++i) {
-    std::string data(4096, '\0');
+  for (int i = 0; i < 16; ++i) {
+    std::string data(1024, '\0');
     for (auto& c : data) c = static_cast<char>(rng.Uniform(256));
     payloads.push_back(data);
     ASSERT_TRUE(writer.Put(Slice(data), CodecType::kNull).ok());
@@ -116,12 +116,14 @@ TEST(ChunkStoreTest, LruEvictionKeepsCacheUnderBoundAndCountsBytes) {
   auto reader = ChunkStoreReader::Open(&env, "s.bin");
   ASSERT_TRUE(reader.ok());
   reader->EnableCache(true);
-  const uint64_t bound = 3 * 4096;  // Room for exactly three chunks.
+  // Room for exactly eight chunks; each chunk sits exactly at the
+  // per-entry admission cap (bound / kCacheAdmitFraction = 1024).
+  const uint64_t bound = 8 * 1024;
   reader->SetCacheCapacity(bound);
   uint64_t total_stored = 0;
-  for (uint32_t i = 0; i < 8; ++i) total_stored += reader->ref(i).stored_size;
+  for (uint32_t i = 0; i < 16; ++i) total_stored += reader->ref(i).stored_size;
   // First pass: every Get misses; the cache never exceeds its bound.
-  for (uint32_t i = 0; i < 8; ++i) {
+  for (uint32_t i = 0; i < 16; ++i) {
     auto data = reader->Get(i);
     ASSERT_TRUE(data.ok());
     EXPECT_EQ(*data, payloads[i]);
@@ -129,13 +131,13 @@ TEST(ChunkStoreTest, LruEvictionKeepsCacheUnderBoundAndCountsBytes) {
   }
   ChunkStoreStats stats = reader->stats();
   EXPECT_EQ(stats.bytes_read, total_stored);
-  EXPECT_EQ(stats.chunk_fetches, 8u);
+  EXPECT_EQ(stats.chunk_fetches, 16u);
   EXPECT_EQ(stats.cache_hits, 0u);
-  EXPECT_EQ(stats.cache_evictions, 5u);  // 8 inserted, 3 resident.
-  // The most recently used three (5, 6, 7) are resident; rereads are free.
-  for (uint32_t i = 5; i < 8; ++i) ASSERT_TRUE(reader->Get(i).ok());
+  EXPECT_EQ(stats.cache_evictions, 8u);  // 16 inserted, 8 resident.
+  // The most recently used eight (8..15) are resident; rereads are free.
+  for (uint32_t i = 8; i < 16; ++i) ASSERT_TRUE(reader->Get(i).ok());
   EXPECT_EQ(reader->stats().bytes_read, total_stored);
-  EXPECT_EQ(reader->stats().cache_hits, 3u);
+  EXPECT_EQ(reader->stats().cache_hits, 8u);
   // An evicted chunk refetches from disk: bytes_read stays truthful
   // across evictions rather than freezing at the first-pass total.
   auto evicted = reader->Get(0);
@@ -143,8 +145,35 @@ TEST(ChunkStoreTest, LruEvictionKeepsCacheUnderBoundAndCountsBytes) {
   EXPECT_EQ(*evicted, payloads[0]);
   stats = reader->stats();
   EXPECT_EQ(stats.bytes_read, total_stored + reader->ref(0).stored_size);
-  EXPECT_EQ(stats.chunk_fetches, 9u);
+  EXPECT_EQ(stats.chunk_fetches, 17u);
   EXPECT_LE(stats.cache_bytes, bound);
+}
+
+TEST(ChunkStoreTest, OversizedChunkDoesNotEvictResidentWorkingSet) {
+  // Regression: admission used to accept any chunk up to the full cache
+  // bound, so one large single-use payload flushed the entire resident
+  // working set. A chunk above bound / kCacheAdmitFraction must bypass
+  // the cache without disturbing what is already resident.
+  MemEnv env;
+  ChunkStoreWriter writer(&env, "s.bin");
+  std::string small(512, 's');
+  std::string big(2048, 'b');  // > 8192 / 8, < 8192.
+  ASSERT_TRUE(writer.Put(Slice(small), CodecType::kNull).ok());
+  ASSERT_TRUE(writer.Put(Slice(big), CodecType::kNull).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = ChunkStoreReader::Open(&env, "s.bin");
+  ASSERT_TRUE(reader.ok());
+  reader->EnableCache(true);
+  reader->SetCacheCapacity(8192);
+  ASSERT_TRUE(reader->Get(0).ok());  // Small chunk becomes resident.
+  ASSERT_TRUE(reader->Get(1).ok());  // Big chunk: bypasses, evicts nothing.
+  ASSERT_TRUE(reader->Get(1).ok());  // Still not cached: refetches.
+  ASSERT_TRUE(reader->Get(0).ok());  // Small chunk is still resident.
+  const ChunkStoreStats stats = reader->stats();
+  EXPECT_EQ(stats.chunk_fetches, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+  EXPECT_EQ(stats.cache_bytes, small.size());
 }
 
 TEST(ChunkStoreTest, ChunkLargerThanCapacityBypassesCache) {
@@ -180,7 +209,9 @@ TEST(ChunkStoreTest, ConcurrentGetsWithCacheEnabled) {
   auto reader = ChunkStoreReader::Open(&env, "s.bin");
   ASSERT_TRUE(reader.ok());
   reader->EnableCache(true);
-  reader->SetCacheCapacity(4096);  // Tight: forces concurrent evictions.
+  // Tight enough to force concurrent evictions, but with an admission cap
+  // (capacity / 8 = 2048) that still accepts every chunk (raw <= 2047).
+  reader->SetCacheCapacity(16384);
   ThreadPool pool(4);
   WaitGroup group;
   std::atomic<int> mismatches{0};
@@ -195,7 +226,66 @@ TEST(ChunkStoreTest, ConcurrentGetsWithCacheEnabled) {
   }
   group.Wait();
   EXPECT_EQ(mismatches.load(), 0);
-  EXPECT_LE(reader->stats().cache_bytes, 4096u);
+  EXPECT_LE(reader->stats().cache_bytes, 16384u);
+}
+
+TEST(ChunkStoreTest, MmapReadPathRoundTripsOnDisk) {
+  // On a real filesystem the reader maps the chunk file and serves Get /
+  // Verify zero-copy out of the mapping. Results must be identical to the
+  // MemEnv read() path used everywhere else in this suite.
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/mh_chunk_mmap";
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  const std::string path = dir + "/s.bin";
+  ChunkStoreWriter writer(env, path);
+  Rng rng(11);
+  std::vector<std::string> payloads;
+  const CodecType codecs[] = {CodecType::kNull, CodecType::kRle,
+                              CodecType::kDeflateLite};
+  for (int i = 0; i < 6; ++i) {
+    std::string data(512 + rng.Uniform(4096), '\0');
+    for (auto& c : data) c = static_cast<char>(rng.Uniform(17));
+    payloads.push_back(data);
+    ASSERT_TRUE(writer.Put(Slice(data), codecs[i % 3]).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = ChunkStoreReader::Open(env, path);
+  ASSERT_TRUE(reader.ok());
+  for (uint32_t i = 0; i < 6; ++i) {
+    auto data = reader->Get(i);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, payloads[i]);
+    EXPECT_TRUE(reader->Verify(i).ok());
+  }
+  // Fetch accounting is identical to the read() path.
+  const ChunkStoreStats stats = reader->stats();
+  EXPECT_EQ(stats.chunk_fetches, 6u);
+  uint64_t total_stored = 0;
+  for (uint32_t i = 0; i < 6; ++i) total_stored += reader->ref(i).stored_size;
+  EXPECT_EQ(stats.bytes_read, total_stored);
+}
+
+TEST(ChunkStoreTest, MmapPathStillDetectsCorruption) {
+  // A corrupted payload must fail through BOTH paths: the mapped CRC
+  // check falls back to ranged reads, whose retry then reports
+  // Corruption (the mapping and the file agree on the bad bytes).
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/mh_chunk_mmap_bad";
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  const std::string path = dir + "/s.bin";
+  ChunkStoreWriter writer(env, path);
+  std::string data(4096, 'q');
+  ASSERT_TRUE(writer.Put(Slice(data), CodecType::kRle).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto contents = env->ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = *contents;
+  corrupted[10] ^= 0x40;  // Payload byte.
+  ASSERT_TRUE(env->WriteFile(path, corrupted).ok());
+  auto reader = ChunkStoreReader::Open(env, path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->Get(0).status().IsCorruption());
+  EXPECT_TRUE(reader->Verify(0).IsCorruption());
 }
 
 // --------------------------------------------------------------- Archive

@@ -406,6 +406,46 @@ TEST(PosixEnvTest, WriteReadDeleteInTmp) {
   EXPECT_FALSE(env->FileExists(path));
 }
 
+TEST(PosixEnvTest, MapFileMatchesReadAndOutlivesDelete) {
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/mh_mmap_test";
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  const std::string path = JoinPath(dir, "mapped.bin");
+  std::string payload(8192, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 31) % 253);
+  }
+  ASSERT_TRUE(env->WriteFile(path, payload).ok());
+  auto mapping = env->MapFile(path);
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_EQ((*mapping)->size(), payload.size());
+  EXPECT_EQ(std::string((*mapping)->data(), (*mapping)->size()), payload);
+  // POSIX semantics: an open mapping pins the inode, so readers holding a
+  // mapping are immune to concurrent unlink/replace of the path.
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_EQ(std::string((*mapping)->data(), (*mapping)->size()), payload);
+}
+
+TEST(PosixEnvTest, MapFileRejectsEmptyAndMissingFiles) {
+  Env* env = Env::Default();
+  const std::string dir = ::testing::TempDir() + "/mh_mmap_test";
+  ASSERT_TRUE(env->CreateDirs(dir).ok());
+  EXPECT_FALSE(env->MapFile(JoinPath(dir, "absent.bin")).ok());
+  const std::string empty = JoinPath(dir, "empty.bin");
+  ASSERT_TRUE(env->WriteFile(empty, "").ok());
+  EXPECT_FALSE(env->MapFile(empty).ok());
+}
+
+TEST(MemEnvTest, MapFileIsUnimplemented) {
+  // MemEnv (and the fault-injection wrapper built on it) deliberately
+  // does not map: chunk readers must fall back to ranged reads, which is
+  // exactly the path the crash-injection sweeps exercise.
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("f.bin", "abc").ok());
+  const Status status = env.MapFile("f.bin").status();
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+}
+
 TEST(PathTest, JoinPath) {
   EXPECT_EQ(JoinPath("a", "b"), "a/b");
   EXPECT_EQ(JoinPath("a/", "b"), "a/b");

@@ -163,6 +163,56 @@ TEST(HuffmanTest, CodeLengthsSatisfyKraft) {
   }
 }
 
+TEST(HuffmanTest, DegenerateHistograms) {
+  // Empty histogram: no symbols, every length zero (the encoder never
+  // consults the table for empty input).
+  std::array<uint64_t, 256> freq{};
+  auto lengths = BuildHuffmanCodeLengths(freq);
+  for (int s = 0; s < 256; ++s) EXPECT_EQ(lengths[s], 0);
+
+  // Single symbol: the tree is one leaf at depth 0, which the builder
+  // must special-case to length 1 — a zero-length code is undecodable
+  // and would collide with "unused symbol" in the packed table.
+  freq.fill(0);
+  freq[42] = 1000;
+  lengths = BuildHuffmanCodeLengths(freq);
+  EXPECT_EQ(lengths[42], 1);
+  for (int s = 0; s < 256; ++s) {
+    if (s != 42) {
+      EXPECT_EQ(lengths[s], 0);
+    }
+  }
+
+  // Two symbols: one bit each regardless of skew.
+  freq.fill(0);
+  freq[0] = 1;
+  freq[255] = 1u << 30;
+  lengths = BuildHuffmanCodeLengths(freq);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[255], 1);
+}
+
+TEST(HuffmanTest, RebalanceLoopKeepsKraftValidAtMaxDepth) {
+  // Exponential frequencies over the full alphabet force several rounds
+  // of the halve-and-retry rebalance; the result must still be a valid
+  // (Kraft <= 1) code within kMaxHuffmanBits, with every used symbol
+  // assigned a nonzero length.
+  std::array<uint64_t, 256> freq{};
+  uint64_t f = 1;
+  for (int s = 0; s < 256; ++s) {
+    freq[s] = f;
+    if (s < 62) f *= 2;  // Caps at 2^62; deep enough to trip the clamp.
+  }
+  const auto lengths = BuildHuffmanCodeLengths(freq);
+  double kraft = 0.0;
+  for (int s = 0; s < 256; ++s) {
+    ASSERT_GE(lengths[s], 1);
+    ASSERT_LE(lengths[s], kMaxHuffmanBits);
+    kraft += std::pow(2.0, -static_cast<double>(lengths[s]));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
 TEST(HuffmanTest, SkewedDistributionDepthIsClamped) {
   // Fibonacci-like frequencies force deep trees; the builder must clamp to
   // kMaxHuffmanBits.

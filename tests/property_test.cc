@@ -474,6 +474,8 @@ TEST(ParallelArchiverProperty, ParallelBuildsAreBitIdenticalToSerial) {
       const std::string dir = "archive-n" + std::to_string(threads);
       auto report = BuildCorpusArchive(&env, dir, corpus, options);
       ASSERT_TRUE(report.ok()) << report.status().ToString();
+      // threads reports workers actually used; the corpus always has
+      // enough tile + codec tasks to occupy the full requested pool.
       EXPECT_EQ(report->pipeline.threads, threads);
       EXPECT_EQ(report->pipeline.jobs,
                 static_cast<int>(corpus.names.size() *
@@ -626,12 +628,98 @@ TEST(ParallelArchiverProperty, PipelinePrimitiveMatchesSerialStore) {
   }
 }
 
+TEST(ParallelArchiverProperty, TileBoundariesAreByteInvariant) {
+  // The tiled encode pipeline must produce the same archive for every
+  // tile shape: one-row tiles (maximal boundary count), odd sizes that
+  // straddle rows unevenly, and whole-matrix tiles (the pre-tiling
+  // shape), across serial and parallel pools. Retrieval bounds from the
+  // identical bytes must agree too.
+  const uint64_t seed = BaseSeed() + 3000;
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Rng rng(seed);
+  const Corpus corpus = RandomCorpus(&rng);
+
+  MemEnv env;
+  std::map<std::string, std::string> reference;
+  std::vector<double> reference_lo;
+  for (const int tile_rows : {1, 3, 7, 1 << 20}) {
+    for (const int threads : {1, 4, 8}) {
+      SCOPED_TRACE("tile_rows=" + std::to_string(tile_rows) +
+                   " threads=" + std::to_string(threads));
+      ArchiveOptions options;
+      options.delta_kind = DeltaKind::kSub;  // Bounds need sub.
+      options.archive_threads = threads;
+      options.tile_rows = tile_rows;
+      const std::string dir = "archive-t" + std::to_string(tile_rows) +
+                              "-n" + std::to_string(threads);
+      auto report = BuildCorpusArchive(&env, dir, corpus, options);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_GE(report->pipeline.tiles, report->pipeline.jobs);
+      const auto contents = DirContents(&env, dir);
+      ASSERT_FALSE(contents.empty());
+
+      auto archive = ArchiveReader::Open(&env, dir);
+      ASSERT_TRUE(archive.ok());
+      auto bounds = archive->RetrieveSnapshotBounds(corpus.names.back(), 2);
+      ASSERT_TRUE(bounds.ok());
+      std::vector<double> lo;
+      for (const auto& [name, interval] : *bounds) {
+        lo.push_back(interval.lo().At(0, 0));
+      }
+
+      if (reference.empty()) {
+        reference = contents;
+        reference_lo = lo;
+        continue;
+      }
+      ASSERT_EQ(contents.size(), reference.size());
+      for (const auto& [name, data] : reference) {
+        const auto it = contents.find(name);
+        ASSERT_TRUE(it != contents.end()) << name;
+        ASSERT_TRUE(it->second == data) << name << " differs from reference";
+      }
+      ASSERT_EQ(lo, reference_lo);
+    }
+  }
+}
+
+TEST(ParallelArchiverProperty, WorkerCountClampsToSchedulableTasks) {
+  // Regression: stats.threads used to echo the resolved knob even when
+  // the job list could never occupy that many workers. A single job
+  // encoded as one tile has 1 + kNumPlanes schedulable tasks, so a pool
+  // of 8 must report 5.
+  Rng rng(BaseSeed() + 4000);
+  const FloatMatrix target = RandomMatrix(&rng, Pattern::kGaussian);
+  MemEnv env;
+  ChunkStoreWriter store(&env, "clamp.bin");
+  std::vector<ParallelArchiver::Job> jobs(1);
+  jobs[0] = {&target, nullptr, DeltaKind::kMaterialized, &store};
+  ArchivePipelineStats stats;
+  auto placements = ParallelArchiver::Run(jobs, CodecType::kDeflateLite, 8,
+                                          &stats, 1 << 20);
+  ASSERT_TRUE(placements.ok());
+  EXPECT_EQ(stats.tiles, 1);
+  EXPECT_EQ(stats.threads, 1 + kNumPlanes);
+  EXPECT_EQ(static_cast<int>(stats.tile_encode_ms.size()), stats.tiles);
+  EXPECT_EQ(static_cast<int>(stats.plane_codec_ms.size()), kNumPlanes);
+}
+
 TEST(ParallelArchiverProperty, ResolveArchiveThreads) {
   EXPECT_EQ(ResolveArchiveThreads(1), 1);
   EXPECT_EQ(ResolveArchiveThreads(5), 5);
   EXPECT_GE(ResolveArchiveThreads(0), 1);
   EXPECT_LE(ResolveArchiveThreads(0), 8);
   EXPECT_EQ(ResolveArchiveThreads(-3), ResolveArchiveThreads(0));
+}
+
+TEST(ParallelArchiverProperty, ResolveTileRows) {
+  EXPECT_EQ(ResolveTileRows(1, 128), 1);
+  EXPECT_EQ(ResolveTileRows(17, 128), 17);
+  // Auto targets ~64 KiB of floats per tile, never below one row.
+  EXPECT_EQ(ResolveTileRows(0, 128), 128);     // 64Ki / (128*4).
+  EXPECT_EQ(ResolveTileRows(-2, 128), 128);
+  EXPECT_EQ(ResolveTileRows(0, 1 << 20), 1);   // Wide rows: one per tile.
+  EXPECT_GE(ResolveTileRows(0, 0), 1);         // Degenerate shapes.
 }
 
 }  // namespace

@@ -54,7 +54,8 @@ constexpr CommandHelp kCommands[] = {
      "scaffold a version from another"},
     {"model version management", "dlv archive <repo> [solver] [alpha]",
      "compact snapshots into PAS\n(solver: pas-pt pas-mt last mst spt;\n"
-     "--archive-threads=N pins the write\npipeline, 1=serial, default auto)"},
+     "--archive-threads=N pins the write\npipeline, 1=serial, default auto;\n"
+     "--tile-rows=N pins encode tiling)"},
     {"model version management", "dlv fsck <repo> [--quarantine]",
      "verify repository integrity;\n--quarantine sets orphans aside"},
     {"model exploration", "dlv list <repo>", "versions, lineage, accuracy"},
@@ -334,12 +335,13 @@ int CmdRetrieve(Env* env, const std::string& root, const std::string& model,
 }
 
 int CmdArchive(Env* env, const std::string& root, const std::string& solver,
-               double alpha, int archive_threads) {
+               double alpha, int archive_threads, int tile_rows) {
   auto repo = Repository::Open(env, root);
   if (!repo.ok()) return Fail(repo.status());
   ArchiveOptions options;
   options.budget_alpha = alpha;
   options.archive_threads = archive_threads;
+  options.tile_rows = tile_rows;
   if (solver == "pas-pt") {
     options.solver = ArchiveSolver::kPasPt;
   } else if (solver == "pas-mt") {
@@ -715,15 +717,21 @@ int Main(int argc, char** argv) {
     std::string solver = "pas-pt";
     double alpha = 2.0;
     int archive_threads = 0;  // Auto.
+    int tile_rows = 0;        // Auto.
     int positional = 0;
     for (int i = 3; i < argc; ++i) {
       const std::string flag = arg(i);
       constexpr std::string_view kThreadsFlag = "--archive-threads=";
+      constexpr std::string_view kTileRowsFlag = "--tile-rows=";
       if (flag.rfind(kThreadsFlag, 0) == 0) {
         archive_threads =
             std::atoi(flag.c_str() + kThreadsFlag.size());
       } else if (flag == "--archive-threads" && i + 1 < argc) {
         archive_threads = std::atoi(argv[++i]);
+      } else if (flag.rfind(kTileRowsFlag, 0) == 0) {
+        tile_rows = std::atoi(flag.c_str() + kTileRowsFlag.size());
+      } else if (flag == "--tile-rows" && i + 1 < argc) {
+        tile_rows = std::atoi(argv[++i]);
       } else if (!flag.empty() && flag[0] == '-') {
         return Usage();
       } else if (positional == 0) {
@@ -736,7 +744,7 @@ int Main(int argc, char** argv) {
         return Usage();
       }
     }
-    return CmdArchive(env, arg(2), solver, alpha, archive_threads);
+    return CmdArchive(env, arg(2), solver, alpha, archive_threads, tile_rows);
   }
   if (command == "fsck" && (argc == 3 || argc == 4)) {
     const bool quarantine = argc == 4 && arg(3) == "--quarantine";
