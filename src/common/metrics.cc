@@ -190,6 +190,117 @@ std::string MetricsSnapshot::ToText() const {
   return out;
 }
 
+namespace {
+
+/// Dotted metric names become Prometheus metric names: every character
+/// outside [a-zA-Z0-9_:] maps to '_', with a '_' prepended if the result
+/// would start with a digit.
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& v : values) {
+    const std::string name = PrometheusName(v.name);
+    switch (v.kind) {
+      case MetricValue::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(v.counter) + "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(v.gauge) + "\n";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        // Pow2 buckets render cumulatively: le is each bucket's inclusive
+        // upper bound (0, 1, 3, 7, ...). Trailing empty buckets collapse
+        // into +Inf; the explicit overflow bucket is +Inf itself.
+        size_t last = v.histogram.buckets.size();
+        while (last > 0 && v.histogram.buckets[last - 1] == 0) --last;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < last; ++i) {
+          cumulative += v.histogram.buckets[i];
+          const uint64_t bound =
+              Histogram::BucketUpperBound(static_cast<int>(i));
+          if (bound == UINT64_MAX) continue;  // folded into +Inf below
+          out += name + "_bucket{le=\"" + std::to_string(bound) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(v.histogram.count) + "\n";
+        out += name + "_sum " + std::to_string(v.histogram.sum) + "\n";
+        out += name + "_count " + std::to_string(v.histogram.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void AppendPrometheusWithLabel(std::string* out, std::string_view text,
+                               std::string_view label,
+                               std::set<std::string>* seen_types) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      // One TYPE declaration per metric across the whole fleet scrape.
+      const std::string_view rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      const std::string metric(rest.substr(0, space));
+      if (seen_types != nullptr && !seen_types->insert(metric).second) {
+        continue;
+      }
+      out->append(line);
+      out->push_back('\n');
+      continue;
+    }
+    if (line[0] == '#') {
+      out->append(line);
+      out->push_back('\n');
+      continue;
+    }
+    // Sample line: inject the label into the (possibly absent) label set.
+    const size_t brace = line.find('{');
+    if (brace != std::string_view::npos) {
+      out->append(line.substr(0, brace + 1));
+      out->append(label);
+      out->push_back(',');
+      out->append(line.substr(brace + 1));
+    } else {
+      const size_t space = line.find(' ');
+      if (space == std::string_view::npos) {
+        out->append(line);  // malformed; pass through untouched
+      } else {
+        out->append(line.substr(0, space));
+        out->push_back('{');
+        out->append(label);
+        out->push_back('}');
+        out->append(line.substr(space));
+      }
+    }
+    out->push_back('\n');
+  }
+}
+
 const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
   for (const auto& v : values) {
     if (v.name == name) return &v;

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -119,9 +120,21 @@ struct MetricsSnapshot {
   std::string ToJson() const;
   /// Fixed-width text table for the human `dlv stats` output.
   std::string ToText() const;
+  /// Prometheus text exposition format (DESIGN.md §13): dotted names
+  /// become underscore names with a `# TYPE` line each; pow2 histogram
+  /// buckets render as cumulative `le` buckets plus `_sum`/`_count`.
+  std::string ToPrometheusText() const;
   /// First value with `name`, or nullptr.
   const MetricValue* Find(std::string_view name) const;
 };
+
+/// Appends `text` (one node's Prometheus exposition) to `out`, injecting
+/// `label` (e.g. `node="host:port"`) into every sample line and dropping
+/// `# TYPE` lines whose metric was already typed in `*seen_types` — how
+/// the router folds N per-node expositions into one fleet scrape.
+void AppendPrometheusWithLabel(std::string* out, std::string_view text,
+                               std::string_view label,
+                               std::set<std::string>* seen_types);
 
 /// The process-wide instrument registry. Registration is lock-striped by
 /// name hash; instruments themselves are wait-free atomics. Get* returns
@@ -138,6 +151,9 @@ class MetricRegistry {
 
   /// Point-in-time copy of every instrument, sorted by name.
   MetricsSnapshot Snapshot() const;
+
+  /// Snapshot().ToPrometheusText() — the GET_METRICS payload.
+  std::string ToPrometheusText() const { return Snapshot().ToPrometheusText(); }
 
   /// Zeroes every registered instrument (pointers stay valid). Tests and
   /// benches use this to measure one scripted section in isolation.

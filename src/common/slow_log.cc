@@ -1,0 +1,68 @@
+#include "common/slow_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace modelhub {
+
+SlowRequestLog::SlowRequestLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void SlowRequestLog::Record(SlowRequestEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_slot_] = std::move(entry);
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+}
+
+std::vector<SlowRequestEntry> SlowRequestLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowRequestEntry> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t SlowRequestLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string SlowRequestLog::ToJson() const {
+  const std::vector<SlowRequestEntry> entries = Snapshot();
+  std::string out = "{\"total\":" + std::to_string(total()) +
+                    ",\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowRequestEntry& e = entries[i];
+    if (i > 0) out.push_back(',');
+    // op/status are opcode and status-code names — no escaping needed.
+    out += "{\"op\":\"" + e.op + "\"";
+    out += ",\"latency_us\":" + std::to_string(e.latency_us);
+    out += ",\"status\":\"" + e.status + "\"";
+    out += ",\"trace_id\":\"";
+    if ((e.trace_hi | e.trace_lo) != 0) {
+      char hex[40];
+      std::snprintf(hex, sizeof(hex), "%016llx%016llx",
+                    static_cast<unsigned long long>(e.trace_hi),
+                    static_cast<unsigned long long>(e.trace_lo));
+      out += hex;
+    }
+    out += "\"";
+    out += ",\"after_deadline\":";
+    out += e.after_deadline ? "true" : "false";
+    out += ",\"unix_us\":" + std::to_string(e.unix_us);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,52 @@
+#ifndef MODELHUB_COMMON_SLOW_LOG_H_
+#define MODELHUB_COMMON_SLOW_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace modelhub {
+
+/// One request that crossed the slow threshold (DESIGN.md §13).
+struct SlowRequestEntry {
+  std::string op;          ///< Wire opcode name, e.g. "GET_SNAPSHOT".
+  uint64_t latency_us = 0; ///< Dispatch wall time.
+  std::string status;      ///< "ok" or the status code name.
+  uint64_t trace_hi = 0;   ///< Originating trace id (0 = untraced).
+  uint64_t trace_lo = 0;
+  bool after_deadline = false;  ///< Finished past the client's deadline.
+  uint64_t unix_us = 0;    ///< Completion wall-clock time.
+};
+
+/// Always-on bounded ring of the slowest-path evidence: every request at
+/// or above the server's latency threshold lands here regardless of
+/// whether tracing was enabled, so a slow pull leaves a trace id to chase
+/// even after the span ring wrapped. Dumped via STATS as the
+/// "slow_requests" section.
+class SlowRequestLog {
+ public:
+  explicit SlowRequestLog(size_t capacity = 64);
+
+  void Record(SlowRequestEntry entry);
+
+  /// Oldest surviving entry first.
+  std::vector<SlowRequestEntry> Snapshot() const;
+  /// Entries ever recorded (>= surviving count once wrapped).
+  uint64_t total() const;
+
+  /// {"total":N,"entries":[{"op":...,"latency_us":...,"status":...,
+  ///  "trace_id":"hex-or-empty","after_deadline":bool,"unix_us":...}]}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<SlowRequestEntry> ring_;  ///< Guarded by mu_.
+  size_t next_slot_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_COMMON_SLOW_LOG_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace modelhub {
 
 void WaitGroup::Add(int n) {
@@ -39,6 +41,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
+  // Hand the scheduler's trace context to the worker so spans recorded on
+  // pool threads (retrieval, PAS) keep the originating request's trace id
+  // and parent to the span that was open at Schedule time.
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.active()) {
+    TraceContext inherited = ctx;
+    const uint64_t scheduler_span = CurrentSpanId();
+    if (scheduler_span != 0) inherited.parent_span = scheduler_span;
+    task = [inherited, inner = std::move(task)] {
+      ScopedTraceContext scope(inherited);
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push(std::move(task));

@@ -1,7 +1,15 @@
 #include "common/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/random.h"
 
 namespace modelhub {
 
@@ -12,6 +20,9 @@ thread_local uint64_t tls_current_span = 0;
 
 /// Small stable per-thread id, assigned lazily under the recorder lock.
 thread_local uint64_t tls_thread_id = 0;
+
+/// The thread's distributed-tracing context (inactive by default).
+thread_local TraceContext tls_context;
 
 void AppendJsonString(std::string* out, const std::string& s) {
   out->push_back('"');
@@ -52,9 +63,75 @@ void AppendAnnotations(
   out->push_back('}');
 }
 
+std::string TraceIdHexOf(uint64_t hi, uint64_t lo) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+uint64_t UnixMicrosNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
+uint64_t TraceContext::deadline_remaining_ms() const {
+  if (!has_deadline) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count());
+}
+
+std::string TraceContext::TraceIdHex() const {
+  if (!active()) return "";
+  return TraceIdHexOf(trace_hi, trace_lo);
+}
+
+const TraceContext& CurrentTraceContext() { return tls_context; }
+
+void SetCurrentTraceContext(const TraceContext& context) {
+  tls_context = context;
+}
+
+uint64_t CurrentSpanId() { return tls_current_span; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : previous_(tls_context) {
+  tls_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = previous_; }
+
+TraceContext MakeSampledTraceContext() {
+  // Seed from wall clock + pid so concurrent clients on one host do not
+  // collide; id must be non-zero to count as active.
+  static std::atomic<uint64_t> counter{0};
+  Rng rng(UnixMicrosNow() ^
+          (static_cast<uint64_t>(::getpid()) << 32) ^
+          counter.fetch_add(0x9E3779B9u, std::memory_order_relaxed));
+  TraceContext ctx;
+  do {
+    ctx.trace_hi = rng.Next();
+    ctx.trace_lo = rng.Next();
+  } while (!ctx.active());
+  ctx.sampled = true;
+  return ctx;
+}
+
 TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {
+  origin_unix_us_ = UnixMicrosNow();
+  // Randomize the span-id base: the merged fleet trace keys parent/child
+  // edges on span ids, and every process starting from 1 would collide.
+  Rng rng(origin_unix_us_ ^ (static_cast<uint64_t>(::getpid()) << 17));
+  next_id_.store(rng.Next() & 0x0000FFFFFFFFFFFFull,
+                 std::memory_order_relaxed);
   ring_.reserve(capacity_);
 }
 
@@ -91,17 +168,22 @@ void TraceRecorder::Clear() {
 }
 
 void TraceRecorder::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tls_thread_id == 0) tls_thread_id = ++next_thread_;
-  event.thread_id = tls_thread_id;
-  ++total_;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-  } else {
-    // Ring full: overwrite the oldest surviving span.
-    ring_[next_slot_] = std::move(event);
-    next_slot_ = (next_slot_ + 1) % capacity_;
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tls_thread_id == 0) tls_thread_id = ++next_thread_;
+    event.thread_id = tls_thread_id;
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      // Ring full: overwrite the oldest surviving span.
+      ring_[next_slot_] = std::move(event);
+      next_slot_ = (next_slot_ + 1) % capacity_;
+      dropped = true;
+    }
   }
+  if (dropped) MH_COUNTER("trace.dropped_events")->Increment();
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
@@ -182,11 +264,20 @@ std::string TraceRecorder::ToChromeTraceJson() const {
 
 TraceSpan::TraceSpan(const char* name) {
   TraceRecorder* recorder = TraceRecorder::Global();
-  if (!recorder->enabled()) return;
+  // The edge sampling decision outranks the local enable switch: a
+  // sampled request records even on a recorder-disabled node, a
+  // sampled-out one stays silent even on an enabled node.
+  const TraceContext& ctx = tls_context;
+  if (ctx.active() ? !ctx.sampled : !recorder->enabled()) return;
   recording_ = true;
   name_ = name;
   id_ = recorder->NextSpanId();
-  parent_id_ = tls_current_span;
+  previous_current_ = tls_current_span;
+  // Roots adopt the remote caller's span id so the merged fleet trace
+  // chains across processes.
+  parent_id_ = tls_current_span != 0 ? tls_current_span : ctx.parent_span;
+  trace_hi_ = ctx.trace_hi;
+  trace_lo_ = ctx.trace_lo;
   tls_current_span = id_;
   start_us_ = recorder->NowMicros();
 }
@@ -194,7 +285,7 @@ TraceSpan::TraceSpan(const char* name) {
 TraceSpan::~TraceSpan() {
   if (!recording_) return;
   TraceRecorder* recorder = TraceRecorder::Global();
-  tls_current_span = parent_id_;
+  tls_current_span = previous_current_;
   TraceEvent event;
   event.id = id_;
   event.parent_id = parent_id_;
@@ -202,13 +293,203 @@ TraceSpan::~TraceSpan() {
   event.start_us = start_us_;
   const uint64_t end_us = recorder->NowMicros();
   event.duration_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  event.trace_hi = trace_hi_;
+  event.trace_lo = trace_lo_;
   event.annotations = std::move(annotations_);
+  if (tls_context.deadline_expired()) {
+    // Wasted-work marker: this span closed after the client stopped
+    // waiting for the answer.
+    event.annotations.emplace_back("after_deadline", "true");
+  }
   recorder->Record(std::move(event));
 }
 
 void TraceSpan::Annotate(const char* key, std::string value) {
   if (!recording_) return;
   annotations_.emplace_back(key, std::move(value));
+}
+
+TraceNodeDump CollectTraceDump(std::string node) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  TraceNodeDump dump;
+  dump.node = std::move(node);
+  dump.pid = static_cast<uint64_t>(::getpid());
+  dump.origin_unix_us = recorder->origin_unix_us();
+  dump.events = recorder->Snapshot();
+  dump.total = recorder->total_spans();
+  dump.dropped = recorder->dropped_spans();
+  return dump;
+}
+
+namespace {
+
+/// Node-section format version; bump when the layout below changes.
+constexpr uint64_t kDumpVersion = 1;
+
+}  // namespace
+
+void AppendTraceDump(std::string* out, const TraceNodeDump& dump) {
+  PutVarint64(out, kDumpVersion);
+  PutLengthPrefixed(out, Slice(dump.node));
+  PutVarint64(out, dump.pid);
+  PutVarint64(out, dump.origin_unix_us);
+  PutVarint64(out, dump.total);
+  PutVarint64(out, dump.dropped);
+  PutVarint64(out, dump.events.size());
+  for (const TraceEvent& e : dump.events) {
+    PutVarint64(out, e.id);
+    PutVarint64(out, e.parent_id);
+    PutVarint64(out, e.trace_hi);
+    PutVarint64(out, e.trace_lo);
+    PutLengthPrefixed(out, Slice(e.name));
+    PutVarint64(out, e.start_us);
+    PutVarint64(out, e.duration_us);
+    PutVarint64(out, e.thread_id);
+    PutVarint64(out, e.annotations.size());
+    for (const auto& kv : e.annotations) {
+      PutLengthPrefixed(out, Slice(kv.first));
+      PutLengthPrefixed(out, Slice(kv.second));
+    }
+  }
+}
+
+Status ParseTraceDumps(Slice in, std::vector<TraceNodeDump>* out) {
+  while (!in.empty()) {
+    uint64_t version = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &version));
+    if (version != kDumpVersion) {
+      return Status::Corruption("unsupported trace dump version " +
+                                std::to_string(version));
+    }
+    TraceNodeDump dump;
+    Slice node;
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &node));
+    dump.node = node.ToString();
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &dump.pid));
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &dump.origin_unix_us));
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &dump.total));
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &dump.dropped));
+    uint64_t nevents = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &nevents));
+    dump.events.reserve(static_cast<size_t>(std::min<uint64_t>(
+        nevents, 1u << 20)));
+    for (uint64_t i = 0; i < nevents; ++i) {
+      TraceEvent e;
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.id));
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.parent_id));
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.trace_hi));
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.trace_lo));
+      Slice name;
+      MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &name));
+      e.name = name.ToString();
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.start_us));
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.duration_us));
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &e.thread_id));
+      uint64_t nann = 0;
+      MH_RETURN_IF_ERROR(GetVarint64(&in, &nann));
+      for (uint64_t a = 0; a < nann; ++a) {
+        Slice key;
+        Slice value;
+        MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &key));
+        MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &value));
+        e.annotations.emplace_back(key.ToString(), value.ToString());
+      }
+      dump.events.push_back(std::move(e));
+    }
+    out->push_back(std::move(dump));
+  }
+  return Status::OK();
+}
+
+std::string MergeTraceDumps(const std::vector<TraceNodeDump>& dumps) {
+  // Span id -> {dump index, absolute start} so cross-process parent
+  // edges can be found and turned into wire.gap spans. Last writer wins
+  // on the (astronomically unlikely) id collision.
+  struct SpanHome {
+    size_t dump = 0;
+    uint64_t abs_start_us = 0;
+  };
+  std::unordered_map<uint64_t, SpanHome> by_id;
+  for (size_t d = 0; d < dumps.size(); ++d) {
+    for (const TraceEvent& e : dumps[d].events) {
+      by_id[e.id] = SpanHome{d, dumps[d].origin_unix_us + e.start_us};
+    }
+  }
+
+  std::string out = "[";
+  bool first = true;
+  auto separator = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  char buf[256];
+  for (size_t d = 0; d < dumps.size(); ++d) {
+    const TraceNodeDump& dump = dumps[d];
+    separator();
+    // Name the pid row after the node so the viewer shows
+    // "modelhubd@host:port" instead of a bare number.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%llu,"
+                  "\"tid\":0,\"args\":{\"name\":",
+                  static_cast<unsigned long long>(dump.pid));
+    out += buf;
+    AppendJsonString(&out, dump.node);
+    out += "}}";
+    for (const TraceEvent& e : dump.events) {
+      const uint64_t abs_start = dump.origin_unix_us + e.start_us;
+      separator();
+      out += "{\"name\":";
+      AppendJsonString(&out, e.name);
+      std::snprintf(buf, sizeof(buf),
+                    ",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,\"pid\":%llu,"
+                    "\"tid\":%llu,\"args\":",
+                    static_cast<unsigned long long>(abs_start),
+                    static_cast<unsigned long long>(e.duration_us),
+                    static_cast<unsigned long long>(dump.pid),
+                    static_cast<unsigned long long>(e.thread_id));
+      out += buf;
+      std::vector<std::pair<std::string, std::string>> args = e.annotations;
+      if ((e.trace_hi | e.trace_lo) != 0) {
+        args.emplace_back("trace_id", TraceIdHexOf(e.trace_hi, e.trace_lo));
+      }
+      args.emplace_back("span_id", std::to_string(e.id));
+      if (e.parent_id != 0) {
+        args.emplace_back("parent_id", std::to_string(e.parent_id));
+      }
+      AppendAnnotations(&out, args);
+      out.push_back('}');
+
+      // Parent recorded by a different process: the time between the
+      // parent opening and this span opening is wire + queueing — render
+      // it as a synthetic span on the child's process row.
+      if (e.parent_id == 0) continue;
+      auto parent = by_id.find(e.parent_id);
+      if (parent == by_id.end() || parent->second.dump == d) continue;
+      const uint64_t gap_start = parent->second.abs_start_us;
+      const uint64_t gap_dur =
+          abs_start > gap_start ? abs_start - gap_start : 0;
+      separator();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"wire.gap\",\"ph\":\"X\",\"ts\":%llu,"
+                    "\"dur\":%llu,\"pid\":%llu,\"tid\":%llu,\"args\":",
+                    static_cast<unsigned long long>(gap_start),
+                    static_cast<unsigned long long>(gap_dur),
+                    static_cast<unsigned long long>(dump.pid),
+                    static_cast<unsigned long long>(e.thread_id));
+      out += buf;
+      std::vector<std::pair<std::string, std::string>> gap_args;
+      gap_args.emplace_back("from", dumps[parent->second.dump].node);
+      gap_args.emplace_back("to", dump.node);
+      if ((e.trace_hi | e.trace_lo) != 0) {
+        gap_args.emplace_back("trace_id",
+                              TraceIdHexOf(e.trace_hi, e.trace_lo));
+      }
+      AppendAnnotations(&out, gap_args);
+      out.push_back('}');
+    }
+  }
+  out += "]\n";
+  return out;
 }
 
 }  // namespace modelhub

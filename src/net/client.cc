@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "dlv/repository.h"
 
 namespace modelhub {
@@ -72,7 +73,35 @@ Result<ModelHubClient> ModelHubClient::Connect(const std::string& host,
 Result<WireResponse> ModelHubClient::CallDetailed(uint8_t opcode,
                                                   std::string_view payload) {
   const Deadline deadline = Deadline::AfterMs(options_.op_timeout_ms);
-  MH_RETURN_IF_ERROR(WriteFrame(&sock_, opcode, payload, deadline));
+  // An active thread-local trace context rides the wire: the receiver's
+  // root spans parent to our innermost open span, and the remaining
+  // deadline budget shrinks hop by hop.
+  FrameTrace trace;
+  const FrameTrace* trace_ptr = nullptr;
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.active()) {
+    trace.trace_hi = ctx.trace_hi;
+    trace.trace_lo = ctx.trace_lo;
+    const uint64_t current = CurrentSpanId();
+    trace.span_id = current != 0 ? current : ctx.parent_span;
+    trace.sampled = ctx.sampled;
+    uint64_t budget_ms = static_cast<uint64_t>(
+        std::max(1, options_.op_timeout_ms));
+    if (ctx.has_deadline) {
+      const uint64_t remaining = ctx.deadline_remaining_ms();
+      if (remaining == 0) {
+        trace.deadline_expired = true;
+        budget_ms = 1;
+      } else {
+        budget_ms = std::min(budget_ms, remaining);
+      }
+    }
+    trace.deadline_ms = static_cast<uint32_t>(
+        budget_ms > UINT32_MAX ? UINT32_MAX : budget_ms);
+    trace_ptr = &trace;
+  }
+  MH_RETURN_IF_ERROR(
+      WriteFrame(&sock_, opcode, payload, deadline, nullptr, trace_ptr));
   Frame response;
   MH_RETURN_IF_ERROR(ReadFrame(&sock_, &response, options_.max_frame_bytes,
                                deadline));
@@ -139,6 +168,14 @@ Result<std::string> ModelHubClient::Query(const std::string& dql) {
 
 Result<std::string> ModelHubClient::Stats() {
   return Call(static_cast<uint8_t>(Opcode::kStats), "");
+}
+
+Result<std::string> ModelHubClient::Metrics() {
+  return Call(static_cast<uint8_t>(Opcode::kGetMetrics), "");
+}
+
+Result<std::string> ModelHubClient::GetTraceDump() {
+  return Call(static_cast<uint8_t>(Opcode::kGetTrace), "");
 }
 
 Status ModelHubClient::Shutdown() {

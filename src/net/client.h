@@ -93,6 +93,14 @@ class ModelHubClient {
   /// STATS — the server's metrics registry snapshot as JSON.
   Result<std::string> Stats();
 
+  /// GET_METRICS — the server's metrics in Prometheus text exposition
+  /// format (the router returns the whole fleet, node-labeled).
+  Result<std::string> Metrics();
+
+  /// GET_TRACE — concatenated binary trace-dump sections (one per node;
+  /// parse with ParseTraceDumps, render with MergeTraceDumps).
+  Result<std::string> GetTraceDump();
+
   /// SHUTDOWN — asks the server to drain gracefully.
   Status Shutdown();
 

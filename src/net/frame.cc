@@ -20,17 +20,86 @@ std::string_view OpcodeToString(uint8_t opcode) {
       return "stats";
     case Opcode::kShutdown:
       return "shutdown";
+    case Opcode::kGetTrace:
+      return "get_trace";
+    case Opcode::kGetMetrics:
+      return "get_metrics";
   }
   return "unknown";
 }
 
-std::string EncodeFrame(uint8_t opcode, std::string_view payload) {
+namespace {
+
+/// flags bit layout of the trace-context header (see kWireTraceFlag).
+constexpr uint8_t kTraceFlagSampled = 0x01;
+constexpr uint8_t kTraceFlagDeadlineExpired = 0x02;
+
+std::string EncodeTraceHeader(const FrameTrace& trace) {
   std::string out;
-  out.reserve(payload.size() + kFrameHeaderBytes + 8);
-  PutFixed32(&out,
-             static_cast<uint32_t>(payload.size() + kFrameHeaderBytes));
-  out.push_back(static_cast<char>(kWireVersion));
+  PutFixed64(&out, trace.trace_hi);
+  PutFixed64(&out, trace.trace_lo);
+  PutFixed64(&out, trace.span_id);
+  uint8_t flags = 0;
+  if (trace.sampled) flags |= kTraceFlagSampled;
+  if (trace.deadline_expired) flags |= kTraceFlagDeadlineExpired;
+  out.push_back(static_cast<char>(flags));
+  PutVarint64(&out, trace.deadline_ms);
+  return out;
+}
+
+Status DecodeTraceHeader(Slice* body, FrameTrace* trace) {
+  MH_RETURN_IF_ERROR(GetFixed64(body, &trace->trace_hi));
+  MH_RETURN_IF_ERROR(GetFixed64(body, &trace->trace_lo));
+  MH_RETURN_IF_ERROR(GetFixed64(body, &trace->span_id));
+  if (body->empty()) {
+    return Status::Corruption("truncated trace header: missing flags");
+  }
+  const uint8_t flags = static_cast<uint8_t>((*body)[0]);
+  body->RemovePrefix(1);
+  trace->sampled = (flags & kTraceFlagSampled) != 0;
+  trace->deadline_expired = (flags & kTraceFlagDeadlineExpired) != 0;
+  uint64_t deadline_ms = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(body, &deadline_ms));
+  trace->deadline_ms = static_cast<uint32_t>(
+      deadline_ms > UINT32_MAX ? UINT32_MAX : deadline_ms);
+  return Status::OK();
+}
+
+/// Shared body decoder for DecodeFrame/ReadFrame: splits version/opcode,
+/// peels the optional trace header, leaves the payload.
+Status ParseFrameBody(Slice body, Frame* frame) {
+  uint8_t version = static_cast<uint8_t>(body[0]);
+  frame->opcode = static_cast<uint8_t>(body[1]);
+  body.RemovePrefix(kFrameHeaderBytes);
+  frame->trace.reset();
+  if ((version & kWireTraceFlag) != 0) {
+    FrameTrace trace;
+    MH_RETURN_IF_ERROR(DecodeTraceHeader(&body, &trace));
+    frame->trace = trace;
+    version &= static_cast<uint8_t>(~kWireTraceFlag);
+  }
+  frame->version = version;
+  frame->payload = body.ToString();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(uint8_t opcode, std::string_view payload,
+                        const FrameTrace* trace) {
+  std::string header;
+  uint8_t version = kWireVersion;
+  if (trace != nullptr) {
+    version |= kWireTraceFlag;
+    header = EncodeTraceHeader(*trace);
+  }
+  std::string out;
+  out.reserve(payload.size() + header.size() + kFrameHeaderBytes + 8);
+  PutFixed32(&out, static_cast<uint32_t>(payload.size() + header.size() +
+                                         kFrameHeaderBytes));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(opcode));
+  out.append(header);
   out.append(payload);
   const uint32_t crc = Crc32(Slice(out.data() + 4, out.size() - 4));
   PutFixed32(&out, crc);
@@ -78,16 +147,15 @@ Status DecodeFrame(Slice* input, Frame* frame, uint64_t max_frame_bytes) {
   uint32_t declared = 0;
   MH_RETURN_IF_ERROR(GetFixed32(&probe, &declared));
   MH_RETURN_IF_ERROR(CheckBodyCrc(body, declared));
-  frame->version = body[0];
-  frame->opcode = body[1];
-  frame->payload = body.SubSlice(2, length - 2).ToString();
+  MH_RETURN_IF_ERROR(ParseFrameBody(body, frame));
   *input = probe;
   return Status::OK();
 }
 
 Status WriteFrame(Socket* sock, uint8_t opcode, std::string_view payload,
-                  const Deadline& deadline, const std::atomic<bool>* cancel) {
-  const std::string wire = EncodeFrame(opcode, payload);
+                  const Deadline& deadline, const std::atomic<bool>* cancel,
+                  const FrameTrace* trace) {
+  const std::string wire = EncodeFrame(opcode, payload, trace);
   return sock->WriteFull(wire.data(), wire.size(), deadline, cancel);
 }
 
@@ -110,10 +178,28 @@ Status ReadFrame(Socket* sock, Frame* frame, uint64_t max_frame_bytes,
   uint32_t declared = 0;
   MH_RETURN_IF_ERROR(GetFixed32(&trailer, &declared));
   MH_RETURN_IF_ERROR(CheckBodyCrc(Slice(body.data(), length), declared));
-  frame->version = static_cast<uint8_t>(body[0]);
-  frame->opcode = static_cast<uint8_t>(body[1]);
-  frame->payload.assign(body, 2, length - 2);
-  return Status::OK();
+  return ParseFrameBody(Slice(body.data(), length), frame);
+}
+
+TraceContext ContextFromFrame(const Frame& frame) {
+  TraceContext ctx;
+  if (!frame.trace.has_value()) return ctx;
+  const FrameTrace& trace = *frame.trace;
+  ctx.trace_hi = trace.trace_hi;
+  ctx.trace_lo = trace.trace_lo;
+  ctx.parent_span = trace.span_id;
+  ctx.sampled = trace.sampled;
+  if (trace.deadline_expired) {
+    // The sender's budget was already gone: an immediately-past deadline
+    // makes every span of this request carry the after_deadline marker.
+    ctx.has_deadline = true;
+    ctx.deadline = std::chrono::steady_clock::now();
+  } else if (trace.deadline_ms > 0) {
+    ctx.has_deadline = true;
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(trace.deadline_ms);
+  }
+  return ctx;
 }
 
 std::string EncodeResponsePayload(const Status& status,

@@ -2,12 +2,14 @@
 #define MODELHUB_NET_FRAME_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/socket.h"
 
 namespace modelhub {
@@ -25,6 +27,21 @@ namespace modelhub {
 /// payload (EncodeResponsePayload).
 constexpr uint8_t kWireVersion = 1;
 
+/// Distributed-tracing extension (DESIGN.md §13): a frame whose version
+/// byte has this flag set carries a trace-context header at the front of
+/// the body, after the opcode:
+///
+///   [fixed64 trace_hi] [fixed64 trace_lo] [fixed64 span_id] [u8 flags]
+///   [varint deadline_ms]
+///
+/// flags bit0 = sampled, bit1 = the client's deadline had already expired
+/// when the frame was sent. The flag bit keeps the extension backward
+/// compatible both ways: peers that never send it emit plain version-1
+/// frames (parsed everywhere), and old peers that receive a traced frame
+/// reject it with a clean "unsupported wire version" error instead of
+/// misparsing the payload.
+constexpr uint8_t kWireTraceFlag = 0x80;
+
 /// Frame body length = version + opcode + payload.
 constexpr uint64_t kFrameHeaderBytes = 2;
 constexpr uint64_t kDefaultMaxFrameBytes = 64ull << 20;
@@ -36,18 +53,37 @@ enum class Opcode : uint8_t {
   kDqlQuery = 4,
   kStats = 5,
   kShutdown = 6,
+  kGetTrace = 7,
+  kGetMetrics = 8,
 };
 
 std::string_view OpcodeToString(uint8_t opcode);
 
+/// Decoded trace-context header (see kWireTraceFlag).
+struct FrameTrace {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  /// The sender's innermost span id — the receiver's parent.
+  uint64_t span_id = 0;
+  bool sampled = false;
+  /// True when the sender's deadline had already passed at send time.
+  bool deadline_expired = false;
+  /// Remaining client budget in milliseconds (0 = no deadline).
+  uint32_t deadline_ms = 0;
+};
+
 struct Frame {
-  uint8_t version = kWireVersion;
+  uint8_t version = kWireVersion;  ///< Trace flag already stripped.
   uint8_t opcode = 0;
+  /// Present when the sender attached a trace-context header.
+  std::optional<FrameTrace> trace;
   std::string payload;
 };
 
-/// Serializes one frame (length prefix + body + CRC).
-std::string EncodeFrame(uint8_t opcode, std::string_view payload);
+/// Serializes one frame (length prefix + body + CRC). A non-null `trace`
+/// sets kWireTraceFlag and prepends the trace-context header.
+std::string EncodeFrame(uint8_t opcode, std::string_view payload,
+                        const FrameTrace* trace = nullptr);
 
 /// Decodes one frame from the front of `input`, consuming it on success.
 /// Typed failures: kOutOfRange = `input` holds a truncated frame (read
@@ -59,7 +95,8 @@ Status DecodeFrame(Slice* input, Frame* frame,
 /// Writes one frame to `sock` within `deadline`.
 Status WriteFrame(Socket* sock, uint8_t opcode, std::string_view payload,
                   const Deadline& deadline,
-                  const std::atomic<bool>* cancel = nullptr);
+                  const std::atomic<bool>* cancel = nullptr,
+                  const FrameTrace* trace = nullptr);
 
 /// Reads one frame from `sock`. The length prefix is checked against
 /// `max_frame_bytes` before the body is read or allocated. A clean peer
@@ -69,6 +106,13 @@ Status ReadFrame(Socket* sock, Frame* frame, uint64_t max_frame_bytes,
                  const Deadline& deadline,
                  const std::atomic<bool>* cancel = nullptr,
                  bool* clean_eof = nullptr);
+
+/// Builds a thread trace context from an inbound frame's trace header
+/// (inactive when the frame carried none): root spans parent to the
+/// caller's span, the sampling decision is adopted verbatim, and the
+/// relayed deadline budget starts counting against this process's steady
+/// clock. Shared by modelhubd and modelhub-router dispatch loops.
+TraceContext ContextFromFrame(const Frame& frame);
 
 /// Response payload layout: [u8 status code][varint length + message]
 /// [result bytes]. An OK status carries an empty message.

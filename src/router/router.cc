@@ -27,6 +27,13 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+uint64_t UnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Faults worth burning retry budget on. kUnavailable / kDeadlineExceeded
 /// cover refused connects, sheds, and expired budgets; kIOError and
 /// kCorruption cover a connection torn mid-frame by a dying backend. Any
@@ -159,7 +166,8 @@ Result<FleetTopology> FleetTopology::Parse(const std::string& spec) {
 ModelHubRouter::ModelHubRouter(FleetTopology topology, RouterOptions options)
     : topology_(std::move(topology)),
       options_(options),
-      ring_(options.vnodes_per_shard) {}
+      ring_(options.vnodes_per_shard),
+      slow_log_(static_cast<size_t>(std::max(1, options.slow_log_capacity))) {}
 
 ModelHubRouter::~ModelHubRouter() { (void)Stop(); }
 
@@ -405,7 +413,13 @@ void ModelHubRouter::ServeConnection(Socket sock) {
 
     std::string result;
     Status status;
+    const TraceContext ctx = ContextFromFrame(request);
+    uint64_t latency_us = 0;
     {
+      // The inbound trace context stays installed across the backend
+      // hops below, so the outbound client re-emits it on the wire with
+      // the router.forward span as the new parent.
+      ScopedTraceContext trace_scope(ctx);
       TraceSpan span("router.request");
       span.Annotate("op", std::string(OpcodeToString(request.opcode)));
       const auto dispatched_at = std::chrono::steady_clock::now();
@@ -415,12 +429,30 @@ void ModelHubRouter::ServeConnection(Socket sock) {
       } else {
         status = Dispatch(request, &result);
       }
-      MH_HISTOGRAM("router.op.forward.us")->Record(ElapsedUs(dispatched_at));
+      latency_us = ElapsedUs(dispatched_at);
+      MH_HISTOGRAM("router.op.forward.us")->Record(latency_us);
       span.Annotate("status", std::string(StatusCodeToString(status.code())));
       span.Annotate("result_bytes", static_cast<uint64_t>(result.size()));
     }
     MH_COUNTER("router.requests.count")->Increment();
     if (!status.ok()) MH_COUNTER("router.errors.count")->Increment();
+    const bool after_deadline = ctx.deadline_expired();
+    if (after_deadline) {
+      MH_COUNTER("router.deadline.expired.count")->Increment();
+    }
+    if (options_.slow_request_us > 0 &&
+        latency_us >= static_cast<uint64_t>(options_.slow_request_us)) {
+      SlowRequestEntry entry;
+      entry.op = std::string(OpcodeToString(request.opcode));
+      entry.latency_us = latency_us;
+      entry.status = std::string(StatusCodeToString(status.code()));
+      entry.trace_hi = ctx.trace_hi;
+      entry.trace_lo = ctx.trace_lo;
+      entry.after_deadline = after_deadline;
+      entry.unix_us = UnixMicros();
+      slow_log_.Record(std::move(entry));
+      MH_COUNTER("router.slow_requests.count")->Increment();
+    }
 
     const std::string payload = EncodeResponsePayload(status, result);
     MH_COUNTER("router.bytes.out")->Add(payload.size() + kFrameOverheadBytes);
@@ -447,6 +479,10 @@ Status ModelHubRouter::Dispatch(const Frame& request, std::string* out) {
       return HandleDqlQuery(request, out);
     case Opcode::kStats:
       return HandleStats(out);
+    case Opcode::kGetTrace:
+      return HandleGetTrace(out);
+    case Opcode::kGetMetrics:
+      return HandleGetMetrics(out);
     case Opcode::kShutdown:
       // Drains the router only; backends keep serving for any other
       // frontend (DESIGN.md §11 drain ordering).
@@ -542,8 +578,13 @@ Status ModelHubRouter::HandleDqlQuery(const Frame& request, std::string* out) {
 Status ModelHubRouter::HandleStats(std::string* out) {
   UpdateUptimeGauge();
   UpdateHealthGauges();
+  std::string own = MetricRegistry::Global()->Snapshot().ToJson();
+  // Splice the slow-request ring into the router's own section as a
+  // fourth top-level key next to counters/gauges/histograms.
+  own.pop_back();
+  own += ",\"slow_requests\":" + slow_log_.ToJson() + "}";
   std::string json = "{\"router\":";
-  json += MetricRegistry::Global()->Snapshot().ToJson();
+  json += own;
   json += ",\"backends\":{";
   bool first = true;
   for (const auto& shard : shards_) {
@@ -574,6 +615,45 @@ Status ModelHubRouter::HandleStats(std::string* out) {
   return Status::OK();
 }
 
+Status ModelHubRouter::HandleGetTrace(std::string* out) {
+  // Own section first, then a best-effort section from every backend: a
+  // dead or breaker-refused backend contributes nothing rather than
+  // failing the whole fleet merge.
+  AppendTraceDump(out, CollectTraceDump("router@" + options_.host + ":" +
+                                        std::to_string(port())));
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      std::string section;
+      const Status fetched =
+          TryBackend(backend.get(), static_cast<uint8_t>(Opcode::kGetTrace),
+                     "", &section);
+      if (fetched.ok()) out->append(section);
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelHubRouter::HandleGetMetrics(std::string* out) {
+  UpdateUptimeGauge();
+  UpdateHealthGauges();
+  std::set<std::string> seen_types;
+  AppendPrometheusWithLabel(out, MetricRegistry::Global()->ToPrometheusText(),
+                            "node=\"router\"", &seen_types);
+  for (const auto& shard : shards_) {
+    for (const auto& backend : shard->replicas) {
+      std::string text;
+      const Status fetched =
+          TryBackend(backend.get(), static_cast<uint8_t>(Opcode::kGetMetrics),
+                     "", &text);
+      if (!fetched.ok()) continue;  // Best-effort, like GET_TRACE.
+      const std::string label =
+          "node=\"" + backend->endpoint().Name() + "\"";
+      AppendPrometheusWithLabel(out, text, label, &seen_types);
+    }
+  }
+  return Status::OK();
+}
+
 Backend* ModelHubRouter::PickReplica(ShardRuntime* shard, uint64_t start,
                                      int attempt) {
   const size_t n = shard->replicas.size();
@@ -601,6 +681,11 @@ Backend* ModelHubRouter::PickReplica(ShardRuntime* shard, uint64_t start,
 
 Status ModelHubRouter::TryBackend(Backend* backend, uint8_t opcode,
                                   std::string_view payload, std::string* out) {
+  // One span per attempt: the outbound CallDetailed reads CurrentSpanId()
+  // inside this scope, so the backend's server.request parents to this
+  // span and a failover shows up as sibling router.forward spans.
+  TraceSpan span("router.forward");
+  span.Annotate("backend", backend->endpoint().Name());
   Result<ModelHubClient> client = backend->Acquire();
   if (!client.ok()) {
     if (backend->breaker().RecordFailure()) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/slow_log.h"
 #include "common/thread_pool.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -79,6 +80,11 @@ struct RouterOptions {
 
   /// Virtual nodes per shard on the consistent-hash ring.
   int vnodes_per_shard = 64;
+
+  /// Slow-request log threshold: requests whose dispatch takes at least
+  /// this long land in a bounded ring dumped via STATS (0 disables).
+  int slow_request_us = 100000;
+  int slow_log_capacity = 64;
 };
 
 /// The fleet frontend: speaks the net/frame.h wire protocol on both
@@ -158,6 +164,12 @@ class ModelHubRouter {
   Status HandleListModels(std::string* out);
   Status HandleDqlQuery(const Frame& request, std::string* out);
   Status HandleStats(std::string* out);
+  /// Own trace-dump section + a best-effort section from every backend,
+  /// concatenated — the fleet-wide GET_TRACE answer.
+  Status HandleGetTrace(std::string* out);
+  /// Own Prometheus text labeled node="router" + every backend's labeled
+  /// node="host:port", with `# TYPE` lines deduplicated.
+  Status HandleGetMetrics(std::string* out);
 
   /// Retry/failover loop over one shard's replicas. On success `*out`
   /// holds the backend's result bytes and the return is the backend's
@@ -197,6 +209,7 @@ class ModelHubRouter {
   std::atomic<bool> stopping_{false};
   std::atomic<int> active_connections_{0};
   std::chrono::steady_clock::time_point started_at_;
+  SlowRequestLog slow_log_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

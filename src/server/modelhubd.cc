@@ -25,6 +25,13 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
           .count());
 }
 
+uint64_t UnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Per-op latency histograms (MH_HISTOGRAM needs literal names).
 Histogram* OpLatency(uint8_t opcode) {
   switch (static_cast<Opcode>(opcode)) {
@@ -40,6 +47,10 @@ Histogram* OpLatency(uint8_t opcode) {
       return MH_HISTOGRAM("server.op.stats.us");
     case Opcode::kShutdown:
       return MH_HISTOGRAM("server.op.shutdown.us");
+    case Opcode::kGetTrace:
+      return MH_HISTOGRAM("server.op.get_trace.us");
+    case Opcode::kGetMetrics:
+      return MH_HISTOGRAM("server.op.get_metrics.us");
   }
   return MH_HISTOGRAM("server.op.unknown.us");
 }
@@ -48,7 +59,10 @@ Histogram* OpLatency(uint8_t opcode) {
 
 ModelHubServer::ModelHubServer(Env* env, std::string repo_root,
                                ServerOptions options)
-    : env_(env), repo_root_(std::move(repo_root)), options_(options) {}
+    : env_(env),
+      repo_root_(std::move(repo_root)),
+      options_(options),
+      slow_log_(static_cast<size_t>(std::max(1, options_.slow_log_capacity))) {}
 
 ModelHubServer::~ModelHubServer() { (void)Stop(); }
 
@@ -241,7 +255,13 @@ void ModelHubServer::ServeConnection(Socket sock) {
 
     std::string result;
     Status status;
+    const TraceContext ctx = ContextFromFrame(request);
+    uint64_t latency_us = 0;
     {
+      // The request's trace context governs every span recorded below it
+      // — including retrieval/PAS spans on the pool threads, which
+      // inherit it through ThreadPool::Schedule.
+      ScopedTraceContext trace_scope(ctx);
       TraceSpan span("server.request");
       span.Annotate("op", std::string(OpcodeToString(request.opcode)));
       const auto dispatched_at = std::chrono::steady_clock::now();
@@ -251,12 +271,30 @@ void ModelHubServer::ServeConnection(Socket sock) {
       } else {
         status = Dispatch(request, &result);
       }
-      OpLatency(request.opcode)->Record(ElapsedUs(dispatched_at));
+      latency_us = ElapsedUs(dispatched_at);
+      OpLatency(request.opcode)->Record(latency_us);
       span.Annotate("status", std::string(StatusCodeToString(status.code())));
       span.Annotate("result_bytes", static_cast<uint64_t>(result.size()));
     }
     MH_COUNTER("server.requests.count")->Increment();
     if (!status.ok()) MH_COUNTER("server.errors.count")->Increment();
+    const bool after_deadline = ctx.deadline_expired();
+    if (after_deadline) {
+      MH_COUNTER("server.deadline.expired.count")->Increment();
+    }
+    if (options_.slow_request_us > 0 &&
+        latency_us >= static_cast<uint64_t>(options_.slow_request_us)) {
+      SlowRequestEntry entry;
+      entry.op = std::string(OpcodeToString(request.opcode));
+      entry.latency_us = latency_us;
+      entry.status = std::string(StatusCodeToString(status.code()));
+      entry.trace_hi = ctx.trace_hi;
+      entry.trace_lo = ctx.trace_lo;
+      entry.after_deadline = after_deadline;
+      entry.unix_us = UnixMicros();
+      slow_log_.Record(std::move(entry));
+      MH_COUNTER("server.slow_requests.count")->Increment();
+    }
 
     const std::string payload = EncodeResponsePayload(status, result);
     MH_COUNTER("server.bytes.out")->Add(payload.size() + kFrameOverheadBytes);
@@ -297,6 +335,11 @@ Status ModelHubServer::Dispatch(const Frame& request, std::string* out) {
       return HandleDqlQuery(request, out);
     case Opcode::kStats:
       return HandleStats(out);
+    case Opcode::kGetTrace:
+      return HandleGetTrace(out);
+    case Opcode::kGetMetrics:
+      *out = MetricRegistry::Global()->ToPrometheusText();
+      return Status::OK();
     case Opcode::kShutdown:
       *out = "draining";
       return Status::OK();
@@ -435,7 +478,18 @@ Status ModelHubServer::HandleDqlQuery(const Frame& request, std::string* out) {
 
 Status ModelHubServer::HandleStats(std::string* out) {
   UpdateUptimeGauge();
-  *out = MetricRegistry::Global()->Snapshot().ToJson();
+  std::string json = MetricRegistry::Global()->Snapshot().ToJson();
+  // Splice the slow-request ring in as a fourth top-level section next to
+  // counters/gauges/histograms.
+  json.pop_back();
+  json += ",\"slow_requests\":" + slow_log_.ToJson() + "}";
+  *out = std::move(json);
+  return Status::OK();
+}
+
+Status ModelHubServer::HandleGetTrace(std::string* out) {
+  AppendTraceDump(out, CollectTraceDump("modelhubd@" + options_.host + ":" +
+                                        std::to_string(port())));
   return Status::OK();
 }
 

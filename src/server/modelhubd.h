@@ -13,6 +13,7 @@
 
 #include "common/env.h"
 #include "common/result.h"
+#include "common/slow_log.h"
 #include "common/thread_pool.h"
 #include "dlv/repository.h"
 #include "net/frame.h"
@@ -52,6 +53,11 @@ struct ServerOptions {
   /// Coalescing linger window (see SnapshotCoalescer): 0 = pure
   /// single-flight, > 0 keeps completed retrievals joinable that long.
   int coalesce_linger_ms = 0;
+
+  /// Slow-request log threshold: requests whose dispatch takes at least
+  /// this long land in a bounded ring dumped via STATS (0 disables).
+  int slow_request_us = 100000;
+  int slow_log_capacity = 64;
 };
 
 /// The ModelHub daemon: serves a DLV repository over the wire protocol of
@@ -127,6 +133,7 @@ class ModelHubServer {
   Status HandleGetSnapshot(const Frame& request, std::string* out);
   Status HandleDqlQuery(const Frame& request, std::string* out);
   Status HandleStats(std::string* out);
+  Status HandleGetTrace(std::string* out);
 
   /// The coalesced fetch body: exact retrieval (planes == 0) through the
   /// archive's shared-computation parallel scheduler with a staging
@@ -156,6 +163,7 @@ class ModelHubServer {
   std::atomic<bool> stopping_{false};
   std::atomic<int> active_connections_{0};
   std::chrono::steady_clock::time_point started_at_;
+  SlowRequestLog slow_log_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -138,7 +138,7 @@ TEST_F(CliTest, UsageListsEverySubcommand) {
       "init",    "demo", "copy",  "archive", "fsck", "list",
       "desc",    "diff", "pdiff", "compare", "eval", "retrieve",
       "query",   "report", "publish", "search", "pull", "stats",
-      "serve",   "rpc",
+      "serve",   "rpc",  "trace",
   };
   for (const char* subcommand : subcommands) {
     EXPECT_NE(usage.find(std::string("dlv ") + subcommand), std::string::npos)
@@ -159,6 +159,11 @@ TEST_F(CliTest, RpcExitCodesDistinguishTransportFromServerErrors) {
   EXPECT_EQ(Dlv("rpc 127.0.0.1:1"), 2);
   EXPECT_EQ(Dlv("rpc no-port-here ping"), 2);
   EXPECT_EQ(Dlv("serve"), 2);
+
+  // `dlv trace` shares the endpoint grammar and the transport exit code.
+  EXPECT_EQ(Dlv("trace"), 2);
+  EXPECT_EQ(Dlv("trace --fleet no-port-here"), 2);
+  EXPECT_EQ(Dlv("trace --fleet 127.0.0.1:1"), 3);
 }
 
 TEST_F(CliTest, StatsJsonCoversSubsystems) {
@@ -196,6 +201,14 @@ TEST_F(CliTest, StatsJsonCoversSubsystems) {
   EXPECT_EQ(code, 0);
   EXPECT_NE(text.find("pas.chunk.fetch.count"), std::string::npos);
   EXPECT_NE(text.find("dlv.commit.count"), std::string::npos);
+
+  // Prometheus exposition mode: typed families, underscore names,
+  // cumulative histogram buckets ending in +Inf.
+  const std::string prom = DlvOutput("stats " + repo + " --prom", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(prom.find("# TYPE "), std::string::npos);
+  EXPECT_NE(prom.find("pas_chunk_fetch_count"), std::string::npos);
+  EXPECT_NE(prom.find("_bucket{le=\"+Inf\"}"), std::string::npos);
 
   // Bad flags and a missing repository are reported as errors.
   EXPECT_EQ(Dlv("stats " + repo + " --bogus"), 2);

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/slice.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 
 namespace modelhub {
@@ -201,6 +204,97 @@ TEST(MetricRegistryTest, ConcurrentRegistrationAndUpdates) {
       static_cast<uint64_t>(kThreads) * kIncrements);
 }
 
+// ----------------------------------------------------------- Prometheus
+
+TEST(PrometheusTest, GoldenTextRendering) {
+  // Hand-built snapshot -> exact exposition text: a counter, a (negative)
+  // gauge and a histogram whose pow2 buckets {le 0: 1, [1,2): 0, [2,4): 2,
+  // [4,8): 1} must render cumulatively with dots mapped to underscores.
+  MetricsSnapshot snapshot;
+  MetricValue counter;
+  counter.name = "server.requests.count";
+  counter.kind = MetricValue::Kind::kCounter;
+  counter.counter = 7;
+  MetricValue gauge;
+  gauge.name = "server.queue.depth";
+  gauge.kind = MetricValue::Kind::kGauge;
+  gauge.gauge = -2;
+  MetricValue histogram;
+  histogram.name = "server.op.ping.us";
+  histogram.kind = MetricValue::Kind::kHistogram;
+  histogram.histogram.buckets = {1, 0, 2, 1};
+  histogram.histogram.count = 4;
+  histogram.histogram.sum = 13;
+  snapshot.values = {histogram, gauge, counter};  // Pre-sorted by name.
+
+  const std::string expected =
+      "# TYPE server_op_ping_us histogram\n"
+      "server_op_ping_us_bucket{le=\"0\"} 1\n"
+      "server_op_ping_us_bucket{le=\"1\"} 1\n"
+      "server_op_ping_us_bucket{le=\"3\"} 3\n"
+      "server_op_ping_us_bucket{le=\"7\"} 4\n"
+      "server_op_ping_us_bucket{le=\"+Inf\"} 4\n"
+      "server_op_ping_us_sum 13\n"
+      "server_op_ping_us_count 4\n"
+      "# TYPE server_queue_depth gauge\n"
+      "server_queue_depth -2\n"
+      "# TYPE server_requests_count counter\n"
+      "server_requests_count 7\n";
+  EXPECT_EQ(snapshot.ToPrometheusText(), expected);
+}
+
+TEST(PrometheusTest, RegistryRoundTripParses) {
+  MetricRegistry* registry = MetricRegistry::Global();
+  registry->GetCounter("test.prom.counter")->Add(1);
+  registry->GetHistogram("test.prom.histogram")->Record(100);
+  const std::string text = registry->ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_histogram histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histogram_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(PrometheusTest, LabelInjectionAndTypeDedup) {
+  const std::string text =
+      "# TYPE up gauge\n"
+      "up 1\n"
+      "# TYPE req_us histogram\n"
+      "req_us_bucket{le=\"+Inf\"} 3\n"
+      "req_us_sum 9\n"
+      "req_us_count 3\n";
+  std::string out;
+  std::set<std::string> seen_types;
+  AppendPrometheusWithLabel(&out, text, "node=\"r\"", &seen_types);
+  AppendPrometheusWithLabel(&out, text, "node=\"b\"", &seen_types);
+  // Bare samples gain a label block; labeled samples gain a first label.
+  EXPECT_NE(out.find("up{node=\"r\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("up{node=\"b\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("req_us_bucket{node=\"r\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(out.find("req_us_bucket{node=\"b\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  // Each family is typed exactly once even though both nodes declared it.
+  size_t count = 0;
+  for (size_t pos = out.find("# TYPE up gauge");
+       pos != std::string::npos;
+       pos = out.find("# TYPE up gauge", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
 // ----------------------------------------------------------------- Trace
 
 class TraceTest : public ::testing::Test {
@@ -311,6 +405,210 @@ TEST_F(TraceTest, JsonExports) {
   EXPECT_NE(chrome.find(']'), std::string::npos);
   EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(chrome.find("\"bytes\":\"42\""), std::string::npos);
+}
+
+// ------------------------------------------------ Distributed trace context
+
+TEST_F(TraceTest, SampledContextRecordsWhenRecorderDisabled) {
+  // The edge's sampling decision outranks the local enable switch.
+  recorder_->SetEnabled(false);
+  TraceContext ctx;
+  ctx.trace_hi = 0xAA;
+  ctx.trace_lo = 0xBB;
+  ctx.sampled = true;
+  {
+    ScopedTraceContext scope(ctx);
+    TraceSpan span("test.ctx.sampled");
+    EXPECT_TRUE(span.recording());
+  }
+  const std::vector<TraceEvent> spans = recorder_->Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_hi, 0xAAu);
+  EXPECT_EQ(spans[0].trace_lo, 0xBBu);
+}
+
+TEST_F(TraceTest, SampledOutContextSuppressesSpans) {
+  // The inverse: sampled=false suppresses spans even though the recorder
+  // is globally enabled.
+  TraceContext ctx;
+  ctx.trace_hi = 1;
+  ctx.sampled = false;
+  {
+    ScopedTraceContext scope(ctx);
+    TraceSpan span("test.ctx.sampled_out");
+    EXPECT_FALSE(span.recording());
+    TraceSpan nested("test.ctx.nested");
+    EXPECT_FALSE(nested.recording());
+  }
+  EXPECT_TRUE(recorder_->Snapshot().empty());
+  EXPECT_EQ(recorder_->total_spans(), 0u);
+}
+
+TEST_F(TraceTest, RemoteParentAdoptedByRootSpans) {
+  TraceContext ctx;
+  ctx.trace_lo = 5;
+  ctx.sampled = true;
+  ctx.parent_span = 4242;  // The remote caller's span id.
+  {
+    ScopedTraceContext scope(ctx);
+    TraceSpan root("test.ctx.root");
+    TraceSpan child("test.ctx.child");
+  }
+  const std::vector<TraceEvent> spans = recorder_->Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceEvent& root = spans[1];
+  const TraceEvent& child = spans[0];
+  EXPECT_EQ(root.name, "test.ctx.root");
+  EXPECT_EQ(root.parent_id, 4242u);       // Chains to the remote span.
+  EXPECT_EQ(child.parent_id, root.id);    // Local nesting still wins.
+  // The remote parent must not leak into spans opened after the scope.
+  EXPECT_EQ(CurrentSpanId(), 0u);
+  {
+    TraceSpan after("test.ctx.after");
+  }
+  EXPECT_EQ(recorder_->Snapshot().back().parent_id, 0u);
+}
+
+TEST_F(TraceTest, DroppedEventsCounterCountsOverwrites) {
+  Counter* dropped = MetricRegistry::Global()->GetCounter(
+      "trace.dropped_events");
+  const uint64_t before = dropped->value();
+  recorder_->SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("test.drop");
+  }
+  EXPECT_EQ(dropped->value() - before, 6u);
+}
+
+TEST_F(TraceTest, DeadlineExpiryAnnotatesSpans) {
+  TraceContext ctx;
+  ctx.trace_hi = 9;
+  ctx.sampled = true;
+  ctx.has_deadline = true;
+  ctx.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);  // Already past.
+  {
+    ScopedTraceContext scope(ctx);
+    TraceSpan span("test.ctx.late");
+  }
+  const std::vector<TraceEvent> spans = recorder_->Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  bool annotated = false;
+  for (const auto& kv : spans[0].annotations) {
+    if (kv.first == "after_deadline" && kv.second == "true") {
+      annotated = true;
+    }
+  }
+  EXPECT_TRUE(annotated);
+}
+
+TEST_F(TraceTest, ThreadPoolPropagatesContext) {
+  TraceContext ctx;
+  ctx.trace_lo = 77;
+  ctx.sampled = true;
+  ThreadPool pool(2);
+  {
+    ScopedTraceContext scope(ctx);
+    TraceSpan root("test.pool.root");
+    WaitGroup done;
+    done.Add(1);
+    pool.Schedule([&done] {
+      TraceSpan worker("test.pool.worker");
+      done.Done();
+    });
+    done.Wait();
+  }
+  const std::vector<TraceEvent> spans = recorder_->Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceEvent& worker = spans[0];
+  const TraceEvent& root = spans[1];
+  EXPECT_EQ(worker.name, "test.pool.worker");
+  EXPECT_EQ(worker.trace_lo, 77u);
+  // The pooled span parents to the span that scheduled it, even though it
+  // ran on another thread.
+  EXPECT_EQ(worker.parent_id, root.id);
+}
+
+TEST_F(TraceTest, DumpSerializationRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x1111;
+  ctx.sampled = true;
+  {
+    ScopedTraceContext scope(ctx);
+    TraceSpan span("test.dump.span");
+    span.Annotate("key", std::string("value"));
+  }
+  const TraceNodeDump dump = CollectTraceDump("modelhubd@127.0.0.1:1234");
+  EXPECT_EQ(dump.node, "modelhubd@127.0.0.1:1234");
+  EXPECT_GT(dump.pid, 0u);
+  EXPECT_GT(dump.origin_unix_us, 0u);
+  ASSERT_EQ(dump.events.size(), 1u);
+
+  std::string wire;
+  AppendTraceDump(&wire, dump);
+  AppendTraceDump(&wire, dump);  // Sections are self-delimiting.
+  std::vector<TraceNodeDump> parsed;
+  ASSERT_TRUE(ParseTraceDumps(Slice(wire), &parsed).ok());
+  ASSERT_EQ(parsed.size(), 2u);
+  for (const TraceNodeDump& copy : parsed) {
+    EXPECT_EQ(copy.node, dump.node);
+    EXPECT_EQ(copy.pid, dump.pid);
+    EXPECT_EQ(copy.origin_unix_us, dump.origin_unix_us);
+    ASSERT_EQ(copy.events.size(), 1u);
+    EXPECT_EQ(copy.events[0].name, "test.dump.span");
+    EXPECT_EQ(copy.events[0].trace_hi, 0x1111u);
+    ASSERT_EQ(copy.events[0].annotations.size(), 1u);
+    EXPECT_EQ(copy.events[0].annotations[0].first, "key");
+    EXPECT_EQ(copy.events[0].annotations[0].second, "value");
+  }
+
+  // Truncated input is a clean error, not a crash or a silent partial.
+  std::vector<TraceNodeDump> partial;
+  EXPECT_FALSE(
+      ParseTraceDumps(Slice(wire.data(), wire.size() - 3), &partial).ok());
+}
+
+TEST_F(TraceTest, MergeEmitsDistinctPidsAndWireGaps) {
+  // Two hand-built node dumps: the "router" span 10 fathers the
+  // "backend" span 20 across the process boundary.
+  TraceNodeDump router;
+  router.node = "router@h:1";
+  router.pid = 100;
+  router.origin_unix_us = 1000000;
+  TraceEvent forward;
+  forward.id = 10;
+  forward.name = "router.forward";
+  forward.start_us = 50;
+  forward.duration_us = 400;
+  forward.trace_hi = 0xF00D;
+  router.events.push_back(forward);
+
+  TraceNodeDump backend;
+  backend.node = "modelhubd@h:2";
+  backend.pid = 200;
+  backend.origin_unix_us = 1000100;
+  TraceEvent request;
+  request.id = 20;
+  request.parent_id = 10;  // Lives in the router dump.
+  request.name = "server.request";
+  request.start_us = 150;
+  request.duration_us = 200;
+  request.trace_hi = 0xF00D;
+  backend.events.push_back(request);
+
+  const std::string merged = MergeTraceDumps({router, backend});
+  EXPECT_NE(merged.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(merged.find("router@h:1"), std::string::npos);
+  EXPECT_NE(merged.find("modelhubd@h:2"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":100"), std::string::npos);
+  EXPECT_NE(merged.find("\"pid\":200"), std::string::npos);
+  // The cross-process parent/child edge appears as a wire.gap span from
+  // the router's span start to the backend's span start:
+  // (1000100+150) - (1000000+50) = 200us.
+  EXPECT_NE(merged.find("\"wire.gap\""), std::string::npos);
+  EXPECT_NE(merged.find("\"dur\":200"), std::string::npos);
+  EXPECT_NE(merged.find("\"from\":\"router@h:1\""), std::string::npos);
+  EXPECT_NE(merged.find("\"to\":\"modelhubd@h:2\""), std::string::npos);
 }
 
 }  // namespace

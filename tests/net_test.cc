@@ -10,8 +10,11 @@
 #include <string>
 #include <thread>
 
+#include "common/coding.h"
+#include "common/crc32.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/client.h"
 #include "net/fault.h"
 #include "net/frame.h"
@@ -144,6 +147,112 @@ TEST(FrameCodecTest, GetSnapshotRequestRejectsBadPlanes) {
   EXPECT_TRUE(
       DecodeGetSnapshotRequest(Slice(wire), &model, &sequence, &planes)
           .IsInvalidArgument());
+}
+
+// ----------------------------------------------------- Trace-context header
+
+TEST(FrameTraceTest, TraceHeaderRoundTrip) {
+  FrameTrace trace;
+  trace.trace_hi = 0x0123456789abcdefull;
+  trace.trace_lo = 0xfedcba9876543210ull;
+  trace.span_id = 42;
+  trace.sampled = true;
+  trace.deadline_ms = 1500;
+  const std::string wire = EncodeFrame(
+      static_cast<uint8_t>(Opcode::kPing), "hello", &trace);
+  // The wire version byte (offset 4, right after the length prefix)
+  // must carry the trace flag so an untraced peer rejects rather than
+  // misparses the frame.
+  ASSERT_GT(wire.size(), 5u);
+  EXPECT_EQ(static_cast<uint8_t>(wire[4]), kWireVersion | kWireTraceFlag);
+
+  Slice input(wire);
+  Frame frame;
+  ASSERT_TRUE(DecodeFrame(&input, &frame).ok());
+  EXPECT_EQ(frame.version, kWireVersion);  // Flag stripped after parse.
+  EXPECT_EQ(frame.payload, "hello");
+  ASSERT_TRUE(frame.trace.has_value());
+  EXPECT_EQ(frame.trace->trace_hi, 0x0123456789abcdefull);
+  EXPECT_EQ(frame.trace->trace_lo, 0xfedcba9876543210ull);
+  EXPECT_EQ(frame.trace->span_id, 42u);
+  EXPECT_TRUE(frame.trace->sampled);
+  EXPECT_FALSE(frame.trace->deadline_expired);
+  EXPECT_EQ(frame.trace->deadline_ms, 1500u);
+
+  const TraceContext ctx = ContextFromFrame(frame);
+  EXPECT_TRUE(ctx.active());
+  EXPECT_TRUE(ctx.sampled);
+  EXPECT_EQ(ctx.parent_span, 42u);
+  EXPECT_TRUE(ctx.has_deadline);
+  EXPECT_GT(ctx.deadline_remaining_ms(), 1000u);
+}
+
+TEST(FrameTraceTest, FramesWithoutTraceHeaderStillParse) {
+  // Backward compatibility: an untraced frame is byte-identical to the
+  // pre-tracing encoding and decodes with no trace attached.
+  const std::string wire = EncodeFrame(1, "legacy");
+  ASSERT_GT(wire.size(), 5u);
+  EXPECT_EQ(static_cast<uint8_t>(wire[4]), kWireVersion);
+  Slice input(wire);
+  Frame frame;
+  ASSERT_TRUE(DecodeFrame(&input, &frame).ok());
+  EXPECT_FALSE(frame.trace.has_value());
+  EXPECT_EQ(frame.payload, "legacy");
+  EXPECT_FALSE(ContextFromFrame(frame).active());
+}
+
+TEST(FrameTraceTest, ExpiredDeadlineFlagYieldsPastDeadline) {
+  FrameTrace trace;
+  trace.trace_hi = 1;
+  trace.sampled = true;
+  trace.deadline_expired = true;
+  const std::string wire = EncodeFrame(1, "", &trace);
+  Slice input(wire);
+  Frame frame;
+  ASSERT_TRUE(DecodeFrame(&input, &frame).ok());
+  ASSERT_TRUE(frame.trace.has_value());
+  const TraceContext ctx = ContextFromFrame(frame);
+  EXPECT_TRUE(ctx.has_deadline);
+  EXPECT_TRUE(ctx.deadline_expired());
+  EXPECT_EQ(ctx.deadline_remaining_ms(), 0u);
+}
+
+TEST(FrameTraceTest, TruncatedTraceHeaderIsCorruption) {
+  // Hand-build a frame whose version byte claims a trace header but whose
+  // body is too short to hold one: CRC-valid, semantically corrupt.
+  std::string body;
+  body.push_back(static_cast<char>(kWireVersion | kWireTraceFlag));
+  body.push_back(static_cast<char>(Opcode::kPing));
+  PutFixed64(&body, 7);  // trace_hi only; the rest is missing.
+  std::string wire;
+  PutFixed32(&wire, static_cast<uint32_t>(body.size()));
+  wire += body;
+  PutFixed32(&wire, Crc32(Slice(body)));
+  Slice input(wire);
+  Frame frame;
+  EXPECT_TRUE(DecodeFrame(&input, &frame).IsCorruption());
+}
+
+TEST(FrameTraceTest, TraceHeaderOverSocketPair) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket a(fds[0]);
+  Socket b(fds[1]);
+  FrameTrace trace;
+  trace.trace_lo = 99;
+  trace.span_id = 7;
+  trace.sampled = true;
+  ASSERT_TRUE(WriteFrame(&a, static_cast<uint8_t>(Opcode::kStats), "body",
+                         Deadline::Infinite(), nullptr, &trace)
+                  .ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(&b, &frame, kDefaultMaxFrameBytes,
+                        Deadline::AfterMs(5000))
+                  .ok());
+  ASSERT_TRUE(frame.trace.has_value());
+  EXPECT_EQ(frame.trace->trace_lo, 99u);
+  EXPECT_EQ(frame.trace->span_id, 7u);
+  EXPECT_EQ(frame.payload, "body");
 }
 
 // ----------------------------------------------------------- Socket I/O

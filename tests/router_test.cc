@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
+#include "common/slice.h"
+#include "common/trace.h"
 #include "data/dataset.h"
 #include "dlv/repository.h"
 #include "net/client.h"
@@ -493,6 +496,123 @@ TEST_F(RouterTest, FleetSoakSurvivesBackendKillAndRestart) {
         << status.name << " breaker "
         << BreakerStateToString(status.breaker);
   }
+  EXPECT_TRUE(router.Stop().ok());
+}
+
+// ------------------------------------------------------- Observability
+
+TEST_F(RouterTest, TraceContextRelayedThroughFailover) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->SetEnabled(false);
+  recorder->Clear();
+
+  FleetTopology topology = StartFleet(/*shards=*/1, /*replicas=*/2);
+  RouterOptions options;
+  options.max_attempts = 4;
+  options.retry_backoff_base_ms = 5;
+  options.retry_backoff_max_ms = 20;
+  ModelHubRouter router(std::move(topology), options);
+  ASSERT_TRUE(router.Start().ok());
+
+  // One replica down: the traced request must fail over and still carry
+  // its context to whichever backend finally serves it.
+  ASSERT_TRUE(servers_[0]->Stop().ok());
+
+  auto client = ModelHubClient::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(client.ok());
+  TraceContext ctx = MakeSampledTraceContext();
+  {
+    ScopedTraceContext scope(ctx);
+    auto params = client->GetSnapshot("served_v1");
+    ASSERT_TRUE(params.ok()) << params.status().ToString();
+  }
+
+  auto wire = client->GetTraceDump();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  std::vector<TraceNodeDump> dumps;
+  ASSERT_TRUE(ParseTraceDumps(Slice(*wire), &dumps).ok());
+  // Router section + the one live backend (the dead one can't answer).
+  ASSERT_EQ(dumps.size(), 2u);
+  EXPECT_EQ(dumps[0].node.rfind("router@", 0), 0u);
+  EXPECT_EQ(dumps[1].node.rfind("modelhubd@", 0), 0u);
+  EXPECT_NE(dumps[1].node.find(std::to_string(servers_[1]->port())),
+            std::string::npos);
+
+  // The whole chain shares the sampled trace id, and the backend's
+  // request span chains to a router.forward span — relayed span ids, not
+  // re-rooted ones. (Servers here share the test process, so every
+  // section snapshots the same recorder; cross-process identity is
+  // covered by the dump-merge unit test and the CI fleet soak.)
+  const TraceEvent* server_request = nullptr;
+  std::vector<uint64_t> forward_ids;
+  for (const TraceEvent& e : dumps[0].events) {
+    EXPECT_EQ(e.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(e.trace_lo, ctx.trace_lo);
+    if (e.name == "server.request") server_request = &e;
+    if (e.name == "router.forward") forward_ids.push_back(e.id);
+  }
+  ASSERT_NE(server_request, nullptr);
+  ASSERT_FALSE(forward_ids.empty());
+  bool chained = false;
+  for (uint64_t id : forward_ids) {
+    if (server_request->parent_id == id) chained = true;
+  }
+  EXPECT_TRUE(chained);
+
+  EXPECT_TRUE(router.Stop().ok());
+  recorder->Clear();
+}
+
+TEST_F(RouterTest, GetTraceReturnsOneSectionPerNode) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->SetEnabled(false);
+  recorder->Clear();
+
+  ModelHubRouter router(StartFleet(/*shards=*/2, /*replicas=*/1));
+  ASSERT_TRUE(router.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(client.ok());
+
+  auto wire = client->GetTraceDump();
+  ASSERT_TRUE(wire.ok());
+  std::vector<TraceNodeDump> dumps;
+  ASSERT_TRUE(ParseTraceDumps(Slice(*wire), &dumps).ok());
+  ASSERT_EQ(dumps.size(), 3u);  // Router + both backends.
+  EXPECT_EQ(dumps[0].node.rfind("router@", 0), 0u);
+  EXPECT_EQ(dumps[1].node.rfind("modelhubd@", 0), 0u);
+  EXPECT_EQ(dumps[2].node.rfind("modelhubd@", 0), 0u);
+  EXPECT_NE(dumps[1].node, dumps[2].node);  // Distinct node labels.
+  // The merged rendering is well-formed JSON with a row per node.
+  const std::string merged = MergeTraceDumps(dumps);
+  EXPECT_EQ(merged.front(), '[');
+  for (const TraceNodeDump& dump : dumps) {
+    EXPECT_NE(merged.find(dump.node), std::string::npos);
+  }
+  EXPECT_TRUE(router.Stop().ok());
+}
+
+TEST_F(RouterTest, GetMetricsLabelsNodesAndDedupsTypes) {
+  ModelHubRouter router(StartFleet(/*shards=*/1, /*replicas=*/2));
+  ASSERT_TRUE(router.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("node=\"router\""), std::string::npos);
+  for (size_t i = 0; i < 2; ++i) {
+    const std::string label =
+        "node=\"127.0.0.1:" + std::to_string(servers_[i]->port()) + "\"";
+    EXPECT_NE(text->find(label), std::string::npos) << label;
+  }
+  // Both backends export the same families; the fleet scrape must type
+  // each family exactly once.
+  const std::string type_line = "# TYPE server_requests_count counter";
+  const size_t first = text->find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text->find(type_line, first + 1), std::string::npos);
+
   EXPECT_TRUE(router.Stop().ok());
 }
 

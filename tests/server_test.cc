@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
+#include "common/slice.h"
+#include "common/trace.h"
 #include "data/dataset.h"
 #include "dlv/repository.h"
 #include "net/client.h"
@@ -350,6 +353,148 @@ TEST_F(ServerTest, StartFailsOnMissingRepository) {
   ModelHubServer server(env_, root_ + "_nonexistent");
   EXPECT_FALSE(server.Start().ok());
   EXPECT_FALSE(server.running());
+}
+
+// ------------------------------------------------------- Observability
+
+TEST_F(ServerTest, GetMetricsReturnsPrometheusText) {
+  ModelHubServer server(env_, root_);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE server_requests_count counter"),
+            std::string::npos);
+  // The ping recorded before this scrape shows up as a histogram with
+  // cumulative buckets. (get_metrics' own latency lands after the
+  // snapshot, so it only appears from the second scrape on.)
+  EXPECT_NE(text->find("server_op_ping_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST_F(ServerTest, SampledTraceRecordsServerSpans) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->SetEnabled(false);  // Only the wire sampling flag matters.
+  recorder->Clear();
+
+  ModelHubServer server(env_, root_);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  TraceContext ctx = MakeSampledTraceContext();
+  {
+    ScopedTraceContext scope(ctx);
+    ASSERT_TRUE(client->GetSnapshot("served_v1").ok());
+  }
+  auto dump = client->GetTraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  std::vector<TraceNodeDump> dumps;
+  ASSERT_TRUE(ParseTraceDumps(Slice(*dump), &dumps).ok());
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].node.rfind("modelhubd@", 0), 0u);
+  EXPECT_NE(dumps[0].node.find(std::to_string(server.port())),
+            std::string::npos);
+  // The server.request span (and any nested spans) carry the client's
+  // trace id; the untraced GET_TRACE rpc itself recorded nothing.
+  bool found_request = false;
+  for (const TraceEvent& e : dumps[0].events) {
+    EXPECT_EQ(e.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(e.trace_lo, ctx.trace_lo);
+    if (e.name == "server.request") found_request = true;
+  }
+  ASSERT_FALSE(dumps[0].events.empty());
+  EXPECT_TRUE(found_request);
+  EXPECT_TRUE(server.Stop().ok());
+  recorder->Clear();
+}
+
+TEST_F(ServerTest, SampledOutTraceRecordsNothing) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->SetEnabled(false);
+  recorder->Clear();
+
+  ModelHubServer server(env_, root_);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  TraceContext ctx = MakeSampledTraceContext();
+  ctx.sampled = false;  // Traced id on the wire, but sampled out.
+  {
+    ScopedTraceContext scope(ctx);
+    ASSERT_TRUE(client->Ping().ok());
+  }
+  auto dump = client->GetTraceDump();
+  ASSERT_TRUE(dump.ok());
+  std::vector<TraceNodeDump> dumps;
+  ASSERT_TRUE(ParseTraceDumps(Slice(*dump), &dumps).ok());
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_TRUE(dumps[0].events.empty());
+  EXPECT_EQ(dumps[0].total, 0u);
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST_F(ServerTest, SlowRequestsLandInStats) {
+  ServerOptions options;
+  options.slow_request_us = 1;  // Every request is "slow".
+  ModelHubServer server(env_, root_, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"slow_requests\""), std::string::npos);
+  EXPECT_NE(stats->find("\"op\":\"ping\""), std::string::npos);
+  EXPECT_NE(stats->find("\"latency_us\""), std::string::npos);
+  EXPECT_TRUE(server.Stop().ok());
+}
+
+TEST_F(ServerTest, ExpiredDeadlineIsCountedAndAnnotated) {
+  TraceRecorder* recorder = TraceRecorder::Global();
+  recorder->SetEnabled(false);
+  recorder->Clear();
+  Counter* expired = MetricRegistry::Global()->GetCounter(
+      "server.deadline.expired.count");
+  const uint64_t before = expired->value();
+
+  ModelHubServer server(env_, root_);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A context whose budget is already gone: the client stamps the
+  // deadline_expired wire flag, so the server deterministically sees an
+  // expired deadline regardless of how fast it answers.
+  TraceContext ctx = MakeSampledTraceContext();
+  ctx.has_deadline = true;
+  ctx.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(5);
+  {
+    ScopedTraceContext scope(ctx);
+    ASSERT_TRUE(client->Ping().ok());
+  }
+  EXPECT_EQ(expired->value() - before, 1u);
+  auto dump = client->GetTraceDump();
+  ASSERT_TRUE(dump.ok());
+  std::vector<TraceNodeDump> dumps;
+  ASSERT_TRUE(ParseTraceDumps(Slice(*dump), &dumps).ok());
+  ASSERT_EQ(dumps.size(), 1u);
+  bool annotated = false;
+  for (const TraceEvent& e : dumps[0].events) {
+    for (const auto& kv : e.annotations) {
+      if (kv.first == "after_deadline" && kv.second == "true") {
+        annotated = true;
+      }
+    }
+  }
+  EXPECT_TRUE(annotated);
+  EXPECT_TRUE(server.Stop().ok());
+  recorder->Clear();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -89,11 +90,16 @@ constexpr CommandHelp kCommands[] = {
      "',' replicas — health checks,\nbreakers, retries, failover)"},
     {"serving", "dlv rpc <host:port> <op> [args]",
      "call a running modelhubd (ops: ping\nlist-models get-snapshot query "
-     "stats\nshutdown; exit 3 = server unreachable;\n--retries=N reconnects "
-     "and reissues\non transport faults with backoff)"},
-    {"observability", "dlv stats <repo> [--json] [--trace <file>]",
-     "run a probe workload and dump the\nmetrics registry (and a Chrome\n"
-     "trace with --trace)"},
+     "stats\nmetrics shutdown; exit 3 = server\nunreachable; --retries=N "
+     "reconnects\nand reissues on transport faults;\n--trace samples a "
+     "distributed trace\nand prints its id to stderr)"},
+    {"observability", "dlv stats <repo|host:port> [--json|--prom]",
+     "run a probe workload and dump the\nmetrics registry (--prom emits\n"
+     "Prometheus text; a host:port target\nscrapes a running server "
+     "instead);\n--trace <file> also writes a local\nChrome trace"},
+    {"observability", "dlv trace --fleet <host:port> [out.json]",
+     "pull span buffers from every node\nbehind the target (router fans "
+     "out\nto its backends) and merge them\ninto one Chrome/Perfetto trace"},
 };
 
 int Usage() {
@@ -427,7 +433,7 @@ Status RunStatsProbe() {
   return Status::OK();
 }
 
-int CmdStats(Env* env, const std::string& root, bool json,
+int CmdStats(Env* env, const std::string& root, bool json, bool prom,
              const std::string& trace_path) {
   TraceRecorder* recorder = TraceRecorder::Global();
   if (!trace_path.empty()) {
@@ -456,7 +462,9 @@ int CmdStats(Env* env, const std::string& root, bool json,
   MH_GAUGE("dlv.repo.versions")
       ->Set(static_cast<int64_t>(versions->size()));
   const MetricsSnapshot snapshot = MetricRegistry::Global()->Snapshot();
-  if (json) {
+  if (prom) {
+    std::printf("%s", snapshot.ToPrometheusText().c_str());
+  } else if (json) {
     std::printf("%s\n", snapshot.ToJson().c_str());
   } else {
     std::printf("%s", snapshot.ToText().c_str());
@@ -558,6 +566,27 @@ int CmdServe(Env* env, const std::string& root, int port, int linger_ms) {
   return RunServerMain(env, root, options);
 }
 
+/// Splits "host:port" — all-digit port 1..65535, no '/' anywhere. The
+/// false return is how `dlv stats` tells a repository path apart from a
+/// server endpoint to scrape.
+bool ParseHostPort(const std::string& target, std::string* host, int* port) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  if (colon + 1 >= target.size()) return false;
+  if (target.find('/') != std::string::npos) return false;
+  long value = 0;
+  for (size_t i = colon + 1; i < target.size(); ++i) {
+    const char c = target[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > 65535) return false;
+  }
+  if (value == 0) return false;
+  *host = target.substr(0, colon);
+  *port = static_cast<int>(value);
+  return true;
+}
+
 /// rpc exit codes: 0 = ok, 1 = the server returned an error, 2 = usage,
 /// 3 = could not reach a server (refused / unreachable / timed out).
 /// Server-side errors carry a "server: " message prefix (net/client.h),
@@ -631,6 +660,12 @@ int RunRpcOp(ModelHubClient& client, const std::string& op,
     std::printf("%s\n", json->c_str());
     return 0;
   }
+  if (op == "metrics") {
+    auto text = client.Metrics();
+    if (!text.ok()) return fail(text.status());
+    std::printf("%s", text->c_str());
+    return 0;
+  }
   if (op == "shutdown") {
     const Status status = client.Shutdown();
     if (!status.ok()) return fail(status);
@@ -641,17 +676,27 @@ int RunRpcOp(ModelHubClient& client, const std::string& op,
 }
 
 int CmdRpc(const std::string& target, const std::string& op,
-           const std::vector<std::string>& args, int retries) {
-  const size_t colon = target.rfind(':');
-  if (colon == std::string::npos || colon == 0) return Usage();
-  const std::string host = target.substr(0, colon);
-  const int port = std::atoi(target.c_str() + colon + 1);
-  if (port <= 0) return Usage();
+           const std::vector<std::string>& args, int retries, bool traced) {
+  std::string host;
+  int port = 0;
+  if (!ParseHostPort(target, &host, &port)) return Usage();
   // The connect leg rides out a restart window inside Connect itself
   // (connect_retries); the loop below re-establishes the connection when
   // an op dies mid-flight (peer restarted between connect and call).
   ClientOptions options;
   options.connect_retries = retries;
+  // --trace: sample a fresh distributed-trace context scoped to this
+  // process; every attempt below then rides the wire with a trace header,
+  // and the id printed here is what `dlv trace --fleet` keys on.
+  std::optional<ScopedTraceContext> trace_scope;
+  if (traced) {
+    TraceContext ctx = MakeSampledTraceContext();
+    ctx.has_deadline = true;
+    ctx.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options.op_timeout_ms);
+    std::fprintf(stderr, "dlv: trace id %s\n", ctx.TraceIdHex().c_str());
+    trace_scope.emplace(ctx);
+  }
   Status last = Status::OK();
   for (int attempt = 0;; ++attempt) {
     auto client = ModelHubClient::Connect(host, port, options);
@@ -668,6 +713,52 @@ int CmdRpc(const std::string& target, const std::string& op,
                  last.ToString().c_str(), attempt + 1, retries, wait_ms);
     std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
   }
+}
+
+/// `dlv stats <host:port>`: scrape a running server/router instead of
+/// probing a local repository — --prom asks GET_METRICS (node-labeled
+/// fleet text through the router), otherwise the STATS JSON document.
+int CmdStatsRemote(const std::string& host, int port, bool prom) {
+  auto client = ModelHubClient::Connect(host, port);
+  if (!client.ok()) return RpcFail(client.status());
+  auto body = prom ? client->Metrics() : client->Stats();
+  if (!body.ok()) return RpcFail(body.status());
+  if (prom) {
+    std::printf("%s", body->c_str());
+  } else {
+    std::printf("%s\n", body->c_str());
+  }
+  return 0;
+}
+
+/// `dlv trace --fleet`: one GET_TRACE against the target (a router fans
+/// the request out to every backend and concatenates the sections), then
+/// merge the per-node span buffers into a single Chrome/Perfetto timeline.
+int CmdTrace(Env* env, const std::string& target,
+             const std::string& out_path) {
+  std::string host;
+  int port = 0;
+  if (!ParseHostPort(target, &host, &port)) return Usage();
+  auto client = ModelHubClient::Connect(host, port);
+  if (!client.ok()) return RpcFail(client.status());
+  auto dump = client->GetTraceDump();
+  if (!dump.ok()) return RpcFail(dump.status());
+  std::vector<TraceNodeDump> dumps;
+  const Status parsed = ParseTraceDumps(Slice(*dump), &dumps);
+  if (!parsed.ok()) return Fail(parsed);
+  uint64_t spans = 0;
+  for (const TraceNodeDump& node : dumps) spans += node.events.size();
+  const std::string merged = MergeTraceDumps(dumps);
+  if (out_path.empty()) {
+    std::printf("%s\n", merged.c_str());
+  } else {
+    const Status written = env->WriteFile(out_path, merged);
+    if (!written.ok()) return Fail(written);
+  }
+  std::fprintf(stderr, "dlv: merged %llu span(s) from %zu node(s)%s%s\n",
+               static_cast<unsigned long long>(spans), dumps.size(),
+               out_path.empty() ? "" : " into ", out_path.c_str());
+  return 0;
 }
 
 int CmdPull(Env* env, const std::string& hub_root, const std::string& user,
@@ -799,6 +890,7 @@ int Main(int argc, char** argv) {
   }
   if (command == "rpc" && argc >= 4) {
     int retries = 0;
+    bool traced = false;
     std::vector<std::string> positional;
     constexpr std::string_view kRetriesFlag = "--retries=";
     for (int i = 2; i < argc; ++i) {
@@ -806,28 +898,43 @@ int Main(int argc, char** argv) {
       if (flag.rfind(kRetriesFlag, 0) == 0) {
         retries = std::atoi(flag.c_str() + kRetriesFlag.size());
         if (retries < 0) return Usage();
+      } else if (flag == "--trace") {
+        traced = true;
       } else {
         positional.push_back(flag);
       }
     }
     if (positional.size() < 2) return Usage();
     std::vector<std::string> rest(positional.begin() + 2, positional.end());
-    return CmdRpc(positional[0], positional[1], rest, retries);
+    return CmdRpc(positional[0], positional[1], rest, retries, traced);
+  }
+  if (command == "trace" && argc >= 4 && arg(2) == "--fleet") {
+    if (argc > 5) return Usage();
+    return CmdTrace(env, arg(3), argc == 5 ? arg(4) : "");
   }
   if (command == "stats" && argc >= 3) {
     bool json = false;
+    bool prom = false;
     std::string trace_path;
     for (int i = 3; i < argc; ++i) {
       const std::string flag = arg(i);
       if (flag == "--json") {
         json = true;
+      } else if (flag == "--prom") {
+        prom = true;
       } else if (flag == "--trace" && i + 1 < argc) {
         trace_path = arg(++i);
       } else {
         return Usage();
       }
     }
-    return CmdStats(env, arg(2), json, trace_path);
+    std::string host;
+    int port = 0;
+    if (ParseHostPort(arg(2), &host, &port)) {
+      if (!trace_path.empty()) return Usage();
+      return CmdStatsRemote(host, port, prom);
+    }
+    return CmdStats(env, arg(2), json, prom, trace_path);
   }
   return Usage();
 }

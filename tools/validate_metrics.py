@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validates a metrics dump in either of the two export formats.
+
+Usage:
+  validate_metrics.py <file> [--format json|prom]
+                      [--embedded-key metrics]
+                      [--require-prefix PREFIX ...]
+
+--format json (default) expects a `dlv stats --json` registry snapshot
+(or the "metrics" object embedded in a bench_* JSON report):
+  * the file parses as JSON;
+  * the snapshot has "counters", "gauges" and "histograms" objects;
+  * counter/gauge values are integers, histogram entries carry count /
+    sum / mean / p50 / p99 / buckets with consistent types;
+  * every --require-prefix matches at least one metric name.
+
+--format prom expects Prometheus text exposition as produced by
+`dlv stats --prom` / the GET_METRICS rpc:
+  * every sample line parses as `name{labels} value`;
+  * every sampled series has exactly one `# TYPE` declaration;
+  * histogram bucket series are cumulative (nondecreasing in `le`) and
+    their +Inf bucket equals the series' `_count` sample;
+  * every --require-prefix matches at least one metric family (prefixes
+    may be spelled in dotted registry form; dots are translated to the
+    exposition format's underscores before matching).
+
+Exits 0 when valid, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def fail(message):
+    print("validate_metrics: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_snapshot(snapshot, required_prefixes):
+    if not isinstance(snapshot, dict):
+        fail("snapshot is not a JSON object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            fail("missing section %r" % section)
+        if not isinstance(snapshot[section], dict):
+            fail("section %r is not an object" % section)
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail("counter %r has non-counter value %r" % (name, value))
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, int):
+            fail("gauge %r has non-integer value %r" % (name, value))
+    for name, histogram in snapshot["histograms"].items():
+        if not isinstance(histogram, dict):
+            fail("histogram %r is not an object" % name)
+        for key in ("count", "sum", "mean", "p50", "p99", "buckets"):
+            if key not in histogram:
+                fail("histogram %r missing %r" % (name, key))
+        if not isinstance(histogram["buckets"], list):
+            fail("histogram %r buckets is not a list" % name)
+        bucket_total = sum(histogram["buckets"])
+        if bucket_total != histogram["count"]:
+            fail("histogram %r bucket total %d != count %d"
+                 % (name, bucket_total, histogram["count"]))
+    all_names = set()
+    for section in ("counters", "gauges", "histograms"):
+        all_names.update(snapshot[section])
+    for prefix in required_prefixes:
+        if not any(name.startswith(prefix) for name in all_names):
+            fail("no metric with required prefix %r" % prefix)
+    return len(all_names)
+
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?\d+(?:\.\d+)?)$')
+TYPE_RE = re.compile(
+    r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$')
+
+
+def parse_labels(block):
+    """'{a="x",b="y"}' -> dict; None/'' -> {}."""
+    if not block:
+        return {}
+    labels = {}
+    for name, value in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"',
+                                  block):
+        labels[name] = value
+    return labels
+
+
+def validate_prometheus(text, required_prefixes):
+    types = {}
+    samples = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = TYPE_RE.match(line)
+            if match:
+                name, kind = match.groups()
+                if name in types:
+                    fail("line %d: duplicate # TYPE for %r"
+                         % (lineno, name))
+                types[name] = kind
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail("line %d: unparseable sample %r" % (lineno, line))
+        name, labels, value = match.groups()
+        samples.append((name, parse_labels(labels), float(value)))
+    if not samples:
+        fail("no samples found")
+
+    def family(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                return name[:-len(suffix)]
+        return name
+
+    for name, _, _ in samples:
+        if family(name) not in types:
+            fail("sample %r has no # TYPE declaration" % name)
+
+    # Histogram shape: per (family, non-le labels) series, buckets must
+    # be cumulative and the +Inf bucket must equal the _count sample.
+    series = {}
+    counts = {}
+    for name, labels, value in samples:
+        fam = family(name)
+        if types.get(fam) != "histogram":
+            continue
+        key = (fam, tuple(sorted((k, v) for k, v in labels.items()
+                                 if k != "le")))
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                fail("bucket sample of %r lacks an le label" % fam)
+            series.setdefault(key, []).append((labels["le"], value))
+        elif name.endswith("_count"):
+            counts[key] = value
+    for key, buckets in series.items():
+        fam = key[0]
+        inf = [v for le, v in buckets if le == "+Inf"]
+        if not inf:
+            fail("histogram %r has no +Inf bucket" % fam)
+        previous = -1.0
+        for le, value in buckets:  # Exposition order is ascending le.
+            if value < previous:
+                fail("histogram %r buckets not cumulative at le=%s"
+                     % (fam, le))
+            previous = value
+        if key not in counts:
+            fail("histogram %r has buckets but no _count" % fam)
+        if inf[0] != counts[key]:
+            fail("histogram %r +Inf bucket %g != count %g"
+                 % (fam, inf[0], counts[key]))
+
+    for prefix in required_prefixes:
+        translated = prefix.replace(".", "_")
+        if not any(name.startswith(translated) for name in types):
+            fail("no metric family with required prefix %r" % prefix)
+    return len(types)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--format", choices=("json", "prom"),
+                        default="json")
+    parser.add_argument("--embedded-key", default=None,
+                        help="validate document[KEY] instead of the "
+                             "whole document (json format only)")
+    parser.add_argument("--require-prefix", action="append", default=[],
+                        help="require at least one metric with this "
+                             "name prefix (repeatable)")
+    args = parser.parse_args()
+
+    if args.format == "prom":
+        try:
+            with open(args.path, "r") as handle:
+                text = handle.read()
+        except OSError as error:
+            fail("cannot load %s: %s" % (args.path, error))
+        count = validate_prometheus(text, args.require_prefix)
+        print("validate_metrics: OK (%d metric families)" % count)
+        return
+
+    try:
+        with open(args.path, "r") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail("cannot load %s: %s" % (args.path, error))
+
+    snapshot = document
+    if args.embedded_key is not None:
+        if args.embedded_key not in document:
+            fail("document has no %r key" % args.embedded_key)
+        snapshot = document[args.embedded_key]
+
+    count = validate_snapshot(snapshot, args.require_prefix)
+    print("validate_metrics: OK (%d metrics)" % count)
+
+
+if __name__ == "__main__":
+    main()
