@@ -185,6 +185,7 @@ Result<FsckReport> RunFsck(Env* env, const std::string& root,
   // and membership of every archived snapshot.
   const std::string pas_dir = repo_layout::PasDir(root);
   std::set<std::string> referenced_pas;
+  uint64_t archive_generation = 0;
   const bool have_manifest =
       env->FileExists(JoinPath(pas_dir, "manifest.bin"));
   if (have_manifest || !archived.empty()) {
@@ -209,8 +210,9 @@ Result<FsckReport> RunFsck(Env* env, const std::string& root,
                                    " is missing from the archive manifest");
         }
       }
+      archive_generation = reader->generation();
       report.notes.push_back("archive generation " +
-                             std::to_string(reader->generation()) +
+                             std::to_string(archive_generation) +
                              " verified");
     }
   }
@@ -263,9 +265,51 @@ Result<FsckReport> RunFsck(Env* env, const std::string& root,
                "staging", options, &report);
   CheckOrphans(env, root, repo_layout::ObjectsDir(root), referenced_objects,
                "object", options, &report);
+  // The archive directory gets a GC-aware pass instead of CheckOrphans:
+  // generation-numbered data files that the manifest does not reference
+  // are lifecycle state, not corruption. Superseded generations are
+  // pending GC (possibly pinned by in-flight retrievals); generations
+  // newer than the manifest are an interrupted rebuild that the next
+  // compaction supersedes. Both are notes. Files the archive never
+  // writes remain orphan defects.
   if (!referenced_pas.empty()) {
-    CheckOrphans(env, root, pas_dir, referenced_pas, "archive", options,
-                 &report);
+    auto pas_names = env->ListDir(pas_dir);
+    if (pas_names.ok()) {
+      std::map<uint64_t, std::pair<uint64_t, uint64_t>> stale_generations;
+      for (const std::string& name : *pas_names) {
+        const std::string path = JoinPath(pas_dir, name);
+        if (env->DirExists(path) || referenced_pas.count(name)) continue;
+        uint64_t gen = 0;
+        if (ParseArchiveDataFileName(name, &gen)) {
+          uint64_t bytes = 0;
+          if (auto size = env->FileSize(path); size.ok()) bytes = *size;
+          auto& entry = stale_generations[gen];
+          ++entry.first;
+          entry.second += bytes;
+          continue;
+        }
+        report.defects.push_back("orphaned archive file: " + path);
+        if (options.quarantine) {
+          auto moved = QuarantineFile(env, root, path);
+          if (moved.ok()) {
+            report.repairs.push_back("quarantined " + path);
+          }
+        }
+      }
+      for (const auto& [gen, counts] : stale_generations) {
+        std::ostringstream note;
+        if (gen < archive_generation) {
+          note << "pending-GC generation " << gen << ": " << counts.first
+               << " file(s), " << counts.second
+               << " byte(s) awaiting sweep (dlv gc)";
+        } else {
+          note << "interrupted rebuild generation " << gen << ": "
+               << counts.first << " file(s), " << counts.second
+               << " byte(s); the next compaction supersedes it";
+        }
+        report.notes.push_back(note.str());
+      }
+    }
   }
   MH_COUNTER("dlv.fsck.count")->Increment();
   MH_COUNTER("dlv.fsck.defects")->Add(report.defects.size());

@@ -110,7 +110,7 @@ Result<Repository> Repository::Init(Env* env, const std::string& root) {
   MH_ASSIGN_OR_RETURN(Catalog catalog,
                       Catalog::Open(env, repo_layout::CatalogPath(root)));
   repo.catalog_ = std::make_shared<Catalog>(std::move(catalog));
-  repo.archive_ = std::make_shared<std::optional<ArchiveReader>>();
+  repo.archive_ = std::make_shared<ArchiveHandle>();
   MH_RETURN_IF_ERROR(repo.InitSchema());
   MH_RETURN_IF_ERROR(repo.Flush());
   return repo;
@@ -129,7 +129,7 @@ Result<Repository> Repository::Open(Env* env, const std::string& root) {
   MH_ASSIGN_OR_RETURN(Catalog catalog,
                       Catalog::Open(env, repo_layout::CatalogPath(root)));
   repo.catalog_ = std::make_shared<Catalog>(std::move(catalog));
-  repo.archive_ = std::make_shared<std::optional<ArchiveReader>>();
+  repo.archive_ = std::make_shared<ArchiveHandle>();
   MH_RETURN_IF_ERROR(repo.InitSchema());
   return repo;
 }
@@ -444,12 +444,30 @@ Result<std::vector<NamedParam>> Repository::GetSnapshotParams(
 }
 
 Result<ArchiveReader*> Repository::OpenArchive() const {
-  if (!archive_->has_value()) {
-    MH_ASSIGN_OR_RETURN(ArchiveReader reader,
-                        ArchiveReader::Open(env_, repo_layout::PasDir(root_)));
-    archive_->emplace(std::move(reader));
+  MH_ASSIGN_OR_RETURN(std::shared_ptr<ArchiveReader> reader, SharedArchive());
+  return reader.get();
+}
+
+Result<std::shared_ptr<ArchiveReader>> Repository::SharedArchive() const {
+  {
+    std::lock_guard<std::mutex> lock(archive_->mu);
+    if (archive_->reader != nullptr) return archive_->reader;
   }
-  return &archive_->value();
+  return ReloadArchive();
+}
+
+std::shared_ptr<ArchiveReader> Repository::CachedArchive() const {
+  std::lock_guard<std::mutex> lock(archive_->mu);
+  return archive_->reader;
+}
+
+Result<std::shared_ptr<ArchiveReader>> Repository::ReloadArchive() const {
+  MH_ASSIGN_OR_RETURN(ArchiveReader reader,
+                      ArchiveReader::Open(env_, repo_layout::PasDir(root_)));
+  auto shared = std::make_shared<ArchiveReader>(std::move(reader));
+  std::lock_guard<std::mutex> lock(archive_->mu);
+  archive_->reader = shared;
+  return shared;
 }
 
 Result<std::vector<int>> Repository::Eval(const std::string& name,
@@ -566,11 +584,17 @@ Result<ArchiveBuildReport> Repository::Archive(const ArchiveOptions& options) {
         SnapshotKey(info.parent, parent_it->second),
         SnapshotKey(info.name, 0)));
   }
+  // Drop our own cached reader BEFORE the rebuild so its generation pin
+  // doesn't force Build to leave the superseded files behind. Readers in
+  // other processes / Repository instances keep their own pins and stay
+  // safe; their generations are swept by the lifecycle GC later.
+  {
+    std::lock_guard<std::mutex> lock(archive_->mu);
+    archive_->reader.reset();
+  }
   MH_ASSIGN_OR_RETURN(ArchiveBuildReport report, builder.Build(options));
   span.Annotate("threads", static_cast<uint64_t>(report.pipeline.threads));
   span.Annotate("raw_bytes", report.pipeline.raw_bytes);
-  // Invalidate any previously opened reader (the archive was rewritten).
-  archive_->reset();
   // The archive publish above is internally atomic (manifest-last). Flip the
   // snapshot locations on a staged catalog copy and publish it with one
   // atomic write before touching the staging files: a crash in between

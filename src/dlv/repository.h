@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -147,8 +148,25 @@ class Repository {
 
   /// Opens (and caches) the PAS archive reader. Fails until `dlv
   /// archive` has run. Snapshot names inside the archive follow the
-  /// `<version>/s<sequence>` key format (see SnapshotKey).
+  /// `<version>/s<sequence>` key format (see SnapshotKey). The pointer
+  /// stays valid until ReloadArchive() swaps the cache — fine for the
+  /// single-threaded CLI; concurrent readers use SharedArchive().
   Result<ArchiveReader*> OpenArchive() const;
+
+  /// Opens (and caches) the archive, returning a shared handle that
+  /// stays valid — and keeps its generation's chunk files pinned — even
+  /// if the cache is concurrently swapped by ReloadArchive(). This is
+  /// the serving path's accessor.
+  Result<std::shared_ptr<ArchiveReader>> SharedArchive() const;
+
+  /// The cached reader, without attempting to open one (null if none).
+  std::shared_ptr<ArchiveReader> CachedArchive() const;
+
+  /// Re-opens the archive from disk and atomically swaps the cache:
+  /// the plan-swap step after a rebuild published a new generation.
+  /// In-flight retrievals on the old reader finish safely on their own
+  /// shared handle (its generation stays pinned until they drop it).
+  Result<std::shared_ptr<ArchiveReader>> ReloadArchive() const;
 
   /// Persists catalog state.
   Status Flush();
@@ -162,10 +180,17 @@ class Repository {
   Result<int64_t> VersionId(const std::string& name) const;
   std::string StagingPath(const std::string& version, int64_t sequence) const;
 
+  /// Shared, mutex-guarded cache of the open archive reader. Behind a
+  /// shared_ptr so Repository stays movable and copies observe reloads.
+  struct ArchiveHandle {
+    std::mutex mu;
+    std::shared_ptr<ArchiveReader> reader;  ///< Guarded by mu.
+  };
+
   Env* env_ = nullptr;
   std::string root_;
   std::shared_ptr<Catalog> catalog_;
-  mutable std::shared_ptr<std::optional<ArchiveReader>> archive_;
+  mutable std::shared_ptr<ArchiveHandle> archive_;
 };
 
 /// Serializes snapshot parameters to bytes (staging file format) and back.

@@ -1,0 +1,42 @@
+#include "lifecycle/access_tracker.h"
+
+#include "common/metrics.h"
+
+namespace modelhub {
+
+namespace {
+constexpr double kHeatFloor = 1e-3;
+}  // namespace
+
+void AccessTracker::RecordAccess(const std::string& snapshot_key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    heat_[snapshot_key] += 1.0;
+    ++total_;
+  }
+  MH_COUNTER("lifecycle.accesses.recorded")->Increment();
+}
+
+void AccessTracker::Decay(double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = heat_.begin(); it != heat_.end();) {
+    it->second *= factor;
+    if (it->second < kHeatFloor) {
+      it = heat_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::map<std::string, double> AccessTracker::HeatSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heat_;
+}
+
+uint64_t AccessTracker::total_accesses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace modelhub

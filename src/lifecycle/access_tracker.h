@@ -1,0 +1,40 @@
+#ifndef MODELHUB_LIFECYCLE_ACCESS_TRACKER_H_
+#define MODELHUB_LIFECYCLE_ACCESS_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace modelhub {
+
+/// Thread-safe, exponentially-decayed per-snapshot access counts — the
+/// demand signal behind access-aware re-archival. The serving path calls
+/// RecordAccess with the snapshot key of every GET_SNAPSHOT; each
+/// maintenance cycle snapshots the heat, classifies hot vs cold, and
+/// then Decay()s so old traffic stops dominating the plan. Decay is by
+/// logical maintenance cycle, not wall time, so tests are deterministic.
+class AccessTracker {
+ public:
+  void RecordAccess(const std::string& snapshot_key);
+
+  /// Multiplies every key's heat by `factor`, dropping keys that decay
+  /// below a floor (so the map stays bounded by the live working set).
+  void Decay(double factor = 0.5);
+
+  /// Point-in-time copy of per-key heat.
+  std::map<std::string, double> HeatSnapshot() const;
+
+  /// Monotonic count of all accesses ever recorded (never decays); the
+  /// daemon diffs it across cycles to skip re-archival on an idle hub.
+  uint64_t total_accesses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> heat_;  ///< Guarded by mu_.
+  uint64_t total_ = 0;                  ///< Guarded by mu_.
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_LIFECYCLE_ACCESS_TRACKER_H_

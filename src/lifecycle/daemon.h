@@ -1,0 +1,147 @@
+#ifndef MODELHUB_LIFECYCLE_DAEMON_H_
+#define MODELHUB_LIFECYCLE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "lifecycle/access_tracker.h"
+#include "lifecycle/gc.h"
+#include "lifecycle/task_graph.h"
+#include "pas/archive.h"
+
+namespace modelhub {
+
+/// Maintenance-policy knobs (DESIGN.md §14). The alphas are per-snapshot
+/// recreation budgets relative to SPT cost (ArchiveOptions::budget_alpha
+/// semantics): hot snapshots get a tight alpha — the solver keeps their
+/// delta chains short, so they decode fast — while cold snapshots get a
+/// loose one and compress into longer, smaller chains.
+struct LifecycleOptions {
+  /// Cycle period of the background thread (Start()). RunOnce ignores it.
+  int interval_ms = 60000;
+  double default_budget_alpha = 2.0;
+  double hot_budget_alpha = 1.2;
+  double cold_budget_alpha = 4.0;
+  /// Top fraction of accessed snapshots (by decayed heat) deemed hot.
+  double hot_fraction = 0.25;
+  ArchiveSolver solver = ArchiveSolver::kPasPt;
+  int archive_threads = 0;
+  GcOptions gc;
+  /// A periodic cycle is skipped (not failed) when fewer accesses than
+  /// this arrived since the previous cycle — an idle hub stays idle.
+  uint64_t min_accesses_between_cycles = 1;
+  /// Per-cycle multiplicative heat decay (logical time, not wall time).
+  double heat_decay = 0.5;
+};
+
+/// Point-in-time daemon state — the MAINTAIN_STATUS surface spliced into
+/// the server's STATS reply and printed by `dlv maintain`.
+struct MaintenanceStatus {
+  bool enabled = false;
+  bool cycle_in_progress = false;
+  uint64_t cycles_started = 0;
+  uint64_t cycles_completed = 0;
+  uint64_t cycles_failed = 0;
+  uint64_t cycles_skipped = 0;
+  uint64_t bytes_reclaimed_total = 0;
+  uint64_t archive_generation = 0;
+  uint64_t gc_epoch = 0;
+  uint64_t pending_generations = 0;
+  uint64_t hot_snapshots = 0;
+  uint64_t cold_snapshots = 0;
+  std::string last_error;
+  std::vector<TaskOutcome> last_outcomes;
+
+  std::string ToJson() const;
+};
+
+/// The lifecycle maintenance daemon: periodically re-runs the storage-
+/// graph solver with access-frequency-weighted recreation budgets,
+/// re-archives the repository, swaps the serving plan, and sweeps
+/// superseded chunk generations. One cycle is an interruptible
+/// MaintenanceGraph of four tasks:
+///
+///   plan ──> reencode ──> swap ──> gc
+///
+/// `plan` classifies snapshots hot/cold from the AccessTracker (fed by
+/// the serving path) plus live server.op.get_snapshot.us metrics;
+/// `reencode` runs Repository::Archive with per-snapshot budget alphas
+/// (crash-safe: journaled catalog write, manifest-last archive publish);
+/// `swap` invokes the embedder's reload callback so the server picks up
+/// the new generation; `gc` reclaims unpinned superseded generations.
+/// Cancellation (RequestStop / SIGTERM) lands between tasks; each task
+/// is atomic on disk, so a killed daemon leaves a repository that fsck
+/// passes and the next cycle completes the remaining work.
+///
+/// Embedded in modelhubd (ServerOptions::enable_maintenance) or driven
+/// synchronously via RunOnce (`dlv maintain`).
+class LifecycleDaemon {
+ public:
+  LifecycleDaemon(Env* env, std::string repo_root,
+                  LifecycleOptions options = {});
+  ~LifecycleDaemon();
+
+  LifecycleDaemon(const LifecycleDaemon&) = delete;
+  LifecycleDaemon& operator=(const LifecycleDaemon&) = delete;
+
+  /// Starts the periodic background thread.
+  Status Start();
+  /// Requests cancellation: atomic stores only (safe from stop paths).
+  /// The in-flight task finishes; subsequent tasks are cancelled.
+  void RequestStop();
+  /// RequestStop + join. Idempotent.
+  Status Stop();
+
+  /// One synchronous maintenance cycle, regardless of interval or access
+  /// thresholds. Serialized against the background thread's cycles.
+  Status RunOnce();
+
+  /// The tracker the serving path feeds (thread-safe).
+  AccessTracker* access_tracker() { return &tracker_; }
+
+  MaintenanceStatus status() const;
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const LifecycleOptions& options() const { return options_; }
+
+  /// Called after `reencode` publishes a new generation (the plan swap):
+  /// the embedding server reloads its shared ArchiveReader here.
+  void set_reload_callback(std::function<void()> callback);
+  /// Called at every task boundary; the server parks the daemon here
+  /// while request queues are deep (compaction yields to serving).
+  void set_yield(std::function<void()> yield);
+
+ private:
+  void Loop();
+  Status Cycle();
+
+  Env* env_;
+  std::string root_;
+  LifecycleOptions options_;
+  AccessTracker tracker_;
+  CancelToken cancel_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+
+  std::mutex hooks_mu_;
+  std::function<void()> reload_;  ///< Guarded by hooks_mu_.
+  std::function<void()> yield_;   ///< Guarded by hooks_mu_.
+
+  std::mutex cycle_mu_;  ///< Serializes Cycle() across Loop and RunOnce.
+  uint64_t accesses_at_last_cycle_ = 0;  ///< Guarded by cycle_mu_.
+
+  mutable std::mutex status_mu_;
+  MaintenanceStatus status_;  ///< Guarded by status_mu_.
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_LIFECYCLE_DAEMON_H_

@@ -1,0 +1,102 @@
+#include "lifecycle/task_graph.h"
+
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace modelhub {
+
+std::string_view TaskOutcome::StateName(State state) {
+  switch (state) {
+    case State::kPending:
+      return "pending";
+    case State::kOk:
+      return "ok";
+    case State::kFailed:
+      return "failed";
+    case State::kSkipped:
+      return "skipped";
+    case State::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+Status MaintenanceGraph::Add(const std::string& name,
+                             const std::vector<std::string>& deps,
+                             TaskFn fn) {
+  if (fn == nullptr) {
+    return Status::InvalidArgument("task has no body: " + name);
+  }
+  for (const Task& task : tasks_) {
+    if (task.name == name) {
+      return Status::AlreadyExists("duplicate task: " + name);
+    }
+  }
+  Task task;
+  task.name = name;
+  task.fn = std::move(fn);
+  for (const std::string& dep : deps) {
+    size_t found = tasks_.size();
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].name == dep) found = i;
+    }
+    if (found == tasks_.size()) {
+      return Status::NotFound("task " + name + " depends on unregistered " +
+                              dep);
+    }
+    task.deps.push_back(found);
+  }
+  tasks_.push_back(std::move(task));
+  return Status::OK();
+}
+
+Status MaintenanceGraph::Run(const CancelToken* cancel,
+                             const std::function<void()>& yield) {
+  outcomes_.assign(tasks_.size(), TaskOutcome{});
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    outcomes_[i].name = tasks_[i].name;
+  }
+  Status first_failure = Status::OK();
+  bool cancelled = false;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    TaskOutcome& outcome = outcomes_[i];
+    if (cancelled || (cancel != nullptr && cancel->cancelled())) {
+      cancelled = true;
+      outcome.state = TaskOutcome::State::kCancelled;
+      MH_COUNTER("lifecycle.tasks.cancelled")->Increment();
+      continue;
+    }
+    bool runnable = true;
+    for (size_t dep : tasks_[i].deps) {
+      if (outcomes_[dep].state != TaskOutcome::State::kOk) runnable = false;
+    }
+    if (!runnable) {
+      outcome.state = TaskOutcome::State::kSkipped;
+      outcome.message = "dependency did not succeed";
+      MH_COUNTER("lifecycle.tasks.skipped")->Increment();
+      continue;
+    }
+    if (yield) yield();
+    TraceSpan span("lifecycle.task");
+    span.Annotate("task", tasks_[i].name);
+    Stopwatch watch;
+    Status status = tasks_[i].fn();
+    outcome.wall_ms = watch.ElapsedMillis();
+    if (status.ok()) {
+      outcome.state = TaskOutcome::State::kOk;
+      MH_COUNTER("lifecycle.tasks.ok")->Increment();
+    } else {
+      outcome.state = TaskOutcome::State::kFailed;
+      outcome.message = status.ToString();
+      MH_COUNTER("lifecycle.tasks.failed")->Increment();
+      if (first_failure.ok()) first_failure = status;
+    }
+  }
+  if (cancelled) {
+    return Status::Unavailable("maintenance cycle cancelled");
+  }
+  return first_failure;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,83 @@
+#ifndef MODELHUB_LIFECYCLE_TASK_GRAPH_H_
+#define MODELHUB_LIFECYCLE_TASK_GRAPH_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace modelhub {
+
+/// Cooperative cancellation flag shared between the maintenance daemon
+/// and the tasks it runs. Cancel() is a single atomic store, so it is
+/// safe from signal handlers and from the server's stop path.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// What happened to one task of a maintenance cycle.
+struct TaskOutcome {
+  enum class State { kPending, kOk, kFailed, kSkipped, kCancelled };
+
+  std::string name;
+  State state = State::kPending;
+  std::string message;  ///< Failure text (empty otherwise).
+  double wall_ms = 0.0;
+
+  static std::string_view StateName(State state);
+};
+
+/// An interruptible dependency graph of named maintenance steps (the
+/// dependency-counted ObjectManager idiom): each task declares the tasks
+/// it depends on, and Run executes them in dependency order, checking the
+/// cancel token and invoking the yield hook at every task boundary — so
+/// background compaction yields to serving, and SIGTERM interrupts the
+/// cycle between tasks, never inside a half-applied step. Each step is
+/// itself atomic-on-disk (journaled catalog writes, manifest-last archive
+/// publishes), which is what makes boundary-only interruption safe.
+///
+/// A failed task transitively skips its dependents; independent branches
+/// still run. Outcomes of every task are recorded for MAINTAIN_STATUS.
+class MaintenanceGraph {
+ public:
+  using TaskFn = std::function<Status()>;
+
+  /// Registers `name` depending on `deps`. Dependencies must already be
+  /// registered — which forces insertion order to be topological, so Run
+  /// is a single in-order pass.
+  Status Add(const std::string& name, const std::vector<std::string>& deps,
+             TaskFn fn);
+
+  /// Runs every task whose dependencies succeeded. `yield` (if set) is
+  /// called before each task. Returns OK when all tasks succeeded, the
+  /// first failure otherwise; cancellation returns kUnavailable with the
+  /// remaining tasks marked kCancelled.
+  Status Run(const CancelToken* cancel = nullptr,
+             const std::function<void()>& yield = {});
+
+  const std::vector<TaskOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  struct Task {
+    std::string name;
+    std::vector<size_t> deps;  ///< Indices into tasks_.
+    TaskFn fn;
+  };
+
+  std::vector<Task> tasks_;
+  std::vector<TaskOutcome> outcomes_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_LIFECYCLE_TASK_GRAPH_H_

@@ -272,6 +272,41 @@ Result<Socket> Listener::Accept() {
   }
 }
 
+Result<Socket> Listener::Accept(int timeout_ms) {
+  for (;;) {
+    pollfd pfds[2] = {{fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(pfds, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("poll(accept)"));
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded("accept timed out");
+    }
+    if (pfds[1].revents != 0) {
+      char drained[64];
+      ssize_t n;
+      do {
+        n = ::read(wake_pipe_[0], drained, sizeof(drained));
+      } while (n == static_cast<ssize_t>(sizeof(drained)) ||
+               (n < 0 && errno == EINTR));
+      return Status::Unavailable("listener woken");
+    }
+    if (pfds[0].revents == 0) continue;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::IOError(Errno("accept"));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
 void Listener::Wake() {
   if (wake_pipe_[1] < 0) return;
   const char byte = 'w';

@@ -110,6 +110,19 @@ bool ParseGenFileName(const std::string& name, const char* prefix,
   return true;
 }
 
+/// Parses the CRC-framed manifest's header down to its generation number.
+Result<uint64_t> ParseManifestGeneration(const std::string& framed) {
+  if (framed.size() < kManifestMagicSize ||
+      framed.compare(0, kManifestMagicSize, kManifestMagic) != 0) {
+    return Status::Corruption("bad manifest magic");
+  }
+  Slice in(framed);
+  in.RemovePrefix(kManifestMagicSize);
+  uint64_t generation = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &generation));
+  return generation;
+}
+
 /// Compressed size of all four byte planes of `m` under `codec`.
 double SegmentedCompressedSize(const FloatMatrix& m, CodecType codec) {
   const auto planes = SegmentFloats(m);
@@ -136,6 +149,16 @@ std::string_view ArchiveSolverToString(ArchiveSolver solver) {
       return "pas-pt";
   }
   return "unknown";
+}
+
+Result<uint64_t> ReadArchiveGeneration(Env* env, const std::string& dir) {
+  MH_ASSIGN_OR_RETURN(std::string framed, ReadChecked(env, ManifestPath(dir)));
+  return ParseManifestGeneration(framed);
+}
+
+bool ParseArchiveDataFileName(const std::string& name, uint64_t* gen) {
+  return ParseGenFileName(name, "chunks", gen) ||
+         ParseGenFileName(name, "remote", gen);
 }
 
 ArchiveBuilder::ArchiveBuilder(Env* env, std::string dir)
@@ -440,10 +463,20 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   // --- Budgets relative to the SPT (the alpha knob of Fig 6(c)).
   MH_ASSIGN_OR_RETURN(StoragePlan spt, SolveSpt(graph));
   MH_ASSIGN_OR_RETURN(StoragePlan mst, SolveMst(graph));
-  if (options.budget_alpha > 0.0) {
-    for (auto& group : *graph.mutable_groups()) {
-      group.budget = options.budget_alpha *
-                     spt.GroupRecreationCost(group, options.scheme);
+  if (options.budget_alpha > 0.0 || !options.group_budget_alpha.empty()) {
+    // Groups were registered one per snapshot, in snapshot_names_ order,
+    // so per-snapshot alpha overrides index groups positionally.
+    auto& groups = *graph.mutable_groups();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      double alpha = options.budget_alpha;
+      if (g < snapshot_names_.size()) {
+        auto it = options.group_budget_alpha.find(snapshot_names_[g]);
+        if (it != options.group_budget_alpha.end()) alpha = it->second;
+      }
+      if (alpha > 0.0) {
+        groups[g].budget =
+            alpha * spt.GroupRecreationCost(groups[g], options.scheme);
+      }
     }
   }
 
@@ -571,13 +604,16 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
                     Slice(remote_payloads > 0 ? remote_name : std::string()));
   framed.append(manifest);
   MH_RETURN_IF_ERROR(WriteChecked(env_, ManifestPath(dir_), framed));
-  // --- Garbage-collect superseded generations (best effort).
+  // --- Garbage-collect superseded generations (best effort). Generations
+  // pinned by a live reader are left behind; the lifecycle GC sweep
+  // reclaims them once the pins drain (DESIGN.md §14).
   if (auto names = env_->ListDir(dir_); names.ok()) {
+    GenerationPinRegistry* pins = GenerationPinRegistry::Global();
     for (const std::string& name : *names) {
       uint64_t gen = 0;
       if ((ParseGenFileName(name, "chunks", &gen) ||
            ParseGenFileName(name, "remote", &gen)) &&
-          gen != generation) {
+          gen != generation && !pins->IsPinned(env_, dir_, gen)) {
         (void)env_->DeleteFile(JoinPath(dir_, name));
       }
     }
@@ -615,10 +651,29 @@ Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
   // The CRC-framed manifest is the source of truth: it names the data
   // files of the committed generation, so a crash mid-rebuild (stray newer
   // generation files, no manifest update) is invisible here.
-  MH_ASSIGN_OR_RETURN(std::string manifest, ReadChecked(env, ManifestPath(dir)));
-  if (manifest.size() < kManifestMagicSize ||
-      manifest.compare(0, kManifestMagicSize, kManifestMagic) != 0) {
-    return Status::Corruption("bad manifest magic");
+  //
+  // Pin-then-reverify: pin the generation the manifest names, then re-read
+  // the manifest. If the generation is unchanged, any concurrent rebuild
+  // that could delete it commits its own manifest — and hence runs its
+  // pinned-generation check — after our pin, so the files stay alive for
+  // this reader's lifetime. If it moved, drop the pin and chase the newer
+  // generation.
+  std::string manifest;
+  for (int attempt = 0;; ++attempt) {
+    MH_ASSIGN_OR_RETURN(manifest, ReadChecked(env, ManifestPath(dir)));
+    MH_ASSIGN_OR_RETURN(const uint64_t generation,
+                        ParseManifestGeneration(manifest));
+    reader.pin_ = GenerationPinRegistry::Global()->Pin(env, dir, generation);
+    MH_ASSIGN_OR_RETURN(const std::string again,
+                        ReadChecked(env, ManifestPath(dir)));
+    MH_ASSIGN_OR_RETURN(const uint64_t reread,
+                        ParseManifestGeneration(again));
+    if (reread == generation) break;
+    reader.pin_.reset();
+    if (attempt >= 3) {
+      return Status::Unavailable("archive is being rebuilt; retry open: " +
+                                 dir);
+    }
   }
   Slice in(manifest);
   in.RemovePrefix(kManifestMagicSize);

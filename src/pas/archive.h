@@ -14,6 +14,7 @@
 #include "nn/network.h"
 #include "pas/chunk_store.h"
 #include "pas/delta.h"
+#include "pas/generation_pins.h"
 #include "pas/float_encoding.h"
 #include "pas/parallel_archiver.h"
 #include "pas/segment.h"
@@ -70,6 +71,11 @@ struct ArchiveOptions {
   /// tile). Like archive_threads, the archive bytes are identical for
   /// every value.
   int tile_rows = 0;
+  /// Per-snapshot budget_alpha overrides keyed by snapshot name (the
+  /// lifecycle daemon's access-aware knob: hot snapshots get a tight
+  /// alpha so their recreation stays cheap, cold ones a loose alpha so
+  /// they compress harder). Snapshots not listed use budget_alpha.
+  std::map<std::string, double> group_budget_alpha;
 };
 
 /// What Build measured — the quantities Fig 6(c) plots.
@@ -118,6 +124,14 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     const std::vector<std::pair<int, int>>& candidate_pairs,
     CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
     const TierOptions& tiers = {}, ThreadPool* pool = nullptr);
+
+/// Generation number the committed manifest names, without opening the
+/// chunk stores (the lifecycle GC's "current generation" probe).
+Result<uint64_t> ReadArchiveGeneration(Env* env, const std::string& dir);
+
+/// Parses a generation-numbered archive data file name
+/// (`chunks-<gen>.bin` / `remote-<gen>.bin`); false for any other name.
+bool ParseArchiveDataFileName(const std::string& name, uint64_t* gen);
 
 /// Builds a PAS archive on disk: registers snapshots (co-usage groups),
 /// delta candidates, solves Problem 1, and writes segmented + compressed
@@ -282,6 +296,12 @@ class ArchiveReader {
   /// Generation number the manifest committed.
   uint64_t generation() const { return generation_; }
 
+  /// The pin keeping this reader's generation alive (shared across
+  /// copies of the reader; see GenerationPinRegistry).
+  const std::shared_ptr<GenerationPin>& generation_pin() const {
+    return pin_;
+  }
+
   /// Data file names (relative to the archive dir) the manifest references.
   const std::vector<std::string>& data_files() const { return data_files_; }
 
@@ -330,6 +350,7 @@ class ArchiveReader {
   std::map<std::pair<std::string, std::string>, int> vertex_index_;
   uint64_t generation_ = 0;
   std::vector<std::string> data_files_;
+  std::shared_ptr<GenerationPin> pin_;  ///< Keeps generation_ on disk.
   std::shared_ptr<ChunkStoreReader> chunks_;
   std::shared_ptr<ChunkStoreReader> remote_chunks_;  ///< Null if unused.
 };

@@ -1,0 +1,94 @@
+#ifndef MODELHUB_PAS_GENERATION_PINS_H_
+#define MODELHUB_PAS_GENERATION_PINS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+namespace modelhub {
+
+class GenerationPinRegistry;
+
+/// RAII hold on one archive generation's data files. While any pin on
+/// (env, dir, generation) is alive, neither ArchiveBuilder::Build's
+/// superseded-generation cleanup nor the lifecycle GC sweep will delete
+/// that generation's chunk files — an in-flight retrieval can never have
+/// its bytes freed underneath it.
+class GenerationPin {
+ public:
+  ~GenerationPin();
+
+  GenerationPin(const GenerationPin&) = delete;
+  GenerationPin& operator=(const GenerationPin&) = delete;
+
+  uint64_t generation() const { return generation_; }
+  /// Sweep epoch at the time the pin was taken (diagnostics only).
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class GenerationPinRegistry;
+  GenerationPin(GenerationPinRegistry* registry, const void* env,
+                std::string dir, uint64_t generation, uint64_t epoch)
+      : registry_(registry),
+        env_(env),
+        dir_(std::move(dir)),
+        generation_(generation),
+        epoch_(epoch) {}
+
+  GenerationPinRegistry* registry_;
+  const void* env_;
+  std::string dir_;
+  uint64_t generation_;
+  uint64_t epoch_;
+};
+
+/// Process-wide refcounts of in-use archive generations, keyed by
+/// (Env*, archive dir, generation). This is the "mark" side of the
+/// lifecycle GC's mark-epoch scheme (DESIGN.md §14):
+///
+///   * ArchiveReader::Open pins the generation its manifest names and
+///     re-verifies the manifest afterwards, so a pin either covers files
+///     that are still live or the open retries against the newer
+///     generation — there is no window where a reader holds unpinned
+///     files.
+///   * Sweepers (Build cleanup, `dlv gc`, the maintenance daemon) bump
+///     the sweep epoch, then delete only generations that are older than
+///     the committed manifest AND unpinned. Readers only ever pin the
+///     committed generation, so a superseded generation can never gain a
+///     new pin mid-sweep: observing it unpinned once is conclusive.
+class GenerationPinRegistry {
+ public:
+  /// Leaked process singleton (safe during static destruction).
+  static GenerationPinRegistry* Global();
+
+  /// Takes a shared hold on (env, dir, generation).
+  std::shared_ptr<GenerationPin> Pin(const void* env, const std::string& dir,
+                                     uint64_t generation);
+
+  bool IsPinned(const void* env, const std::string& dir,
+                uint64_t generation) const;
+
+  /// Live pins across all generations of one archive dir.
+  uint64_t PinCount(const void* env, const std::string& dir) const;
+
+  /// Starts a new sweep epoch and returns its number (monotonic).
+  uint64_t BeginSweepEpoch();
+  uint64_t current_epoch() const;
+
+ private:
+  friend class GenerationPin;
+  using Key = std::tuple<const void*, std::string, uint64_t>;
+
+  void Release(const void* env, const std::string& dir, uint64_t generation);
+
+  mutable std::mutex mu_;
+  std::map<Key, uint64_t> refs_;  ///< Guarded by mu_.
+  uint64_t epoch_ = 0;           ///< Guarded by mu_.
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_GENERATION_PINS_H_

@@ -72,14 +72,11 @@ Status ModelHubServer::Start() {
   }
   MH_ASSIGN_OR_RETURN(Repository repo, Repository::Open(env_, repo_root_));
   repo_.emplace(std::move(repo));
-  // Eagerly resolve the archive reader: Repository caches it lazily with
-  // no lock, which is fine for the CLI but not for worker threads racing
-  // on first use. A repository that was never archived serves snapshots
+  // Eagerly resolve the archive reader so worker threads never race on a
+  // cold cache. A repository that was never archived serves snapshots
   // from staging instead.
-  auto archive = repo_->OpenArchive();
-  if (archive.ok()) {
-    archive_ = *archive;
-    archive_->EnableChunkCache(true);
+  if (auto archive = repo_->SharedArchive(); archive.ok()) {
+    (*archive)->EnableChunkCache(true);
   }
   MH_ASSIGN_OR_RETURN(Listener listener,
                       Listener::Bind(options_.host, options_.port));
@@ -94,6 +91,7 @@ Status ModelHubServer::Start() {
   workers_ = std::make_unique<ThreadPool>(std::max(1, options_.num_workers));
 
   stopping_.store(false);
+  halt_.store(false);
   started_at_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   MH_COUNTER("server.starts.count")->Increment();
@@ -102,6 +100,39 @@ Status ModelHubServer::Start() {
     workers_->Schedule(&worker_group_, [this] { WorkerLoop(); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (options_.enable_maintenance) {
+    maintenance_ = std::make_unique<LifecycleDaemon>(env_, repo_root_,
+                                                     options_.maintenance);
+    // The plan swap: after a cycle re-archives, the server atomically
+    // adopts the new generation. In-flight retrievals finish on their
+    // pinned old reader; the superseded generation is swept by a later
+    // GC once those pins drain.
+    maintenance_->set_reload_callback([this] {
+      if (auto reloaded = repo_->ReloadArchive(); reloaded.ok()) {
+        (*reloaded)->EnableChunkCache(true);
+      }
+    });
+    // Budget throttling: compaction yields at task boundaries while
+    // request traffic is queued (bounded backoff so a saturated queue
+    // cannot stall maintenance forever).
+    maintenance_->set_yield([this] {
+      for (int i = 0; i < 200 && !stopping_.load(); ++i) {
+        bool busy;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          busy = !pending_.empty();
+        }
+        if (!busy) break;
+        MH_COUNTER("lifecycle.yield.count")->Increment();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    const Status maintain_started = maintenance_->Start();
+    if (!maintain_started.ok()) {
+      (void)Stop();
+      return maintain_started;
+    }
+  }
   return Status::OK();
 }
 
@@ -110,8 +141,9 @@ int ModelHubServer::port() const {
 }
 
 void ModelHubServer::RequestStop() {
-  // Only an atomic store and a pipe write — callable from signal handlers.
+  // Only atomic stores and a pipe write — callable from signal handlers.
   stopping_.store(true);
+  if (maintenance_ != nullptr) maintenance_->RequestStop();
   if (listener_.has_value()) listener_->Wake();
 }
 
@@ -124,7 +156,9 @@ void ModelHubServer::WaitUntilStopRequested() const {
 Status ModelHubServer::Stop() {
   if (!running_.load()) return Status::OK();
   RequestStop();
+  if (maintenance_ != nullptr) (void)maintenance_->Stop();
   if (accept_thread_.joinable()) accept_thread_.join();
+  halt_.store(true);
   queue_cv_.notify_all();
   worker_group_.Wait();
   // Connections that were queued but never reached a worker get a polite
@@ -141,8 +175,8 @@ Status ModelHubServer::Stop() {
   workers_.reset();
   retrieval_pool_.reset();
   coalescer_.reset();
+  maintenance_.reset();
   listener_.reset();
-  archive_ = nullptr;
   repo_.reset();
   UpdateUptimeGauge();
   MH_COUNTER("server.stops.count")->Increment();
@@ -172,17 +206,32 @@ void ModelHubServer::Shed(Socket sock, const char* reason) {
 }
 
 void ModelHubServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    Result<Socket> accepted = listener_->Accept();
+  // Drain choreography: once stopping_ flips, keep accepting and serving
+  // for drain_grace_ms (PING advertises draining, so routers steer away
+  // on their own schedule) before halting. Grace 0 halts immediately —
+  // the classic drain.
+  std::optional<std::chrono::steady_clock::time_point> halt_at;
+  for (;;) {
+    if (stopping_.load() && !halt_at.has_value()) {
+      if (options_.drain_grace_ms <= 0) break;
+      halt_at = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.drain_grace_ms);
+    }
+    int timeout_ms = -1;
+    if (halt_at.has_value()) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(*halt_at -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) break;
+      timeout_ms = static_cast<int>(remaining.count());
+    }
+    Result<Socket> accepted = listener_->Accept(timeout_ms);
     if (!accepted.ok()) {
-      if (stopping_.load()) break;
-      continue;  // Spurious wake or transient accept failure.
+      // Timeout: the grace window lapsed (re-checked above). Wake: the
+      // drain began (or a spurious wake) — loop to start the clock.
+      continue;
     }
     MH_COUNTER("server.accepted.count")->Increment();
-    if (stopping_.load()) {
-      Shed(accepted.MoveValue(), "server draining");
-      break;
-    }
     std::unique_lock<std::mutex> lock(queue_mu_);
     const size_t queued = pending_.size();
     if (queued >= static_cast<size_t>(options_.queue_capacity) ||
@@ -198,6 +247,10 @@ void ModelHubServer::AcceptLoop() {
     lock.unlock();
     queue_cv_.notify_one();
   }
+  // Accepting is over: halt the workers (in-flight responses still
+  // complete — ServeConnection only checks halt_ between requests).
+  halt_.store(true);
+  queue_cv_.notify_all();
 }
 
 void ModelHubServer::WorkerLoop() {
@@ -206,8 +259,8 @@ void ModelHubServer::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
-                     [&] { return stopping_.load() || !pending_.empty(); });
-      if (stopping_.load()) break;
+                     [&] { return halt_.load() || !pending_.empty(); });
+      if (halt_.load()) break;
       pc = std::move(pending_.front());
       pending_.pop_front();
       MH_GAUGE("server.queue.depth")
@@ -233,18 +286,18 @@ void ModelHubServer::WorkerLoop() {
 }
 
 void ModelHubServer::ServeConnection(Socket sock) {
-  while (!stopping_.load()) {
+  while (!halt_.load()) {
     Frame request;
     bool clean_eof = false;
-    // The idle read is cancellable (the graceful-drain hook); once a
-    // request is in hand, its dispatch and response write run to
-    // completion even mid-drain.
+    // The idle read is cancellable at halt (the grace window keeps
+    // serving through a mere drain request); once a request is in hand,
+    // its dispatch and response write run to completion even mid-drain.
     const Status read =
         ReadFrame(&sock, &request, options_.max_frame_bytes,
-                  Deadline::AfterMs(options_.idle_timeout_ms), &stopping_,
+                  Deadline::AfterMs(options_.idle_timeout_ms), &halt_,
                   &clean_eof);
     if (!read.ok()) {
-      if (!clean_eof && !stopping_.load() && !read.IsDeadlineExceeded() &&
+      if (!clean_eof && !halt_.load() && !read.IsDeadlineExceeded() &&
           !read.IsUnavailable()) {
         MH_COUNTER("server.errors.count")->Increment();
       }
@@ -376,6 +429,11 @@ Status ModelHubServer::HandleGetSnapshot(const Frame& request,
     sequence = count - 1;
   }
   const std::string key = model + "/s" + std::to_string(sequence);
+  // Feed the lifecycle daemon's heat map: every request counts, even
+  // ones the coalescer folds into an in-flight retrieval.
+  if (maintenance_ != nullptr) {
+    maintenance_->access_tracker()->RecordAccess(key);
+  }
   MH_ASSIGN_OR_RETURN(auto payload, coalescer_->Fetch(key, planes));
   *out = *payload;
   return Status::OK();
@@ -389,29 +447,46 @@ Result<std::string> ModelHubServer::FetchSnapshot(const std::string& key,
   const std::string model = key.substr(0, sep);
   const int64_t sequence = std::atoll(key.c_str() + sep + 2);
 
+  // Grab a shared handle to the current reader: the maintenance daemon
+  // may swap the cache mid-retrieval, but this handle keeps its
+  // generation pinned (chunk files undeletable) until we drop it.
+  std::shared_ptr<ArchiveReader> archive = repo_->CachedArchive();
+  const auto in_archive = [&key](const std::shared_ptr<ArchiveReader>& a) {
+    return a != nullptr &&
+           std::find(a->snapshot_names().begin(), a->snapshot_names().end(),
+                     key) != a->snapshot_names().end();
+  };
+
   if (planes == 0) {
-    const bool in_archive =
-        archive_ != nullptr &&
-        std::find(archive_->snapshot_names().begin(),
-                  archive_->snapshot_names().end(),
-                  key) != archive_->snapshot_names().end();
-    if (in_archive) {
+    if (in_archive(archive)) {
       MH_ASSIGN_OR_RETURN(
-          auto sets, archive_->RetrieveSnapshotsParallel(
+          auto sets, archive->RetrieveSnapshotsParallel(
                          {key}, retrieval_pool_.get(), ParallelScheme::kShared));
       return SerializeParams(sets[0]);
     }
     // Staged (or never archived): read through the repository.
-    MH_ASSIGN_OR_RETURN(auto params, repo_->GetSnapshotParams(model, sequence));
-    return SerializeParams(params);
+    auto params = repo_->GetSnapshotParams(model, sequence);
+    if (params.ok()) return SerializeParams(*params);
+    // Staging miss: the maintenance daemon (its own Repository instance)
+    // may have migrated staged snapshots into a fresh archive generation
+    // behind our catalog snapshot. Reload and retry before failing.
+    if (auto reloaded = repo_->ReloadArchive();
+        reloaded.ok() && in_archive(*reloaded)) {
+      (*reloaded)->EnableChunkCache(true);
+      MH_ASSIGN_OR_RETURN(
+          auto sets, (*reloaded)->RetrieveSnapshotsParallel(
+                         {key}, retrieval_pool_.get(), ParallelScheme::kShared));
+      return SerializeParams(sets[0]);
+    }
+    return params.status();
   }
 
-  if (archive_ == nullptr) {
+  if (archive == nullptr) {
     return Status::FailedPrecondition(
         "progressive retrieval requires a PAS archive (run dlv archive)");
   }
   MH_ASSIGN_OR_RETURN(auto bounds,
-                      archive_->RetrieveSnapshotBounds(key, planes));
+                      archive->RetrieveSnapshotBounds(key, planes));
   std::string text =
       "snapshot " + key + " planes=" + std::to_string(planes) + "\n";
   for (const auto& [name, matrix] : bounds) {
@@ -479,10 +554,13 @@ Status ModelHubServer::HandleDqlQuery(const Frame& request, std::string* out) {
 Status ModelHubServer::HandleStats(std::string* out) {
   UpdateUptimeGauge();
   std::string json = MetricRegistry::Global()->Snapshot().ToJson();
-  // Splice the slow-request ring in as a fourth top-level section next to
-  // counters/gauges/histograms.
+  // Splice the slow-request ring and the MAINTAIN_STATUS surface in as
+  // top-level sections next to counters/gauges/histograms.
   json.pop_back();
-  json += ",\"slow_requests\":" + slow_log_.ToJson() + "}";
+  json += ",\"slow_requests\":" + slow_log_.ToJson();
+  MaintenanceStatus maintain;
+  if (maintenance_ != nullptr) maintain = maintenance_->status();
+  json += ",\"maintenance\":" + maintain.ToJson() + "}";
   *out = std::move(json);
   return Status::OK();
 }

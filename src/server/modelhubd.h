@@ -16,6 +16,7 @@
 #include "common/slow_log.h"
 #include "common/thread_pool.h"
 #include "dlv/repository.h"
+#include "lifecycle/daemon.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "pas/coalesce.h"
@@ -58,6 +59,20 @@ struct ServerOptions {
   /// this long land in a bounded ring dumped via STATS (0 disables).
   int slow_request_us = 100000;
   int slow_log_capacity = 64;
+
+  /// Graceful-drain grace window. 0 (the default) preserves the classic
+  /// drain: RequestStop immediately stops accepting. > 0 keeps the
+  /// server accepting AND serving for this long after RequestStop while
+  /// PING advertises state=draining — so a router steers new work away
+  /// from a live-but-leaving backend instead of eating connection
+  /// refusals that would trip its breaker.
+  int drain_grace_ms = 0;
+
+  /// Embeds the lifecycle maintenance daemon (DESIGN.md §14): periodic
+  /// access-aware re-archival, plan swap, and chunk GC, running inside
+  /// the serving process and yielding to request traffic.
+  bool enable_maintenance = false;
+  LifecycleOptions maintenance;
 };
 
 /// The ModelHub daemon: serves a DLV repository over the wire protocol of
@@ -117,6 +132,9 @@ class ModelHubServer {
   uint64_t coalesce_hits() const;
   uint64_t coalesce_misses() const;
 
+  /// The embedded maintenance daemon (null unless enable_maintenance).
+  LifecycleDaemon* maintenance() { return maintenance_.get(); }
+
  private:
   struct PendingConn {
     Socket sock;
@@ -151,16 +169,21 @@ class ModelHubServer {
   const ServerOptions options_;
 
   std::optional<Repository> repo_;
-  ArchiveReader* archive_ = nullptr;  ///< Null until archived.
   std::optional<Listener> listener_;
   std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<ThreadPool> retrieval_pool_;
   std::unique_ptr<SnapshotCoalescer> coalescer_;
+  std::unique_ptr<LifecycleDaemon> maintenance_;
   std::thread accept_thread_;
   WaitGroup worker_group_;
 
   std::atomic<bool> running_{false};
+  /// Two-phase drain: stopping_ flips at RequestStop (PING advertises
+  /// draining, the grace clock starts); halt_ flips once the grace
+  /// window lapses (workers exit, in-flight idle reads cancel). With
+  /// drain_grace_ms == 0 the two are effectively simultaneous.
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> halt_{false};
   std::atomic<int> active_connections_{0};
   std::chrono::steady_clock::time_point started_at_;
   SlowRequestLog slow_log_;

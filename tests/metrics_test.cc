@@ -513,7 +513,9 @@ TEST_F(TraceTest, ThreadPoolPropagatesContext) {
     WaitGroup done;
     done.Add(1);
     pool.Schedule([&done] {
-      TraceSpan worker("test.pool.worker");
+      // Scoped so the span is recorded before Done() releases the waiter;
+      // signaling first races the destructor against Snapshot() below.
+      { TraceSpan worker("test.pool.worker"); }
       done.Done();
     });
     done.Wait();

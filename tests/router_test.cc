@@ -303,6 +303,80 @@ TEST_F(RouterTest, BasicOpsThroughRouter) {
   for (const auto& server : servers_) EXPECT_TRUE(server->running());
 }
 
+TEST_F(RouterTest, SteersAwayFromDrainingReplicaWithoutTrippingBreaker) {
+  // Replica 0 gets a long drain grace so we can observe the draining
+  // window; replica 1 is a plain backend.
+  {
+    ServerOptions options;
+    // Long enough for the assertions below; Stop() waits out whatever is
+    // left, so keep it modest.
+    options.drain_grace_ms = 4000;
+    auto server = std::make_unique<ModelHubServer>(env_, root_, options);
+    ASSERT_TRUE(server->Start().ok());
+    servers_.push_back(std::move(server));
+  }
+  StartBackend();
+
+  FleetTopology topology;
+  FleetTopology::Shard shard;
+  shard.name = "shard0";
+  shard.replicas.push_back({"127.0.0.1", servers_[0]->port()});
+  shard.replicas.push_back({"127.0.0.1", servers_[1]->port()});
+  topology.shards.push_back(std::move(shard));
+
+  RouterOptions options;
+  options.probe_interval_ms = 50;
+  options.probe_timeout_ms = 300;
+  ModelHubRouter router(std::move(topology), options);
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = ModelHubClient::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->GetSnapshot("served_v1").ok());
+
+  // Ask replica 0 to drain directly (as an operator rollout would).
+  {
+    auto direct = ModelHubClient::Connect("127.0.0.1", servers_[0]->port());
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(direct->Shutdown().ok());
+    servers_[0]->WaitUntilStopRequested();
+  }
+
+  // The prober must learn `state=draining` from rich PING.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  bool seen_draining = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto statuses = router.BackendStatuses();
+    ASSERT_EQ(statuses.size(), 2u);
+    if (statuses[0].draining) {
+      seen_draining = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(seen_draining);
+
+  // Traffic keeps succeeding (steered to replica 1), and crucially the
+  // draining replica is never mistaken for dead: both breakers stay
+  // closed the whole time.
+  for (int i = 0; i < 10; ++i) {
+    auto remote = client->GetSnapshot("served_v1");
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto models = client->ListModels();
+    ASSERT_TRUE(models.ok()) << models.status().ToString();
+    EXPECT_NE(models->find("served_v1"), std::string::npos);
+  }
+  auto statuses = router.BackendStatuses();
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].draining);
+  EXPECT_EQ(statuses[0].breaker, CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(statuses[1].draining);
+  EXPECT_EQ(statuses[1].breaker, CircuitBreaker::State::kClosed);
+
+  EXPECT_TRUE(router.Stop().ok());
+}
+
 TEST_F(RouterTest, ShutdownRpcDrainsRouterOnly) {
   ModelHubRouter router(StartFleet(1, 1));
   ASSERT_TRUE(router.Start().ok());

@@ -11,6 +11,7 @@
 #include "common/slice.h"
 #include "common/trace.h"
 #include "data/dataset.h"
+#include "dlv/fsck.h"
 #include "dlv/repository.h"
 #include "net/client.h"
 #include "nn/trainer.h"
@@ -349,10 +350,96 @@ TEST_F(ServerTest, ShutdownRpcDrainsGracefully) {
   EXPECT_FALSE(late.ok());
 }
 
+TEST_F(ServerTest, DrainGraceKeepsServingWhileAdvertisingDraining) {
+  ServerOptions options;
+  options.drain_grace_ms = 3000;
+  ModelHubServer server(env_, root_, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Shutdown().ok());
+  server.WaitUntilStopRequested();
+
+  // Inside the grace window the listener stays open: a NEW connection is
+  // accepted, PING advertises draining (so a router steers away instead
+  // of eating a refusal), and reads still serve.
+  auto during = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(during.ok()) << during.status().ToString();
+  auto pong = during->Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  auto info = ParsePingReply(*pong);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->draining()) << *pong;
+  auto models = during->ListModels();
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  EXPECT_NE(models->find("served_v1"), std::string::npos);
+
+  // Stop waits out the grace window; afterwards connections are refused.
+  EXPECT_TRUE(server.Stop().ok());
+  auto late = ModelHubClient::Connect("127.0.0.1", server.port());
+  EXPECT_FALSE(late.ok());
+}
+
 TEST_F(ServerTest, StartFailsOnMissingRepository) {
   ModelHubServer server(env_, root_ + "_nonexistent");
   EXPECT_FALSE(server.Start().ok());
   EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerTest, EmbeddedMaintenanceCompactsWhileServing) {
+  // Baseline read, scoped so no test-held reader pins a generation while
+  // the daemon compacts underneath the server.
+  std::vector<NamedParam> want;
+  {
+    auto repo = Repository::Open(env_, root_);
+    ASSERT_TRUE(repo.ok());
+    auto direct = repo->GetSnapshotParams("served_v1");
+    ASSERT_TRUE(direct.ok());
+    want = std::move(*direct);
+  }
+
+  ServerOptions options;
+  options.enable_maintenance = true;
+  options.maintenance.interval_ms = 50;
+  ModelHubServer server(env_, root_, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.maintenance(), nullptr);
+
+  auto client = ModelHubClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Serve traffic while cycles run: every retrieval — before, during, and
+  // after a plan swap — must return the identical snapshot.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  bool compacted = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto remote = client->GetSnapshot("served_v1");
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ASSERT_EQ(remote->size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*remote)[i].name, want[i].name);
+      EXPECT_TRUE((*remote)[i].value.ApproxEquals(want[i].value, 1e-5f));
+    }
+    if (server.maintenance()->status().cycles_completed >= 2) {
+      compacted = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(compacted);
+
+  // STATS splices the MAINTAIN_STATUS document.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("\"maintenance\""), std::string::npos);
+  EXPECT_NE(stats->find("\"cycles_completed\""), std::string::npos);
+
+  EXPECT_TRUE(server.Stop().ok());
+  // The daemon left a repository fsck calls healthy.
+  auto fsck = RunFsck(env_, root_);
+  ASSERT_TRUE(fsck.ok());
+  EXPECT_TRUE(fsck->clean()) << fsck->ToString();
 }
 
 // ------------------------------------------------------- Observability

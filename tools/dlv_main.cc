@@ -10,7 +10,9 @@
 // the caffe wrapper here; the demo plays that role).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +33,8 @@
 #include "dlv/repository.h"
 #include "dql/engine.h"
 #include "hub/hub.h"
+#include "lifecycle/daemon.h"
+#include "lifecycle/gc.h"
 #include "net/client.h"
 #include "router/router.h"
 #include "server/modelhubd.h"
@@ -59,6 +63,12 @@ constexpr CommandHelp kCommands[] = {
      "--tile-rows=N pins encode tiling)"},
     {"model version management", "dlv fsck <repo> [--quarantine]",
      "verify repository integrity;\n--quarantine sets orphans aside"},
+    {"model version management", "dlv maintain <repo> [--interval <ms>]",
+     "run one lifecycle maintenance\ncycle (access-aware re-archival +\n"
+     "plan swap + chunk GC); --interval\nkeeps the daemon running"},
+    {"model version management", "dlv gc <repo> [--dry-run]",
+     "sweep unreferenced archive\ngenerations and quarantined files\n"
+     "(--dry-run reports without\ndeleting)"},
     {"model exploration", "dlv list <repo>", "versions, lineage, accuracy"},
     {"model exploration", "dlv desc <repo> <model>", "describe one version"},
     {"model exploration", "dlv diff <repo> <a> <b>",
@@ -388,6 +398,71 @@ int CmdFsck(Env* env, const std::string& root, bool quarantine) {
   if (!report.ok()) return Fail(report.status());
   std::printf("%s", report->ToString().c_str());
   return report->clean() ? 0 : 1;
+}
+
+void PrintMaintenanceOutcomes(const MaintenanceStatus& status) {
+  for (const TaskOutcome& task : status.last_outcomes) {
+    std::printf("  %-10s %-10s %8.2f ms%s%s\n", task.name.c_str(),
+                std::string(TaskOutcome::StateName(task.state)).c_str(),
+                task.wall_ms, task.message.empty() ? "" : "  ",
+                task.message.c_str());
+  }
+  std::printf(
+      "cycles: %llu completed, %llu failed, %llu skipped; "
+      "generation %llu, %llu byte(s) reclaimed\n",
+      static_cast<unsigned long long>(status.cycles_completed),
+      static_cast<unsigned long long>(status.cycles_failed),
+      static_cast<unsigned long long>(status.cycles_skipped),
+      static_cast<unsigned long long>(status.archive_generation),
+      static_cast<unsigned long long>(status.bytes_reclaimed_total));
+}
+
+std::atomic<bool> g_maintain_stop{false};
+
+void OnMaintainSignal(int) { g_maintain_stop.store(true); }
+
+/// `dlv maintain`: one synchronous lifecycle cycle (re-archive with
+/// access-aware budgets, swap, GC), or — with --interval — the periodic
+/// daemon in the foreground until SIGTERM/SIGINT.
+int CmdMaintain(Env* env, const std::string& root, int interval_ms) {
+  LifecycleOptions options;
+  // Standalone runs have no serving path feeding the access tracker, so
+  // never skip a cycle for lack of recorded accesses.
+  options.min_accesses_between_cycles = 0;
+  if (interval_ms <= 0) {
+    LifecycleDaemon daemon(env, root, options);
+    const Status run = daemon.RunOnce();
+    PrintMaintenanceOutcomes(daemon.status());
+    if (!run.ok()) return Fail(run);
+    return 0;
+  }
+  options.interval_ms = interval_ms;
+  LifecycleDaemon daemon(env, root, options);
+  g_maintain_stop.store(false);
+  std::signal(SIGINT, OnMaintainSignal);
+  std::signal(SIGTERM, OnMaintainSignal);
+  const Status started = daemon.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("dlv maintain: cycling every %d ms (SIGTERM stops)\n",
+              interval_ms);
+  std::fflush(stdout);
+  while (!g_maintain_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  daemon.RequestStop();
+  const Status stopped = daemon.Stop();
+  PrintMaintenanceOutcomes(daemon.status());
+  if (!stopped.ok()) return Fail(stopped);
+  return 0;
+}
+
+int CmdGc(Env* env, const std::string& root, bool dry_run) {
+  GcOptions options;
+  options.dry_run = dry_run;
+  auto report = RunArchiveGc(env, root, options);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->ToString().c_str());
+  return 0;
 }
 
 /// Exercises every instrumented subsystem inside this process. The metrics
@@ -841,6 +916,23 @@ int Main(int argc, char** argv) {
     const bool quarantine = argc == 4 && arg(3) == "--quarantine";
     if (argc == 4 && !quarantine) return Usage();
     return CmdFsck(env, arg(2), quarantine);
+  }
+  if (command == "maintain" && argc >= 3) {
+    int interval_ms = 0;
+    for (int i = 3; i < argc; ++i) {
+      if (arg(i) == "--interval" && i + 1 < argc) {
+        interval_ms = std::atoi(argv[++i]);
+        if (interval_ms <= 0) return Usage();
+      } else {
+        return Usage();
+      }
+    }
+    return CmdMaintain(env, arg(2), interval_ms);
+  }
+  if (command == "gc" && (argc == 3 || argc == 4)) {
+    const bool dry_run = argc == 4 && arg(3) == "--dry-run";
+    if (argc == 4 && !dry_run) return Usage();
+    return CmdGc(env, arg(2), dry_run);
   }
   if (command == "query" && argc == 4) return CmdQuery(env, arg(2), arg(3));
   if (command == "report" && argc == 4) {

@@ -12,17 +12,34 @@
 #include "server/modelhubd.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 4) {
-    std::fprintf(stderr,
-                 "usage: modelhubd <repo> [port] [--linger <ms>]\n"
-                 "  serves the repository on 127.0.0.1 (port 0 = ephemeral,\n"
-                 "  printed on startup); SIGTERM drains gracefully\n");
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: modelhubd <repo> [port] [--linger <ms>]\n"
+        "                 [--drain-grace <ms>] [--maintain]\n"
+        "                 [--maintain-interval <ms>]\n"
+        "  serves the repository on 127.0.0.1 (port 0 = ephemeral,\n"
+        "  printed on startup); SIGTERM drains gracefully, keeping the\n"
+        "  listener open for --drain-grace ms (default 250) so routers\n"
+        "  steer away instead of seeing refused connections.\n"
+        "  --maintain embeds the lifecycle maintenance daemon\n"
+        "  (access-aware re-archival + chunk GC) with the given cycle\n"
+        "  interval (default 60000 ms).\n");
     return 2;
   }
   modelhub::ServerOptions options;
+  options.drain_grace_ms = 250;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
       options.coalesce_linger_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--drain-grace") == 0 && i + 1 < argc) {
+      options.drain_grace_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--maintain") == 0) {
+      options.enable_maintenance = true;
+    } else if (std::strcmp(argv[i], "--maintain-interval") == 0 &&
+               i + 1 < argc) {
+      options.enable_maintenance = true;
+      options.maintenance.interval_ms = std::atoi(argv[++i]);
     } else if (argv[i][0] != '-') {
       options.port = std::atoi(argv[i]);
     } else {
