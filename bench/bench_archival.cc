@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
@@ -74,6 +75,76 @@ Result<ArchiveBuildReport> BuildArchive(Env* env, const std::string& dir,
   ArchiveOptions options;
   options.archive_threads = threads;
   return builder.Build(options);
+}
+
+/// Fine-tuned family: one base checkpoint plus `variants` descendants that
+/// each mutate a single parameter sparsely and keep the rest frozen —
+/// the cross-model sharing pattern the content-addressed chunk index is
+/// built for. No lineage is declared, mirroring independently uploaded
+/// fine-tunes.
+Corpus MakeFamilyCorpus(int variants, int num_params, int64_t rows,
+                        int64_t cols) {
+  Corpus corpus;
+  Rng rng(7);
+  std::vector<FloatMatrix> base(static_cast<size_t>(num_params));
+  for (auto& m : base) {
+    m = FloatMatrix(rows, cols);
+    m.FillGaussian(&rng, 0.1f);
+  }
+  auto add = [&](const std::string& name,
+                 const std::vector<FloatMatrix>& params) {
+    corpus.names.push_back(name);
+    std::vector<NamedParam> named;
+    for (int p = 0; p < num_params; ++p) {
+      named.push_back({"w" + std::to_string(p),
+                       params[static_cast<size_t>(p)]});
+      corpus.raw_bytes += static_cast<uint64_t>(rows) * cols * 4;
+    }
+    corpus.snapshots.push_back(std::move(named));
+  };
+  add("family@base", base);
+  for (int v = 0; v < variants; ++v) {
+    std::vector<FloatMatrix> tuned = base;
+    auto& head = tuned[static_cast<size_t>(v % num_params)].data();
+    // Sparse head update: ~2% of the weights move, the rest stay frozen.
+    for (size_t i = static_cast<size_t>(v); i < head.size(); i += 53) {
+      head[i] += static_cast<float>(rng.NextGaussian()) * 0.02f;
+    }
+    add("family@ft" + std::to_string(v), tuned);
+  }
+  return corpus;
+}
+
+Result<ArchiveBuildReport> BuildFamilyArchive(Env* env,
+                                              const std::string& dir,
+                                              const Corpus& corpus,
+                                              bool dedup) {
+  ArchiveBuilder builder(env, dir);
+  for (size_t s = 0; s < corpus.names.size(); ++s) {
+    MH_RETURN_IF_ERROR(
+        builder.AddSnapshot(corpus.names[s], corpus.snapshots[s]));
+  }
+  ArchiveOptions options;
+  options.enable_dedup = dedup;
+  // Hold the delta plan fixed on both sides: the ratio below then
+  // isolates what the chunk index saves, not what pairing saves.
+  options.enable_similarity_pairing = false;
+  return builder.Build(options);
+}
+
+bool SameParams(const std::vector<NamedParam>& a,
+                const std::vector<NamedParam>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name) return false;
+    const auto& da = a[i].value.data();
+    const auto& db = b[i].value.data();
+    if (da.size() != db.size()) return false;
+    if (std::memcmp(da.data(), db.data(), da.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 double PercentileMs(std::vector<double> values, double q) {
@@ -169,6 +240,64 @@ int main() {
         static_cast<unsigned long long>(row.stored_bytes));
   }
 
+  // Cross-model deduplication on a fine-tuned family: same corpus, same
+  // delta plan, chunk index on vs off. The ratio is real bytes on disk.
+  const Corpus family = quick ? MakeFamilyCorpus(8, 4, 64, 96)
+                              : MakeFamilyCorpus(8, 6, 192, 256);
+  uint64_t family_stored_on = 0;
+  uint64_t family_stored_off = 0;
+  uint64_t family_unique_chunks = 0;
+  uint64_t family_plane_refs = 0;
+  bool family_identical = true;
+  {
+    MemEnv env;
+    bench::Check(
+        BuildFamilyArchive(&env, "on", family, /*dedup=*/true).status(),
+        "family dedup-on build");
+    bench::Check(
+        BuildFamilyArchive(&env, "off", family, /*dedup=*/false).status(),
+        "family dedup-off build");
+    auto on = ArchiveReader::Open(&env, "on");
+    bench::Check(on.status(), "family dedup-on open");
+    auto off = ArchiveReader::Open(&env, "off");
+    bench::Check(off.status(), "family dedup-off open");
+    family_stored_on = on->TotalStoredBytes();
+    family_stored_off = off->TotalStoredBytes();
+    const ArchiveDedupStats dedup = on->ComputeDedupStats();
+    family_unique_chunks = dedup.unique_chunks;
+    family_plane_refs = dedup.plane_refs;
+    for (const std::string& name : family.names) {
+      auto a = on->RetrieveSnapshot(name);
+      auto b = off->RetrieveSnapshot(name);
+      bench::Check(a.status(), "family retrieve dedup-on");
+      bench::Check(b.status(), "family retrieve dedup-off");
+      if (!SameParams(*a, *b)) {
+        family_identical = false;
+        std::fprintf(stderr, "FAILED: %s differs between dedup on/off\n",
+                     name.c_str());
+      }
+    }
+  }
+  const double family_ratio =
+      family_stored_on > 0
+          ? static_cast<double>(family_stored_off) /
+                static_cast<double>(family_stored_on)
+          : 0.0;
+  const double family_bytes_per_model =
+      static_cast<double>(family_stored_on) /
+      static_cast<double>(family.names.size());
+  std::printf(
+      "family: %zu models  dedup on %llu bytes, off %llu bytes  "
+      "ratio %.2fx  %.0f bytes/model  %llu plane refs -> %llu unique "
+      "chunks  retrieval %s\n",
+      family.names.size(),
+      static_cast<unsigned long long>(family_stored_on),
+      static_cast<unsigned long long>(family_stored_off), family_ratio,
+      family_bytes_per_model,
+      static_cast<unsigned long long>(family_plane_refs),
+      static_cast<unsigned long long>(family_unique_chunks),
+      family_identical ? "identical" : "DIFFERS");
+
   std::string json = "{\"bench\":\"archival\",\"raw_bytes\":" +
                      std::to_string(corpus.raw_bytes) +
                      ",\"hardware_threads\":" + std::to_string(hardware) +
@@ -192,10 +321,29 @@ int main() {
     json += buffer;
   }
   json += "]";
+  {
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        ",\"family\":{\"models\":%zu,\"raw_bytes\":%llu,"
+        "\"stored_bytes_dedup_on\":%llu,\"stored_bytes_dedup_off\":%llu,"
+        "\"dedup_ratio\":%.3f,\"bytes_per_model\":%.1f,"
+        "\"plane_refs\":%llu,\"unique_chunks\":%llu,"
+        "\"identical_retrieval\":%s}",
+        family.names.size(),
+        static_cast<unsigned long long>(family.raw_bytes),
+        static_cast<unsigned long long>(family_stored_on),
+        static_cast<unsigned long long>(family_stored_off), family_ratio,
+        family_bytes_per_model,
+        static_cast<unsigned long long>(family_plane_refs),
+        static_cast<unsigned long long>(family_unique_chunks),
+        family_identical ? "true" : "false");
+    json += buffer;
+  }
   bench::AppendMetricsJson(&json);
   json += "}\n";
   const char* json_path = "BENCH_archival.json";
   bench::Check(Env::Default()->WriteFile(json_path, json), "write json");
   std::printf("wrote %s\n", json_path);
-  return bit_identical ? 0 : 1;
+  return bit_identical && family_identical ? 0 : 1;
 }

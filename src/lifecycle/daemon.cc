@@ -49,6 +49,7 @@ std::string MaintenanceStatus::ToJson() const {
       << ",\"archive_generation\":" << archive_generation
       << ",\"gc_epoch\":" << gc_epoch
       << ",\"pending_generations\":" << pending_generations
+      << ",\"shared_files\":" << shared_files
       << ",\"hot_snapshots\":" << hot_snapshots
       << ",\"cold_snapshots\":" << cold_snapshots
       << ",\"last_error\":\"" << JsonEscape(last_error) << "\""
@@ -279,6 +280,7 @@ Status LifecycleDaemon::Cycle() {
     status_.archive_generation = generation;
     status_.gc_epoch = state->gc.epoch;
     status_.pending_generations = state->gc.pending_generations.size();
+    status_.shared_files = state->gc.shared_files;
     status_.bytes_reclaimed_total +=
         state->gc.reclaimed_bytes + state->gc.quarantine_bytes;
     if (run.ok()) {

@@ -54,6 +54,9 @@ struct MaintenanceStatus {
   uint64_t archive_generation = 0;
   uint64_t gc_epoch = 0;
   uint64_t pending_generations = 0;
+  /// Superseded-generation files the last sweep kept because the current
+  /// manifest still references them through cross-generation dedup.
+  uint64_t shared_files = 0;
   uint64_t hot_snapshots = 0;
   uint64_t cold_snapshots = 0;
   std::string last_error;

@@ -8,6 +8,7 @@
 #include "common/trace.h"
 #include "dlv/layout.h"
 #include "pas/archive.h"
+#include "pas/chunk_index.h"
 #include "pas/generation_pins.h"
 
 namespace modelhub {
@@ -27,6 +28,14 @@ std::string GcReport::ToString() const {
     for (uint64_t gen : pending_generations) out << " " << gen;
   }
   out << "\n";
+  if (shared_files > 0) {
+    out << "  shared: " << shared_files << " file(s), " << shared_bytes
+        << " byte(s) still referenced through dedup\n";
+  }
+  if (index_entries_purged > 0) {
+    out << "  chunk index: " << index_entries_purged
+        << " entry(s) purged\n";
+  }
   if (quarantine_files > 0) {
     out << "  quarantine: " << quarantine_files << " file(s), "
         << quarantine_bytes << " byte(s) "
@@ -52,6 +61,13 @@ Result<GcReport> RunArchiveGc(Env* env, const std::string& repo_root,
                         ReadArchiveGeneration(env, pas_dir));
     MH_ASSIGN_OR_RETURN(const std::vector<std::string> names,
                         env->ListDir(pas_dir));
+    // Files the committed manifest references — its own generation's data
+    // files plus any prior-generation files it borrows chunks from via
+    // dedup. Referenced files are live regardless of generation number.
+    std::set<std::string> referenced;
+    MH_ASSIGN_OR_RETURN(const std::vector<std::string> manifest_files,
+                        ReadArchiveManifestFiles(env, pas_dir));
+    referenced.insert(manifest_files.begin(), manifest_files.end());
     std::set<uint64_t> pending;
     for (const std::string& name : names) {
       uint64_t gen = 0;
@@ -62,6 +78,11 @@ Result<GcReport> RunArchiveGc(Env* env, const std::string& repo_root,
       const std::string path = JoinPath(pas_dir, name);
       uint64_t bytes = 0;
       if (auto size = env->FileSize(path); size.ok()) bytes = *size;
+      if (referenced.count(name)) {
+        ++report.shared_files;
+        report.shared_bytes += bytes;
+        continue;
+      }
       ++report.stale_files;
       report.stale_bytes += bytes;
       if (pins->IsPinned(env, pas_dir, gen)) {
@@ -77,6 +98,21 @@ Result<GcReport> RunArchiveGc(Env* env, const std::string& repo_root,
       report.reclaimed_bytes += bytes;
     }
     report.pending_generations.assign(pending.begin(), pending.end());
+    // Refcount-0 reclamation in the chunk index: entries whose data file
+    // no longer exists can never be referenced again — drop them so the
+    // index only advertises chunks future builds can actually reuse.
+    // Best effort: the index is derived state and fsck can rebuild it.
+    if (!options.dry_run) {
+      if (auto index = ChunkIndex::Load(env, pas_dir); index.ok()) {
+        report.index_entries_purged =
+            index->PruneFiles([&](const std::string& file) {
+              return env->FileExists(JoinPath(pas_dir, file));
+            });
+        if (report.index_entries_purged > 0) {
+          (void)index->Save(env, pas_dir);
+        }
+      }
+    }
   }
 
   if (options.include_quarantine) {
@@ -104,8 +140,12 @@ Result<GcReport> RunArchiveGc(Env* env, const std::string& repo_root,
     MH_COUNTER("lifecycle.gc.reclaimed.files")
         ->Add(report.reclaimed_files + report.quarantine_files);
   }
+  MH_COUNTER("lifecycle.gc.index.purged")
+      ->Add(report.index_entries_purged);
   MH_GAUGE("lifecycle.gc.pinned.files")
       ->Set(static_cast<int64_t>(report.pinned_files));
+  MH_GAUGE("lifecycle.gc.shared.files")
+      ->Set(static_cast<int64_t>(report.shared_files));
   span.Annotate("reclaimed_bytes", report.reclaimed_bytes);
   span.Annotate("pinned_files", report.pinned_files);
   return report;

@@ -32,6 +32,14 @@ struct GcReport {
   uint64_t reclaimed_bytes = 0;
   uint64_t pinned_files = 0;
   uint64_t pinned_bytes = 0;
+  /// Superseded-generation files the committed manifest still references
+  /// through cross-generation dedup (shared chunks). Never reclaimed —
+  /// they are live data, reclaimable only once a later rebuild stops
+  /// referencing them.
+  uint64_t shared_files = 0;
+  uint64_t shared_bytes = 0;
+  /// Chunk-index entries purged because their data file is gone.
+  uint64_t index_entries_purged = 0;
   /// Distinct superseded generations still pinned (pending GC).
   std::vector<uint64_t> pending_generations;
 
@@ -44,7 +52,10 @@ struct GcReport {
 /// Garbage-collects unreferenced archive chunk files under
 /// `<repo_root>/pas`: begins a new sweep epoch, then deletes every
 /// generation-numbered data file whose generation is strictly older than
-/// the one the committed manifest names AND that no live retrieval pins.
+/// the one the committed manifest names, that the manifest does not
+/// reference through cross-generation dedup, AND that no live retrieval
+/// pins. After deleting, chunk-index entries pointing at removed files
+/// are purged (the refcount-0 reclamation of DESIGN.md §15).
 /// Files of generations newer than the manifest (an in-flight rebuild's
 /// output) are never touched; neither is the manifest itself. Readers
 /// only ever pin the committed generation (pin-then-reverify in

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <set>
 #include <unordered_map>
 
 #include "common/checked_io.h"
@@ -12,6 +13,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "pas/sketch.h"
 
 namespace modelhub {
 
@@ -76,8 +78,22 @@ class StatsScope {
   bool ok_ = false;
 };
 
-constexpr char kManifestMagic[] = "MHAM2\n";
+/// Manifest format versions. v2 carries one chunk id per plane, resolved
+/// through the vertex's tier; v3 (cross-generation dedup) adds a list of
+/// extra prior-generation data files and a per-plane store slot. New
+/// builds always write v3; the reader accepts both (the golden fixture is
+/// a v2 archive).
+constexpr char kManifestMagicV2[] = "MHAM2\n";
+constexpr char kManifestMagicV3[] = "MHAM3\n";
 constexpr size_t kManifestMagicSize = 6;
+
+/// Manifest version from the magic, or 0 for anything else.
+int ManifestVersion(const std::string& framed) {
+  if (framed.size() < kManifestMagicSize) return 0;
+  if (framed.compare(0, kManifestMagicSize, kManifestMagicV3) == 0) return 3;
+  if (framed.compare(0, kManifestMagicSize, kManifestMagicV2) == 0) return 2;
+  return 0;
+}
 
 std::string ManifestPath(const std::string& dir) {
   return JoinPath(dir, "manifest.bin");
@@ -112,8 +128,7 @@ bool ParseGenFileName(const std::string& name, const char* prefix,
 
 /// Parses the CRC-framed manifest's header down to its generation number.
 Result<uint64_t> ParseManifestGeneration(const std::string& framed) {
-  if (framed.size() < kManifestMagicSize ||
-      framed.compare(0, kManifestMagicSize, kManifestMagic) != 0) {
+  if (ManifestVersion(framed) == 0) {
     return Status::Corruption("bad manifest magic");
   }
   Slice in(framed);
@@ -121,6 +136,51 @@ Result<uint64_t> ParseManifestGeneration(const std::string& framed) {
   uint64_t generation = 0;
   MH_RETURN_IF_ERROR(GetVarint64(&in, &generation));
   return generation;
+}
+
+/// Parses a manifest's referenced-file header: generation, the
+/// generation's own data files, and (v3) the prior-generation files it
+/// reuses chunks from. Leaves `in` positioned at the matrix table.
+struct ManifestFileHeader {
+  uint64_t generation = 0;
+  std::string chunks_name;
+  std::string remote_name;  ///< Empty when no remote tier is used.
+  std::vector<std::string> extra_files;
+};
+
+Result<ManifestFileHeader> ParseManifestFileHeader(const std::string& framed,
+                                                   Slice* in) {
+  const int version = ManifestVersion(framed);
+  if (version == 0) return Status::Corruption("bad manifest magic");
+  *in = Slice(framed);
+  in->RemovePrefix(kManifestMagicSize);
+  ManifestFileHeader header;
+  MH_RETURN_IF_ERROR(GetVarint64(in, &header.generation));
+  Slice chunks_name;
+  Slice remote_name;
+  MH_RETURN_IF_ERROR(GetLengthPrefixed(in, &chunks_name));
+  MH_RETURN_IF_ERROR(GetLengthPrefixed(in, &remote_name));
+  if (chunks_name.empty()) {
+    return Status::Corruption("manifest names no chunk file");
+  }
+  header.chunks_name = chunks_name.ToString();
+  header.remote_name = remote_name.ToString();
+  if (version >= 3) {
+    uint64_t num_extra = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(in, &num_extra));
+    if (num_extra > 4096) {
+      return Status::Corruption("manifest extra file count out of range");
+    }
+    for (uint64_t i = 0; i < num_extra; ++i) {
+      Slice name;
+      MH_RETURN_IF_ERROR(GetLengthPrefixed(in, &name));
+      if (name.empty()) {
+        return Status::Corruption("manifest empty extra file name");
+      }
+      header.extra_files.push_back(name.ToString());
+    }
+  }
+  return header;
 }
 
 /// Compressed size of all four byte planes of `m` under `codec`.
@@ -159,6 +219,20 @@ Result<uint64_t> ReadArchiveGeneration(Env* env, const std::string& dir) {
 bool ParseArchiveDataFileName(const std::string& name, uint64_t* gen) {
   return ParseGenFileName(name, "chunks", gen) ||
          ParseGenFileName(name, "remote", gen);
+}
+
+Result<std::vector<std::string>> ReadArchiveManifestFiles(
+    Env* env, const std::string& dir) {
+  MH_ASSIGN_OR_RETURN(const std::string framed,
+                      ReadChecked(env, ManifestPath(dir)));
+  Slice in;
+  MH_ASSIGN_OR_RETURN(const ManifestFileHeader header,
+                      ParseManifestFileHeader(framed, &in));
+  std::vector<std::string> files;
+  files.push_back(header.chunks_name);
+  if (!header.remote_name.empty()) files.push_back(header.remote_name);
+  for (const std::string& name : header.extra_files) files.push_back(name);
+  return files;
 }
 
 ArchiveBuilder::ArchiveBuilder(Env* env, std::string dir)
@@ -222,7 +296,10 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     const std::vector<SnapshotSpec>& snapshots,
     const std::vector<std::pair<int, int>>& candidate_pairs,
     CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
-    const TierOptions& tiers, ThreadPool* pool) {
+    const TierOptions& tiers, ThreadPool* pool,
+    const std::vector<MatrixPairCandidate>& matrix_pairs,
+    int* first_similarity_edge) {
+  if (first_similarity_edge != nullptr) *first_similarity_edge = -1;
   MatrixStorageGraph graph;
   // Every edge optionally gets a remote twin: cheaper to hold, costlier to
   // recreate from (the paper's multi-tier parallel edges).
@@ -306,6 +383,52 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     }
   }
 
+  // Similarity-proposed matrix pairs come after the lineage candidates so
+  // their edge ids form one contiguous trailing range — the builder uses
+  // that boundary to count how many plan parents similarity contributed.
+  const size_t first_similarity_candidate = candidates.size();
+  if (!matrix_pairs.empty()) {
+    std::map<std::pair<std::string, std::string>, int> vertex_by_name;
+    std::map<int, const FloatMatrix*> matrix_by_vertex;
+    for (size_t s = 0; s < snapshots.size(); ++s) {
+      const auto& params = *snapshots[s].params;
+      for (size_t pi = 0; pi < params.size(); ++pi) {
+        const int v = vertex_of[s][pi];
+        vertex_by_name.emplace(
+            std::make_pair(snapshots[s].name, params[pi].name), v);
+        matrix_by_vertex.emplace(v, &params[pi].value);
+      }
+    }
+    std::set<std::pair<int, int>> existing;
+    for (const CandidateEdge& cand : candidates) {
+      existing.emplace(std::min(cand.u, cand.v), std::max(cand.u, cand.v));
+    }
+    for (const MatrixPairCandidate& pair : matrix_pairs) {
+      const auto from_it = vertex_by_name.find(
+          std::make_pair(pair.from_snapshot, pair.from_param));
+      const auto to_it =
+          vertex_by_name.find(std::make_pair(pair.to_snapshot, pair.to_param));
+      if (from_it == vertex_by_name.end() || to_it == vertex_by_name.end()) {
+        return Status::InvalidArgument("matrix pair names unknown matrix");
+      }
+      const int u = from_it->second;
+      const int v = to_it->second;
+      if (u == v) continue;
+      const FloatMatrix& base = *matrix_by_vertex.at(u);
+      const FloatMatrix& target = *matrix_by_vertex.at(v);
+      // Similarity pairing only proposes equal shapes; a materialized
+      // "delta" would just re-store the target, so it contributes nothing.
+      if (base.rows() != target.rows() || base.cols() != target.cols() ||
+          delta_kind == DeltaKind::kMaterialized) {
+        continue;
+      }
+      if (!existing.emplace(std::min(u, v), std::max(u, v)).second) {
+        continue;  // Lineage (or an earlier pair) already covers this edge.
+      }
+      candidates.push_back(CandidateEdge{u, v, &base, &target, delta_kind});
+    }
+  }
+
   // Cost model: materialization edges per vertex + delta edges per
   // candidate, each slot independent.
   std::vector<EdgeCost> vertex_costs(matrix_of_vertex.size());
@@ -351,6 +474,10 @@ Result<MatrixStorageGraph> BuildMatrixStorageGraph(
   for (size_t c = 0; c < candidates.size(); ++c) {
     const EdgeCost& cost = candidate_costs[c];
     MH_RETURN_IF_ERROR(cost.status);
+    if (first_similarity_edge != nullptr && c == first_similarity_candidate &&
+        c < candidates.size()) {
+      *first_similarity_edge = static_cast<int>(graph.edges().size());
+    }
     MH_RETURN_IF_ERROR(add_tiered_edge(
         candidates[c].u, candidates[c].v, cost.cs,
         cost.cs + recreation_raw_weight * cost.raw));
@@ -426,6 +553,41 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
     }
   }
 
+  // --- Similarity-based delta pairing (DESIGN.md §15): sketch every
+  // matrix (post-scheme-rounding, so sketches see the bytes that will be
+  // archived) and propose delta parents by content distance. The proposals
+  // only become candidate edges; the solver still measures them against
+  // lineage and materialization, so a bad pairing costs nothing but the
+  // trial delta.
+  std::vector<MatrixPairCandidate> similarity_pairs;
+  if (options.enable_similarity_pairing && matrices_.size() > 1) {
+    TraceSpan sketch_span("pas.archive.sketch");
+    std::vector<ParamSketch> sketches(matrices_.size());
+    auto sketch_task = [this, &sketches](size_t i) {
+      sketches[i] = ComputeParamSketch(matrices_[i].value);
+    };
+    if (pool != nullptr) {
+      WaitGroup done;
+      for (size_t i = 0; i < matrices_.size(); ++i) {
+        pool->Schedule(&done, [&sketch_task, i] { sketch_task(i); });
+      }
+      done.Wait();
+    } else {
+      for (size_t i = 0; i < matrices_.size(); ++i) sketch_task(i);
+    }
+    for (const SketchPairing& pairing :
+         SimilarDeltaPairs(sketches, options.similarity_fanout,
+                           options.similarity_threshold)) {
+      const MatrixEntry& from = matrices_[static_cast<size_t>(pairing.from)];
+      const MatrixEntry& to = matrices_[static_cast<size_t>(pairing.to)];
+      similarity_pairs.push_back(
+          MatrixPairCandidate{from.snapshot, from.param, to.snapshot,
+                              to.param});
+    }
+    sketch_span.Annotate("pairs",
+                         static_cast<uint64_t>(similarity_pairs.size()));
+  }
+
   // --- Assemble the matrix storage graph (Definition 1) via the shared
   // builder. Vertex ids follow matrices_ order because snapshots were
   // registered in (snapshot, param) order.
@@ -444,12 +606,14 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   tiers.enable_remote = options.enable_remote_tier;
   tiers.storage_discount = options.remote_storage_discount;
   tiers.read_penalty = options.remote_read_penalty;
+  int first_similarity_edge = -1;
   MH_ASSIGN_OR_RETURN(
       MatrixStorageGraph graph,
       BuildMatrixStorageGraph(specs, candidate_pairs_, options.codec,
                               options.delta_kind,
                               options.recreation_raw_weight, tiers,
-                              pool.get()));
+                              pool.get(), similarity_pairs,
+                              &first_similarity_edge));
   std::vector<int> vertex_of_matrix(matrices_.size());
   {
     int next = 1;
@@ -559,11 +723,74 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
     parents[i] = parent;
     tiers_of[i] = tier;
   }
+  // --- Cross-generation dedup context (DESIGN.md §15): the committed
+  // generation's chunk index maps content hash -> (file, chunk id), so
+  // planes already stored by a prior build are referenced instead of
+  // re-appended. The index is derived state — if it is missing, stale
+  // (generation mismatch), or corrupt, it is rebuilt from the manifest
+  // and chunk stores; on any failure the build simply proceeds without
+  // cross-generation sharing. Entries pointing at files GC already
+  // removed are pruned before use.
+  ParallelArchiver::DedupContext dedup_ctx;
+  if (options.enable_dedup) {
+    ChunkIndex prior_index;
+    bool have_prior = false;
+    if (auto loaded = ChunkIndex::Load(env_, dir_); loaded.ok()) {
+      if (auto gen = ReadArchiveGeneration(env_, dir_);
+          gen.ok() && *gen == loaded->generation()) {
+        prior_index = std::move(*loaded);
+        have_prior = true;
+      }
+    }
+    if (!have_prior && env_->FileExists(ManifestPath(dir_))) {
+      if (auto rebuilt = RebuildChunkIndex(env_, dir_); rebuilt.ok()) {
+        prior_index = std::move(*rebuilt);
+        have_prior = true;
+      }
+    }
+    if (have_prior) {
+      std::set<std::string> existing;
+      if (auto names = env_->ListDir(dir_); names.ok()) {
+        existing.insert(names->begin(), names->end());
+      }
+      prior_index.PruneFiles([&existing](const std::string& file) {
+        return existing.count(file) > 0;
+      });
+      // SortedEntries (hash order) makes prior_files — and therefore the
+      // manifest's extra-file table — deterministic across builds.
+      std::map<std::string, int> file_slot;
+      for (const ChunkIndexEntry& entry : prior_index.SortedEntries()) {
+        auto [it, inserted] = file_slot.emplace(
+            entry.file, static_cast<int>(dedup_ctx.prior_files.size()));
+        if (inserted) dedup_ctx.prior_files.push_back(entry.file);
+        dedup_ctx.prior.emplace(
+            entry.hash,
+            ParallelArchiver::DedupContext::PriorChunk{
+                it->second, entry.chunk_id, entry.stored_size});
+      }
+    }
+  }
   ArchivePipelineStats pipeline_stats;
   MH_ASSIGN_OR_RETURN(
       const std::vector<ParallelArchiver::Placement> placements,
       ParallelArchiver::Run(jobs, options.codec, threads, &pipeline_stats,
-                            options.tile_rows));
+                            options.tile_rows,
+                            options.enable_dedup ? &dedup_ctx : nullptr));
+  // Extra-file table: prior-generation data files actually referenced by
+  // this build's placements, in first-reference (job, plane) order. Their
+  // manifest slots start at 2 (0 = local store, 1 = remote store).
+  std::vector<std::string> extra_files;
+  std::vector<int> slot_of_prior(dedup_ctx.prior_files.size(), -1);
+  for (size_t i = 0; i < placements.size(); ++i) {
+    for (int p = 0; p < kNumPlanes; ++p) {
+      const int32_t pf = placements[i].prior_file[p];
+      if (pf >= 0 && slot_of_prior[static_cast<size_t>(pf)] < 0) {
+        slot_of_prior[static_cast<size_t>(pf)] =
+            2 + static_cast<int>(extra_files.size());
+        extra_files.push_back(dedup_ctx.prior_files[static_cast<size_t>(pf)]);
+      }
+    }
+  }
   std::string manifest;  // Body; the generation header is prepended below.
   PutVarint64(&manifest, matrices_.size());
   for (size_t i = 0; i < matrices_.size(); ++i) {
@@ -575,6 +802,10 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
     manifest.push_back(static_cast<char>(tiers_of[i]));
     PutVarint64(&manifest, static_cast<uint64_t>(parents[i]));
     for (int p = 0; p < kNumPlanes; ++p) {
+      const int32_t pf = placements[i].prior_file[p];
+      const int slot = pf >= 0 ? slot_of_prior[static_cast<size_t>(pf)]
+                               : tiers_of[i];
+      PutVarint64(&manifest, static_cast<uint64_t>(slot));
       PutVarint64(&manifest, placements[i].chunk_ids[p]);
     }
   }
@@ -597,23 +828,64 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
     MH_RETURN_IF_ERROR(remote_chunks.Finish());
   }
   std::string framed;
-  framed.append(kManifestMagic, kManifestMagicSize);
+  framed.append(kManifestMagicV3, kManifestMagicSize);
   PutVarint64(&framed, generation);
   PutLengthPrefixed(&framed, Slice(chunks_name));
   PutLengthPrefixed(&framed,
                     Slice(remote_payloads > 0 ? remote_name : std::string()));
+  PutVarint64(&framed, extra_files.size());
+  for (const std::string& extra : extra_files) {
+    PutLengthPrefixed(&framed, Slice(extra));
+  }
   framed.append(manifest);
   MH_RETURN_IF_ERROR(WriteChecked(env_, ManifestPath(dir_), framed));
+  // --- Persist the chunk index (best effort — it is derived state,
+  // rebuildable from the manifest; a failed save must not fail the build
+  // after the manifest committed). With dedup off any stale index is
+  // deleted so the next dedup-enabled build rebuilds from scratch.
+  if (options.enable_dedup) {
+    ChunkIndex new_index;
+    new_index.set_generation(generation);
+    for (size_t i = 0; i < placements.size(); ++i) {
+      for (int p = 0; p < kNumPlanes; ++p) {
+        const int32_t pf = placements[i].prior_file[p];
+        const uint32_t id = placements[i].chunk_ids[p];
+        if (pf >= 0) {
+          auto it = dedup_ctx.prior.find(placements[i].plane_hash[p]);
+          const uint64_t stored =
+              it != dedup_ctx.prior.end() ? it->second.stored_size : 0;
+          new_index.AddRef(placements[i].plane_hash[p],
+                           dedup_ctx.prior_files[static_cast<size_t>(pf)], id,
+                           stored);
+        } else {
+          const bool is_remote = tiers_of[i] == 1;
+          const ChunkStoreWriter& writer = is_remote ? remote_chunks : chunks;
+          new_index.AddRef(placements[i].plane_hash[p],
+                           is_remote ? remote_name : chunks_name, id,
+                           writer.StoredSize(id));
+        }
+      }
+    }
+    (void)new_index.Save(env_, dir_);
+  } else {
+    (void)env_->DeleteFile(JoinPath(dir_, ChunkIndex::kFileName));
+  }
   // --- Garbage-collect superseded generations (best effort). Generations
-  // pinned by a live reader are left behind; the lifecycle GC sweep
-  // reclaims them once the pins drain (DESIGN.md §14).
+  // pinned by a live reader are left behind, as are prior-generation data
+  // files the new manifest still references through dedup (shared chunks);
+  // the lifecycle GC sweep reclaims them once unreferenced and unpinned
+  // (DESIGN.md §14, §15).
   if (auto names = env_->ListDir(dir_); names.ok()) {
+    std::set<std::string> referenced(extra_files.begin(), extra_files.end());
+    referenced.insert(chunks_name);
+    if (remote_payloads > 0) referenced.insert(remote_name);
     GenerationPinRegistry* pins = GenerationPinRegistry::Global();
     for (const std::string& name : *names) {
       uint64_t gen = 0;
       if ((ParseGenFileName(name, "chunks", &gen) ||
            ParseGenFileName(name, "remote", &gen)) &&
-          gen != generation && !pins->IsPinned(env_, dir_, gen)) {
+          gen != generation && referenced.count(name) == 0 &&
+          !pins->IsPinned(env_, dir_, gen)) {
         (void)env_->DeleteFile(JoinPath(dir_, name));
       }
     }
@@ -628,6 +900,16 @@ Result<ArchiveBuildReport> ArchiveBuilder::Build(
   report.spt_storage_cost = spt.TotalStorageCost();
   report.budgets_satisfied = plan.SatisfiesBudgets(options.scheme);
   report.remote_payloads = remote_payloads;
+  if (first_similarity_edge >= 0) {
+    report.similarity_edges =
+        static_cast<int>(graph.edges().size()) - first_similarity_edge;
+    for (int v = 1; v < graph.num_vertices(); ++v) {
+      if (plan.Parent(v) != 0 &&
+          plan.ParentEdge(v) >= first_similarity_edge) {
+        ++report.similarity_parents;
+      }
+    }
+  }
   report.pipeline = std::move(pipeline_stats);
   MH_COUNTER("pas.archive.raw.bytes")->Add(report.pipeline.raw_bytes);
   MH_COUNTER("pas.archive.stored.bytes")
@@ -652,51 +934,79 @@ Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
   // files of the committed generation, so a crash mid-rebuild (stray newer
   // generation files, no manifest update) is invisible here.
   //
-  // Pin-then-reverify: pin the generation the manifest names, then re-read
-  // the manifest. If the generation is unchanged, any concurrent rebuild
-  // that could delete it commits its own manifest — and hence runs its
-  // pinned-generation check — after our pin, so the files stay alive for
-  // this reader's lifetime. If it moved, drop the pin and chase the newer
-  // generation.
+  // Pin-then-reverify: pin every generation the manifest references —
+  // its own plus the generations of prior data files it borrows chunks
+  // from through dedup — then re-read the manifest. If the generation is
+  // unchanged, any concurrent rebuild that could delete those files
+  // commits its own manifest — and hence runs its pinned-generation
+  // check — after our pins, so the files stay alive for this reader's
+  // lifetime. If it moved, drop the pins and chase the newer generation.
   std::string manifest;
   for (int attempt = 0;; ++attempt) {
     MH_ASSIGN_OR_RETURN(manifest, ReadChecked(env, ManifestPath(dir)));
     MH_ASSIGN_OR_RETURN(const uint64_t generation,
                         ParseManifestGeneration(manifest));
-    reader.pin_ = GenerationPinRegistry::Global()->Pin(env, dir, generation);
+    reader.pins_.clear();
+    reader.pins_.push_back(
+        GenerationPinRegistry::Global()->Pin(env, dir, generation));
+    {
+      Slice header_in;
+      MH_ASSIGN_OR_RETURN(const ManifestFileHeader files,
+                          ParseManifestFileHeader(manifest, &header_in));
+      std::set<uint64_t> extra_gens;
+      for (const std::string& name : files.extra_files) {
+        uint64_t gen = 0;
+        if (ParseArchiveDataFileName(name, &gen)) extra_gens.insert(gen);
+      }
+      extra_gens.erase(generation);
+      for (uint64_t gen : extra_gens) {
+        reader.pins_.push_back(
+            GenerationPinRegistry::Global()->Pin(env, dir, gen));
+      }
+    }
     MH_ASSIGN_OR_RETURN(const std::string again,
                         ReadChecked(env, ManifestPath(dir)));
     MH_ASSIGN_OR_RETURN(const uint64_t reread,
                         ParseManifestGeneration(again));
     if (reread == generation) break;
-    reader.pin_.reset();
+    reader.pins_.clear();
     if (attempt >= 3) {
       return Status::Unavailable("archive is being rebuilt; retry open: " +
                                  dir);
     }
   }
-  Slice in(manifest);
-  in.RemovePrefix(kManifestMagicSize);
-  MH_RETURN_IF_ERROR(GetVarint64(&in, &reader.generation_));
-  Slice chunks_name;
-  Slice remote_name;
-  MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &chunks_name));
-  MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &remote_name));
-  if (chunks_name.empty()) {
-    return Status::Corruption("manifest names no chunk file");
+  const int version = ManifestVersion(manifest);
+  Slice in;
+  MH_ASSIGN_OR_RETURN(const ManifestFileHeader header,
+                      ParseManifestFileHeader(manifest, &in));
+  reader.generation_ = header.generation;
+  // Store slots: [0] local, [1] remote (null placeholder when unused),
+  // [2 + k] prior-generation files shared through dedup. store_names_
+  // stays aligned; data_files_ is the compacted non-empty view for fsck.
+  auto open_store = [&](const std::string& name)
+      -> Result<std::shared_ptr<ChunkStoreReader>> {
+    MH_ASSIGN_OR_RETURN(ChunkStoreReader store,
+                        ChunkStoreReader::Open(env, JoinPath(dir, name)));
+    reader.data_files_.push_back(name);
+    return std::make_shared<ChunkStoreReader>(std::move(store));
+  };
+  MH_ASSIGN_OR_RETURN(std::shared_ptr<ChunkStoreReader> local,
+                      open_store(header.chunks_name));
+  reader.stores_.push_back(std::move(local));
+  reader.store_names_.push_back(header.chunks_name);
+  if (!header.remote_name.empty()) {
+    MH_ASSIGN_OR_RETURN(std::shared_ptr<ChunkStoreReader> remote,
+                        open_store(header.remote_name));
+    reader.stores_.push_back(std::move(remote));
+  } else {
+    reader.stores_.push_back(nullptr);
   }
-  reader.data_files_.push_back(chunks_name.ToString());
-  MH_ASSIGN_OR_RETURN(
-      ChunkStoreReader chunk_reader,
-      ChunkStoreReader::Open(env, JoinPath(dir, chunks_name.ToString())));
-  reader.chunks_ = std::make_shared<ChunkStoreReader>(std::move(chunk_reader));
-  if (!remote_name.empty()) {
-    reader.data_files_.push_back(remote_name.ToString());
-    MH_ASSIGN_OR_RETURN(
-        ChunkStoreReader remote_reader,
-        ChunkStoreReader::Open(env, JoinPath(dir, remote_name.ToString())));
-    reader.remote_chunks_ =
-        std::make_shared<ChunkStoreReader>(std::move(remote_reader));
+  reader.store_names_.push_back(header.remote_name);
+  for (const std::string& extra : header.extra_files) {
+    MH_ASSIGN_OR_RETURN(std::shared_ptr<ChunkStoreReader> store,
+                        open_store(extra));
+    reader.stores_.push_back(std::move(store));
+    reader.store_names_.push_back(extra);
   }
   uint64_t num_matrices = 0;
   MH_RETURN_IF_ERROR(GetVarint64(&in, &num_matrices));
@@ -730,18 +1040,25 @@ Result<ArchiveReader> ArchiveReader::Open(Env* env, const std::string& dir) {
       return Status::Corruption("manifest parent out of range");
     }
     meta.parent = static_cast<int>(parent);
-    if (meta.tier == 1 && reader.remote_chunks_ == nullptr) {
+    if (meta.tier == 1 && reader.stores_[1] == nullptr) {
       return Status::Corruption("manifest remote vertex without remote store");
     }
-    const uint32_t chunk_count = meta.tier == 1
-                                     ? reader.remote_chunks_->num_chunks()
-                                     : reader.chunks_->num_chunks();
     for (int p = 0; p < kNumPlanes; ++p) {
+      uint64_t slot = static_cast<uint64_t>(meta.tier);
+      if (version >= 3) {
+        MH_RETURN_IF_ERROR(GetVarint64(&in, &slot));
+      }
+      if (slot >= reader.stores_.size() ||
+          reader.stores_[static_cast<size_t>(slot)] == nullptr) {
+        return Status::Corruption("manifest chunk slot out of range");
+      }
       uint64_t chunk_id = 0;
       MH_RETURN_IF_ERROR(GetVarint64(&in, &chunk_id));
-      if (chunk_id >= chunk_count) {
+      if (chunk_id >=
+          reader.stores_[static_cast<size_t>(slot)]->num_chunks()) {
         return Status::Corruption("manifest chunk id out of range");
       }
+      meta.slots[p] = static_cast<uint32_t>(slot);
       meta.chunk_ids[p] = static_cast<uint32_t>(chunk_id);
     }
   }
@@ -790,14 +1107,15 @@ int ArchiveReader::FindVertex(const std::string& snapshot,
 }
 
 ChunkStoreStats ArchiveReader::store_stats() const {
-  ChunkStoreStats total = chunks_->stats();
-  if (remote_chunks_ != nullptr) {
-    const ChunkStoreStats remote = remote_chunks_->stats();
-    total.bytes_read += remote.bytes_read;
-    total.chunk_fetches += remote.chunk_fetches;
-    total.cache_hits += remote.cache_hits;
-    total.cache_evictions += remote.cache_evictions;
-    total.cache_bytes += remote.cache_bytes;
+  ChunkStoreStats total;
+  for (const auto& store : stores_) {
+    if (store == nullptr) continue;
+    const ChunkStoreStats stats = store->stats();
+    total.bytes_read += stats.bytes_read;
+    total.chunk_fetches += stats.chunk_fetches;
+    total.cache_hits += stats.cache_hits;
+    total.cache_evictions += stats.cache_evictions;
+    total.cache_bytes += stats.cache_bytes;
   }
   return total;
 }
@@ -814,11 +1132,10 @@ Result<std::vector<std::string>> ArchiveReader::ParamNames(
 }
 
 Result<FloatMatrix> ArchiveReader::ReadPayload(const VertexMeta& meta) const {
-  const ChunkStoreReader* store =
-      meta.tier == 1 ? remote_chunks_.get() : chunks_.get();
   std::string plane_data[kNumPlanes];
   std::vector<Slice> planes;
   for (int p = 0; p < kNumPlanes; ++p) {
+    const ChunkStoreReader* store = stores_[meta.slots[p]].get();
     MH_ASSIGN_OR_RETURN(plane_data[p], store->Get(meta.chunk_ids[p]));
     planes.emplace_back(plane_data[p]);
   }
@@ -1054,11 +1371,10 @@ Result<const IntervalMatrix*> ArchiveReader::ResolveBounds(
     return Status::InvalidArgument(
         "partial retrieval is not defined over XOR deltas");
   }
-  const ChunkStoreReader* store =
-      meta.tier == 1 ? remote_chunks_.get() : chunks_.get();
   std::string plane_data[kNumPlanes];
   std::vector<Slice> plane_slices;
   for (int p = 0; p < planes; ++p) {
+    const ChunkStoreReader* store = stores_[meta.slots[p]].get();
     MH_ASSIGN_OR_RETURN(plane_data[p], store->Get(meta.chunk_ids[p]));
     plane_slices.emplace_back(plane_data[p]);
   }
@@ -1137,17 +1453,19 @@ ArchiveReader::RetrieveSnapshotBounds(const std::string& snapshot,
 
 std::vector<std::string> ArchiveReader::VerifyIntegrity() const {
   std::vector<std::string> defects;
-  auto verify_store = [&](const ChunkStoreReader* store, const char* label) {
+  auto verify_store = [&](const ChunkStoreReader* store,
+                          const std::string& label) {
     if (store == nullptr) return;
     for (uint32_t i = 0; i < store->num_chunks(); ++i) {
       const Status status = store->Verify(i);
       if (!status.ok()) {
-        defects.push_back(std::string(label) + ": " + status.ToString());
+        defects.push_back(label + ": " + status.ToString());
       }
     }
   };
-  verify_store(chunks_.get(), "local chunk store");
-  verify_store(remote_chunks_.get(), "remote chunk store");
+  for (size_t s = 0; s < stores_.size(); ++s) {
+    verify_store(stores_[s].get(), "chunk store " + store_names_[s]);
+  }
   // Every delta chain must terminate at a materialized vertex without
   // cycles; Open bounds parent ids but cannot see cycles spanning vertices.
   for (size_t v = 1; v < vertices_.size(); ++v) {
@@ -1166,16 +1484,64 @@ std::vector<std::string> ArchiveReader::VerifyIntegrity() const {
 }
 
 uint64_t ArchiveReader::TotalStoredBytes() const {
+  // Each referenced (store, chunk) pair counts once, so shared chunks —
+  // within this generation or borrowed from a prior one — are not double
+  // counted, and unreferenced residue inside a shared prior file is not
+  // charged to this archive.
+  std::set<std::pair<uint32_t, uint32_t>> seen;
   uint64_t total = 0;
-  for (uint32_t i = 0; i < chunks_->num_chunks(); ++i) {
-    total += chunks_->ref(i).stored_size;
-  }
-  if (remote_chunks_ != nullptr) {
-    for (uint32_t i = 0; i < remote_chunks_->num_chunks(); ++i) {
-      total += remote_chunks_->ref(i).stored_size;
+  for (size_t v = 1; v < vertices_.size(); ++v) {
+    const VertexMeta& meta = vertices_[v];
+    for (int p = 0; p < kNumPlanes; ++p) {
+      if (seen.emplace(meta.slots[p], meta.chunk_ids[p]).second) {
+        total += stores_[meta.slots[p]]->ref(meta.chunk_ids[p]).stored_size;
+      }
     }
   }
   return total;
+}
+
+ArchiveDedupStats ArchiveReader::ComputeDedupStats() const {
+  ArchiveDedupStats stats;
+  std::map<std::pair<uint32_t, uint32_t>, int> refs;
+  for (size_t v = 1; v < vertices_.size(); ++v) {
+    const VertexMeta& meta = vertices_[v];
+    for (int p = 0; p < kNumPlanes; ++p) {
+      ++stats.plane_refs;
+      if (meta.slots[p] >= 2) ++stats.cross_file_refs;
+      const auto key = std::make_pair(meta.slots[p], meta.chunk_ids[p]);
+      const uint64_t size =
+          stores_[meta.slots[p]]->ref(meta.chunk_ids[p]).stored_size;
+      stats.logical_bytes += size;
+      if (++refs[key] == 1) {
+        ++stats.unique_chunks;
+        stats.stored_bytes += size;
+      }
+    }
+  }
+  for (const auto& [key, count] : refs) {
+    if (count > 1) stats.shared_refs += count - 1;
+  }
+  return stats;
+}
+
+Result<ChunkIndex> RebuildChunkIndex(Env* env, const std::string& dir) {
+  MH_ASSIGN_OR_RETURN(ArchiveReader reader, ArchiveReader::Open(env, dir));
+  ChunkIndex index;
+  index.set_generation(reader.generation());
+  for (size_t v = 1; v < reader.vertices_.size(); ++v) {
+    const auto& meta = reader.vertices_[v];
+    for (int p = 0; p < kNumPlanes; ++p) {
+      const uint32_t slot = meta.slots[p];
+      MH_ASSIGN_OR_RETURN(const std::string payload,
+                          reader.stores_[slot]->GetCompressed(
+                              meta.chunk_ids[p]));
+      index.AddRef(ContentHash128(payload.data(), payload.size()),
+                   reader.store_names_[slot], meta.chunk_ids[p],
+                   payload.size());
+    }
+  }
+  return index;
 }
 
 }  // namespace modelhub

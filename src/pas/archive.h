@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/result.h"
 #include "nn/network.h"
+#include "pas/chunk_index.h"
 #include "pas/chunk_store.h"
 #include "pas/delta.h"
 #include "pas/generation_pins.h"
@@ -76,6 +77,26 @@ struct ArchiveOptions {
   /// alpha so their recreation stays cheap, cold ones a loose alpha so
   /// they compress harder). Snapshots not listed use budget_alpha.
   std::map<std::string, double> group_budget_alpha;
+  /// Content-addressed chunk dedup (DESIGN.md §15). The committer hashes
+  /// every compressed plane chunk and stores identical content once —
+  /// within the build, and across generations via the persistent chunk
+  /// index (`chunk_index.bin`). Dedup only changes *where* chunks live,
+  /// never the storage plan or any retrieved byte; retrieval never
+  /// consults the index. Disabling also deletes the on-disk index.
+  bool enable_dedup = true;
+  /// Similarity-based delta pairing: per-parameter minhash sketches over
+  /// the high-order float bytes propose delta parents by content distance
+  /// in addition to declared lineage candidates. The solver takes a
+  /// similarity edge only when it is measurably cheaper, so lineage (or
+  /// materialization) remains the fallback. Unlike enable_dedup this
+  /// changes the storage plan — the differential dedup tests hold it
+  /// fixed while toggling dedup.
+  bool enable_similarity_pairing = true;
+  /// Max similarity delta-parent candidates proposed per matrix.
+  int similarity_fanout = 2;
+  /// Minimum sketch similarity (estimated Jaccard of high-byte block
+  /// tokens, in [0,1]) for a proposed pairing.
+  double similarity_threshold = 0.25;
 };
 
 /// What Build measured — the quantities Fig 6(c) plots.
@@ -91,8 +112,15 @@ struct ArchiveBuildReport {
   /// Per-snapshot recreation costs of the chosen plan, in snapshot order.
   std::vector<double> group_recreation_costs;
   std::vector<double> group_budgets;
-  /// What the write pipeline did (threads used, bytes, stage latencies).
+  /// What the write pipeline did (threads used, bytes, stage latencies,
+  /// dedup hit counts — see ArchivePipelineStats.dedup_*).
   ArchivePipelineStats pipeline;
+  /// Candidate delta edges contributed by similarity pairing (sketch
+  /// matches not already covered by declared lineage).
+  int similarity_edges = 0;
+  /// Matrices whose chosen delta parent came from a similarity edge
+  /// rather than lineage or materialization.
+  int similarity_parents = 0;
 };
 
 /// A named snapshot to archive (non-owning view over its parameters).
@@ -119,11 +147,23 @@ struct TierOptions {
 /// cost model (trial delta + compression per candidate edge) is evaluated
 /// on it; edges are still added in deterministic candidate order, so the
 /// graph is identical with or without a pool.
+/// A matrix-level delta-parent candidate (similarity pairing's output):
+/// `to` considers `from` as a delta base. Both must name registered
+/// (snapshot, param) matrices of equal shape.
+struct MatrixPairCandidate {
+  std::string from_snapshot;
+  std::string from_param;
+  std::string to_snapshot;
+  std::string to_param;
+};
+
 Result<MatrixStorageGraph> BuildMatrixStorageGraph(
     const std::vector<SnapshotSpec>& snapshots,
     const std::vector<std::pair<int, int>>& candidate_pairs,
     CodecType codec, DeltaKind delta_kind, double recreation_raw_weight,
-    const TierOptions& tiers = {}, ThreadPool* pool = nullptr);
+    const TierOptions& tiers = {}, ThreadPool* pool = nullptr,
+    const std::vector<MatrixPairCandidate>& matrix_pairs = {},
+    int* first_similarity_edge = nullptr);
 
 /// Generation number the committed manifest names, without opening the
 /// chunk stores (the lifecycle GC's "current generation" probe).
@@ -132,6 +172,23 @@ Result<uint64_t> ReadArchiveGeneration(Env* env, const std::string& dir);
 /// Parses a generation-numbered archive data file name
 /// (`chunks-<gen>.bin` / `remote-<gen>.bin`); false for any other name.
 bool ParseArchiveDataFileName(const std::string& name, uint64_t* gen);
+
+/// Every data file the committed manifest references — the current
+/// generation's own files plus any prior-generation files it reuses
+/// chunks from (cross-generation dedup). The GC must never delete these,
+/// whatever generation number they carry. Parses only the manifest
+/// header; no chunk store is opened.
+Result<std::vector<std::string>> ReadArchiveManifestFiles(
+    Env* env, const std::string& dir);
+
+/// Rebuilds the content-addressed chunk index from the committed manifest
+/// and chunk stores: every referenced plane chunk is re-read, content-
+/// hashed and ref-counted. This is the recovery path for a missing, torn
+/// or stale `chunk_index.bin` (the index is derived state — the manifest
+/// is the commit point), used by `dlv fsck` as a repair and by the
+/// builder when the stored index cannot be trusted. The result is NOT
+/// saved; callers decide (fsck saves, a dedup-off build does not).
+Result<ChunkIndex> RebuildChunkIndex(Env* env, const std::string& dir);
 
 /// Builds a PAS archive on disk: registers snapshots (co-usage groups),
 /// delta candidates, solves Problem 1, and writes segmented + compressed
@@ -205,6 +262,26 @@ enum class ParallelScheme {
   kShared,
 };
 
+/// Dedup accounting of one committed archive, derived purely from the
+/// manifest + chunk stores (never from chunk_index.bin — reporting stays
+/// correct even with a stale index). "Logical" bytes count every plane
+/// reference at its chunk's stored size; "stored" counts each referenced
+/// chunk once — their ratio is the dedup factor.
+struct ArchiveDedupStats {
+  uint64_t plane_refs = 0;      ///< Plane references in the manifest.
+  uint64_t unique_chunks = 0;   ///< Distinct (file, chunk) referenced.
+  uint64_t shared_refs = 0;     ///< plane_refs - unique_chunks.
+  uint64_t cross_file_refs = 0; ///< Refs into prior-generation files.
+  uint64_t logical_bytes = 0;   ///< Sum of stored size over all refs.
+  uint64_t stored_bytes = 0;    ///< Sum of stored size over unique chunks.
+  double ratio() const {
+    return stored_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(stored_bytes);
+  }
+};
+
 /// Read side of a PAS archive. Full-precision retrieval follows delta
 /// chains; partial retrieval reads only the first k byte planes of every
 /// chunk on the chain and returns sound per-weight IntervalMatrix bounds
@@ -262,13 +339,16 @@ class ArchiveReader {
   /// Compressed bytes fetched since the last reset (partial reads fetch
   /// only the requested plane chunks — the Fig 6(d) x-axis).
   uint64_t bytes_read() const {
-    uint64_t total = chunks_->bytes_read();
-    if (remote_chunks_ != nullptr) total += remote_chunks_->bytes_read();
+    uint64_t total = 0;
+    for (const auto& store : stores_) {
+      if (store != nullptr) total += store->bytes_read();
+    }
     return total;
   }
   void ResetByteCounter() {
-    chunks_->ResetByteCounter();
-    if (remote_chunks_ != nullptr) remote_chunks_->ResetByteCounter();
+    for (const auto& store : stores_) {
+      if (store != nullptr) store->ResetByteCounter();
+    }
   }
 
   /// Enables the chunk cache so progressive escalation from k to k+1
@@ -276,30 +356,39 @@ class ArchiveReader {
   /// bounded LRU (ChunkStoreReader::kDefaultCacheCapacity per store);
   /// see SetChunkCacheCapacity.
   void EnableChunkCache(bool enable) {
-    chunks_->EnableCache(enable);
-    if (remote_chunks_ != nullptr) remote_chunks_->EnableCache(enable);
+    for (const auto& store : stores_) {
+      if (store != nullptr) store->EnableCache(enable);
+    }
   }
 
   /// Bounds each underlying store's decompressed-chunk cache to `bytes`,
   /// evicting least-recently-used chunks beyond it.
   void SetChunkCacheCapacity(uint64_t bytes) {
-    chunks_->SetCacheCapacity(bytes);
-    if (remote_chunks_ != nullptr) remote_chunks_->SetCacheCapacity(bytes);
+    for (const auto& store : stores_) {
+      if (store != nullptr) store->SetCacheCapacity(bytes);
+    }
   }
 
   /// Aggregated read-side counters of the local + remote chunk stores.
   ChunkStoreStats store_stats() const;
 
-  /// Total compressed payload bytes of all chunks (archive size).
+  /// Total compressed payload bytes attributable to this archive: every
+  /// chunk the manifest references, counted once. Equals the sum of all
+  /// chunks of the generation's own data files plus the referenced subset
+  /// of any prior-generation files reused via dedup.
   uint64_t TotalStoredBytes() const;
+
+  /// Dedup accounting derived from the manifest + chunk stores.
+  ArchiveDedupStats ComputeDedupStats() const;
 
   /// Generation number the manifest committed.
   uint64_t generation() const { return generation_; }
 
-  /// The pin keeping this reader's generation alive (shared across
-  /// copies of the reader; see GenerationPinRegistry).
-  const std::shared_ptr<GenerationPin>& generation_pin() const {
-    return pin_;
+  /// The pins keeping this reader's referenced generations alive (its
+  /// own, plus prior generations borrowed through dedup; shared across
+  /// copies of the reader — see GenerationPinRegistry).
+  const std::vector<std::shared_ptr<GenerationPin>>& generation_pins() const {
+    return pins_;
   }
 
   /// Data file names (relative to the archive dir) the manifest references.
@@ -311,6 +400,9 @@ class ArchiveReader {
   std::vector<std::string> VerifyIntegrity() const;
 
  private:
+  friend Result<ChunkIndex> RebuildChunkIndex(Env* env,
+                                              const std::string& dir);
+
   struct VertexMeta {
     std::string snapshot;
     std::string param;
@@ -318,8 +410,13 @@ class ArchiveReader {
     int64_t cols = 0;
     DeltaKind delta_kind = DeltaKind::kMaterialized;
     int parent = 0;  ///< Vertex id of the delta base; 0 = materialized.
-    int tier = 0;    ///< 0 = local chunk store, 1 = remote.
+    int tier = 0;    ///< 0 = local chunk store, 1 = remote (cost model).
     uint32_t chunk_ids[kNumPlanes] = {0, 0, 0, 0};
+    /// Store slot per plane, indexing stores_: 0 = the generation's local
+    /// chunk file, 1 = its remote file, 2+k = the k-th prior-generation
+    /// file the manifest references (dedup). Pre-dedup manifests (v2)
+    /// always have slot == tier.
+    uint32_t slots[kNumPlanes] = {0, 0, 0, 0};
   };
 
   /// Resolves `vertex`'s full-precision value into `memo` and returns a
@@ -350,9 +447,15 @@ class ArchiveReader {
   std::map<std::pair<std::string, std::string>, int> vertex_index_;
   uint64_t generation_ = 0;
   std::vector<std::string> data_files_;
-  std::shared_ptr<GenerationPin> pin_;  ///< Keeps generation_ on disk.
-  std::shared_ptr<ChunkStoreReader> chunks_;
-  std::shared_ptr<ChunkStoreReader> remote_chunks_;  ///< Null if unused.
+  /// Keep every generation this reader reads from on disk: generation_
+  /// itself plus the generations of dedup-shared prior files.
+  std::vector<std::shared_ptr<GenerationPin>> pins_;
+  /// Open stores by slot: [0] local, [1] remote (null when the manifest
+  /// names none), [2+k] prior-generation files referenced via dedup.
+  std::vector<std::shared_ptr<ChunkStoreReader>> stores_;
+  /// File name per slot, aligned with stores_ ("" for the null remote
+  /// slot). data_files_ is the compacted (non-empty) view for fsck.
+  std::vector<std::string> store_names_;
 };
 
 }  // namespace modelhub

@@ -1,0 +1,222 @@
+#include "pas/chunk_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/checked_io.h"
+#include "common/coding.h"
+#include "common/macros.h"
+#include "common/metrics.h"
+
+namespace modelhub {
+
+namespace {
+
+constexpr char kIndexMagic[] = "MHCI1\n";
+constexpr size_t kIndexMagicSize = 6;
+
+inline uint64_t RotL64(uint64_t x, int8_t r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t FMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+inline uint64_t LoadLE64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);  // Little-endian hosts only (matches the codebase).
+  return v;
+}
+
+}  // namespace
+
+// MurmurHash3 x64/128 construction (Austin Appleby's public-domain
+// algorithm): strong 128-bit mixing at memcpy-like speed, no dependency.
+Hash128 ContentHash128(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const size_t nblocks = size / 16;
+  uint64_t h1 = 0x9368E53C2F6AF274ull;  // Fixed seed: hashes are stable
+  uint64_t h2 = 0x586DCD208F7CD3FDull;  // across processes and versions.
+  const uint64_t c1 = 0x87C37B91114253D5ull;
+  const uint64_t c2 = 0x4CF5AD432745937Full;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = LoadLE64(bytes + i * 16);
+    uint64_t k2 = LoadLE64(bytes + i * 16 + 8);
+    k1 *= c1;
+    k1 = RotL64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = RotL64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52DCE729;
+    k2 *= c2;
+    k2 = RotL64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = RotL64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495AB5;
+  }
+
+  const uint8_t* tail = bytes + nblocks * 16;
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (size & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]);
+      k2 *= c2;
+      k2 = RotL64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]);
+      k1 *= c1;
+      k1 = RotL64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    case 0:
+      break;
+  }
+
+  h1 ^= static_cast<uint64_t>(size);
+  h2 ^= static_cast<uint64_t>(size);
+  h1 += h2;
+  h2 += h1;
+  h1 = FMix64(h1);
+  h2 = FMix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+Result<ChunkIndex> ChunkIndex::Load(Env* env, const std::string& dir) {
+  MH_ASSIGN_OR_RETURN(const std::string payload,
+                      ReadChecked(env, JoinPath(dir, kFileName)));
+  if (payload.size() < kIndexMagicSize ||
+      payload.compare(0, kIndexMagicSize, kIndexMagic) != 0) {
+    return Status::Corruption("bad chunk index magic");
+  }
+  Slice in(payload);
+  in.RemovePrefix(kIndexMagicSize);
+  ChunkIndex index;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &index.generation_));
+  uint64_t count = 0;
+  MH_RETURN_IF_ERROR(GetVarint64(&in, &count));
+  index.entries_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ChunkIndexEntry entry;
+    MH_RETURN_IF_ERROR(GetFixed64(&in, &entry.hash.hi));
+    MH_RETURN_IF_ERROR(GetFixed64(&in, &entry.hash.lo));
+    Slice file;
+    MH_RETURN_IF_ERROR(GetLengthPrefixed(&in, &file));
+    entry.file = file.ToString();
+    uint64_t chunk_id = 0;
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &chunk_id));
+    if (chunk_id > UINT32_MAX) {
+      return Status::Corruption("chunk index id out of range");
+    }
+    entry.chunk_id = static_cast<uint32_t>(chunk_id);
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &entry.refcount));
+    MH_RETURN_IF_ERROR(GetVarint64(&in, &entry.stored_size));
+    if (!index.entries_.emplace(entry.hash, entry).second) {
+      return Status::Corruption("chunk index duplicate hash");
+    }
+  }
+  if (!in.empty()) return Status::Corruption("chunk index trailing bytes");
+  return index;
+}
+
+Status ChunkIndex::Save(Env* env, const std::string& dir) const {
+  std::string payload;
+  payload.append(kIndexMagic, kIndexMagicSize);
+  PutVarint64(&payload, generation_);
+  PutVarint64(&payload, entries_.size());
+  for (const ChunkIndexEntry& entry : SortedEntries()) {
+    PutFixed64(&payload, entry.hash.hi);
+    PutFixed64(&payload, entry.hash.lo);
+    PutLengthPrefixed(&payload, Slice(entry.file));
+    PutVarint64(&payload, entry.chunk_id);
+    PutVarint64(&payload, entry.refcount);
+    PutVarint64(&payload, entry.stored_size);
+  }
+  MH_GAUGE("pas.dedup.index.entries")
+      ->Set(static_cast<int64_t>(entries_.size()));
+  return WriteChecked(env, JoinPath(dir, kFileName), payload);
+}
+
+void ChunkIndex::AddRef(const Hash128& hash, const std::string& file,
+                        uint32_t chunk_id, uint64_t stored_size,
+                        uint64_t refs) {
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ChunkIndexEntry entry;
+    entry.hash = hash;
+    entry.file = file;
+    entry.chunk_id = chunk_id;
+    entry.stored_size = stored_size;
+    entry.refcount = refs;
+    entries_.emplace(hash, std::move(entry));
+    return;
+  }
+  it->second.refcount += refs;
+}
+
+const ChunkIndexEntry* ChunkIndex::Find(const Hash128& hash) const {
+  auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+uint64_t ChunkIndex::PruneFiles(
+    const std::function<bool(const std::string&)>& keep) {
+  uint64_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (keep(it->second.file)) {
+      ++it;
+    } else {
+      it = entries_.erase(it);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+std::vector<ChunkIndexEntry> ChunkIndex::SortedEntries() const {
+  std::vector<ChunkIndexEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(),
+            [](const ChunkIndexEntry& a, const ChunkIndexEntry& b) {
+              return a.hash < b.hash;
+            });
+  return out;
+}
+
+uint64_t ChunkIndex::TotalRefs() const {
+  uint64_t total = 0;
+  for (const auto& [hash, entry] : entries_) total += entry.refcount;
+  return total;
+}
+
+}  // namespace modelhub

@@ -1,0 +1,112 @@
+#ifndef MODELHUB_PAS_CHUNK_INDEX_H_
+#define MODELHUB_PAS_CHUNK_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace modelhub {
+
+/// A 128-bit content hash of one stored (compressed) chunk payload. Two
+/// chunks with equal hashes are treated as identical content; the intra-
+/// build dedup path additionally byte-compares before sharing, so a
+/// collision inside one build is impossible, and cross-generation reuse
+/// rides on the 128-bit space (collision odds are negligible next to disk
+/// corruption rates, and every chunk still carries its own CRC).
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Hash128& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Hash128& other) const { return !(*this == other); }
+  bool operator<(const Hash128& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+};
+
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.hi ^ (h.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// 128-bit content hash of `data` (MurmurHash3 x64/128 construction).
+Hash128 ContentHash128(const void* data, size_t size);
+inline Hash128 ContentHash128(Slice data) {
+  return ContentHash128(data.data(), data.size());
+}
+
+/// One content-addressed chunk the committed archive generation references:
+/// where the canonical copy lives and how many manifest plane references
+/// point at it. refcount == 0 never appears in a freshly written index;
+/// GC uses the absence of an entry's file from the manifest's file list to
+/// recognize reclaimable storage.
+struct ChunkIndexEntry {
+  Hash128 hash;
+  std::string file;       ///< Data file name, relative to the archive dir.
+  uint32_t chunk_id = 0;  ///< Chunk id inside `file`.
+  uint64_t refcount = 0;  ///< Plane references from the committed manifest.
+  uint64_t stored_size = 0;  ///< Compressed payload bytes of the chunk.
+};
+
+/// The hub-wide content-addressed chunk index of one archive directory
+/// (`chunk_index.bin`): hash -> (file, chunk id, refcount) for every chunk
+/// the committed manifest references. The index is **derived state**: the
+/// CRC-framed manifest stays the single commit point, and the index is
+/// rewritten (best effort) after each commit. A torn, stale or missing
+/// index is rebuilt from the manifest + chunk stores (RebuildChunkIndex in
+/// pas/archive.h) — `dlv fsck` does this as a repair. Retrieval never
+/// consults the index; only the builder (cross-generation dedup), GC
+/// (refcount-0 reclamation) and reporting do.
+class ChunkIndex {
+ public:
+  static constexpr char kFileName[] = "chunk_index.bin";
+
+  /// Reads `<dir>/chunk_index.bin`. Corruption (torn write, bad CRC) and
+  /// absence both surface as errors — callers fall back to
+  /// RebuildChunkIndex or an empty index.
+  static Result<ChunkIndex> Load(Env* env, const std::string& dir);
+
+  /// Atomically writes `<dir>/chunk_index.bin` (CRC-framed, tmp + rename
+  /// via Env::WriteFile).
+  Status Save(Env* env, const std::string& dir) const;
+
+  /// Adds `refs` references to the entry for `hash`, creating it with the
+  /// given location on first sight. An existing entry keeps its original
+  /// location (first writer wins — that is the canonical copy).
+  void AddRef(const Hash128& hash, const std::string& file, uint32_t chunk_id,
+              uint64_t stored_size, uint64_t refs = 1);
+
+  /// Entry for `hash`, or nullptr.
+  const ChunkIndexEntry* Find(const Hash128& hash) const;
+
+  /// Drops every entry whose file `keep` rejects; returns how many were
+  /// removed (the GC's refcount-0 purge).
+  uint64_t PruneFiles(const std::function<bool(const std::string&)>& keep);
+
+  /// Entries in deterministic (hash) order — serialization and tests.
+  std::vector<ChunkIndexEntry> SortedEntries() const;
+
+  size_t size() const { return entries_.size(); }
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t gen) { generation_ = gen; }
+
+  /// Sum of refcounts across all entries (plane references).
+  uint64_t TotalRefs() const;
+
+ private:
+  uint64_t generation_ = 0;
+  std::unordered_map<Hash128, ChunkIndexEntry, Hash128Hasher> entries_;
+};
+
+}  // namespace modelhub
+
+#endif  // MODELHUB_PAS_CHUNK_INDEX_H_

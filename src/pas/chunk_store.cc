@@ -272,6 +272,42 @@ Result<std::string> ChunkStoreReader::Get(uint32_t id) const {
   return raw;
 }
 
+Result<std::string> ChunkStoreReader::GetCompressed(uint32_t id) const {
+  if (id >= refs_.size()) {
+    return Status::InvalidArgument("chunk id out of range");
+  }
+  const ChunkRef& ref = refs_[id];
+  if (mapping_ != nullptr) {
+    const Slice view(mapping_->data() + ref.offset,
+                     static_cast<size_t>(ref.stored_size));
+    if (Crc32(view) == ref.crc) return view.ToString();
+    // Fall through to the ranged read, whose retry distinguishes a
+    // transient fault from persistent corruption.
+  }
+  std::string compressed;
+  Status read_status = Status::OK();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto bytes = env_->ReadFileRange(path_, ref.offset, ref.stored_size);
+    if (!bytes.ok()) {
+      read_status = bytes.status();
+      continue;
+    }
+    if (bytes->size() != ref.stored_size) {
+      read_status = Status::Corruption("short chunk read");
+      continue;
+    }
+    if (Crc32(Slice(*bytes)) != ref.crc) {
+      read_status = Status::Corruption("chunk checksum mismatch");
+      continue;
+    }
+    compressed = std::move(*bytes);
+    read_status = Status::OK();
+    break;
+  }
+  if (!read_status.ok()) return read_status;
+  return compressed;
+}
+
 Status ChunkStoreReader::Verify(uint32_t id) const {
   if (id >= refs_.size()) {
     return Status::InvalidArgument("chunk id out of range");

@@ -63,6 +63,17 @@ class ChunkStoreWriter {
   /// Compressed size of a scheduled chunk (for cost models).
   uint64_t StoredSize(uint32_t id) const { return refs_[id].stored_size; }
 
+  /// Compressed payload bytes of a scheduled chunk, viewing the in-memory
+  /// file image. Valid until the next Put/PutCompressed (the buffer may
+  /// reallocate). The dedup committer byte-compares hash-equal chunks
+  /// through this before sharing, so a 128-bit collision can never alias
+  /// two different payloads within one build.
+  Slice payload(uint32_t id) const {
+    const ChunkRef& ref = refs_[id];
+    return Slice(data_.data() + ref.offset,
+                 static_cast<size_t>(ref.stored_size));
+  }
+
   /// Writes the file. No Put may follow.
   Status Finish();
 
@@ -114,6 +125,11 @@ class ChunkStoreReader {
   /// Integrity check of chunk `id` without decompression: re-reads the
   /// payload and verifies its CRC. Used by `dlv fsck`.
   Status Verify(uint32_t id) const;
+
+  /// Fetches and CRC-verifies the *compressed* payload of chunk `id`
+  /// without decompressing it — the content-hash input for chunk-index
+  /// rebuilds (RebuildChunkIndex hashes stored bytes, not raw floats).
+  Result<std::string> GetCompressed(uint32_t id) const;
 
   const std::string& path() const { return path_; }
 

@@ -49,16 +49,18 @@ class GenerationPin {
 /// (Env*, archive dir, generation). This is the "mark" side of the
 /// lifecycle GC's mark-epoch scheme (DESIGN.md §14):
 ///
-///   * ArchiveReader::Open pins the generation its manifest names and
-///     re-verifies the manifest afterwards, so a pin either covers files
-///     that are still live or the open retries against the newer
-///     generation — there is no window where a reader holds unpinned
-///     files.
+///   * ArchiveReader::Open pins every generation its manifest references
+///     (its own, plus prior generations whose chunks the manifest shares
+///     through dedup) and re-verifies the manifest afterwards, so the
+///     pins either cover files that are still live or the open retries
+///     against the newer generation — there is no window where a reader
+///     holds unpinned files.
 ///   * Sweepers (Build cleanup, `dlv gc`, the maintenance daemon) bump
-///     the sweep epoch, then delete only generations that are older than
-///     the committed manifest AND unpinned. Readers only ever pin the
-///     committed generation, so a superseded generation can never gain a
-///     new pin mid-sweep: observing it unpinned once is conclusive.
+///     the sweep epoch, then delete only files that are older than the
+///     committed manifest, not referenced by it, AND unpinned. Readers
+///     only ever pin generations the committed manifest references, so a
+///     file observed unreferenced and unpinned can never gain a new pin
+///     mid-sweep: observing it once is conclusive.
 class GenerationPinRegistry {
  public:
   /// Leaked process singleton (safe during static destruction).

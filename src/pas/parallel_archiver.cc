@@ -60,19 +60,68 @@ void EncodeTile(const ParallelArchiver::Job& job, const TileShape& shape,
                      planes);
 }
 
+/// Chunks appended to one destination store this build, by content hash.
+/// Committer-thread state, so no locking: CommitJob runs in job order on
+/// the caller's thread in both the serial and the parallel pipeline.
+using IntraDedupMap =
+    std::unordered_map<const ChunkStoreWriter*,
+                       std::unordered_map<Hash128, uint32_t, Hash128Hasher>>;
+
 /// The serial committer half for one job: ordered appends into the job's
-/// destination store. Caller thread only.
-Result<ParallelArchiver::Placement> CommitJob(const ParallelArchiver::Job& job,
-                                              const EncodedPayload& payload,
-                                              CodecType codec) {
+/// destination store, with optional content-addressed dedup. Caller
+/// thread only — dedup decisions are part of the deterministic commit
+/// order, never of the parallel encode stage.
+Result<ParallelArchiver::Placement> CommitJob(
+    const ParallelArchiver::Job& job, const EncodedPayload& payload,
+    CodecType codec, const ParallelArchiver::DedupContext* dedup,
+    IntraDedupMap* intra, ArchivePipelineStats* stats) {
   ParallelArchiver::Placement placement;
   for (int p = 0; p < kNumPlanes; ++p) {
+    const Slice plane(payload.planes[p]);
+    if (dedup == nullptr) {
+      MH_ASSIGN_OR_RETURN(
+          placement.chunk_ids[p],
+          job.destination->PutCompressed(plane, payload.raw_plane_bytes,
+                                         codec));
+      continue;
+    }
+    const Hash128 hash = ContentHash128(plane);
+    placement.plane_hash[p] = hash;
+    if (auto it = dedup->prior.find(hash); it != dedup->prior.end()) {
+      placement.prior_file[p] = it->second.file;
+      placement.chunk_ids[p] = it->second.chunk_id;
+      if (stats != nullptr) {
+        ++stats->dedup_prior_hits;
+        stats->dedup_saved_bytes += plane.size();
+      }
+      continue;
+    }
+    auto& seen = (*intra)[job.destination];
+    if (auto it = seen.find(hash); it != seen.end() &&
+        job.destination->payload(it->second) == plane) {
+      placement.chunk_ids[p] = it->second;
+      if (stats != nullptr) {
+        ++stats->dedup_intra_hits;
+        stats->dedup_saved_bytes += plane.size();
+      }
+      continue;
+    }
     MH_ASSIGN_OR_RETURN(
         placement.chunk_ids[p],
-        job.destination->PutCompressed(Slice(payload.planes[p]),
-                                       payload.raw_plane_bytes, codec));
+        job.destination->PutCompressed(plane, payload.raw_plane_bytes,
+                                       codec));
+    seen.emplace(hash, placement.chunk_ids[p]);
   }
   return placement;
+}
+
+/// Feeds the registry's dedup counters once per Run, after the committer
+/// drains (the stats fields themselves accumulate inside CommitJob).
+void RecordDedupStats(const ArchivePipelineStats* stats) {
+  if (stats == nullptr) return;
+  MH_COUNTER("pas.dedup.intra.hits")->Add(stats->dedup_intra_hits);
+  MH_COUNTER("pas.dedup.prior.hits")->Add(stats->dedup_prior_hits);
+  MH_COUNTER("pas.dedup.saved.bytes")->Add(stats->dedup_saved_bytes);
 }
 
 void RecordJobStats(const EncodedPayload& payload, double encode_ms,
@@ -114,9 +163,10 @@ int64_t ResolveTileRows(int requested, int64_t cols) {
 
 Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
     const std::vector<Job>& jobs, CodecType codec, int threads,
-    ArchivePipelineStats* stats, int tile_rows) {
+    ArchivePipelineStats* stats, int tile_rows, const DedupContext* dedup) {
   TraceSpan span("pas.archive.pipeline");
   Stopwatch wall;
+  IntraDedupMap intra;
   const int resolved_threads = ResolveArchiveThreads(threads);
   std::vector<TileShape> shapes;
   shapes.reserve(jobs.size());
@@ -191,10 +241,13 @@ Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
       encode_span.Annotate("raw_bytes", payload.raw_plane_bytes * kNumPlanes);
       RecordJobStats(payload, encode_ms, tile_ms, plane_ms, stats);
       Stopwatch commit_watch;
-      MH_ASSIGN_OR_RETURN(Placement placement, CommitJob(job, payload, codec));
+      MH_ASSIGN_OR_RETURN(
+          Placement placement,
+          CommitJob(job, payload, codec, dedup, &intra, stats));
       if (stats != nullptr) stats->commit_ms += commit_watch.ElapsedMillis();
       placements.push_back(placement);
     }
+    RecordDedupStats(stats);
     if (stats != nullptr) stats->wall_ms = wall.ElapsedMillis();
     return placements;
   }
@@ -305,7 +358,8 @@ Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
       }
       RecordJobStats(state.payload, state.encode_ms, state.tile_ms,
                      state.plane_ms, stats);
-      auto placement = CommitJob(jobs[i], state.payload, codec);
+      auto placement =
+          CommitJob(jobs[i], state.payload, codec, dedup, &intra, stats);
       if (!placement.ok()) {
         first_error = placement.status();
         break;
@@ -322,6 +376,7 @@ Result<std::vector<ParallelArchiver::Placement>> ParallelArchiver::Run(
     if (stats != nullptr) stats->commit_ms = commit_watch.ElapsedMillis();
     if (!first_error.ok()) return first_error;
   }
+  RecordDedupStats(stats);
   if (stats != nullptr) stats->wall_ms = wall.ElapsedMillis();
   return placements;
 }

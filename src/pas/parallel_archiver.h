@@ -2,11 +2,14 @@
 #define MODELHUB_PAS_PARALLEL_ARCHIVER_H_
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "compress/codec.h"
+#include "pas/chunk_index.h"
 #include "pas/chunk_store.h"
 #include "pas/delta.h"
 #include "pas/segment.h"
@@ -40,6 +43,13 @@ struct ArchivePipelineStats {
   double encode_ms_total = 0.0;  ///< Sum of per-job encode latencies.
   double commit_ms = 0.0;        ///< Serial committer stage (ordered appends).
   double wall_ms = 0.0;          ///< Whole pipeline wall time.
+  /// Content-addressed dedup outcomes in the committer. `compressed_bytes`
+  /// above stays the *logical* encode size (what the planes compress to,
+  /// before dedup), so dedup savings are `dedup_saved_bytes` and the bytes
+  /// actually appended are compressed_bytes - dedup_saved_bytes.
+  uint64_t dedup_intra_hits = 0;  ///< Planes shared within this build.
+  uint64_t dedup_prior_hits = 0;  ///< Planes referencing a prior generation.
+  uint64_t dedup_saved_bytes = 0; ///< Compressed bytes not appended.
   /// Per-job encode latency in job order: the job's tile (delta + segment)
   /// plus per-plane codec task times summed — CPU cost, not wall time.
   std::vector<double> job_encode_ms;
@@ -82,9 +92,34 @@ class ParallelArchiver {
     ChunkStoreWriter* destination = nullptr;
   };
 
-  /// Where one job's planes landed, in job order.
+  /// Where one job's planes landed, in job order. With dedup active a
+  /// plane may reference a chunk it did not append: `prior_file[p] >= 0`
+  /// means plane p lives in DedupContext::prior_files[prior_file[p]] (a
+  /// prior generation's data file); otherwise the chunk is in the job's
+  /// destination store — either freshly appended or shared with an
+  /// earlier plane of this build (intra hit). `plane_hash[p]` is the
+  /// content hash of the compressed plane payload, recorded whenever a
+  /// DedupContext is supplied (the builder persists it into the chunk
+  /// index).
   struct Placement {
     uint32_t chunk_ids[kNumPlanes] = {0, 0, 0, 0};
+    int32_t prior_file[kNumPlanes] = {-1, -1, -1, -1};
+    Hash128 plane_hash[kNumPlanes];
+  };
+
+  /// Cross-generation dedup input for Run: compressed plane payloads whose
+  /// content hash is in `prior` are referenced in place instead of being
+  /// re-appended. Purely advisory — an empty context (or nullptr) makes
+  /// Run behave exactly as before.
+  struct DedupContext {
+    struct PriorChunk {
+      int file = 0;          ///< Index into prior_files.
+      uint32_t chunk_id = 0;
+      uint64_t stored_size = 0;
+    };
+    std::unordered_map<Hash128, PriorChunk, Hash128Hasher> prior;
+    /// Data file names (relative to the archive dir) `prior` points into.
+    std::vector<std::string> prior_files;
   };
 
   /// Encodes every job (in parallel when more than one worker is useful)
@@ -95,10 +130,19 @@ class ParallelArchiver {
   /// later job is committed) and the stores are left unfinished — the
   /// caller abandons the build, which is safe because nothing was
   /// published. `tile_rows` follows ResolveTileRows (0 = auto).
+  ///
+  /// With a non-null `dedup`, the committer content-hashes every
+  /// compressed plane and (a) references a prior generation's chunk on a
+  /// `dedup->prior` hit, (b) shares an identical chunk already appended to
+  /// the same destination store this build (after a byte compare), or
+  /// (c) appends as usual and remembers the hash. All dedup decisions run
+  /// on the caller's thread in job order, so placements — like the archive
+  /// bytes — are identical for every thread count and tile size.
   static Result<std::vector<Placement>> Run(const std::vector<Job>& jobs,
                                             CodecType codec, int threads,
                                             ArchivePipelineStats* stats = nullptr,
-                                            int tile_rows = 0);
+                                            int tile_rows = 0,
+                                            const DedupContext* dedup = nullptr);
 };
 
 }  // namespace modelhub

@@ -1,0 +1,113 @@
+#include "pas/sketch.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+namespace modelhub {
+
+namespace {
+
+/// Window of earlier same-shape matrices each matrix is compared against.
+/// Bounds pairing work to O(n * window) sketch comparisons while still
+/// spanning far more snapshots than any realistic fine-tune family.
+constexpr size_t kPairingWindow = 768;
+
+inline uint64_t MixSlot(const Hash128& token, int slot) {
+  // Kirsch–Mitzenmacher double hashing: h_i(t) = hi + (i+1) * lo behaves
+  // like an independent hash per slot when (hi, lo) is a strong 128-bit
+  // hash of the token.
+  uint64_t v = token.hi + (static_cast<uint64_t>(slot) + 1) * token.lo;
+  v ^= v >> 33;
+  v *= 0xFF51AFD7ED558CCDull;
+  v ^= v >> 29;
+  return v;
+}
+
+}  // namespace
+
+ParamSketch ComputeParamSketch(const FloatMatrix& matrix) {
+  ParamSketch sketch;
+  sketch.rows = matrix.rows();
+  sketch.cols = matrix.cols();
+  sketch.slots.fill(UINT64_MAX);
+  const std::vector<float>& data = matrix.data();
+  // One token per block: the block's position plus the top 16 bits of
+  // every float in it. Position-tagging keeps distinct-but-repetitive
+  // regions (e.g. two zero-initialized layers) from aliasing into one
+  // token and faking similarity.
+  std::vector<uint16_t> block(2 + static_cast<size_t>(kSketchBlockFloats));
+  for (size_t begin = 0; begin < data.size();
+       begin += static_cast<size_t>(kSketchBlockFloats)) {
+    const size_t end = std::min(
+        data.size(), begin + static_cast<size_t>(kSketchBlockFloats));
+    const uint32_t block_index =
+        static_cast<uint32_t>(begin / static_cast<size_t>(kSketchBlockFloats));
+    block[0] = static_cast<uint16_t>(block_index & 0xFFFF);
+    block[1] = static_cast<uint16_t>(block_index >> 16);
+    size_t out = 2;
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t bits = 0;
+      std::memcpy(&bits, &data[i], sizeof(bits));
+      block[out++] = static_cast<uint16_t>(bits >> 16);
+    }
+    const Hash128 token =
+        ContentHash128(block.data(), out * sizeof(uint16_t));
+    for (int s = 0; s < kSketchSlots; ++s) {
+      sketch.slots[static_cast<size_t>(s)] = std::min(
+          sketch.slots[static_cast<size_t>(s)], MixSlot(token, s));
+    }
+  }
+  return sketch;
+}
+
+double SketchSimilarity(const ParamSketch& a, const ParamSketch& b) {
+  if (a.rows != b.rows || a.cols != b.cols) return 0.0;
+  int matches = 0;
+  for (int s = 0; s < kSketchSlots; ++s) {
+    if (a.slots[static_cast<size_t>(s)] == b.slots[static_cast<size_t>(s)]) {
+      ++matches;
+    }
+  }
+  return static_cast<double>(matches) / static_cast<double>(kSketchSlots);
+}
+
+std::vector<SketchPairing> SimilarDeltaPairs(
+    const std::vector<ParamSketch>& sketches, int fanout, double threshold) {
+  std::vector<SketchPairing> pairings;
+  if (fanout <= 0 || sketches.size() < 2) return pairings;
+  std::map<std::pair<int64_t, int64_t>, std::vector<int>> by_shape;
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    by_shape[{sketches[i].rows, sketches[i].cols}].push_back(
+        static_cast<int>(i));
+  }
+  for (const auto& [shape, members] : by_shape) {
+    for (size_t j = 1; j < members.size(); ++j) {
+      const int to = members[j];
+      // Best `fanout` earlier same-shape matrices within the window, most
+      // similar first, earlier index winning ties.
+      std::vector<SketchPairing> best;
+      const size_t window_begin = j > kPairingWindow ? j - kPairingWindow : 0;
+      for (size_t i = window_begin; i < j; ++i) {
+        const int from = members[i];
+        const double sim = SketchSimilarity(
+            sketches[static_cast<size_t>(from)],
+            sketches[static_cast<size_t>(to)]);
+        if (sim < threshold) continue;
+        best.push_back(SketchPairing{from, to, sim});
+      }
+      std::stable_sort(best.begin(), best.end(),
+                       [](const SketchPairing& a, const SketchPairing& b) {
+                         return a.similarity > b.similarity;
+                       });
+      if (best.size() > static_cast<size_t>(fanout)) {
+        best.resize(static_cast<size_t>(fanout));
+      }
+      pairings.insert(pairings.end(), best.begin(), best.end());
+    }
+  }
+  return pairings;
+}
+
+}  // namespace modelhub

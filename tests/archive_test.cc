@@ -581,6 +581,12 @@ class DeepChainArchiveTest : public ::testing::Test {
     ArchiveOptions options;
     options.solver = ArchiveSolver::kMst;
     options.delta_kind = DeltaKind::kXor;  // Bit-exact round trips.
+    // These tests exercise retrieval concurrency and cache-eviction
+    // behavior, which needs every plane to be a distinct chunk; dedup
+    // would shrink the working set below the cache bounds probed here
+    // (dedup has its own differential suite in dedup_test.cc).
+    options.enable_dedup = false;
+    options.enable_similarity_pairing = false;
     ASSERT_TRUE(builder.Build(options).ok());
   }
 

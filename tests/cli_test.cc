@@ -122,6 +122,28 @@ TEST_F(CliTest, FsckSmoke) {
   EXPECT_EQ(Dlv("fsck " + repo + " --bogus"), 2);
 }
 
+TEST_F(CliTest, DedupStatsSmoke) {
+  const std::string repo = work_ + "/repo";
+  ASSERT_EQ(Dlv("init " + repo), 0);
+  ASSERT_EQ(Dlv("demo " + repo + " 2"), 0);
+  ASSERT_EQ(Dlv("archive " + repo + " pas-pt 1.8"), 0);
+
+  int code = 0;
+  const std::string out = DlvOutput("dedup-stats " + repo, &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("dedup ratio"), std::string::npos) << out;
+  EXPECT_NE(out.find("chunk index"), std::string::npos) << out;
+
+  const std::string json = DlvOutput("dedup-stats " + repo + " --json", &code);
+  EXPECT_EQ(code, 0) << json;
+  EXPECT_NE(json.find("\"dedup_ratio\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stored_bytes\""), std::string::npos) << json;
+
+  // Bad flag is a usage error; an unarchived repo has no manifest.
+  EXPECT_EQ(Dlv("dedup-stats " + repo + " --bogus"), 2);
+  EXPECT_NE(Dlv("dedup-stats " + work_ + "/missing"), 0);
+}
+
 TEST_F(CliTest, UsageAndBadCommands) {
   EXPECT_EQ(Dlv(""), 2);
   EXPECT_EQ(Dlv("frobnicate"), 2);
@@ -138,7 +160,7 @@ TEST_F(CliTest, UsageListsEverySubcommand) {
       "init",    "demo", "copy",  "archive", "fsck", "list",
       "desc",    "diff", "pdiff", "compare", "eval", "retrieve",
       "query",   "report", "publish", "search", "pull", "stats",
-      "serve",   "rpc",  "trace",
+      "serve",   "rpc",  "trace", "dedup-stats",
   };
   for (const char* subcommand : subcommands) {
     EXPECT_NE(usage.find(std::string("dlv ") + subcommand), std::string::npos)

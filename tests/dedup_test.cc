@@ -1,0 +1,297 @@
+// Differential test harness for cross-model deduplication: the same
+// fine-tuned family is archived with the chunk index on and off under an
+// identical delta plan, and the dedup-on archive must be byte-for-byte
+// indistinguishable at every read surface — exact retrieval, parallel
+// retrieval, and progressive bounds at every plane count — while storing
+// strictly fewer bytes. Also covers cross-generation chunk reuse and
+// concurrent retrieval of shared chunks (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "pas/archive.h"
+#include "pas/chunk_index.h"
+
+namespace modelhub {
+namespace {
+
+struct Family {
+  std::vector<std::string> names;
+  std::vector<std::vector<NamedParam>> snapshots;
+};
+
+/// Base checkpoint plus `variants` fine-tunes that each sparsely mutate
+/// one parameter and keep the rest frozen. No lineage is declared —
+/// the archive only learns about the sharing through content.
+Family MakeFamily(int variants, int num_params, int64_t rows, int64_t cols,
+                  uint64_t seed = 11) {
+  Family family;
+  Rng rng(seed);
+  std::vector<FloatMatrix> base(static_cast<size_t>(num_params));
+  for (auto& m : base) {
+    m = FloatMatrix(rows, cols);
+    m.FillGaussian(&rng, 0.1f);
+  }
+  auto add = [&](const std::string& name,
+                 const std::vector<FloatMatrix>& params) {
+    family.names.push_back(name);
+    std::vector<NamedParam> named;
+    for (int p = 0; p < num_params; ++p) {
+      named.push_back({"w" + std::to_string(p),
+                       params[static_cast<size_t>(p)]});
+    }
+    family.snapshots.push_back(std::move(named));
+  };
+  add("fam@base", base);
+  for (int v = 0; v < variants; ++v) {
+    std::vector<FloatMatrix> tuned = base;
+    auto& head = tuned[static_cast<size_t>(v % num_params)].data();
+    for (size_t i = static_cast<size_t>(v); i < head.size(); i += 41) {
+      head[i] += static_cast<float>(rng.NextGaussian()) * 0.02f;
+    }
+    add("fam@ft" + std::to_string(v), tuned);
+  }
+  return family;
+}
+
+Result<ArchiveBuildReport> BuildFamily(Env* env, const std::string& dir,
+                                       const Family& family,
+                                       const ArchiveOptions& options) {
+  ArchiveBuilder builder(env, dir);
+  for (size_t s = 0; s < family.names.size(); ++s) {
+    MH_RETURN_IF_ERROR(
+        builder.AddSnapshot(family.names[s], family.snapshots[s]));
+  }
+  return builder.Build(options);
+}
+
+/// Bitwise equality, not ApproxEquals: dedup must never change a single
+/// stored bit.
+void ExpectBitIdentical(const std::vector<NamedParam>& a,
+                        const std::vector<NamedParam>& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].name, b[i].name) << context;
+    const auto& da = a[i].value.data();
+    const auto& db = b[i].value.data();
+    ASSERT_EQ(da.size(), db.size()) << context << " " << a[i].name;
+    EXPECT_EQ(
+        std::memcmp(da.data(), db.data(), da.size() * sizeof(float)), 0)
+        << context << " param " << a[i].name << " differs";
+  }
+}
+
+void ExpectBitIdenticalMatrix(const FloatMatrix& a, const FloatMatrix& b,
+                              const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  EXPECT_EQ(std::memcmp(a.data().data(), b.data().data(),
+                        a.data().size() * sizeof(float)),
+            0)
+      << context;
+}
+
+// The headline differential: dedup on vs off with identical similarity
+// settings on both sides. Every snapshot of a 9-model family retrieves
+// byte-identically, progressive bounds agree plane for plane, and the
+// dedup side stores strictly fewer chunk bytes.
+TEST(DedupTest, FamilyRetrievesByteIdenticalWithDedupOnAndOff) {
+  const Family family = MakeFamily(8, 4, 48, 64);
+  MemEnv env;
+  ArchiveOptions on;
+  on.enable_dedup = true;
+  ArchiveOptions off = on;
+  off.enable_dedup = false;
+  ASSERT_TRUE(on.enable_similarity_pairing == off.enable_similarity_pairing);
+  auto report_on = BuildFamily(&env, "on", family, on);
+  ASSERT_TRUE(report_on.ok()) << report_on.status().ToString();
+  auto report_off = BuildFamily(&env, "off", family, off);
+  ASSERT_TRUE(report_off.ok()) << report_off.status().ToString();
+
+  // The logical encode is plan-identical; only physical placement differs.
+  EXPECT_EQ(report_on->pipeline.compressed_bytes,
+            report_off->pipeline.compressed_bytes);
+  EXPECT_GT(report_on->pipeline.dedup_intra_hits, 0u);
+  EXPECT_GT(report_on->pipeline.dedup_saved_bytes, 0u);
+  EXPECT_EQ(report_off->pipeline.dedup_intra_hits, 0u);
+  EXPECT_EQ(report_off->pipeline.dedup_saved_bytes, 0u);
+
+  auto reader_on = ArchiveReader::Open(&env, "on");
+  ASSERT_TRUE(reader_on.ok());
+  auto reader_off = ArchiveReader::Open(&env, "off");
+  ASSERT_TRUE(reader_off.ok());
+
+  // Strictly fewer stored bytes, and the savings match the pipeline's.
+  EXPECT_LT(reader_on->TotalStoredBytes(), reader_off->TotalStoredBytes());
+  EXPECT_EQ(reader_off->TotalStoredBytes() - reader_on->TotalStoredBytes(),
+            report_on->pipeline.dedup_saved_bytes);
+
+  // Only the dedup build persists a chunk index, and it agrees with a
+  // from-scratch rebuild of the committed manifest.
+  EXPECT_TRUE(env.FileExists(JoinPath("on", ChunkIndex::kFileName)));
+  EXPECT_FALSE(env.FileExists(JoinPath("off", ChunkIndex::kFileName)));
+  auto index = ChunkIndex::Load(&env, "on");
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  auto rebuilt = RebuildChunkIndex(&env, "on");
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(index->size(), rebuilt->size());
+  EXPECT_EQ(index->TotalRefs(), rebuilt->TotalRefs());
+
+  const ArchiveDedupStats stats = reader_on->ComputeDedupStats();
+  EXPECT_GT(stats.shared_refs, 0u);
+  EXPECT_GT(stats.ratio(), 1.0);
+  EXPECT_EQ(stats.plane_refs, index->TotalRefs());
+
+  for (const std::string& name : family.names) {
+    auto a = reader_on->RetrieveSnapshot(name);
+    auto b = reader_off->RetrieveSnapshot(name);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectBitIdentical(*a, *b, "exact " + name);
+    for (int planes = 1; planes <= 4; ++planes) {
+      auto ba = reader_on->RetrieveSnapshotBounds(name, planes);
+      auto bb = reader_off->RetrieveSnapshotBounds(name, planes);
+      ASSERT_TRUE(ba.ok()) << ba.status().ToString();
+      ASSERT_TRUE(bb.ok()) << bb.status().ToString();
+      ASSERT_EQ(ba->size(), bb->size());
+      for (const auto& [param, interval] : *ba) {
+        auto it = bb->find(param);
+        ASSERT_NE(it, bb->end()) << param;
+        const std::string context =
+            name + "/" + param + " planes=" + std::to_string(planes);
+        ExpectBitIdenticalMatrix(interval.lo(), it->second.lo(),
+                                 "lo " + context);
+        ExpectBitIdenticalMatrix(interval.hi(), it->second.hi(),
+                                 "hi " + context);
+      }
+    }
+  }
+}
+
+// With the delta plan held fixed (similarity pairing off on both sides,
+// no lineage declared) every variant materializes independently without
+// the index, so the on/off byte ratio is the honest dedup win. The CI
+// smoke job gates the same number above 1.5x via bench_archival.
+TEST(DedupTest, FixedPlanFamilyDedupRatioExceedsGate) {
+  const Family family = MakeFamily(8, 4, 48, 64);
+  MemEnv env;
+  ArchiveOptions on;
+  on.enable_dedup = true;
+  on.enable_similarity_pairing = false;
+  ArchiveOptions off = on;
+  off.enable_dedup = false;
+  ASSERT_TRUE(BuildFamily(&env, "on", family, on).ok());
+  ASSERT_TRUE(BuildFamily(&env, "off", family, off).ok());
+  auto reader_on = ArchiveReader::Open(&env, "on");
+  ASSERT_TRUE(reader_on.ok());
+  auto reader_off = ArchiveReader::Open(&env, "off");
+  ASSERT_TRUE(reader_off.ok());
+  const double ratio =
+      static_cast<double>(reader_off->TotalStoredBytes()) /
+      static_cast<double>(reader_on->TotalStoredBytes());
+  EXPECT_GT(ratio, 1.5) << "dedup ratio regressed";
+  // The per-archive accounting agrees with the two-archive measurement.
+  const ArchiveDedupStats stats = reader_on->ComputeDedupStats();
+  EXPECT_EQ(stats.logical_bytes, reader_off->TotalStoredBytes());
+  EXPECT_EQ(stats.stored_bytes, reader_on->TotalStoredBytes());
+  for (const std::string& name : family.names) {
+    auto a = reader_on->RetrieveSnapshot(name);
+    auto b = reader_off->RetrieveSnapshot(name);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdentical(*a, *b, name);
+  }
+}
+
+// A second Build into the same archive directory reuses chunks from the
+// prior generation through the persisted index instead of rewriting
+// them, and the committed manifest references both generations' files.
+TEST(DedupTest, SecondGenerationReusesPriorChunks) {
+  Family family = MakeFamily(4, 4, 48, 64);
+  MemEnv env;
+  ArchiveOptions options;  // Dedup on by default.
+  ASSERT_TRUE(BuildFamily(&env, "archive", family, options).ok());
+  auto gen1 = ArchiveReader::Open(&env, "archive");
+  ASSERT_TRUE(gen1.ok());
+  const uint64_t gen1_stored = gen1->TotalStoredBytes();
+
+  // One more fine-tune arrives; re-archive the whole family.
+  Family grown = MakeFamily(5, 4, 48, 64);
+  auto report = BuildFamily(&env, "archive", grown, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->pipeline.dedup_prior_hits, 0u);
+
+  auto gen2 = ArchiveReader::Open(&env, "archive");
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_GT(gen2->generation(), gen1->generation());
+  const ArchiveDedupStats stats = gen2->ComputeDedupStats();
+  EXPECT_GT(stats.cross_file_refs, 0u);
+  bool references_gen1 = false;
+  for (const std::string& name : gen2->data_files()) {
+    if (name.find("chunks-1") != std::string::npos) references_gen1 = true;
+  }
+  EXPECT_TRUE(references_gen1) << "gen 2 should borrow gen 1 chunks";
+  // Reuse means gen 2 appended less than a from-scratch family costs.
+  EXPECT_LT(gen2->TotalStoredBytes(), gen1_stored + gen1_stored / 2);
+
+  for (size_t s = 0; s < grown.names.size(); ++s) {
+    auto params = gen2->RetrieveSnapshot(grown.names[s]);
+    ASSERT_TRUE(params.ok()) << params.status().ToString();
+    ExpectBitIdentical(*params, grown.snapshots[s], grown.names[s]);
+  }
+}
+
+// Shared chunks under concurrent parallel retrieval: several threads
+// pull overlapping snapshot sets through one reader (shared chunk cache,
+// shared stores) while another reader works the same directory. Run
+// under TSan in CI; assertions are on values, the interleaving is the
+// point.
+TEST(DedupTest, ConcurrentRetrievalOfSharedChunks) {
+  const Family family = MakeFamily(8, 3, 32, 48);
+  MemEnv env;
+  ArchiveOptions options;
+  ASSERT_TRUE(BuildFamily(&env, "archive", family, options).ok());
+  auto reader = ArchiveReader::Open(&env, "archive");
+  ASSERT_TRUE(reader.ok());
+  ThreadPool pool(4);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        const std::string name =
+            family.names[static_cast<size_t>((t + round) %
+                                             family.names.size())];
+        auto sets = reader->RetrieveSnapshotsParallel(
+            {name, family.names[0]}, &pool, ParallelScheme::kShared);
+        if (!sets.ok() || sets->size() != 2) {
+          ++failures;
+          continue;
+        }
+        const auto& expect =
+            family.snapshots[static_cast<size_t>((t + round) %
+                                                 family.names.size())];
+        if ((*sets)[0].size() != expect.size()) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Full differential sweep after the race.
+  for (size_t s = 0; s < family.names.size(); ++s) {
+    auto params = reader->RetrieveSnapshot(family.names[s]);
+    ASSERT_TRUE(params.ok());
+    ExpectBitIdentical(*params, family.snapshots[s], family.names[s]);
+  }
+}
+
+}  // namespace
+}  // namespace modelhub

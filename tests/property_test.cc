@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "compress/codec.h"
 #include "pas/archive.h"
+#include "pas/chunk_index.h"
 #include "pas/delta.h"
 #include "pas/float_encoding.h"
 #include "pas/parallel_archiver.h"
@@ -702,6 +703,144 @@ TEST(ParallelArchiverProperty, WorkerCountClampsToSchedulableTasks) {
   EXPECT_EQ(stats.threads, 1 + kNumPlanes);
   EXPECT_EQ(static_cast<int>(stats.tile_encode_ms.size()), stats.tiles);
   EXPECT_EQ(static_cast<int>(stats.plane_codec_ms.size()), kNumPlanes);
+}
+
+// --------------------------------------------------- chunk index / dedup
+
+/// One random fine-tune of `base`: sparse (a few weights move), low-rank
+/// (an outer-product update touches everything coherently), or noise
+/// (every weight jitters). The three shapes exercise the chunk index's
+/// full spectrum from "all planes identical" to "nothing shared".
+FloatMatrix MutateParam(const FloatMatrix& base, Rng* rng) {
+  FloatMatrix out = base;
+  switch (rng->Uniform(3)) {
+    case 0: {  // Sparse.
+      const size_t stride = 17 + rng->Uniform(40);
+      for (size_t i = rng->Uniform(7); i < out.data().size(); i += stride) {
+        out.data()[i] += static_cast<float>(rng->NextGaussian()) * 0.05f;
+      }
+      break;
+    }
+    case 1: {  // Low-rank: out += u v^T.
+      std::vector<float> u(static_cast<size_t>(out.rows()));
+      std::vector<float> v(static_cast<size_t>(out.cols()));
+      for (auto& x : u) x = static_cast<float>(rng->NextGaussian()) * 0.05f;
+      for (auto& x : v) x = static_cast<float>(rng->NextGaussian());
+      for (int64_t r = 0; r < out.rows(); ++r) {
+        for (int64_t c = 0; c < out.cols(); ++c) {
+          out.At(r, c) += u[static_cast<size_t>(r)] *
+                          v[static_cast<size_t>(c)];
+        }
+      }
+      break;
+    }
+    default: {  // Noise.
+      for (auto& x : out.data()) {
+        x += static_cast<float>(rng->NextGaussian()) * 0.01f;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// Seeded random fine-tuned families round-trip through the chunk index
+// bit-exactly, and the persisted refcounts are conserved: the saved
+// index matches an independent rebuild from the committed manifest entry
+// for entry, and total references equal exactly four planes per matrix.
+TEST(ChunkDedupProperty, MutatedFamiliesRoundTripWithConservedRefcounts) {
+  for (int iter = 0; iter < 3; ++iter) {
+    const uint64_t seed = BaseSeed() + 4000 + static_cast<uint64_t>(iter);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+
+    const int num_params = 2 + static_cast<int>(rng.Uniform(3));
+    const int variants = 4 + static_cast<int>(rng.Uniform(4));
+    std::vector<FloatMatrix> base(static_cast<size_t>(num_params));
+    for (auto& m : base) {
+      m = FloatMatrix(8 + rng.Uniform(24), 8 + rng.Uniform(32));
+      m.FillGaussian(&rng, 0.1f);
+    }
+
+    Corpus corpus;
+    auto add = [&](const std::string& name,
+                   const std::vector<FloatMatrix>& params) {
+      corpus.names.push_back(name);
+      std::vector<NamedParam> named;
+      for (int p = 0; p < num_params; ++p) {
+        named.push_back({"w" + std::to_string(p),
+                         params[static_cast<size_t>(p)]});
+      }
+      corpus.snapshots.push_back(std::move(named));
+    };
+    add("fam@base", base);
+    for (int v = 0; v < variants; ++v) {
+      std::vector<FloatMatrix> tuned = base;
+      // Mutate a random subset of parameters, freeze the rest.
+      const int mutated = 1 + static_cast<int>(rng.Uniform(
+                                  static_cast<uint32_t>(num_params)));
+      for (int m = 0; m < mutated; ++m) {
+        const size_t p = rng.Uniform(static_cast<uint32_t>(num_params));
+        tuned[p] = MutateParam(tuned[p], &rng);
+      }
+      add("fam@ft" + std::to_string(v), tuned);
+    }
+
+    MemEnv env;
+    ArchiveOptions options;  // Dedup + similarity pairing on by default.
+    options.archive_threads = iter % 2 == 0 ? 1 : 4;
+    ArchiveBuilder builder(&env, "archive");
+    for (size_t s = 0; s < corpus.names.size(); ++s) {
+      ASSERT_TRUE(
+          builder.AddSnapshot(corpus.names[s], corpus.snapshots[s]).ok());
+    }
+    auto report = builder.Build(options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    // Round trip: every snapshot comes back bit-exact.
+    auto reader = ArchiveReader::Open(&env, "archive");
+    ASSERT_TRUE(reader.ok());
+    for (size_t s = 0; s < corpus.names.size(); ++s) {
+      SCOPED_TRACE(corpus.names[s]);
+      auto params = reader->RetrieveSnapshot(corpus.names[s]);
+      ASSERT_TRUE(params.ok()) << params.status().ToString();
+      ASSERT_EQ(params->size(), corpus.snapshots[s].size());
+      for (size_t p = 0; p < params->size(); ++p) {
+        const auto& got = (*params)[p].value.data();
+        const auto& want = corpus.snapshots[s][p].value.data();
+        ASSERT_EQ(got.size(), want.size());
+        EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                              got.size() * sizeof(float)),
+                  0)
+            << (*params)[p].name;
+      }
+    }
+
+    // Refcount conservation: the saved index equals a from-scratch
+    // rebuild entry for entry, and references sum to 4 planes per
+    // archived matrix — dedup moves references between entries but
+    // never creates or drops one.
+    auto saved = ChunkIndex::Load(&env, "archive");
+    ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+    auto rebuilt = RebuildChunkIndex(&env, "archive");
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_EQ(saved->generation(), rebuilt->generation());
+    const auto saved_entries = saved->SortedEntries();
+    const auto rebuilt_entries = rebuilt->SortedEntries();
+    ASSERT_EQ(saved_entries.size(), rebuilt_entries.size());
+    for (size_t i = 0; i < saved_entries.size(); ++i) {
+      EXPECT_TRUE(saved_entries[i].hash == rebuilt_entries[i].hash);
+      EXPECT_EQ(saved_entries[i].file, rebuilt_entries[i].file);
+      EXPECT_EQ(saved_entries[i].chunk_id, rebuilt_entries[i].chunk_id);
+      EXPECT_EQ(saved_entries[i].refcount, rebuilt_entries[i].refcount);
+      EXPECT_EQ(saved_entries[i].stored_size,
+                rebuilt_entries[i].stored_size);
+    }
+    const uint64_t matrices =
+        corpus.names.size() * static_cast<uint64_t>(num_params);
+    EXPECT_EQ(saved->TotalRefs(), matrices * 4);
+    EXPECT_EQ(reader->ComputeDedupStats().plane_refs, matrices * 4);
+  }
 }
 
 TEST(ParallelArchiverProperty, ResolveArchiveThreads) {

@@ -29,6 +29,7 @@
 #include "data/dataset.h"
 #include "data/synthetic_modeler.h"
 #include "dlv/fsck.h"
+#include "dlv/layout.h"
 #include "dlv/report.h"
 #include "dlv/repository.h"
 #include "dql/engine.h"
@@ -36,6 +37,8 @@
 #include "lifecycle/daemon.h"
 #include "lifecycle/gc.h"
 #include "net/client.h"
+#include "pas/archive.h"
+#include "pas/chunk_index.h"
 #include "router/router.h"
 #include "server/modelhubd.h"
 
@@ -110,6 +113,9 @@ constexpr CommandHelp kCommands[] = {
     {"observability", "dlv trace --fleet <host:port> [out.json]",
      "pull span buffers from every node\nbehind the target (router fans "
      "out\nto its backends) and merge them\ninto one Chrome/Perfetto trace"},
+    {"observability", "dlv dedup-stats <repo> [--json]",
+     "report cross-model chunk\ndeduplication: logical vs stored\nbytes, "
+     "shared and cross-generation\nreferences, dedup ratio"},
 };
 
 int Usage() {
@@ -462,6 +468,57 @@ int CmdGc(Env* env, const std::string& root, bool dry_run) {
   auto report = RunArchiveGc(env, root, options);
   if (!report.ok()) return Fail(report.status());
   std::printf("%s", report->ToString().c_str());
+  return 0;
+}
+
+/// `dlv dedup-stats`: how much the content-addressed chunk index is
+/// saving on this repository's committed archive generation.
+int CmdDedupStats(Env* env, const std::string& root, bool json) {
+  const std::string pas_dir = repo_layout::PasDir(root);
+  auto reader = ArchiveReader::Open(env, pas_dir);
+  if (!reader.ok()) return Fail(reader.status());
+  const ArchiveDedupStats stats = reader->ComputeDedupStats();
+  uint64_t index_entries = 0;
+  uint64_t index_refs = 0;
+  if (auto index = ChunkIndex::Load(env, pas_dir); index.ok()) {
+    index_entries = index->size();
+    index_refs = index->TotalRefs();
+  }
+  if (json) {
+    std::printf(
+        "{\"generation\": %llu, \"plane_refs\": %llu, "
+        "\"unique_chunks\": %llu, \"shared_refs\": %llu, "
+        "\"cross_file_refs\": %llu, \"logical_bytes\": %llu, "
+        "\"stored_bytes\": %llu, \"dedup_ratio\": %.4f, "
+        "\"index_entries\": %llu, \"index_refs\": %llu}\n",
+        static_cast<unsigned long long>(reader->generation()),
+        static_cast<unsigned long long>(stats.plane_refs),
+        static_cast<unsigned long long>(stats.unique_chunks),
+        static_cast<unsigned long long>(stats.shared_refs),
+        static_cast<unsigned long long>(stats.cross_file_refs),
+        static_cast<unsigned long long>(stats.logical_bytes),
+        static_cast<unsigned long long>(stats.stored_bytes), stats.ratio(),
+        static_cast<unsigned long long>(index_entries),
+        static_cast<unsigned long long>(index_refs));
+    return 0;
+  }
+  std::printf(
+      "dedup stats for generation %llu:\n"
+      "  plane references   %llu (%llu unique chunk(s), %llu shared, "
+      "%llu cross-generation)\n"
+      "  logical bytes      %llu\n"
+      "  stored bytes       %llu\n"
+      "  dedup ratio        %.2fx\n"
+      "  chunk index        %llu entry(s), %llu reference(s)\n",
+      static_cast<unsigned long long>(reader->generation()),
+      static_cast<unsigned long long>(stats.plane_refs),
+      static_cast<unsigned long long>(stats.unique_chunks),
+      static_cast<unsigned long long>(stats.shared_refs),
+      static_cast<unsigned long long>(stats.cross_file_refs),
+      static_cast<unsigned long long>(stats.logical_bytes),
+      static_cast<unsigned long long>(stats.stored_bytes), stats.ratio(),
+      static_cast<unsigned long long>(index_entries),
+      static_cast<unsigned long long>(index_refs));
   return 0;
 }
 
@@ -933,6 +990,11 @@ int Main(int argc, char** argv) {
     const bool dry_run = argc == 4 && arg(3) == "--dry-run";
     if (argc == 4 && !dry_run) return Usage();
     return CmdGc(env, arg(2), dry_run);
+  }
+  if (command == "dedup-stats" && (argc == 3 || argc == 4)) {
+    const bool json = argc == 4 && arg(3) == "--json";
+    if (argc == 4 && !json) return Usage();
+    return CmdDedupStats(env, arg(2), json);
   }
   if (command == "query" && argc == 4) return CmdQuery(env, arg(2), arg(3));
   if (command == "report" && argc == 4) {
